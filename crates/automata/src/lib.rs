@@ -1,0 +1,33 @@
+//! # cqa-automata
+//!
+//! The automaton-based machinery of Section 5 of the paper: the
+//! nondeterministic automaton `NFA(q)` whose backward ε-transitions capture
+//! the *rewinding* operator, the shifted automata `S-NFA(q, u)`, the minimal
+//! acceptor `NFAmin(q)`, and the evaluation of these automata over
+//! (consistent) database instances, including `start(q, r)` and the states
+//! sets `ST_q(f, r)`.
+//!
+//! ```
+//! use cqa_automata::prelude::*;
+//! use cqa_core::prelude::*;
+//!
+//! let q = PathQuery::parse("RRX").unwrap();
+//! let a = QueryNfa::new(&q);
+//! // NFA(RRX) accepts the regular language R R (R)* X.
+//! assert!(a.accepts(&Word::from_letters("RRRRX")));
+//! assert!(!a.accepts(&Word::from_letters("RX")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nfa;
+pub mod query_nfa;
+pub mod run;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::nfa::{Dfa, Nfa};
+    pub use crate::query_nfa::QueryNfa;
+    pub use crate::run::{all_states_sets, start_set, states_set, ProductReachability};
+}

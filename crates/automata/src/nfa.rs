@@ -1,0 +1,376 @@
+//! Generic nondeterministic finite automata with ε-moves over the alphabet of
+//! relation names, plus subset construction to a DFA.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use cqa_core::symbol::RelName;
+use cqa_core::word::Word;
+
+/// A nondeterministic finite automaton with ε-moves. States are dense
+/// indices `0..num_states`.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    num_states: usize,
+    start: usize,
+    accepting: BTreeSet<usize>,
+    /// Labelled transitions per state.
+    transitions: Vec<Vec<(RelName, usize)>>,
+    /// ε-transitions per state.
+    epsilon: Vec<Vec<usize>>,
+}
+
+impl Nfa {
+    /// Creates an NFA with the given number of states and start state, no
+    /// transitions and no accepting states.
+    pub fn new(num_states: usize, start: usize) -> Nfa {
+        assert!(start < num_states, "start state out of range");
+        Nfa {
+            num_states,
+            start,
+            accepting: BTreeSet::new(),
+            transitions: vec![Vec::new(); num_states],
+            epsilon: vec![Vec::new(); num_states],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Returns a copy of this automaton with a different start state
+    /// (used for `S-NFA(q, u)`).
+    pub fn with_start(&self, start: usize) -> Nfa {
+        assert!(start < self.num_states, "start state out of range");
+        let mut nfa = self.clone();
+        nfa.start = start;
+        nfa
+    }
+
+    /// Marks a state as accepting.
+    pub fn set_accepting(&mut self, state: usize) {
+        assert!(state < self.num_states);
+        self.accepting.insert(state);
+    }
+
+    /// The set of accepting states.
+    pub fn accepting(&self) -> &BTreeSet<usize> {
+        &self.accepting
+    }
+
+    /// True iff the state is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting.contains(&state)
+    }
+
+    /// Adds a labelled transition.
+    pub fn add_transition(&mut self, from: usize, label: RelName, to: usize) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.transitions[from].push((label, to));
+    }
+
+    /// Adds an ε-transition.
+    pub fn add_epsilon(&mut self, from: usize, to: usize) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.epsilon[from].push(to);
+    }
+
+    /// The labelled transitions out of a state.
+    pub fn transitions_from(&self, state: usize) -> &[(RelName, usize)] {
+        &self.transitions[state]
+    }
+
+    /// The ε-transitions out of a state.
+    pub fn epsilon_from(&self, state: usize) -> &[usize] {
+        &self.epsilon[state]
+    }
+
+    /// All labelled transitions `(from, label, to)`.
+    pub fn all_transitions(&self) -> Vec<(usize, RelName, usize)> {
+        let mut out = Vec::new();
+        for (from, ts) in self.transitions.iter().enumerate() {
+            for &(label, to) in ts {
+                out.push((from, label, to));
+            }
+        }
+        out
+    }
+
+    /// All ε-transitions `(from, to)`.
+    pub fn all_epsilon_transitions(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (from, ts) in self.epsilon.iter().enumerate() {
+            for &to in ts {
+                out.push((from, to));
+            }
+        }
+        out
+    }
+
+    /// The ε-closure of a set of states.
+    pub fn epsilon_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closure = states.clone();
+        let mut queue: VecDeque<usize> = states.iter().copied().collect();
+        while let Some(s) = queue.pop_front() {
+            for &t in &self.epsilon[s] {
+                if closure.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        closure
+    }
+
+    /// One step of the subset construction: from a set of states, read `label`.
+    pub fn step(&self, states: &BTreeSet<usize>, label: RelName) -> BTreeSet<usize> {
+        let mut next = BTreeSet::new();
+        for &s in states {
+            for &(l, t) in &self.transitions[s] {
+                if l == label {
+                    next.insert(t);
+                }
+            }
+        }
+        self.epsilon_closure(&next)
+    }
+
+    /// True iff the automaton accepts the word from its start state.
+    pub fn accepts(&self, word: &Word) -> bool {
+        self.accepts_from(self.start, word)
+    }
+
+    /// True iff the automaton accepts the word when started in `state`.
+    pub fn accepts_from(&self, state: usize, word: &Word) -> bool {
+        let mut current = self.epsilon_closure(&BTreeSet::from([state]));
+        for label in word.iter() {
+            current = self.step(&current, label);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|s| self.accepting.contains(s))
+    }
+
+    /// The alphabet actually used by the transitions.
+    pub fn alphabet(&self) -> BTreeSet<RelName> {
+        self.transitions
+            .iter()
+            .flat_map(|ts| ts.iter().map(|&(l, _)| l))
+            .collect()
+    }
+
+    /// Determinizes the automaton by subset construction.
+    pub fn to_dfa(&self) -> Dfa {
+        let alphabet: Vec<RelName> = self.alphabet().into_iter().collect();
+        let start_set = self.epsilon_closure(&BTreeSet::from([self.start]));
+        let mut state_index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut transitions: Vec<BTreeMap<RelName, usize>> = Vec::new();
+        state_index.insert(start_set.clone(), 0);
+        subsets.push(start_set);
+        transitions.push(BTreeMap::new());
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(i) = queue.pop_front() {
+            for &label in &alphabet {
+                let next = self.step(&subsets[i].clone(), label);
+                if next.is_empty() {
+                    continue;
+                }
+                let j = match state_index.get(&next) {
+                    Some(&j) => j,
+                    None => {
+                        let j = subsets.len();
+                        state_index.insert(next.clone(), j);
+                        subsets.push(next);
+                        transitions.push(BTreeMap::new());
+                        queue.push_back(j);
+                        j
+                    }
+                };
+                transitions[i].insert(label, j);
+            }
+        }
+        let accepting = subsets
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.iter().any(|s| self.accepting.contains(s)))
+            .map(|(i, _)| i)
+            .collect();
+        Dfa {
+            subsets,
+            transitions,
+            accepting,
+            start: 0,
+        }
+    }
+}
+
+/// A deterministic finite automaton obtained by subset construction.
+/// Missing transitions are implicit rejections.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// The NFA state sets that each DFA state represents.
+    subsets: Vec<BTreeSet<usize>>,
+    transitions: Vec<BTreeMap<RelName, usize>>,
+    accepting: BTreeSet<usize>,
+    start: usize,
+}
+
+impl Dfa {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The NFA states a DFA state stands for.
+    pub fn subset(&self, state: usize) -> &BTreeSet<usize> {
+        &self.subsets[state]
+    }
+
+    /// True iff the state is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting.contains(&state)
+    }
+
+    /// The successor of a state on a label, if defined.
+    pub fn step(&self, state: usize, label: RelName) -> Option<usize> {
+        self.transitions[state].get(&label).copied()
+    }
+
+    /// True iff the DFA accepts the word.
+    pub fn accepts(&self, word: &Word) -> bool {
+        let mut state = self.start;
+        for label in word.iter() {
+            match self.step(state, label) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.is_accepting(state)
+    }
+
+    /// Restricts the automaton to *minimal* accepted words: the result accepts
+    /// `w` iff this DFA accepts `w` and no proper prefix of `w` is accepted.
+    ///
+    /// This is the construction behind `NFAmin(q)` (Definition 13): once an
+    /// accepting state is reached, all outgoing transitions are removed.
+    pub fn minimal_words(&self) -> Dfa {
+        let mut result = self.clone();
+        for state in 0..result.num_states() {
+            if result.is_accepting(state) {
+                result.transitions[state].clear();
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str) -> RelName {
+        RelName::new(name)
+    }
+
+    fn w(word: &str) -> Word {
+        Word::from_letters(word)
+    }
+
+    /// A small automaton accepting R(R)*X.
+    fn rrstar_x() -> Nfa {
+        let mut nfa = Nfa::new(3, 0);
+        nfa.add_transition(0, r("R"), 1);
+        nfa.add_transition(1, r("R"), 1);
+        nfa.add_transition(1, r("X"), 2);
+        nfa.set_accepting(2);
+        nfa
+    }
+
+    #[test]
+    fn accepts_simple_language() {
+        let nfa = rrstar_x();
+        assert!(nfa.accepts(&w("RX")));
+        assert!(nfa.accepts(&w("RRX")));
+        assert!(nfa.accepts(&w("RRRRX")));
+        assert!(!nfa.accepts(&w("X")));
+        assert!(!nfa.accepts(&w("RXX")));
+        assert!(!nfa.accepts(&w("RR")));
+    }
+
+    #[test]
+    fn epsilon_closure_follows_chains() {
+        let mut nfa = Nfa::new(4, 0);
+        nfa.add_epsilon(0, 1);
+        nfa.add_epsilon(1, 2);
+        nfa.set_accepting(2);
+        let closure = nfa.epsilon_closure(&BTreeSet::from([0]));
+        assert_eq!(closure, BTreeSet::from([0, 1, 2]));
+        // A word of length zero is accepted because the closure of the start
+        // contains an accepting state.
+        assert!(nfa.accepts(&Word::empty()));
+    }
+
+    #[test]
+    fn with_start_changes_only_the_start() {
+        let nfa = rrstar_x();
+        let from_1 = nfa.with_start(1);
+        assert!(from_1.accepts(&w("X")));
+        assert!(from_1.accepts(&w("RX")));
+        assert!(!from_1.accepts(&w("R")));
+        // The original is unchanged.
+        assert!(!nfa.accepts(&w("X")));
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa() {
+        let nfa = rrstar_x();
+        let dfa = nfa.to_dfa();
+        for word in ["RX", "RRX", "RRRX", "R", "X", "RXR", "RXX", ""] {
+            assert_eq!(nfa.accepts(&w(word)), dfa.accepts(&w(word)), "{word}");
+        }
+    }
+
+    #[test]
+    fn minimal_words_cuts_continuations() {
+        // Language R(R)*: minimal words = {R}.
+        let mut nfa = Nfa::new(2, 0);
+        nfa.add_transition(0, r("R"), 1);
+        nfa.add_transition(1, r("R"), 1);
+        nfa.set_accepting(1);
+        let min = nfa.to_dfa().minimal_words();
+        assert!(min.accepts(&w("R")));
+        assert!(!min.accepts(&w("RR")));
+        assert!(!min.accepts(&w("RRR")));
+    }
+
+    #[test]
+    fn alphabet_and_transition_listing() {
+        let nfa = rrstar_x();
+        assert_eq!(nfa.alphabet(), BTreeSet::from([r("R"), r("X")]));
+        assert_eq!(nfa.all_transitions().len(), 3);
+        assert!(nfa.all_epsilon_transitions().is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_is_resolved_by_subset_step() {
+        let mut nfa = Nfa::new(3, 0);
+        nfa.add_transition(0, r("R"), 1);
+        nfa.add_transition(0, r("R"), 2);
+        nfa.set_accepting(2);
+        assert!(nfa.accepts(&w("R")));
+        let dfa = nfa.to_dfa();
+        assert!(dfa.accepts(&w("R")));
+        assert!(!dfa.accepts(&w("RR")));
+    }
+}

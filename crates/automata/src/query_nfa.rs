@@ -1,0 +1,270 @@
+//! The automaton `NFA(q)` of Definition 3 and the language `L↬(q)`.
+//!
+//! The states of `NFA(q)` are the prefixes of `q` (identified with their
+//! lengths `0..=|q|`); forward transitions spell out `q`, and *backward*
+//! ε-transitions go from a longer prefix `wR` to a shorter prefix `uR`
+//! ending with the same relation name, capturing the rewinding operator.
+//! `NFA(q)` accepts exactly `L↬(q)`, the smallest language containing `q`
+//! and closed under rewinding (Lemma 4).
+
+use std::collections::BTreeSet;
+
+use cqa_core::query::PathQuery;
+use cqa_core::word::Word;
+
+use crate::nfa::{Dfa, Nfa};
+
+/// The automaton `NFA(q)` together with its query.
+#[derive(Debug, Clone)]
+pub struct QueryNfa {
+    word: Word,
+    nfa: Nfa,
+}
+
+impl QueryNfa {
+    /// Builds `NFA(q)` for a path query.
+    pub fn new(q: &PathQuery) -> QueryNfa {
+        QueryNfa::from_word(q.word().clone())
+    }
+
+    /// Builds `NFA(q)` from the word representation of `q`.
+    pub fn from_word(word: Word) -> QueryNfa {
+        let n = word.len();
+        // State i represents the prefix of length i.
+        let mut nfa = Nfa::new(n + 1, 0);
+        for i in 0..n {
+            nfa.add_transition(i, word[i], i + 1);
+        }
+        // Backward transitions: from state j to state i (both >= 1, i < j)
+        // when the prefixes of length i and j end with the same relation name.
+        for j in 1..=n {
+            for i in 1..j {
+                if word[i - 1] == word[j - 1] {
+                    nfa.add_epsilon(j, i);
+                }
+            }
+        }
+        nfa.set_accepting(n);
+        QueryNfa { word, nfa }
+    }
+
+    /// The query word.
+    pub fn word(&self) -> &Word {
+        &self.word
+    }
+
+    /// The underlying automaton (start state `ε`).
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Number of states (`|q| + 1`).
+    pub fn num_states(&self) -> usize {
+        self.nfa.num_states()
+    }
+
+    /// The accepting state (the full word `q`).
+    pub fn accepting_state(&self) -> usize {
+        self.word.len()
+    }
+
+    /// The prefix of `q` represented by a state.
+    pub fn state_prefix(&self, state: usize) -> Word {
+        self.word.prefix(state)
+    }
+
+    /// The automaton `S-NFA(q, u)` where `u` is the prefix of length
+    /// `prefix_len` (Definition 5): the same automaton started at `u`.
+    pub fn s_nfa(&self, prefix_len: usize) -> Nfa {
+        self.nfa.with_start(prefix_len)
+    }
+
+    /// True iff `p ∈ L↬(q)`, via acceptance by `NFA(q)` (Lemma 4).
+    pub fn accepts(&self, p: &Word) -> bool {
+        self.nfa.accepts(p)
+    }
+
+    /// True iff `S-NFA(q, u)` accepts `p`, where `u` has length `prefix_len`.
+    pub fn accepts_from(&self, prefix_len: usize, p: &Word) -> bool {
+        self.nfa.accepts_from(prefix_len, p)
+    }
+
+    /// The backward (ε) transitions as `(from, to)` pairs of prefix lengths.
+    pub fn backward_transitions(&self) -> Vec<(usize, usize)> {
+        self.nfa.all_epsilon_transitions()
+    }
+
+    /// All states `w` (prefix lengths) that have a backward transition to
+    /// `to`, i.e. longer prefixes ending with the same relation name.
+    /// Used by the fixpoint algorithm of Figure 5.
+    pub fn backward_predecessors(&self, to: usize) -> Vec<usize> {
+        self.backward_transitions()
+            .into_iter()
+            .filter(|&(_, t)| t == to)
+            .map(|(f, _)| f)
+            .collect()
+    }
+
+    /// The DFA accepting `L↬(q)`.
+    pub fn to_dfa(&self) -> Dfa {
+        self.nfa.to_dfa()
+    }
+
+    /// The automaton `NFAmin(q)` of Definition 13, as a DFA: it accepts `p`
+    /// iff `NFA(q)` accepts `p` and no proper prefix of `p` is accepted.
+    pub fn minimal_dfa(&self) -> Dfa {
+        self.to_dfa().minimal_words()
+    }
+
+    /// A bounded enumeration of `L↬(q)`: every word obtainable from `q` with
+    /// at most `depth` rewinds. Useful for tests and for inspecting the
+    /// language; `L↬(q)` itself is infinite whenever `q` has a self-join.
+    pub fn bounded_language(&self, depth: usize) -> BTreeSet<Word> {
+        self.word.rewind_closure(depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_core::conditions::{satisfies_c1, satisfies_c3};
+    use cqa_core::symbol::RelName;
+
+    fn qnfa(word: &str) -> QueryNfa {
+        QueryNfa::new(&PathQuery::parse(word).unwrap())
+    }
+
+    fn w(word: &str) -> Word {
+        Word::from_letters(word)
+    }
+
+    #[test]
+    fn figure_4_structure_of_nfa_rxrrr() {
+        // NFA(RXRRR) has 6 states and the backward transitions drawn in
+        // Figure 4: from every longer prefix ending in R to every shorter one.
+        let a = qnfa("RXRRR");
+        assert_eq!(a.num_states(), 6);
+        assert_eq!(a.accepting_state(), 5);
+        // Prefixes ending in R: lengths 1, 3, 4, 5. Backward transitions are
+        // all (longer, shorter) pairs: (3,1), (4,1), (5,1), (4,3), (5,3), (5,4).
+        let mut backward = a.backward_transitions();
+        backward.sort_unstable();
+        assert_eq!(
+            backward,
+            vec![(3, 1), (4, 1), (4, 3), (5, 1), (5, 3), (5, 4)]
+        );
+        // Forward transitions spell out the word.
+        assert_eq!(a.nfa().all_transitions().len(), 5);
+    }
+
+    #[test]
+    fn nfa_accepts_the_query_itself() {
+        for word in ["R", "RR", "RRX", "RXRY", "RXRRR", "ARRX"] {
+            assert!(qnfa(word).accepts(&w(word)), "{word}");
+        }
+    }
+
+    #[test]
+    fn nfa_of_rrx_accepts_rr_star_x() {
+        // Example 5: NFA(RRX) accepts the regular language RR(R)*X.
+        let a = qnfa("RRX");
+        assert!(a.accepts(&w("RRX")));
+        assert!(a.accepts(&w("RRRX")));
+        assert!(a.accepts(&w("RRRRRX")));
+        assert!(!a.accepts(&w("RX")));
+        assert!(!a.accepts(&w("RRXX")));
+        assert!(!a.accepts(&w("RR")));
+    }
+
+    #[test]
+    fn lemma_4_nfa_accepts_every_bounded_rewind() {
+        for word in ["RRX", "RXRY", "RXRRR", "RXRXRYRY", "TWITTER"] {
+            let a = qnfa(word);
+            for p in a.bounded_language(3) {
+                assert!(a.accepts(&p), "NFA({word}) must accept {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn nfa_rejects_words_outside_the_language() {
+        let a = qnfa("RRX");
+        for bad in ["XRR", "RXR", "RRXR", "RRRR"] {
+            assert!(!a.accepts(&w(bad)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn lemma_5_prefix_and_factor_characterisations() {
+        // For words satisfying C1 (resp. C3), q is a prefix (resp. factor) of
+        // every word in the bounded language.
+        for word in ["RXRX", "RR", "RRX", "RXRY", "RXRYRY", "ARRX", "RXRXRYRY"] {
+            let q = w(word);
+            let a = QueryNfa::from_word(q.clone());
+            let language = a.bounded_language(3);
+            if satisfies_c1(&q) {
+                assert!(language.iter().all(|p| q.is_prefix_of(p)), "{word}");
+            }
+            if satisfies_c3(&q) {
+                assert!(language.iter().all(|p| q.is_factor_of(p)), "{word}");
+            } else {
+                assert!(language.iter().any(|p| !q.is_factor_of(p)), "{word}");
+            }
+        }
+    }
+
+    #[test]
+    fn s_nfa_starts_midway() {
+        // Example 5: S-NFA(RRX, R) accepts the path R R X read from state R.
+        let a = qnfa("RRX");
+        assert!(a.accepts_from(1, &w("RX")));
+        assert!(a.accepts_from(1, &w("RRX"))); // uses the backward transition
+        assert!(a.accepts_from(2, &w("X")));
+        // From state RR, the automaton may rewind to R and then read RX.
+        assert!(a.accepts_from(2, &w("RX")));
+        assert!(!a.accepts_from(2, &w("R")));
+        assert!(a.accepts_from(0, &w("RRX")));
+    }
+
+    #[test]
+    fn nfamin_accepts_only_minimal_words() {
+        // Example 6: q = RXRYR; RXRYRYR is accepted by NFA(q) but not by
+        // NFAmin(q) because its proper prefix RXRYR is also accepted.
+        let a = qnfa("RXRYR");
+        let min = a.minimal_dfa();
+        assert!(a.accepts(&w("RXRYRYR")));
+        assert!(min.accepts(&w("RXRYR")));
+        assert!(!min.accepts(&w("RXRYRYR")));
+    }
+
+    #[test]
+    fn lemma_16_minimal_language_shape() {
+        // q = RRX = s (uv)^(k-1) w v with uv = R, wv = X, s = ε or R:
+        // NFAmin(q) accepts RR(R)*X (every accepted word is already minimal).
+        let a = qnfa("RRX");
+        let min = a.minimal_dfa();
+        for good in ["RRX", "RRRX", "RRRRX"] {
+            assert!(min.accepts(&w(good)), "{good}");
+        }
+        for bad in ["RX", "RRXX", "RRXRX"] {
+            assert!(!min.accepts(&w(bad)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn backward_predecessors_list_longer_prefixes() {
+        let a = qnfa("RXRRR");
+        assert_eq!(a.backward_predecessors(1), vec![3, 4, 5]);
+        assert_eq!(a.backward_predecessors(3), vec![4, 5]);
+        assert!(a.backward_predecessors(2).is_empty());
+    }
+
+    #[test]
+    fn state_prefixes_round_trip() {
+        let a = qnfa("RXR");
+        assert_eq!(a.state_prefix(0), Word::empty());
+        assert_eq!(a.state_prefix(2), w("RX"));
+        assert_eq!(a.state_prefix(3), w("RXR"));
+        let _ = RelName::new("R");
+    }
+}

@@ -1,0 +1,297 @@
+//! Running `NFA(q)` and `S-NFA(q, u)` over database instances.
+//!
+//! This module implements the semantics of Definition 6 (paths accepted by an
+//! automaton), the set `start(q, r)` of constants from which an accepted path
+//! starts in a consistent instance `r`, and the *states sets* `ST_q(f, r)` of
+//! Definition 7, which drive the minimal-repair construction of Lemma 9 and
+//! the correctness of the fixpoint algorithm.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use cqa_core::symbol::RelName;
+use cqa_db::fact::{Constant, Fact};
+use cqa_db::repair::ConsistentInstance;
+
+use crate::query_nfa::QueryNfa;
+
+/// The set of pairs `(c, s)` such that some path of `r` starting in `c` is
+/// accepted by the automaton started in state `s`.
+///
+/// Computed as a backward fixpoint over the product of the automaton and the
+/// instance: `(c, s)` is accepting-reachable if `s` is accepting, or there is
+/// an ε-move `s → s'` with `(c, s')` accepting-reachable, or a fact
+/// `R(c, d) ∈ r` and a transition `s --R--> s'` with `(d, s')`
+/// accepting-reachable.
+#[derive(Debug, Clone)]
+pub struct ProductReachability {
+    accepted: BTreeSet<(Constant, usize)>,
+}
+
+impl ProductReachability {
+    /// Computes the accepting-reachable pairs for an automaton over a
+    /// consistent instance.
+    pub fn compute(automaton: &QueryNfa, r: &ConsistentInstance) -> ProductReachability {
+        let nfa = automaton.nfa();
+        let adom: Vec<Constant> = r.adom().iter().copied().collect();
+
+        // Reverse indices over the automaton.
+        let mut eps_preds: Vec<Vec<usize>> = vec![Vec::new(); nfa.num_states()];
+        for (from, to) in nfa.all_epsilon_transitions() {
+            eps_preds[to].push(from);
+        }
+        // label -> list of (from_state, to_state)
+        let mut labelled_preds: BTreeMap<RelName, Vec<(usize, usize)>> = BTreeMap::new();
+        for (from, label, to) in nfa.all_transitions() {
+            labelled_preds.entry(label).or_default().push((from, to));
+        }
+        // Reverse index over the instance: (rel, value) -> keys.
+        let mut in_edges: BTreeMap<(RelName, Constant), Vec<Constant>> = BTreeMap::new();
+        for f in r.facts() {
+            in_edges.entry((f.rel, f.value)).or_default().push(f.key);
+        }
+
+        let mut accepted: BTreeSet<(Constant, usize)> = BTreeSet::new();
+        let mut queue: VecDeque<(Constant, usize)> = VecDeque::new();
+        for &c in &adom {
+            for &s in nfa.accepting() {
+                if accepted.insert((c, s)) {
+                    queue.push_back((c, s));
+                }
+            }
+        }
+        while let Some((d, s_prime)) = queue.pop_front() {
+            // ε-predecessors: (d, s) for s --ε--> s'.
+            for &s in &eps_preds[s_prime] {
+                if accepted.insert((d, s)) {
+                    queue.push_back((d, s));
+                }
+            }
+            // Labelled predecessors: fact R(c, d) in r and s --R--> s'.
+            for (&(rel, value), keys) in &in_edges {
+                if value != d {
+                    continue;
+                }
+                if let Some(pairs) = labelled_preds.get(&rel) {
+                    for &(from, to) in pairs {
+                        if to != s_prime {
+                            continue;
+                        }
+                        for &c in keys {
+                            if accepted.insert((c, from)) {
+                                queue.push_back((c, from));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ProductReachability { accepted }
+    }
+
+    /// True iff some path of the instance starting in `c` is accepted by the
+    /// automaton started in state `state`.
+    pub fn accepts_from(&self, c: Constant, state: usize) -> bool {
+        self.accepted.contains(&(c, state))
+    }
+
+    /// All constants `c` with `(c, state)` accepting-reachable.
+    pub fn constants_for_state(&self, state: usize) -> BTreeSet<Constant> {
+        self.accepted
+            .iter()
+            .filter(|&&(_, s)| s == state)
+            .map(|&(c, _)| c)
+            .collect()
+    }
+}
+
+/// `start(q, r)` (Definition 6): all constants `c ∈ adom(r)` such that some
+/// path of `r` starting in `c` is accepted by `NFA(q)`.
+pub fn start_set(automaton: &QueryNfa, r: &ConsistentInstance) -> BTreeSet<Constant> {
+    let reach = ProductReachability::compute(automaton, r);
+    reach.constants_for_state(automaton.nfa().start())
+}
+
+/// The *states set* `ST_q(f, r)` of Definition 7 for a fact `f ∈ r`: the set
+/// of states `uR` (identified by prefix length) such that `S-NFA(q, u)`
+/// accepts a path of `r` that starts with `f`.
+pub fn states_set(automaton: &QueryNfa, f: &Fact, r: &ConsistentInstance) -> BTreeSet<usize> {
+    debug_assert!(r.contains(f), "ST_q(f, r) requires f ∈ r");
+    let reach = ProductReachability::compute(automaton, r);
+    states_set_with(automaton, f, &reach)
+}
+
+/// As [`states_set`], but reusing a precomputed [`ProductReachability`] so
+/// that the states sets of many facts of the same instance can be obtained
+/// without recomputing the product fixpoint.
+pub fn states_set_with(
+    automaton: &QueryNfa,
+    f: &Fact,
+    reach: &ProductReachability,
+) -> BTreeSet<usize> {
+    let nfa = automaton.nfa();
+    let word = automaton.word();
+    let mut result = BTreeSet::new();
+    // Candidate states uR are the nonempty prefixes whose last letter is the
+    // relation name of f.
+    for state in 1..=word.len() {
+        if word[state - 1] != f.rel {
+            continue;
+        }
+        let u = state - 1;
+        // S-NFA(q, u) accepts a path starting with f iff from the ε-closure
+        // of {u} there is a transition labelled f.rel into a state s'' such
+        // that (f.value, s'') is accepting-reachable.
+        let closure = nfa.epsilon_closure(&BTreeSet::from([u]));
+        let mut witnessed = false;
+        'outer: for &s in &closure {
+            for &(label, to) in nfa.transitions_from(s) {
+                if label == f.rel && reach.accepts_from(f.value, to) {
+                    witnessed = true;
+                    break 'outer;
+                }
+            }
+        }
+        if witnessed {
+            result.insert(state);
+        }
+    }
+    result
+}
+
+/// All states sets of an instance at once: maps each fact of `r` to
+/// `ST_q(f, r)`.
+pub fn all_states_sets(
+    automaton: &QueryNfa,
+    r: &ConsistentInstance,
+) -> BTreeMap<Fact, BTreeSet<usize>> {
+    let reach = ProductReachability::compute(automaton, r);
+    r.facts()
+        .iter()
+        .map(|f| (*f, states_set_with(automaton, f, &reach)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_core::query::PathQuery;
+    use cqa_db::instance::DatabaseInstance;
+
+    fn qnfa(word: &str) -> QueryNfa {
+        QueryNfa::new(&PathQuery::parse(word).unwrap())
+    }
+
+    fn c(s: &str) -> Constant {
+        Constant::new(s)
+    }
+
+    /// The instance of Figure 2 / Example 4.
+    fn figure_2() -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("R", "1", "2");
+        db.insert_parsed("R", "1", "3");
+        db.insert_parsed("R", "2", "3");
+        db.insert_parsed("X", "3", "4");
+        db
+    }
+
+    #[test]
+    fn example_4_start_sets() {
+        // start(RRX, r1) = {0, 1} and start(RRX, r2) = {0} where r1 contains
+        // R(1,2) and r2 contains R(1,3).
+        let db = figure_2();
+        let a = qnfa("RRX");
+        let r1 = db.repair_containing(&[Fact::parse("R", "1", "2")]).unwrap();
+        let r2 = db.repair_containing(&[Fact::parse("R", "1", "3")]).unwrap();
+        assert_eq!(start_set(&a, &r1), BTreeSet::from([c("0"), c("1")]));
+        assert_eq!(start_set(&a, &r2), BTreeSet::from([c("0")]));
+    }
+
+    #[test]
+    fn example_5_states_sets() {
+        // q = RRX, r = {R(a,b), R(b,c), R(c,d), X(d,e), R(d,e)}.
+        let r = ConsistentInstance::from_facts([
+            Fact::parse("R", "a", "b"),
+            Fact::parse("R", "b", "c"),
+            Fact::parse("R", "c", "d"),
+            Fact::parse("X", "d", "e"),
+            Fact::parse("R", "d", "e"),
+        ]);
+        let a = qnfa("RRX");
+        // ST(R(b,c)) contains states R (1) and RR (2).
+        let st_bc = states_set(&a, &Fact::parse("R", "b", "c"), &r);
+        assert_eq!(st_bc, BTreeSet::from([1, 2]));
+        // ST(R(d,e)) is empty: no accepted path uses R(d,e).
+        let st_de = states_set(&a, &Fact::parse("R", "d", "e"), &r);
+        assert!(st_de.is_empty());
+        // ST(R(a,b)) contains R (start of the RRRX path) and RR.
+        let st_ab = states_set(&a, &Fact::parse("R", "a", "b"), &r);
+        assert_eq!(st_ab, BTreeSet::from([1, 2]));
+        // ST(X(d,e)) contains RRX (3).
+        let st_x = states_set(&a, &Fact::parse("X", "d", "e"), &r);
+        assert_eq!(st_x, BTreeSet::from([3]));
+    }
+
+    #[test]
+    fn lemma_8_states_sets_are_upward_closed() {
+        // If uR is in ST(f, r) then every longer prefix ending in R is too.
+        let r = ConsistentInstance::from_facts([
+            Fact::parse("R", "a", "b"),
+            Fact::parse("R", "b", "c"),
+            Fact::parse("R", "c", "d"),
+            Fact::parse("X", "d", "e"),
+        ]);
+        let a = qnfa("RRX");
+        let word = a.word().clone();
+        for (fact, st) in all_states_sets(&a, &r) {
+            for &state in &st {
+                for longer in state + 1..=word.len() {
+                    if word[longer - 1] == word[state - 1] {
+                        assert!(
+                            st.contains(&longer),
+                            "ST({fact}) = {st:?} is not upward closed"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_instances_terminate_and_accept() {
+        // A consistent cycle a -R-> b -R-> a satisfies RR...R for any length.
+        let r = ConsistentInstance::from_facts([
+            Fact::parse("R", "a", "b"),
+            Fact::parse("R", "b", "a"),
+        ]);
+        let a = qnfa("RRRRR");
+        let starts = start_set(&a, &r);
+        assert_eq!(starts, BTreeSet::from([c("a"), c("b")]));
+    }
+
+    #[test]
+    fn start_set_empty_when_no_accepted_path() {
+        let r = ConsistentInstance::from_facts([Fact::parse("R", "a", "b")]);
+        let a = qnfa("RRX");
+        assert!(start_set(&a, &r).is_empty());
+    }
+
+    #[test]
+    fn product_reachability_respects_states() {
+        let r = ConsistentInstance::from_facts([
+            Fact::parse("R", "a", "b"),
+            Fact::parse("X", "b", "z"),
+        ]);
+        let a = qnfa("RRX");
+        let reach = ProductReachability::compute(&a, &r);
+        // From state RR (2), the remaining word RX... wait, from state 2 the
+        // automaton needs X; starting at b there is an X-fact, so (b, 2) holds
+        // after reading X; from state 1 at a: needs R then X -> holds via
+        // rewinding? From 1, reading R(a,b) goes to 2, then X(b,z) to accept.
+        assert!(reach.accepts_from(c("b"), 2));
+        assert!(reach.accepts_from(c("a"), 1));
+        // But the full query RRX from state 0 needs two R-steps before X.
+        assert!(!reach.accepts_from(c("a"), 0));
+    }
+}

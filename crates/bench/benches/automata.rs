@@ -1,0 +1,46 @@
+//! E5/E6 support: cost of the automaton machinery — building `NFA(q)`,
+//! determinizing to `NFAmin(q)`, running `start(q, r)` over repairs, and the
+//! fixpoint relation `N` of Figure 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_automata::prelude::*;
+use cqa_core::query::PathQuery;
+use cqa_solver::prelude::*;
+use cqa_workloads::random::LayeredConfig;
+
+fn bench_automata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata");
+    group.sample_size(20);
+
+    for word in ["RRX", "RXRRR", "RXRXRYRY"] {
+        let q = PathQuery::parse(word).unwrap();
+        group.bench_with_input(BenchmarkId::new("build_nfa", word), &q, |b, q| {
+            b.iter(|| black_box(QueryNfa::new(q).num_states()))
+        });
+        group.bench_with_input(BenchmarkId::new("nfamin_dfa", word), &q, |b, q| {
+            b.iter(|| black_box(QueryNfa::new(q).minimal_dfa().num_states()))
+        });
+    }
+
+    let q = PathQuery::parse("RRX").unwrap();
+    let automaton = QueryNfa::new(&q);
+    for width in [50usize, 200] {
+        let db = LayeredConfig::for_word(q.word(), width, 99).generate();
+        let mut rng = rand::rng();
+        let repair = db.random_repair(&mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("start_set_on_repair", repair.len()),
+            &repair,
+            |b, repair| b.iter(|| black_box(start_set(&automaton, repair).len())),
+        );
+        group.bench_with_input(BenchmarkId::new("fixpoint_n", db.len()), &db, |b, db| {
+            b.iter(|| black_box(compute_fixpoint(&q, db).n.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_automata);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E13: certain-query-answering runtime versus database size, one
+//! representative query per complexity class, solved by the dispatcher's
+//! specialized algorithm for that class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cqa_core::query::PathQuery;
+use cqa_solver::prelude::*;
+use cqa_workloads::random::LayeredConfig;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certainty_scaling");
+    group.sample_size(10);
+
+    let queries = [
+        ("FO/RXRX", "RXRX"),
+        ("NL/RXRY", "RXRY"),
+        ("PTIME/RXRYRY", "RXRYRY"),
+        ("coNP/RXRXRYRY", "RXRXRYRY"),
+    ];
+    let dispatcher = DispatchSolver::new();
+    for (label, word) in queries {
+        let q = PathQuery::parse(word).unwrap();
+        for width in [50usize, 200, 800] {
+            let db = LayeredConfig::for_word(q.word(), width, 0xACE).generate();
+            group.throughput(Throughput::Elements(db.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, db.len()),
+                &(&q, &db),
+                |b, (q, db)| b.iter(|| black_box(dispatcher.certain(q, db).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

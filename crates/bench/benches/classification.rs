@@ -1,0 +1,49 @@
+//! E1/E15: cost of the polynomial-time classification (Theorem 2) as a
+//! function of query length, plus the Example 3 catalogue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::classify::classify;
+use cqa_core::query::PathQuery;
+use cqa_core::symbol::RelName;
+use cqa_core::word::Word;
+
+fn repeated_pattern(pattern: &str, target_len: usize) -> PathQuery {
+    let letters: Vec<RelName> = pattern
+        .chars()
+        .cycle()
+        .take(target_len)
+        .map(|c| RelName::new(&c.to_string()))
+        .collect();
+    PathQuery::new(Word::new(letters)).expect("nonempty")
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classification");
+    group.sample_size(30);
+
+    // The Example 3 catalogue (one query per complexity class).
+    for word in ["RXRX", "RXRY", "RXRYRY", "RXRXRYRY"] {
+        let q = PathQuery::parse(word).unwrap();
+        group.bench_with_input(BenchmarkId::new("example3", word), &q, |b, q| {
+            b.iter(|| black_box(classify(q)))
+        });
+    }
+
+    // Scaling with query length for a self-join-heavy pattern.
+    for len in [4usize, 8, 12, 16, 24, 32] {
+        let q = repeated_pattern("RXRY", len);
+        group.bench_with_input(BenchmarkId::new("length_rxry_pattern", len), &q, |b, q| {
+            b.iter(|| black_box(classify(q)))
+        });
+        let q = repeated_pattern("RRS", len);
+        group.bench_with_input(BenchmarkId::new("length_rrs_pattern", len), &q, |b, q| {
+            b.iter(|| black_box(classify(q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

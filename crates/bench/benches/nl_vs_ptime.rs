@@ -1,0 +1,43 @@
+//! E8: the two NL back-ends (direct reachability over the `P`/`O` predicates
+//! and the generated linear Datalog program) against the PTIME fixpoint
+//! algorithm on NL-class queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::query::PathQuery;
+use cqa_solver::prelude::*;
+use cqa_workloads::random::LayeredConfig;
+
+fn bench_nl_vs_ptime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nl_vs_ptime");
+    group.sample_size(10);
+
+    let direct = NlSolver::direct();
+    let datalog = NlSolver::datalog();
+    let fixpoint = FixpointSolver::unchecked();
+
+    for word in ["RRX", "RXRY"] {
+        let q = PathQuery::parse(word).unwrap();
+        for width in [20usize, 80, 240] {
+            let db = LayeredConfig::for_word(q.word(), width, 0xD1CE).generate();
+            let id = format!("{word}/{}", db.len());
+            group.bench_with_input(BenchmarkId::new("nl_direct", &id), &db, |b, db| {
+                b.iter(|| black_box(direct.certain(&q, db).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("ptime_fixpoint", &id), &db, |b, db| {
+                b.iter(|| black_box(fixpoint.certain(&q, db).unwrap()))
+            });
+            // The Datalog engine is the slowest back-end; keep its inputs small.
+            if width <= 80 {
+                group.bench_with_input(BenchmarkId::new("nl_datalog", &id), &db, |b, db| {
+                    b.iter(|| black_box(datalog.certain(&q, db).unwrap()))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nl_vs_ptime);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E9/E10: the hardness gadgets as adversarial workloads — build the
+//! REACHABILITY and SAT reductions at growing source sizes and decide the
+//! resulting instances with the dispatcher (polynomial for the NL-class
+//! target query, SAT-based for the coNP-class target query).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::query::PathQuery;
+use cqa_reductions::prelude::*;
+use cqa_solver::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reachability_gadgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability_gadget");
+    group.sample_size(10);
+    let q = PathQuery::parse("RXRY").unwrap();
+    let dispatcher = DispatchSolver::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for n in [16usize, 64, 256] {
+        let graph = Digraph::random_dag(n, 0.1, &mut rng);
+        let db = reachability_reduction(&graph, 0, n - 1, &q).unwrap();
+        group.bench_with_input(BenchmarkId::new("build", n), &graph, |b, graph| {
+            b.iter(|| black_box(reachability_reduction(graph, 0, n - 1, &q).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("solve_nl", db.len()), &db, |b, db| {
+            b.iter(|| black_box(dispatcher.certain(&q, db).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sat_gadgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_gadget");
+    group.sample_size(10);
+    let q = PathQuery::parse("RXRXRYRY").unwrap();
+    let conp = SatCertaintySolver::default();
+    let mut rng = StdRng::seed_from_u64(11);
+    for vars in [6usize, 12, 20] {
+        let formula = CnfFormula::random(vars, vars * 4, 3, &mut rng);
+        let db = sat_reduction(&formula, &q).unwrap();
+        group.bench_with_input(BenchmarkId::new("build", vars), &formula, |b, formula| {
+            b.iter(|| black_box(sat_reduction(formula, &q).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("solve_conp", db.len()), &db, |b, db| {
+            b.iter(|| black_box(conp.certain(&q, db).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability_gadgets, bench_sat_gadgets);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E14: the specialized polynomial solvers versus the exponential baselines
+//! (naive repair enumeration and pruned backtracking) as the number of
+//! conflicting blocks grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::query::PathQuery;
+use cqa_solver::prelude::*;
+use cqa_workloads::random::LayeredConfig;
+
+fn bench_specialized_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("specialized_vs_naive");
+    group.sample_size(10);
+
+    let q = PathQuery::parse("RRX").unwrap();
+    let fixpoint = FixpointSolver::unchecked();
+    let nl = NlSolver::direct();
+    let fo_unchecked = FoSolver::unchecked();
+    let naive = NaiveSolver::with_limit(1 << 26);
+    let backtrack = BacktrackSolver::new();
+
+    for width in [4usize, 8, 12, 16] {
+        let mut config = LayeredConfig::for_word(q.word(), width, 0xFEED ^ width as u64);
+        config.conflict_probability = 0.6;
+        let db = config.generate();
+        let blocks = db.block_count();
+        group.bench_with_input(BenchmarkId::new("ptime_fixpoint", blocks), &db, |b, db| {
+            b.iter(|| black_box(fixpoint.certain(&q, db).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("nl_direct", blocks), &db, |b, db| {
+            b.iter(|| black_box(nl.certain(&q, db).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("fo_rewriting_unchecked", blocks), &db, |b, db| {
+            b.iter(|| black_box(fo_unchecked.evaluate_rewriting(&q, db)))
+        });
+        // The exponential baselines are only run while affordable.
+        if db.repair_count() <= 1 << 18 {
+            group.bench_with_input(BenchmarkId::new("naive_enumeration", blocks), &db, |b, db| {
+                b.iter(|| black_box(naive.certain(&q, db).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("pruned_backtracking", blocks), &db, |b, db| {
+                b.iter(|| black_box(backtrack.certain(&q, db).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_specialized_vs_naive);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate: all content lives in the Criterion benches
+//! under `benches/`; see EXPERIMENTS.md for the experiment index.

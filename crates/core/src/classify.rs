@@ -1,0 +1,191 @@
+//! The complexity classification of `CERTAINTY(q)` (Theorems 2, 3, 4, 5).
+
+use std::fmt;
+
+use crate::conditions::{conditions, ConditionReport};
+use crate::generalized::{generalized_conditions, GeneralizedConditionReport};
+use crate::query::{GeneralizedPathQuery, PathQuery};
+
+/// The four complexity classes of the tetrachotomy (Theorem 2).
+///
+/// The ordering reflects inclusion of complexity classes:
+/// `FO ⊆ NL ⊆ PTIME ⊆ coNP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComplexityClass {
+    /// `CERTAINTY(q)` is expressible in first-order logic (a consistent
+    /// first-order rewriting exists).
+    FO,
+    /// `CERTAINTY(q)` is NL-complete.
+    NlComplete,
+    /// `CERTAINTY(q)` is PTIME-complete.
+    PtimeComplete,
+    /// `CERTAINTY(q)` is coNP-complete.
+    CoNpComplete,
+}
+
+impl ComplexityClass {
+    /// A short human-readable name, matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComplexityClass::FO => "FO",
+            ComplexityClass::NlComplete => "NL-complete",
+            ComplexityClass::PtimeComplete => "PTIME-complete",
+            ComplexityClass::CoNpComplete => "coNP-complete",
+        }
+    }
+
+    /// True iff `CERTAINTY(q)` is solvable in polynomial time for this class
+    /// (i.e. anything below coNP-complete, assuming PTIME ≠ NP).
+    pub fn is_tractable(&self) -> bool {
+        !matches!(self, ComplexityClass::CoNpComplete)
+    }
+}
+
+impl fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of classifying a path query: the complexity class together
+/// with the syntactic conditions that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// The complexity class of `CERTAINTY(q)`.
+    pub class: ComplexityClass,
+    /// Whether the query satisfies C1 (respectively D1).
+    pub c1: bool,
+    /// Whether the query satisfies C2 (respectively D2).
+    pub c2: bool,
+    /// Whether the query satisfies C3 (respectively D3).
+    pub c3: bool,
+}
+
+impl From<ConditionReport> for Classification {
+    fn from(rep: ConditionReport) -> Classification {
+        Classification {
+            class: class_from_flags(rep.c1, rep.c2, rep.c3),
+            c1: rep.c1,
+            c2: rep.c2,
+            c3: rep.c3,
+        }
+    }
+}
+
+impl From<GeneralizedConditionReport> for Classification {
+    fn from(rep: GeneralizedConditionReport) -> Classification {
+        Classification {
+            class: class_from_flags(rep.d1, rep.d2, rep.d3),
+            c1: rep.d1,
+            c2: rep.d2,
+            c3: rep.d3,
+        }
+    }
+}
+
+fn class_from_flags(c1: bool, c2: bool, c3: bool) -> ComplexityClass {
+    if c1 {
+        ComplexityClass::FO
+    } else if c2 {
+        ComplexityClass::NlComplete
+    } else if c3 {
+        ComplexityClass::PtimeComplete
+    } else {
+        ComplexityClass::CoNpComplete
+    }
+}
+
+/// Classifies a constant-free path query according to Theorem 3.
+pub fn classify(q: &PathQuery) -> Classification {
+    conditions(q.word()).into()
+}
+
+/// Classifies a generalized path query according to Theorem 4.
+pub fn classify_generalized(q: &GeneralizedPathQuery) -> Classification {
+    generalized_conditions(q).into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn q(word: &str) -> PathQuery {
+        PathQuery::parse(word).unwrap()
+    }
+
+    #[test]
+    fn example_3_tetrachotomy() {
+        assert_eq!(classify(&q("RXRX")).class, ComplexityClass::FO);
+        assert_eq!(classify(&q("RXRY")).class, ComplexityClass::NlComplete);
+        assert_eq!(classify(&q("RXRYRY")).class, ComplexityClass::PtimeComplete);
+        assert_eq!(classify(&q("RXRXRYRY")).class, ComplexityClass::CoNpComplete);
+    }
+
+    #[test]
+    fn introduction_examples() {
+        // q1 = RR is in FO (Section 1).
+        assert_eq!(classify(&q("RR")).class, ComplexityClass::FO);
+        // q2 = RRX is NL-complete or better; the paper's discussion places
+        // its certain-answer test in NL (it satisfies C2 but not C1).
+        assert_eq!(classify(&q("RRX")).class, ComplexityClass::NlComplete);
+        // q3 = ARRX is coNP-complete (Figure 3 discussion).
+        assert_eq!(classify(&q("ARRX")).class, ComplexityClass::CoNpComplete);
+    }
+
+    #[test]
+    fn self_join_free_path_queries_are_fo() {
+        for word in ["R", "RS", "RST", "ABCDEFG"] {
+            assert_eq!(classify(&q(word)).class, ComplexityClass::FO, "{word}");
+        }
+    }
+
+    #[test]
+    fn lemma_3_boundary_words_are_ptime_complete() {
+        assert_eq!(classify(&q("RRSRS")).class, ComplexityClass::PtimeComplete);
+        assert_eq!(classify(&q("RSRRR")).class, ComplexityClass::PtimeComplete);
+    }
+
+    #[test]
+    fn generalized_classification_trichotomy_with_constants() {
+        // Theorem 5: with at least one constant, PTIME-complete cannot occur.
+        let alphabet = [crate::symbol::RelName::new("R"), crate::symbol::RelName::new("S")];
+        for word in crate::word::all_words(&alphabet, 5) {
+            let Ok(path) = PathQuery::new(word.clone()) else {
+                continue;
+            };
+            let capped = path.ending_at(Symbol::new("c"));
+            let class = classify_generalized(&capped).class;
+            assert_ne!(
+                class,
+                ComplexityClass::PtimeComplete,
+                "Theorem 5 violated for [[{word}, c]]"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ComplexityClass::FO.to_string(), "FO");
+        assert_eq!(ComplexityClass::NlComplete.to_string(), "NL-complete");
+        assert_eq!(ComplexityClass::PtimeComplete.to_string(), "PTIME-complete");
+        assert_eq!(ComplexityClass::CoNpComplete.to_string(), "coNP-complete");
+        assert!(ComplexityClass::FO.is_tractable());
+        assert!(!ComplexityClass::CoNpComplete.is_tractable());
+    }
+
+    #[test]
+    fn classification_order_reflects_inclusion() {
+        assert!(ComplexityClass::FO < ComplexityClass::NlComplete);
+        assert!(ComplexityClass::NlComplete < ComplexityClass::PtimeComplete);
+        assert!(ComplexityClass::PtimeComplete < ComplexityClass::CoNpComplete);
+    }
+
+    #[test]
+    fn classification_exposes_condition_flags() {
+        let c = classify(&q("RXRYRY"));
+        assert!(!c.c1 && !c.c2 && c.c3);
+        let c = classify(&q("RXRX"));
+        assert!(c.c1 && c.c2 && c.c3);
+    }
+}

@@ -1,0 +1,223 @@
+//! The syntactic conditions C1, C2, C3 of Section 3.
+//!
+//! Let `R` be any relation name of `q` and `u, v, w` possibly empty words:
+//!
+//! * **C1**: whenever `q = uRvRw`, `q` is a *prefix* of `uRvRvRw`;
+//! * **C2**: whenever `q = uRvRw`, `q` is a *factor* of `uRvRvRw`; and
+//!   whenever `q = uRv1Rv2Rw` for *consecutive* occurrences of `R`,
+//!   `v1 = v2` or `Rw` is a prefix of `Rv1`;
+//! * **C3**: whenever `q = uRvRw`, `q` is a *factor* of `uRvRvRw`.
+//!
+//! Every decomposition `q = uRvRw` corresponds to a pair of positions
+//! `(i, j)` with `i < j` and `q[i] = q[j]`, and the word `uRvRvRw` is the
+//! single-step rewind of `q` at `(i, j)`; the checks below therefore run in
+//! time `O(|q|^3)`, polynomial in the size of the query as promised by
+//! Theorem 2.
+
+use crate::word::Word;
+
+/// True iff the word satisfies condition **C1**.
+pub fn satisfies_c1(q: &Word) -> bool {
+    q.repeated_letter_pairs()
+        .into_iter()
+        .all(|(i, j)| q.is_prefix_of(&q.rewind_at(i, j)))
+}
+
+/// True iff the word satisfies condition **C3**.
+pub fn satisfies_c3(q: &Word) -> bool {
+    q.repeated_letter_pairs()
+        .into_iter()
+        .all(|(i, j)| q.is_factor_of(&q.rewind_at(i, j)))
+}
+
+/// True iff the word satisfies condition **C2**.
+pub fn satisfies_c2(q: &Word) -> bool {
+    if !satisfies_c3(q) {
+        return false;
+    }
+    // Second clause: q = u R v1 R v2 R w for consecutive occurrences of R.
+    q.consecutive_triples().into_iter().all(|(i, j, k)| {
+        let v1 = q.slice(i + 1, j);
+        let v2 = q.slice(j + 1, k);
+        // Rw = q[k..], Rv1 = q[i..j].
+        let rw = q.suffix_from(k);
+        let rv1 = q.slice(i, j);
+        v1 == v2 || rw.is_prefix_of(&rv1)
+    })
+}
+
+/// Report of which conditions a path-query word satisfies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConditionReport {
+    /// Condition C1 (FO upper bound).
+    pub c1: bool,
+    /// Condition C2 (NL upper bound).
+    pub c2: bool,
+    /// Condition C3 (PTIME upper bound).
+    pub c3: bool,
+}
+
+/// Evaluates all three conditions at once.
+pub fn conditions(q: &Word) -> ConditionReport {
+    ConditionReport {
+        c1: satisfies_c1(q),
+        c2: satisfies_c2(q),
+        c3: satisfies_c3(q),
+    }
+}
+
+/// Returns a witnessing decomposition `(i, j)` for which C1 fails, if any.
+///
+/// The returned pair identifies `q = uRvRw` with `u = q[..i]`, `R = q[i]`,
+/// `v = q[i+1..j]`, `w = q[j+1..]` such that `q` is not a prefix of
+/// `uRvRvRw`. Used by the NL-hardness reduction (Lemma 18).
+pub fn c1_violation_witness(q: &Word) -> Option<(usize, usize)> {
+    q.repeated_letter_pairs()
+        .into_iter()
+        .find(|&(i, j)| !q.is_prefix_of(&q.rewind_at(i, j)))
+}
+
+/// Returns a witnessing decomposition `(i, j)` for which C3 fails, if any.
+/// Used by the coNP-hardness reduction (Lemma 19).
+pub fn c3_violation_witness(q: &Word) -> Option<(usize, usize)> {
+    q.repeated_letter_pairs()
+        .into_iter()
+        .find(|&(i, j)| !q.is_factor_of(&q.rewind_at(i, j)))
+}
+
+/// Returns a witnessing triple `(i, j, k)` of consecutive occurrences of the
+/// same relation name for which the second clause of C2 fails, if any.
+/// Used by the PTIME-hardness reduction (Lemma 20).
+pub fn c2_triple_violation_witness(q: &Word) -> Option<(usize, usize, usize)> {
+    q.consecutive_triples().into_iter().find(|&(i, j, k)| {
+        let v1 = q.slice(i + 1, j);
+        let v2 = q.slice(j + 1, k);
+        let rw = q.suffix_from(k);
+        let rv1 = q.slice(i, j);
+        v1 != v2 && !rw.is_prefix_of(&rv1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> Word {
+        Word::from_letters(s)
+    }
+
+    #[test]
+    fn self_join_free_queries_satisfy_all_conditions() {
+        for q in ["R", "RX", "RXY", "ABCDE"] {
+            let rep = conditions(&w(q));
+            assert!(rep.c1 && rep.c2 && rep.c3, "failed for {q}");
+        }
+    }
+
+    #[test]
+    fn example_3_q1_rxrx_satisfies_c1() {
+        let rep = conditions(&w("RXRX"));
+        assert!(rep.c1);
+        assert!(rep.c2);
+        assert!(rep.c3);
+    }
+
+    #[test]
+    fn example_3_q2_rxry_satisfies_c3_violates_c1() {
+        let rep = conditions(&w("RXRY"));
+        assert!(!rep.c1);
+        assert!(rep.c2);
+        assert!(rep.c3);
+    }
+
+    #[test]
+    fn example_3_q3_rxryry_violates_c2_satisfies_c3() {
+        let rep = conditions(&w("RXRYRY"));
+        assert!(!rep.c1);
+        assert!(!rep.c2);
+        assert!(rep.c3);
+    }
+
+    #[test]
+    fn example_3_q4_rxrxryry_violates_c3() {
+        let rep = conditions(&w("RXRXRYRY"));
+        assert!(!rep.c1);
+        assert!(!rep.c2);
+        assert!(!rep.c3);
+    }
+
+    #[test]
+    fn intro_examples() {
+        // q1 = RR is in FO; q2 = RRX satisfies C3 but the paper shows it is
+        // in PTIME/NL territory; q3 = ARRX is coNP-complete.
+        assert!(satisfies_c1(&w("RR")));
+        assert!(satisfies_c3(&w("RRX")));
+        assert!(!satisfies_c1(&w("RRX")));
+        assert!(!satisfies_c3(&w("ARRX")));
+    }
+
+    #[test]
+    fn proposition_1_c1_implies_c2_implies_c3() {
+        // Check the implication chain on an exhaustive small catalogue.
+        let alphabet = [
+            crate::symbol::RelName::new("R"),
+            crate::symbol::RelName::new("X"),
+            crate::symbol::RelName::new("Y"),
+        ];
+        for q in crate::word::all_words(&alphabet, 6) {
+            let rep = conditions(&q);
+            if rep.c1 {
+                assert!(rep.c2, "C1 ⊆ C2 failed for {q}");
+            }
+            if rep.c2 {
+                assert!(rep.c3, "C2 ⊆ C3 failed for {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_c2_violations_from_lemma_3() {
+        // The shortest words of the forms (3a) and (3b) in Lemma 3 are
+        // RRSRS and RSRRR; both satisfy C3 but violate C2.
+        for q in ["RRSRS", "RSRRR"] {
+            let rep = conditions(&w(q));
+            assert!(rep.c3, "{q} should satisfy C3");
+            assert!(!rep.c2, "{q} should violate C2");
+        }
+    }
+
+    #[test]
+    fn witnesses_exist_exactly_when_conditions_fail() {
+        let cases = ["RXRX", "RXRY", "RXRYRY", "RXRXRYRY", "RRX", "ARRX", "RR"];
+        for q in cases {
+            let q = w(q);
+            assert_eq!(c1_violation_witness(&q).is_none(), satisfies_c1(&q));
+            assert_eq!(c3_violation_witness(&q).is_none(), satisfies_c3(&q));
+        }
+    }
+
+    #[test]
+    fn c2_triple_witness_matches_example_3_q3() {
+        // q3 = RXRYRY: u = ε, v1 = X, v2 = Y, w = Y; the triple (0, 2, 4).
+        let q = w("RXRYRY");
+        let witness = c2_triple_violation_witness(&q);
+        assert_eq!(witness, Some((0, 2, 4)));
+    }
+
+    #[test]
+    fn queries_with_two_occurrences_satisfy_second_clause_vacuously() {
+        // RXRY has no relation name occurring three times, so the second
+        // clause of C2 holds vacuously.
+        assert!(c2_triple_violation_witness(&w("RXRY")).is_none());
+    }
+
+    #[test]
+    fn paper_query_rxrrr_satisfies_c3_not_c2() {
+        // RXRRR (Figure 4's query) contains RSRRR-like structure with S = X:
+        // it violates C2 but satisfies C3.
+        let rep = conditions(&w("RXRRR"));
+        assert!(rep.c3);
+        assert!(!rep.c2);
+        assert!(!rep.c1);
+    }
+}

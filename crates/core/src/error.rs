@@ -1,0 +1,38 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or analysing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A Boolean path query must contain at least one atom.
+    EmptyQuery,
+    /// The query violates the shape constraints of Definition 16.
+    MalformedQuery(String),
+    /// A query string could not be parsed.
+    ParseError(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyQuery => f.write_str("path queries must contain at least one atom"),
+            CoreError::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
+            CoreError::ParseError(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_human_readable_messages() {
+        assert!(CoreError::EmptyQuery.to_string().contains("at least one atom"));
+        assert!(CoreError::MalformedQuery("x".into()).to_string().contains("x"));
+        assert!(CoreError::ParseError("y".into()).to_string().contains("y"));
+    }
+}

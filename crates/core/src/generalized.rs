@@ -1,0 +1,280 @@
+//! The conditions D1, D2, D3 for generalized path queries (Section 8).
+//!
+//! For a generalized path query `q` with characteristic prefix
+//! `char(q) = [[p, γ]]` (where `γ` is a constant or the distinguished symbol
+//! `⊤`), and for every decomposition `p = u R v R w`:
+//!
+//! * **D1**: there is a *prefix homomorphism* from `char(q)` to
+//!   `[[u R v R v R w, γ]]`;
+//! * **D2**: there is a homomorphism from `char(q)` to `[[u R v R v R w, γ]]`;
+//!   and whenever `p = u R v1 R v2 R w` for consecutive occurrences of `R`,
+//!   `v1 = v2` or there is a prefix homomorphism from `[[R w, γ]]` to
+//!   `[[R v1, γ]]`;
+//! * **D3**: there is a homomorphism from `char(q)` to `[[u R v R v R w, γ]]`.
+//!
+//! When `γ = ⊤` these conditions degenerate to C1, C2, C3.
+
+use crate::conditions::{satisfies_c1, satisfies_c2, satisfies_c3};
+use crate::homomorphism::{has_homomorphism, has_prefix_homomorphism};
+use crate::query::{Cap, GeneralizedPathQuery, PathQuery};
+use crate::symbol::Symbol;
+use crate::word::Word;
+
+/// Builds the generalized path query `[[word, cap]]` of Definition 17.
+/// Returns `None` if the word is empty (only possible for degenerate
+/// characteristic prefixes, which the callers handle separately).
+pub fn capped_query(word: &Word, cap: Cap) -> Option<GeneralizedPathQuery> {
+    let q = PathQuery::new(word.clone()).ok()?;
+    Some(match cap {
+        Cap::Top => q.to_generalized(),
+        Cap::Const(c) => q.ending_at(c),
+    })
+}
+
+fn char_of(q: &GeneralizedPathQuery) -> Option<(Word, Cap)> {
+    q.characteristic_prefix()
+}
+
+/// True iff the generalized path query satisfies condition **D1**.
+pub fn satisfies_d1(q: &GeneralizedPathQuery) -> bool {
+    let Some((p, cap)) = char_of(q) else {
+        // char(q) is empty: the query starts with a constant; CERTAINTY(q)
+        // is in FO (Lemma 27), so it behaves like a D1 query.
+        return true;
+    };
+    if p.is_empty() {
+        return true;
+    }
+    match cap {
+        Cap::Top => satisfies_c1(&p),
+        Cap::Const(_) => {
+            let Some(source) = capped_query(&p, cap) else {
+                return true;
+            };
+            p.repeated_letter_pairs().into_iter().all(|(i, j)| {
+                let rewound = p.rewind_at(i, j);
+                match capped_query(&rewound, cap) {
+                    Some(target) => has_prefix_homomorphism(&source, &target),
+                    None => true,
+                }
+            })
+        }
+    }
+}
+
+/// True iff the generalized path query satisfies condition **D3**.
+pub fn satisfies_d3(q: &GeneralizedPathQuery) -> bool {
+    let Some((p, cap)) = char_of(q) else {
+        return true;
+    };
+    if p.is_empty() {
+        return true;
+    }
+    match cap {
+        Cap::Top => satisfies_c3(&p),
+        Cap::Const(_) => {
+            let Some(source) = capped_query(&p, cap) else {
+                return true;
+            };
+            p.repeated_letter_pairs().into_iter().all(|(i, j)| {
+                let rewound = p.rewind_at(i, j);
+                match capped_query(&rewound, cap) {
+                    Some(target) => has_homomorphism(&source, &target),
+                    None => true,
+                }
+            })
+        }
+    }
+}
+
+/// True iff the generalized path query satisfies condition **D2**.
+pub fn satisfies_d2(q: &GeneralizedPathQuery) -> bool {
+    let Some((p, cap)) = char_of(q) else {
+        return true;
+    };
+    if p.is_empty() {
+        return true;
+    }
+    match cap {
+        Cap::Top => satisfies_c2(&p),
+        Cap::Const(_) => {
+            if !satisfies_d3(q) {
+                return false;
+            }
+            // Second clause: p = u R v1 R v2 R w for consecutive occurrences.
+            p.consecutive_triples().into_iter().all(|(i, j, k)| {
+                let v1 = p.slice(i + 1, j);
+                let v2 = p.slice(j + 1, k);
+                if v1 == v2 {
+                    return true;
+                }
+                // Prefix homomorphism from [[R w, γ]] to [[R v1, γ]].
+                let rw = p.suffix_from(k);
+                let rv1 = p.slice(i, j);
+                match (capped_query(&rw, cap), capped_query(&rv1, cap)) {
+                    (Some(source), Some(target)) => has_prefix_homomorphism(&source, &target),
+                    _ => false,
+                }
+            })
+        }
+    }
+}
+
+/// Report of the D conditions for a generalized path query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneralizedConditionReport {
+    /// Condition D1 (FO upper bound).
+    pub d1: bool,
+    /// Condition D2 (NL upper bound).
+    pub d2: bool,
+    /// Condition D3 (PTIME upper bound).
+    pub d3: bool,
+}
+
+/// Evaluates D1, D2 and D3.
+pub fn generalized_conditions(q: &GeneralizedPathQuery) -> GeneralizedConditionReport {
+    GeneralizedConditionReport {
+        d1: satisfies_d1(q),
+        d2: satisfies_d2(q),
+        d3: satisfies_d3(q),
+    }
+}
+
+/// Lemma 30/31 helper: the word of `ext(q)` for a given fresh relation name,
+/// but with the guarantee that the fresh name does not clash with the
+/// relation names of the query.
+pub fn fresh_relation_for(q: &GeneralizedPathQuery) -> crate::symbol::RelName {
+    let used = q.word().symbols();
+    let mut i = 0usize;
+    loop {
+        let candidate = crate::symbol::RelName::new(&format!("__ext_N{i}"));
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+/// Convenience: evaluates D-conditions for `[[q, c]]`, the path query `q`
+/// capped with the constant `c`.
+pub fn conditions_for_capped(q: &PathQuery, c: Symbol) -> GeneralizedConditionReport {
+    generalized_conditions(&q.ending_at(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Atom, Term};
+    use crate::symbol::RelName;
+
+    fn capped(word: &str, c: &str) -> GeneralizedPathQuery {
+        PathQuery::parse(word).unwrap().ending_at(Symbol::new(c))
+    }
+
+    fn plain(word: &str) -> GeneralizedPathQuery {
+        PathQuery::parse(word).unwrap().to_generalized()
+    }
+
+    #[test]
+    fn constant_free_queries_degenerate_to_c_conditions() {
+        for (word, c1, c2, c3) in [
+            ("RXRX", true, true, true),
+            ("RXRY", false, true, true),
+            ("RXRYRY", false, false, true),
+            ("RXRXRYRY", false, false, false),
+        ] {
+            let rep = generalized_conditions(&plain(word));
+            assert_eq!(rep.d1, c1, "D1 mismatch for {word}");
+            assert_eq!(rep.d2, c2, "D2 mismatch for {word}");
+            assert_eq!(rep.d3, c3, "D3 mismatch for {word}");
+        }
+    }
+
+    #[test]
+    fn capped_rr_with_constant_violates_d1() {
+        // char(q) = [[RR, c]]. Rewinding RR gives RRR; a homomorphism from
+        // [[RR, c]] to [[RRR, c]] exists (map onto the suffix), but no prefix
+        // homomorphism (Example 9). So D3 holds but D1 fails.
+        let q = capped("RR", "c");
+        assert!(!satisfies_d1(&q));
+        assert!(satisfies_d3(&q));
+    }
+
+    #[test]
+    fn capped_self_join_free_query_satisfies_all_d_conditions() {
+        let q = capped("RS", "c");
+        let rep = generalized_conditions(&q);
+        assert!(rep.d1 && rep.d2 && rep.d3);
+    }
+
+    #[test]
+    fn lemma_30_d3_with_constant_implies_d2() {
+        // For queries with at least one constant, D3 implies D2 (Lemma 30).
+        // Check on a catalogue of capped words.
+        let alphabet = [RelName::new("R"), RelName::new("S")];
+        for word in crate::word::all_words(&alphabet, 5) {
+            let q = match PathQuery::new(word.clone()) {
+                Ok(q) => q.ending_at(Symbol::new("c")),
+                Err(_) => continue,
+            };
+            if satisfies_d3(&q) {
+                assert!(
+                    satisfies_d2(&q),
+                    "Lemma 30 (D3 ⇒ D2 with constants) fails for [[{word}, c]]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn d_conditions_imply_weaker_ones() {
+        let alphabet = [RelName::new("R"), RelName::new("S")];
+        for word in crate::word::all_words(&alphabet, 5) {
+            for cap in [None, Some("c")] {
+                let q = match PathQuery::new(word.clone()) {
+                    Ok(q) => match cap {
+                        None => q.to_generalized(),
+                        Some(c) => q.ending_at(Symbol::new(c)),
+                    },
+                    Err(_) => continue,
+                };
+                let rep = generalized_conditions(&q);
+                if rep.d1 {
+                    assert!(rep.d2, "D1 ⇒ D2 fails for {q}");
+                }
+                if rep.d2 {
+                    assert!(rep.d3, "D2 ⇒ D3 fails for {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_with_mid_constants_uses_only_its_characteristic_prefix() {
+        // q = {R(x,y), R(y,0), S(0,z)}: char(q) = [[RR, 0]], so the D
+        // conditions are those of [[RR, 0]] regardless of the tail.
+        let atoms = vec![
+            Atom::new(RelName::new("R"), Term::var("x"), Term::var("y")),
+            Atom::new(RelName::new("R"), Term::var("y"), Term::constant("0")),
+            Atom::new(RelName::new("S"), Term::constant("0"), Term::var("z")),
+        ];
+        let q = GeneralizedPathQuery::from_atoms(&atoms).unwrap();
+        let direct = generalized_conditions(&q);
+        let char_only = generalized_conditions(&capped("RR", "0"));
+        assert_eq!(direct, char_only);
+    }
+
+    #[test]
+    fn query_starting_with_constant_is_fo() {
+        let q = PathQuery::parse("RRRR").unwrap().rooted_at(Symbol::new("c"));
+        let rep = generalized_conditions(&q);
+        assert!(rep.d1 && rep.d2 && rep.d3);
+    }
+
+    #[test]
+    fn fresh_relation_does_not_clash() {
+        let q = plain("RXRY");
+        let n = fresh_relation_for(&q);
+        assert!(!q.word().symbols().contains(&n));
+    }
+}

@@ -1,0 +1,217 @@
+//! Conjunctive-query homomorphisms.
+//!
+//! Definition 18 of the paper: a homomorphism from a generalized path query
+//! `q` to a generalized path query `p` is a substitution `θ` for the
+//! variables of `q` (extended to be the identity on constants) such that
+//! every atom of `q` is mapped to an atom of `p`. A *prefix homomorphism*
+//! additionally maps the first term of `q` to the first term of `p`.
+//!
+//! The implementation is a generic backtracking search over sets of atoms,
+//! so it also serves as a general Boolean-CQ homomorphism test used by the
+//! lower-bound reductions (e.g. "there is no homomorphism from `q` to
+//! `u R w`" in Lemma 18).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::query::{Atom, GeneralizedPathQuery, Term, Variable};
+
+/// A substitution from variables to terms of the target query.
+pub type Substitution = BTreeMap<Variable, Term>;
+
+/// Attempts to extend the partial substitution so that every atom of `source`
+/// maps into the set `target`. Returns a witnessing substitution on success.
+fn search(
+    source: &[Atom],
+    target: &BTreeSet<Atom>,
+    mut theta: Substitution,
+    index: usize,
+) -> Option<Substitution> {
+    if index == source.len() {
+        return Some(theta);
+    }
+    let atom = source[index];
+    for candidate in target.iter().filter(|t| t.rel == atom.rel) {
+        let mut local = theta.clone();
+        if unify(atom.key, candidate.key, &mut local)
+            && unify(atom.value, candidate.value, &mut local)
+        {
+            if let Some(found) = search(source, target, local, index + 1) {
+                return Some(found);
+            }
+        }
+    }
+    // Restore is unnecessary because we cloned; keep the borrow checker happy.
+    theta.clear();
+    None
+}
+
+/// Tries to map the source term onto the target term under `theta`.
+fn unify(source: Term, target: Term, theta: &mut Substitution) -> bool {
+    match source {
+        Term::Const(c) => target == Term::Const(c),
+        Term::Var(v) => match theta.get(&v) {
+            Some(&mapped) => mapped == target,
+            None => {
+                theta.insert(v, target);
+                true
+            }
+        },
+    }
+}
+
+/// Returns a homomorphism from the atoms of `source` to the atoms of
+/// `target`, if one exists.
+pub fn find_homomorphism(source: &[Atom], target: &[Atom]) -> Option<Substitution> {
+    let target_set: BTreeSet<Atom> = target.iter().copied().collect();
+    search(source, &target_set, Substitution::new(), 0)
+}
+
+/// True iff there is a homomorphism from `source` to `target`
+/// (both as generalized path queries, per Definition 18).
+pub fn has_homomorphism(source: &GeneralizedPathQuery, target: &GeneralizedPathQuery) -> bool {
+    find_homomorphism(&source.atoms(), &target.atoms()).is_some()
+}
+
+/// True iff there is a *prefix* homomorphism from `source` to `target`:
+/// a homomorphism that maps the first term of `source` to the first term of
+/// `target`.
+pub fn has_prefix_homomorphism(
+    source: &GeneralizedPathQuery,
+    target: &GeneralizedPathQuery,
+) -> bool {
+    let source_atoms = source.atoms();
+    let target_atoms = target.atoms();
+    let target_set: BTreeSet<Atom> = target_atoms.iter().copied().collect();
+    let first_source = source.terms()[0];
+    let first_target = target.terms()[0];
+    let mut theta = Substitution::new();
+    if !unify(first_source, first_target, &mut theta) {
+        return false;
+    }
+    search(&source_atoms, &target_set, theta, 0).is_some()
+}
+
+/// True iff there is a homomorphism between two arbitrary atom sets
+/// (Boolean conjunctive queries over binary relations).
+pub fn cq_homomorphism_exists(source: &[Atom], target: &[Atom]) -> bool {
+    find_homomorphism(source, target).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::PathQuery;
+    use crate::symbol::{RelName, Symbol};
+    use crate::word::Word;
+
+    fn gpq(word: &str) -> GeneralizedPathQuery {
+        PathQuery::parse(word).unwrap().to_generalized()
+    }
+
+    fn gpq_capped(word: &str, c: &str) -> GeneralizedPathQuery {
+        PathQuery::parse(word).unwrap().ending_at(Symbol::new(c))
+    }
+
+    #[test]
+    fn constant_free_homomorphism_is_factor_containment() {
+        // q = RXRY maps into RXRXRY (it is a factor), but not into RXRX.
+        assert!(has_homomorphism(&gpq("RXRY"), &gpq("RXRXRY")));
+        assert!(!has_homomorphism(&gpq("RXRY"), &gpq("RXRX")));
+    }
+
+    #[test]
+    fn constant_free_prefix_homomorphism_is_prefix_containment() {
+        assert!(has_prefix_homomorphism(&gpq("RXRX"), &gpq("RXRXRX")));
+        assert!(!has_prefix_homomorphism(&gpq("RXRY"), &gpq("RXRXRY")));
+        // ... even though a (non-prefix) homomorphism exists.
+        assert!(has_homomorphism(&gpq("RXRY"), &gpq("RXRXRY")));
+    }
+
+    #[test]
+    fn example_9_from_the_paper() {
+        // q with char(q) = [[RR, 1]] and p = [[RRR, 1]]: there is a
+        // homomorphism from char(q) to p but no prefix homomorphism.
+        let source = gpq_capped("RR", "1");
+        let target = gpq_capped("RRR", "1");
+        assert!(has_homomorphism(&source, &target));
+        assert!(!has_prefix_homomorphism(&source, &target));
+    }
+
+    #[test]
+    fn capped_homomorphism_requires_suffix_alignment() {
+        // [[RX, c]] maps into [[RXRX, c]] only at the end (suffix), which is
+        // possible; [[XR, c]] does not map into [[RXRX, c]] because the word
+        // does not end with XR... it does (R X R X ends with RX not XR).
+        assert!(has_homomorphism(&gpq_capped("RX", "c"), &gpq_capped("RXRX", "c")));
+        assert!(!has_homomorphism(&gpq_capped("XR", "c"), &gpq_capped("RXRX", "c")));
+    }
+
+    #[test]
+    fn self_join_in_source_can_fold_onto_target() {
+        // q1 = R(x,y), R(y,x) has a homomorphism onto the single fact-shaped
+        // atom set {R(a,a)} (both atoms map to it).
+        let a = Symbol::new("a");
+        let fold_target = vec![Atom::new(
+            RelName::new("R"),
+            Term::Const(a),
+            Term::Const(a),
+        )];
+        let x = Term::var("x");
+        let y = Term::var("y");
+        let source = vec![
+            Atom::new(RelName::new("R"), x, y),
+            Atom::new(RelName::new("R"), y, x),
+        ];
+        assert!(cq_homomorphism_exists(&source, &fold_target));
+    }
+
+    #[test]
+    fn no_homomorphism_when_relation_missing() {
+        let source = gpq("RS");
+        let target = gpq("RT");
+        assert!(!has_homomorphism(&source, &target));
+    }
+
+    #[test]
+    fn witness_substitution_maps_atoms_into_target() {
+        let source = gpq("RX");
+        let target = gpq("YRXZ");
+        let theta = find_homomorphism(&source.atoms(), &target.atoms()).unwrap();
+        for atom in source.atoms() {
+            let mapped_key = match atom.key {
+                Term::Var(v) => theta[&v],
+                c => c,
+            };
+            let mapped_value = match atom.value {
+                Term::Var(v) => theta[&v],
+                c => c,
+            };
+            assert!(target
+                .atoms()
+                .contains(&Atom::new(atom.rel, mapped_key, mapped_value)));
+        }
+    }
+
+    #[test]
+    fn empty_source_always_maps() {
+        assert!(cq_homomorphism_exists(&[], &gpq("R").atoms()));
+    }
+
+    #[test]
+    fn constants_must_map_to_themselves() {
+        let source = PathQuery::parse("R").unwrap().rooted_at(Symbol::new("a"));
+        let target_same = PathQuery::parse("R").unwrap().rooted_at(Symbol::new("a"));
+        let target_other = PathQuery::parse("R").unwrap().rooted_at(Symbol::new("b"));
+        assert!(has_homomorphism(&source, &target_same));
+        assert!(!has_homomorphism(&source, &target_other));
+    }
+
+    #[test]
+    fn longer_word_cannot_map_into_shorter_path() {
+        // A path query with k atoms cannot map into a simple path with fewer
+        // atoms unless letters repeat in the target; with distinct variables
+        // in the target there is no folding possible beyond factor matching.
+        assert!(!has_homomorphism(&gpq("RRR"), &gpq("RR")));
+        let _ = Word::from_letters("RR");
+    }
+}

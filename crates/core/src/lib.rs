@@ -1,0 +1,64 @@
+//! # cqa-core
+//!
+//! Core types and algorithms for the complexity classification of consistent
+//! query answering (CQA) on **path queries** under primary-key constraints,
+//! reproducing *"Consistent Query Answering for Primary Keys on Path
+//! Queries"* (Koutris, Ouyang, Wijsen; PODS 2021).
+//!
+//! The crate provides:
+//!
+//! * interned [`symbol::Symbol`]s and [`symbol::RelName`]s;
+//! * [`word::Word`]s over relation names with the *rewinding* operator;
+//! * [`query::PathQuery`] and [`query::GeneralizedPathQuery`] (Section 8);
+//! * the syntactic conditions [`conditions::satisfies_c1`] /
+//!   [`conditions::satisfies_c2`] / [`conditions::satisfies_c3`] and their
+//!   generalized variants D1/D2/D3 ([`generalized`]);
+//! * the regex forms B1/B2a/B2b/B3 of Section 4 ([`regex_forms`]) together
+//!   with explicit witnesses and the strict B2b decomposition used by the NL
+//!   algorithm;
+//! * conjunctive-query homomorphisms ([`homomorphism`]);
+//! * the complexity classification itself ([`classify::classify`],
+//!   [`classify::classify_generalized`]), which is polynomial in `|q|`.
+//!
+//! ```
+//! use cqa_core::prelude::*;
+//!
+//! let q = PathQuery::parse("RXRY").unwrap();
+//! assert_eq!(classify(&q).class, ComplexityClass::NlComplete);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod conditions;
+pub mod error;
+pub mod generalized;
+pub mod homomorphism;
+pub mod parser;
+pub mod query;
+pub mod regex_forms;
+pub mod symbol;
+pub mod word;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::classify::{classify, classify_generalized, Classification, ComplexityClass};
+    pub use crate::conditions::{
+        conditions, satisfies_c1, satisfies_c2, satisfies_c3, ConditionReport,
+    };
+    pub use crate::error::CoreError;
+    pub use crate::generalized::{
+        generalized_conditions, satisfies_d1, satisfies_d2, satisfies_d3,
+        GeneralizedConditionReport,
+    };
+    pub use crate::homomorphism::{has_homomorphism, has_prefix_homomorphism};
+    pub use crate::parser::parse_query;
+    pub use crate::query::{Atom, Cap, GeneralizedPathQuery, PathQuery, Term, Variable};
+    pub use crate::regex_forms::{
+        b2b_strict_decomposition, satisfies_b1, satisfies_b2a, satisfies_b2b, satisfies_b3,
+        B2bDecomposition,
+    };
+    pub use crate::symbol::{RelName, Symbol};
+    pub use crate::word::Word;
+}

@@ -1,0 +1,166 @@
+//! A small parser for (generalized) path queries in atom syntax.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := atom ("," atom)*
+//! atom   := NAME "(" term "," term ")"
+//! term   := NAME            -- lowercase first letter: variable
+//!         | "'" NAME "'"    -- quoted: constant
+//!         | NUMBER          -- bare number: constant
+//! ```
+//!
+//! Relation names start with an uppercase letter. Examples:
+//!
+//! ```text
+//! R(x,y), R(y,z)
+//! R(x,y), S(y,'0'), T('0','1'), R('1',w)
+//! ```
+//!
+//! The single-letter word syntax of the paper (`RXRY`) is handled directly by
+//! [`crate::query::PathQuery::parse`].
+
+use crate::error::CoreError;
+use crate::query::{Atom, GeneralizedPathQuery, Term};
+use crate::symbol::{RelName, Symbol};
+
+/// Parses a generalized path query from atom syntax.
+pub fn parse_query(input: &str) -> Result<GeneralizedPathQuery, CoreError> {
+    let atoms = parse_atoms(input)?;
+    GeneralizedPathQuery::from_atoms(&atoms)
+}
+
+/// Parses a comma-separated list of atoms.
+pub fn parse_atoms(input: &str) -> Result<Vec<Atom>, CoreError> {
+    let mut atoms = Vec::new();
+    let mut rest = input.trim();
+    if rest.is_empty() {
+        return Err(CoreError::EmptyQuery);
+    }
+    while !rest.is_empty() {
+        let (atom, remainder) = parse_atom(rest)?;
+        atoms.push(atom);
+        rest = remainder.trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+            if rest.is_empty() {
+                return Err(CoreError::ParseError("trailing comma".into()));
+            }
+        } else if !rest.is_empty() {
+            return Err(CoreError::ParseError(format!(
+                "expected ',' before {rest:?}"
+            )));
+        }
+    }
+    Ok(atoms)
+}
+
+fn parse_atom(input: &str) -> Result<(Atom, &str), CoreError> {
+    let input = input.trim_start();
+    let open = input
+        .find('(')
+        .ok_or_else(|| CoreError::ParseError(format!("expected '(' in {input:?}")))?;
+    let rel_name = input[..open].trim();
+    if rel_name.is_empty() {
+        return Err(CoreError::ParseError("empty relation name".into()));
+    }
+    if !rel_name.chars().next().unwrap().is_uppercase() {
+        return Err(CoreError::ParseError(format!(
+            "relation names must start with an uppercase letter: {rel_name:?}"
+        )));
+    }
+    let close = input
+        .find(')')
+        .ok_or_else(|| CoreError::ParseError(format!("expected ')' in {input:?}")))?;
+    if close < open {
+        return Err(CoreError::ParseError(format!(
+            "mismatched parentheses in {input:?}"
+        )));
+    }
+    let args: Vec<&str> = input[open + 1..close].split(',').map(str::trim).collect();
+    if args.len() != 2 {
+        return Err(CoreError::ParseError(format!(
+            "expected exactly two arguments, got {}",
+            args.len()
+        )));
+    }
+    let atom = Atom::new(
+        RelName::new(rel_name),
+        parse_term(args[0])?,
+        parse_term(args[1])?,
+    );
+    Ok((atom, &input[close + 1..]))
+}
+
+fn parse_term(s: &str) -> Result<Term, CoreError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(CoreError::ParseError("empty term".into()));
+    }
+    if let Some(stripped) = s.strip_prefix('\'') {
+        let inner = stripped
+            .strip_suffix('\'')
+            .ok_or_else(|| CoreError::ParseError(format!("unterminated constant {s:?}")))?;
+        return Ok(Term::Const(Symbol::new(inner)));
+    }
+    let first = s.chars().next().unwrap();
+    if first.is_ascii_digit() {
+        return Ok(Term::Const(Symbol::new(s)));
+    }
+    if first.is_lowercase() || first == '_' {
+        return Ok(Term::var(s));
+    }
+    Err(CoreError::ParseError(format!(
+        "cannot parse term {s:?}: variables start with a lowercase letter, constants are quoted or numeric"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::Word;
+
+    #[test]
+    fn parses_plain_path_query() {
+        let q = parse_query("R(x,y), R(y,z), X(z,w)").unwrap();
+        assert_eq!(q.word(), &Word::from_letters("RRX"));
+        assert!(q.is_constant_free());
+    }
+
+    #[test]
+    fn parses_example_8_with_constants() {
+        let q = parse_query("R(x,y), S(y,'0'), T('0','1'), R('1',w)").unwrap();
+        assert!(q.has_constants());
+        assert_eq!(q.word(), &Word::from_letters("RSTR"));
+        assert_eq!(q.characteristic_prefix_len(), 2);
+    }
+
+    #[test]
+    fn numeric_terms_are_constants() {
+        let q = parse_query("R(x,y), S(y,0), T(0,1), R(1,w)").unwrap();
+        assert!(q.has_constants());
+        assert_eq!(q.constant_rooted_segments().len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("R(x)").is_err());
+        assert!(parse_query("R(x,y,z)").is_err());
+        assert!(parse_query("r(x,y)").is_err());
+        assert!(parse_query("R(x,y),").is_err());
+        assert!(parse_query("R(x,y) S(y,z)").is_err());
+        assert!(parse_query("R(x,'y)").is_err());
+    }
+
+    #[test]
+    fn rejects_non_chaining_atoms() {
+        assert!(parse_query("R(x,y), S(z,w)").is_err());
+    }
+
+    #[test]
+    fn multi_character_relation_names() {
+        let q = parse_query("Follows(x,y), Likes(y,z)").unwrap();
+        assert_eq!(q.word(), &Word::from_names("Follows Likes"));
+    }
+}

@@ -1,0 +1,642 @@
+//! Path queries and generalized path queries.
+//!
+//! A *path query* (Section 2) is a Boolean conjunctive query
+//! `{R1(x1,x2), R2(x2,x3), …, Rk(xk,xk+1)}` with pairwise distinct variables;
+//! it is represented losslessly by the word `R1 R2 … Rk`.
+//!
+//! A *generalized path query* (Section 8, Definition 16) additionally allows
+//! constants among the terms `s1, …, sk+1`, with the restriction that every
+//! constant occurs at most twice: at a non-primary-key position and the
+//! immediately following primary-key position.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::symbol::{RelName, Symbol};
+use crate::word::Word;
+
+/// A query variable. Variables are identified by name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Variable(pub Symbol);
+
+impl Variable {
+    /// Creates a variable with the given name.
+    pub fn new(name: &str) -> Variable {
+        Variable(Symbol::new(name))
+    }
+
+    /// The canonical i-th variable `x{i}` used for path queries.
+    pub fn numbered(i: usize) -> Variable {
+        Variable(Symbol::new(&format!("x{i}")))
+    }
+
+    /// The variable name.
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Variable({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A term of a generalized path query: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Term {
+    /// A query variable.
+    Var(Variable),
+    /// A constant (interned symbol).
+    Const(Symbol),
+}
+
+impl Term {
+    /// True iff the term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// True iff the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The constant, if any.
+    pub fn as_const(&self) -> Option<Symbol> {
+        match self {
+            Term::Const(c) => Some(*c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Convenience constructor for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Variable::new(name))
+    }
+
+    /// Convenience constructor for a constant term.
+    pub fn constant(name: &str) -> Term {
+        Term::Const(Symbol::new(name))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// A single binary atom `R(s, t)` where the first position is the primary key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Atom {
+    /// The relation name.
+    pub rel: RelName,
+    /// The primary-key position.
+    pub key: Term,
+    /// The non-key position.
+    pub value: Term,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(rel: RelName, key: Term, value: Term) -> Atom {
+        Atom { rel, key, value }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {})", self.rel, self.key, self.value)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A Boolean path query without constants, represented by its word.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct PathQuery {
+    word: Word,
+}
+
+impl PathQuery {
+    /// Builds a path query from its word representation.
+    ///
+    /// # Errors
+    /// Returns an error if the word is empty (a Boolean path query must have
+    /// at least one atom).
+    pub fn new(word: Word) -> Result<PathQuery, CoreError> {
+        if word.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        Ok(PathQuery { word })
+    }
+
+    /// Parses a path query from single-character relation names, e.g. `"RXRY"`.
+    pub fn parse(s: &str) -> Result<PathQuery, CoreError> {
+        PathQuery::new(Word::from_letters(s))
+    }
+
+    /// Parses a path query from whitespace-separated relation names.
+    pub fn parse_names(s: &str) -> Result<PathQuery, CoreError> {
+        PathQuery::new(Word::from_names(s))
+    }
+
+    /// The word representation `R1 R2 … Rk`.
+    pub fn word(&self) -> &Word {
+        &self.word
+    }
+
+    /// The number of atoms `k`.
+    pub fn len(&self) -> usize {
+        self.word.len()
+    }
+
+    /// Always false: path queries have at least one atom.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True iff some relation name occurs more than once.
+    pub fn has_self_join(&self) -> bool {
+        !self.word.is_self_join_free()
+    }
+
+    /// The atoms `R1(x1,x2), …, Rk(xk,xk+1)` with canonical variables.
+    pub fn atoms(&self) -> Vec<Atom> {
+        self.word
+            .iter()
+            .enumerate()
+            .map(|(i, rel)| {
+                Atom::new(
+                    rel,
+                    Term::Var(Variable::numbered(i + 1)),
+                    Term::Var(Variable::numbered(i + 2)),
+                )
+            })
+            .collect()
+    }
+
+    /// The set of variables of the query.
+    pub fn vars(&self) -> BTreeSet<Variable> {
+        (1..=self.len() + 1).map(Variable::numbered).collect()
+    }
+
+    /// The query `q[c]` of Definition 12: the first variable is replaced by
+    /// the constant `c`.
+    pub fn rooted_at(&self, c: Symbol) -> GeneralizedPathQuery {
+        let terms: Vec<Term> = std::iter::once(Term::Const(c))
+            .chain((2..=self.len() + 1).map(|i| Term::Var(Variable::numbered(i))))
+            .collect();
+        GeneralizedPathQuery::from_parts(self.word.clone(), terms)
+            .expect("rooting a path query at a constant is always well-formed")
+    }
+
+    /// The generalized path query `[[q, c]]` of Definition 17: the last
+    /// variable is replaced by the constant `c`.
+    pub fn ending_at(&self, c: Symbol) -> GeneralizedPathQuery {
+        let terms: Vec<Term> = (1..=self.len())
+            .map(|i| Term::Var(Variable::numbered(i)))
+            .chain(std::iter::once(Term::Const(c)))
+            .collect();
+        GeneralizedPathQuery::from_parts(self.word.clone(), terms)
+            .expect("capping a path query with a constant is always well-formed")
+    }
+
+    /// Converts into a constant-free generalized path query (`[[q, ⊤]]`).
+    pub fn to_generalized(&self) -> GeneralizedPathQuery {
+        let terms: Vec<Term> = (1..=self.len() + 1)
+            .map(|i| Term::Var(Variable::numbered(i)))
+            .collect();
+        GeneralizedPathQuery::from_parts(self.word.clone(), terms)
+            .expect("a path query is a well-formed generalized path query")
+    }
+}
+
+impl fmt::Display for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.word)
+    }
+}
+
+impl fmt::Debug for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PathQuery({})", self.word)
+    }
+}
+
+/// Either the distinguished symbol `⊤` or a constant; the second component of
+/// the pair `[[p, γ]]` of Definition 17.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cap {
+    /// The distinguished symbol `⊤` (the query ends in a variable).
+    Top,
+    /// The query ends in this constant.
+    Const(Symbol),
+}
+
+impl fmt::Display for Cap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cap::Top => f.write_str("⊤"),
+            Cap::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// A generalized path query (Definition 16): terms may be constants, every
+/// term is distinct, and every constant occurs at most twice — at a non-key
+/// position and the immediately following key position.
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct GeneralizedPathQuery {
+    rels: Word,
+    /// `terms.len() == rels.len() + 1`.
+    terms: Vec<Term>,
+}
+
+impl GeneralizedPathQuery {
+    /// Builds a generalized path query from its relation-name word and its
+    /// `k + 1` terms, validating Definition 16.
+    pub fn from_parts(rels: Word, terms: Vec<Term>) -> Result<GeneralizedPathQuery, CoreError> {
+        if rels.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        if terms.len() != rels.len() + 1 {
+            return Err(CoreError::MalformedQuery(format!(
+                "expected {} terms, got {}",
+                rels.len() + 1,
+                terms.len()
+            )));
+        }
+        // All terms distinct.
+        let distinct: BTreeSet<&Term> = terms.iter().collect();
+        if distinct.len() != terms.len() {
+            return Err(CoreError::MalformedQuery(
+                "terms of a generalized path query must be pairwise distinct".into(),
+            ));
+        }
+        Ok(GeneralizedPathQuery { rels, terms })
+    }
+
+    /// Builds a generalized path query from a sequence of atoms that must
+    /// chain (the value term of each atom equals the key term of the next).
+    pub fn from_atoms(atoms: &[Atom]) -> Result<GeneralizedPathQuery, CoreError> {
+        if atoms.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        let mut terms = vec![atoms[0].key];
+        for pair in atoms.windows(2) {
+            if pair[0].value != pair[1].key {
+                return Err(CoreError::MalformedQuery(format!(
+                    "atoms do not chain: {} then {}",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        terms.extend(atoms.iter().map(|a| a.value));
+        let rels = atoms.iter().map(|a| a.rel).collect();
+        GeneralizedPathQuery::from_parts(rels, terms)
+    }
+
+    /// The word of relation names.
+    pub fn word(&self) -> &Word {
+        &self.rels
+    }
+
+    /// The terms `s1, …, sk+1`.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The atoms of the query.
+    pub fn atoms(&self) -> Vec<Atom> {
+        (0..self.len())
+            .map(|i| Atom::new(self.rels[i], self.terms[i], self.terms[i + 1]))
+            .collect()
+    }
+
+    /// True iff the query contains at least one constant.
+    pub fn has_constants(&self) -> bool {
+        self.terms.iter().any(Term::is_const)
+    }
+
+    /// True iff the query contains no constant, in which case it is an
+    /// ordinary path query.
+    pub fn is_constant_free(&self) -> bool {
+        !self.has_constants()
+    }
+
+    /// Converts to a plain [`PathQuery`] if the query is constant-free.
+    pub fn as_path_query(&self) -> Option<PathQuery> {
+        self.is_constant_free()
+            .then(|| PathQuery::new(self.rels.clone()).expect("nonempty by construction"))
+    }
+
+    /// The *characteristic prefix* `char(q)` of Definition 16: the longest
+    /// prefix `{R1(s1,s2), …, Rℓ(sℓ,sℓ+1)}` such that no constant occurs among
+    /// `s1, …, sℓ` (but `sℓ+1` may be a constant). Returns the prefix as a
+    /// `(word, cap)` pair `[[p, γ]]` (Definition 17) together with its length.
+    ///
+    /// If the query starts with a constant, the characteristic prefix is
+    /// empty and `None` is returned.
+    pub fn characteristic_prefix(&self) -> Option<(Word, Cap)> {
+        if self.terms[0].is_const() {
+            return None;
+        }
+        let mut l = 0;
+        while l < self.len() && self.terms[l].is_var() {
+            l += 1;
+        }
+        // The prefix has ℓ = l atoms; s_{l+1} = terms[l] may be a constant.
+        let word = self.rels.prefix(l);
+        let cap = match self.terms[l] {
+            Term::Const(c) => Cap::Const(c),
+            Term::Var(_) => Cap::Top,
+        };
+        Some((word, cap))
+    }
+
+    /// The number of atoms of the characteristic prefix (0 if the query
+    /// starts with a constant).
+    pub fn characteristic_prefix_len(&self) -> usize {
+        if self.terms[0].is_const() {
+            return 0;
+        }
+        let mut l = 0;
+        while l < self.len() && self.terms[l].is_var() {
+            l += 1;
+        }
+        l
+    }
+
+    /// The remainder `q \ char(q)` as a generalized path query (or `None` if
+    /// the characteristic prefix is the whole query).
+    pub fn remainder_after_characteristic_prefix(&self) -> Option<GeneralizedPathQuery> {
+        let l = self.characteristic_prefix_len();
+        if l == self.len() {
+            return None;
+        }
+        let rels = self.rels.suffix_from(l);
+        let terms = self.terms[l..].to_vec();
+        Some(
+            GeneralizedPathQuery::from_parts(rels, terms)
+                .expect("the remainder of a well-formed query is well-formed"),
+        )
+    }
+
+    /// The *extended query* `ext(q)` of Definition 22, together with the
+    /// fresh relation name used (if any).
+    ///
+    /// * If `q` contains no constant, `ext(q) = q` (as a word) and no fresh
+    ///   relation is introduced.
+    /// * Otherwise `char(q) = [[p, c]]` and
+    ///   `ext(q) = p · N` for a fresh relation name `N`.
+    pub fn extended_query(&self, fresh_rel: RelName) -> (Word, Option<RelName>) {
+        match self.characteristic_prefix() {
+            None => (Word::empty(), Some(fresh_rel)),
+            Some((p, Cap::Top)) => (p, None),
+            Some((p, Cap::Const(_))) => {
+                let mut w = p;
+                w.push(fresh_rel);
+                (w, Some(fresh_rel))
+            }
+        }
+    }
+
+    /// Splits the query at every constant occurring in a key position,
+    /// yielding the maximal constant-rooted segments used by Lemma 27.
+    ///
+    /// Each segment is returned as `(start_constant, word, end_cap)` where
+    /// `end_cap` is `Cap::Const(c)` if the segment ends at a constant and
+    /// `Cap::Top` otherwise. Only the part of the query *after* the
+    /// characteristic prefix is segmented (the characteristic prefix itself
+    /// has no constant key positions).
+    pub fn constant_rooted_segments(&self) -> Vec<(Symbol, Word, Cap)> {
+        let mut segments = Vec::new();
+        let l = self.characteristic_prefix_len();
+        let mut i = l;
+        while i < self.len() {
+            let start = match self.terms[i] {
+                Term::Const(c) => c,
+                Term::Var(_) => {
+                    // Cannot happen for well-formed queries: after the
+                    // characteristic prefix, every key position is a constant
+                    // or follows a constant chain; defensively skip.
+                    i += 1;
+                    continue;
+                }
+            };
+            let mut j = i;
+            while j < self.len() && (j == i || self.terms[j].is_var()) {
+                j += 1;
+            }
+            let word = self.rels.slice(i, j);
+            let cap = match self.terms[j] {
+                Term::Const(c) => Cap::Const(c),
+                Term::Var(_) => Cap::Top,
+            };
+            segments.push((start, word, cap));
+            i = j;
+        }
+        segments
+    }
+}
+
+impl fmt::Display for GeneralizedPathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let atoms = self.atoms();
+        let mut first = true;
+        for a in atoms {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for GeneralizedPathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GeneralizedPathQuery({self})")
+    }
+}
+
+impl From<PathQuery> for GeneralizedPathQuery {
+    fn from(q: PathQuery) -> GeneralizedPathQuery {
+        q.to_generalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_query_round_trips_through_word() {
+        let q = PathQuery::parse("RXRY").unwrap();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.word(), &Word::from_letters("RXRY"));
+        assert!(q.has_self_join());
+        assert!(!PathQuery::parse("RXY").unwrap().has_self_join());
+    }
+
+    #[test]
+    fn empty_query_is_rejected() {
+        assert!(PathQuery::parse("").is_err());
+    }
+
+    #[test]
+    fn atoms_chain_canonical_variables() {
+        let q = PathQuery::parse("RS").unwrap();
+        let atoms = q.atoms();
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].value, atoms[1].key);
+        assert_eq!(atoms[0].to_string(), "R(x1, x2)");
+        assert_eq!(atoms[1].to_string(), "S(x2, x3)");
+    }
+
+    #[test]
+    fn rooted_at_replaces_first_variable() {
+        let q = PathQuery::parse("RS").unwrap();
+        let rooted = q.rooted_at(Symbol::new("c"));
+        assert_eq!(rooted.terms()[0], Term::constant("c"));
+        assert!(rooted.terms()[1].is_var());
+        assert_eq!(rooted.characteristic_prefix_len(), 0);
+    }
+
+    #[test]
+    fn ending_at_replaces_last_variable() {
+        let q = PathQuery::parse("RS").unwrap();
+        let capped = q.ending_at(Symbol::new("c"));
+        assert_eq!(capped.terms()[2], Term::constant("c"));
+        let (word, cap) = capped.characteristic_prefix().unwrap();
+        assert_eq!(word, Word::from_letters("RS"));
+        assert_eq!(cap, Cap::Const(Symbol::new("c")));
+    }
+
+    #[test]
+    fn example_8_characteristic_prefix() {
+        // q = {R(x,y), S(y,0), T(0,1), R(1,w)}; char(q) = {R(x,y), S(y,0)}.
+        let atoms = vec![
+            Atom::new(RelName::new("R"), Term::var("x"), Term::var("y")),
+            Atom::new(RelName::new("S"), Term::var("y"), Term::constant("0")),
+            Atom::new(RelName::new("T"), Term::constant("0"), Term::constant("1")),
+            Atom::new(RelName::new("R"), Term::constant("1"), Term::var("w")),
+        ];
+        let q = GeneralizedPathQuery::from_atoms(&atoms).unwrap();
+        assert!(q.has_constants());
+        let (word, cap) = q.characteristic_prefix().unwrap();
+        assert_eq!(word, Word::from_letters("RS"));
+        assert_eq!(cap, Cap::Const(Symbol::new("0")));
+        assert_eq!(q.characteristic_prefix_len(), 2);
+
+        let remainder = q.remainder_after_characteristic_prefix().unwrap();
+        assert_eq!(remainder.word(), &Word::from_letters("TR"));
+        assert_eq!(remainder.terms()[0], Term::constant("0"));
+
+        // ext(q) = R S N for a fresh relation name N (Example 10).
+        let n = RelName::new("N");
+        let (ext, fresh) = q.extended_query(n);
+        assert_eq!(ext, Word::from_letters("RSN"));
+        assert_eq!(fresh, Some(n));
+    }
+
+    #[test]
+    fn constant_free_query_has_top_cap_and_no_fresh_relation() {
+        let q = PathQuery::parse("RXR").unwrap().to_generalized();
+        let (word, cap) = q.characteristic_prefix().unwrap();
+        assert_eq!(word, Word::from_letters("RXR"));
+        assert_eq!(cap, Cap::Top);
+        let (ext, fresh) = q.extended_query(RelName::new("N"));
+        assert_eq!(ext, Word::from_letters("RXR"));
+        assert_eq!(fresh, None);
+        assert!(q.as_path_query().is_some());
+    }
+
+    #[test]
+    fn atoms_must_chain() {
+        let atoms = vec![
+            Atom::new(RelName::new("R"), Term::var("x"), Term::var("y")),
+            Atom::new(RelName::new("S"), Term::var("z"), Term::var("w")),
+        ];
+        assert!(GeneralizedPathQuery::from_atoms(&atoms).is_err());
+    }
+
+    #[test]
+    fn duplicate_terms_are_rejected() {
+        // R(x,y), S(y,x) is not a path query (terms must be distinct).
+        let atoms = vec![
+            Atom::new(RelName::new("R"), Term::var("x"), Term::var("y")),
+            Atom::new(RelName::new("S"), Term::var("y"), Term::var("x")),
+        ];
+        assert!(GeneralizedPathQuery::from_atoms(&atoms).is_err());
+    }
+
+    #[test]
+    fn constant_rooted_segments_follow_lemma_27() {
+        // q = {R(x,y), S(y,0), T(0,1), R(1,w)}; segments after char(q):
+        // (0, T, Const(1)) and (1, R, Top).
+        let atoms = vec![
+            Atom::new(RelName::new("R"), Term::var("x"), Term::var("y")),
+            Atom::new(RelName::new("S"), Term::var("y"), Term::constant("0")),
+            Atom::new(RelName::new("T"), Term::constant("0"), Term::constant("1")),
+            Atom::new(RelName::new("R"), Term::constant("1"), Term::var("w")),
+        ];
+        let q = GeneralizedPathQuery::from_atoms(&atoms).unwrap();
+        let segments = q.constant_rooted_segments();
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0].0, Symbol::new("0"));
+        assert_eq!(segments[0].1, Word::from_letters("T"));
+        assert_eq!(segments[0].2, Cap::Const(Symbol::new("1")));
+        assert_eq!(segments[1].0, Symbol::new("1"));
+        assert_eq!(segments[1].1, Word::from_letters("R"));
+        assert_eq!(segments[1].2, Cap::Top);
+    }
+
+    #[test]
+    fn query_starting_with_constant_has_no_characteristic_prefix() {
+        let q = PathQuery::parse("RS").unwrap().rooted_at(Symbol::new("c"));
+        assert!(q.characteristic_prefix().is_none());
+        assert_eq!(q.characteristic_prefix_len(), 0);
+        let segments = q.constant_rooted_segments();
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].0, Symbol::new("c"));
+        assert_eq!(segments[0].1, Word::from_letters("RS"));
+        assert_eq!(segments[0].2, Cap::Top);
+    }
+}

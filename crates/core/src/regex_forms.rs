@@ -1,0 +1,644 @@
+//! The regular-expression forms B1, B2a, B2b, B3 of Definition 1.
+//!
+//! * **B1**: for some `k ≥ 0` there are words `v, w` with `v·w` self-join-free
+//!   such that `q` is a prefix of `w (v)^k`;
+//! * **B2a**: for some `j, k ≥ 0` there are `u, v, w` with `u·v·w`
+//!   self-join-free such that `q` is a factor of `(u)^j w (v)^k`;
+//! * **B2b**: for some `k ≥ 0` there are `u, v, w` with `u·v·w` self-join-free
+//!   such that `q` is a factor of `(uv)^k w v`;
+//! * **B3**: for some `k ≥ 0` there are `u, v, w` with `u·v·w` self-join-free
+//!   such that `q` is a factor of `u w (uv)^k`.
+//!
+//! Section 4 of the paper proves `C1 = B1`, `C2 = B2a ∪ B2b` and
+//! `C3 = B2a ∪ B2b ∪ B3`; these identities are verified by the test-suite.
+//!
+//! # Implementation
+//!
+//! The existential quantification over words `u, v, w` ranges over an
+//! infinite alphabet, but only the letters of `q` matter: positions of the
+//! template `(u)^j w (v)^k` (etc.) that are **not** covered by the occurrence
+//! of `q` can always be filled with fresh relation names, so a form holds if
+//! and only if there is an assignment of *template slots* to the positions of
+//! `q` such that two positions of `q` carry the same letter exactly when they
+//! are assigned the same slot (self-join-freeness of `u·v·w` makes distinct
+//! slots carry distinct letters). We therefore enumerate the slot structure
+//! — the lengths `|u|, |v|, |w|`, the exponents and the offset of `q` inside
+//! the template — and check this combinatorial condition, which is
+//! polynomial in `|q|` for each fixed shape.
+
+use crate::symbol::RelName;
+use crate::word::Word;
+
+/// A fully explicit witness for one of the B-forms: the words `u, v, w`, the
+/// exponents, and the offset of `q` inside the template. Fresh relation names
+/// are invented for template positions not covered by `q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormWitness {
+    /// The word `u` (empty for B1).
+    pub u: Word,
+    /// The word `v`.
+    pub v: Word,
+    /// The word `w`.
+    pub w: Word,
+    /// Exponent `j` (only used by B2a; zero otherwise).
+    pub j: usize,
+    /// Exponent `k`.
+    pub k: usize,
+    /// Offset of `q` inside the template.
+    pub offset: usize,
+    /// The full template word in which `q` occurs.
+    pub template: Word,
+}
+
+/// Identifier of a template slot. Slots are abstract positions of `u`, `v`
+/// and `w`; distinct slots must carry distinct relation names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Slot {
+    U(usize),
+    V(usize),
+    W(usize),
+}
+
+/// Checks whether assigning the given slot sequence to the window
+/// `q[offset..offset+|q|]`… actually to all of `q` — the slot sequence has
+/// length `|q|` — is consistent: equal letters ⟺ equal slots.
+fn slots_consistent(q: &Word, slots: &[Slot]) -> bool {
+    debug_assert_eq!(q.len(), slots.len());
+    for i in 0..q.len() {
+        for j in i + 1..q.len() {
+            if (q[i] == q[j]) != (slots[i] == slots[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds the slot sequence of the template `(u)^j w (v)^k` where
+/// `|u| = a`, `|w| = c`, `|v| = b`.
+fn template_b2a(a: usize, j: usize, c: usize, b: usize, k: usize) -> Vec<Slot> {
+    let mut t = Vec::with_capacity(a * j + c + b * k);
+    for _ in 0..j {
+        for s in 0..a {
+            t.push(Slot::U(s));
+        }
+    }
+    for s in 0..c {
+        t.push(Slot::W(s));
+    }
+    for _ in 0..k {
+        for s in 0..b {
+            t.push(Slot::V(s));
+        }
+    }
+    t
+}
+
+/// Builds the slot sequence of the template `(uv)^k w v`.
+fn template_b2b(a: usize, b: usize, c: usize, k: usize) -> Vec<Slot> {
+    let mut t = Vec::with_capacity((a + b) * k + c + b);
+    for _ in 0..k {
+        for s in 0..a {
+            t.push(Slot::U(s));
+        }
+        for s in 0..b {
+            t.push(Slot::V(s));
+        }
+    }
+    for s in 0..c {
+        t.push(Slot::W(s));
+    }
+    for s in 0..b {
+        t.push(Slot::V(s));
+    }
+    t
+}
+
+/// Builds the slot sequence of the template `u w (uv)^k`.
+fn template_b3(a: usize, b: usize, c: usize, k: usize) -> Vec<Slot> {
+    let mut t = Vec::with_capacity(a + c + (a + b) * k);
+    for s in 0..a {
+        t.push(Slot::U(s));
+    }
+    for s in 0..c {
+        t.push(Slot::W(s));
+    }
+    for _ in 0..k {
+        for s in 0..a {
+            t.push(Slot::U(s));
+        }
+        for s in 0..b {
+            t.push(Slot::V(s));
+        }
+    }
+    t
+}
+
+/// Builds the slot sequence of the template `w (v)^k` (for B1, where `q` must
+/// be a prefix rather than an arbitrary factor).
+fn template_b1(b: usize, c: usize, k: usize) -> Vec<Slot> {
+    let mut t = Vec::with_capacity(c + b * k);
+    for s in 0..c {
+        t.push(Slot::W(s));
+    }
+    for _ in 0..k {
+        for s in 0..b {
+            t.push(Slot::V(s));
+        }
+    }
+    t
+}
+
+/// Extracts a concrete witness from a successful slot assignment: letters of
+/// covered slots come from `q`, uncovered slots receive fresh names.
+fn extract_witness(
+    q: &Word,
+    template: &[Slot],
+    offset: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+    j: usize,
+    k: usize,
+) -> FormWitness {
+    let mut fresh_counter = 0usize;
+    let mut fresh = || {
+        fresh_counter += 1;
+        RelName::new(&format!("Fresh{fresh_counter}"))
+    };
+    let mut u_letters: Vec<Option<RelName>> = vec![None; a];
+    let mut v_letters: Vec<Option<RelName>> = vec![None; b];
+    let mut w_letters: Vec<Option<RelName>> = vec![None; c];
+    for (pos, slot) in template.iter().enumerate() {
+        if pos >= offset && pos < offset + q.len() {
+            let letter = q[pos - offset];
+            match *slot {
+                Slot::U(s) => u_letters[s] = Some(letter),
+                Slot::V(s) => v_letters[s] = Some(letter),
+                Slot::W(s) => w_letters[s] = Some(letter),
+            }
+        }
+    }
+    let u: Word = u_letters.into_iter().map(|o| o.unwrap_or_else(&mut fresh)).collect();
+    let v: Word = v_letters.into_iter().map(|o| o.unwrap_or_else(&mut fresh)).collect();
+    let w: Word = w_letters.into_iter().map(|o| o.unwrap_or_else(&mut fresh)).collect();
+    // Rebuild the concrete template word from the slot sequence.
+    let template_word: Word = template
+        .iter()
+        .map(|slot| match *slot {
+            Slot::U(s) => u[s],
+            Slot::V(s) => v[s],
+            Slot::W(s) => w[s],
+        })
+        .collect();
+    FormWitness {
+        u,
+        v,
+        w,
+        j,
+        k,
+        offset,
+        template: template_word,
+    }
+}
+
+/// Checks `q` against a slot template at a given offset; returns a witness on
+/// success.
+fn check_at(
+    q: &Word,
+    template: &[Slot],
+    offset: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+    j: usize,
+    k: usize,
+) -> Option<FormWitness> {
+    if offset + q.len() > template.len() {
+        return None;
+    }
+    let window = &template[offset..offset + q.len()];
+    if !slots_consistent(q, window) {
+        return None;
+    }
+    Some(extract_witness(q, template, offset, a, b, c, j, k))
+}
+
+fn exponent_cap(n: usize, period: usize) -> usize {
+    if period == 0 {
+        1
+    } else {
+        n / period + 2
+    }
+}
+
+/// Returns a witness that `q` satisfies **B1**, if one exists.
+pub fn b1_witness(q: &Word) -> Option<FormWitness> {
+    let n = q.len();
+    if n == 0 {
+        return Some(FormWitness {
+            u: Word::empty(),
+            v: Word::empty(),
+            w: Word::empty(),
+            j: 0,
+            k: 0,
+            offset: 0,
+            template: Word::empty(),
+        });
+    }
+    for c in 0..=n {
+        for b in 0..=n {
+            for k in 0..=exponent_cap(n, b) {
+                let template = template_b1(b, c, k);
+                if template.len() < n {
+                    continue;
+                }
+                // B1 requires q to be a *prefix* of the template.
+                if let Some(wit) = check_at(q, &template, 0, 0, b, c, 0, k) {
+                    return Some(wit);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Returns a witness that `q` satisfies **B2a**, if one exists.
+pub fn b2a_witness(q: &Word) -> Option<FormWitness> {
+    let n = q.len();
+    for a in 0..=n {
+        for j in 0..=exponent_cap(n, a) {
+            if a == 0 && j > 0 {
+                continue;
+            }
+            for b in 0..=n {
+                for k in 0..=exponent_cap(n, b) {
+                    if b == 0 && k > 0 {
+                        continue;
+                    }
+                    for c in 0..=n {
+                        let template = template_b2a(a, j, c, b, k);
+                        if template.len() < n {
+                            continue;
+                        }
+                        for offset in 0..=template.len() - n {
+                            if let Some(wit) = check_at(q, &template, offset, a, b, c, j, k) {
+                                return Some(wit);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Returns a witness that `q` satisfies **B2b**, if one exists.
+pub fn b2b_witness(q: &Word) -> Option<FormWitness> {
+    let n = q.len();
+    for a in 0..=n {
+        for b in 0..=n {
+            for k in 0..=exponent_cap(n, a + b) {
+                if a + b == 0 && k > 0 {
+                    continue;
+                }
+                for c in 0..=n {
+                    let template = template_b2b(a, b, c, k);
+                    if template.len() < n {
+                        continue;
+                    }
+                    for offset in 0..=template.len() - n {
+                        if let Some(wit) = check_at(q, &template, offset, a, b, c, 0, k) {
+                            return Some(wit);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Returns a witness that `q` satisfies **B3**, if one exists.
+pub fn b3_witness(q: &Word) -> Option<FormWitness> {
+    let n = q.len();
+    for a in 0..=n {
+        for b in 0..=n {
+            for k in 0..=exponent_cap(n, a + b) {
+                if a + b == 0 && k > 0 {
+                    continue;
+                }
+                for c in 0..=n {
+                    let template = template_b3(a, b, c, k);
+                    if template.len() < n {
+                        continue;
+                    }
+                    for offset in 0..=template.len() - n {
+                        if let Some(wit) = check_at(q, &template, offset, a, b, c, 0, k) {
+                            return Some(wit);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True iff `q` satisfies B1.
+pub fn satisfies_b1(q: &Word) -> bool {
+    b1_witness(q).is_some()
+}
+
+/// True iff `q` satisfies B2a.
+pub fn satisfies_b2a(q: &Word) -> bool {
+    b2a_witness(q).is_some()
+}
+
+/// True iff `q` satisfies B2b.
+pub fn satisfies_b2b(q: &Word) -> bool {
+    b2b_witness(q).is_some()
+}
+
+/// True iff `q` satisfies B3.
+pub fn satisfies_b3(q: &Word) -> bool {
+    b3_witness(q).is_some()
+}
+
+/// A strict B2b decomposition of `q` itself (not merely of a superword):
+/// `q = s (uv)^(k-1) w v` with `u·v·w` self-join-free, `k ≥ 1` and `s` a
+/// proper suffix of `uv`. This is the shape used by the NL algorithm of
+/// Lemma 14 (and by Lemma 16 for the language of `NFAmin`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct B2bDecomposition {
+    /// Word `u`.
+    pub u: Word,
+    /// Word `v`.
+    pub v: Word,
+    /// Word `w`.
+    pub w: Word,
+    /// Exponent `k ≥ 1`.
+    pub k: usize,
+    /// The suffix `s` of `uv` with `q = s (uv)^(k-1) w v`.
+    pub s: Word,
+}
+
+impl B2bDecomposition {
+    /// The word `uv`.
+    pub fn uv(&self) -> Word {
+        self.u.concat(&self.v)
+    }
+
+    /// The word `wv`.
+    pub fn wv(&self) -> Word {
+        self.w.concat(&self.v)
+    }
+
+    /// The word `s (uv)^(k-1)` — the "spine" that a certain path must follow
+    /// before the `(uv)^*` loop in the regular language of Lemma 16.
+    pub fn spine(&self) -> Word {
+        self.s.concat(&self.uv().repeat(self.k - 1))
+    }
+
+    /// Reassembles `s (uv)^(k-1) w v`; equals `q` by construction.
+    pub fn reassemble(&self) -> Word {
+        self.spine().concat(&self.wv())
+    }
+}
+
+/// Searches for a strict B2b decomposition of `q` (see
+/// [`B2bDecomposition`]). Template positions of `u` that are not covered by
+/// `q` (possible only in the truncated first copy of `uv`) are filled with
+/// fresh relation names.
+pub fn b2b_strict_decomposition(q: &Word) -> Option<B2bDecomposition> {
+    let n = q.len();
+    if n == 0 {
+        return None;
+    }
+    // Prefer small periods |uv| and small k: the generated Datalog program
+    // and the reachability structures are smaller.
+    let mut best: Option<B2bDecomposition> = None;
+    for period in 0..=n {
+        for a in 0..=period {
+            let b = period - a;
+            for k in 1..=exponent_cap(n, period.max(1)) {
+                // |q| = |s| + (k-1)(a+b) + c + b with 0 <= |s| < a+b
+                // (or a+b == 0, in which case s = ε).
+                let fixed = (k - 1) * period + b;
+                if fixed > n {
+                    continue;
+                }
+                for c in 0..=n - fixed {
+                    let s_len = n - fixed - c;
+                    if period > 0 && s_len >= period {
+                        continue;
+                    }
+                    if period == 0 && s_len > 0 {
+                        continue;
+                    }
+                    // Build the template (uv)^k w v and align q so that it
+                    // ends exactly at the template's end.
+                    let template = template_b2b(a, b, c, k);
+                    if template.len() < n {
+                        continue;
+                    }
+                    let offset = template.len() - n;
+                    // The offset must fall inside the first copy of uv (the
+                    // suffix s starts there).
+                    if offset != period.saturating_sub(s_len) && !(period == 0 && offset == 0) {
+                        continue;
+                    }
+                    if let Some(wit) = check_at(q, &template, offset, a, b, c, 0, k) {
+                        let s = if s_len == 0 {
+                            Word::empty()
+                        } else {
+                            q.prefix(s_len)
+                        };
+                        let dec = B2bDecomposition {
+                            u: wit.u,
+                            v: wit.v,
+                            w: wit.w,
+                            k,
+                            s,
+                        };
+                        debug_assert_eq!(&dec.reassemble(), q, "strict decomposition must rebuild q");
+                        let better = match &best {
+                            None => true,
+                            Some(b0) => {
+                                (dec.uv().len(), dec.k) < (b0.uv().len(), b0.k)
+                            }
+                        };
+                        if better {
+                            best = Some(dec);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions::{satisfies_c1, satisfies_c2, satisfies_c3};
+
+    fn w(s: &str) -> Word {
+        Word::from_letters(s)
+    }
+
+    #[test]
+    fn b1_examples() {
+        // RXRX is a prefix of (RX)^2 with w = ε, v = RX.
+        assert!(satisfies_b1(&w("RXRX")));
+        // RXRY is not: Lemma 1 says B1 = C1 and RXRY violates C1.
+        assert!(!satisfies_b1(&w("RXRY")));
+        // RR is a prefix of (R)^2.
+        assert!(satisfies_b1(&w("RR")));
+    }
+
+    #[test]
+    fn b2a_finds_the_rotated_period_for_rxry() {
+        // RXRY is a factor of (XR)^2 Y = XRXRY.
+        let wit = b2a_witness(&w("RXRY")).expect("RXRY satisfies B2a");
+        let template = wit.template.clone();
+        assert!(w("RXRY").is_factor_of(&template));
+    }
+
+    #[test]
+    fn b2b_examples() {
+        // RRX = (R)^2 X with u = R, v = ε, w = X: template (uv)^2 w v = RRX.
+        assert!(satisfies_b2b(&w("RRX")));
+        // The paper's NL example UVUVWV is literally of the form (uv)^2 w v.
+        assert!(satisfies_b2b(&w("UVUVWV")));
+    }
+
+    #[test]
+    fn b3_example() {
+        // RXRRR? B3: q factor of u w (uv)^k. Take u = R, w = X, v = ε, k = 3:
+        // template = R X R R R = RXRRR.
+        assert!(satisfies_b3(&w("RXRRR")));
+    }
+
+    #[test]
+    fn witnesses_really_contain_q_as_factor() {
+        for q in ["RXRY", "RRX", "RXRX", "UVUVWV", "RXRRR", "RRSRS", "RSRRR"] {
+            let q = w(q);
+            for wit in [b2a_witness(&q), b2b_witness(&q), b3_witness(&q)]
+                .into_iter()
+                .flatten()
+            {
+                assert!(
+                    q.is_factor_of(&wit.template),
+                    "witness template {} does not contain {}",
+                    wit.template,
+                    q
+                );
+            }
+            if let Some(wit) = b1_witness(&q) {
+                assert!(
+                    q.is_prefix_of(&wit.template),
+                    "B1 witness template {} does not start with {}",
+                    wit.template,
+                    q
+                );
+            }
+        }
+    }
+
+    /// Exhaustively check Lemma 1 (C1 = B1), Lemma 3 (C2 = B2a ∪ B2b) and
+    /// Lemma 2 (C3 = B2a ∪ B2b ∪ B3) on all words of length ≤ 4 over a
+    /// three-letter alphabet; longer witness words are checked separately.
+    #[test]
+    fn lemmas_1_2_3_hold_on_small_words() {
+        let alphabet = [RelName::new("R"), RelName::new("S"), RelName::new("T")];
+        for q in crate::word::all_words(&alphabet, 4) {
+            check_lemmas_on(&q);
+        }
+    }
+
+    /// The same lemma checks on a curated set of longer, structurally
+    /// interesting words (including the boundary words of Lemma 3).
+    #[test]
+    fn lemmas_1_2_3_hold_on_selected_longer_words() {
+        for q in [
+            "RRSRS", "RSRRR", "RXRXRYRY", "RXRYRY", "RXRRR", "UVUVWV", "RXRXRX", "RRRRR",
+            "RSRSR", "SRRSR", "RSSRS", "ABABAB",
+        ] {
+            check_lemmas_on(&w(q));
+        }
+    }
+
+    fn check_lemmas_on(q: &Word) {
+        let c1 = satisfies_c1(q);
+        let c2 = satisfies_c2(q);
+        let c3 = satisfies_c3(q);
+        let b1 = satisfies_b1(q);
+        let b2a = satisfies_b2a(q);
+        let b2b = satisfies_b2b(q);
+        let b3 = satisfies_b3(q);
+        assert_eq!(c1, b1, "Lemma 1 (C1 = B1) fails for {q}");
+        assert_eq!(c2, b2a || b2b, "Lemma 3 (C2 = B2a ∪ B2b) fails for {q}");
+        assert_eq!(
+            c3,
+            b2a || b2b || b3,
+            "Lemma 2 (C3 = B2a ∪ B2b ∪ B3) fails for {q}"
+        );
+        // B1 ⊆ B2a ∩ B3 (noted just after Definition 1).
+        if b1 {
+            assert!(b2a && b3, "B1 ⊆ B2a ∩ B3 fails for {q}");
+        }
+    }
+
+    #[test]
+    fn strict_b2b_decomposition_of_rrx() {
+        let dec = b2b_strict_decomposition(&w("RRX")).expect("RRX has a strict B2b form");
+        assert_eq!(dec.reassemble(), w("RRX"));
+        // uv should be R (period 1) and wv = X. The search normalizes s to a
+        // proper suffix of uv, so q = (R)^2 X is reported as k = 3, s = ε
+        // rather than k = 2, s = R.
+        assert_eq!(dec.uv(), w("R"));
+        assert_eq!(dec.wv(), w("X"));
+        assert_eq!(dec.k, 3);
+        assert_eq!(dec.s, Word::empty());
+    }
+
+    #[test]
+    fn strict_b2b_decomposition_of_uvuvwv() {
+        let dec = b2b_strict_decomposition(&w("UVUVWV")).expect("UVUVWV has a strict B2b form");
+        assert_eq!(dec.reassemble(), w("UVUVWV"));
+        assert_eq!(dec.uv(), w("UV"));
+        assert_eq!(dec.wv(), w("WV"));
+        assert_eq!(dec.k, 3);
+        assert_eq!(dec.s, Word::empty());
+    }
+
+    #[test]
+    fn strict_b2b_decomposition_reassembles_for_c2_queries() {
+        for q in ["RRX", "RXRX", "UVUVWV", "RR", "RRR", "ABAB"] {
+            let q = w(q);
+            if satisfies_c2(&q) {
+                if let Some(dec) = b2b_strict_decomposition(&q) {
+                    assert_eq!(dec.reassemble(), q, "reassembly failed for {q}");
+                    assert!(
+                        dec.u.concat(&dec.v).concat(&dec.w).is_self_join_free(),
+                        "uvw not self-join-free for {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_free_words_satisfy_every_form() {
+        for q in ["R", "RX", "RXY"] {
+            let q = w(q);
+            assert!(satisfies_b1(&q));
+            assert!(satisfies_b2a(&q));
+            assert!(satisfies_b2b(&q));
+            assert!(satisfies_b3(&q));
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Words over the alphabet of relation names.
+//!
+//! A path query `q = ∃x1…xk+1 (R1(x1,x2) ∧ … ∧ Rk(xk,xk+1))` is represented
+//! losslessly (up to variable renaming) by the word `R1 R2 … Rk`. All of the
+//! combinatorics in Sections 3–4 of the paper (the *rewinding* operator, the
+//! conditions C1/C2/C3 and the regex forms B1/B2a/B2b/B3) are operations on
+//! words, implemented in this module and in [`crate::conditions`] /
+//! [`crate::regex_forms`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Index;
+
+use crate::symbol::RelName;
+
+/// A finite word over relation names. The empty word is allowed.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct Word(Vec<RelName>);
+
+impl Word {
+    /// The empty word ε.
+    pub fn empty() -> Word {
+        Word(Vec::new())
+    }
+
+    /// Builds a word from a sequence of relation names.
+    pub fn new<I: IntoIterator<Item = RelName>>(letters: I) -> Word {
+        Word(letters.into_iter().collect())
+    }
+
+    /// Parses a word in which every relation name is a single character,
+    /// e.g. `"RXRY"` becomes `R·X·R·Y`. Whitespace is ignored.
+    ///
+    /// This is the notation used throughout the paper.
+    pub fn from_letters(s: &str) -> Word {
+        Word(
+            s.chars()
+                .filter(|c| !c.is_whitespace())
+                .map(|c| RelName::new(&c.to_string()))
+                .collect(),
+        )
+    }
+
+    /// Parses a word of whitespace-separated relation names,
+    /// e.g. `"Follows Likes Follows"`.
+    pub fn from_names(s: &str) -> Word {
+        Word(s.split_whitespace().map(RelName::new).collect())
+    }
+
+    /// Number of letters.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff this is the empty word ε.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The letters as a slice.
+    pub fn letters(&self) -> &[RelName] {
+        &self.0
+    }
+
+    /// Iterator over the letters.
+    pub fn iter(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// First letter, if the word is nonempty (`first(u)` in the paper).
+    pub fn first(&self) -> Option<RelName> {
+        self.0.first().copied()
+    }
+
+    /// Last letter, if the word is nonempty (`last(u)` in the paper).
+    pub fn last(&self) -> Option<RelName> {
+        self.0.last().copied()
+    }
+
+    /// Appends a letter in place.
+    pub fn push(&mut self, r: RelName) {
+        self.0.push(r);
+    }
+
+    /// Concatenation `self · other`.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Word(v)
+    }
+
+    /// The word repeated `k` times; `(u)^0 = ε`.
+    pub fn repeat(&self, k: usize) -> Word {
+        let mut v = Vec::with_capacity(self.len() * k);
+        for _ in 0..k {
+            v.extend_from_slice(&self.0);
+        }
+        Word(v)
+    }
+
+    /// The factor `self[i..j]` (empty if `i >= j`).
+    pub fn slice(&self, i: usize, j: usize) -> Word {
+        if i >= j || i >= self.len() {
+            Word::empty()
+        } else {
+            Word(self.0[i..j.min(self.len())].to_vec())
+        }
+    }
+
+    /// The prefix of length `n`.
+    pub fn prefix(&self, n: usize) -> Word {
+        self.slice(0, n)
+    }
+
+    /// The suffix starting at position `n`.
+    pub fn suffix_from(&self, n: usize) -> Word {
+        self.slice(n, self.len())
+    }
+
+    /// All prefixes, from ε to the full word (inclusive), in increasing length.
+    pub fn prefixes(&self) -> Vec<Word> {
+        (0..=self.len()).map(|n| self.prefix(n)).collect()
+    }
+
+    /// All suffixes, from the full word down to ε.
+    pub fn suffixes(&self) -> Vec<Word> {
+        (0..=self.len()).map(|n| self.suffix_from(n)).collect()
+    }
+
+    /// All distinct nonempty factors.
+    pub fn factors(&self) -> Vec<Word> {
+        let mut set = BTreeSet::new();
+        for i in 0..self.len() {
+            for j in i + 1..=self.len() {
+                set.insert(self.slice(i, j));
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// True iff `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Word) -> bool {
+        self.len() <= other.len() && self.0[..] == other.0[..self.len()]
+    }
+
+    /// True iff `self` is a suffix of `other`.
+    pub fn is_suffix_of(&self, other: &Word) -> bool {
+        self.len() <= other.len() && self.0[..] == other.0[other.len() - self.len()..]
+    }
+
+    /// True iff `self` occurs as a (contiguous) factor of `other`.
+    pub fn is_factor_of(&self, other: &Word) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        if self.len() > other.len() {
+            return false;
+        }
+        other
+            .0
+            .windows(self.len())
+            .any(|window| window == self.0.as_slice())
+    }
+
+    /// All start offsets at which `self` occurs as a factor of `other`.
+    pub fn occurrences_in(&self, other: &Word) -> Vec<usize> {
+        if self.is_empty() {
+            return (0..=other.len()).collect();
+        }
+        if self.len() > other.len() {
+            return Vec::new();
+        }
+        (0..=other.len() - self.len())
+            .filter(|&o| other.0[o..o + self.len()] == self.0[..])
+            .collect()
+    }
+
+    /// The set of relation names occurring in the word (`symbols(q)`).
+    pub fn symbols(&self) -> BTreeSet<RelName> {
+        self.0.iter().copied().collect()
+    }
+
+    /// True iff no relation name occurs more than once (`self-join-free`).
+    pub fn is_self_join_free(&self) -> bool {
+        self.symbols().len() == self.len()
+    }
+
+    /// All positions at which `r` occurs.
+    pub fn positions_of(&self, r: RelName) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| (x == r).then_some(i))
+            .collect()
+    }
+
+    /// All pairs of positions `(i, j)` with `i < j` and `self[i] == self[j]`.
+    ///
+    /// Each such pair witnesses a decomposition `q = u R v R w` with
+    /// `u = q[..i]`, `R = q[i]`, `v = q[i+1..j]`, `w = q[j+1..]`, which is
+    /// exactly the situation in which the *rewinding* operator applies.
+    pub fn repeated_letter_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for i in 0..self.len() {
+            for j in i + 1..self.len() {
+                if self.0[i] == self.0[j] {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// For every relation name `R` occurring at least three times, all triples
+    /// `(i, j, k)` of *consecutive* occurrences of `R` (no occurrence of `R`
+    /// strictly between `i` and `j`, nor between `j` and `k`).
+    ///
+    /// These are the decompositions `q = u R v1 R v2 R w` used by condition C2.
+    pub fn consecutive_triples(&self) -> Vec<(usize, usize, usize)> {
+        let mut triples = Vec::new();
+        for r in self.symbols() {
+            let pos = self.positions_of(r);
+            for window in pos.windows(3) {
+                triples.push((window[0], window[1], window[2]));
+            }
+        }
+        triples.sort_unstable();
+        triples
+    }
+
+    /// Applies one *rewind* at the pair `(i, j)` (which must satisfy
+    /// `self[i] == self[j]` and `i < j`): writing `q = u R v R w` with
+    /// `u = q[..i]` and `R v = q[i..j]`, returns `u R v R v R w`.
+    ///
+    /// # Panics
+    /// Panics if `i >= j`, either index is out of range, or the letters differ.
+    pub fn rewind_at(&self, i: usize, j: usize) -> Word {
+        assert!(i < j && j < self.len(), "rewind indices out of range");
+        assert_eq!(self.0[i], self.0[j], "rewind requires equal letters");
+        let mut v = Vec::with_capacity(self.len() + (j - i));
+        v.extend_from_slice(&self.0[..j]);
+        v.extend_from_slice(&self.0[i..]);
+        Word(v)
+    }
+
+    /// All single-step rewinds of the word, each tagged with the pair of
+    /// positions that produced it.
+    pub fn rewinds(&self) -> Vec<(usize, usize, Word)> {
+        self.repeated_letter_pairs()
+            .into_iter()
+            .map(|(i, j)| (i, j, self.rewind_at(i, j)))
+            .collect()
+    }
+
+    /// All words reachable from `self` by at most `depth` rewinds, including
+    /// `self` itself. This is a finite under-approximation of `L↬(q)`, used
+    /// in tests and in the bounded language-exploration utilities.
+    pub fn rewind_closure(&self, depth: usize) -> BTreeSet<Word> {
+        let mut seen: BTreeSet<Word> = BTreeSet::new();
+        seen.insert(self.clone());
+        let mut frontier = vec![self.clone()];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for (_, _, r) in w.rewinds() {
+                    if seen.insert(r.clone()) {
+                        next.push(r);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        seen
+    }
+
+    /// All rotations of the word (`uv ↦ vu`). The word itself is included.
+    pub fn rotations(&self) -> Vec<Word> {
+        if self.is_empty() {
+            return vec![Word::empty()];
+        }
+        (0..self.len())
+            .map(|i| {
+                let mut v = Vec::with_capacity(self.len());
+                v.extend_from_slice(&self.0[i..]);
+                v.extend_from_slice(&self.0[..i]);
+                Word(v)
+            })
+            .collect()
+    }
+
+    /// All *episodes* of the word: factors of the form `R u R` such that `R`
+    /// does not occur in `u` (Definition 19 in the paper). Returned as
+    /// `(start, end_inclusive)` position pairs of the two `R`s.
+    pub fn episodes(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            for j in i + 1..self.len() {
+                if self.0[i] == self.0[j]
+                    && !self.0[i + 1..j].contains(&self.0[i])
+                {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// True iff the episode at `(i, j)` is *right-repeating* within the word:
+    /// with `q = ℓ R u R r`, the suffix `r` is a prefix of `(u R)^|r|`.
+    pub fn episode_right_repeating(&self, i: usize, j: usize) -> bool {
+        let u = self.slice(i + 1, j);
+        let r = self.suffix_from(j + 1);
+        let mut ur = u.clone();
+        ur.push(self.0[i]);
+        r.is_prefix_of(&ur.repeat(r.len().max(1)))
+    }
+
+    /// True iff the episode at `(i, j)` is *left-repeating* within the word:
+    /// with `q = ℓ R u R r`, the prefix `ℓ` is a suffix of `(R u)^|ℓ|`.
+    pub fn episode_left_repeating(&self, i: usize, j: usize) -> bool {
+        let u = self.slice(i + 1, j);
+        let l = self.prefix(i);
+        let mut ru = Word::new([self.0[i]]);
+        ru = ru.concat(&u);
+        l.is_suffix_of(&ru.repeat(l.len().max(1)))
+    }
+}
+
+/// Enumerates every word of length between 1 and `max_len` (inclusive) over
+/// the given alphabet, in length-then-lexicographic order.
+///
+/// Used by exhaustive tests of the combinatorial lemmas and by the
+/// classification benchmarks.
+pub fn all_words(alphabet: &[RelName], max_len: usize) -> Vec<Word> {
+    let mut out = Vec::new();
+    let base = alphabet.len();
+    if base == 0 {
+        return out;
+    }
+    for len in 1..=max_len as u32 {
+        let count = base.pow(len);
+        for code in 0..count {
+            let mut rest = code;
+            let mut letters = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                letters.push(alphabet[rest % base]);
+                rest /= base;
+            }
+            out.push(Word::new(letters));
+        }
+    }
+    out
+}
+
+impl Index<usize> for Word {
+    type Output = RelName;
+
+    fn index(&self, i: usize) -> &RelName {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<RelName> for Word {
+    fn from_iter<I: IntoIterator<Item = RelName>>(iter: I) -> Word {
+        Word(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({self})")
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("ε");
+        }
+        let single_char = self.0.iter().all(|r| r.as_str().chars().count() == 1);
+        let sep = if single_char { "" } else { " " };
+        let mut first = true;
+        for r in &self.0 {
+            if !first {
+                f.write_str(sep)?;
+            }
+            f.write_str(r.as_str())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> Word {
+        Word::from_letters(s)
+    }
+
+    #[test]
+    fn from_letters_parses_single_character_names() {
+        let q = w("RXRY");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q[0], RelName::new("R"));
+        assert_eq!(q[1], RelName::new("X"));
+        assert_eq!(q.to_string(), "RXRY");
+    }
+
+    #[test]
+    fn from_names_parses_multi_character_names() {
+        let q = Word::from_names("Follows Likes Follows");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q[0], RelName::new("Follows"));
+        assert_eq!(q.to_string(), "Follows Likes Follows");
+    }
+
+    #[test]
+    fn empty_word_displays_as_epsilon() {
+        assert_eq!(Word::empty().to_string(), "ε");
+        assert!(Word::empty().is_empty());
+    }
+
+    #[test]
+    fn prefix_suffix_factor_relations() {
+        let q = w("RXRY");
+        assert!(w("RX").is_prefix_of(&q));
+        assert!(!w("XR").is_prefix_of(&q));
+        assert!(w("RY").is_suffix_of(&q));
+        assert!(w("XR").is_factor_of(&q));
+        assert!(!w("YR").is_factor_of(&q));
+        assert!(Word::empty().is_prefix_of(&q));
+        assert!(Word::empty().is_factor_of(&q));
+    }
+
+    #[test]
+    fn occurrences_are_all_start_offsets() {
+        let q = w("RRRR");
+        assert_eq!(w("RR").occurrences_in(&q), vec![0, 1, 2]);
+        assert_eq!(w("X").occurrences_in(&q), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn self_join_free_detection() {
+        assert!(w("RXY").is_self_join_free());
+        assert!(!w("RXR").is_self_join_free());
+        assert!(Word::empty().is_self_join_free());
+    }
+
+    #[test]
+    fn rewind_matches_paper_examples() {
+        // TWITTER rewinds to TWI·TWI·TTER, TWIT·TWIT·TER and TWI·T·T·TER.
+        let q = w("TWITTER");
+        let rewinds: BTreeSet<Word> = q.rewinds().into_iter().map(|(_, _, r)| r).collect();
+        assert!(rewinds.contains(&w("TWITWITTER")));
+        assert!(rewinds.contains(&w("TWITTWITTER")));
+        assert!(rewinds.contains(&w("TWITTTER")));
+        // The E/R pair does not exist; count the distinct rewound words:
+        // pairs of equal letters: (T0,T3), (T0,T4), (T3,T4), (E?) none, (R?) none... plus (T0,T3),(T0,T4),(T3,T4)
+        assert_eq!(q.repeated_letter_pairs().len(), 3);
+    }
+
+    #[test]
+    fn rewind_at_rr() {
+        let q = w("RR");
+        assert_eq!(q.rewind_at(0, 1), w("RRR"));
+        let q = w("RRX");
+        assert_eq!(q.rewind_at(0, 1), w("RRRX"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rewind_at_rejects_unequal_letters() {
+        let q = w("RX");
+        let _ = q.rewind_at(0, 1);
+    }
+
+    #[test]
+    fn rewind_closure_of_rr_is_r_star() {
+        let q = w("RR");
+        let closure = q.rewind_closure(3);
+        // RR, RRR, RRRR, RRRRR are reachable within 3 rewinds.
+        assert!(closure.contains(&w("RR")));
+        assert!(closure.contains(&w("RRR")));
+        assert!(closure.contains(&w("RRRRR")));
+    }
+
+    #[test]
+    fn consecutive_triples_only_lists_adjacent_occurrences() {
+        let q = w("RXRYRZR");
+        // R occurs at 0, 2, 4, 6; consecutive triples: (0,2,4), (2,4,6).
+        assert_eq!(q.consecutive_triples(), vec![(0, 2, 4), (2, 4, 6)]);
+        assert!(w("RXRY").consecutive_triples().is_empty());
+    }
+
+    #[test]
+    fn rotations_include_identity_and_have_same_multiset() {
+        let q = w("RXY");
+        let rots = q.rotations();
+        assert_eq!(rots.len(), 3);
+        assert!(rots.contains(&w("RXY")));
+        assert!(rots.contains(&w("XYR")));
+        assert!(rots.contains(&w("YRX")));
+    }
+
+    #[test]
+    fn episodes_exclude_inner_occurrences() {
+        // In AMAA the episodes of A are (0,2) and (2,3), but not (0,3).
+        let q = w("AMAA");
+        let eps = q.episodes();
+        assert!(eps.contains(&(0, 2)));
+        assert!(eps.contains(&(2, 3)));
+        assert!(!eps.contains(&(0, 3)));
+    }
+
+    #[test]
+    fn episode_repetition_example_from_paper() {
+        // q = AMAA MAAMA MAAMAAMAB; episode e1 = (M)AAM(A) at ... the paper's
+        // example says the episode starting at position 1 (M A A M) is
+        // left-repeating. We verify left/right repetition on a simpler case:
+        // in q = RXRXR, the episode (0,2) (RXR) is right-repeating
+        // (suffix XR is a prefix of (XR)^2) and (2,4) is left-repeating.
+        let q = w("RXRXR");
+        assert!(q.episode_right_repeating(0, 2));
+        assert!(q.episode_left_repeating(2, 4));
+    }
+
+    #[test]
+    fn slices_and_repeats() {
+        let q = w("RXRY");
+        assert_eq!(q.slice(1, 3), w("XR"));
+        assert_eq!(q.prefix(2), w("RX"));
+        assert_eq!(q.suffix_from(2), w("RY"));
+        assert_eq!(w("RX").repeat(3), w("RXRXRX"));
+        assert_eq!(w("RX").repeat(0), Word::empty());
+    }
+}

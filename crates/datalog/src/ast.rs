@@ -1,0 +1,369 @@
+//! Abstract syntax for Datalog with stratified negation and a small set of
+//! built-in predicates.
+
+use std::fmt;
+
+use cqa_core::symbol::Symbol;
+
+/// A predicate symbol with a fixed arity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    /// The predicate name.
+    pub name: Symbol,
+    /// The arity.
+    pub arity: usize,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(name: &str, arity: usize) -> Predicate {
+        Predicate {
+            name: Symbol::new(name),
+            arity,
+        }
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DlTerm {
+    /// A variable, identified by name.
+    Var(Symbol),
+    /// A constant.
+    Const(Symbol),
+}
+
+impl DlTerm {
+    /// A variable term.
+    pub fn var(name: &str) -> DlTerm {
+        DlTerm::Var(Symbol::new(name))
+    }
+
+    /// A constant term.
+    pub fn constant(name: &str) -> DlTerm {
+        DlTerm::Const(Symbol::new(name))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            DlTerm::Var(v) => Some(*v),
+            DlTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for DlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlTerm::Var(v) => write!(f, "{v}"),
+            DlTerm::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+impl fmt::Display for DlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// An atom `p(t1, …, tn)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DlAtom {
+    /// The predicate.
+    pub pred: Predicate,
+    /// The argument terms (length = arity).
+    pub args: Vec<DlTerm>,
+}
+
+impl DlAtom {
+    /// Creates an atom, checking the arity.
+    pub fn new(pred: Predicate, args: Vec<DlTerm>) -> DlAtom {
+        assert_eq!(pred.arity, args.len(), "arity mismatch for {pred}");
+        DlAtom { pred, args }
+    }
+}
+
+impl fmt::Display for DlAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Built-in predicates evaluated over bound arguments.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Builtin {
+    /// `t1 != t2`.
+    Neq(DlTerm, DlTerm),
+    /// `t1 = t2`.
+    Eq(DlTerm, DlTerm),
+    /// `KeyConsistent(x1, y1, x2, y2)`: true iff `x1 != x2 ∨ y1 = y2`,
+    /// i.e. the facts `R(x1, y1)` and `R(x2, y2)` are not two distinct
+    /// key-equal facts. This is the `consistent/4` predicate of Section 6.3.
+    KeyConsistent(DlTerm, DlTerm, DlTerm, DlTerm),
+}
+
+impl Builtin {
+    /// The terms of the builtin.
+    pub fn terms(&self) -> Vec<DlTerm> {
+        match self {
+            Builtin::Neq(a, b) | Builtin::Eq(a, b) => vec![*a, *b],
+            Builtin::KeyConsistent(a, b, c, d) => vec![*a, *b, *c, *d],
+        }
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Builtin::Neq(a, b) => write!(f, "{a} != {b}"),
+            Builtin::Eq(a, b) => write!(f, "{a} = {b}"),
+            Builtin::KeyConsistent(a, b, c, d) => write!(f, "consistent({a}, {b}, {c}, {d})"),
+        }
+    }
+}
+
+/// A literal in a rule body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BodyLiteral {
+    /// A positive atom.
+    Positive(DlAtom),
+    /// A negated atom (stratified negation).
+    Negative(DlAtom),
+    /// A built-in constraint.
+    Builtin(Builtin),
+}
+
+impl BodyLiteral {
+    /// The variables occurring in the literal.
+    pub fn vars(&self) -> Vec<Symbol> {
+        match self {
+            BodyLiteral::Positive(a) | BodyLiteral::Negative(a) => {
+                a.args.iter().filter_map(DlTerm::as_var).collect()
+            }
+            BodyLiteral::Builtin(b) => b.terms().iter().filter_map(DlTerm::as_var).collect(),
+        }
+    }
+}
+
+impl fmt::Display for BodyLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyLiteral::Positive(a) => write!(f, "{a}"),
+            BodyLiteral::Negative(a) => write!(f, "not {a}"),
+            BodyLiteral::Builtin(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A rule `head :- body`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The head atom.
+    pub head: DlAtom,
+    /// The body literals.
+    pub body: Vec<BodyLiteral>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(head: DlAtom, body: Vec<BodyLiteral>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// True iff the rule is *safe*: every head variable and every variable of
+    /// a negative or built-in literal occurs in some positive body literal.
+    pub fn is_safe(&self) -> bool {
+        let positive_vars: std::collections::BTreeSet<Symbol> = self
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                BodyLiteral::Positive(a) => Some(a.args.iter().filter_map(DlTerm::as_var)),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let head_ok = self
+            .head
+            .args
+            .iter()
+            .filter_map(DlTerm::as_var)
+            .all(|v| positive_vars.contains(&v));
+        let body_ok = self.body.iter().all(|l| match l {
+            BodyLiteral::Positive(_) => true,
+            _ => l.vars().iter().all(|v| positive_vars.contains(v)),
+        });
+        head_ok && body_ok
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        if self.body.is_empty() {
+            return f.write_str("true.");
+        }
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        f.write_str(".")
+    }
+}
+
+/// A Datalog program: a list of rules plus the set of EDB predicates.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// Predicates supplied by the database (extensional).
+    pub edb: Vec<Predicate>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Declares an EDB predicate.
+    pub fn declare_edb(&mut self, pred: Predicate) {
+        if !self.edb.contains(&pred) {
+            self.edb.push(pred);
+        }
+    }
+
+    /// The intensional (derived) predicates: every head predicate.
+    pub fn idb_predicates(&self) -> Vec<Predicate> {
+        let mut preds: Vec<Predicate> = self.rules.iter().map(|r| r.head.pred).collect();
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+
+    /// True iff every rule is safe.
+    pub fn is_safe(&self) -> bool {
+        self.rules.iter().all(Rule::is_safe)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> Predicate {
+        Predicate::new("edge", 2)
+    }
+
+    fn path() -> Predicate {
+        Predicate::new("path", 2)
+    }
+
+    #[test]
+    fn atoms_check_arity() {
+        let a = DlAtom::new(edge(), vec![DlTerm::var("X"), DlTerm::var("Y")]);
+        assert_eq!(a.to_string(), "edge(X, Y)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        DlAtom::new(edge(), vec![DlTerm::var("X")]);
+    }
+
+    #[test]
+    fn safety_check() {
+        // path(X, Y) :- edge(X, Y). — safe.
+        let safe = Rule::new(
+            DlAtom::new(path(), vec![DlTerm::var("X"), DlTerm::var("Y")]),
+            vec![BodyLiteral::Positive(DlAtom::new(
+                edge(),
+                vec![DlTerm::var("X"), DlTerm::var("Y")],
+            ))],
+        );
+        assert!(safe.is_safe());
+        // path(X, Z) :- edge(X, Y). — unsafe (Z unbound).
+        let unsafe_rule = Rule::new(
+            DlAtom::new(path(), vec![DlTerm::var("X"), DlTerm::var("Z")]),
+            vec![BodyLiteral::Positive(DlAtom::new(
+                edge(),
+                vec![DlTerm::var("X"), DlTerm::var("Y")],
+            ))],
+        );
+        assert!(!unsafe_rule.is_safe());
+        // p(X) :- edge(X, Y), not path(X, Z). — unsafe (Z only under negation).
+        let unsafe_neg = Rule::new(
+            DlAtom::new(Predicate::new("p", 1), vec![DlTerm::var("X")]),
+            vec![
+                BodyLiteral::Positive(DlAtom::new(edge(), vec![DlTerm::var("X"), DlTerm::var("Y")])),
+                BodyLiteral::Negative(DlAtom::new(path(), vec![DlTerm::var("X"), DlTerm::var("Z")])),
+            ],
+        );
+        assert!(!unsafe_neg.is_safe());
+    }
+
+    #[test]
+    fn display_formats_rules() {
+        let rule = Rule::new(
+            DlAtom::new(path(), vec![DlTerm::var("X"), DlTerm::var("Y")]),
+            vec![
+                BodyLiteral::Positive(DlAtom::new(edge(), vec![DlTerm::var("X"), DlTerm::var("Y")])),
+                BodyLiteral::Builtin(Builtin::Neq(DlTerm::var("X"), DlTerm::var("Y"))),
+            ],
+        );
+        assert_eq!(rule.to_string(), "path(X, Y) :- edge(X, Y), X != Y.");
+    }
+
+    #[test]
+    fn program_tracks_idb_and_edb() {
+        let mut program = Program::new();
+        program.declare_edb(edge());
+        program.declare_edb(edge());
+        program.add_rule(Rule::new(
+            DlAtom::new(path(), vec![DlTerm::var("X"), DlTerm::var("Y")]),
+            vec![BodyLiteral::Positive(DlAtom::new(
+                edge(),
+                vec![DlTerm::var("X"), DlTerm::var("Y")],
+            ))],
+        ));
+        assert_eq!(program.edb.len(), 1);
+        assert_eq!(program.idb_predicates(), vec![path()]);
+        assert!(program.is_safe());
+    }
+}

@@ -1,0 +1,546 @@
+//! A bottom-up, stratum-by-stratum Datalog engine with semi-naive evaluation
+//! of recursive rules, stratified negation and built-in constraints.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use cqa_core::symbol::Symbol;
+use cqa_db::instance::DatabaseInstance;
+
+use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule};
+use crate::stratify::{stratify, StratifyError};
+
+/// A tuple of constants.
+pub type Tuple = Vec<Symbol>;
+
+/// A set of derived relations.
+#[derive(Debug, Clone, Default)]
+pub struct RelationStore {
+    relations: HashMap<Predicate, HashSet<Tuple>>,
+}
+
+impl RelationStore {
+    /// Creates an empty store.
+    pub fn new() -> RelationStore {
+        RelationStore::default()
+    }
+
+    /// The tuples of a predicate (empty if absent).
+    pub fn tuples(&self, pred: Predicate) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(&pred).into_iter().flatten()
+    }
+
+    /// True iff the tuple is present.
+    pub fn contains(&self, pred: Predicate, tuple: &Tuple) -> bool {
+        self.relations
+            .get(&pred)
+            .is_some_and(|set| set.contains(tuple))
+    }
+
+    /// Inserts a tuple; returns true if it was new.
+    pub fn insert(&mut self, pred: Predicate, tuple: Tuple) -> bool {
+        debug_assert_eq!(pred.arity, tuple.len());
+        self.relations.entry(pred).or_default().insert(tuple)
+    }
+
+    /// Number of tuples of a predicate.
+    pub fn len(&self, pred: Predicate) -> usize {
+        self.relations.get(&pred).map_or(0, HashSet::len)
+    }
+
+    /// True iff no tuples at all are stored.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(HashSet::is_empty)
+    }
+
+    /// The unary relation of a predicate as a set of symbols.
+    pub fn unary(&self, pred: Predicate) -> BTreeSet<Symbol> {
+        assert_eq!(pred.arity, 1);
+        self.tuples(pred).map(|t| t[0]).collect()
+    }
+}
+
+/// Errors produced by evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The program is not stratifiable.
+    Stratification(StratifyError),
+    /// A rule is unsafe (an unbound variable in the head, a negative literal
+    /// or a builtin).
+    UnsafeRule(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Stratification(e) => write!(f, "stratification error: {e}"),
+            EngineError::UnsafeRule(r) => write!(f, "unsafe rule: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StratifyError> for EngineError {
+    fn from(e: StratifyError) -> EngineError {
+        EngineError::Stratification(e)
+    }
+}
+
+/// Loads the extensional database from a [`DatabaseInstance`]: every relation
+/// name `R` becomes a binary predicate `R`, and the unary predicate `adom`
+/// holds the active domain.
+pub fn edb_from_instance(db: &DatabaseInstance) -> RelationStore {
+    let mut store = RelationStore::new();
+    for fact in db.facts() {
+        let pred = Predicate {
+            name: fact.rel.symbol(),
+            arity: 2,
+        };
+        store.insert(pred, vec![fact.key.symbol(), fact.value.symbol()]);
+    }
+    let adom = Predicate::new("adom", 1);
+    for &c in db.adom() {
+        store.insert(adom, vec![c.symbol()]);
+    }
+    store
+}
+
+/// The binding environment during rule evaluation.
+type Env = BTreeMap<Symbol, Symbol>;
+
+fn resolve(term: &DlTerm, env: &Env) -> Option<Symbol> {
+    match term {
+        DlTerm::Const(c) => Some(*c),
+        DlTerm::Var(v) => env.get(v).copied(),
+    }
+}
+
+fn match_atom(atom: &DlAtom, tuple: &Tuple, env: &Env) -> Option<Env> {
+    let mut new_env = env.clone();
+    for (term, &value) in atom.args.iter().zip(tuple.iter()) {
+        match term {
+            DlTerm::Const(c) => {
+                if *c != value {
+                    return None;
+                }
+            }
+            DlTerm::Var(v) => match new_env.get(v) {
+                Some(&bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    new_env.insert(*v, value);
+                }
+            },
+        }
+    }
+    Some(new_env)
+}
+
+fn eval_builtin(builtin: &Builtin, env: &Env) -> bool {
+    let value = |t: &DlTerm| resolve(t, env).expect("builtin arguments must be bound (safe rule)");
+    match builtin {
+        Builtin::Neq(a, b) => value(a) != value(b),
+        Builtin::Eq(a, b) => value(a) == value(b),
+        Builtin::KeyConsistent(x1, y1, x2, y2) => value(x1) != value(x2) || value(y1) == value(y2),
+    }
+}
+
+/// Evaluates a Datalog program over a database instance.
+pub struct Evaluator<'a> {
+    program: &'a Program,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for the program.
+    pub fn new(program: &'a Program) -> Evaluator<'a> {
+        Evaluator { program }
+    }
+
+    /// Runs the program on the EDB extracted from `db`, returning all derived
+    /// relations (the EDB tuples are included in the result).
+    pub fn run(&self, db: &DatabaseInstance) -> Result<RelationStore, EngineError> {
+        self.run_on_store(edb_from_instance(db))
+    }
+
+    /// Runs the program on an explicitly provided EDB store.
+    pub fn run_on_store(&self, mut store: RelationStore) -> Result<RelationStore, EngineError> {
+        for rule in &self.program.rules {
+            if !rule.is_safe() {
+                return Err(EngineError::UnsafeRule(rule.to_string()));
+            }
+        }
+        let strat = stratify(self.program)?;
+        for stratum_preds in &strat.strata {
+            let stratum_set: BTreeSet<Predicate> = stratum_preds.iter().copied().collect();
+            let rules: Vec<&Rule> = self
+                .program
+                .rules
+                .iter()
+                .filter(|r| stratum_set.contains(&r.head.pred))
+                .collect();
+            self.evaluate_stratum(&rules, &stratum_set, &mut store);
+        }
+        Ok(store)
+    }
+
+    /// Semi-naive evaluation of one stratum.
+    fn evaluate_stratum(
+        &self,
+        rules: &[&Rule],
+        stratum: &BTreeSet<Predicate>,
+        store: &mut RelationStore,
+    ) {
+        // Initial round: evaluate every rule against the full store.
+        let mut delta: Vec<(Predicate, Tuple)> = Vec::new();
+        for rule in rules {
+            for tuple in self.derive(rule, store, None) {
+                if store.insert(rule.head.pred, tuple.clone()) {
+                    delta.push((rule.head.pred, tuple));
+                }
+            }
+        }
+        // Iterate: only rules with a positive atom in this stratum can fire
+        // again, and at least one such atom must match a delta tuple.
+        while !delta.is_empty() {
+            let delta_set: HashSet<(Predicate, Tuple)> = delta.drain(..).collect();
+            let mut next_delta = Vec::new();
+            for rule in rules {
+                let recursive_positions: Vec<usize> = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| {
+                        matches!(l, BodyLiteral::Positive(a) if stratum.contains(&a.pred))
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if recursive_positions.is_empty() {
+                    continue;
+                }
+                for &pos in &recursive_positions {
+                    for tuple in self.derive(rule, store, Some((pos, &delta_set))) {
+                        if store.insert(rule.head.pred, tuple.clone()) {
+                            next_delta.push((rule.head.pred, tuple));
+                        }
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+    }
+
+    /// Derives all head tuples of a rule. If `delta_at` is given, the
+    /// positive literal at that body position is restricted to delta tuples.
+    fn derive(
+        &self,
+        rule: &Rule,
+        store: &RelationStore,
+        delta_at: Option<(usize, &HashSet<(Predicate, Tuple)>)>,
+    ) -> Vec<Tuple> {
+        let mut results = Vec::new();
+        // Order literals: positives first in given order, then negatives and
+        // builtins (whose variables are bound by then because the rule is safe).
+        let mut ordered: Vec<(usize, &BodyLiteral)> = Vec::new();
+        for (i, l) in rule.body.iter().enumerate() {
+            if matches!(l, BodyLiteral::Positive(_)) {
+                ordered.push((i, l));
+            }
+        }
+        for (i, l) in rule.body.iter().enumerate() {
+            if !matches!(l, BodyLiteral::Positive(_)) {
+                ordered.push((i, l));
+            }
+        }
+        let mut envs: Vec<Env> = vec![Env::new()];
+        for (position, literal) in ordered {
+            let mut next: Vec<Env> = Vec::new();
+            match literal {
+                BodyLiteral::Positive(atom) => {
+                    for env in &envs {
+                        match delta_at {
+                            Some((delta_pos, delta_set)) if delta_pos == position => {
+                                for (pred, tuple) in delta_set {
+                                    if *pred != atom.pred {
+                                        continue;
+                                    }
+                                    if let Some(extended) = match_atom(atom, tuple, env) {
+                                        next.push(extended);
+                                    }
+                                }
+                            }
+                            _ => {
+                                for tuple in store.tuples(atom.pred) {
+                                    if let Some(extended) = match_atom(atom, tuple, env) {
+                                        next.push(extended);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                BodyLiteral::Negative(atom) => {
+                    for env in &envs {
+                        let ground: Option<Tuple> =
+                            atom.args.iter().map(|t| resolve(t, env)).collect();
+                        let ground = ground.expect("safe rule: negated atoms are bound");
+                        if !store.contains(atom.pred, &ground) {
+                            next.push(env.clone());
+                        }
+                    }
+                }
+                BodyLiteral::Builtin(builtin) => {
+                    for env in &envs {
+                        if eval_builtin(builtin, env) {
+                            next.push(env.clone());
+                        }
+                    }
+                }
+            }
+            envs = next;
+            if envs.is_empty() {
+                return results;
+            }
+        }
+        for env in envs {
+            let tuple: Option<Tuple> = rule.head.args.iter().map(|t| resolve(t, &env)).collect();
+            results.push(tuple.expect("safe rule: head variables are bound"));
+        }
+        results
+    }
+}
+
+/// Convenience: evaluates a program over a database instance.
+pub fn evaluate(program: &Program, db: &DatabaseInstance) -> Result<RelationStore, EngineError> {
+    Evaluator::new(program).run(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Rule;
+
+    fn pred(name: &str, arity: usize) -> Predicate {
+        Predicate::new(name, arity)
+    }
+
+    fn atom(name: &str, vars: &[&str]) -> DlAtom {
+        DlAtom::new(
+            pred(name, vars.len()),
+            vars.iter().map(|v| DlTerm::var(v)).collect(),
+        )
+    }
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    fn chain_db(n: usize) -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        for i in 0..n {
+            db.insert_parsed("E", &format!("n{i}"), &format!("n{}", i + 1));
+        }
+        db
+    }
+
+    fn reachability_program() -> Program {
+        let mut p = Program::new();
+        p.declare_edb(pred("E", 2));
+        p.add_rule(Rule::new(
+            atom("path", &["X", "Y"]),
+            vec![BodyLiteral::Positive(atom("E", &["X", "Y"]))],
+        ));
+        p.add_rule(Rule::new(
+            atom("path", &["X", "Z"]),
+            vec![
+                BodyLiteral::Positive(atom("path", &["X", "Y"])),
+                BodyLiteral::Positive(atom("E", &["Y", "Z"])),
+            ],
+        ));
+        p
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let db = chain_db(5);
+        let store = evaluate(&reachability_program(), &db).unwrap();
+        let path = pred("path", 2);
+        // 6 nodes, closure of a chain has n(n+1)/2 = 15 pairs.
+        assert_eq!(store.len(path), 15);
+        assert!(store.contains(path, &vec![sym("n0"), sym("n5")]));
+        assert!(!store.contains(path, &vec![sym("n5"), sym("n0")]));
+    }
+
+    #[test]
+    fn closure_of_a_cycle_terminates() {
+        let mut db = chain_db(3);
+        db.insert_parsed("E", "n3", "n0");
+        let store = evaluate(&reachability_program(), &db).unwrap();
+        let path = pred("path", 2);
+        // Four nodes on a cycle: every node reaches every node, 16 pairs.
+        assert_eq!(store.len(path), 16);
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        let mut program = reachability_program();
+        program.declare_edb(pred("adom", 1));
+        program.add_rule(Rule::new(
+            atom("unreach", &["X", "Y"]),
+            vec![
+                BodyLiteral::Positive(atom("adom", &["X"])),
+                BodyLiteral::Positive(atom("adom", &["Y"])),
+                BodyLiteral::Negative(atom("path", &["X", "Y"])),
+            ],
+        ));
+        let db = chain_db(2);
+        let store = evaluate(&program, &db).unwrap();
+        let unreach = pred("unreach", 2);
+        assert!(store.contains(unreach, &vec![sym("n2"), sym("n0")]));
+        assert!(!store.contains(unreach, &vec![sym("n0"), sym("n2")]));
+        // Every node "unreaches" itself (no self-loops in a chain).
+        assert!(store.contains(unreach, &vec![sym("n1"), sym("n1")]));
+    }
+
+    #[test]
+    fn builtins_filter_bindings() {
+        let mut program = Program::new();
+        program.declare_edb(pred("E", 2));
+        program.add_rule(Rule::new(
+            atom("loopless", &["X", "Y"]),
+            vec![
+                BodyLiteral::Positive(atom("E", &["X", "Y"])),
+                BodyLiteral::Builtin(Builtin::Neq(DlTerm::var("X"), DlTerm::var("Y"))),
+            ],
+        ));
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("E", "a", "a");
+        db.insert_parsed("E", "a", "b");
+        let store = evaluate(&program, &db).unwrap();
+        assert_eq!(store.len(pred("loopless", 2)), 1);
+        assert!(store.contains(pred("loopless", 2), &vec![sym("a"), sym("b")]));
+    }
+
+    #[test]
+    fn key_consistent_builtin_semantics() {
+        let env: Env = [
+            (sym("X1"), sym("a")),
+            (sym("Y1"), sym("b")),
+            (sym("X2"), sym("a")),
+            (sym("Y2"), sym("c")),
+        ]
+        .into_iter()
+        .collect();
+        let conflicting = Builtin::KeyConsistent(
+            DlTerm::var("X1"),
+            DlTerm::var("Y1"),
+            DlTerm::var("X2"),
+            DlTerm::var("Y2"),
+        );
+        assert!(!eval_builtin(&conflicting, &env));
+        let same_value = Builtin::KeyConsistent(
+            DlTerm::var("X1"),
+            DlTerm::var("Y1"),
+            DlTerm::var("X2"),
+            DlTerm::var("Y1"),
+        );
+        assert!(eval_builtin(&same_value, &env));
+        let different_key = Builtin::KeyConsistent(
+            DlTerm::var("X1"),
+            DlTerm::var("Y1"),
+            DlTerm::var("Y1"),
+            DlTerm::var("Y2"),
+        );
+        assert!(eval_builtin(&different_key, &env));
+    }
+
+    #[test]
+    fn unsafe_rules_are_rejected() {
+        let mut program = Program::new();
+        program.declare_edb(pred("E", 2));
+        program.add_rule(Rule::new(
+            atom("bad", &["X", "Z"]),
+            vec![BodyLiteral::Positive(atom("E", &["X", "Y"]))],
+        ));
+        let db = chain_db(1);
+        assert!(matches!(
+            evaluate(&program, &db),
+            Err(EngineError::UnsafeRule(_))
+        ));
+    }
+
+    #[test]
+    fn constants_in_rules_are_matched() {
+        let mut program = Program::new();
+        program.declare_edb(pred("E", 2));
+        program.add_rule(Rule::new(
+            atom("from_a", &["Y"]),
+            vec![BodyLiteral::Positive(DlAtom::new(
+                pred("E", 2),
+                vec![DlTerm::constant("a"), DlTerm::var("Y")],
+            ))],
+        ));
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("E", "a", "b");
+        db.insert_parsed("E", "c", "d");
+        let store = evaluate(&program, &db).unwrap();
+        assert_eq!(store.len(pred("from_a", 1)), 1);
+        assert!(store.contains(pred("from_a", 1), &vec![sym("b")]));
+    }
+
+    #[test]
+    fn adom_predicate_is_populated() {
+        let db = chain_db(2);
+        let store = edb_from_instance(&db);
+        assert_eq!(store.len(pred("adom", 1)), 3);
+        assert_eq!(store.unary(pred("adom", 1)).len(), 3);
+    }
+
+    #[test]
+    fn semi_naive_matches_naive_on_random_graphs() {
+        // Cross-check the engine against a straightforward reachability
+        // computation on pseudo-random graphs.
+        let mut state = 0xdeadbeefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let n = 8;
+            let mut db = DatabaseInstance::new();
+            let mut edges = Vec::new();
+            for _ in 0..14 {
+                let a = (next() % n) as usize;
+                let b = (next() % n) as usize;
+                db.insert_parsed("E", &format!("v{a}"), &format!("v{b}"));
+                edges.push((a, b));
+            }
+            let store = evaluate(&reachability_program(), &db).unwrap();
+            // Floyd-Warshall style ground truth.
+            let mut reach = vec![vec![false; n as usize]; n as usize];
+            for &(a, b) in &edges {
+                reach[a][b] = true;
+            }
+            for k in 0..n as usize {
+                for i in 0..n as usize {
+                    for j in 0..n as usize {
+                        if reach[i][k] && reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+            for i in 0..n as usize {
+                for j in 0..n as usize {
+                    let expected = reach[i][j];
+                    let got = store.contains(
+                        pred("path", 2),
+                        &vec![sym(&format!("v{i}")), sym(&format!("v{j}"))],
+                    );
+                    assert_eq!(expected, got, "reachability mismatch {i}->{j}");
+                }
+            }
+        }
+    }
+}

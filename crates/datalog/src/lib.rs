@@ -1,0 +1,33 @@
+//! # cqa-datalog
+//!
+//! Datalog with stratified negation: abstract syntax, stratification and
+//! linearity analysis, a bottom-up semi-naive engine with built-in
+//! constraints, and the generator of the **linear** Datalog program of
+//! Lemma 14 that solves `CERTAINTY(q)` for path queries satisfying C2.
+//!
+//! ```
+//! use cqa_core::prelude::*;
+//! use cqa_datalog::prelude::*;
+//!
+//! let q = PathQuery::parse("RRX").unwrap();
+//! let dec = b2b_strict_decomposition(q.word()).unwrap();
+//! let cqa = generate_program(&dec, q.word()).unwrap();
+//! assert!(is_linear(&cqa.program));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cqa_program;
+pub mod engine;
+pub mod stratify;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule};
+    pub use crate::cqa_program::{generate_program, CqaProgram};
+    pub use crate::engine::{edb_from_instance, evaluate, Evaluator, RelationStore, Tuple};
+    pub use crate::stratify::{is_linear, stratify, Stratification, StratifyError};
+    pub use cqa_core::regex_forms::b2b_strict_decomposition;
+}

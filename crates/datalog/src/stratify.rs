@@ -1,0 +1,311 @@
+//! Stratification and linearity analysis.
+//!
+//! A program with negation is *stratified* if no predicate depends negatively
+//! on itself through recursion; the engine evaluates strata bottom-up, and
+//! the NL upper bound of Lemma 14 additionally requires the program to be
+//! *linear*: within each recursive component, every rule body contains at
+//! most one atom of that component.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{BodyLiteral, Predicate, Program};
+
+/// Errors produced by stratification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StratifyError {
+    /// A predicate depends negatively on itself (directly or through a cycle).
+    NegativeCycle(Predicate),
+}
+
+impl std::fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StratifyError::NegativeCycle(p) => {
+                write!(f, "predicate {p} depends negatively on its own recursion")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+/// The result of stratifying a program: a stratum index per IDB predicate,
+/// and the list of strata in evaluation order.
+#[derive(Debug, Clone)]
+pub struct Stratification {
+    /// Stratum of every IDB predicate.
+    pub stratum_of: BTreeMap<Predicate, usize>,
+    /// Predicates grouped by stratum, in evaluation order.
+    pub strata: Vec<Vec<Predicate>>,
+}
+
+/// Computes a stratification of the program, or reports that none exists.
+///
+/// The algorithm is the classical one: iterate
+/// `stratum(p) ≥ stratum(q)` for positive dependencies and
+/// `stratum(p) ≥ stratum(q) + 1` for negative dependencies until a fixpoint,
+/// failing if a stratum exceeds the number of predicates.
+pub fn stratify(program: &Program) -> Result<Stratification, StratifyError> {
+    let idb: BTreeSet<Predicate> = program.idb_predicates().into_iter().collect();
+    let mut stratum: BTreeMap<Predicate, usize> = idb.iter().map(|&p| (p, 0)).collect();
+    let limit = idb.len().max(1);
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            let head = rule.head.pred;
+            let head_stratum = stratum[&head];
+            for literal in &rule.body {
+                match literal {
+                    BodyLiteral::Positive(a) if idb.contains(&a.pred) => {
+                        let required = stratum[&a.pred];
+                        if head_stratum < required {
+                            stratum.insert(head, required);
+                            changed = true;
+                        }
+                    }
+                    BodyLiteral::Negative(a) if idb.contains(&a.pred) => {
+                        let required = stratum[&a.pred] + 1;
+                        if required > limit {
+                            return Err(StratifyError::NegativeCycle(a.pred));
+                        }
+                        if head_stratum < required {
+                            stratum.insert(head, required);
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<Predicate>> = vec![Vec::new(); max_stratum + 1];
+    for (&p, &s) in &stratum {
+        strata[s].push(p);
+    }
+    Ok(Stratification {
+        stratum_of: stratum,
+        strata,
+    })
+}
+
+/// Computes the strongly connected components of the positive dependency
+/// graph restricted to IDB predicates (a simple iterative Tarjan would be
+/// overkill; we use repeated reachability, fine for the small programs here).
+fn recursive_components(program: &Program) -> Vec<BTreeSet<Predicate>> {
+    let idb: Vec<Predicate> = program.idb_predicates();
+    let idb_set: BTreeSet<Predicate> = idb.iter().copied().collect();
+    // edges p -> q if q appears positively in a body of a rule with head p.
+    let mut edges: BTreeMap<Predicate, BTreeSet<Predicate>> = BTreeMap::new();
+    for rule in &program.rules {
+        for literal in &rule.body {
+            if let BodyLiteral::Positive(a) = literal {
+                if idb_set.contains(&a.pred) {
+                    edges.entry(rule.head.pred).or_default().insert(a.pred);
+                }
+            }
+        }
+    }
+    let reachable = |from: Predicate| -> BTreeSet<Predicate> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(p) = stack.pop() {
+            if let Some(next) = edges.get(&p) {
+                for &q in next {
+                    if seen.insert(q) {
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+        seen
+    };
+    let mut assigned: BTreeSet<Predicate> = BTreeSet::new();
+    let mut components = Vec::new();
+    for &p in &idb {
+        if assigned.contains(&p) {
+            continue;
+        }
+        let forward = reachable(p);
+        let component: BTreeSet<Predicate> = forward
+            .iter()
+            .copied()
+            .filter(|&q| reachable(q).contains(&p))
+            .chain(std::iter::once(p))
+            .filter(|&q| !assigned.contains(&q))
+            .collect();
+        for &q in &component {
+            assigned.insert(q);
+        }
+        components.push(component);
+    }
+    components
+}
+
+/// True iff the program is *linear*: every rule body contains at most one
+/// positive atom whose predicate belongs to the same recursive component as
+/// the head. Linear Datalog with stratified negation captures NL.
+pub fn is_linear(program: &Program) -> bool {
+    let components = recursive_components(program);
+    let component_of = |p: Predicate| -> Option<usize> {
+        components.iter().position(|c| c.contains(&p))
+    };
+    for rule in &program.rules {
+        let Some(head_component) = component_of(rule.head.pred) else {
+            continue;
+        };
+        // Only count atoms in the *same* component as the head, and only if
+        // the component is genuinely recursive for this rule's head (i.e. the
+        // head can reach itself). A component is recursive if it has > 1
+        // member or the single member occurs positively in one of its own
+        // rule bodies.
+        let recursive = components[head_component].len() > 1
+            || program.rules.iter().any(|r| {
+                r.head.pred == rule.head.pred
+                    && r.body.iter().any(|l| {
+                        matches!(l, BodyLiteral::Positive(a) if a.pred == rule.head.pred)
+                    })
+            });
+        if !recursive {
+            continue;
+        }
+        let same_component = rule
+            .body
+            .iter()
+            .filter(|l| {
+                matches!(l, BodyLiteral::Positive(a)
+                    if component_of(a.pred) == Some(head_component))
+            })
+            .count();
+        if same_component > 1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DlAtom, DlTerm, Rule};
+
+    fn pred(name: &str, arity: usize) -> Predicate {
+        Predicate::new(name, arity)
+    }
+
+    fn atom(name: &str, vars: &[&str]) -> DlAtom {
+        DlAtom::new(
+            pred(name, vars.len()),
+            vars.iter().map(|v| DlTerm::var(v)).collect(),
+        )
+    }
+
+    fn transitive_closure() -> Program {
+        let mut p = Program::new();
+        p.declare_edb(pred("edge", 2));
+        p.add_rule(Rule::new(
+            atom("path", &["X", "Y"]),
+            vec![BodyLiteral::Positive(atom("edge", &["X", "Y"]))],
+        ));
+        p.add_rule(Rule::new(
+            atom("path", &["X", "Z"]),
+            vec![
+                BodyLiteral::Positive(atom("path", &["X", "Y"])),
+                BodyLiteral::Positive(atom("edge", &["Y", "Z"])),
+            ],
+        ));
+        p
+    }
+
+    #[test]
+    fn transitive_closure_is_stratified_and_linear() {
+        let p = transitive_closure();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.strata.len(), 1);
+        assert!(is_linear(&p));
+    }
+
+    #[test]
+    fn nonlinear_closure_is_detected() {
+        let mut p = transitive_closure();
+        // path(X, Z) :- path(X, Y), path(Y, Z): quadratic rule.
+        p.add_rule(Rule::new(
+            atom("path", &["X", "Z"]),
+            vec![
+                BodyLiteral::Positive(atom("path", &["X", "Y"])),
+                BodyLiteral::Positive(atom("path", &["Y", "Z"])),
+            ],
+        ));
+        assert!(!is_linear(&p));
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        let mut p = transitive_closure();
+        p.add_rule(Rule::new(
+            atom("unreachable", &["X", "Y"]),
+            vec![
+                BodyLiteral::Positive(atom("node", &["X"])),
+                BodyLiteral::Positive(atom("node", &["Y"])),
+                BodyLiteral::Negative(atom("path", &["X", "Y"])),
+            ],
+        ));
+        p.declare_edb(pred("node", 1));
+        let s = stratify(&p).unwrap();
+        assert!(s.stratum_of[&pred("unreachable", 2)] > s.stratum_of[&pred("path", 2)]);
+    }
+
+    #[test]
+    fn negative_recursion_is_rejected() {
+        let mut p = Program::new();
+        p.declare_edb(pred("node", 1));
+        // win(X) :- node(X), not win(X): not stratifiable.
+        p.add_rule(Rule::new(
+            atom("win", &["X"]),
+            vec![
+                BodyLiteral::Positive(atom("node", &["X"])),
+                BodyLiteral::Negative(atom("win", &["X"])),
+            ],
+        ));
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn usage_of_lower_stratum_predicate_twice_is_still_linear() {
+        // p(X) :- path(X, Y), path(Y, Y): two atoms of a *lower* component.
+        let mut prog = transitive_closure();
+        prog.add_rule(Rule::new(
+            atom("p", &["X"]),
+            vec![
+                BodyLiteral::Positive(atom("path", &["X", "Y"])),
+                BodyLiteral::Positive(atom("path", &["Y", "Y"])),
+            ],
+        ));
+        assert!(is_linear(&prog));
+        assert!(stratify(&prog).is_ok());
+    }
+
+    #[test]
+    fn mutual_recursion_forms_one_component() {
+        let mut p = Program::new();
+        p.declare_edb(pred("e", 2));
+        p.add_rule(Rule::new(
+            atom("a", &["X"]),
+            vec![BodyLiteral::Positive(atom("e", &["X", "Y"])), BodyLiteral::Positive(atom("b", &["Y"]))],
+        ));
+        p.add_rule(Rule::new(
+            atom("b", &["X"]),
+            vec![BodyLiteral::Positive(atom("e", &["X", "Y"])), BodyLiteral::Positive(atom("a", &["Y"]))],
+        ));
+        p.add_rule(Rule::new(
+            atom("a", &["X"]),
+            vec![BodyLiteral::Positive(atom("e", &["X", "X"]))],
+        ));
+        let comps = super::recursive_components(&p);
+        assert!(comps.iter().any(|c| c.len() == 2));
+        assert!(is_linear(&p));
+    }
+}

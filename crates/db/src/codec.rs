@@ -1,0 +1,134 @@
+//! Textual and serde encodings of database instances.
+//!
+//! The text format is one fact per line: `R key value`, with `#`-comments and
+//! blank lines ignored. It is convenient for checked-in test fixtures and for
+//! piping instances between the example binaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DbError;
+use crate::fact::Fact;
+use crate::instance::DatabaseInstance;
+
+/// Serializable representation of a fact.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct FactRepr {
+    /// Relation name.
+    pub rel: String,
+    /// Primary-key value.
+    pub key: String,
+    /// Non-key value.
+    pub value: String,
+}
+
+impl From<Fact> for FactRepr {
+    fn from(f: Fact) -> FactRepr {
+        FactRepr {
+            rel: f.rel.as_str().to_owned(),
+            key: f.key.as_str().to_owned(),
+            value: f.value.as_str().to_owned(),
+        }
+    }
+}
+
+impl From<&FactRepr> for Fact {
+    fn from(r: &FactRepr) -> Fact {
+        Fact::parse(&r.rel, &r.key, &r.value)
+    }
+}
+
+/// Serializable representation of a whole instance.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq, Default)]
+pub struct InstanceRepr {
+    /// All facts of the instance.
+    pub facts: Vec<FactRepr>,
+}
+
+impl From<&DatabaseInstance> for InstanceRepr {
+    fn from(db: &DatabaseInstance) -> InstanceRepr {
+        InstanceRepr {
+            facts: db.facts().iter().copied().map(FactRepr::from).collect(),
+        }
+    }
+}
+
+impl From<&InstanceRepr> for DatabaseInstance {
+    fn from(repr: &InstanceRepr) -> DatabaseInstance {
+        DatabaseInstance::from_facts(repr.facts.iter().map(Fact::from))
+    }
+}
+
+/// Renders an instance in the line-based text format.
+pub fn to_text(db: &DatabaseInstance) -> String {
+    let mut out = String::new();
+    for fact in db.facts() {
+        out.push_str(fact.rel.as_str());
+        out.push(' ');
+        out.push_str(fact.key.as_str());
+        out.push(' ');
+        out.push_str(fact.value.as_str());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an instance from the line-based text format.
+pub fn from_text(text: &str) -> Result<DatabaseInstance, DbError> {
+    let mut db = DatabaseInstance::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(DbError::ParseError(format!(
+                "line {}: expected `REL KEY VALUE`, got {line:?}",
+                lineno + 1
+            )));
+        }
+        db.insert_parsed(parts[0], parts[1], parts[2]);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("R", "1", "2");
+        db.insert_parsed("X", "2", "3");
+        let text = to_text(&db);
+        let back = from_text(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn text_parser_skips_comments_and_blank_lines() {
+        let db = from_text("# a comment\n\nR a b\n  \nS b c\n").unwrap();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn text_parser_rejects_malformed_lines() {
+        assert!(from_text("R a").is_err());
+        assert!(from_text("R a b c").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_via_repr() {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("S", "1", "2");
+        let repr = InstanceRepr::from(&db);
+        let back = DatabaseInstance::from(&repr);
+        assert_eq!(db, back);
+        // Representations are plain data and therefore serde-serializable.
+        let json_like = format!("{repr:?}");
+        assert!(json_like.contains("\"R\"") || json_like.contains("rel"));
+    }
+}

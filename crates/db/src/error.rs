@@ -1,0 +1,45 @@
+//! Error types for the database crate.
+
+use std::fmt;
+
+/// Errors produced by database-instance operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A repair choice vector did not match the block structure.
+    InvalidRepairChoice(String),
+    /// A referenced fact is not part of the instance.
+    UnknownFact(String),
+    /// A sequence of facts does not form a path.
+    BrokenPath(String),
+    /// Path enumeration exceeded the configured limit.
+    PathLimitExceeded(usize),
+    /// A textual instance encoding could not be parsed.
+    ParseError(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::InvalidRepairChoice(msg) => write!(f, "invalid repair choice: {msg}"),
+            DbError::UnknownFact(msg) => write!(f, "unknown fact: {msg}"),
+            DbError::BrokenPath(msg) => write!(f, "broken path: {msg}"),
+            DbError::PathLimitExceeded(limit) => {
+                write!(f, "path enumeration exceeded the limit of {limit} paths")
+            }
+            DbError::ParseError(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_payloads() {
+        assert!(DbError::UnknownFact("R(a, b)".into()).to_string().contains("R(a, b)"));
+        assert!(DbError::PathLimitExceeded(7).to_string().contains('7'));
+    }
+}

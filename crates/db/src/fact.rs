@@ -1,0 +1,175 @@
+//! Facts and constants.
+
+use std::fmt;
+
+use cqa_core::symbol::{RelName, Symbol};
+
+/// A database constant (an element of the active domain).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Constant(pub Symbol);
+
+impl Constant {
+    /// Interns a constant.
+    pub fn new(s: &str) -> Constant {
+        Constant(Symbol::new(s))
+    }
+
+    /// A numbered constant `c{i}`, convenient for generators.
+    pub fn numbered(i: usize) -> Constant {
+        Constant(Symbol::new(&format!("c{i}")))
+    }
+
+    /// The constant as a string.
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The underlying symbol.
+    pub fn symbol(&self) -> Symbol {
+        self.0
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Constant({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(s: &str) -> Constant {
+        Constant::new(s)
+    }
+}
+
+impl From<Symbol> for Constant {
+    fn from(s: Symbol) -> Constant {
+        Constant(s)
+    }
+}
+
+/// A fact `R(key, value)` over a binary relation whose first position is the
+/// primary key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Fact {
+    /// The relation name.
+    pub rel: RelName,
+    /// The primary-key value.
+    pub key: Constant,
+    /// The non-key value.
+    pub value: Constant,
+}
+
+impl Fact {
+    /// Creates a fact.
+    pub fn new(rel: RelName, key: Constant, value: Constant) -> Fact {
+        Fact { rel, key, value }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn parse(rel: &str, key: &str, value: &str) -> Fact {
+        Fact::new(RelName::new(rel), Constant::new(key), Constant::new(value))
+    }
+
+    /// True iff the two facts are *key-equal*: same relation name and same
+    /// primary-key value (Section 2).
+    pub fn key_equal(&self, other: &Fact) -> bool {
+        self.rel == other.rel && self.key == other.key
+    }
+
+    /// The block identifier `(R, c)` this fact belongs to.
+    pub fn block_id(&self) -> BlockId {
+        BlockId {
+            rel: self.rel,
+            key: self.key,
+        }
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {})", self.rel, self.key, self.value)
+    }
+}
+
+/// Identifier of a block: a relation name together with a primary-key value.
+/// The block `R(c, ∗)` contains all facts with relation name `R` and key `c`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct BlockId {
+    /// The relation name.
+    pub rel: RelName,
+    /// The primary-key value.
+    pub key: Constant,
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, ∗)", self.rel, self.key)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, ∗)", self.rel, self.key)
+    }
+}
+
+/// A stable identifier of a fact within a [`crate::instance::DatabaseInstance`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The identifier as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_equality_requires_same_relation_and_key() {
+        let a = Fact::parse("R", "1", "2");
+        let b = Fact::parse("R", "1", "3");
+        let c = Fact::parse("S", "1", "2");
+        let d = Fact::parse("R", "2", "2");
+        assert!(a.key_equal(&b));
+        assert!(!a.key_equal(&c));
+        assert!(!a.key_equal(&d));
+        assert!(a.key_equal(&a));
+    }
+
+    #[test]
+    fn block_id_groups_key_equal_facts() {
+        let a = Fact::parse("R", "1", "2");
+        let b = Fact::parse("R", "1", "3");
+        assert_eq!(a.block_id(), b.block_id());
+        assert_eq!(a.block_id().to_string(), "R(1, ∗)");
+    }
+
+    #[test]
+    fn facts_display_in_standard_notation() {
+        assert_eq!(Fact::parse("R", "a", "b").to_string(), "R(a, b)");
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        assert_eq!(Constant::new("a"), Constant::new("a"));
+        assert_ne!(Constant::new("a"), Constant::new("b"));
+        assert_eq!(Constant::numbered(7).as_str(), "c7");
+    }
+}

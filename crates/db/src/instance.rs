@@ -1,0 +1,417 @@
+//! Database instances over binary relations with primary keys.
+//!
+//! A database instance is a finite set of facts. A *block* is a maximal set
+//! of key-equal facts; an instance is *consistent* if every block contains a
+//! single fact; a *repair* is an inclusion-maximal consistent subinstance,
+//! obtained by choosing exactly one fact from every block (Section 2).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use cqa_core::symbol::RelName;
+
+use crate::error::DbError;
+use crate::fact::{BlockId, Constant, Fact, FactId};
+use crate::repair::{ConsistentInstance, RepairsIter};
+
+/// An in-memory database instance: a set of facts over binary relations,
+/// indexed by block.
+#[derive(Clone, Default)]
+pub struct DatabaseInstance {
+    facts: Vec<Fact>,
+    fact_ids: HashMap<Fact, FactId>,
+    blocks: BTreeMap<BlockId, Vec<FactId>>,
+    adom: BTreeSet<Constant>,
+}
+
+impl DatabaseInstance {
+    /// Creates an empty instance.
+    pub fn new() -> DatabaseInstance {
+        DatabaseInstance::default()
+    }
+
+    /// Builds an instance from an iterator of facts (duplicates are ignored).
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        for f in facts {
+            db.insert(f);
+        }
+        db
+    }
+
+    /// Inserts a fact; returns its identifier. Inserting an existing fact is
+    /// a no-op that returns the existing identifier.
+    pub fn insert(&mut self, fact: Fact) -> FactId {
+        if let Some(&id) = self.fact_ids.get(&fact) {
+            return id;
+        }
+        let id = FactId(self.facts.len() as u32);
+        self.facts.push(fact);
+        self.fact_ids.insert(fact, id);
+        self.blocks.entry(fact.block_id()).or_default().push(id);
+        self.adom.insert(fact.key);
+        self.adom.insert(fact.value);
+        id
+    }
+
+    /// Convenience: inserts `R(key, value)` given as strings.
+    pub fn insert_parsed(&mut self, rel: &str, key: &str, value: &str) -> FactId {
+        self.insert(Fact::parse(rel, key, value))
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True iff the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The facts, in insertion order. Indexable by [`FactId`].
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// The fact with the given identifier.
+    pub fn fact(&self, id: FactId) -> Fact {
+        self.facts[id.index()]
+    }
+
+    /// The identifier of a fact, if present.
+    pub fn fact_id(&self, fact: &Fact) -> Option<FactId> {
+        self.fact_ids.get(fact).copied()
+    }
+
+    /// True iff the instance contains the fact.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.fact_ids.contains_key(fact)
+    }
+
+    /// The active domain: all constants occurring in the instance.
+    pub fn adom(&self) -> &BTreeSet<Constant> {
+        &self.adom
+    }
+
+    /// The set of relation names with at least one fact.
+    pub fn relation_names(&self) -> BTreeSet<RelName> {
+        self.facts.iter().map(|f| f.rel).collect()
+    }
+
+    /// Iterator over the blocks (block id and member fact ids).
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &[FactId])> {
+        self.blocks.iter().map(|(id, v)| (*id, v.as_slice()))
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The fact ids of the block `R(key, ∗)`; empty if the block is empty.
+    pub fn block(&self, rel: RelName, key: Constant) -> &[FactId] {
+        self.blocks
+            .get(&BlockId { rel, key })
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The facts of the block `R(key, ∗)`.
+    pub fn block_facts(&self, rel: RelName, key: Constant) -> Vec<Fact> {
+        self.block(rel, key).iter().map(|&id| self.fact(id)).collect()
+    }
+
+    /// All values `b` such that `R(key, b)` is a fact.
+    pub fn out_values(&self, rel: RelName, key: Constant) -> Vec<Constant> {
+        self.block(rel, key)
+            .iter()
+            .map(|&id| self.fact(id).value)
+            .collect()
+    }
+
+    /// True iff the block `R(key, ∗)` is nonempty.
+    pub fn has_block(&self, rel: RelName, key: Constant) -> bool {
+        !self.block(rel, key).is_empty()
+    }
+
+    /// True iff no block contains more than one fact.
+    pub fn is_consistent(&self) -> bool {
+        self.blocks.values().all(|b| b.len() <= 1)
+    }
+
+    /// The blocks that contain more than one fact (the sources of
+    /// inconsistency).
+    pub fn conflicting_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|(_, v)| v.len() > 1)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The number of repairs, saturating at `u128::MAX`.
+    pub fn repair_count(&self) -> u128 {
+        let mut count: u128 = 1;
+        for block in self.blocks.values() {
+            count = count.saturating_mul(block.len() as u128);
+        }
+        count
+    }
+
+    /// Iterator over all repairs, in a deterministic order.
+    ///
+    /// The number of repairs is the product of the block sizes and can be
+    /// exponential; callers that cannot afford full enumeration should use
+    /// [`DatabaseInstance::repair_count`] first or sample with
+    /// [`DatabaseInstance::random_repair`].
+    pub fn repairs(&self) -> RepairsIter<'_> {
+        RepairsIter::new(self)
+    }
+
+    /// Builds the repair selecting, for every block, the fact at the given
+    /// choice index (`choices[i] < block_i.len()`); blocks are enumerated in
+    /// the order of [`DatabaseInstance::blocks`].
+    pub fn repair_from_choices(&self, choices: &[usize]) -> Result<ConsistentInstance, DbError> {
+        if choices.len() != self.blocks.len() {
+            return Err(DbError::InvalidRepairChoice(format!(
+                "expected {} choices, got {}",
+                self.blocks.len(),
+                choices.len()
+            )));
+        }
+        let mut selected = Vec::with_capacity(self.blocks.len());
+        for ((block_id, members), &choice) in self.blocks.iter().zip(choices) {
+            let &fact_id = members.get(choice).ok_or_else(|| {
+                DbError::InvalidRepairChoice(format!(
+                    "choice {choice} out of range for block {block_id}"
+                ))
+            })?;
+            selected.push(fact_id);
+        }
+        Ok(ConsistentInstance::from_fact_ids(self, selected))
+    }
+
+    /// Builds a uniformly random repair.
+    pub fn random_repair<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> ConsistentInstance {
+        use rand::RngExt as _;
+        let selected: Vec<FactId> = self
+            .blocks
+            .values()
+            .map(|members| members[rng.random_range(0..members.len())])
+            .collect();
+        ConsistentInstance::from_fact_ids(self, selected)
+    }
+
+    /// Builds the repair containing the given facts, completing every other
+    /// block with its first fact. Facts must belong to pairwise distinct
+    /// blocks.
+    pub fn repair_containing(&self, facts: &[Fact]) -> Result<ConsistentInstance, DbError> {
+        let mut forced: HashMap<BlockId, FactId> = HashMap::new();
+        for f in facts {
+            let id = self
+                .fact_id(f)
+                .ok_or_else(|| DbError::UnknownFact(f.to_string()))?;
+            if let Some(prev) = forced.insert(f.block_id(), id) {
+                if prev != id {
+                    return Err(DbError::InvalidRepairChoice(format!(
+                        "two distinct facts of block {} requested",
+                        f.block_id()
+                    )));
+                }
+            }
+        }
+        let selected: Vec<FactId> = self
+            .blocks
+            .iter()
+            .map(|(id, members)| forced.get(id).copied().unwrap_or(members[0]))
+            .collect();
+        Ok(ConsistentInstance::from_fact_ids(self, selected))
+    }
+
+    /// Merges another instance into this one (set union).
+    pub fn extend_with(&mut self, other: &DatabaseInstance) {
+        for &f in other.facts() {
+            self.insert(f);
+        }
+    }
+
+    /// Returns the union of two instances.
+    pub fn union(&self, other: &DatabaseInstance) -> DatabaseInstance {
+        let mut db = self.clone();
+        db.extend_with(other);
+        db
+    }
+
+    /// Internal: the ordered list of blocks, used by the repair iterator.
+    pub(crate) fn block_members(&self) -> Vec<&[FactId]> {
+        self.blocks.values().map(Vec::as_slice).collect()
+    }
+}
+
+impl fmt::Debug for DatabaseInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DatabaseInstance ({} facts, {} blocks):", self.len(), self.block_count())?;
+        for fact in &self.facts {
+            writeln!(f, "  {fact}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DatabaseInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for fact in &self.facts {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{fact}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Fact> for DatabaseInstance {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> DatabaseInstance {
+        DatabaseInstance::from_facts(iter)
+    }
+}
+
+impl PartialEq for DatabaseInstance {
+    fn eq(&self, other: &DatabaseInstance) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.facts.iter().all(|f| other.contains(f))
+    }
+}
+
+impl Eq for DatabaseInstance {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The instance of Figure 1: R and S each contain {a,b} × {a,b}.
+    fn figure_1() -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        for rel in ["R", "S"] {
+            for x in ["a", "b"] {
+                for y in ["a", "b"] {
+                    db.insert_parsed(rel, x, y);
+                }
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut db = DatabaseInstance::new();
+        let id1 = db.insert_parsed("R", "a", "b");
+        let id2 = db.insert_parsed("R", "a", "b");
+        assert_eq!(id1, id2);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn blocks_group_key_equal_facts() {
+        let db = figure_1();
+        assert_eq!(db.len(), 8);
+        assert_eq!(db.block_count(), 4);
+        assert_eq!(db.block(RelName::new("R"), Constant::new("a")).len(), 2);
+        assert!(!db.is_consistent());
+        assert_eq!(db.conflicting_blocks().len(), 4);
+    }
+
+    #[test]
+    fn figure_1_has_sixteen_repairs() {
+        let db = figure_1();
+        assert_eq!(db.repair_count(), 16);
+        assert_eq!(db.repairs().count(), 16);
+        for repair in db.repairs() {
+            assert_eq!(repair.len(), 4);
+            assert!(repair.is_consistent_subset_of(&db));
+        }
+    }
+
+    #[test]
+    fn adom_collects_all_constants() {
+        let db = figure_1();
+        let adom: Vec<&str> = db.adom().iter().map(|c| c.as_str()).collect();
+        assert_eq!(adom.len(), 2);
+        assert!(adom.contains(&"a") && adom.contains(&"b"));
+    }
+
+    #[test]
+    fn consistent_instance_detection() {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "a", "b");
+        db.insert_parsed("R", "b", "c");
+        db.insert_parsed("S", "a", "b");
+        assert!(db.is_consistent());
+        assert_eq!(db.repair_count(), 1);
+        db.insert_parsed("R", "a", "c");
+        assert!(!db.is_consistent());
+        assert_eq!(db.repair_count(), 2);
+    }
+
+    #[test]
+    fn repair_from_choices_validates_input() {
+        let db = figure_1();
+        assert!(db.repair_from_choices(&[0, 0, 0, 0]).is_ok());
+        assert!(db.repair_from_choices(&[0, 0, 0]).is_err());
+        assert!(db.repair_from_choices(&[0, 0, 0, 5]).is_err());
+    }
+
+    #[test]
+    fn repair_containing_forces_the_given_facts() {
+        let db = figure_1();
+        let fact = Fact::parse("R", "a", "b");
+        let repair = db.repair_containing(&[fact]).unwrap();
+        assert!(repair.contains(&fact));
+        assert!(!repair.contains(&Fact::parse("R", "a", "a")));
+        // Conflicting forced facts are rejected.
+        assert!(db
+            .repair_containing(&[Fact::parse("R", "a", "a"), Fact::parse("R", "a", "b")])
+            .is_err());
+        // Unknown facts are rejected.
+        assert!(db.repair_containing(&[Fact::parse("T", "a", "b")]).is_err());
+    }
+
+    #[test]
+    fn random_repair_is_a_repair() {
+        let db = figure_1();
+        let mut rng = rand::rng();
+        for _ in 0..10 {
+            let r = db.random_repair(&mut rng);
+            assert_eq!(r.len(), 4);
+            assert!(r.is_consistent_subset_of(&db));
+        }
+    }
+
+    #[test]
+    fn union_merges_fact_sets() {
+        let mut a = DatabaseInstance::new();
+        a.insert_parsed("R", "1", "2");
+        let mut b = DatabaseInstance::new();
+        b.insert_parsed("R", "1", "2");
+        b.insert_parsed("S", "2", "3");
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u, b);
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let mut a = DatabaseInstance::new();
+        a.insert_parsed("R", "1", "2");
+        a.insert_parsed("S", "2", "3");
+        let mut b = DatabaseInstance::new();
+        b.insert_parsed("S", "2", "3");
+        b.insert_parsed("R", "1", "2");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+//! # cqa-db
+//!
+//! The database substrate for the path-query CQA reproduction: inconsistent
+//! database instances over binary relations with primary keys, blocks,
+//! repairs, and paths.
+//!
+//! ```
+//! use cqa_db::prelude::*;
+//! use cqa_core::prelude::*;
+//!
+//! let mut db = DatabaseInstance::new();
+//! db.insert_parsed("R", "0", "1");
+//! db.insert_parsed("R", "0", "2"); // conflicts with the previous fact
+//! db.insert_parsed("X", "1", "3");
+//!
+//! assert!(!db.is_consistent());
+//! assert_eq!(db.repair_count(), 2);
+//! let q = PathQuery::parse("RX").unwrap();
+//! let satisfied_everywhere = db.repairs().all(|r| r.satisfies_word(q.word()));
+//! assert!(!satisfied_everywhere);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod fact;
+pub mod instance;
+pub mod path;
+pub mod repair;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::codec::{from_text, to_text, InstanceRepr};
+    pub use crate::error::DbError;
+    pub use crate::fact::{BlockId, Constant, Fact, FactId};
+    pub use crate::instance::DatabaseInstance;
+    pub use crate::path::{
+        consistent_path_endpoints, embeddings, has_path, paths_with_trace,
+        paths_with_trace_from, reachable_by_trace, DbPath,
+    };
+    pub use crate::repair::{ConsistentInstance, RepairsIter};
+}

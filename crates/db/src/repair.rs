@@ -1,0 +1,378 @@
+//! Consistent instances (repairs) and repair enumeration.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use cqa_core::query::{GeneralizedPathQuery, Term};
+use cqa_core::symbol::RelName;
+use cqa_core::word::Word;
+
+use crate::fact::{Constant, Fact, FactId};
+use crate::instance::DatabaseInstance;
+
+/// A consistent database instance: at most one fact per block.
+///
+/// A repair of a [`DatabaseInstance`] is a maximal consistent subinstance;
+/// it contains exactly one fact of every block. Because every key has at most
+/// one outgoing edge per relation, a consistent instance supports `O(1)`
+/// lookup of "the" value of `R(c, ·)`.
+#[derive(Clone)]
+pub struct ConsistentInstance {
+    out: BTreeMap<(RelName, Constant), Constant>,
+    facts: Vec<Fact>,
+    adom: BTreeSet<Constant>,
+}
+
+impl PartialEq for ConsistentInstance {
+    fn eq(&self, other: &ConsistentInstance) -> bool {
+        self.out == other.out
+    }
+}
+
+impl Eq for ConsistentInstance {}
+
+impl ConsistentInstance {
+    /// Builds a consistent instance from facts.
+    ///
+    /// # Panics
+    /// Panics if two distinct key-equal facts are supplied.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> ConsistentInstance {
+        let mut out = BTreeMap::new();
+        let mut fact_vec = Vec::new();
+        let mut adom = BTreeSet::new();
+        for f in facts {
+            match out.insert((f.rel, f.key), f.value) {
+                Some(prev) if prev != f.value => {
+                    panic!("facts {}({}, {prev}) and {f} are key-equal", f.rel, f.key)
+                }
+                Some(_) => continue,
+                None => {}
+            }
+            adom.insert(f.key);
+            adom.insert(f.value);
+            fact_vec.push(f);
+        }
+        ConsistentInstance {
+            out,
+            facts: fact_vec,
+            adom,
+        }
+    }
+
+    /// Builds a consistent instance from fact identifiers of a database.
+    pub(crate) fn from_fact_ids(db: &DatabaseInstance, ids: Vec<FactId>) -> ConsistentInstance {
+        ConsistentInstance::from_facts(ids.into_iter().map(|id| db.fact(id)))
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True iff the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The facts of the instance.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// The active domain of the instance.
+    pub fn adom(&self) -> &BTreeSet<Constant> {
+        &self.adom
+    }
+
+    /// True iff the instance contains the fact.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.out.get(&(fact.rel, fact.key)) == Some(&fact.value)
+    }
+
+    /// The unique value `b` with `R(key, b)` in the instance, if any.
+    pub fn out(&self, rel: RelName, key: Constant) -> Option<Constant> {
+        self.out.get(&(rel, key)).copied()
+    }
+
+    /// Converts back into a (consistent) [`DatabaseInstance`].
+    pub fn to_database(&self) -> DatabaseInstance {
+        DatabaseInstance::from_facts(self.facts.iter().copied())
+    }
+
+    /// True iff every fact of this instance belongs to `db` and the instance
+    /// selects at most one fact per block of `db`.
+    pub fn is_consistent_subset_of(&self, db: &DatabaseInstance) -> bool {
+        self.facts.iter().all(|f| db.contains(f))
+    }
+
+    /// True iff this instance is a *repair* of `db`: a consistent subset
+    /// containing exactly one fact from every block.
+    pub fn is_repair_of(&self, db: &DatabaseInstance) -> bool {
+        self.is_consistent_subset_of(db) && self.len() == db.block_count()
+    }
+
+    /// Follows the unique path with the given trace starting at `start`,
+    /// returning the endpoint if the whole trace can be traversed.
+    pub fn walk(&self, start: Constant, trace: &Word) -> Option<Constant> {
+        let mut current = start;
+        for rel in trace.iter() {
+            current = self.out(rel, current)?;
+        }
+        Some(current)
+    }
+
+    /// True iff the instance contains a path with trace `word` starting at
+    /// `start`. Deterministic because the instance is consistent.
+    pub fn satisfies_word_from(&self, start: Constant, word: &Word) -> bool {
+        self.walk(start, word).is_some()
+    }
+
+    /// True iff the instance contains a path with trace `word` starting
+    /// anywhere; this is exactly "the instance satisfies the Boolean path
+    /// query represented by `word`".
+    pub fn satisfies_word(&self, word: &Word) -> bool {
+        if word.is_empty() {
+            return true;
+        }
+        self.adom
+            .iter()
+            .any(|&c| self.satisfies_word_from(c, word))
+    }
+
+    /// All constants from which a path with trace `word` starts.
+    pub fn starts_of_word(&self, word: &Word) -> BTreeSet<Constant> {
+        self.adom
+            .iter()
+            .copied()
+            .filter(|&c| self.satisfies_word_from(c, word))
+            .collect()
+    }
+
+    /// True iff the instance satisfies a generalized path query (constants in
+    /// the query must match the constants on the path).
+    pub fn satisfies_generalized(&self, query: &GeneralizedPathQuery) -> bool {
+        let terms = query.terms();
+        let word = query.word();
+        let start_candidates: Vec<Constant> = match terms[0] {
+            Term::Const(c) => vec![Constant(c)],
+            Term::Var(_) => self.adom.iter().copied().collect(),
+        };
+        'starts: for start in start_candidates {
+            let mut current = start;
+            for (i, rel) in word.iter().enumerate() {
+                match self.out(rel, current) {
+                    Some(next) => {
+                        if let Term::Const(expected) = terms[i + 1] {
+                            if next != Constant(expected) {
+                                continue 'starts;
+                            }
+                        }
+                        current = next;
+                    }
+                    None => continue 'starts,
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+impl fmt::Debug for ConsistentInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConsistentInstance {{ ")?;
+        for (i, fact) in self.facts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        f.write_str(" }")
+    }
+}
+
+/// Iterator over all repairs of a database instance, in the lexicographic
+/// order of per-block choices.
+pub struct RepairsIter<'a> {
+    db: &'a DatabaseInstance,
+    blocks: Vec<&'a [FactId]>,
+    /// Current choice per block; `None` once exhausted.
+    choices: Option<Vec<usize>>,
+}
+
+impl<'a> RepairsIter<'a> {
+    pub(crate) fn new(db: &'a DatabaseInstance) -> RepairsIter<'a> {
+        let blocks = db.block_members();
+        let choices = Some(vec![0; blocks.len()]);
+        RepairsIter {
+            db,
+            blocks,
+            choices,
+        }
+    }
+
+    /// The number of repairs remaining is not tracked; use
+    /// [`DatabaseInstance::repair_count`] for the total.
+    pub fn database(&self) -> &DatabaseInstance {
+        self.db
+    }
+}
+
+impl Iterator for RepairsIter<'_> {
+    type Item = ConsistentInstance;
+
+    fn next(&mut self) -> Option<ConsistentInstance> {
+        let choices = self.choices.as_mut()?;
+        let selected: Vec<FactId> = self
+            .blocks
+            .iter()
+            .zip(choices.iter())
+            .map(|(block, &c)| block[c])
+            .collect();
+        let repair = ConsistentInstance::from_fact_ids(self.db, selected);
+        // Advance the mixed-radix counter.
+        let mut pos = self.blocks.len();
+        loop {
+            if pos == 0 {
+                self.choices = None;
+                break;
+            }
+            pos -= 1;
+            choices[pos] += 1;
+            if choices[pos] < self.blocks[pos].len() {
+                break;
+            }
+            choices[pos] = 0;
+        }
+        Some(repair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_core::query::PathQuery;
+    use cqa_core::symbol::Symbol;
+
+    fn sample_db() -> DatabaseInstance {
+        // Figure 2: R(0,1), R(1,2), R(1,3), R(2,3), X(3,4).
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("R", "1", "2");
+        db.insert_parsed("R", "1", "3");
+        db.insert_parsed("R", "2", "3");
+        db.insert_parsed("X", "3", "4");
+        db
+    }
+
+    #[test]
+    fn figure_2_has_two_repairs() {
+        let db = sample_db();
+        assert_eq!(db.repair_count(), 2);
+        let repairs: Vec<ConsistentInstance> = db.repairs().collect();
+        assert_eq!(repairs.len(), 2);
+        for r in &repairs {
+            assert!(r.is_repair_of(&db));
+        }
+    }
+
+    #[test]
+    fn both_figure_2_repairs_satisfy_rrx() {
+        let db = sample_db();
+        let q = PathQuery::parse("RRX").unwrap();
+        for r in db.repairs() {
+            assert!(r.satisfies_word(q.word()));
+        }
+    }
+
+    #[test]
+    fn walk_follows_deterministic_edges() {
+        let db = sample_db();
+        let repair = db
+            .repair_containing(&[Fact::parse("R", "1", "2")])
+            .unwrap();
+        let start = Constant::new("0");
+        assert_eq!(
+            repair.walk(start, &Word::from_letters("RRRX")),
+            Some(Constant::new("4"))
+        );
+        assert_eq!(repair.walk(start, &Word::from_letters("RRX")), None);
+        assert!(repair.satisfies_word_from(Constant::new("1"), &Word::from_letters("RRX")));
+    }
+
+    #[test]
+    fn starts_of_word_matches_example_4() {
+        // Example 4: in r1 (containing R(1,2)) the only path with exact trace
+        // RRX starts in 1; in r2 (containing R(1,3)) it starts in 0.
+        let db = sample_db();
+        let q = Word::from_letters("RRX");
+        let r1 = db.repair_containing(&[Fact::parse("R", "1", "2")]).unwrap();
+        let r2 = db.repair_containing(&[Fact::parse("R", "1", "3")]).unwrap();
+        assert_eq!(
+            r1.starts_of_word(&q),
+            BTreeSet::from([Constant::new("1")])
+        );
+        assert_eq!(
+            r2.starts_of_word(&q),
+            BTreeSet::from([Constant::new("0")])
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn conflicting_facts_are_rejected() {
+        ConsistentInstance::from_facts([Fact::parse("R", "a", "b"), Fact::parse("R", "a", "c")]);
+    }
+
+    #[test]
+    fn duplicate_facts_are_deduplicated() {
+        let r = ConsistentInstance::from_facts([
+            Fact::parse("R", "a", "b"),
+            Fact::parse("R", "a", "b"),
+        ]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn satisfies_generalized_checks_constants() {
+        let db = sample_db();
+        let repair = db.repair_containing(&[Fact::parse("R", "1", "3")]).unwrap();
+        let q = PathQuery::parse("RR").unwrap();
+        // R R ending at constant 3 holds (path 0 -> 1 -> 3).
+        assert!(repair.satisfies_generalized(&q.ending_at(Symbol::new("3"))));
+        // R R ending at constant 2 does not hold in this repair.
+        assert!(!repair.satisfies_generalized(&q.ending_at(Symbol::new("2"))));
+        // Rooted at 0: R R starting at 0 holds.
+        assert!(repair.satisfies_generalized(&q.rooted_at(Symbol::new("0"))));
+        // Rooted at 4: no outgoing R from 4.
+        assert!(!repair.satisfies_generalized(&q.rooted_at(Symbol::new("4"))));
+    }
+
+    #[test]
+    fn to_database_round_trip() {
+        let db = sample_db();
+        let repair = db.repairs().next().unwrap();
+        let back = repair.to_database();
+        assert_eq!(back.len(), repair.len());
+        assert!(back.is_consistent());
+    }
+
+    #[test]
+    fn repairs_iterator_is_exhaustive_and_distinct() {
+        // 3 blocks of sizes 2, 3, 1 -> 6 repairs, all distinct.
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "a", "1");
+        db.insert_parsed("R", "a", "2");
+        db.insert_parsed("S", "b", "1");
+        db.insert_parsed("S", "b", "2");
+        db.insert_parsed("S", "b", "3");
+        db.insert_parsed("T", "c", "1");
+        let repairs: Vec<ConsistentInstance> = db.repairs().collect();
+        assert_eq!(repairs.len(), 6);
+        for i in 0..repairs.len() {
+            for j in i + 1..repairs.len() {
+                assert_ne!(repairs[i], repairs[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! A straightforward active-domain evaluator for first-order sentences.
+//!
+//! The evaluator is intentionally simple — quantifiers range over the active
+//! domain and are evaluated by enumeration — because it serves as the
+//! *reference semantics* against which the efficient rewriting evaluator of
+//! [`crate::rewriting`] is tested. Its running time is
+//! `O(|adom|^depth · |φ|)` and it should only be used on small instances.
+
+use std::collections::HashMap;
+
+use cqa_core::query::{Term, Variable};
+use cqa_db::fact::{Constant, Fact};
+use cqa_db::instance::DatabaseInstance;
+
+use crate::formula::Formula;
+
+/// A variable assignment.
+pub type Assignment = HashMap<Variable, Constant>;
+
+/// Evaluates a sentence over a database instance with active-domain
+/// semantics.
+///
+/// # Panics
+/// Panics if the formula has free variables (use [`eval_with`] instead).
+pub fn eval(db: &DatabaseInstance, formula: &Formula) -> bool {
+    assert!(
+        formula.is_sentence(),
+        "eval requires a sentence; got free variables {:?}",
+        formula.free_vars()
+    );
+    let mut env = Assignment::new();
+    eval_with(db, formula, &mut env)
+}
+
+/// Evaluates a formula under a (partial) assignment of its free variables.
+pub fn eval_with(db: &DatabaseInstance, formula: &Formula, env: &mut Assignment) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom { rel, key, value } => {
+            let (Some(k), Some(v)) = (resolve(key, env), resolve(value, env)) else {
+                panic!("unbound variable in atom {formula}");
+            };
+            db.contains(&Fact::new(*rel, k, v))
+        }
+        Formula::Eq(a, b) => {
+            let (Some(a), Some(b)) = (resolve(a, env), resolve(b, env)) else {
+                panic!("unbound variable in equality {formula}");
+            };
+            a == b
+        }
+        Formula::Not(inner) => !eval_with(db, inner, env),
+        Formula::And(fs) => fs.iter().all(|f| eval_with(db, f, env)),
+        Formula::Or(fs) => fs.iter().any(|f| eval_with(db, f, env)),
+        Formula::Implies(a, b) => !eval_with(db, a, env) || eval_with(db, b, env),
+        Formula::Exists(var, body) => {
+            let domain: Vec<Constant> = db.adom().iter().copied().collect();
+            let saved = env.get(var).copied();
+            let result = domain.into_iter().any(|c| {
+                env.insert(*var, c);
+                eval_with(db, body, env)
+            });
+            restore(env, *var, saved);
+            result
+        }
+        Formula::Forall(var, body) => {
+            let domain: Vec<Constant> = db.adom().iter().copied().collect();
+            let saved = env.get(var).copied();
+            let result = domain.into_iter().all(|c| {
+                env.insert(*var, c);
+                eval_with(db, body, env)
+            });
+            restore(env, *var, saved);
+            result
+        }
+    }
+}
+
+fn resolve(term: &Term, env: &Assignment) -> Option<Constant> {
+    match term {
+        Term::Const(c) => Some(Constant(*c)),
+        Term::Var(v) => env.get(v).copied(),
+    }
+}
+
+fn restore(env: &mut Assignment, var: Variable, saved: Option<Constant>) {
+    match saved {
+        Some(c) => {
+            env.insert(var, c);
+        }
+        None => {
+            env.remove(&var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_core::symbol::RelName;
+
+    fn r() -> RelName {
+        RelName::new("R")
+    }
+
+    fn sample_db() -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "a", "b");
+        db.insert_parsed("R", "b", "c");
+        db.insert_parsed("S", "c", "a");
+        db
+    }
+
+    #[test]
+    fn atoms_and_equality() {
+        let db = sample_db();
+        let x = Variable::new("x");
+        let phi = Formula::exists(
+            x,
+            Formula::atom(r(), Term::Var(x), Term::constant("b"))
+                .and(Formula::Eq(Term::Var(x), Term::constant("a"))),
+        );
+        assert!(eval(&db, &phi));
+        let psi = Formula::exists(
+            x,
+            Formula::atom(r(), Term::Var(x), Term::constant("b"))
+                .and(Formula::Eq(Term::Var(x), Term::constant("c"))),
+        );
+        assert!(!eval(&db, &psi));
+    }
+
+    #[test]
+    fn quantifier_alternation() {
+        // ∀x (∃y R(x,y) → ∃z S(x,z) ∨ ∃z R(x,z)): trivially true here.
+        let db = sample_db();
+        let x = Variable::new("x");
+        let y = Variable::new("y");
+        let z = Variable::new("z");
+        let phi = Formula::forall(
+            x,
+            Formula::exists(y, Formula::atom(r(), Term::Var(x), Term::Var(y))).implies(
+                Formula::exists(z, Formula::atom(RelName::new("S"), Term::Var(x), Term::Var(z)))
+                    .or(Formula::exists(z, Formula::atom(r(), Term::Var(x), Term::Var(z)))),
+            ),
+        );
+        assert!(eval(&db, &phi));
+    }
+
+    #[test]
+    fn intro_example_rewriting_of_rr() {
+        // φ = ∃x (∃y R(x,y) ∧ ∀y (R(x,y) → ∃z R(y,z))) — the first-order
+        // rewriting of CERTAINTY(RR) given in the introduction.
+        let x = Variable::new("x");
+        let y = Variable::new("y");
+        let z = Variable::new("z");
+        let phi = Formula::exists(
+            x,
+            Formula::exists(y, Formula::atom(r(), Term::Var(x), Term::Var(y))).and(Formula::forall(
+                y,
+                Formula::atom(r(), Term::Var(x), Term::Var(y))
+                    .implies(Formula::exists(z, Formula::atom(r(), Term::Var(y), Term::Var(z)))),
+            )),
+        );
+        // On the instance of Figure 1 restricted to R, every repair satisfies
+        // RR (Example 1), so φ must hold.
+        let mut db = DatabaseInstance::new();
+        for a in ["a", "b"] {
+            for b in ["a", "b"] {
+                db.insert_parsed("R", a, b);
+            }
+        }
+        assert!(eval(&db, &phi));
+        // On a two-fact chain R(a,b), R(a,c) with no continuation, φ fails.
+        let mut db2 = DatabaseInstance::new();
+        db2.insert_parsed("R", "a", "b");
+        db2.insert_parsed("R", "a", "c");
+        assert!(!eval(&db2, &phi));
+    }
+
+    #[test]
+    fn negation_and_booleans() {
+        let db = sample_db();
+        assert!(eval(&db, &Formula::True));
+        assert!(!eval(&db, &Formula::False));
+        assert!(eval(&db, &Formula::False.negate()));
+        assert!(!eval(&db, &Formula::And(vec![Formula::True, Formula::False])));
+        assert!(eval(&db, &Formula::Or(vec![Formula::True, Formula::False])));
+    }
+
+    #[test]
+    #[should_panic]
+    fn open_formulas_are_rejected_by_eval() {
+        let db = sample_db();
+        let phi = Formula::atom(r(), Term::var("x"), Term::var("y"));
+        let _ = eval(&db, &phi);
+    }
+}

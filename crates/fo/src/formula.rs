@@ -1,0 +1,284 @@
+//! First-order formulas over binary relations.
+//!
+//! The fragment is what the consistent first-order rewritings of Lemmas 12,
+//! 13 and 27 need: atoms, equality, Boolean connectives and quantifiers, with
+//! active-domain semantics.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cqa_core::query::{Term, Variable};
+use cqa_core::symbol::RelName;
+
+/// A first-order formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// An atom `R(s, t)`.
+    Atom {
+        /// Relation name.
+        rel: RelName,
+        /// Key term.
+        key: Term,
+        /// Value term.
+        value: Term,
+    },
+    /// Equality of two terms.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction of zero or more formulas (empty conjunction is `true`).
+    And(Vec<Formula>),
+    /// Disjunction of zero or more formulas (empty disjunction is `false`).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification over the active domain.
+    Exists(Variable, Box<Formula>),
+    /// Universal quantification over the active domain.
+    Forall(Variable, Box<Formula>),
+}
+
+impl Formula {
+    /// An atom `R(s, t)`.
+    pub fn atom(rel: RelName, key: Term, value: Term) -> Formula {
+        Formula::Atom { rel, key, value }
+    }
+
+    /// Conjunction of two formulas.
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::And(mut a), Formula::And(b)) => {
+                a.extend(b);
+                Formula::And(a)
+            }
+            (Formula::And(mut a), b) => {
+                a.push(b);
+                Formula::And(a)
+            }
+            (a, Formula::And(mut b)) => {
+                b.insert(0, a);
+                Formula::And(b)
+            }
+            (a, b) => Formula::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two formulas.
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                a.extend(b);
+                Formula::Or(a)
+            }
+            (Formula::Or(mut a), b) => {
+                a.push(b);
+                Formula::Or(a)
+            }
+            (a, Formula::Or(mut b)) => {
+                b.insert(0, a);
+                Formula::Or(b)
+            }
+            (a, b) => Formula::Or(vec![a, b]),
+        }
+    }
+
+    /// Negation.
+    pub fn negate(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Implication `self → other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Existential quantification.
+    pub fn exists(var: Variable, body: Formula) -> Formula {
+        Formula::Exists(var, Box::new(body))
+    }
+
+    /// Universal quantification.
+    pub fn forall(var: Variable, body: Formula) -> Formula {
+        Formula::Forall(var, Box::new(body))
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Variable> {
+        fn term_var(t: &Term, out: &mut BTreeSet<Variable>) {
+            if let Term::Var(v) = t {
+                out.insert(*v);
+            }
+        }
+        fn go(f: &Formula, out: &mut BTreeSet<Variable>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Atom { key, value, .. } => {
+                    term_var(key, out);
+                    term_var(value, out);
+                }
+                Formula::Eq(a, b) => {
+                    term_var(a, out);
+                    term_var(b, out);
+                }
+                Formula::Not(inner) => go(inner, out),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for f in fs {
+                        go(f, out);
+                    }
+                }
+                Formula::Implies(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                Formula::Exists(v, body) | Formula::Forall(v, body) => {
+                    let mut inner = BTreeSet::new();
+                    go(body, &mut inner);
+                    inner.remove(v);
+                    out.extend(inner);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// True iff the formula has no free variables.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Number of nodes in the formula tree (a rough size measure used in
+    /// tests to check that rewritings stay polynomial in `|q|`).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 1,
+            Formula::Not(inner) => 1 + inner.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(a, b) => 1 + a.size() + b.size(),
+            Formula::Exists(_, body) | Formula::Forall(_, body) => 1 + body.size(),
+        }
+    }
+}
+
+fn write_term(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "{v}"),
+        Term::Const(c) => write!(f, "'{c}'"),
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => f.write_str("⊤"),
+            Formula::False => f.write_str("⊥"),
+            Formula::Atom { rel, key, value } => {
+                write!(f, "{rel}(")?;
+                write_term(key, f)?;
+                f.write_str(", ")?;
+                write_term(value, f)?;
+                f.write_str(")")
+            }
+            Formula::Eq(a, b) => {
+                write_term(a, f)?;
+                f.write_str(" = ")?;
+                write_term(b, f)
+            }
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    return f.write_str("⊤");
+                }
+                f.write_str("(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∧ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    return f.write_str("⊥");
+                }
+                f.write_str("(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∨ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} → {b})"),
+            Formula::Exists(v, body) => write!(f, "∃{v} ({body})"),
+            Formula::Forall(v, body) => write!(f, "∀{v} ({body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    #[test]
+    fn free_variables_respect_binders() {
+        let r = RelName::new("R");
+        let phi = Formula::exists(
+            v("y"),
+            Formula::atom(r, Term::Var(v("x")), Term::Var(v("y"))),
+        );
+        assert_eq!(phi.free_vars(), BTreeSet::from([v("x")]));
+        let closed = Formula::exists(v("x"), phi.clone());
+        assert!(closed.is_sentence());
+        assert!(!phi.is_sentence());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = RelName::new("R");
+        let phi = Formula::exists(
+            v("x"),
+            Formula::exists(v("y"), Formula::atom(r, Term::Var(v("x")), Term::Var(v("y"))))
+                .and(Formula::Eq(Term::Var(v("x")), Term::constant("c"))),
+        );
+        let text = phi.to_string();
+        assert!(text.contains("∃x"));
+        assert!(text.contains("R(x, y)"));
+        assert!(text.contains("'c'"));
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let a = Formula::True;
+        let b = Formula::False;
+        let c = Formula::True;
+        match a.clone().and(b.clone()).and(c.clone()) {
+            Formula::And(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flattened conjunction, got {other:?}"),
+        }
+        match a.or(b).or(c) {
+            Formula::Or(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flattened disjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let r = RelName::new("R");
+        let atom = Formula::atom(r, Term::var("x"), Term::var("y"));
+        assert_eq!(atom.size(), 1);
+        assert_eq!(atom.clone().negate().size(), 2);
+        assert_eq!(Formula::exists(v("x"), atom).size(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cqa-fo
+//!
+//! First-order logic substrate: formula AST, active-domain evaluation, and
+//! the consistent first-order rewritings of Lemmas 12, 13 and 27, together
+//! with an `O(|q| · |db|)` memoized evaluator of the rooted rewriting
+//! ([`rewriting::CertainRootedTable`]) used by the FO and NL solvers.
+//!
+//! ```
+//! use cqa_core::prelude::*;
+//! use cqa_db::prelude::*;
+//! use cqa_fo::prelude::*;
+//!
+//! // The rewriting of CERTAINTY(RR) from the introduction of the paper.
+//! let q = PathQuery::parse("RR").unwrap();
+//! let phi = c1_rewriting(q.word());
+//! assert!(phi.to_string().contains("∃"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod formula;
+pub mod rewriting;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::eval::{eval, eval_with, Assignment};
+    pub use crate::formula::Formula;
+    pub use crate::rewriting::{
+        c1_rewriting, is_terminal, lfp_formula_text, rooted_rewriting, rooted_sentence,
+        terminal_vertices, CertainRootedTable, EndCap, TerminalCache,
+    };
+}

@@ -1,0 +1,403 @@
+//! Consistent first-order rewritings (Lemmas 12, 13, 26, 27) and their
+//! efficient evaluation.
+//!
+//! For every path query `q = R1 … Rk` and constant `c`, `CERTAINTY(q[c])` is
+//! in FO: the rewriting is built inductively as
+//!
+//! ```text
+//! ψ_k+1(x) = ⊤                      (or x = c' when the query ends in c')
+//! ψ_i(x)   = ∃y Ri(x, y) ∧ ∀y (Ri(x, y) → ψ_{i+1}(y))
+//! ```
+//!
+//! and `∃x (ψ_1(x) ∧ x = c)` is a rewriting for `q[c]` (Lemma 12).
+//! For path queries satisfying C1, `∃x ψ_1(x)` is a rewriting for `q`
+//! (Lemma 13).
+//!
+//! Besides the explicit [`Formula`] construction, this module provides
+//! [`CertainRootedTable`], a memoized bottom-up evaluator of the same
+//! recursion that runs in `O(|q| · |db|)` and is what the solvers and the
+//! terminal-vertex checks of the NL algorithm (Lemma 17) use.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cqa_core::query::{Term, Variable};
+use cqa_core::word::Word;
+use cqa_db::fact::Constant;
+use cqa_db::instance::DatabaseInstance;
+
+use crate::formula::Formula;
+
+/// How a rooted rewriting ends: in a free/existential variable or in a fixed
+/// constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndCap {
+    /// The query ends in a variable (ordinary path query).
+    Open,
+    /// The query ends in the given constant.
+    Const(Constant),
+}
+
+/// Builds the formula `ψ(x)` of Lemma 12 for the word `R1 … Rk`, with free
+/// variable `x`, such that for every constant `c`, `∃x (ψ(x) ∧ x = c)` is a
+/// consistent first-order rewriting of `CERTAINTY(q[c])`.
+///
+/// With `EndCap::Const(c')`, the constructed formula is the rewriting for the
+/// generalized query whose last term is the constant `c'` (used by Lemma 26
+/// without materializing the fresh `N`-relation).
+pub fn rooted_rewriting(word: &Word, end: EndCap) -> Formula {
+    build_rewriting(word, 0, end)
+}
+
+fn level_var(i: usize) -> Variable {
+    Variable::new(&format!("y{i}"))
+}
+
+fn build_rewriting(word: &Word, level: usize, end: EndCap) -> Formula {
+    let x = level_var(level);
+    if level == word.len() {
+        return match end {
+            EndCap::Open => Formula::True,
+            EndCap::Const(c) => Formula::Eq(Term::Var(x), Term::Const(c.symbol())),
+        };
+    }
+    let rel = word[level];
+    let y = level_var(level + 1);
+    let inner = build_rewriting(word, level + 1, end);
+    let some_edge = Formula::exists(y, Formula::atom(rel, Term::Var(x), Term::Var(y)));
+    let all_edges_good = Formula::forall(
+        y,
+        Formula::atom(rel, Term::Var(x), Term::Var(y)).implies(inner),
+    );
+    some_edge.and(all_edges_good)
+}
+
+/// The consistent first-order rewriting of `CERTAINTY(q)` for a path query
+/// satisfying C1 (Lemma 13): `∃x ψ(x)`.
+///
+/// The formula is only a correct rewriting when `q` satisfies C1; the
+/// function itself does not check the condition.
+pub fn c1_rewriting(word: &Word) -> Formula {
+    let x = level_var(0);
+    Formula::exists(x, rooted_rewriting(word, EndCap::Open))
+}
+
+/// The rewriting of `CERTAINTY(q[c])` as a closed sentence (Lemma 12).
+pub fn rooted_sentence(word: &Word, start: Constant, end: EndCap) -> Formula {
+    let x = level_var(0);
+    Formula::exists(
+        x,
+        rooted_rewriting(word, end).and(Formula::Eq(Term::Var(x), Term::Const(start.symbol()))),
+    )
+}
+
+/// Memoized bottom-up evaluation of the rooted rewriting over a database
+/// instance: `certain(c)` is true iff every repair of `db` has a path that
+/// starts in `c`, has trace `word`, and (if capped) ends in the given
+/// constant. Runs in `O(|q| · |db|)`.
+#[derive(Debug, Clone)]
+pub struct CertainRootedTable {
+    /// `levels[i]` = set of constants `c` such that every repair has a path
+    /// with trace `word[i..]` starting at `c` (ending as capped).
+    levels: Vec<BTreeSet<Constant>>,
+    word_len: usize,
+}
+
+impl CertainRootedTable {
+    /// Computes the table for a word over a database instance.
+    pub fn compute(db: &DatabaseInstance, word: &Word, end: EndCap) -> CertainRootedTable {
+        let k = word.len();
+        let mut levels: Vec<BTreeSet<Constant>> = vec![BTreeSet::new(); k + 1];
+        // Base level: which constants count as a successful endpoint.
+        levels[k] = match end {
+            EndCap::Open => db.adom().iter().copied().collect(),
+            EndCap::Const(c) => BTreeSet::from([c]),
+        };
+        // Note: with EndCap::Open the base level is the full active domain;
+        // reaching *any* constant ends the path successfully. For i from k-1
+        // down to 0: c is certain iff the block word[i](c, ∗) is nonempty and
+        // every value of that block is certain at level i+1.
+        for i in (0..k).rev() {
+            let rel = word[i];
+            let mut level = BTreeSet::new();
+            for &c in db.adom() {
+                let values = db.out_values(rel, c);
+                if values.is_empty() {
+                    continue;
+                }
+                let next = &levels[i + 1];
+                if values.iter().all(|v| next.contains(v)) {
+                    level.insert(c);
+                }
+            }
+            levels[i] = level;
+        }
+        CertainRootedTable {
+            levels,
+            word_len: k,
+        }
+    }
+
+    /// True iff every repair has a suitable path starting at `c`.
+    pub fn certain_from(&self, c: Constant) -> bool {
+        self.levels[0].contains(&c)
+    }
+
+    /// All constants from which the query is certain.
+    pub fn certain_starts(&self) -> &BTreeSet<Constant> {
+        &self.levels[0]
+    }
+
+    /// The certain set at an intermediate level `i` (constants from which
+    /// every repair has a path with trace `word[i..]`).
+    pub fn certain_at_level(&self, i: usize) -> &BTreeSet<Constant> {
+        &self.levels[i]
+    }
+
+    /// The word length the table was computed for.
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+}
+
+/// Lemma 17 / Definition 15: `c` is **terminal** for the path query `word`
+/// in `db` iff `db` is a "no"-instance of `CERTAINTY(word[c])`, i.e. iff
+/// some repair has no consistent path with trace `word` starting at `c`.
+pub fn is_terminal(db: &DatabaseInstance, table: &CertainRootedTable, c: Constant) -> bool {
+    let _ = db;
+    !table.certain_from(c)
+}
+
+/// Convenience: computes the set of terminal vertices for `word` in `db`.
+pub fn terminal_vertices(db: &DatabaseInstance, word: &Word) -> BTreeSet<Constant> {
+    let table = CertainRootedTable::compute(db, word, EndCap::Open);
+    db.adom()
+        .iter()
+        .copied()
+        .filter(|&c| !table.certain_from(c))
+        .collect()
+}
+
+/// Renders the LFP formula of Figure 7 for a path query, as human-readable
+/// text. The formula `ψ_q(s, t) = [lfp N,x,z φ_q(N, x, z)](s, t)` expresses
+/// the fixpoint algorithm of Figure 5 in Least Fixpoint Logic (Lemma 11).
+pub fn lfp_formula_text(word: &Word) -> String {
+    let mut disjuncts: Vec<String> = Vec::new();
+    disjuncts.push(format!("(α(x) ∧ z = '{word}')"));
+    for i in 0..word.len() {
+        let u = word.prefix(i);
+        let r = word[i];
+        let ur = word.prefix(i + 1);
+        disjuncts.push(format!(
+            "(z = '{u}' ∧ ∃y {r}(x, y) ∧ ∀y ({r}(x, y) → N(y, '{ur}')))"
+        ));
+    }
+    for j in 1..=word.len() {
+        for i in 1..j {
+            if word[i - 1] == word[j - 1] {
+                let u = word.prefix(i);
+                let uv = word.prefix(j);
+                disjuncts.push(format!("(N(x, '{u}') ∧ z = '{uv}')"));
+            }
+        }
+    }
+    format!(
+        "ψ_q(s, t) := [lfp N,x,z  {}](s, t)",
+        disjuncts.join("\n            ∨ ")
+    )
+}
+
+/// A cache of [`CertainRootedTable`]s keyed by word, for callers (such as the
+/// NL solver) that repeatedly test terminality for the same few words.
+#[derive(Default)]
+pub struct TerminalCache {
+    tables: HashMap<(Word, Option<Constant>), CertainRootedTable>,
+}
+
+impl TerminalCache {
+    /// Creates an empty cache.
+    pub fn new() -> TerminalCache {
+        TerminalCache::default()
+    }
+
+    /// The table for a word (computing it on first use).
+    pub fn table(&mut self, db: &DatabaseInstance, word: &Word, end: EndCap) -> &CertainRootedTable {
+        let key = (
+            word.clone(),
+            match end {
+                EndCap::Open => None,
+                EndCap::Const(c) => Some(c),
+            },
+        );
+        self.tables
+            .entry(key)
+            .or_insert_with(|| CertainRootedTable::compute(db, word, end))
+    }
+
+    /// True iff `c` is terminal for `word` in `db`.
+    pub fn is_terminal(&mut self, db: &DatabaseInstance, word: &Word, c: Constant) -> bool {
+        !self.table(db, word, EndCap::Open).certain_from(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use cqa_core::query::PathQuery;
+
+    fn w(s: &str) -> Word {
+        Word::from_letters(s)
+    }
+
+    fn c(s: &str) -> Constant {
+        Constant::new(s)
+    }
+
+    /// Brute-force ground truth: every repair has a path with the given trace
+    /// starting at `start` (and ending at `end` if capped).
+    fn oracle(db: &DatabaseInstance, word: &Word, start: Constant, end: EndCap) -> bool {
+        db.repairs().all(|r| match end {
+            EndCap::Open => r.satisfies_word_from(start, word),
+            EndCap::Const(e) => r.walk(start, word) == Some(e),
+        })
+    }
+
+    fn figure_2() -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("R", "1", "2");
+        db.insert_parsed("R", "1", "3");
+        db.insert_parsed("R", "2", "3");
+        db.insert_parsed("X", "3", "4");
+        db
+    }
+
+    #[test]
+    fn table_matches_oracle_on_figure_2() {
+        let db = figure_2();
+        for word in ["R", "RR", "RRX", "RX", "RRRX", "XR"] {
+            let word = w(word);
+            let table = CertainRootedTable::compute(&db, &word, EndCap::Open);
+            for &start in db.adom() {
+                assert_eq!(
+                    table.certain_from(start),
+                    oracle(&db, &word, start, EndCap::Open),
+                    "mismatch for word {word} at {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_oracle_with_end_constant() {
+        let db = figure_2();
+        for word in ["R", "RR", "RRX"] {
+            let word = w(word);
+            for &end in db.adom() {
+                let cap = EndCap::Const(end);
+                let table = CertainRootedTable::compute(&db, &word, cap);
+                for &start in db.adom() {
+                    assert_eq!(
+                        table.certain_from(start),
+                        oracle(&db, &word, start, cap),
+                        "mismatch for word {word} from {start} to {end}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn formula_agrees_with_table_on_small_instances() {
+        let db = figure_2();
+        for word in ["R", "RR", "RX"] {
+            let word = w(word);
+            let table = CertainRootedTable::compute(&db, &word, EndCap::Open);
+            for &start in db.adom() {
+                let sentence = rooted_sentence(&word, start, EndCap::Open);
+                assert_eq!(
+                    eval(&db, &sentence),
+                    table.certain_from(start),
+                    "formula/table disagreement for {word} at {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c1_rewriting_of_rr_matches_certain_answers() {
+        // q = RR satisfies C1; its rewriting is the introduction's φ.
+        let q = PathQuery::parse("RR").unwrap();
+        let phi = c1_rewriting(q.word());
+        assert!(phi.is_sentence());
+
+        // Figure 1 restricted to R: certain (Example 1).
+        let mut yes = DatabaseInstance::new();
+        for a in ["a", "b"] {
+            for b in ["a", "b"] {
+                yes.insert_parsed("R", a, b);
+            }
+        }
+        assert!(eval(&yes, &phi));
+        assert!(yes.repairs().all(|r| r.satisfies_word(q.word())));
+
+        // A dead-end instance: not certain.
+        let mut no = DatabaseInstance::new();
+        no.insert_parsed("R", "a", "b");
+        assert!(!eval(&no, &phi));
+        assert!(!no.repairs().all(|r| r.satisfies_word(q.word())));
+    }
+
+    #[test]
+    fn example_7_terminal_vertices() {
+        // db = {R(c,d), S(d,c), R(c,e), T(e,f)}: c is terminal for RSRT.
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "c", "d");
+        db.insert_parsed("S", "d", "c");
+        db.insert_parsed("R", "c", "e");
+        db.insert_parsed("T", "e", "f");
+        let terminals = terminal_vertices(&db, &w("RSRT"));
+        assert!(terminals.contains(&c("c")));
+        // c is NOT terminal for RT: every repair that keeps R(c,e) has the
+        // path; the repair keeping R(c,d) does not... so c IS terminal for RT.
+        let terminals_rt = terminal_vertices(&db, &w("RT"));
+        assert!(terminals_rt.contains(&c("c")));
+        // d is not terminal for SR: S(d,c) then R(c, ·) exists in every repair.
+        let terminals_sr = terminal_vertices(&db, &w("SR"));
+        assert!(!terminals_sr.contains(&c("d")));
+    }
+
+    #[test]
+    fn rewriting_size_is_linear_in_query_length() {
+        for len in 1..=8 {
+            let word: Word = std::iter::repeat(cqa_core::symbol::RelName::new("R"))
+                .take(len)
+                .collect();
+            let phi = c1_rewriting(&word);
+            assert!(phi.size() <= 6 * len + 2, "rewriting too large for length {len}");
+        }
+    }
+
+    #[test]
+    fn lfp_text_mentions_all_prefixes() {
+        let text = lfp_formula_text(&w("RRX"));
+        assert!(text.contains("lfp"));
+        assert!(text.contains("'RRX'"));
+        assert!(text.contains("'RR'"));
+        assert!(text.contains("α(x)"));
+    }
+
+    #[test]
+    fn terminal_cache_reuses_tables() {
+        let db = figure_2();
+        let mut cache = TerminalCache::new();
+        let t1 = cache.is_terminal(&db, &w("RRX"), c("4"));
+        let t2 = cache.is_terminal(&db, &w("RRX"), c("4"));
+        assert_eq!(t1, t2);
+        assert!(t1, "4 has no outgoing R edge, hence is terminal for RRX");
+        // 0 is terminal for RRX too (the repair keeping R(1,2) has no RRX
+        // path from 0), but it is not terminal for the single-atom query R.
+        assert!(cache.is_terminal(&db, &w("RRX"), c("0")));
+        assert!(!cache.is_terminal(&db, &w("R"), c("0")));
+    }
+}

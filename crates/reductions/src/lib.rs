@@ -1,0 +1,29 @@
+//! # cqa-reductions
+//!
+//! The executable content of the lower-bound proofs of Section 7 (and their
+//! Section 8 variants): the path gadgets `ϕ_a^b[q]`, and the reductions
+//!
+//! * REACHABILITY → co-`CERTAINTY(q)` for queries violating C1 (Lemma 18),
+//! * SAT → co-`CERTAINTY(q)` for queries violating C3 (Lemma 19),
+//! * MCVP → `CERTAINTY(q)` for queries violating C2 (Lemma 20),
+//!
+//! together with the source-problem types (directed graphs, CNF formulas,
+//! monotone circuits), their evaluators and random generators. These are used
+//! both to validate the reductions against the solvers and to generate
+//! adversarial benchmark instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gadgets;
+pub mod reductions;
+pub mod sources;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::gadgets::{phi, Endpoint, FreshConstants};
+    pub use crate::reductions::{
+        mcvp_reduction, reachability_reduction, sat_reduction, ReductionError,
+    };
+    pub use crate::sources::{CnfFormula, Digraph, Gate, MonotoneCircuit};
+}

@@ -1,0 +1,431 @@
+//! The three hardness reductions of Section 7.
+//!
+//! Each reduction takes an instance of the source problem and a path query
+//! with the required condition violation, and produces a database instance
+//! such that the source instance is a "yes"-instance iff the produced
+//! database is a **"no"**-instance of `CERTAINTY(q)` (for REACHABILITY and
+//! SAT) or a **"yes"**-instance (for MCVP).
+
+use cqa_core::conditions::{
+    c1_violation_witness, c2_triple_violation_witness, c3_violation_witness,
+};
+use cqa_core::query::PathQuery;
+use cqa_core::word::Word;
+use cqa_db::fact::Constant;
+use cqa_db::instance::DatabaseInstance;
+
+use crate::gadgets::{phi, Endpoint, FreshConstants};
+use crate::sources::{CnfFormula, Digraph, Gate, MonotoneCircuit};
+
+/// Errors produced while building a reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReductionError {
+    /// The query does not violate the condition required by the reduction.
+    ConditionNotViolated(&'static str),
+}
+
+impl std::fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReductionError::ConditionNotViolated(cond) => {
+                write!(f, "the query does not violate condition {cond}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {}
+
+fn vertex_constant(prefix: &str, index: usize) -> Constant {
+    Constant::new(&format!("{prefix}{index}"))
+}
+
+/// **Lemma 18** (NL-hardness): reduction from REACHABILITY to the complement
+/// of `CERTAINTY(q)`, for a path query `q` violating C1.
+///
+/// Returns the database instance; `target` is reachable from `source` in the
+/// graph iff some repair of the instance falsifies `q`.
+pub fn reachability_reduction(
+    graph: &Digraph,
+    source: usize,
+    target: usize,
+    query: &PathQuery,
+) -> Result<DatabaseInstance, ReductionError> {
+    let word = query.word();
+    let (i, j) = c1_violation_witness(word).ok_or(ReductionError::ConditionNotViolated("C1"))?;
+    let u = word.prefix(i);
+    let rv = word.slice(i, j);
+    let rw = word.suffix_from(j);
+
+    let mut fresh = FreshConstants::with_prefix("reach");
+    let mut db = DatabaseInstance::new();
+    let v = |x: usize| vertex_constant("g", x);
+    let s_prime = Constant::new("g_source_prime");
+    let t_prime = Constant::new("g_target_prime");
+
+    // Vertices of G' = V ∪ {s'}: an incoming u-path.
+    for x in 0..graph.n {
+        for fact in phi(&u, Endpoint::Fresh, Endpoint::Named(v(x)), &mut fresh) {
+            db.insert(fact);
+        }
+    }
+    for fact in phi(&u, Endpoint::Fresh, Endpoint::Named(s_prime), &mut fresh) {
+        db.insert(fact);
+    }
+    // Edges of G' = E ∪ {(s', s), (t, t')}: an Rv-path.
+    let mut edge_pairs: Vec<(Constant, Constant)> = graph
+        .edges
+        .iter()
+        .map(|&(a, b)| (v(a), v(b)))
+        .collect();
+    edge_pairs.push((s_prime, v(source)));
+    edge_pairs.push((v(target), t_prime));
+    for (a, b) in edge_pairs {
+        for fact in phi(&rv, Endpoint::Named(a), Endpoint::Named(b), &mut fresh) {
+            db.insert(fact);
+        }
+    }
+    // Every original vertex gets an outgoing Rw-path.
+    for x in 0..graph.n {
+        for fact in phi(&rw, Endpoint::Named(v(x)), Endpoint::Fresh, &mut fresh) {
+            db.insert(fact);
+        }
+    }
+    Ok(db)
+}
+
+/// **Lemma 19** (coNP-hardness): reduction from SAT to the complement of
+/// `CERTAINTY(q)`, for a path query `q` violating C3.
+///
+/// The formula is satisfiable iff some repair of the returned instance
+/// falsifies `q`.
+pub fn sat_reduction(
+    formula: &CnfFormula,
+    query: &PathQuery,
+) -> Result<DatabaseInstance, ReductionError> {
+    let word = query.word();
+    let (i, j) = c3_violation_witness(word).ok_or(ReductionError::ConditionNotViolated("C3"))?;
+    let u = word.prefix(i);
+    let rv = word.slice(i, j);
+    let rw = word.suffix_from(j);
+    let rv_rw = rv.concat(&rw);
+    let u_rv = u.concat(&rv);
+
+    let mut fresh = FreshConstants::with_prefix("sat");
+    let mut db = DatabaseInstance::new();
+    let var_const = |z: usize| vertex_constant("var", z);
+    let clause_const = |c: usize| vertex_constant("cl", c);
+
+    // Variables: the truth-value choice between Rw ("true") and RvRw ("false").
+    for z in 1..=formula.num_vars {
+        for fact in phi(&rw, Endpoint::Named(var_const(z)), Endpoint::Fresh, &mut fresh) {
+            db.insert(fact);
+        }
+        for fact in phi(&rv_rw, Endpoint::Named(var_const(z)), Endpoint::Fresh, &mut fresh) {
+            db.insert(fact);
+        }
+    }
+    // Clauses: a u-path to the variable for positive literals, a uRv-path for
+    // negative literals.
+    for (c, clause) in formula.clauses.iter().enumerate() {
+        for &lit in clause {
+            let z = lit.unsigned_abs() as usize;
+            let word_to_use = if lit > 0 { &u } else { &u_rv };
+            for fact in phi(
+                word_to_use,
+                Endpoint::Named(clause_const(c)),
+                Endpoint::Named(var_const(z)),
+                &mut fresh,
+            ) {
+                db.insert(fact);
+            }
+        }
+    }
+    Ok(db)
+}
+
+/// **Lemma 20** (PTIME-hardness): reduction from the Monotone Circuit Value
+/// Problem to `CERTAINTY(q)`, for a path query `q` violating C2 (but
+/// satisfying C3 — for queries violating C3 use [`sat_reduction`]).
+///
+/// The circuit evaluates to `1` under `inputs` iff **every** repair of the
+/// returned instance satisfies `q`.
+pub fn mcvp_reduction(
+    circuit: &MonotoneCircuit,
+    inputs: &[bool],
+    query: &PathQuery,
+) -> Result<DatabaseInstance, ReductionError> {
+    let word = query.word();
+    let (i, j, k) =
+        c2_triple_violation_witness(word).ok_or(ReductionError::ConditionNotViolated("C2"))?;
+    let u = word.prefix(i);
+    let rv1 = word.slice(i, j);
+    let rv2 = word.slice(j, k);
+    let rw = word.suffix_from(k);
+    // v = longest common prefix of v1 and v2; vi = v · vi_plus.
+    let v1 = word.slice(i + 1, j);
+    let v2 = word.slice(j + 1, k);
+    let mut common = 0usize;
+    while common < v1.len() && common < v2.len() && v1[common] == v2[common] {
+        common += 1;
+    }
+    let v = v1.prefix(common);
+    let v1_plus = v1.suffix_from(common);
+    let v2_plus = v2.suffix_from(common);
+    // The construction of Lemma 20 branches on the *first relation names* of
+    // v1+ and v2+, which must exist and differ; queries whose only violating
+    // triple has v1 a prefix of v2 (or vice versa) fall outside this shape
+    // and are not supported by this gadget (see DESIGN.md §6).
+    if v1_plus.is_empty() || v2_plus.is_empty() {
+        return Err(ReductionError::ConditionNotViolated(
+            "C2 (with a non-degenerate v1/v2 split)",
+        ));
+    }
+    let rv = Word::new([word[i]]).concat(&v);
+    let rv2_rw = rv2.concat(&rw);
+
+    let mut fresh = FreshConstants::with_prefix("mcvp");
+    let mut db = DatabaseInstance::new();
+    let node = |g: usize| vertex_constant("node", g);
+
+    // Output gate: an incoming uRv1-path.
+    let u_rv1 = u.concat(&rv1);
+    for fact in phi(
+        &u_rv1,
+        Endpoint::Fresh,
+        Endpoint::Named(node(circuit.output())),
+        &mut fresh,
+    ) {
+        db.insert(fact);
+    }
+    // True inputs: an outgoing Rv2Rw-path.
+    for (x, &value) in inputs.iter().enumerate() {
+        if value {
+            for fact in phi(&rv2_rw, Endpoint::Named(node(x)), Endpoint::Fresh, &mut fresh) {
+                db.insert(fact);
+            }
+        }
+    }
+    // Every gate: an incoming u-path and an outgoing Rv2Rw-path.
+    for g in 0..circuit.gates.len() {
+        let gate_node = circuit.num_inputs + g;
+        for fact in phi(&u, Endpoint::Fresh, Endpoint::Named(node(gate_node)), &mut fresh) {
+            db.insert(fact);
+        }
+        for fact in phi(
+            &rv2_rw,
+            Endpoint::Named(node(gate_node)),
+            Endpoint::Fresh,
+            &mut fresh,
+        ) {
+            db.insert(fact);
+        }
+    }
+    // Gate gadgets.
+    for (g, gate) in circuit.gates.iter().enumerate() {
+        let gate_node = node(circuit.num_inputs + g);
+        match *gate {
+            Gate::And(g1, g2) => {
+                for fact in phi(&rv1, Endpoint::Named(gate_node), Endpoint::Named(node(g1)), &mut fresh) {
+                    db.insert(fact);
+                }
+                for fact in phi(&rv1, Endpoint::Named(gate_node), Endpoint::Named(node(g2)), &mut fresh) {
+                    db.insert(fact);
+                }
+            }
+            Gate::Or(g1, g2) => {
+                let c1 = fresh.next();
+                let c2 = fresh.next();
+                for fact in phi(&rv, Endpoint::Named(gate_node), Endpoint::Named(c1), &mut fresh) {
+                    db.insert(fact);
+                }
+                for fact in phi(&v1_plus, Endpoint::Named(c1), Endpoint::Named(node(g1)), &mut fresh) {
+                    db.insert(fact);
+                }
+                for fact in phi(&v2_plus, Endpoint::Named(c1), Endpoint::Named(c2), &mut fresh) {
+                    db.insert(fact);
+                }
+                for fact in phi(&u, Endpoint::Fresh, Endpoint::Named(c2), &mut fresh) {
+                    db.insert(fact);
+                }
+                for fact in phi(&rv1, Endpoint::Named(c2), Endpoint::Named(node(g2)), &mut fresh) {
+                    db.insert(fact);
+                }
+                for fact in phi(&rw, Endpoint::Named(c2), Endpoint::Fresh, &mut fresh) {
+                    db.insert(fact);
+                }
+            }
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_db::repair::ConsistentInstance;
+
+    /// Oracle: every repair satisfies q (exhaustive; instances are small).
+    fn certain(db: &DatabaseInstance, query: &PathQuery) -> bool {
+        assert!(db.repair_count() <= 1 << 16, "oracle would be too slow");
+        db.repairs().all(|r: ConsistentInstance| r.satisfies_word(query.word()))
+    }
+
+    #[test]
+    fn reachability_reduction_matches_figure_8() {
+        // Figure 8: V = {s, a, t}, E = {(s,a), (a,t)}: t reachable from s, so
+        // the instance must have a falsifying repair.
+        let q = PathQuery::parse("RRX").unwrap(); // violates C1, satisfies C2
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let db = reachability_reduction(&g, 0, 2, &q).unwrap();
+        assert!(!certain(&db, &q));
+        // Removing the edge (a, t) disconnects s from t: certain.
+        let mut g2 = Digraph::new(3);
+        g2.add_edge(0, 1);
+        let db2 = reachability_reduction(&g2, 0, 2, &q).unwrap();
+        assert!(certain(&db2, &q));
+    }
+
+    #[test]
+    fn reachability_reduction_agrees_on_random_dags() {
+        let q = PathQuery::parse("RXRY").unwrap(); // NL-complete query
+        let mut rng = rand::rng();
+        for _ in 0..10 {
+            let g = Digraph::random_dag(5, 0.35, &mut rng);
+            let db = reachability_reduction(&g, 0, 4, &q).unwrap();
+            assert_eq!(
+                g.reachable(0, 4),
+                !certain(&db, &q),
+                "graph {g:?} gave the wrong certainty"
+            );
+        }
+    }
+
+    #[test]
+    fn reachability_reduction_requires_a_c1_violation() {
+        let q = PathQuery::parse("RXRX").unwrap(); // satisfies C1
+        let g = Digraph::new(2);
+        assert!(matches!(
+            reachability_reduction(&g, 0, 1, &q),
+            Err(ReductionError::ConditionNotViolated("C1"))
+        ));
+    }
+
+    #[test]
+    fn sat_reduction_matches_figure_9() {
+        // ψ = (x1 ∨ ¬x2) ∧ (¬x1 ∨ x2): satisfiable, so not certain.
+        let q = PathQuery::parse("ARRX").unwrap(); // violates C3
+        let mut sat = CnfFormula::new(2);
+        sat.add_clause(vec![1, -2]);
+        sat.add_clause(vec![-1, 2]);
+        let db = sat_reduction(&sat, &q).unwrap();
+        assert!(!certain(&db, &q));
+        // x1 ∧ ¬x1: unsatisfiable, so certain.
+        let mut unsat = CnfFormula::new(1);
+        unsat.add_clause(vec![1]);
+        unsat.add_clause(vec![-1]);
+        let db = sat_reduction(&unsat, &q).unwrap();
+        assert!(certain(&db, &q));
+    }
+
+    #[test]
+    fn sat_reduction_agrees_on_random_formulas() {
+        let q = PathQuery::parse("RXRXRYRY").unwrap();
+        let mut rng = rand::rng();
+        for _ in 0..8 {
+            let formula = CnfFormula::random(3, 4, 2, &mut rng);
+            let db = sat_reduction(&formula, &q).unwrap();
+            assert_eq!(
+                formula.satisfiable(),
+                !certain(&db, &q),
+                "formula {formula:?} gave the wrong certainty"
+            );
+        }
+    }
+
+    #[test]
+    fn sat_reduction_requires_a_c3_violation() {
+        let q = PathQuery::parse("RRX").unwrap();
+        let formula = CnfFormula::new(1);
+        assert!(sat_reduction(&formula, &q).is_err());
+    }
+
+    #[test]
+    fn mcvp_reduction_on_a_tiny_circuit() {
+        // Circuit: (x0 ∧ x1) — query RXRYRY violates C2 but satisfies C3.
+        let q = PathQuery::parse("RXRYRY").unwrap();
+        let mut circuit = MonotoneCircuit::new(2);
+        circuit.add_gate(Gate::And(0, 1));
+        for inputs in [[true, true], [true, false], [false, true], [false, false]] {
+            let db = mcvp_reduction(&circuit, &inputs, &q).unwrap();
+            assert_eq!(
+                circuit.evaluate(&inputs),
+                certain(&db, &q),
+                "inputs {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mcvp_reduction_on_or_and_mixed_circuits() {
+        let q = PathQuery::parse("RXRYRY").unwrap();
+        // (x0 ∨ x1) and ((x0 ∨ x1) ∧ x2)
+        let mut circuit = MonotoneCircuit::new(3);
+        let or = circuit.add_gate(Gate::Or(0, 1));
+        circuit.add_gate(Gate::And(or, 2));
+        for mask in 0..8u32 {
+            let inputs = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            let db = mcvp_reduction(&circuit, &inputs, &q).unwrap();
+            assert_eq!(
+                circuit.evaluate(&inputs),
+                certain(&db, &q),
+                "inputs {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mcvp_reduction_rejects_degenerate_splits() {
+        // RRSRS is the shortest query violating C2 while satisfying C3, but
+        // its only violating triple has v1 = ε (a prefix of v2), so the
+        // Lemma 20 gadget as stated does not apply and the builder refuses.
+        let q = PathQuery::parse("RRSRS").unwrap();
+        let mut circuit = MonotoneCircuit::new(2);
+        circuit.add_gate(Gate::Or(0, 1));
+        assert!(matches!(
+            mcvp_reduction(&circuit, &[true, false], &q),
+            Err(ReductionError::ConditionNotViolated(_))
+        ));
+    }
+
+    #[test]
+    fn mcvp_reduction_on_random_circuits() {
+        let q = PathQuery::parse("RXRYRY").unwrap();
+        let mut rng = rand::rng();
+        for _ in 0..5 {
+            let circuit = MonotoneCircuit::random(3, 3, &mut rng);
+            for mask in 0..8u32 {
+                let inputs = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+                let db = mcvp_reduction(&circuit, &inputs, &q).unwrap();
+                if db.repair_count() > 1 << 16 {
+                    continue;
+                }
+                assert_eq!(
+                    circuit.evaluate(&inputs),
+                    certain(&db, &q),
+                    "circuit {circuit:?}, inputs {inputs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mcvp_reduction_requires_a_c2_violation() {
+        let q = PathQuery::parse("RXRY").unwrap(); // satisfies C2
+        let mut circuit = MonotoneCircuit::new(1);
+        circuit.add_gate(Gate::Or(0, 0));
+        assert!(mcvp_reduction(&circuit, &[true], &q).is_err());
+    }
+}

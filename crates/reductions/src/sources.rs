@@ -1,0 +1,288 @@
+//! Source problems of the hardness reductions: directed graphs
+//! (REACHABILITY), propositional CNF formulas (SAT) and monotone Boolean
+//! circuits (MCVP), with evaluators and random generators.
+
+use rand::Rng;
+use rand::RngExt as _;
+
+/// A directed graph on vertices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Directed edges.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Digraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Digraph {
+        Digraph { n, edges: Vec::new() }
+    }
+
+    /// Adds an edge.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.n && to < self.n);
+        self.edges.push((from, to));
+    }
+
+    /// True iff `target` is reachable from `source`.
+    pub fn reachable(&self, source: usize, target: usize) -> bool {
+        let mut adjacency = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adjacency[a].push(b);
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![source];
+        seen[source] = true;
+        while let Some(v) = stack.pop() {
+            if v == target {
+                return true;
+            }
+            for &w in &adjacency[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// A random DAG: edges only go from lower to higher vertex indices, each
+    /// present with probability `density`.
+    pub fn random_dag<R: Rng + ?Sized>(n: usize, density: f64, rng: &mut R) -> Digraph {
+        let mut g = Digraph::new(n);
+        for a in 0..n {
+            for b in a + 1..n {
+                if rng.random_bool(density) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// A CNF formula over variables `1..=num_vars`; a literal is a signed
+/// variable index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnfFormula {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses as lists of nonzero signed variable indices.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl CnfFormula {
+    /// Creates a formula with no clauses.
+    pub fn new(num_vars: usize) -> CnfFormula {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause.
+    pub fn add_clause(&mut self, lits: Vec<i32>) {
+        assert!(lits.iter().all(|&l| l != 0 && l.unsigned_abs() as usize <= self.num_vars));
+        self.clauses.push(lits);
+    }
+
+    /// Evaluates under an assignment (`assignment[var]`, index 0 unused).
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let value = assignment[lit.unsigned_abs() as usize];
+                (lit > 0) == value
+            })
+        })
+    }
+
+    /// Brute-force satisfiability (only for small formulas, ≤ 24 variables).
+    pub fn satisfiable(&self) -> bool {
+        assert!(self.num_vars <= 24);
+        (0u64..(1 << self.num_vars)).any(|mask| {
+            let mut assignment = vec![false; self.num_vars + 1];
+            for (var, slot) in assignment.iter_mut().enumerate().skip(1) {
+                *slot = mask & (1 << (var - 1)) != 0;
+            }
+            self.evaluate(&assignment)
+        })
+    }
+
+    /// A random k-CNF formula.
+    pub fn random<R: Rng + ?Sized>(
+        num_vars: usize,
+        num_clauses: usize,
+        clause_len: usize,
+        rng: &mut R,
+    ) -> CnfFormula {
+        let mut formula = CnfFormula::new(num_vars);
+        for _ in 0..num_clauses {
+            let clause: Vec<i32> = (0..clause_len)
+                .map(|_| {
+                    let var = rng.random_range(1..=num_vars) as i32;
+                    if rng.random_bool(0.5) {
+                        var
+                    } else {
+                        -var
+                    }
+                })
+                .collect();
+            formula.add_clause(clause);
+        }
+        formula
+    }
+}
+
+/// A gate of a monotone circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Conjunction of two earlier nodes.
+    And(usize, usize),
+    /// Disjunction of two earlier nodes.
+    Or(usize, usize),
+}
+
+/// A monotone Boolean circuit: nodes `0..num_inputs` are the inputs, node
+/// `num_inputs + i` is `gates[i]`, and the output is the last node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonotoneCircuit {
+    /// Number of input nodes.
+    pub num_inputs: usize,
+    /// The gates, each referring to strictly earlier nodes.
+    pub gates: Vec<Gate>,
+}
+
+impl MonotoneCircuit {
+    /// Creates a circuit with the given inputs and no gates.
+    pub fn new(num_inputs: usize) -> MonotoneCircuit {
+        assert!(num_inputs >= 1);
+        MonotoneCircuit {
+            num_inputs,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Adds a gate; its node index is returned.
+    pub fn add_gate(&mut self, gate: Gate) -> usize {
+        let node = self.num_inputs + self.gates.len();
+        let (a, b) = match gate {
+            Gate::And(a, b) | Gate::Or(a, b) => (a, b),
+        };
+        assert!(a < node && b < node, "gates must refer to earlier nodes");
+        self.gates.push(gate);
+        node
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_inputs + self.gates.len()
+    }
+
+    /// The output node (the last node).
+    pub fn output(&self) -> usize {
+        assert!(!self.gates.is_empty(), "a circuit needs at least one gate");
+        self.num_nodes() - 1
+    }
+
+    /// Evaluates every node under the input assignment.
+    pub fn evaluate_nodes(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs);
+        let mut values = inputs.to_vec();
+        for gate in &self.gates {
+            let v = match *gate {
+                Gate::And(a, b) => values[a] && values[b],
+                Gate::Or(a, b) => values[a] || values[b],
+            };
+            values.push(v);
+        }
+        values
+    }
+
+    /// Evaluates the output.
+    pub fn evaluate(&self, inputs: &[bool]) -> bool {
+        *self.evaluate_nodes(inputs).last().expect("nonempty circuit")
+    }
+
+    /// A random layered monotone circuit with the given number of gates.
+    pub fn random<R: Rng + ?Sized>(num_inputs: usize, num_gates: usize, rng: &mut R) -> MonotoneCircuit {
+        let mut circuit = MonotoneCircuit::new(num_inputs);
+        for _ in 0..num_gates {
+            let bound = circuit.num_nodes();
+            let a = rng.random_range(0..bound);
+            let b = rng.random_range(0..bound);
+            let gate = if rng.random_bool(0.5) {
+                Gate::And(a, b)
+            } else {
+                Gate::Or(a, b)
+            };
+            circuit.add_gate(gate);
+        }
+        circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_on_a_small_graph() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.reachable(0, 2));
+        assert!(g.reachable(0, 0));
+        assert!(!g.reachable(2, 0));
+        assert!(!g.reachable(0, 3));
+    }
+
+    #[test]
+    fn random_dags_are_acyclic() {
+        let mut rng = rand::rng();
+        let g = Digraph::random_dag(10, 0.4, &mut rng);
+        for &(a, b) in &g.edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn cnf_evaluation_and_satisfiability() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause(vec![1, 2]);
+        f.add_clause(vec![-1]);
+        assert!(f.satisfiable());
+        assert!(f.evaluate(&[false, false, true]));
+        assert!(!f.evaluate(&[false, true, false]));
+        let mut unsat = CnfFormula::new(1);
+        unsat.add_clause(vec![1]);
+        unsat.add_clause(vec![-1]);
+        assert!(!unsat.satisfiable());
+    }
+
+    #[test]
+    fn circuit_evaluation() {
+        // (x0 ∧ x1) ∨ x2
+        let mut c = MonotoneCircuit::new(3);
+        let and = c.add_gate(Gate::And(0, 1));
+        c.add_gate(Gate::Or(and, 2));
+        assert!(c.evaluate(&[true, true, false]));
+        assert!(c.evaluate(&[false, false, true]));
+        assert!(!c.evaluate(&[true, false, false]));
+        assert_eq!(c.output(), 4);
+    }
+
+    #[test]
+    fn random_circuits_are_well_formed() {
+        let mut rng = rand::rng();
+        let c = MonotoneCircuit::random(4, 8, &mut rng);
+        assert_eq!(c.num_nodes(), 12);
+        // Monotonicity: flipping an input from 0 to 1 never flips the output
+        // from 1 to 0.
+        let zero = c.evaluate(&[false; 4]);
+        let one = c.evaluate(&[true; 4]);
+        assert!(!zero || one);
+    }
+}

@@ -1,0 +1,189 @@
+//! CNF formulas.
+
+use std::fmt;
+
+/// A propositional literal: a variable index (1-based) with a sign, in the
+/// DIMACS convention (`3` is variable 3, `-3` is its negation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(i32);
+
+impl Lit {
+    /// A positive literal of variable `var` (1-based).
+    pub fn pos(var: usize) -> Lit {
+        assert!(var >= 1, "variables are 1-based");
+        Lit(var as i32)
+    }
+
+    /// A negative literal of variable `var` (1-based).
+    pub fn neg(var: usize) -> Lit {
+        assert!(var >= 1, "variables are 1-based");
+        Lit(-(var as i32))
+    }
+
+    /// Builds a literal from a DIMACS-style integer (nonzero).
+    pub fn from_dimacs(value: i32) -> Lit {
+        assert!(value != 0, "DIMACS literals are nonzero");
+        Lit(value)
+    }
+
+    /// The variable index (1-based).
+    pub fn var(self) -> usize {
+        self.0.unsigned_abs() as usize
+    }
+
+    /// True iff the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit(-self.0)
+    }
+
+    /// The DIMACS integer representation.
+    pub fn to_dimacs(self) -> i32 {
+        self.0
+    }
+
+    /// True iff the literal is satisfied by the assignment of its variable.
+    pub fn satisfied_by(self, value: bool) -> bool {
+        self.is_positive() == value
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A CNF formula: a conjunction of clauses, each a disjunction of literals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula with `num_vars` variables (1-based indices).
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Registers a fresh variable and returns its index.
+    pub fn fresh_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars
+    }
+
+    /// Adds a clause. Duplicate literals are removed; tautological clauses
+    /// (containing `l` and `¬l`) are kept verbatim and are simply always
+    /// satisfied.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        clause.sort_unstable();
+        clause.dedup();
+        for l in &clause {
+            assert!(l.var() <= self.num_vars, "literal {l} out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the formula under a full assignment (index 0 unused).
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| lit.satisfied_by(assignment[lit.var()]))
+        })
+    }
+
+    /// Renders the formula in DIMACS format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                out.push_str(&lit.to_dimacs().to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let l = Lit::pos(3);
+        assert_eq!(l.var(), 3);
+        assert!(l.is_positive());
+        assert_eq!(l.negated(), Lit::neg(3));
+        assert_eq!(Lit::from_dimacs(-7), Lit::neg(7));
+        assert_eq!(Lit::neg(7).to_dimacs(), -7);
+    }
+
+    #[test]
+    fn evaluation_checks_all_clauses() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::pos(1), Lit::pos(2)]);
+        cnf.add_clause([Lit::neg(1)]);
+        // assignment[0] is a dummy.
+        assert!(cnf.evaluate(&[false, false, true]));
+        assert!(!cnf.evaluate(&[false, true, true]));
+        assert!(!cnf.evaluate(&[false, false, false]));
+    }
+
+    #[test]
+    fn fresh_variables_extend_the_range() {
+        let mut cnf = Cnf::new(1);
+        let v = cnf.fresh_var();
+        assert_eq!(v, 2);
+        cnf.add_clause([Lit::pos(v)]);
+        assert_eq!(cnf.num_vars(), 2);
+    }
+
+    #[test]
+    fn dimacs_output_has_header_and_terminators() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::pos(1), Lit::neg(2)]);
+        let text = cnf.to_dimacs();
+        assert!(text.starts_with("p cnf 2 1"));
+        assert!(text.trim_end().ends_with('0'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_literals_are_rejected() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([Lit::pos(5)]);
+    }
+}

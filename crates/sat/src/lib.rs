@@ -1,0 +1,30 @@
+//! # cqa-sat
+//!
+//! A compact conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This crate is the substrate for the coNP side of the classification: when
+//! `CERTAINTY(q)` is coNP-complete, the certainty solver searches for a
+//! counterexample repair by reducing "does some repair falsify `q`?" to
+//! propositional satisfiability, and the SAT hardness gadget of Lemma 19 is
+//! validated against it.
+//!
+//! ```
+//! use cqa_sat::prelude::*;
+//!
+//! let mut cnf = Cnf::new(2);
+//! cnf.add_clause([Lit::pos(1), Lit::pos(2)]);
+//! cnf.add_clause([Lit::neg(1)]);
+//! assert!(solve(&cnf).is_sat());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod solver;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::cnf::{Cnf, Lit};
+    pub use crate::solver::{solve, solve_brute_force, SatResult, Solver};
+}

@@ -1,0 +1,538 @@
+//! A small conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The solver implements two-watched-literal unit propagation, first-UIP
+//! conflict analysis with clause learning and backjumping, VSIDS-style
+//! variable activities and phase saving. It is deliberately compact: the coNP
+//! certainty solver produces instances with at most a few tens of thousands
+//! of variables, far below the scale where a production solver would be
+//! needed, but exhaustive enumeration would already be hopeless there.
+
+use crate::cnf::{Cnf, Lit};
+
+/// The result of solving a CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witnessing assignment (`model[var]`, index 0 unused).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// True iff satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Encoding of a literal as a dense index for the watch lists.
+fn lit_index(l: Lit) -> usize {
+    2 * l.var() + usize::from(l.is_positive())
+}
+
+/// A CDCL SAT solver instance.
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    /// watches[lit_index(l)] = clauses currently watching literal `l`.
+    watches: Vec<Vec<usize>>,
+    /// Current assignment: None = unassigned.
+    assign: Vec<Option<bool>>,
+    /// Decision level of each assigned variable.
+    level: Vec<u32>,
+    /// Reason clause of each propagated variable.
+    reason: Vec<Option<usize>>,
+    /// Assignment trail and decision-level boundaries.
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    /// Head of the propagation queue within the trail.
+    propagate_head: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Saved phases.
+    phase: Vec<bool>,
+    /// Empty clause seen during loading.
+    trivially_unsat: bool,
+    /// Statistics: number of conflicts encountered.
+    conflicts: u64,
+    /// Statistics: number of decisions taken.
+    decisions: u64,
+}
+
+impl Solver {
+    /// Creates a solver for the given formula.
+    pub fn new(cnf: &Cnf) -> Solver {
+        let num_vars = cnf.num_vars();
+        let mut solver = Solver {
+            num_vars,
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            watches: vec![Vec::new(); 2 * (num_vars + 1)],
+            assign: vec![None; num_vars + 1],
+            level: vec![0; num_vars + 1],
+            reason: vec![None; num_vars + 1],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            propagate_head: 0,
+            activity: vec![0.0; num_vars + 1],
+            var_inc: 1.0,
+            phase: vec![false; num_vars + 1],
+            trivially_unsat: false,
+            conflicts: 0,
+            decisions: 0,
+        };
+        for clause in cnf.clauses() {
+            solver.add_clause(clause.clone());
+        }
+        solver
+    }
+
+    /// Number of conflicts encountered so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautologies are always satisfied: skip them.
+        if lits
+            .iter()
+            .any(|&l| lits.binary_search(&l.negated()).is_ok())
+        {
+            return;
+        }
+        match lits.len() {
+            0 => self.trivially_unsat = true,
+            1 => {
+                // Unit clause: enqueue at level 0 (may conflict with an
+                // earlier unit, detected during the initial propagation).
+                let idx = self.push_clause(lits);
+                let lit = self.clauses[idx].lits[0];
+                match self.value(lit) {
+                    Some(false) => self.trivially_unsat = true,
+                    Some(true) => {}
+                    None => self.enqueue(lit, Some(idx)),
+                }
+            }
+            _ => {
+                self.push_clause(lits);
+            }
+        }
+    }
+
+    fn push_clause(&mut self, lits: Vec<Lit>) -> usize {
+        let idx = self.clauses.len();
+        // Watch the first two literals (for unit clauses, watch the single
+        // literal twice-ish: only one watch entry is needed since it is
+        // enqueued immediately).
+        if lits.len() >= 2 {
+            self.watches[lit_index(lits[0])].push(idx);
+            self.watches[lit_index(lits[1])].push(idx);
+        }
+        self.clauses.push(Clause { lits });
+        idx
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var()].map(|v| l.satisfied_by(v))
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert!(self.value(l).is_none());
+        self.assign[l.var()] = Some(l.is_positive());
+        self.level[l.var()] = self.decision_level();
+        self.reason[l.var()] = reason;
+        self.phase[l.var()] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagate_head < self.trail.len() {
+            let lit = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            let false_lit = lit.negated();
+            let watch_idx = lit_index(false_lit);
+            let mut i = 0;
+            'clauses: while i < self.watches[watch_idx].len() {
+                let clause_idx = self.watches[watch_idx][i];
+                // Ensure the false literal is at position 1.
+                let lits_len = self.clauses[clause_idx].lits.len();
+                if self.clauses[clause_idx].lits[0] == false_lit {
+                    self.clauses[clause_idx].lits.swap(0, 1);
+                }
+                let first = self.clauses[clause_idx].lits[0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..lits_len {
+                    let candidate = self.clauses[clause_idx].lits[k];
+                    if self.value(candidate) != Some(false) {
+                        self.clauses[clause_idx].lits.swap(1, k);
+                        self.watches[watch_idx].swap_remove(i);
+                        self.watches[lit_index(candidate)].push(clause_idx);
+                        continue 'clauses;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                match self.value(first) {
+                    None => {
+                        self.enqueue(first, Some(clause_idx));
+                        i += 1;
+                    }
+                    Some(false) => return Some(clause_idx),
+                    Some(true) => unreachable!("handled above"),
+                }
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, var: usize) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (with the
+    /// asserting literal first) and the level to backjump to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let current_level = self.decision_level();
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars + 1];
+        let mut counter = 0usize;
+        let mut lit: Option<Lit> = None;
+        let mut clause_idx = conflict;
+        let mut trail_pos = self.trail.len();
+
+        loop {
+            let clause_lits = self.clauses[clause_idx].lits.clone();
+            for q in clause_lits {
+                if Some(q) == lit {
+                    continue;
+                }
+                let var = q.var();
+                if !seen[var] && self.level[var] > 0 {
+                    seen[var] = true;
+                    self.bump(var);
+                    if self.level[var] == current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal of the current level on the trail.
+            loop {
+                trail_pos -= 1;
+                if seen[self.trail[trail_pos].var()] {
+                    break;
+                }
+            }
+            let p = self.trail[trail_pos];
+            seen[p.var()] = false;
+            counter -= 1;
+            if counter == 0 {
+                lit = Some(p.negated());
+                break;
+            }
+            clause_idx = self.reason[p.var()].expect("propagated literal must have a reason");
+            lit = Some(p);
+        }
+        let asserting = lit.expect("conflict analysis produces an asserting literal");
+        let mut clause = vec![asserting];
+        clause.extend(learnt);
+        // Backjump level: the maximum level among the non-asserting literals.
+        let backjump = clause[1..]
+            .iter()
+            .map(|l| self.level[l.var()])
+            .max()
+            .unwrap_or(0);
+        (clause, backjump)
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        while self.decision_level() > to_level {
+            let boundary = self.trail_lim.pop().expect("level boundary");
+            while self.trail.len() > boundary {
+                let l = self.trail.pop().expect("trail entry");
+                self.assign[l.var()] = None;
+                self.reason[l.var()] = None;
+            }
+        }
+        self.propagate_head = self.trail.len().min(self.propagate_head);
+        self.propagate_head = self.trail.len();
+    }
+
+    fn learn(&mut self, clause: Vec<Lit>) {
+        let asserting = clause[0];
+        if clause.len() == 1 {
+            self.enqueue(asserting, None);
+            return;
+        }
+        // Place a literal of the backjump level at position 1 so that the
+        // watch invariant holds after backjumping.
+        let mut lits = clause;
+        let mut best = 1;
+        for (i, l) in lits.iter().enumerate().skip(1) {
+            if self.level[l.var()] > self.level[lits[best].var()] {
+                best = i;
+            }
+        }
+        lits.swap(1, best);
+        let idx = self.push_clause(lits);
+        let assert_lit = self.clauses[idx].lits[0];
+        self.enqueue(assert_lit, Some(idx));
+    }
+
+    fn pick_branch_var(&self) -> Option<usize> {
+        (1..=self.num_vars)
+            .filter(|&v| self.assign[v].is_none())
+            .max_by(|&a, &b| {
+                self.activity[a]
+                    .partial_cmp(&self.activity[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Solves the formula.
+    pub fn solve(&mut self) -> SatResult {
+        if self.trivially_unsat {
+            return SatResult::Unsat;
+        }
+        // Initial propagation of the unit clauses.
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.conflicts += 1;
+                    if self.decision_level() == 0 {
+                        return SatResult::Unsat;
+                    }
+                    let (clause, backjump_level) = self.analyze(conflict);
+                    self.backtrack(backjump_level);
+                    self.learn(clause);
+                    self.decay();
+                }
+                None => {
+                    match self.pick_branch_var() {
+                        None => {
+                            // All variables assigned: model found.
+                            let model: Vec<bool> = (0..=self.num_vars)
+                                .map(|v| self.assign[v].unwrap_or(false))
+                                .collect();
+                            return SatResult::Sat(model);
+                        }
+                        Some(var) => {
+                            self.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let lit = if self.phase[var] {
+                                Lit::pos(var)
+                            } else {
+                                Lit::neg(var)
+                            };
+                            self.enqueue(lit, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: solves a CNF formula.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    Solver::new(cnf).solve()
+}
+
+/// Brute-force satisfiability check by enumeration, used as a test oracle.
+/// Only feasible for formulas with at most ~20 variables.
+pub fn solve_brute_force(cnf: &Cnf) -> SatResult {
+    let n = cnf.num_vars();
+    assert!(n <= 24, "brute force limited to 24 variables");
+    for mask in 0u64..(1u64 << n) {
+        let mut assignment = vec![false; n + 1];
+        for (var, slot) in assignment.iter_mut().enumerate().skip(1) {
+            *slot = mask & (1 << (var - 1)) != 0;
+        }
+        if cnf.evaluate(&assignment) {
+            return SatResult::Sat(assignment);
+        }
+    }
+    SatResult::Unsat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+        // Variable p*holes + h + 1 ... encode pigeon p in hole h.
+        let var = |p: usize, h: usize| p * holes + h + 1;
+        let mut cnf = Cnf::new(pigeons * holes);
+        for p in 0..pigeons {
+            cnf.add_clause((0..holes).map(|h| Lit::pos(var(p, h))));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    cnf.add_clause([Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let mut cnf = Cnf::new(1);
+        assert!(solve(&cnf).is_sat());
+        cnf.add_clause([Lit::pos(1)]);
+        assert!(solve(&cnf).is_sat());
+        cnf.add_clause([Lit::neg(1)]);
+        assert_eq!(solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_models_satisfy_the_formula() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause([Lit::pos(1), Lit::pos(2)]);
+        cnf.add_clause([Lit::neg(1), Lit::pos(3)]);
+        cnf.add_clause([Lit::neg(2), Lit::pos(4)]);
+        cnf.add_clause([Lit::neg(3), Lit::neg(4)]);
+        match solve(&cnf) {
+            SatResult::Sat(model) => assert!(cnf.evaluate(&model)),
+            SatResult::Unsat => panic!("formula is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_principle_is_unsatisfiable() {
+        assert_eq!(solve(&pigeonhole(4, 3)), SatResult::Unsat);
+        assert_eq!(solve(&pigeonhole(5, 4)), SatResult::Unsat);
+        assert!(solve(&pigeonhole(3, 3)).is_sat());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_3cnf() {
+        // Deterministic xorshift so the test is reproducible without rand.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..60 {
+            let num_vars = 5 + (round % 6);
+            let num_clauses = 3 + (next() % 30) as usize;
+            let mut cnf = Cnf::new(num_vars);
+            for _ in 0..num_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % num_vars as u64) as usize + 1;
+                    let lit = if next() % 2 == 0 {
+                        Lit::pos(var)
+                    } else {
+                        Lit::neg(var)
+                    };
+                    clause.push(lit);
+                }
+                cnf.add_clause(clause);
+            }
+            let expected = solve_brute_force(&cnf).is_sat();
+            let got = solve(&cnf);
+            assert_eq!(got.is_sat(), expected, "round {round}: {}", cnf.to_dimacs());
+            if let SatResult::Sat(model) = got {
+                assert!(cnf.evaluate(&model), "round {round}: bad model");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_conflicts_at_load_time() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::pos(1)]);
+        cnf.add_clause([Lit::neg(1)]);
+        cnf.add_clause([Lit::pos(2)]);
+        assert_eq!(solve(&cnf), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clauses_are_ignored() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::pos(1), Lit::neg(1)]);
+        cnf.add_clause([Lit::pos(2)]);
+        match solve(&cnf) {
+            SatResult::Sat(model) => assert!(model[2]),
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn statistics_are_reported() {
+        let cnf = pigeonhole(4, 3);
+        let mut solver = Solver::new(&cnf);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+        assert!(solver.conflicts() > 0);
+        assert!(solver.decisions() > 0);
+    }
+
+    #[test]
+    fn chain_of_implications_propagates() {
+        // x1 and (x_i -> x_{i+1}) for a long chain, plus ¬x_n: UNSAT.
+        let n = 200;
+        let mut cnf = Cnf::new(n);
+        cnf.add_clause([Lit::pos(1)]);
+        for i in 1..n {
+            cnf.add_clause([Lit::neg(i), Lit::pos(i + 1)]);
+        }
+        cnf.add_clause([Lit::neg(n)]);
+        assert_eq!(solve(&cnf), SatResult::Unsat);
+        // Dropping the last clause makes it satisfiable with all true.
+        let mut cnf2 = Cnf::new(n);
+        cnf2.add_clause([Lit::pos(1)]);
+        for i in 1..n {
+            cnf2.add_clause([Lit::neg(i), Lit::pos(i + 1)]);
+        }
+        match solve(&cnf2) {
+            SatResult::Sat(model) => assert!(model[1..].iter().all(|&b| b)),
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+    }
+}

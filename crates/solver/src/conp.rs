@@ -1,0 +1,233 @@
+//! The coNP solver: counterexample search via reduction to SAT.
+//!
+//! For an arbitrary path query `q` (in particular one violating C3, where
+//! `CERTAINTY(q)` is coNP-complete), the question "is there a repair
+//! falsifying `q`?" is encoded as a propositional formula:
+//!
+//! * one variable per fact (`x_f` = "the repair keeps `f`");
+//! * one *at-least-one* clause per block (a repair keeps a fact of every
+//!   block — keeping more than one is harmless for the encoding because any
+//!   satisfying assignment can be pruned to a repair without creating new
+//!   query embeddings);
+//! * for every embedding of `q` into `db` (every path with trace `q`), a
+//!   clause stating that at least one of its facts is *not* kept.
+//!
+//! The formula is satisfiable iff some repair falsifies `q`, so `db` is a
+//! "yes"-instance of `CERTAINTY(q)` iff the formula is unsatisfiable.
+
+use cqa_core::query::PathQuery;
+use cqa_db::fact::FactId;
+use cqa_db::instance::DatabaseInstance;
+use cqa_db::path::embeddings;
+use cqa_db::repair::ConsistentInstance;
+use cqa_sat::cnf::{Cnf, Lit};
+use cqa_sat::solver::{solve, SatResult};
+
+use crate::error::SolverError;
+use crate::traits::CertaintySolver;
+
+/// The SAT-based coNP solver.
+#[derive(Debug, Clone)]
+pub struct SatCertaintySolver {
+    /// Maximum number of query embeddings to enumerate before giving up.
+    pub max_embeddings: usize,
+}
+
+impl Default for SatCertaintySolver {
+    fn default() -> SatCertaintySolver {
+        SatCertaintySolver {
+            max_embeddings: 1_000_000,
+        }
+    }
+}
+
+impl SatCertaintySolver {
+    /// Creates a solver with the given embedding budget.
+    pub fn with_limit(max_embeddings: usize) -> SatCertaintySolver {
+        SatCertaintySolver { max_embeddings }
+    }
+
+    /// Builds the CNF encoding of "some repair falsifies `q`".
+    pub fn encode(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<Cnf, SolverError> {
+        // Variable i+1 corresponds to fact with FactId(i).
+        let mut cnf = Cnf::new(db.len());
+        let var_of = |id: FactId| id.index() + 1;
+        // At least one fact per block.
+        for (_, members) in db.blocks() {
+            cnf.add_clause(members.iter().map(|&id| Lit::pos(var_of(id))));
+        }
+        // Block every embedding of the query.
+        let images = embeddings(db, query.word(), self.max_embeddings)?;
+        for image in images {
+            cnf.add_clause(image.into_iter().map(|id| Lit::neg(var_of(id))));
+        }
+        Ok(cnf)
+    }
+
+    /// Returns a repair falsifying the query, if one exists.
+    pub fn find_falsifying_repair(
+        &self,
+        query: &PathQuery,
+        db: &DatabaseInstance,
+    ) -> Result<Option<ConsistentInstance>, SolverError> {
+        let cnf = self.encode(query, db)?;
+        match solve(&cnf) {
+            SatResult::Unsat => Ok(None),
+            SatResult::Sat(model) => {
+                // Prune the chosen facts down to one per block: keeping the
+                // first chosen fact of every block yields a repair that still
+                // avoids every embedding (embeddings only use chosen facts).
+                let mut selected = Vec::with_capacity(db.block_count());
+                for (block_id, members) in db.blocks() {
+                    let chosen = members
+                        .iter()
+                        .copied()
+                        .find(|&id| model[id.index() + 1])
+                        .unwrap_or_else(|| {
+                            panic!("block {block_id} has no chosen fact in a SAT model")
+                        });
+                    selected.push(db.fact(chosen));
+                }
+                let repair = ConsistentInstance::from_facts(selected);
+                debug_assert!(
+                    !repair.satisfies_word(query.word()),
+                    "SAT model must induce a falsifying repair"
+                );
+                Ok(Some(repair))
+            }
+        }
+    }
+}
+
+impl CertaintySolver for SatCertaintySolver {
+    fn name(&self) -> &'static str {
+        "conp-sat"
+    }
+
+    fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        Ok(self.find_falsifying_repair(query, db)?.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveSolver;
+
+    fn random_db(seed: u64, rels: &[&str], domain: u64, facts: u64) -> DatabaseInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut db = DatabaseInstance::new();
+        for _ in 0..facts {
+            let rel = rels[(next() % rels.len() as u64) as usize];
+            let a = next() % domain;
+            let b = next() % domain;
+            db.insert_parsed(rel, &format!("v{a}"), &format!("v{b}"));
+        }
+        db
+    }
+
+    #[test]
+    fn figure_3_instance_is_not_certain_for_arrx() {
+        // Figure 3 (bifurcation gadget): every repair has a path from 0
+        // coloured by a word in A R R (R)* X, but the repair containing
+        // R(a, c) only realises A R R R X and therefore falsifies ARRX.
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("A", "0", "a");
+        db.insert_parsed("R", "a", "b");
+        db.insert_parsed("R", "a", "c");
+        db.insert_parsed("R", "b", "e");
+        db.insert_parsed("X", "e", "f");
+        db.insert_parsed("R", "c", "g");
+        db.insert_parsed("R", "g", "e");
+        let q = PathQuery::parse("ARRX").unwrap();
+        let solver = SatCertaintySolver::default();
+        assert!(!solver.certain(&q, &db).unwrap());
+        let repair = solver.find_falsifying_repair(&q, &db).unwrap().unwrap();
+        assert!(!repair.satisfies_word(q.word()));
+        assert_eq!(
+            NaiveSolver::default().certain(&q, &db).unwrap(),
+            solver.certain(&q, &db).unwrap()
+        );
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_instances_for_conp_queries() {
+        let naive = NaiveSolver::default();
+        let sat = SatCertaintySolver::default();
+        for (word, rels) in [
+            ("ARRX", vec!["A", "R", "X"]),
+            ("RXRXRYRY", vec!["R", "X", "Y"]),
+        ] {
+            let q = PathQuery::parse(word).unwrap();
+            for seed in 1..=35u64 {
+                let db = random_db(seed.wrapping_mul(2654435761), &rels, 5, 5 + seed % 10);
+                if db.repair_count() > 1 << 12 {
+                    continue;
+                }
+                assert_eq!(
+                    sat.certain(&q, &db).unwrap(),
+                    naive.certain(&q, &db).unwrap(),
+                    "disagreement on {word}, seed {seed}: {db:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_for_tractable_queries_as_well() {
+        // The SAT encoding is a correct (if slower) decision procedure for
+        // every path query, not just the coNP-complete ones.
+        let naive = NaiveSolver::default();
+        let sat = SatCertaintySolver::default();
+        for word in ["RR", "RRX", "RXRY"] {
+            let q = PathQuery::parse(word).unwrap();
+            for seed in 1..=20u64 {
+                let db = random_db(seed * 7 + 3, &["R", "X", "Y"], 5, 4 + seed % 8);
+                if db.repair_count() > 1 << 12 {
+                    continue;
+                }
+                assert_eq!(
+                    sat.certain(&q, &db).unwrap(),
+                    naive.certain(&q, &db).unwrap(),
+                    "disagreement on {word}, seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_limit_is_enforced() {
+        let mut db = DatabaseInstance::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                db.insert_parsed("R", &format!("a{i}"), &format!("b{j}"));
+            }
+        }
+        for j in 0..10 {
+            db.insert_parsed("R", &format!("b{j}"), "z");
+        }
+        let q = PathQuery::parse("RR").unwrap();
+        let solver = SatCertaintySolver::with_limit(5);
+        assert!(matches!(
+            solver.certain(&q, &db),
+            Err(SolverError::ResourceLimit(_))
+        ));
+    }
+
+    #[test]
+    fn consistent_instances_are_trivially_decided() {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "a", "b");
+        db.insert_parsed("R", "b", "c");
+        db.insert_parsed("X", "c", "d");
+        let solver = SatCertaintySolver::default();
+        assert!(solver.certain(&PathQuery::parse("RRX").unwrap(), &db).unwrap());
+        assert!(!solver.certain(&PathQuery::parse("XX").unwrap(), &db).unwrap());
+    }
+}

@@ -1,0 +1,177 @@
+//! The classification-driven dispatcher: classify `q` in polynomial time
+//! (Theorem 2) and route the instance to the matching solver.
+
+use cqa_core::classify::{classify, Classification, ComplexityClass};
+use cqa_core::query::PathQuery;
+use cqa_db::instance::DatabaseInstance;
+
+use crate::conp::SatCertaintySolver;
+use crate::error::SolverError;
+use crate::fixpoint::FixpointSolver;
+use crate::fo_solver::FoSolver;
+use crate::nl_solver::{NlBackend, NlSolver};
+use crate::traits::CertaintySolver;
+
+/// A solver that first classifies the query and then dispatches to the
+/// specialized algorithm for its complexity class:
+///
+/// | class          | algorithm                                   |
+/// |----------------|---------------------------------------------|
+/// | FO             | first-order rewriting (Lemma 13)            |
+/// | NL-complete    | predicates `P`/`O` of Lemma 14              |
+/// | PTIME-complete | fixpoint algorithm of Figure 5              |
+/// | coNP-complete  | SAT-based counterexample search             |
+#[derive(Debug)]
+pub struct DispatchSolver {
+    fo: FoSolver,
+    nl: NlSolver,
+    fixpoint: FixpointSolver,
+    conp: SatCertaintySolver,
+}
+
+impl Default for DispatchSolver {
+    fn default() -> DispatchSolver {
+        DispatchSolver::new()
+    }
+}
+
+impl DispatchSolver {
+    /// Creates a dispatcher with default sub-solvers (direct NL back-end).
+    pub fn new() -> DispatchSolver {
+        DispatchSolver {
+            fo: FoSolver::unchecked(),
+            nl: NlSolver::lenient(NlBackend::Direct),
+            fixpoint: FixpointSolver::unchecked(),
+            conp: SatCertaintySolver::default(),
+        }
+    }
+
+    /// Creates a dispatcher whose NL class is served by the Datalog back-end.
+    pub fn with_datalog_nl() -> DispatchSolver {
+        DispatchSolver {
+            fo: FoSolver::unchecked(),
+            nl: NlSolver::lenient(NlBackend::Datalog),
+            fixpoint: FixpointSolver::unchecked(),
+            conp: SatCertaintySolver::default(),
+        }
+    }
+
+    /// Classifies the query (exposed for reporting).
+    pub fn classify(&self, query: &PathQuery) -> Classification {
+        classify(query)
+    }
+
+    /// The name of the sub-solver that will handle the query.
+    pub fn route(&self, query: &PathQuery) -> &'static str {
+        match classify(query).class {
+            ComplexityClass::FO => self.fo.name(),
+            ComplexityClass::NlComplete => self.nl.name(),
+            ComplexityClass::PtimeComplete => self.fixpoint.name(),
+            ComplexityClass::CoNpComplete => self.conp.name(),
+        }
+    }
+}
+
+impl CertaintySolver for DispatchSolver {
+    fn name(&self) -> &'static str {
+        "dispatch"
+    }
+
+    fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        match classify(query).class {
+            ComplexityClass::FO => self.fo.certain(query, db),
+            ComplexityClass::NlComplete => self.nl.certain(query, db),
+            ComplexityClass::PtimeComplete => self.fixpoint.certain(query, db),
+            ComplexityClass::CoNpComplete => self.conp.certain(query, db),
+        }
+    }
+}
+
+/// Convenience function: classify-and-solve with the default dispatcher.
+pub fn solve_certainty(query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+    DispatchSolver::new().certain(query, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveSolver;
+
+    fn random_db(seed: u64, rels: &[&str], domain: u64, facts: u64) -> DatabaseInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut db = DatabaseInstance::new();
+        for _ in 0..facts {
+            let rel = rels[(next() % rels.len() as u64) as usize];
+            let a = next() % domain;
+            let b = next() % domain;
+            db.insert_parsed(rel, &format!("v{a}"), &format!("v{b}"));
+        }
+        db
+    }
+
+    #[test]
+    fn routes_match_the_tetrachotomy() {
+        let d = DispatchSolver::new();
+        assert_eq!(d.route(&PathQuery::parse("RXRX").unwrap()), "fo-rewriting");
+        assert_eq!(d.route(&PathQuery::parse("RXRY").unwrap()), "nl-direct");
+        assert_eq!(d.route(&PathQuery::parse("RXRYRY").unwrap()), "ptime-fixpoint");
+        assert_eq!(d.route(&PathQuery::parse("RXRXRYRY").unwrap()), "conp-sat");
+    }
+
+    #[test]
+    fn dispatcher_agrees_with_oracle_across_all_classes() {
+        let naive = NaiveSolver::default();
+        let dispatch = DispatchSolver::new();
+        let dispatch_dl = DispatchSolver::with_datalog_nl();
+        let queries = [
+            ("RXRX", vec!["R", "X"]),
+            ("RR", vec!["R"]),
+            ("RXRY", vec!["R", "X", "Y"]),
+            ("RRX", vec!["R", "X"]),
+            ("RXRYRY", vec!["R", "X", "Y"]),
+            ("RSRRR", vec!["R", "S"]),
+            ("ARRX", vec!["A", "R", "X"]),
+            ("RXRXRYRY", vec!["R", "X", "Y"]),
+        ];
+        for (word, rels) in queries {
+            let q = PathQuery::parse(word).unwrap();
+            for seed in 1..=25u64 {
+                let db = random_db(
+                    seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(word.len() as u64),
+                    &rels,
+                    5,
+                    4 + seed % 9,
+                );
+                if db.repair_count() > 1 << 12 {
+                    continue;
+                }
+                let expected = naive.certain(&q, &db).unwrap();
+                assert_eq!(
+                    dispatch.certain(&q, &db).unwrap(),
+                    expected,
+                    "dispatch disagreement on {word}, seed {seed}: {db:?}"
+                );
+                assert_eq!(
+                    dispatch_dl.certain(&q, &db).unwrap(),
+                    expected,
+                    "datalog dispatch disagreement on {word}, seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn convenience_function_works() {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("R", "1", "0");
+        assert!(solve_certainty(&PathQuery::parse("RR").unwrap(), &db).unwrap());
+        assert!(!solve_certainty(&PathQuery::parse("RX").unwrap(), &db).unwrap());
+    }
+}

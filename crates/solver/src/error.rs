@@ -1,0 +1,79 @@
+//! Error types for the certainty solvers.
+
+use std::fmt;
+
+use cqa_db::error::DbError;
+
+/// Errors produced by the certainty solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The solver's applicability condition (C1/C2/C3, or D1/D2/D3) is not
+    /// met by the query.
+    NotApplicable {
+        /// Solver name.
+        solver: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The naive oracle would have to enumerate more repairs than allowed.
+    RepairLimitExceeded {
+        /// Configured limit.
+        limit: u128,
+        /// Actual number of repairs.
+        actual: u128,
+    },
+    /// A resource limit was exceeded (e.g. too many query embeddings).
+    ResourceLimit(String),
+    /// An underlying database error.
+    Db(DbError),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::NotApplicable { solver, reason } => {
+                write!(f, "solver {solver} is not applicable: {reason}")
+            }
+            SolverError::RepairLimitExceeded { limit, actual } => {
+                write!(f, "instance has {actual} repairs, above the limit of {limit}")
+            }
+            SolverError::ResourceLimit(msg) => write!(f, "resource limit exceeded: {msg}"),
+            SolverError::Db(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<DbError> for SolverError {
+    fn from(e: DbError) -> SolverError {
+        match e {
+            DbError::PathLimitExceeded(n) => {
+                SolverError::ResourceLimit(format!("more than {n} query embeddings"))
+            }
+            other => SolverError::Db(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = SolverError::NotApplicable {
+            solver: "fo".into(),
+            reason: "query violates C1".into(),
+        };
+        assert!(e.to_string().contains("fo"));
+        assert!(e.to_string().contains("C1"));
+        let e = SolverError::RepairLimitExceeded {
+            limit: 10,
+            actual: 100,
+        };
+        assert!(e.to_string().contains("100"));
+        let e: SolverError = DbError::PathLimitExceeded(5).into();
+        assert!(matches!(e, SolverError::ResourceLimit(_)));
+    }
+}

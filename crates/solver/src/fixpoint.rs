@@ -1,0 +1,379 @@
+//! The polynomial-time fixpoint algorithm of Figure 5 (Lemmas 10 and 11).
+//!
+//! The algorithm computes the relation `N ⊆ adom(db) × prefixes(q)` with
+//! `⟨c, u⟩ ∈ N` iff every repair of `db` has a path starting at `c` that is
+//! accepted by `S-NFA(q, u)` (the relation `⊢_q` of Definition 10). For
+//! queries satisfying C3, `db` is a "yes"-instance of `CERTAINTY(q)` iff
+//! `⟨c, ε⟩ ∈ N` for some constant `c` (Lemma 7 + Corollary 1).
+//!
+//! The implementation is worklist-driven with per-block counters, giving an
+//! `O(|q|^2 · |db|)` running time rather than the naive
+//! `O(|q| · |db| · |N|)` of re-scanning the rules to a fixpoint.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use cqa_automata::query_nfa::QueryNfa;
+use cqa_core::classify::{classify, ComplexityClass};
+use cqa_core::query::PathQuery;
+use cqa_core::symbol::RelName;
+use cqa_db::fact::{Constant, Fact};
+use cqa_db::instance::DatabaseInstance;
+use cqa_db::repair::ConsistentInstance;
+
+use crate::error::SolverError;
+use crate::traits::CertaintySolver;
+
+/// The computed fixpoint relation `N` plus bookkeeping for inspection.
+#[derive(Debug, Clone)]
+pub struct FixpointRun {
+    /// The relation `N`: pairs `(c, |u|)` where `|u|` identifies the prefix.
+    pub n: BTreeSet<(Constant, usize)>,
+    /// The pairs in the order they were derived (the initialization pairs
+    /// first), which reproduces the iteration trace of Figure 6.
+    pub derivation_order: Vec<(Constant, usize)>,
+    /// The length of the query word.
+    pub word_len: usize,
+}
+
+impl FixpointRun {
+    /// True iff `⟨c, u⟩ ∈ N` where `u` is the prefix of length `prefix_len`.
+    pub fn contains(&self, c: Constant, prefix_len: usize) -> bool {
+        self.n.contains(&(c, prefix_len))
+    }
+
+    /// The constants `c` with `⟨c, ε⟩ ∈ N` — by Corollary 1, exactly the
+    /// constants such that `c ∈ start(q, r)` for every repair `r`.
+    pub fn certain_start_vertices(&self) -> BTreeSet<Constant> {
+        self.n
+            .iter()
+            .filter(|&&(_, len)| len == 0)
+            .map(|&(c, _)| c)
+            .collect()
+    }
+}
+
+/// Runs the fixpoint algorithm of Figure 5.
+pub fn compute_fixpoint(query: &PathQuery, db: &DatabaseInstance) -> FixpointRun {
+    let word = query.word();
+    let k = word.len();
+    let automaton = QueryNfa::new(query);
+    let adom: Vec<Constant> = db.adom().iter().copied().collect();
+
+    let mut n: BTreeSet<(Constant, usize)> = BTreeSet::new();
+    let mut order: Vec<(Constant, usize)> = Vec::new();
+    let mut queue: VecDeque<(Constant, usize)> = VecDeque::new();
+
+    // Counters: for each nonempty prefix uR (state i >= 1) and each nonempty
+    // block R(c, ∗) with R = word[i-1], the number of values y of the block
+    // with ⟨y, uR⟩ ∉ N. When the counter reaches zero the Iterative Rule
+    // fires and ⟨c, u⟩ (plus backward additions) enters N.
+    let mut counters: HashMap<(Constant, usize), usize> = HashMap::new();
+    // Index: value -> list of (block key, relation) of blocks containing it.
+    let mut value_index: HashMap<Constant, Vec<(Constant, RelName)>> = HashMap::new();
+    for (block_id, members) in db.blocks() {
+        for state in 1..=k {
+            if word[state - 1] == block_id.rel {
+                counters.insert((block_id.key, state), members.len());
+            }
+        }
+        for &fact_id in members {
+            let fact = db.fact(fact_id);
+            value_index
+                .entry(fact.value)
+                .or_default()
+                .push((fact.key, fact.rel));
+        }
+    }
+
+    let insert = |c: Constant,
+                      state: usize,
+                      n: &mut BTreeSet<(Constant, usize)>,
+                      order: &mut Vec<(Constant, usize)>,
+                      queue: &mut VecDeque<(Constant, usize)>| {
+        if n.insert((c, state)) {
+            order.push((c, state));
+            queue.push_back((c, state));
+        }
+    };
+
+    // Initialization Step: ⟨c, q⟩ for every c ∈ adom(db).
+    for &c in &adom {
+        insert(c, k, &mut n, &mut order, &mut queue);
+    }
+
+    while let Some((y, state)) = queue.pop_front() {
+        if state == 0 {
+            continue;
+        }
+        // ⟨y, uR⟩ was added where uR is the prefix of length `state`; this may
+        // complete blocks R(c, ∗) with R = word[state-1] that contain y.
+        let rel = word[state - 1];
+        let Some(blocks) = value_index.get(&y) else {
+            continue;
+        };
+        let candidate_keys: Vec<Constant> = blocks
+            .iter()
+            .filter(|&&(_, r)| r == rel)
+            .map(|&(key, _)| key)
+            .collect();
+        for key in candidate_keys {
+            // Decrement the counter once per *distinct fact* R(key, y); the
+            // value index lists each fact once, so this is exact.
+            let counter = counters
+                .get_mut(&(key, state))
+                .expect("counter exists for nonempty block");
+            *counter -= 1;
+            if *counter == 0 {
+                // Forward addition: ⟨key, u⟩ with |u| = state - 1.
+                insert(key, state - 1, &mut n, &mut order, &mut queue);
+                // Backward additions: every longer prefix w with a backward
+                // transition to u (same last relation name).
+                if state - 1 >= 1 {
+                    for w in automaton.backward_predecessors(state - 1) {
+                        insert(key, w, &mut n, &mut order, &mut queue);
+                    }
+                }
+            }
+        }
+    }
+
+    FixpointRun {
+        n,
+        derivation_order: order,
+        word_len: k,
+    }
+}
+
+/// Builds the repair `r*` used in the proofs of Lemmas 9 and 10: for every
+/// block `R(a, ∗)`, pick a fact `R(a, b)` with `⟨b, u0R⟩ ∉ N` for the longest
+/// prefix `u0R` ending in `R` such that `⟨a, u0⟩ ∉ N`; if every such prefix
+/// is in `N`, pick an arbitrary fact. The resulting repair minimizes
+/// `start(q, ·)` over all repairs (Lemma 6).
+pub fn minimizing_repair(query: &PathQuery, db: &DatabaseInstance) -> ConsistentInstance {
+    let run = compute_fixpoint(query, db);
+    let word = query.word();
+    let mut selected: Vec<Fact> = Vec::with_capacity(db.block_count());
+    for (block_id, members) in db.blocks() {
+        let facts: Vec<Fact> = members.iter().map(|&id| db.fact(id)).collect();
+        // Longest prefix u0R ending with this block's relation such that
+        // ⟨a, u0⟩ ∉ N.
+        let mut chosen: Option<Fact> = None;
+        for state in (1..=word.len()).rev() {
+            if word[state - 1] != block_id.rel {
+                continue;
+            }
+            if run.contains(block_id.key, state - 1) {
+                continue;
+            }
+            // The Iterative Rule did not fire for ⟨a, u0⟩, so some fact of the
+            // block has ⟨b, u0R⟩ ∉ N.
+            if let Some(&fact) = facts.iter().find(|f| !run.contains(f.value, state)) {
+                chosen = Some(fact);
+            }
+            break;
+        }
+        selected.push(chosen.unwrap_or(facts[0]));
+    }
+    ConsistentInstance::from_facts(selected)
+}
+
+/// The PTIME solver: correct for every path query satisfying C3
+/// (Lemma 7 + Lemma 10).
+#[derive(Debug, Clone, Default)]
+pub struct FixpointSolver {
+    /// If true, refuse queries that violate C3 (for which the algorithm is
+    /// not known to be correct).
+    pub strict: bool,
+}
+
+impl FixpointSolver {
+    /// Creates the solver in strict mode.
+    pub fn new() -> FixpointSolver {
+        FixpointSolver { strict: true }
+    }
+
+    /// Creates a non-strict solver (only sound on C3 queries).
+    pub fn unchecked() -> FixpointSolver {
+        FixpointSolver { strict: false }
+    }
+}
+
+impl CertaintySolver for FixpointSolver {
+    fn name(&self) -> &'static str {
+        "ptime-fixpoint"
+    }
+
+    fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        if self.strict && classify(query).class == ComplexityClass::CoNpComplete {
+            return Err(SolverError::NotApplicable {
+                solver: "ptime-fixpoint".into(),
+                reason: format!("query {query} violates C3"),
+            });
+        }
+        let run = compute_fixpoint(query, db);
+        Ok(!run.certain_start_vertices().is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveSolver;
+    use cqa_automata::run::start_set;
+
+    fn c(s: &str) -> Constant {
+        Constant::new(s)
+    }
+
+    /// The instance of Figure 6 (right-hand side): a chain 0→1→2→3→4 of
+    /// R-edges with conflicting shortcuts from 1 and 2 down to 4, and an
+    /// X-edge 4→5.
+    fn figure_6() -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("R", "1", "2");
+        db.insert_parsed("R", "1", "4");
+        db.insert_parsed("R", "2", "3");
+        db.insert_parsed("R", "2", "4");
+        db.insert_parsed("R", "3", "4");
+        db.insert_parsed("X", "4", "5");
+        db
+    }
+
+    #[test]
+    fn figure_6_iteration_trace() {
+        // The run of the algorithm for q = RRX in Figure 6 derives, after the
+        // initialization, the pairs ⟨4, RR⟩, then ⟨3, R⟩/⟨3, RR⟩, then
+        // ⟨2, R⟩/⟨2, RR⟩, ⟨1, R⟩/⟨1, RR⟩, and finally ⟨0, R⟩/⟨0, RR⟩/⟨0, ε⟩.
+        let q = PathQuery::parse("RRX").unwrap();
+        let db = figure_6();
+        let run = compute_fixpoint(&q, &db);
+        // Initialization: all 6 constants paired with the full word (len 3).
+        assert_eq!(
+            run.derivation_order
+                .iter()
+                .filter(|&&(_, s)| s == 3)
+                .count(),
+            6
+        );
+        assert!(run.contains(c("4"), 2));
+        assert!(run.contains(c("3"), 1));
+        assert!(run.contains(c("3"), 2));
+        assert!(run.contains(c("2"), 1));
+        assert!(run.contains(c("1"), 1));
+        assert!(run.contains(c("0"), 1));
+        assert!(run.contains(c("0"), 0));
+        // And ⟨0, ε⟩ is the only ε-pair, exactly as in Figure 6.
+        assert_eq!(run.certain_start_vertices(), BTreeSet::from([c("0")]));
+        // Pairs that must NOT be derived: 4 has no outgoing R-edge, so ⟨4, R⟩
+        // never fires, which in turn blocks ⟨1, ε⟩, ⟨2, ε⟩ and ⟨3, ε⟩.
+        assert!(!run.contains(c("4"), 1));
+        assert!(!run.contains(c("1"), 0));
+        assert!(!run.contains(c("2"), 0));
+        assert!(!run.contains(c("3"), 0));
+        assert!(!run.contains(c("5"), 2));
+        assert!(!run.contains(c("5"), 0));
+    }
+
+    #[test]
+    fn corollary_1_certain_starts_lie_in_every_repairs_start_set() {
+        let q = PathQuery::parse("RRX").unwrap();
+        let db = figure_6();
+        let run = compute_fixpoint(&q, &db);
+        let automaton = QueryNfa::new(&q);
+        for r in db.repairs() {
+            let starts = start_set(&automaton, &r);
+            for &v in &run.certain_start_vertices() {
+                assert!(starts.contains(&v), "certain start {v} missing in {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_6_minimizing_repair_has_minimal_start_set() {
+        let q = PathQuery::parse("RRX").unwrap();
+        for db in [figure_6(), {
+            let mut db = DatabaseInstance::new();
+            db.insert_parsed("R", "0", "1");
+            db.insert_parsed("R", "1", "2");
+            db.insert_parsed("R", "1", "3");
+            db.insert_parsed("R", "2", "3");
+            db.insert_parsed("X", "3", "4");
+            db
+        }] {
+            let automaton = QueryNfa::new(&q);
+            let r_star = minimizing_repair(&q, &db);
+            assert!(r_star.is_repair_of(&db));
+            let minimal = start_set(&automaton, &r_star);
+            for r in db.repairs() {
+                let starts = start_set(&automaton, &r);
+                assert!(
+                    minimal.is_subset(&starts),
+                    "start(q, r*) = {minimal:?} ⊄ start(q, r) = {starts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_figure_2() {
+        let q = PathQuery::parse("RRX").unwrap();
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("R", "1", "2");
+        db.insert_parsed("R", "1", "3");
+        db.insert_parsed("R", "2", "3");
+        db.insert_parsed("X", "3", "4");
+        assert!(FixpointSolver::new().certain(&q, &db).unwrap());
+        assert!(NaiveSolver::default().certain(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_instances() {
+        let mut state = 0x55aa55aau64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let naive = NaiveSolver::default();
+        let fixpoint = FixpointSolver::new();
+        // Queries of classes FO, NL and PTIME (all satisfy C3).
+        for word in ["RR", "RRX", "RXRY", "RXRYRY", "RXRX"] {
+            let q = PathQuery::parse(word).unwrap();
+            for _ in 0..40 {
+                let mut db = DatabaseInstance::new();
+                for _ in 0..(3 + next() % 10) {
+                    let rel = match next() % 4 {
+                        0 => "X",
+                        1 => "Y",
+                        _ => "R",
+                    };
+                    let a = next() % 5;
+                    let b = next() % 5;
+                    db.insert_parsed(rel, &format!("v{a}"), &format!("v{b}"));
+                }
+                if db.repair_count() > 1 << 12 {
+                    continue;
+                }
+                assert_eq!(
+                    fixpoint.certain(&q, &db).unwrap(),
+                    naive.certain(&q, &db).unwrap(),
+                    "disagreement on {word} for {db:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_rejects_conp_queries() {
+        let q = PathQuery::parse("ARRX").unwrap();
+        let db = DatabaseInstance::new();
+        assert!(matches!(
+            FixpointSolver::new().certain(&q, &db),
+            Err(SolverError::NotApplicable { .. })
+        ));
+        assert!(FixpointSolver::unchecked().certain(&q, &db).is_ok());
+    }
+}

@@ -1,0 +1,132 @@
+//! The FO solver (Lemma 13): for path queries satisfying C1, `CERTAINTY(q)`
+//! is decided by evaluating the consistent first-order rewriting
+//! `∃x ψ(x)`, implemented as the memoized bottom-up table of `cqa-fo`.
+
+use cqa_core::classify::{classify, ComplexityClass};
+use cqa_core::query::PathQuery;
+use cqa_db::instance::DatabaseInstance;
+use cqa_fo::rewriting::{CertainRootedTable, EndCap};
+
+use crate::error::SolverError;
+use crate::traits::CertaintySolver;
+
+/// Decides `CERTAINTY(q)` for C1 queries via the first-order rewriting.
+#[derive(Debug, Clone, Default)]
+pub struct FoSolver {
+    /// If true, the solver refuses queries outside FO; if false it still
+    /// evaluates the rewriting (useful for experiments on the boundary, where
+    /// the rewriting is only an approximation).
+    pub strict: bool,
+}
+
+impl FoSolver {
+    /// Creates the solver in strict mode (recommended).
+    pub fn new() -> FoSolver {
+        FoSolver { strict: true }
+    }
+
+    /// Creates a non-strict solver that evaluates the rewriting regardless of
+    /// the query's class. Only sound for C1 queries.
+    pub fn unchecked() -> FoSolver {
+        FoSolver { strict: false }
+    }
+
+    /// Evaluates the rewriting: true iff there is a constant from which the
+    /// query is certainly satisfied.
+    pub fn evaluate_rewriting(&self, query: &PathQuery, db: &DatabaseInstance) -> bool {
+        let table = CertainRootedTable::compute(db, query.word(), EndCap::Open);
+        !table.certain_starts().is_empty()
+    }
+}
+
+impl CertaintySolver for FoSolver {
+    fn name(&self) -> &'static str {
+        "fo-rewriting"
+    }
+
+    fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        if self.strict && classify(query).class != ComplexityClass::FO {
+            return Err(SolverError::NotApplicable {
+                solver: "fo-rewriting".into(),
+                reason: format!("query {query} violates C1"),
+            });
+        }
+        Ok(self.evaluate_rewriting(query, db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveSolver;
+
+    #[test]
+    fn rejects_non_c1_queries_in_strict_mode() {
+        let q = PathQuery::parse("RXRY").unwrap();
+        let db = DatabaseInstance::new();
+        assert!(matches!(
+            FoSolver::new().certain(&q, &db),
+            Err(SolverError::NotApplicable { .. })
+        ));
+        assert!(FoSolver::unchecked().certain(&q, &db).is_ok());
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_rr() {
+        let q = PathQuery::parse("RR").unwrap();
+        let naive = NaiveSolver::default();
+        let fo = FoSolver::new();
+        // Figure 1's R-part: certain.
+        let mut db = DatabaseInstance::new();
+        for a in ["a", "b"] {
+            for b in ["a", "b"] {
+                db.insert_parsed("R", a, b);
+            }
+        }
+        assert_eq!(fo.certain(&q, &db).unwrap(), naive.certain(&q, &db).unwrap());
+        assert!(fo.certain(&q, &db).unwrap());
+        // A dangling chain: not certain.
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "a", "b");
+        db.insert_parsed("R", "a", "c");
+        db.insert_parsed("R", "b", "d");
+        assert_eq!(fo.certain(&q, &db).unwrap(), naive.certain(&q, &db).unwrap());
+        assert!(!fo.certain(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_instances_for_c1_queries() {
+        let mut state = 0x2468acd1u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let naive = NaiveSolver::default();
+        let fo = FoSolver::new();
+        for word in ["RR", "RXRX", "RX", "RRR"] {
+            let q = PathQuery::parse(word).unwrap();
+            if classify(&q).class != ComplexityClass::FO {
+                continue;
+            }
+            for _ in 0..40 {
+                let mut db = DatabaseInstance::new();
+                for _ in 0..(3 + next() % 9) {
+                    let rel = if next() % 3 == 0 { "X" } else { "R" };
+                    let a = next() % 5;
+                    let b = next() % 5;
+                    db.insert_parsed(rel, &format!("v{a}"), &format!("v{b}"));
+                }
+                if db.repair_count() > 1 << 12 {
+                    continue;
+                }
+                assert_eq!(
+                    fo.certain(&q, &db).unwrap(),
+                    naive.certain(&q, &db).unwrap(),
+                    "disagreement on {word} for {db:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Certainty for generalized path queries (Section 8).
+//!
+//! A generalized path query `q` with constants is answered by combining:
+//!
+//! 1. the certainty of every *constant-rooted segment* of `q \ char(q)`
+//!    (each is in FO by Lemma 27 and is evaluated with the rooted-rewriting
+//!    table, honouring an end constant when the segment is capped); and
+//! 2. the certainty of the characteristic prefix `char(q) = [[p, γ]]`:
+//!    * if `γ = ⊤`, this is plain `CERTAINTY(p)` and is delegated to a path
+//!      solver chosen by the Theorem 4 classification;
+//!    * if `γ = c`, the query is first rewritten to the constant-free
+//!      `ext(q) = p · N` over the instance `db ∪ {N(c, d)}` for a fresh
+//!      relation `N` and a fresh constant `d` (Lemma 26 / Lemma 29).
+//!
+//! The conjunction is sound because the parts share no variables (Lemma 25).
+
+use cqa_core::classify::{classify_generalized, Classification};
+use cqa_core::generalized::fresh_relation_for;
+use cqa_core::query::{Cap, GeneralizedPathQuery, PathQuery};
+use cqa_db::fact::{Constant, Fact};
+use cqa_db::instance::DatabaseInstance;
+use cqa_fo::rewriting::{CertainRootedTable, EndCap};
+
+use crate::dispatch::DispatchSolver;
+use crate::error::SolverError;
+use crate::traits::CertaintySolver;
+
+/// Solver for generalized path queries.
+#[derive(Debug, Default)]
+pub struct GeneralizedSolver {
+    dispatch: DispatchSolver,
+}
+
+impl GeneralizedSolver {
+    /// Creates the solver with the default dispatcher for the constant-free
+    /// core.
+    pub fn new() -> GeneralizedSolver {
+        GeneralizedSolver {
+            dispatch: DispatchSolver::new(),
+        }
+    }
+
+    /// The Theorem 4 classification of the query.
+    pub fn classify(&self, query: &GeneralizedPathQuery) -> Classification {
+        classify_generalized(query)
+    }
+
+    /// Decides `CERTAINTY(q)` for a generalized path query.
+    pub fn certain(
+        &self,
+        query: &GeneralizedPathQuery,
+        db: &DatabaseInstance,
+    ) -> Result<bool, SolverError> {
+        // Part 1: the constant-rooted segments of q \ char(q).
+        for (start, word, cap) in query.constant_rooted_segments() {
+            let end = match cap {
+                Cap::Top => EndCap::Open,
+                Cap::Const(c) => EndCap::Const(Constant(c)),
+            };
+            let table = CertainRootedTable::compute(db, &word, end);
+            if !table.certain_from(Constant(start)) {
+                return Ok(false);
+            }
+        }
+        // Part 2: the characteristic prefix.
+        let Some((p, cap)) = query.characteristic_prefix() else {
+            // The query starts with a constant: everything was covered by the
+            // segments above.
+            return Ok(true);
+        };
+        if p.is_empty() {
+            return Ok(true);
+        }
+        match cap {
+            Cap::Top => {
+                let path_query =
+                    PathQuery::new(p).expect("nonempty characteristic prefix");
+                self.dispatch.certain(&path_query, db)
+            }
+            Cap::Const(c) => {
+                // ext(q) = p · N over db ∪ {N(c, d)} with N and d fresh.
+                let fresh_rel = fresh_relation_for(query);
+                let mut ext_word = p;
+                ext_word.push(fresh_rel);
+                let ext_query =
+                    PathQuery::new(ext_word).expect("extended query is nonempty");
+                let mut extended_db = db.clone();
+                let fresh_value = fresh_constant(db);
+                extended_db.insert(Fact::new(fresh_rel, Constant(c), fresh_value));
+                self.dispatch.certain(&ext_query, &extended_db)
+            }
+        }
+    }
+}
+
+fn fresh_constant(db: &DatabaseInstance) -> Constant {
+    let mut i = 0usize;
+    loop {
+        let candidate = Constant::new(&format!("__fresh_d{i}"));
+        if !db.adom().contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveSolver;
+    use cqa_core::parser::parse_query;
+    use cqa_core::symbol::Symbol;
+
+    fn random_db(seed: u64, rels: &[&str], domain: u64, facts: u64) -> DatabaseInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut db = DatabaseInstance::new();
+        for _ in 0..facts {
+            let rel = rels[(next() % rels.len() as u64) as usize];
+            let a = next() % domain;
+            let b = next() % domain;
+            db.insert_parsed(rel, &format!("{a}"), &format!("{b}"));
+        }
+        db
+    }
+
+    #[test]
+    fn constant_free_queries_delegate_to_the_dispatcher() {
+        let solver = GeneralizedSolver::new();
+        let naive = NaiveSolver::default();
+        let q = PathQuery::parse("RRX").unwrap();
+        for seed in 1..=20u64 {
+            let db = random_db(seed * 13, &["R", "X"], 5, 4 + seed % 8);
+            if db.repair_count() > 1 << 12 {
+                continue;
+            }
+            assert_eq!(
+                solver.certain(&q.to_generalized(), &db).unwrap(),
+                naive.certain(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rooted_queries_agree_with_the_oracle() {
+        let solver = GeneralizedSolver::new();
+        let naive = NaiveSolver::default();
+        let base = PathQuery::parse("RR").unwrap();
+        for seed in 1..=25u64 {
+            let db = random_db(seed * 29, &["R"], 4, 4 + seed % 6);
+            if db.repair_count() > 1 << 12 {
+                continue;
+            }
+            for c in ["0", "1", "2", "3"] {
+                let rooted = base.rooted_at(Symbol::new(c));
+                assert_eq!(
+                    solver.certain(&rooted, &db).unwrap(),
+                    naive.certain_generalized(&rooted, &db).unwrap(),
+                    "seed {seed}, root {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_queries_agree_with_the_oracle() {
+        let solver = GeneralizedSolver::new();
+        let naive = NaiveSolver::default();
+        for word in ["RR", "RX", "RRX"] {
+            let base = PathQuery::parse(word).unwrap();
+            for seed in 1..=25u64 {
+                let db = random_db(seed * 31 + word.len() as u64, &["R", "X"], 4, 4 + seed % 7);
+                if db.repair_count() > 1 << 12 {
+                    continue;
+                }
+                for c in ["0", "1", "2", "3"] {
+                    let capped = base.ending_at(Symbol::new(c));
+                    assert_eq!(
+                        solver.certain(&capped, &db).unwrap(),
+                        naive.certain_generalized(&capped, &db).unwrap(),
+                        "seed {seed}, word {word}, cap {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_8_style_queries_with_mid_constants() {
+        let solver = GeneralizedSolver::new();
+        let naive = NaiveSolver::default();
+        // q = R(x,y), S(y,'1'), T('1',z)
+        let q = parse_query("R(x,y), S(y,'1'), T('1',z)").unwrap();
+        for seed in 1..=30u64 {
+            let db = random_db(seed * 41, &["R", "S", "T"], 4, 5 + seed % 8);
+            if db.repair_count() > 1 << 12 {
+                continue;
+            }
+            assert_eq!(
+                solver.certain(&q, &db).unwrap(),
+                naive.certain_generalized(&q, &db).unwrap(),
+                "seed {seed}: {db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_starting_with_constant_is_fo_and_correct() {
+        let solver = GeneralizedSolver::new();
+        let naive = NaiveSolver::default();
+        let q = parse_query("R('0',x), R(x,y)").unwrap();
+        for seed in 1..=25u64 {
+            let db = random_db(seed * 53, &["R"], 4, 4 + seed % 7);
+            if db.repair_count() > 1 << 12 {
+                continue;
+            }
+            assert_eq!(
+                solver.certain(&q, &db).unwrap(),
+                naive.certain_generalized(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+        assert!(solver.classify(&q).c1);
+    }
+}

@@ -1,0 +1,61 @@
+//! # cqa-solver
+//!
+//! Decision procedures for `CERTAINTY(q)` on path queries, one per complexity
+//! class of the tetrachotomy of Theorem 2, plus baselines and a
+//! classification-driven dispatcher:
+//!
+//! * [`naive::NaiveSolver`] / [`naive::BacktrackSolver`] — exhaustive and
+//!   pruned repair enumeration (ground-truth oracles, exponential);
+//! * [`fo_solver::FoSolver`] — the consistent first-order rewriting
+//!   (Lemma 13, queries satisfying C1);
+//! * [`nl_solver::NlSolver`] — the predicates `P`/`O` of Lemma 14, either by
+//!   direct graph reachability or through the generated linear Datalog
+//!   program (queries satisfying C2);
+//! * [`fixpoint::FixpointSolver`] — the PTIME fixpoint algorithm of Figure 5
+//!   (queries satisfying C3);
+//! * [`conp::SatCertaintySolver`] — counterexample-repair search by reduction
+//!   to SAT (every path query, in particular the coNP-complete ones);
+//! * [`dispatch::DispatchSolver`] — classify, then route;
+//! * [`generalized::GeneralizedSolver`] — queries with constants (Section 8).
+//!
+//! ```
+//! use cqa_core::prelude::*;
+//! use cqa_db::prelude::*;
+//! use cqa_solver::prelude::*;
+//!
+//! let mut db = DatabaseInstance::new();
+//! db.insert_parsed("R", "0", "1");
+//! db.insert_parsed("R", "1", "2");
+//! db.insert_parsed("R", "1", "3");
+//! db.insert_parsed("R", "2", "3");
+//! db.insert_parsed("X", "3", "4");
+//!
+//! let q = PathQuery::parse("RRX").unwrap();
+//! assert!(solve_certainty(&q, &db).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conp;
+pub mod dispatch;
+pub mod error;
+pub mod fixpoint;
+pub mod fo_solver;
+pub mod generalized;
+pub mod naive;
+pub mod nl_solver;
+pub mod traits;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::conp::SatCertaintySolver;
+    pub use crate::dispatch::{solve_certainty, DispatchSolver};
+    pub use crate::error::SolverError;
+    pub use crate::fixpoint::{compute_fixpoint, minimizing_repair, FixpointRun, FixpointSolver};
+    pub use crate::fo_solver::FoSolver;
+    pub use crate::generalized::GeneralizedSolver;
+    pub use crate::naive::{BacktrackSolver, NaiveSolver};
+    pub use crate::nl_solver::{NlBackend, NlSolver};
+    pub use crate::traits::CertaintySolver;
+}

@@ -1,0 +1,409 @@
+//! The NL solver (Lemma 14): for path queries satisfying C2, `CERTAINTY(q)`
+//! is decided through the predicates `P` and `O` over the strict B2b
+//! decomposition `q = s (uv)^(k-1) w v`.
+//!
+//! Two interchangeable back-ends are provided:
+//!
+//! * a **direct** implementation that computes the terminal sets with the
+//!   first-order rewriting tables and the predicate `P` with plain graph
+//!   reachability (this mirrors how an NL machine would evaluate the linear
+//!   Datalog program); and
+//! * a **Datalog** back-end that generates the linear program of
+//!   [`cqa_datalog::cqa_program`] and runs it on the semi-naive engine.
+//!
+//! Queries whose strict decomposition cannot be found (or is degenerate) are
+//! transparently delegated to the PTIME fixpoint algorithm, which is correct
+//! for every C2 query because C2 ⊆ C3; the fallback is recorded in the
+//! solver's name-independent `FallbackStats`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cqa_core::classify::{classify, ComplexityClass};
+use cqa_core::query::PathQuery;
+use cqa_core::regex_forms::{b2b_strict_decomposition, B2bDecomposition};
+use cqa_datalog::cqa_program::generate_program;
+use cqa_datalog::engine::Evaluator;
+use cqa_db::fact::Constant;
+use cqa_db::instance::DatabaseInstance;
+use cqa_db::path::{consistent_path_endpoints, reachable_by_trace};
+use cqa_fo::rewriting::{CertainRootedTable, EndCap};
+
+use crate::error::SolverError;
+use crate::fixpoint::FixpointSolver;
+use crate::traits::CertaintySolver;
+
+/// Which back-end evaluates the `O` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlBackend {
+    /// Direct graph-reachability evaluation.
+    Direct,
+    /// Generate and run the linear Datalog program.
+    Datalog,
+}
+
+/// Counters describing how often the solver had to fall back to the fixpoint
+/// algorithm.
+#[derive(Debug, Default)]
+pub struct FallbackStats {
+    fixpoint_fallbacks: AtomicU64,
+    decompositions_used: AtomicU64,
+}
+
+impl FallbackStats {
+    /// Number of queries delegated to the PTIME fixpoint algorithm.
+    pub fn fixpoint_fallbacks(&self) -> u64 {
+        self.fixpoint_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Number of queries solved through a strict B2b decomposition.
+    pub fn decompositions_used(&self) -> u64 {
+        self.decompositions_used.load(Ordering::Relaxed)
+    }
+}
+
+/// The NL solver.
+#[derive(Debug)]
+pub struct NlSolver {
+    backend: NlBackend,
+    strict: bool,
+    stats: FallbackStats,
+}
+
+impl Default for NlSolver {
+    fn default() -> NlSolver {
+        NlSolver::direct()
+    }
+}
+
+impl NlSolver {
+    /// Creates the solver with the direct (graph-reachability) back-end.
+    pub fn direct() -> NlSolver {
+        NlSolver {
+            backend: NlBackend::Direct,
+            strict: true,
+            stats: FallbackStats::default(),
+        }
+    }
+
+    /// Creates the solver with the Datalog back-end.
+    pub fn datalog() -> NlSolver {
+        NlSolver {
+            backend: NlBackend::Datalog,
+            strict: true,
+            stats: FallbackStats::default(),
+        }
+    }
+
+    /// Creates a non-strict solver that accepts any C3 query (falling back to
+    /// the fixpoint algorithm when no decomposition applies).
+    pub fn lenient(backend: NlBackend) -> NlSolver {
+        NlSolver {
+            backend,
+            strict: false,
+            stats: FallbackStats::default(),
+        }
+    }
+
+    /// Fallback statistics.
+    pub fn stats(&self) -> &FallbackStats {
+        &self.stats
+    }
+
+    /// Evaluates the predicate `O` directly and applies Claim 4:
+    /// the instance is certain iff `O(c)` fails for some constant.
+    fn certain_direct(
+        &self,
+        dec: &B2bDecomposition,
+        db: &DatabaseInstance,
+    ) -> bool {
+        let uv = dec.uv();
+        let wv = dec.wv();
+        let spine = dec.spine();
+
+        // Terminal sets via the rooted-rewriting tables (Lemma 17).
+        let uv_table = CertainRootedTable::compute(db, &uv, EndCap::Open);
+        let wv_table = CertainRootedTable::compute(db, &wv, EndCap::Open);
+        let spine_table = CertainRootedTable::compute(db, &spine, EndCap::Open);
+        let uv_terminal: BTreeSet<Constant> = db
+            .adom()
+            .iter()
+            .copied()
+            .filter(|&c| !uv_table.certain_from(c))
+            .collect();
+        let wv_terminal: BTreeSet<Constant> = db
+            .adom()
+            .iter()
+            .copied()
+            .filter(|&c| !wv_table.certain_from(c))
+            .collect();
+        let spine_terminal: BTreeSet<Constant> = db
+            .adom()
+            .iter()
+            .copied()
+            .filter(|&c| !spine_table.certain_from(c))
+            .collect();
+
+        // The uv-step graph restricted to wv-terminal vertices.
+        let mut edges: BTreeMap<Constant, BTreeSet<Constant>> = BTreeMap::new();
+        for &d in &wv_terminal {
+            let successors: BTreeSet<Constant> = reachable_by_trace(db, d, &uv)
+                .into_iter()
+                .filter(|t| wv_terminal.contains(t))
+                .collect();
+            if !successors.is_empty() {
+                edges.insert(d, successors);
+            }
+        }
+
+        // Vertices lying on a cycle of the uv-step graph.
+        let on_cycle: BTreeSet<Constant> = wv_terminal
+            .iter()
+            .copied()
+            .filter(|&v| {
+                // v lies on a cycle iff v is reachable from one of its
+                // successors.
+                edges.get(&v).is_some_and(|succs| {
+                    succs
+                        .iter()
+                        .any(|&s| reaches(&edges, s, v))
+                })
+            })
+            .collect();
+
+        // P(d): d is wv-terminal and reaches (reflexively) a vertex that is
+        // uv-terminal, or reaches a vertex on a cycle.
+        let targets: BTreeSet<Constant> = wv_terminal
+            .iter()
+            .copied()
+            .filter(|c| uv_terminal.contains(c) || on_cycle.contains(c))
+            .collect();
+        let p_set: BTreeSet<Constant> = wv_terminal
+            .iter()
+            .copied()
+            .filter(|&d| targets.contains(&d) || targets.iter().any(|&t| reaches(&edges, d, t)))
+            .collect();
+
+        // O(c): spine-terminal, or a consistent spine path reaches P.
+        let o = |c: Constant| -> bool {
+            if spine_terminal.contains(&c) {
+                return true;
+            }
+            consistent_path_endpoints(db, c, &spine)
+                .into_iter()
+                .any(|d| p_set.contains(&d))
+        };
+
+        // Claim 4: "no"-instance iff O(c) holds for every c.
+        db.adom().iter().any(|&c| !o(c))
+    }
+
+    /// Evaluates the generated linear Datalog program and applies Claim 4.
+    fn certain_datalog(
+        &self,
+        dec: &B2bDecomposition,
+        query: &PathQuery,
+        db: &DatabaseInstance,
+    ) -> Result<bool, SolverError> {
+        let Some(cqa) = generate_program(dec, query.word()) else {
+            return self.fallback(query, db);
+        };
+        let store = Evaluator::new(&cqa.program)
+            .run(db)
+            .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;
+        let o_holds = store.unary(cqa.o);
+        Ok(db.adom().iter().any(|c| !o_holds.contains(&c.symbol())))
+    }
+
+    fn fallback(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        self.stats.fixpoint_fallbacks.fetch_add(1, Ordering::Relaxed);
+        FixpointSolver::unchecked().certain(query, db)
+    }
+}
+
+/// Reflexivity is *not* included: `reaches(edges, a, b)` is true iff there is
+/// a path of length ≥ 1 from `a` to `b`, or `a == b` and ... no: plain BFS
+/// from `a`'s successors, so `a == b` requires a genuine cycle. Callers add
+/// the reflexive case explicitly where the definition needs it.
+fn reaches(
+    edges: &BTreeMap<Constant, BTreeSet<Constant>>,
+    from: Constant,
+    to: Constant,
+) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(v) = stack.pop() {
+        if let Some(succs) = edges.get(&v) {
+            for &s in succs {
+                if s == to {
+                    return true;
+                }
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    false
+}
+
+impl CertaintySolver for NlSolver {
+    fn name(&self) -> &'static str {
+        match self.backend {
+            NlBackend::Direct => "nl-direct",
+            NlBackend::Datalog => "nl-datalog",
+        }
+    }
+
+    fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        let class = classify(query).class;
+        if self.strict && !matches!(class, ComplexityClass::FO | ComplexityClass::NlComplete) {
+            return Err(SolverError::NotApplicable {
+                solver: "nl".into(),
+                reason: format!("query {query} violates C2"),
+            });
+        }
+        if !self.strict && class == ComplexityClass::CoNpComplete {
+            return Err(SolverError::NotApplicable {
+                solver: "nl".into(),
+                reason: format!("query {query} violates C3"),
+            });
+        }
+        match b2b_strict_decomposition(query.word()) {
+            Some(dec) if !dec.uv().is_empty() => {
+                self.stats.decompositions_used.fetch_add(1, Ordering::Relaxed);
+                match self.backend {
+                    NlBackend::Direct => Ok(self.certain_direct(&dec, db)),
+                    NlBackend::Datalog => self.certain_datalog(&dec, query, db),
+                }
+            }
+            _ => self.fallback(query, db),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveSolver;
+
+    fn random_db(seed: u64, rels: &[&str], domain: u64, facts: u64) -> DatabaseInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut db = DatabaseInstance::new();
+        for _ in 0..facts {
+            let rel = rels[(next() % rels.len() as u64) as usize];
+            let a = next() % domain;
+            let b = next() % domain;
+            db.insert_parsed(rel, &format!("v{a}"), &format!("v{b}"));
+        }
+        db
+    }
+
+    #[test]
+    fn both_backends_agree_with_oracle_on_rrx() {
+        let naive = NaiveSolver::default();
+        let direct = NlSolver::direct();
+        let datalog = NlSolver::datalog();
+        let q = PathQuery::parse("RRX").unwrap();
+        for seed in 1..=40u64 {
+            let db = random_db(seed * 7919, &["R", "X"], 6, 4 + seed % 8);
+            if db.repair_count() > 1 << 12 {
+                continue;
+            }
+            let expected = naive.certain(&q, &db).unwrap();
+            assert_eq!(direct.certain(&q, &db).unwrap(), expected, "direct, seed {seed}");
+            assert_eq!(datalog.certain(&q, &db).unwrap(), expected, "datalog, seed {seed}");
+        }
+        assert!(direct.stats().decompositions_used() > 0);
+    }
+
+    #[test]
+    fn both_backends_agree_with_oracle_on_rxry() {
+        // RXRY is the paper's canonical NL-complete query (Example 3).
+        let naive = NaiveSolver::default();
+        let direct = NlSolver::direct();
+        let datalog = NlSolver::datalog();
+        let q = PathQuery::parse("RXRY").unwrap();
+        for seed in 1..=40u64 {
+            let db = random_db(seed * 104729, &["R", "X", "Y"], 5, 5 + seed % 9);
+            if db.repair_count() > 1 << 12 {
+                continue;
+            }
+            let expected = naive.certain(&q, &db).unwrap();
+            assert_eq!(direct.certain(&q, &db).unwrap(), expected, "direct, seed {seed}");
+            assert_eq!(datalog.certain(&q, &db).unwrap(), expected, "datalog, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_uvuvwv() {
+        let naive = NaiveSolver::default();
+        let direct = NlSolver::direct();
+        let q = PathQuery::parse("UVUVWV").unwrap();
+        for seed in 1..=30u64 {
+            let db = random_db(seed * 31337, &["U", "V", "W"], 5, 5 + seed % 10);
+            if db.repair_count() > 1 << 12 {
+                continue;
+            }
+            assert_eq!(
+                direct.certain(&q, &db).unwrap(),
+                naive.certain(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_2_is_certain_for_rrx() {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "0", "1");
+        db.insert_parsed("R", "1", "2");
+        db.insert_parsed("R", "1", "3");
+        db.insert_parsed("R", "2", "3");
+        db.insert_parsed("X", "3", "4");
+        assert!(NlSolver::direct().certain(&PathQuery::parse("RRX").unwrap(), &db).unwrap());
+        assert!(NlSolver::datalog().certain(&PathQuery::parse("RRX").unwrap(), &db).unwrap());
+    }
+
+    #[test]
+    fn strict_mode_rejects_ptime_and_conp_queries() {
+        let db = DatabaseInstance::new();
+        let solver = NlSolver::direct();
+        for word in ["RXRYRY", "RXRXRYRY"] {
+            let q = PathQuery::parse(word).unwrap();
+            assert!(matches!(
+                solver.certain(&q, &db),
+                Err(SolverError::NotApplicable { .. })
+            ));
+        }
+        // Lenient mode accepts the PTIME query (via fallback) but not coNP.
+        let lenient = NlSolver::lenient(NlBackend::Direct);
+        assert!(lenient.certain(&PathQuery::parse("RXRYRY").unwrap(), &db).is_ok());
+        assert!(lenient.certain(&PathQuery::parse("RXRXRYRY").unwrap(), &db).is_err());
+    }
+
+    #[test]
+    fn fo_class_queries_are_accepted_too() {
+        // FO ⊆ NL: the solver should also handle C1 queries like RXRX.
+        let naive = NaiveSolver::default();
+        let direct = NlSolver::direct();
+        let q = PathQuery::parse("RXRX").unwrap();
+        for seed in 1..=25u64 {
+            let db = random_db(seed * 65537, &["R", "X"], 5, 4 + seed % 8);
+            if db.repair_count() > 1 << 12 {
+                continue;
+            }
+            assert_eq!(
+                direct.certain(&q, &db).unwrap(),
+                naive.certain(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+}

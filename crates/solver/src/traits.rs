@@ -1,0 +1,71 @@
+//! The common interface of all certainty solvers.
+
+use cqa_core::query::PathQuery;
+use cqa_db::instance::DatabaseInstance;
+
+use crate::error::SolverError;
+
+/// A decision procedure for `CERTAINTY(q)`: given a path query `q` and a
+/// database instance `db`, decide whether **every** repair of `db`
+/// satisfies `q`.
+pub trait CertaintySolver {
+    /// A short identifier used in reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Decides `CERTAINTY(q)` on `db`.
+    ///
+    /// Returns `Err(SolverError::NotApplicable)` when the query falls outside
+    /// the solver's complexity class (e.g. the FO solver on a query violating
+    /// C1); other errors indicate resource limits.
+    fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError>;
+}
+
+/// A blanket implementation so `&S` and boxed solvers can be passed wherever
+/// a solver is expected.
+impl<S: CertaintySolver + ?Sized> CertaintySolver for &S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        (**self).certain(query, db)
+    }
+}
+
+impl<S: CertaintySolver + ?Sized> CertaintySolver for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        (**self).certain(query, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysYes;
+
+    impl CertaintySolver for AlwaysYes {
+        fn name(&self) -> &'static str {
+            "always-yes"
+        }
+
+        fn certain(&self, _q: &PathQuery, _db: &DatabaseInstance) -> Result<bool, SolverError> {
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn references_and_boxes_forward() {
+        let q = PathQuery::parse("R").unwrap();
+        let db = DatabaseInstance::new();
+        let solver = AlwaysYes;
+        assert_eq!((&solver).name(), "always-yes");
+        assert!((&solver).certain(&q, &db).unwrap());
+        let boxed: Box<dyn CertaintySolver> = Box::new(AlwaysYes);
+        assert!(boxed.certain(&q, &db).unwrap());
+    }
+}

@@ -1,0 +1,140 @@
+//! The example instances drawn in the figures of the paper, as executable
+//! fixtures shared by the tests, the examples and the benchmarks.
+
+use cqa_core::query::PathQuery;
+use cqa_db::instance::DatabaseInstance;
+
+/// Figure 1: `R` and `S` both contain `{a, b} × {a, b}` (Examples 1 and 2).
+pub fn figure_1() -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    for rel in ["R", "S"] {
+        for x in ["a", "b"] {
+            for y in ["a", "b"] {
+                db.insert_parsed(rel, x, y);
+            }
+        }
+    }
+    db
+}
+
+/// Figure 2: the instance for `q2 = RRX` with the conflicting facts
+/// `R(1,2)` and `R(1,3)` (Example 4).
+pub fn figure_2() -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    db.insert_parsed("R", "0", "1");
+    db.insert_parsed("R", "1", "2");
+    db.insert_parsed("R", "1", "3");
+    db.insert_parsed("R", "2", "3");
+    db.insert_parsed("X", "3", "4");
+    db
+}
+
+/// The query of Figure 2.
+pub fn figure_2_query() -> PathQuery {
+    PathQuery::parse("RRX").expect("valid query")
+}
+
+/// Figure 3: the bifurcation gadget for `q3 = ARRX`. Every repair has a path
+/// starting in `0` whose trace lies in `A R R (R)* X`, yet the repair keeping
+/// `R(a, c)` falsifies `ARRX`.
+pub fn figure_3() -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    db.insert_parsed("A", "0", "a");
+    db.insert_parsed("R", "a", "b");
+    db.insert_parsed("R", "a", "c");
+    db.insert_parsed("R", "b", "e");
+    db.insert_parsed("X", "e", "f");
+    db.insert_parsed("R", "c", "g");
+    db.insert_parsed("R", "g", "e");
+    db
+}
+
+/// The query of Figure 3.
+pub fn figure_3_query() -> PathQuery {
+    PathQuery::parse("ARRX").expect("valid query")
+}
+
+/// Figure 4's query (`RXRRR`), whose `NFA(q)` is drawn in the paper.
+pub fn figure_4_query() -> PathQuery {
+    PathQuery::parse("RXRRR").expect("valid query")
+}
+
+/// Figure 6: the example run of the fixpoint algorithm for `q = RRX`.
+pub fn figure_6() -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    db.insert_parsed("R", "0", "1");
+    db.insert_parsed("R", "1", "2");
+    db.insert_parsed("R", "1", "4");
+    db.insert_parsed("R", "2", "3");
+    db.insert_parsed("R", "2", "4");
+    db.insert_parsed("R", "3", "4");
+    db.insert_parsed("X", "4", "5");
+    db
+}
+
+/// Example 5's consistent instance for `q = RRX`.
+pub fn example_5_instance() -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    db.insert_parsed("R", "a", "b");
+    db.insert_parsed("R", "b", "c");
+    db.insert_parsed("R", "c", "d");
+    db.insert_parsed("X", "d", "e");
+    db.insert_parsed("R", "d", "e");
+    db
+}
+
+/// Example 7's instance (`{R(c,d), S(d,c), R(c,e), T(e,f)}`).
+pub fn example_7_instance() -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    db.insert_parsed("R", "c", "d");
+    db.insert_parsed("S", "d", "c");
+    db.insert_parsed("R", "c", "e");
+    db.insert_parsed("T", "e", "f");
+    db
+}
+
+/// The four queries of Example 3, with their expected complexity classes.
+pub fn example_3_queries() -> Vec<(PathQuery, &'static str)> {
+    vec![
+        (PathQuery::parse("RXRX").expect("valid"), "FO"),
+        (PathQuery::parse("RXRY").expect("valid"), "NL-complete"),
+        (PathQuery::parse("RXRYRY").expect("valid"), "PTIME-complete"),
+        (PathQuery::parse("RXRXRYRY").expect("valid"), "coNP-complete"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_core::classify::classify;
+
+    #[test]
+    fn figure_fixtures_have_the_documented_shape() {
+        assert_eq!(figure_1().len(), 8);
+        assert_eq!(figure_1().repair_count(), 16);
+        assert_eq!(figure_2().repair_count(), 2);
+        assert!(!figure_2().is_consistent());
+        assert_eq!(figure_3().conflicting_blocks().len(), 1);
+        assert!(example_5_instance().is_consistent());
+        assert_eq!(figure_6().block_count(), 5);
+    }
+
+    #[test]
+    fn example_3_classifications_match() {
+        for (q, expected) in example_3_queries() {
+            assert_eq!(classify(&q).class.name(), expected, "{q}");
+        }
+    }
+
+    #[test]
+    fn figure_2_is_a_yes_instance_and_figure_3_is_a_no_instance() {
+        let db2 = figure_2();
+        assert!(db2
+            .repairs()
+            .all(|r| r.satisfies_word(figure_2_query().word())));
+        let db3 = figure_3();
+        assert!(!db3
+            .repairs()
+            .all(|r| r.satisfies_word(figure_3_query().word())));
+    }
+}

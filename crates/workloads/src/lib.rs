@@ -1,0 +1,23 @@
+//! # cqa-workloads
+//!
+//! Workload generators for the path-query CQA reproduction: the exact
+//! instances drawn in the paper's figures ([`figures`]) and seeded synthetic
+//! generators with tunable inconsistency ([`random`]) used by the test-suite
+//! and the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod random;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::figures::{
+        example_3_queries, example_5_instance, example_7_instance, figure_1, figure_2,
+        figure_2_query, figure_3, figure_3_query, figure_4_query, figure_6,
+    };
+    pub use crate::random::{
+        oracle_batch, scaling_series, LayeredConfig, RandomInstanceConfig,
+    };
+}

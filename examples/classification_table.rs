@@ -1,0 +1,74 @@
+//! Reproduces the tetrachotomy of Theorem 2 / Example 3 as a table: for a
+//! catalogue of path queries, print the syntactic conditions C1/C2/C3, the
+//! complexity class of CERTAINTY(q), and the solver the dispatcher routes to.
+//!
+//! Run with `cargo run --example classification_table`.
+
+use path_cqa::prelude::*;
+
+fn main() {
+    let catalogue = [
+        // Section 1 examples.
+        "RR", "RRX", "ARRX",
+        // Example 3.
+        "RXRX", "RXRY", "RXRYRY", "RXRXRYRY",
+        // Figure 4 and the Lemma 3 boundary words.
+        "RXRRR", "RRSRS", "RSRRR",
+        // Self-join-free queries are always FO.
+        "R", "RST", "ABCDE",
+        // A few longer mixed queries.
+        "RXRXRX", "RXRYRXRY", "UVUVWV", "ABAB", "ABABB",
+    ];
+
+    println!(
+        "{:<12} {:^4} {:^4} {:^4}  {:<16} {:<18}",
+        "query", "C1", "C2", "C3", "complexity", "dispatched solver"
+    );
+    println!("{}", "-".repeat(64));
+    let dispatcher = DispatchSolver::new();
+    for word in catalogue {
+        let q = PathQuery::parse(word).expect("valid query");
+        let c = classify(&q);
+        println!(
+            "{:<12} {:^4} {:^4} {:^4}  {:<16} {:<18}",
+            word,
+            tick(c.c1),
+            tick(c.c2),
+            tick(c.c3),
+            c.class.to_string(),
+            dispatcher.route(&q),
+        );
+    }
+
+    println!();
+    println!("Example 3 sanity check against the paper:");
+    for (q, expected) in example_3_queries() {
+        let got = classify(&q).class.name();
+        println!(
+            "  {:<10} expected {:<16} got {:<16} {}",
+            q.to_string(),
+            expected,
+            got,
+            if got == expected { "✓" } else { "✗" }
+        );
+    }
+
+    // Classification with constants (Theorem 4 / Theorem 5): capping a query
+    // with a constant can only make it easier, and PTIME-complete disappears.
+    println!();
+    println!("generalized queries (capped with the constant 'c'):");
+    for word in ["RR", "RXRY", "RXRYRY", "RXRXRYRY"] {
+        let q = PathQuery::parse(word).expect("valid");
+        let capped = q.ending_at(Symbol::new("c"));
+        let class = classify_generalized(&capped).class;
+        println!("  [[{word}, c]]  ->  {class}");
+    }
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        "·"
+    }
+}

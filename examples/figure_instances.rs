@@ -1,0 +1,111 @@
+//! Walks through the figures and worked examples of the paper: Figure 1
+//! (Examples 1–2), Figure 2 (Example 4), Figure 3, Figure 4's automaton, and
+//! the Figure 5/6 fixpoint run.
+//!
+//! Run with `cargo run --example figure_instances`.
+
+use path_cqa::prelude::*;
+
+fn main() {
+    figure_1_examples();
+    figure_2_example_4();
+    figure_3_bifurcation();
+    figure_4_automaton();
+    figure_6_fixpoint_run();
+}
+
+fn figure_1_examples() {
+    println!("=== Figure 1 / Examples 1 and 2 ===");
+    let db = figure_1();
+    println!("instance: {db}");
+    // q2 = R(x,y), S(y,x) — self-join-free; some repair falsifies it.
+    // Its path-query analogue here: every repair satisfies RR (Example 1's
+    // argument specialised to paths), but RS is not certain.
+    let naive = NaiveSolver::default();
+    let rr = PathQuery::parse("RR").unwrap();
+    let rs = PathQuery::parse("RS").unwrap();
+    println!(
+        "CERTAINTY(RR) on Figure 1: {}",
+        naive.certain(&rr, &db).unwrap()
+    );
+    println!(
+        "CERTAINTY(RS) on Figure 1: {}",
+        naive.certain(&rs, &db).unwrap()
+    );
+    println!();
+}
+
+fn figure_2_example_4() {
+    println!("=== Figure 2 / Example 4 (q = RRX) ===");
+    let db = figure_2();
+    let q = figure_2_query();
+    println!("instance: {db}");
+    println!("repairs: {}", db.repair_count());
+    let automaton = QueryNfa::new(&q);
+    for repair in db.repairs() {
+        let starts = start_set(&automaton, &repair);
+        println!("  repair {repair:?}");
+        println!("    start(q, r) = {starts:?}");
+    }
+    println!(
+        "certain (dispatcher): {}",
+        solve_certainty(&q, &db).unwrap()
+    );
+    println!();
+}
+
+fn figure_3_bifurcation() {
+    println!("=== Figure 3 (q = ARRX, coNP-complete) ===");
+    let db = figure_3();
+    let q = figure_3_query();
+    println!("instance: {db}");
+    let sat_solver = SatCertaintySolver::default();
+    let certain = sat_solver.certain(&q, &db).unwrap();
+    println!("certain: {certain}");
+    if let Some(repair) = sat_solver.find_falsifying_repair(&q, &db).unwrap() {
+        println!("falsifying repair found by the SAT encoding: {repair:?}");
+    }
+    println!();
+}
+
+fn figure_4_automaton() {
+    println!("=== Figure 4: NFA(RXRRR) ===");
+    let q = figure_4_query();
+    let a = QueryNfa::new(&q);
+    println!("query: {q}");
+    println!("states (prefixes): ");
+    for s in 0..a.num_states() {
+        println!("  {s}: {}", a.state_prefix(s));
+    }
+    println!("forward transitions: {:?}", a.nfa().all_transitions());
+    println!("backward (rewinding) transitions: {:?}", a.backward_transitions());
+    for word in ["RXRRR", "RXRXRRR", "RXRRRRR", "RXRR"] {
+        println!(
+            "  accepts {word:<9} = {}",
+            a.accepts(&Word::from_letters(word))
+        );
+    }
+    println!();
+}
+
+fn figure_6_fixpoint_run() {
+    println!("=== Figures 5 and 6: the PTIME fixpoint algorithm on RRX ===");
+    let db = figure_6();
+    let q = figure_2_query();
+    println!("instance: {db}");
+    let run = compute_fixpoint(&q, &db);
+    println!("derived pairs (in derivation order):");
+    for (c, prefix_len) in &run.derivation_order {
+        println!("  <{c}, {}>", q.word().prefix(*prefix_len));
+    }
+    println!(
+        "certain start vertices (Corollary 1): {:?}",
+        run.certain_start_vertices()
+    );
+    println!(
+        "yes-instance: {}",
+        !run.certain_start_vertices().is_empty()
+    );
+    // The LFP formula of Figure 7 for the same query.
+    println!("\nLFP formula (Figure 7):\n{}", lfp_formula_text(q.word()));
+}

@@ -1,0 +1,93 @@
+//! Builds the hardness gadgets of Section 7 (Figures 8, 9 and 10) from small
+//! source instances and verifies the reductions against the solvers:
+//!
+//! * REACHABILITY → co-CERTAINTY(q) for a query violating C1 (Lemma 18),
+//! * SAT → co-CERTAINTY(q) for a query violating C3 (Lemma 19),
+//! * MCVP → CERTAINTY(q) for a query violating C2 (Lemma 20).
+//!
+//! Run with `cargo run --example hardness_gadgets`.
+
+use path_cqa::prelude::*;
+
+fn main() {
+    reachability_gadget();
+    sat_gadget();
+    mcvp_gadget();
+}
+
+fn reachability_gadget() {
+    println!("=== Lemma 18 / Figure 8: REACHABILITY -> co-CERTAINTY(RRX) ===");
+    // The graph of Figure 8: V = {s, a, t}, E = {(s,a), (a,t)}.
+    let mut graph = Digraph::new(3);
+    graph.add_edge(0, 1);
+    graph.add_edge(1, 2);
+    let q = PathQuery::parse("RRX").unwrap();
+    let db = reachability_reduction(&graph, 0, 2, &q).unwrap();
+    println!("gadget instance has {} facts over {} blocks", db.len(), db.block_count());
+    let certain = solve_certainty(&q, &db).unwrap();
+    println!(
+        "t reachable from s: {}   |   instance certain: {}   (expected: reachable ⇔ not certain)",
+        graph.reachable(0, 2),
+        certain
+    );
+
+    // Remove the second edge: t becomes unreachable, the instance certain.
+    let mut graph2 = Digraph::new(3);
+    graph2.add_edge(0, 1);
+    let db2 = reachability_reduction(&graph2, 0, 2, &q).unwrap();
+    println!(
+        "after removing (a, t): reachable = {}, certain = {}",
+        graph2.reachable(0, 2),
+        solve_certainty(&q, &db2).unwrap()
+    );
+    println!();
+}
+
+fn sat_gadget() {
+    println!("=== Lemma 19 / Figure 9: SAT -> co-CERTAINTY(ARRX) ===");
+    // ψ = (x1 ∨ x2) ∧ (¬x2 ∨ x3)  — the formula of Figure 9 (with signs).
+    let mut formula = CnfFormula::new(3);
+    formula.add_clause(vec![1, 2]);
+    formula.add_clause(vec![-2, 3]);
+    let q = PathQuery::parse("ARRX").unwrap();
+    let db = sat_reduction(&formula, &q).unwrap();
+    println!("gadget instance has {} facts over {} blocks", db.len(), db.block_count());
+    let certain = SatCertaintySolver::default().certain(&q, &db).unwrap();
+    println!(
+        "formula satisfiable: {}   |   instance certain: {}   (expected: satisfiable ⇔ not certain)",
+        formula.satisfiable(),
+        certain
+    );
+
+    // An unsatisfiable formula flips the answer.
+    let mut unsat = CnfFormula::new(1);
+    unsat.add_clause(vec![1]);
+    unsat.add_clause(vec![-1]);
+    let db2 = sat_reduction(&unsat, &q).unwrap();
+    println!(
+        "unsatisfiable formula: certain = {}",
+        SatCertaintySolver::default().certain(&q, &db2).unwrap()
+    );
+    println!();
+}
+
+fn mcvp_gadget() {
+    println!("=== Lemma 20 / Figure 10: MCVP -> CERTAINTY(RXRYRY) ===");
+    // Circuit: output = (x0 ∨ x1) ∧ x2.
+    let mut circuit = MonotoneCircuit::new(3);
+    let or = circuit.add_gate(Gate::Or(0, 1));
+    circuit.add_gate(Gate::And(or, 2));
+    let q = PathQuery::parse("RXRYRY").unwrap();
+    for inputs in [
+        [true, false, true],
+        [false, false, true],
+        [true, true, false],
+    ] {
+        let db = mcvp_reduction(&circuit, &inputs, &q).unwrap();
+        let value = circuit.evaluate(&inputs);
+        let certain = solve_certainty(&q, &db).unwrap();
+        println!(
+            "inputs {inputs:?}: circuit value = {value}, certain = {certain}   (expected: equal)"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! # path-cqa
+//!
+//! A reproduction of *"Consistent Query Answering for Primary Keys on Path
+//! Queries"* (Koutris, Ouyang, Wijsen; PODS 2021): the tetrachotomy
+//! FO / NL-complete / PTIME-complete / coNP-complete for `CERTAINTY(q)` on
+//! path queries with self-joins, together with executable algorithms for
+//! every class, the hardness gadgets, and the substrates they need.
+//!
+//! This crate is a thin facade re-exporting the workspace crates:
+//!
+//! * [`core`](cqa_core) — words, rewinding, path queries, the C/B/D
+//!   conditions and the classification;
+//! * [`db`](cqa_db) — inconsistent database instances, blocks, repairs;
+//! * [`automata`](cqa_automata) — `NFA(q)`, `S-NFA(q,u)`, `NFAmin(q)` and
+//!   runs over instances;
+//! * [`fo`](cqa_fo) — first-order rewritings and their evaluation;
+//! * [`datalog`](cqa_datalog) — stratified Datalog and the linear program of
+//!   Lemma 14;
+//! * [`sat`](cqa_sat) — a CDCL SAT solver;
+//! * [`solver`](cqa_solver) — the certainty solvers and the dispatcher;
+//! * [`reductions`](cqa_reductions) — the REACHABILITY/SAT/MCVP gadgets;
+//! * [`workloads`](cqa_workloads) — figure instances and synthetic
+//!   generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use path_cqa::prelude::*;
+//!
+//! // An inconsistent database: key 1 has two conflicting R-facts.
+//! let mut db = DatabaseInstance::new();
+//! db.insert_parsed("R", "0", "1");
+//! db.insert_parsed("R", "1", "2");
+//! db.insert_parsed("R", "1", "3");
+//! db.insert_parsed("R", "2", "3");
+//! db.insert_parsed("X", "3", "4");
+//!
+//! // The path query R R X (self-join on R).
+//! let q = PathQuery::parse("RRX").unwrap();
+//!
+//! // Classify: CERTAINTY(RRX) is NL-complete ...
+//! assert_eq!(classify(&q).class, ComplexityClass::NlComplete);
+//! // ... and this instance is a "yes"-instance: every repair satisfies q.
+//! assert!(solve_certainty(&q, &db).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cqa_automata as automata;
+pub use cqa_core as core;
+pub use cqa_datalog as datalog;
+pub use cqa_db as db;
+pub use cqa_fo as fo;
+pub use cqa_reductions as reductions;
+pub use cqa_sat as sat;
+pub use cqa_solver as solver;
+pub use cqa_workloads as workloads;
+
+/// One-stop prelude combining the preludes of every workspace crate.
+pub mod prelude {
+    pub use cqa_automata::prelude::*;
+    pub use cqa_core::prelude::*;
+    pub use cqa_datalog::prelude::*;
+    pub use cqa_db::prelude::*;
+    pub use cqa_fo::prelude::*;
+    pub use cqa_reductions::prelude::*;
+    pub use cqa_sat::prelude::*;
+    pub use cqa_solver::prelude::*;
+    pub use cqa_workloads::prelude::*;
+}

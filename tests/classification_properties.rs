@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) of the classification machinery and the
+//! solvers: the combinatorial lemmas of Section 4, the monotonicity of the
+//! complexity classes, and end-to-end agreement between the dispatcher and
+//! the oracle on randomly generated queries and instances.
+
+use proptest::prelude::*;
+
+use path_cqa::prelude::*;
+
+/// A random word over a small alphabet, as a `String` of single letters.
+fn word_strategy(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('R'), Just('S'), Just('T')], 1..=max_len)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// A random small database instance over the given letters.
+fn instance_strategy(letters: &'static str) -> impl Strategy<Value = Vec<(char, u8, u8)>> {
+    let letter = proptest::sample::select(letters.chars().collect::<Vec<char>>());
+    proptest::collection::vec((letter, 0u8..5, 0u8..5), 1..12)
+}
+
+fn build_db(facts: &[(char, u8, u8)]) -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    for &(rel, a, b) in facts {
+        db.insert_parsed(&rel.to_string(), &format!("v{a}"), &format!("v{b}"));
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 1: C1 ⇒ C2 ⇒ C3, and the B-forms match (Lemmas 1–3).
+    #[test]
+    fn conditions_form_a_chain_and_match_the_regex_forms(word in word_strategy(6)) {
+        let w = Word::from_letters(&word);
+        let c1 = satisfies_c1(&w);
+        let c2 = satisfies_c2(&w);
+        let c3 = satisfies_c3(&w);
+        prop_assert!(!c1 || c2, "C1 must imply C2 for {word}");
+        prop_assert!(!c2 || c3, "C2 must imply C3 for {word}");
+        prop_assert_eq!(c1, satisfies_b1(&w), "Lemma 1 fails for {}", &word);
+        prop_assert_eq!(c2, satisfies_b2a(&w) || satisfies_b2b(&w), "Lemma 3 fails for {}", &word);
+        prop_assert_eq!(
+            c3,
+            satisfies_b2a(&w) || satisfies_b2b(&w) || satisfies_b3(&w),
+            "Lemma 2 fails for {}", &word
+        );
+    }
+
+    /// Rewinding never makes a condition easier to satisfy in the wrong
+    /// direction: if `q` satisfies C1 then `q` is a prefix of each single
+    /// rewind; if it satisfies C3 then a factor (Lemma 5, bounded form).
+    #[test]
+    fn rewinds_respect_prefix_and_factor_containment(word in word_strategy(6)) {
+        let w = Word::from_letters(&word);
+        for (_, _, rewound) in w.rewinds() {
+            if satisfies_c1(&w) {
+                prop_assert!(w.is_prefix_of(&rewound));
+            }
+            if satisfies_c3(&w) {
+                prop_assert!(w.is_factor_of(&rewound));
+            }
+        }
+    }
+
+    /// The strict B2b decomposition, when it exists, reassembles the query
+    /// and has a self-join-free core.
+    #[test]
+    fn strict_decompositions_reassemble(word in word_strategy(6)) {
+        let w = Word::from_letters(&word);
+        if let Some(dec) = b2b_strict_decomposition(&w) {
+            prop_assert_eq!(dec.reassemble(), w);
+            prop_assert!(dec.u.concat(&dec.v).concat(&dec.w).is_self_join_free());
+            prop_assert!(dec.k >= 1);
+        }
+    }
+
+    /// NFA(q) accepts the query itself and every single-step rewind of it.
+    ///
+    /// Note: the full closure `L↬(q)` of Definition 4 is *not* always
+    /// accepted — rewinding an already-rewound word at a position that is not
+    /// aligned with a prefix of `q` can leave the automaton's language (e.g.
+    /// `q = TSST` and the twice-rewound word `TSSTSTSST`); see the remark in
+    /// DESIGN.md. The paper's algorithms only use the automaton itself, which
+    /// is what the solvers here are built on and validated against.
+    #[test]
+    fn query_nfa_accepts_single_rewinds(word in word_strategy(5)) {
+        let w = Word::from_letters(&word);
+        let q = PathQuery::new(w.clone()).unwrap();
+        let a = QueryNfa::new(&q);
+        prop_assert!(a.accepts(&w));
+        for (_, _, p) in w.rewinds() {
+            prop_assert!(a.accepts(&p), "NFA({}) must accept {}", w, p);
+        }
+    }
+
+    /// End-to-end: the dispatcher agrees with the exhaustive oracle on random
+    /// queries and random instances (capped repair count).
+    #[test]
+    fn dispatcher_agrees_with_oracle(
+        word in word_strategy(4),
+        facts in instance_strategy("RST"),
+    ) {
+        let q = PathQuery::parse(&word).unwrap();
+        let db = build_db(&facts);
+        prop_assume!(db.repair_count() <= 1 << 10);
+        let expected = NaiveSolver::default().certain(&q, &db).unwrap();
+        let got = solve_certainty(&q, &db).unwrap();
+        prop_assert_eq!(got, expected, "query {} on {:?}", &word, &db);
+    }
+
+    /// The SAT-based solver agrees with the oracle on arbitrary queries.
+    #[test]
+    fn sat_solver_agrees_with_oracle(
+        word in word_strategy(4),
+        facts in instance_strategy("RST"),
+    ) {
+        let q = PathQuery::parse(&word).unwrap();
+        let db = build_db(&facts);
+        prop_assume!(db.repair_count() <= 1 << 10);
+        let expected = NaiveSolver::default().certain(&q, &db).unwrap();
+        let got = SatCertaintySolver::default().certain(&q, &db).unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Adding a constant cap never turns a tractable query intractable
+    /// (Theorem 5: with constants there is no PTIME-complete case), and the
+    /// generalized solver agrees with the generalized oracle.
+    #[test]
+    fn generalized_queries_are_consistent_with_the_oracle(
+        word in word_strategy(3),
+        facts in instance_strategy("RST"),
+        cap in 0u8..5,
+    ) {
+        let q = PathQuery::parse(&word).unwrap();
+        let db = build_db(&facts);
+        prop_assume!(db.repair_count() <= 1 << 10);
+        let capped = q.ending_at(Symbol::new(&format!("v{cap}")));
+        let class = classify_generalized(&capped).class;
+        prop_assert_ne!(class, ComplexityClass::PtimeComplete);
+        if class != ComplexityClass::CoNpComplete {
+            let solver = GeneralizedSolver::new();
+            let expected = NaiveSolver::default().certain_generalized(&capped, &db).unwrap();
+            prop_assert_eq!(solver.certain(&capped, &db).unwrap(), expected);
+        }
+    }
+
+    /// Repairs produced by the iterator are exactly the maximal consistent
+    /// subinstances: right count, all consistent, all subsets.
+    #[test]
+    fn repair_enumeration_invariants(facts in instance_strategy("RS")) {
+        let db = build_db(&facts);
+        prop_assume!(db.repair_count() <= 1 << 8);
+        let repairs: Vec<ConsistentInstance> = db.repairs().collect();
+        prop_assert_eq!(repairs.len() as u128, db.repair_count());
+        for r in &repairs {
+            prop_assert!(r.is_repair_of(&db));
+        }
+        // Pairwise distinct.
+        for i in 0..repairs.len() {
+            for j in i + 1..repairs.len() {
+                prop_assert_ne!(&repairs[i], &repairs[j]);
+            }
+        }
+    }
+}

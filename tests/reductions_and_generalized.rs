@@ -1,0 +1,154 @@
+//! Integration tests for the lower-bound gadgets (Section 7) and the
+//! treatment of constants (Section 8), cross-checked end-to-end against the
+//! dispatching solver.
+
+use path_cqa::prelude::*;
+
+#[test]
+fn reachability_reduction_round_trip_with_the_dispatcher() {
+    // Lemma 18: reachable ⇔ the gadget instance is a no-instance.
+    let q = PathQuery::parse("RXRY").unwrap(); // NL-complete, violates C1
+    let mut rng = rand::rng();
+    for _ in 0..8 {
+        let graph = Digraph::random_dag(6, 0.3, &mut rng);
+        let db = reachability_reduction(&graph, 0, 5, &q).unwrap();
+        let certain = solve_certainty(&q, &db).unwrap();
+        assert_eq!(graph.reachable(0, 5), !certain, "graph {graph:?}");
+    }
+}
+
+#[test]
+fn sat_reduction_round_trip_with_the_sat_solver() {
+    // Lemma 19: satisfiable ⇔ the gadget instance is a no-instance.
+    let q = PathQuery::parse("RXRXRYRY").unwrap(); // coNP-complete
+    let mut rng = rand::rng();
+    for _ in 0..6 {
+        let formula = CnfFormula::random(4, 5, 3, &mut rng);
+        let db = sat_reduction(&formula, &q).unwrap();
+        let certain = SatCertaintySolver::default().certain(&q, &db).unwrap();
+        assert_eq!(formula.satisfiable(), !certain, "formula {formula:?}");
+    }
+}
+
+#[test]
+fn mcvp_reduction_round_trip_with_the_fixpoint_solver() {
+    // Lemma 20: circuit value ⇔ the gadget instance is a yes-instance.
+    let q = PathQuery::parse("RXRYRY").unwrap(); // PTIME-complete
+    let mut circuit = MonotoneCircuit::new(3);
+    let or = circuit.add_gate(Gate::Or(0, 1));
+    let and = circuit.add_gate(Gate::And(or, 2));
+    circuit.add_gate(Gate::Or(and, 1));
+    for mask in 0..8u32 {
+        let inputs = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+        let db = mcvp_reduction(&circuit, &inputs, &q).unwrap();
+        let certain = FixpointSolver::new().certain(&q, &db).unwrap();
+        assert_eq!(circuit.evaluate(&inputs), certain, "inputs {inputs:?}");
+    }
+}
+
+#[test]
+fn the_gadget_instances_are_large_but_polynomial() {
+    // The reductions are first-order constructions: instance size is linear
+    // in the source size for a fixed query.
+    let q = PathQuery::parse("RXRY").unwrap();
+    let mut sizes = Vec::new();
+    for n in [4, 8, 16] {
+        let mut graph = Digraph::new(n);
+        for i in 0..n - 1 {
+            graph.add_edge(i, i + 1);
+        }
+        let db = reachability_reduction(&graph, 0, n - 1, &q).unwrap();
+        sizes.push(db.len());
+    }
+    assert!(sizes[1] > sizes[0] && sizes[2] > sizes[1]);
+    // Roughly linear growth: doubling n should not much more than double size.
+    assert!(sizes[2] < sizes[0] * 8);
+}
+
+#[test]
+fn example_9_and_10_generalized_machinery() {
+    // char(q), ext(q), homomorphisms and prefix homomorphisms on Example 9/10.
+    let q = parse_query("R(x,y), S(y,'0'), T('0','1'), R('1',w)").unwrap();
+    let (char_word, cap) = q.characteristic_prefix().unwrap();
+    assert_eq!(char_word, Word::from_letters("RS"));
+    assert_eq!(cap, Cap::Const(Symbol::new("0")));
+    let (ext, fresh) = q.extended_query(RelName::new("N"));
+    assert_eq!(ext, Word::from_letters("RSN"));
+    assert!(fresh.is_some());
+
+    let source = PathQuery::parse("RR").unwrap().ending_at(Symbol::new("1"));
+    let target = PathQuery::parse("RRR").unwrap().ending_at(Symbol::new("1"));
+    assert!(has_homomorphism(&source, &target));
+    assert!(!has_prefix_homomorphism(&source, &target));
+}
+
+#[test]
+fn generalized_solver_handles_queries_with_multiple_constants() {
+    let solver = GeneralizedSolver::new();
+    let naive = NaiveSolver::default();
+    let q = parse_query("R(x,y), S(y,'0'), T('0','1'), R('1',w)").unwrap();
+    // Deterministic pseudo-random instances over R, S, T.
+    let mut state = 0x5eed5eedu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut checked = 0;
+    for _ in 0..60 {
+        let mut db = DatabaseInstance::new();
+        for _ in 0..(5 + next() % 8) {
+            let rel = match next() % 3 {
+                0 => "R",
+                1 => "S",
+                _ => "T",
+            };
+            let a = next() % 4;
+            let b = next() % 4;
+            db.insert_parsed(rel, &format!("{a}"), &format!("{b}"));
+        }
+        if db.repair_count() > 1 << 12 {
+            continue;
+        }
+        assert_eq!(
+            solver.certain(&q, &db).unwrap(),
+            naive.certain_generalized(&q, &db).unwrap(),
+            "disagreement on {db:?}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 20, "enough instances must have been checked");
+}
+
+#[test]
+fn theorem_5_trichotomy_for_capped_queries() {
+    // With at least one constant, CERTAINTY is FO, NL-complete or
+    // coNP-complete — never PTIME-complete.
+    let alphabet = [RelName::new("R"), RelName::new("S"), RelName::new("T")];
+    for word in cqa_core::word::all_words(&alphabet, 4) {
+        let Ok(q) = PathQuery::new(word.clone()) else { continue };
+        let capped = q.ending_at(Symbol::new("c"));
+        let class = classify_generalized(&capped).class;
+        assert_ne!(class, ComplexityClass::PtimeComplete, "[[{word}, c]]");
+    }
+}
+
+#[test]
+fn generated_nl_datalog_program_is_linear_and_stratified_for_nl_queries() {
+    for word in ["RRX", "RXRY", "RXRX", "UVUVWV", "RR"] {
+        let q = PathQuery::parse(word).unwrap();
+        if !satisfies_c2(q.word()) {
+            continue;
+        }
+        if let Some(dec) = b2b_strict_decomposition(q.word()) {
+            if dec.uv().is_empty() {
+                continue;
+            }
+            let cqa = generate_program(&dec, q.word()).unwrap();
+            assert!(cqa.program.is_safe(), "{word}");
+            assert!(stratify(&cqa.program).is_ok(), "{word}");
+            assert!(is_linear(&cqa.program), "{word}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Workspace-level integration test: every solver agrees with the exhaustive
+//! repair-enumeration oracle on randomized instances, across all four
+//! complexity classes of the tetrachotomy, and the figure instances behave as
+//! the paper describes.
+
+use path_cqa::prelude::*;
+
+fn applicable(solver: &dyn CertaintySolver, q: &PathQuery, db: &DatabaseInstance) -> Option<bool> {
+    match solver.certain(q, db) {
+        Ok(answer) => Some(answer),
+        Err(SolverError::NotApplicable { .. }) => None,
+        Err(other) => panic!("{}: unexpected error {other}", solver.name()),
+    }
+}
+
+#[test]
+fn all_solvers_agree_with_the_oracle_on_random_instances() {
+    let naive = NaiveSolver::default();
+    let solvers: Vec<Box<dyn CertaintySolver>> = vec![
+        Box::new(BacktrackSolver::new()),
+        Box::new(FoSolver::new()),
+        Box::new(NlSolver::direct()),
+        Box::new(NlSolver::datalog()),
+        Box::new(FixpointSolver::new()),
+        Box::new(SatCertaintySolver::default()),
+        Box::new(DispatchSolver::new()),
+        Box::new(DispatchSolver::with_datalog_nl()),
+    ];
+    let queries = [
+        ("RR", "RX"),
+        ("RXRX", "RX"),
+        ("RRX", "RX"),
+        ("RXRY", "RXY"),
+        ("RXRYRY", "RXY"),
+        ("RSRRR", "RS"),
+        ("ARRX", "ARX"),
+        ("RXRXRYRY", "RXY"),
+    ];
+    for (word, letters) in queries {
+        let q = PathQuery::parse(word).unwrap();
+        for (i, db) in oracle_batch(letters, 12, 0xC0FFEE ^ word.len() as u64, 1 << 12)
+            .into_iter()
+            .enumerate()
+        {
+            let expected = naive.certain(&q, &db).unwrap();
+            for solver in &solvers {
+                if let Some(answer) = applicable(solver.as_ref(), &q, &db) {
+                    assert_eq!(
+                        answer,
+                        expected,
+                        "{} disagrees with the oracle on {} (instance {})",
+                        solver.name(),
+                        word,
+                        i
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn figure_instances_behave_as_in_the_paper() {
+    // Figure 2 is a yes-instance for RRX.
+    assert!(solve_certainty(&figure_2_query(), &figure_2()).unwrap());
+    // Figure 3 is a no-instance for ARRX.
+    assert!(!solve_certainty(&figure_3_query(), &figure_3()).unwrap());
+    // Figure 1: both RR and RS are certain on the full bipartite-like
+    // instance (Example 1's q1/q2 distinction needs the non-path query
+    // R(x,y) ∧ S(y,x), which is outside the path-query fragment); removing
+    // S(b, ∗) breaks certainty of RS but not of RR.
+    let db = figure_1();
+    assert!(solve_certainty(&PathQuery::parse("RR").unwrap(), &db).unwrap());
+    assert!(solve_certainty(&PathQuery::parse("RS").unwrap(), &db).unwrap());
+    let pruned = DatabaseInstance::from_facts(
+        db.facts()
+            .iter()
+            .copied()
+            .filter(|f| !(f.rel == RelName::new("S") && f.key == Constant::new("b"))),
+    );
+    assert!(solve_certainty(&PathQuery::parse("RR").unwrap(), &pruned).unwrap());
+    assert!(!solve_certainty(&PathQuery::parse("RS").unwrap(), &pruned).unwrap());
+}
+
+#[test]
+fn dispatcher_routes_by_classification_and_matches_oracle_on_layered_workloads() {
+    let naive = NaiveSolver::with_limit(1 << 20);
+    let dispatcher = DispatchSolver::new();
+    for (word, expected_route) in [
+        ("RXRX", "fo-rewriting"),
+        ("RXRY", "nl-direct"),
+        ("RXRYRY", "ptime-fixpoint"),
+        ("RXRXRYRY", "conp-sat"),
+    ] {
+        let q = PathQuery::parse(word).unwrap();
+        assert_eq!(dispatcher.route(&q), expected_route);
+        for seed in 0..4u64 {
+            let db = LayeredConfig::for_word(q.word(), 4, seed).generate();
+            if db.repair_count() > 1 << 20 {
+                continue;
+            }
+            assert_eq!(
+                dispatcher.certain(&q, &db).unwrap(),
+                naive.certain(&q, &db).unwrap(),
+                "layered workload mismatch for {word}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn minimizing_repair_witnesses_lemma_6_on_random_instances() {
+    // start(q, r*) ⊆ start(q, r) for every repair r, for C3 queries.
+    for word in ["RRX", "RXRY", "RXRYRY"] {
+        let q = PathQuery::parse(word).unwrap();
+        let automaton = QueryNfa::new(&q);
+        for db in oracle_batch("RXY", 6, 0xBEEF ^ word.len() as u64, 1 << 10) {
+            let r_star = minimizing_repair(&q, &db);
+            let minimal = start_set(&automaton, &r_star);
+            for r in db.repairs() {
+                let starts = start_set(&automaton, &r);
+                assert!(
+                    minimal.is_subset(&starts),
+                    "Lemma 6 violated for {word} on {db:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn certain_start_vertices_match_the_intersection_of_start_sets() {
+    // Corollary 1: ⟨c, ε⟩ ∈ N iff c ∈ start(q, r) for every repair r.
+    for word in ["RRX", "RXRY"] {
+        let q = PathQuery::parse(word).unwrap();
+        let automaton = QueryNfa::new(&q);
+        for db in oracle_batch("RXY", 6, 0x1234 ^ word.len() as u64, 1 << 10) {
+            let run = compute_fixpoint(&q, &db);
+            let mut intersection: Option<std::collections::BTreeSet<Constant>> = None;
+            for r in db.repairs() {
+                let starts = start_set(&automaton, &r);
+                intersection = Some(match intersection {
+                    None => starts,
+                    Some(acc) => acc.intersection(&starts).copied().collect(),
+                });
+            }
+            let intersection = intersection.unwrap_or_default();
+            assert_eq!(
+                run.certain_start_vertices(),
+                intersection,
+                "Corollary 1 violated for {word} on {db:?}"
+            );
+        }
+    }
+}
