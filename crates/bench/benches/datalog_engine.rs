@@ -1,0 +1,121 @@
+//! E16: the indexed semi-naive Datalog engine against the retained
+//! scan-based reference engine, across instance sizes from 10^2 to 10^5
+//! facts, on two workloads:
+//!
+//! * `tc` — transitive closure of a layered random graph (pure recursion,
+//!   the classic join-heavy stress test);
+//! * `cqa_rrx` — the generated linear program of Lemma 14 for the query
+//!   `RRX` (the engine's production workload on every certain-answer call).
+//!
+//! The scan engine is quadratic-ish in the instance size and is therefore
+//! only measured up to ~10^4 facts; the `*_scan` / `*_indexed` pairs at equal
+//! sizes are the before/after numbers tracked in `BENCH_datalog.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::query::PathQuery;
+use cqa_datalog::prelude::*;
+use cqa_db::instance::DatabaseInstance;
+use cqa_workloads::random::LayeredConfig;
+
+fn tc_program() -> Program {
+    let mut p = Program::new();
+    p.declare_edb(Predicate::new("R", 2));
+    let atom = |name: &str, vars: [&str; 2]| {
+        DlAtom::new(
+            Predicate::new(name, 2),
+            vars.iter().map(|v| DlTerm::var(v)).collect(),
+        )
+    };
+    p.add_rule(Rule::new(
+        atom("path", ["X", "Y"]),
+        vec![BodyLiteral::Positive(atom("R", ["X", "Y"]))],
+    ));
+    p.add_rule(Rule::new(
+        atom("path", ["X", "Z"]),
+        vec![
+            BodyLiteral::Positive(atom("path", ["X", "Y"])),
+            BodyLiteral::Positive(atom("R", ["Y", "Z"])),
+        ],
+    ));
+    p
+}
+
+/// A layered single-relation graph with bounded depth, so the closure stays
+/// linear-ish in the instance size instead of quadratic.
+fn layered_graph(width: usize) -> DatabaseInstance {
+    LayeredConfig {
+        relations: vec![cqa_core::symbol::RelName::new("R")],
+        layers: 8,
+        width,
+        conflict_probability: 0.3,
+        dead_end_probability: 0.05,
+        seed: 0xE16 ^ width as u64,
+    }
+    .generate()
+}
+
+/// Largest instance the scan engine is asked to handle (~30 s/iteration at
+/// 10^4 facts); `CQA_BENCH_SCAN_CUTOFF` overrides it, e.g. for CI smoke runs.
+fn scan_cutoff() -> usize {
+    std::env::var("CQA_BENCH_SCAN_CUTOFF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15_000)
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_engine");
+    group.sample_size(10);
+    let program = tc_program();
+    for width in [12usize, 120, 1_200, 12_000] {
+        let db = layered_graph(width);
+        let facts = db.len();
+        group.bench_with_input(BenchmarkId::new("tc_indexed", facts), &db, |b, db| {
+            b.iter(|| black_box(evaluate(&program, db).unwrap().len(Predicate::new("path", 2))))
+        });
+        if facts <= scan_cutoff() {
+            group.bench_with_input(BenchmarkId::new("tc_scan", facts), &db, |b, db| {
+                b.iter(|| {
+                    black_box(
+                        evaluate_scan(&program, db)
+                            .unwrap()
+                            .len(Predicate::new("path", 2)),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cqa_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_engine");
+    group.sample_size(10);
+    let q = PathQuery::parse("RRX").unwrap();
+    let dec = b2b_strict_decomposition(q.word()).expect("RRX decomposes");
+    let cqa = generate_program(&dec, q.word()).expect("program generated");
+    for width in [30usize, 300, 3_000, 30_000] {
+        let db = LayeredConfig::for_word(q.word(), width, 0xCAA ^ width as u64).generate();
+        let facts = db.len();
+        group.bench_with_input(BenchmarkId::new("cqa_rrx_indexed", facts), &db, |b, db| {
+            b.iter(|| {
+                let store = evaluate(&cqa.program, db).unwrap();
+                black_box(store.unary(cqa.o).unwrap().len())
+            })
+        });
+        if facts <= scan_cutoff() {
+            group.bench_with_input(BenchmarkId::new("cqa_rrx_scan", facts), &db, |b, db| {
+                b.iter(|| {
+                    let store = evaluate_scan(&cqa.program, db).unwrap();
+                    black_box(store.unary(cqa.o).unwrap().len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive_closure, bench_cqa_program);
+criterion_main!(benches);

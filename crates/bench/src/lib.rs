@@ -1,2 +1,4 @@
-//! Benchmark-only crate: all content lives in the Criterion benches
-//! under `benches/`; see EXPERIMENTS.md for the experiment index.
+//! Benchmark-only crate: all content lives in the Criterion benches under
+//! `benches/`. Run `scripts/bench_datalog.sh` at the repository root to
+//! produce `BENCH_datalog.json` (median ns/iter for the Datalog-relevant
+//! suites); `cargo bench -p cqa-bench` runs everything.

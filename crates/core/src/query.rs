@@ -17,7 +17,7 @@ use crate::symbol::{RelName, Symbol};
 use crate::word::Word;
 
 /// A query variable. Variables are identified by name.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Variable(pub Symbol);
 
 impl Variable {
@@ -50,7 +50,7 @@ impl fmt::Display for Variable {
 }
 
 /// A term of a generalized path query: a variable or a constant.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A query variable.
     Var(Variable),
@@ -107,7 +107,7 @@ impl fmt::Display for Term {
 }
 
 /// A single binary atom `R(s, t)` where the first position is the primary key.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Atom {
     /// The relation name.
     pub rel: RelName,
@@ -137,7 +137,7 @@ impl fmt::Debug for Atom {
 }
 
 /// A Boolean path query without constants, represented by its word.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PathQuery {
     word: Word,
 }
@@ -270,7 +270,7 @@ impl fmt::Display for Cap {
 /// A generalized path query (Definition 16): terms may be constants, every
 /// term is distinct, and every constant occurs at most twice — at a non-key
 /// position and the immediately following key position.
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct GeneralizedPathQuery {
     rels: Word,
     /// `terms.len() == rels.len() + 1`.

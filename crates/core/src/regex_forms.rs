@@ -151,6 +151,7 @@ fn template_b1(b: usize, c: usize, k: usize) -> Vec<Slot> {
 
 /// Extracts a concrete witness from a successful slot assignment: letters of
 /// covered slots come from `q`, uncovered slots receive fresh names.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (a, b, c, j, k) template parameters
 fn extract_witness(
     q: &Word,
     template: &[Slot],
@@ -204,6 +205,7 @@ fn extract_witness(
 
 /// Checks `q` against a slot template at a given offset; returns a witness on
 /// success.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (a, b, c, j, k) template parameters
 fn check_at(
     q: &Word,
     template: &[Slot],
@@ -225,11 +227,7 @@ fn check_at(
 }
 
 fn exponent_cap(n: usize, period: usize) -> usize {
-    if period == 0 {
-        1
-    } else {
-        n / period + 2
-    }
+    n.checked_div(period).map_or(1, |d| d + 2)
 }
 
 /// Returns a witness that `q` satisfies **B1**, if one exists.

@@ -7,9 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
-
-use parking_lot::RwLock;
+use std::sync::{OnceLock, RwLock};
 
 /// A handle to an interned string.
 ///
@@ -57,18 +55,21 @@ impl Symbol {
     pub fn new(s: &str) -> Symbol {
         // Fast path: read lock only.
         {
-            let guard = interner().read();
+            let guard = interner().read().expect("interner lock poisoned");
             if let Some(&id) = guard.index.get(s) {
                 return Symbol(id);
             }
         }
-        let mut guard = interner().write();
+        let mut guard = interner().write().expect("interner lock poisoned");
         Symbol(guard.intern(s))
     }
 
     /// Returns the interned string.
     pub fn as_str(&self) -> &'static str {
-        interner().read().resolve(self.0)
+        interner()
+            .read()
+            .expect("interner lock poisoned")
+            .resolve(self.0)
     }
 
     /// Returns the raw interner id. Useful as a dense index in hot code.
@@ -101,23 +102,10 @@ impl From<String> for Symbol {
     }
 }
 
-impl serde::Serialize for Symbol {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.as_str())
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Symbol {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Symbol, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Symbol::new(&s))
-    }
-}
-
 /// The name of a binary relation (e.g. `R`, `S`, `Follows`).
 ///
 /// The first position of every relation is its primary key, as in the paper.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelName(pub Symbol);
 
 impl RelName {

@@ -14,7 +14,7 @@ use std::ops::Index;
 use crate::symbol::RelName;
 
 /// A finite word over relation names. The empty word is allowed.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Word(Vec<RelName>);
 
 impl Word {

@@ -217,6 +217,80 @@ impl Rule {
     }
 }
 
+/// A dense numbering of a rule's variables.
+///
+/// Variables are assigned consecutive ids `0..count()` in first-occurrence
+/// order over the body (positive literals first, in body order, then negative
+/// and built-in literals) and finally the head. The engine's join planner
+/// uses the ids to replace name-keyed binding maps with a flat array indexed
+/// by variable id, so resolving a binding is a vector index instead of a map
+/// lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleVars {
+    order: Vec<Symbol>,
+}
+
+impl RuleVars {
+    /// Numbers the variables of a rule.
+    pub fn of(rule: &Rule) -> RuleVars {
+        let mut order: Vec<Symbol> = Vec::new();
+        let mut note = |term: &DlTerm| {
+            if let DlTerm::Var(v) = term {
+                if !order.contains(v) {
+                    order.push(*v);
+                }
+            }
+        };
+        for literal in &rule.body {
+            if let BodyLiteral::Positive(atom) = literal {
+                atom.args.iter().for_each(&mut note);
+            }
+        }
+        for literal in &rule.body {
+            match literal {
+                BodyLiteral::Positive(_) => {}
+                BodyLiteral::Negative(atom) => atom.args.iter().for_each(&mut note),
+                BodyLiteral::Builtin(b) => b.terms().iter().for_each(&mut note),
+            }
+        }
+        rule.head.args.iter().for_each(&mut note);
+        RuleVars { order }
+    }
+
+    /// The id of a variable, if it occurs in the rule.
+    pub fn id(&self, var: Symbol) -> Option<u32> {
+        // Rules are tiny (≤ ~12 variables); a linear scan over interned
+        // handles beats hashing.
+        self.order.iter().position(|&v| v == var).map(|i| i as u32)
+    }
+
+    /// Number of distinct variables.
+    pub fn count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The variable with the given id.
+    pub fn name(&self, id: u32) -> Symbol {
+        self.order[id as usize]
+    }
+}
+
+impl Rule {
+    /// Numbers this rule's variables (see [`RuleVars`]).
+    pub fn numbering(&self) -> RuleVars {
+        RuleVars::of(self)
+    }
+}
+
+impl Program {
+    /// Numbers the variables of every rule, in rule order. Generators that
+    /// construct programs once and evaluate them many times can compute this
+    /// eagerly and hand it to the engine alongside the program.
+    pub fn numberings(&self) -> Vec<RuleVars> {
+        self.rules.iter().map(RuleVars::of).collect()
+    }
+}
+
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} :- ", self.head)?;

@@ -18,11 +18,13 @@
 //! * `o(X)` — the predicate `O`: either `X` is spine-terminal, or a
 //!   consistent spine path leads from `X` to some `Y` with `p(Y)`.
 
+use std::collections::BTreeMap;
+
 use cqa_core::regex_forms::B2bDecomposition;
 use cqa_core::symbol::RelName;
 use cqa_core::word::Word;
 
-use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule};
+use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule, RuleVars};
 
 /// Names of the generated predicates, so that callers can query the result.
 #[derive(Debug, Clone)]
@@ -37,6 +39,11 @@ pub struct CqaProgram {
     pub uvpath: Predicate,
     /// The decomposition the program was generated from.
     pub decomposition: B2bDecomposition,
+    /// Pre-computed variable numberings, one per rule in `program.rules`
+    /// order. The program is generated once and evaluated many times, so the
+    /// numbering pass the engine's join planner needs is emitted here rather
+    /// than recomputed per evaluation.
+    pub numberings: Vec<RuleVars>,
 }
 
 fn rel_pred(rel: RelName) -> Predicate {
@@ -46,8 +53,26 @@ fn rel_pred(rel: RelName) -> Predicate {
     }
 }
 
-fn key_pred(rel: RelName) -> Predicate {
-    Predicate::new(&format!("key_{rel}"), 1)
+/// Interned `key_R/1` predicates, computed once per relation name: the
+/// terminal rules reference them once per word position, and interning a
+/// formatted string each time would hit the global interner lock in a loop.
+struct KeyPreds {
+    map: BTreeMap<RelName, Predicate>,
+}
+
+impl KeyPreds {
+    fn for_relations(rels: &[RelName]) -> KeyPreds {
+        KeyPreds {
+            map: rels
+                .iter()
+                .map(|&rel| (rel, Predicate::new(&format!("key_{rel}"), 1)))
+                .collect(),
+        }
+    }
+
+    fn get(&self, rel: RelName) -> Predicate {
+        self.map[&rel]
+    }
 }
 
 fn var(prefix: &str, i: usize) -> DlTerm {
@@ -85,7 +110,7 @@ fn consistency_constraints(body: &mut Vec<BodyLiteral>, word: &Word, prefix: &st
 /// Generates the terminal rules for a word: `terminal(X0)` holds iff some
 /// consistent path with a proper-prefix trace of `word` starting at `X0`
 /// reaches a vertex with no outgoing edge for the next relation name.
-fn terminal_rules(program: &mut Program, terminal: Predicate, word: &Word) {
+fn terminal_rules(program: &mut Program, terminal: Predicate, word: &Word, keys: &KeyPreds) {
     if word.is_empty() {
         return;
     }
@@ -94,7 +119,7 @@ fn terminal_rules(program: &mut Program, terminal: Predicate, word: &Word) {
         DlAtom::new(terminal, vec![var("T", 0)]),
         vec![
             BodyLiteral::Positive(DlAtom::new(Predicate::new("adom", 1), vec![var("T", 0)])),
-            BodyLiteral::Negative(DlAtom::new(key_pred(word[0]), vec![var("T", 0)])),
+            BodyLiteral::Negative(DlAtom::new(keys.get(word[0]), vec![var("T", 0)])),
         ],
     ));
     for i in 1..word.len() {
@@ -103,7 +128,7 @@ fn terminal_rules(program: &mut Program, terminal: Predicate, word: &Word) {
         chain_atoms(&mut body, &prefix, "T");
         consistency_constraints(&mut body, &prefix, "T");
         body.push(BodyLiteral::Negative(DlAtom::new(
-            key_pred(word[i]),
+            keys.get(word[i]),
             vec![var("T", i)],
         )));
         program.add_rule(Rule::new(DlAtom::new(terminal, vec![var("T", 0)]), body));
@@ -138,11 +163,12 @@ pub fn generate_program(decomposition: &B2bDecomposition, query: &Word) -> Optio
     for &rel in &rels {
         program.declare_edb(rel_pred(rel));
     }
+    let keys = KeyPreds::for_relations(&rels);
 
     // key_R(X) :- R(X, Y).
     for &rel in &rels {
         program.add_rule(Rule::new(
-            DlAtom::new(key_pred(rel), vec![DlTerm::var("X")]),
+            DlAtom::new(keys.get(rel), vec![DlTerm::var("X")]),
             vec![BodyLiteral::Positive(DlAtom::new(
                 rel_pred(rel),
                 vec![DlTerm::var("X"), DlTerm::var("Y")],
@@ -157,9 +183,9 @@ pub fn generate_program(decomposition: &B2bDecomposition, query: &Word) -> Optio
     let p = Predicate::new("p", 1);
     let o = Predicate::new("o", 1);
 
-    terminal_rules(&mut program, uvterminal, &uv);
-    terminal_rules(&mut program, wvterminal, &wv);
-    terminal_rules(&mut program, spine_terminal, &spine);
+    terminal_rules(&mut program, uvterminal, &uv, &keys);
+    terminal_rules(&mut program, wvterminal, &wv, &keys);
+    terminal_rules(&mut program, spine_terminal, &spine, &keys);
 
     // uvpath(X0, Xn) :- wvterminal(X0), uv-chain, wvterminal(Xn).
     {
@@ -245,12 +271,14 @@ pub fn generate_program(decomposition: &B2bDecomposition, query: &Word) -> Optio
         program.add_rule(Rule::new(DlAtom::new(o, vec![var("S", 0)]), body));
     }
 
+    let numberings = program.numberings();
     Some(CqaProgram {
         program,
         o,
         p,
         uvpath,
         decomposition: decomposition.clone(),
+        numberings,
     })
 }
 
@@ -280,7 +308,7 @@ mod tests {
     fn certain_via_datalog(db: &DatabaseInstance, word: &str) -> bool {
         let cqa = program_for(word);
         let store = evaluate(&cqa.program, db).unwrap();
-        let o_holds = store.unary(cqa.o);
+        let o_holds = store.unary(cqa.o).unwrap();
         db.adom().iter().any(|c| !o_holds.contains(&c.symbol()))
     }
 

@@ -21,13 +21,17 @@
 pub mod ast;
 pub mod cqa_program;
 pub mod engine;
+mod plan;
 pub mod stratify;
+pub mod tuple;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule};
+    pub use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule, RuleVars};
     pub use crate::cqa_program::{generate_program, CqaProgram};
-    pub use crate::engine::{edb_from_instance, evaluate, Evaluator, RelationStore, Tuple};
+    pub use crate::engine::{
+        edb_from_instance, evaluate, reference::evaluate_scan, Evaluator, RelationStore, Tuple,
+    };
     pub use crate::stratify::{is_linear, stratify, Stratification, StratifyError};
     pub use cqa_core::regex_forms::b2b_strict_decomposition;
 }

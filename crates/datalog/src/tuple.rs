@@ -1,0 +1,227 @@
+//! Compact tuple storage for the engine.
+//!
+//! Derived relations hold millions of short tuples (the CQA programs of
+//! Lemma 14 use arities 1 and 2 exclusively), so tuples up to
+//! [`INLINE_ARITY`] symbols are stored inline without heap allocation; longer
+//! tuples spill to a `Vec`. [`Symbol`]s are 4-byte interner handles, making
+//! the inline representation a small, copy-friendly array.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::OnceLock;
+
+use cqa_core::symbol::Symbol;
+
+/// Maximum arity stored inline (without heap allocation).
+pub const INLINE_ARITY: usize = 4;
+
+/// Padding value for unused inline slots; never observed through the public
+/// API (all accessors go through `as_slice`, which truncates to `len`).
+fn pad() -> Symbol {
+    static PAD: OnceLock<Symbol> = OnceLock::new();
+    *PAD.get_or_init(|| Symbol::new(""))
+}
+
+/// A tuple of constants with inline storage for small arities.
+#[derive(Clone)]
+pub struct Tuple {
+    len: u32,
+    inline: [Symbol; INLINE_ARITY],
+    spill: Vec<Symbol>,
+}
+
+impl Tuple {
+    /// The empty tuple.
+    pub fn new() -> Tuple {
+        Tuple::from_slice(&[])
+    }
+
+    /// Builds a tuple from a slice of symbols.
+    pub fn from_slice(symbols: &[Symbol]) -> Tuple {
+        if symbols.len() <= INLINE_ARITY {
+            let mut inline = [pad(); INLINE_ARITY];
+            inline[..symbols.len()].copy_from_slice(symbols);
+            Tuple {
+                len: symbols.len() as u32,
+                inline,
+                spill: Vec::new(),
+            }
+        } else {
+            Tuple {
+                len: symbols.len() as u32,
+                inline: [pad(); INLINE_ARITY],
+                spill: symbols.to_vec(),
+            }
+        }
+    }
+
+    /// The tuple's symbols.
+    pub fn as_slice(&self) -> &[Symbol] {
+        if self.len as usize <= INLINE_ARITY {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of symbols.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Appends a symbol (used by index-key construction).
+    pub fn push(&mut self, s: Symbol) {
+        let n = self.len as usize;
+        if n < INLINE_ARITY {
+            self.inline[n] = s;
+        } else {
+            if n == INLINE_ARITY {
+                self.spill.reserve(INLINE_ARITY + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(s);
+        }
+        self.len += 1;
+    }
+
+    /// Removes all symbols, keeping the spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+impl Default for Tuple {
+    fn default() -> Tuple {
+        Tuple::new()
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Symbol];
+
+    fn deref(&self) -> &[Symbol] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[Symbol]> for Tuple {
+    fn borrow(&self) -> &[Symbol] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with the `Hash` of `[Symbol]` so that a `HashSet<Tuple>`
+        // can be probed with a `&[Symbol]` through `Borrow`.
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Tuple) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Tuple) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<&[Symbol]> for Tuple {
+    fn from(s: &[Symbol]) -> Tuple {
+        Tuple::from_slice(s)
+    }
+}
+
+impl From<Vec<Symbol>> for Tuple {
+    fn from(v: Vec<Symbol>) -> Tuple {
+        Tuple::from_slice(&v)
+    }
+}
+
+impl<const N: usize> From<[Symbol; N]> for Tuple {
+    fn from(a: [Symbol; N]) -> Tuple {
+        Tuple::from_slice(&a)
+    }
+}
+
+impl FromIterator<Symbol> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Tuple {
+        let mut t = Tuple::new();
+        for s in iter {
+            t.push(s);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    #[test]
+    fn inline_and_spilled_tuples_agree() {
+        let short = Tuple::from_slice(&[sym("a"), sym("b")]);
+        assert_eq!(short.len(), 2);
+        assert_eq!(short.as_slice(), &[sym("a"), sym("b")]);
+        let long: Tuple = (0..7).map(|i| sym(&format!("s{i}"))).collect();
+        assert_eq!(long.len(), 7);
+        assert_eq!(long[6], sym("s6"));
+    }
+
+    #[test]
+    fn push_crosses_the_inline_boundary() {
+        let mut t = Tuple::new();
+        for i in 0..6 {
+            t.push(sym(&format!("x{i}")));
+            assert_eq!(t.len(), i + 1);
+            assert_eq!(t[i], sym(&format!("x{i}")));
+        }
+        assert_eq!(t.as_slice().len(), 6);
+        t.clear();
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn hash_set_probes_with_slices() {
+        let mut set: HashSet<Tuple> = HashSet::new();
+        set.insert(Tuple::from_slice(&[sym("k"), sym("v")]));
+        assert!(set.contains([sym("k"), sym("v")].as_slice()));
+        assert!(!set.contains([sym("k"), sym("w")].as_slice()));
+    }
+
+    #[test]
+    fn equality_ignores_padding() {
+        let a = Tuple::from_slice(&[sym("x")]);
+        let mut b = Tuple::new();
+        b.push(sym("x"));
+        assert_eq!(a, b);
+        assert_ne!(a, Tuple::new());
+    }
+}

@@ -1,17 +1,16 @@
-//! Textual and serde encodings of database instances.
+//! Textual encodings of database instances.
 //!
 //! The text format is one fact per line: `R key value`, with `#`-comments and
 //! blank lines ignored. It is convenient for checked-in test fixtures and for
-//! piping instances between the example binaries.
-
-use serde::{Deserialize, Serialize};
+//! piping instances between the example binaries. The `*Repr` types are
+//! plain-data mirrors of the interned types, suitable for any serializer.
 
 use crate::error::DbError;
 use crate::fact::Fact;
 use crate::instance::DatabaseInstance;
 
 /// Serializable representation of a fact.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FactRepr {
     /// Relation name.
     pub rel: String,
@@ -38,7 +37,7 @@ impl From<&FactRepr> for Fact {
 }
 
 /// Serializable representation of a whole instance.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct InstanceRepr {
     /// All facts of the instance.
     pub facts: Vec<FactRepr>,
@@ -120,14 +119,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_via_repr() {
+    fn repr_round_trip() {
         let mut db = DatabaseInstance::new();
         db.insert_parsed("R", "0", "1");
         db.insert_parsed("S", "1", "2");
         let repr = InstanceRepr::from(&db);
         let back = DatabaseInstance::from(&repr);
         assert_eq!(db, back);
-        // Representations are plain data and therefore serde-serializable.
+        // Representations are plain data, renderable by any serializer.
         let json_like = format!("{repr:?}");
         assert!(json_like.contains("\"R\"") || json_like.contains("rel"));
     }

@@ -5,7 +5,7 @@ use std::fmt;
 use cqa_core::symbol::{RelName, Symbol};
 
 /// A database constant (an element of the active domain).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Constant(pub Symbol);
 
 impl Constant {
@@ -56,7 +56,7 @@ impl From<Symbol> for Constant {
 
 /// A fact `R(key, value)` over a binary relation whose first position is the
 /// primary key.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fact {
     /// The relation name.
     pub rel: RelName,
@@ -106,7 +106,7 @@ impl fmt::Display for Fact {
 
 /// Identifier of a block: a relation name together with a primary-key value.
 /// The block `R(c, ∗)` contains all facts with relation name `R` and key `c`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId {
     /// The relation name.
     pub rel: RelName,
@@ -127,7 +127,7 @@ impl fmt::Display for BlockId {
 }
 
 /// A stable identifier of a fact within a [`crate::instance::DatabaseInstance`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct FactId(pub u32);
 
 impl FactId {

@@ -99,6 +99,21 @@ impl DatabaseInstance {
         self.facts.iter().map(|f| f.rel).collect()
     }
 
+    /// The facts grouped by relation name, `(key, value)` pairs in insertion
+    /// order within each group. This is the bulk-load entry point for engines
+    /// that want per-relation slices with exact counts (e.g. the Datalog
+    /// engine's EDB loader) instead of re-dispatching fact by fact.
+    pub fn facts_by_relation(&self) -> BTreeMap<RelName, Vec<(Constant, Constant)>> {
+        let mut grouped: BTreeMap<RelName, Vec<(Constant, Constant)>> = BTreeMap::new();
+        for fact in &self.facts {
+            grouped
+                .entry(fact.rel)
+                .or_default()
+                .push((fact.key, fact.value));
+        }
+        grouped
+    }
+
     /// Iterator over the blocks (block id and member fact ids).
     pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &[FactId])> {
         self.blocks.iter().map(|(id, v)| (*id, v.as_slice()))

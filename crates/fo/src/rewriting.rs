@@ -370,8 +370,7 @@ mod tests {
     #[test]
     fn rewriting_size_is_linear_in_query_length() {
         for len in 1..=8 {
-            let word: Word = std::iter::repeat(cqa_core::symbol::RelName::new("R"))
-                .take(len)
+            let word: Word = std::iter::repeat_n(cqa_core::symbol::RelName::new("R"), len)
                 .collect();
             let phi = c1_rewriting(&word);
             assert!(phi.size() <= 6 * len + 2, "rewriting too large for length {len}");

@@ -1,0 +1,227 @@
+//! Property-based tests of the classification machinery and the solvers: the
+//! combinatorial lemmas of Section 4, the monotonicity of the complexity
+//! classes, and end-to-end agreement between the dispatcher and the oracle on
+//! randomly generated queries and instances.
+//!
+//! Cases are generated with a seeded [`rand::rngs::StdRng`], so every run
+//! explores the same space deterministically; failures print the offending
+//! query/instance for direct reproduction.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng as _};
+
+use path_cqa::prelude::*;
+
+const CASES: usize = 64;
+
+/// A random word over the given alphabet, as a `String` of single letters.
+fn random_word(rng: &mut StdRng, alphabet: &str, max_len: usize) -> String {
+    let letters: Vec<char> = alphabet.chars().collect();
+    let len = rng.random_range(1..=max_len);
+    (0..len)
+        .map(|_| letters[rng.random_range(0..letters.len())])
+        .collect()
+}
+
+/// A random small database instance over the given letters.
+fn random_facts(rng: &mut StdRng, letters: &str) -> Vec<(char, u8, u8)> {
+    let alphabet: Vec<char> = letters.chars().collect();
+    let n = rng.random_range(1..12usize);
+    (0..n)
+        .map(|_| {
+            (
+                alphabet[rng.random_range(0..alphabet.len())],
+                rng.random_range(0..5u8),
+                rng.random_range(0..5u8),
+            )
+        })
+        .collect()
+}
+
+fn build_db(facts: &[(char, u8, u8)]) -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    for &(rel, a, b) in facts {
+        db.insert_parsed(&rel.to_string(), &format!("v{a}"), &format!("v{b}"));
+    }
+    db
+}
+
+/// A random instance whose repair count respects the given cap (rejection
+/// sampling, mirroring `prop_assume!`).
+fn capped_db(rng: &mut StdRng, letters: &str, max_repairs: u128) -> DatabaseInstance {
+    loop {
+        let db = build_db(&random_facts(rng, letters));
+        if db.repair_count() <= max_repairs {
+            return db;
+        }
+    }
+}
+
+/// Proposition 1: C1 ⇒ C2 ⇒ C3, and the B-forms match (Lemmas 1–3).
+#[test]
+fn conditions_form_a_chain_and_match_the_regex_forms() {
+    let mut rng = StdRng::seed_from_u64(0xC1C2C3);
+    for _ in 0..CASES {
+        let word = random_word(&mut rng, "RST", 6);
+        let w = Word::from_letters(&word);
+        let c1 = satisfies_c1(&w);
+        let c2 = satisfies_c2(&w);
+        let c3 = satisfies_c3(&w);
+        assert!(!c1 || c2, "C1 must imply C2 for {word}");
+        assert!(!c2 || c3, "C2 must imply C3 for {word}");
+        assert_eq!(c1, satisfies_b1(&w), "Lemma 1 fails for {word}");
+        assert_eq!(
+            c2,
+            satisfies_b2a(&w) || satisfies_b2b(&w),
+            "Lemma 3 fails for {word}"
+        );
+        assert_eq!(
+            c3,
+            satisfies_b2a(&w) || satisfies_b2b(&w) || satisfies_b3(&w),
+            "Lemma 2 fails for {word}"
+        );
+    }
+}
+
+/// Rewinding never makes a condition easier to satisfy in the wrong
+/// direction: if `q` satisfies C1 then `q` is a prefix of each single rewind;
+/// if it satisfies C3 then a factor (Lemma 5, bounded form).
+#[test]
+fn rewinds_respect_prefix_and_factor_containment() {
+    let mut rng = StdRng::seed_from_u64(0x5E11);
+    for _ in 0..CASES {
+        let word = random_word(&mut rng, "RST", 6);
+        let w = Word::from_letters(&word);
+        for (_, _, rewound) in w.rewinds() {
+            if satisfies_c1(&w) {
+                assert!(w.is_prefix_of(&rewound), "{word}: not a prefix of {rewound}");
+            }
+            if satisfies_c3(&w) {
+                assert!(w.is_factor_of(&rewound), "{word}: not a factor of {rewound}");
+            }
+        }
+    }
+}
+
+/// The strict B2b decomposition, when it exists, reassembles the query and
+/// has a self-join-free core.
+#[test]
+fn strict_decompositions_reassemble() {
+    let mut rng = StdRng::seed_from_u64(0xB2B);
+    for _ in 0..CASES {
+        let word = random_word(&mut rng, "RST", 6);
+        let w = Word::from_letters(&word);
+        if let Some(dec) = b2b_strict_decomposition(&w) {
+            assert_eq!(dec.reassemble(), w, "{word}: reassembly mismatch");
+            assert!(
+                dec.u.concat(&dec.v).concat(&dec.w).is_self_join_free(),
+                "{word}: core has a self-join"
+            );
+            assert!(dec.k >= 1, "{word}: k must be positive");
+        }
+    }
+}
+
+/// NFA(q) accepts the query itself and every single-step rewind of it.
+///
+/// Note: the full closure `L↬(q)` of Definition 4 is *not* always accepted —
+/// rewinding an already-rewound word at a position that is not aligned with a
+/// prefix of `q` can leave the automaton's language (e.g. `q = TSST` and the
+/// twice-rewound word `TSSTSTSST`). The paper's algorithms only use the
+/// automaton itself, which is what the solvers here are built on and
+/// validated against.
+#[test]
+fn query_nfa_accepts_single_rewinds() {
+    let mut rng = StdRng::seed_from_u64(0xFA);
+    for _ in 0..CASES {
+        let word = random_word(&mut rng, "RST", 5);
+        let w = Word::from_letters(&word);
+        let q = PathQuery::new(w.clone()).unwrap();
+        let a = QueryNfa::new(&q);
+        assert!(a.accepts(&w), "NFA({w}) must accept {w}");
+        for (_, _, p) in w.rewinds() {
+            assert!(a.accepts(&p), "NFA({w}) must accept {p}");
+        }
+    }
+}
+
+/// End-to-end: the dispatcher agrees with the exhaustive oracle on random
+/// queries and random instances (capped repair count).
+#[test]
+fn dispatcher_agrees_with_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD15);
+    for _ in 0..CASES {
+        let word = random_word(&mut rng, "RST", 4);
+        let q = PathQuery::parse(&word).unwrap();
+        let db = capped_db(&mut rng, "RST", 1 << 10);
+        let expected = NaiveSolver::default().certain(&q, &db).unwrap();
+        let got = solve_certainty(&q, &db).unwrap();
+        assert_eq!(got, expected, "query {word} on {db:?}");
+    }
+}
+
+/// The SAT-based solver agrees with the oracle on arbitrary queries.
+#[test]
+fn sat_solver_agrees_with_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x5A7);
+    for _ in 0..CASES {
+        let word = random_word(&mut rng, "RST", 4);
+        let q = PathQuery::parse(&word).unwrap();
+        let db = capped_db(&mut rng, "RST", 1 << 10);
+        let expected = NaiveSolver::default().certain(&q, &db).unwrap();
+        let got = SatCertaintySolver::default().certain(&q, &db).unwrap();
+        assert_eq!(got, expected, "query {word} on {db:?}");
+    }
+}
+
+/// Adding a constant cap never turns a tractable query intractable
+/// (Theorem 5: with constants there is no PTIME-complete case), and the
+/// generalized solver agrees with the generalized oracle.
+#[test]
+fn generalized_queries_are_consistent_with_the_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x6E6);
+    for _ in 0..CASES {
+        let word = random_word(&mut rng, "RST", 3);
+        let q = PathQuery::parse(&word).unwrap();
+        let db = capped_db(&mut rng, "RST", 1 << 10);
+        let cap = rng.random_range(0..5u8);
+        let capped = q.ending_at(Symbol::new(&format!("v{cap}")));
+        let class = classify_generalized(&capped).class;
+        assert_ne!(
+            class,
+            ComplexityClass::PtimeComplete,
+            "{word} capped at v{cap}"
+        );
+        if class != ComplexityClass::CoNpComplete {
+            let solver = GeneralizedSolver::new();
+            let expected = NaiveSolver::default()
+                .certain_generalized(&capped, &db)
+                .unwrap();
+            assert_eq!(
+                solver.certain(&capped, &db).unwrap(),
+                expected,
+                "{word} capped at v{cap} on {db:?}"
+            );
+        }
+    }
+}
+
+/// Repairs produced by the iterator are exactly the maximal consistent
+/// subinstances: right count, all consistent, all subsets, pairwise distinct.
+#[test]
+fn repair_enumeration_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x4E9);
+    for _ in 0..CASES {
+        let db = capped_db(&mut rng, "RS", 1 << 8);
+        let repairs: Vec<ConsistentInstance> = db.repairs().collect();
+        assert_eq!(repairs.len() as u128, db.repair_count());
+        for r in &repairs {
+            assert!(r.is_repair_of(&db), "not a repair of {db:?}");
+        }
+        for i in 0..repairs.len() {
+            for j in i + 1..repairs.len() {
+                assert_ne!(&repairs[i], &repairs[j], "duplicate repairs of {db:?}");
+            }
+        }
+    }
+}

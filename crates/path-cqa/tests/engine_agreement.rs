@@ -1,0 +1,202 @@
+//! Property test: the indexed Datalog engine and the retained scan-based
+//! reference engine derive **identical** relation stores on random stratified
+//! programs over random instances.
+//!
+//! Programs are generated level by level so stratification holds by
+//! construction: a rule's positive literals draw from its own level or below
+//! (same-level atoms make the rule recursive), negative literals only from
+//! strictly lower levels, and built-ins only over variables bound by the
+//! positive part — which also makes every rule safe. Instances come from the
+//! seeded generators in `cqa_workloads::random`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng as _};
+
+use cqa_datalog::prelude::*;
+use cqa_workloads::random::RandomInstanceConfig;
+
+const VARS: [&str; 6] = ["A", "B", "C", "D", "E", "F"];
+
+struct ProgramGen {
+    rng: StdRng,
+}
+
+impl ProgramGen {
+    fn new(seed: u64) -> ProgramGen {
+        ProgramGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.rng.random_range(0..xs.len())]
+    }
+
+    fn pick_str<'a>(&mut self, xs: &[&'a str]) -> &'a str {
+        xs[self.rng.random_range(0..xs.len())]
+    }
+
+    /// A random term: usually a variable, occasionally a constant drawn from
+    /// the instance generator's domain (`c0..c4`, matching
+    /// [`RandomInstanceConfig`]'s `Constant::numbered` names).
+    fn term(&mut self, vars_in_scope: &[&str]) -> DlTerm {
+        if self.rng.random_bool(0.15) {
+            DlTerm::constant(&format!("c{}", self.rng.random_range(0..5usize)))
+        } else {
+            DlTerm::var(self.pick_str(vars_in_scope))
+        }
+    }
+
+    fn atom(&mut self, pred: Predicate, vars_in_scope: &[&str]) -> DlAtom {
+        let args = (0..pred.arity).map(|_| self.term(vars_in_scope)).collect();
+        DlAtom::new(pred, args)
+    }
+
+    /// A random safe rule for `head_pred` whose positive literals use
+    /// `positive_preds` and whose negative literals use `negative_preds`.
+    fn rule(
+        &mut self,
+        head_pred: Predicate,
+        positive_preds: &[Predicate],
+        negative_preds: &[Predicate],
+    ) -> Rule {
+        let num_positives = self.rng.random_range(1..=3usize);
+        let mut body: Vec<BodyLiteral> = Vec::new();
+        for _ in 0..num_positives {
+            let pred = *self.pick(positive_preds);
+            body.push(BodyLiteral::Positive(self.atom(pred, &VARS)));
+        }
+        // Variables bound by the positive part; everything else must draw
+        // from these (or constants) to keep the rule safe.
+        let bound: Vec<&str> = body
+            .iter()
+            .flat_map(|l| l.vars())
+            .map(|v| v.as_str())
+            .collect();
+        if bound.is_empty() {
+            // All-constant body: head must be all-constant too.
+            let args = (0..head_pred.arity)
+                .map(|_| DlTerm::constant(&format!("c{}", self.rng.random_range(0..5usize))))
+                .collect();
+            return Rule::new(DlAtom::new(head_pred, args), body);
+        }
+        if !negative_preds.is_empty() && self.rng.random_bool(0.4) {
+            let pred = *self.pick(negative_preds);
+            body.push(BodyLiteral::Negative(self.atom(pred, &bound)));
+        }
+        if self.rng.random_bool(0.4) {
+            let a = DlTerm::var(self.pick_str(&bound));
+            let b = DlTerm::var(self.pick_str(&bound));
+            body.push(BodyLiteral::Builtin(if self.rng.random_bool(0.5) {
+                Builtin::Neq(a, b)
+            } else {
+                Builtin::Eq(a, b)
+            }));
+        }
+        let head_args = (0..head_pred.arity)
+            .map(|_| {
+                if self.rng.random_bool(0.1) {
+                    DlTerm::constant(&format!("c{}", self.rng.random_range(0..5usize)))
+                } else {
+                    DlTerm::var(self.pick_str(&bound))
+                }
+            })
+            .collect();
+        Rule::new(DlAtom::new(head_pred, head_args), body)
+    }
+
+    /// A random stratified program over the binary EDB relations `R`, `S`.
+    fn program(&mut self) -> Program {
+        let edb = vec![
+            Predicate::new("R", 2),
+            Predicate::new("S", 2),
+            Predicate::new("adom", 1),
+        ];
+        let mut program = Program::new();
+        for &p in &edb {
+            program.declare_edb(p);
+        }
+        let levels = self.rng.random_range(1..=3usize);
+        let mut lower: Vec<Predicate> = edb.clone();
+        for level in 0..levels {
+            let preds_here: Vec<Predicate> = (0..self.rng.random_range(1..=2usize))
+                .map(|j| {
+                    Predicate::new(
+                        &format!("idb_{level}_{j}"),
+                        self.rng.random_range(1..=2usize),
+                    )
+                })
+                .collect();
+            for &head in &preds_here {
+                // Positive literals may use this level's predicates
+                // (recursion) or anything below; negation only strictly
+                // below.
+                let mut positive_pool = lower.clone();
+                positive_pool.extend(&preds_here);
+                for _ in 0..self.rng.random_range(1..=3usize) {
+                    program.add_rule(self.rule(head, &positive_pool, &lower));
+                }
+            }
+            lower.extend(preds_here);
+        }
+        program
+    }
+}
+
+#[test]
+fn indexed_engine_agrees_with_scan_reference_on_random_programs() {
+    let mut checked = 0;
+    for program_seed in 0..50u64 {
+        let mut gen = ProgramGen::new(0xA6BEE + program_seed);
+        let program = gen.program();
+        assert!(program.is_safe(), "generator must produce safe programs");
+        for instance_seed in 0..4u64 {
+            let db = RandomInstanceConfig::new(
+                "RS",
+                5,
+                6 + (instance_seed as usize) * 5,
+                0xDB + program_seed * 31 + instance_seed,
+            )
+            .generate();
+            let indexed = evaluate(&program, &db)
+                .unwrap_or_else(|e| panic!("indexed engine failed: {e}\n{program}"));
+            let scanned = evaluate_scan(&program, &db)
+                .unwrap_or_else(|e| panic!("scan engine failed: {e}\n{program}"));
+            assert_eq!(
+                indexed, scanned,
+                "engines disagree (program seed {program_seed}, instance seed \
+                 {instance_seed})\nprogram:\n{program}\ninstance: {db:?}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 200, "need at least 200 agreement pairs, got {checked}");
+}
+
+#[test]
+fn engines_agree_on_generated_cqa_programs() {
+    // The real workload: the linear Lemma 14 programs over random instances.
+    use cqa_core::query::PathQuery;
+
+    for word in ["RRX", "RXRY", "UVUVWV"] {
+        let q = PathQuery::parse(word).unwrap();
+        let Some(dec) = b2b_strict_decomposition(q.word()) else {
+            continue;
+        };
+        let Some(cqa) = generate_program(&dec, q.word()) else {
+            continue;
+        };
+        for seed in 0..10u64 {
+            let db = RandomInstanceConfig::new(
+                if word == "UVUVWV" { "UVW" } else { "RXY" },
+                5,
+                12,
+                0xCAA + seed,
+            )
+            .generate();
+            let indexed = evaluate(&cqa.program, &db).unwrap();
+            let scanned = evaluate_scan(&cqa.program, &db).unwrap();
+            assert_eq!(indexed, scanned, "disagreement on {word}, seed {seed}");
+        }
+    }
+}

@@ -34,6 +34,7 @@ impl FreshConstants {
     }
 
     /// The next fresh constant.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, infallible
     pub fn next(&mut self) -> Constant {
         let c = Constant::new(&format!("__{}_{}", self.prefix, self.counter));
         self.counter += 1;

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! workspace ships the subset of the Criterion API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark is calibrated with a single timed call,
+//! then run for `sample_size` samples of `iters` calls each; the reported
+//! statistic is the **median ns per iteration** across samples (median is
+//! robust to scheduler noise, matching Criterion's reporting spirit).
+//!
+//! Environment knobs:
+//!
+//! * `CQA_BENCH_JSON` — append one JSON line per benchmark
+//!   (`{"group":…,"id":…,"median_ns":…}`) to the given file; used by
+//!   `scripts/bench_datalog.sh` to assemble `BENCH_datalog.json`.
+//! * `CQA_BENCH_TARGET_MS` — per-benchmark time budget in milliseconds
+//!   (default 300).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_benchmark("", id, 20, f);
+    }
+}
+
+/// Throughput annotation; accepted for API compatibility, not reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function-name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the throughput annotation (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.name, &id.full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(&self.name, id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of the routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn target_budget() -> Duration {
+    let ms = std::env::var("CQA_BENCH_TARGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(10))
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usize, mut f: F) {
+    // Calibration: one iteration, also serves as warm-up.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let est = bencher.elapsed.max(Duration::from_nanos(1));
+
+    let budget = target_budget();
+    let mut samples = sample_size.clamp(3, 200);
+    let per_sample = budget / samples as u32;
+    let iters = if est >= per_sample {
+        // Slow routine: one call per sample, shrink the sample count so the
+        // total stays within ~3x the budget.
+        let max_samples = (budget.as_nanos().saturating_mul(3) / est.as_nanos()).max(3) as usize;
+        samples = samples.min(max_samples);
+        1
+    } else {
+        (per_sample.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64
+    };
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    eprintln!("bench {full:<60} median {median:>14.1} ns/iter ({samples} samples x {iters} iters)");
+
+    if let Ok(path) = std::env::var("CQA_BENCH_JSON") {
+        // Fail loudly at the cause: a silently missing JSONL line would only
+        // surface later as a confusing error in scripts/bench_datalog.sh.
+        let result = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut file| {
+                writeln!(
+                    file,
+                    "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.1},\"samples\":{},\"iters\":{}}}",
+                    escape(group),
+                    escape(id),
+                    median,
+                    samples,
+                    iters
+                )
+            });
+        if let Err(e) = result {
+            panic!("CQA_BENCH_JSON: cannot write {path}: {e}");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Declares a benchmark entry point running each function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-selftest");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &41u64, |b, &x| {
+            ran = true;
+            b.iter(|| x + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

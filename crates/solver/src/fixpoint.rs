@@ -128,7 +128,7 @@ pub fn compute_fixpoint(query: &PathQuery, db: &DatabaseInstance) -> FixpointRun
                 insert(key, state - 1, &mut n, &mut order, &mut queue);
                 // Backward additions: every longer prefix w with a backward
                 // transition to u (same last relation name).
-                if state - 1 >= 1 {
+                if state > 1 {
                     for w in automaton.backward_predecessors(state - 1) {
                         insert(key, w, &mut n, &mut order, &mut queue);
                     }

@@ -208,10 +208,12 @@ impl NlSolver {
         let Some(cqa) = generate_program(dec, query.word()) else {
             return self.fallback(query, db);
         };
-        let store = Evaluator::new(&cqa.program)
+        let store = Evaluator::with_numberings(&cqa.program, &cqa.numberings)
             .run(db)
             .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;
-        let o_holds = store.unary(cqa.o);
+        let o_holds = store
+            .unary(cqa.o)
+            .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;
         Ok(db.adom().iter().any(|c| !o_holds.contains(&c.symbol())))
     }
 

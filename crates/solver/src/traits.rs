@@ -63,8 +63,8 @@ mod tests {
         let q = PathQuery::parse("R").unwrap();
         let db = DatabaseInstance::new();
         let solver = AlwaysYes;
-        assert_eq!((&solver).name(), "always-yes");
-        assert!((&solver).certain(&q, &db).unwrap());
+        assert_eq!(solver.name(), "always-yes");
+        assert!(solver.certain(&q, &db).unwrap());
         let boxed: Box<dyn CertaintySolver> = Box::new(AlwaysYes);
         assert!(boxed.certain(&q, &db).unwrap());
     }

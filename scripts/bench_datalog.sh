@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the Datalog-relevant benchmarks and assembles BENCH_datalog.json at
+# the repository root: one entry per benchmark with the median ns/iter, for
+# the `datalog_engine` (scan vs indexed before/after), `nl_vs_ptime` and
+# `certainty_scaling` suites. Future PRs re-run this script to extend the
+# perf trajectory.
+#
+# Usage: scripts/bench_datalog.sh
+# Knobs: CQA_BENCH_TARGET_MS (per-benchmark budget, default 300).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with their package directory as
+# cwd, so a relative path would land inside crates/bench/.
+jsonl="$(pwd)/target/bench_datalog.jsonl"
+mkdir -p target
+rm -f "$jsonl"
+
+CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
+    --bench datalog_engine \
+    --bench nl_vs_ptime \
+    --bench certainty_scaling
+
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+{
+    echo '{'
+    echo "  \"revision\": \"${rev}\","
+    echo '  "unit": "median_ns_per_iter",'
+    echo '  "benches": ['
+    sed 's/^/    /' "$jsonl" | sed '$!s/$/,/'
+    echo '  ]'
+    echo '}'
+} > BENCH_datalog.json
+
+echo "wrote BENCH_datalog.json ($(grep -c median_ns "$jsonl") benchmarks, revision ${rev})"
