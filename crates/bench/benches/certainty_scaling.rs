@@ -9,6 +9,15 @@ use cqa_core::query::PathQuery;
 use cqa_solver::prelude::*;
 use cqa_workloads::random::LayeredConfig;
 
+/// Largest instance any solver is asked to handle; `CQA_BENCH_MAX_FACTS`
+/// caps it for CI smoke runs.
+fn max_facts() -> usize {
+    std::env::var("CQA_BENCH_MAX_FACTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("certainty_scaling");
     group.sample_size(10);
@@ -24,6 +33,9 @@ fn bench_scaling(c: &mut Criterion) {
         let q = PathQuery::parse(word).unwrap();
         for width in [50usize, 200, 800] {
             let db = LayeredConfig::for_word(q.word(), width, 0xACE).generate();
+            if db.len() > max_facts() {
+                continue;
+            }
             group.throughput(Throughput::Elements(db.len() as u64));
             group.bench_with_input(
                 BenchmarkId::new(label, db.len()),

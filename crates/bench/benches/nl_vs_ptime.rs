@@ -9,6 +9,15 @@ use cqa_core::query::PathQuery;
 use cqa_solver::prelude::*;
 use cqa_workloads::random::LayeredConfig;
 
+/// Largest instance any solver is asked to handle; `CQA_BENCH_MAX_FACTS`
+/// caps it for CI smoke runs.
+fn max_facts() -> usize {
+    std::env::var("CQA_BENCH_MAX_FACTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
 fn bench_nl_vs_ptime(c: &mut Criterion) {
     let mut group = c.benchmark_group("nl_vs_ptime");
     group.sample_size(10);
@@ -21,6 +30,9 @@ fn bench_nl_vs_ptime(c: &mut Criterion) {
         let q = PathQuery::parse(word).unwrap();
         for width in [20usize, 80, 240] {
             let db = LayeredConfig::for_word(q.word(), width, 0xD1CE).generate();
+            if db.len() > max_facts() {
+                continue;
+            }
             let id = format!("{word}/{}", db.len());
             group.bench_with_input(BenchmarkId::new("nl_direct", &id), &db, |b, db| {
                 b.iter(|| black_box(direct.certain(&q, db).unwrap()))

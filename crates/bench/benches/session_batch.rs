@@ -1,0 +1,123 @@
+//! E17: warm certainty sessions against cold per-call dispatch on
+//! repeated-query workloads.
+//!
+//! A production certain-answer service sees the *same* query against many
+//! instances. Three server designs are replayed over an identical workload:
+//!
+//! * `cold_dispatch` — the pre-plan-cache architecture: every request
+//!   re-derives the query's strict B2b decomposition, re-generates the
+//!   linear CQA program and re-plans it (a fresh `PlanCache` per call, so
+//!   nothing is shared);
+//! * `percall_dispatch` — a fresh [`DispatchSolver`] per request; per-call
+//!   query setup is repeated, but compiled plans are shared through the
+//!   process-wide plan cache;
+//! * `warm_session` / `warm_session_batch` — one [`CertaintySession`]
+//!   serving the whole workload, per-query plans cached after the first
+//!   request; the `_batch` variant submits through
+//!   [`CertaintySession::certain_batch`], which groups by query up front.
+//!
+//! The `BENCH_datalog.json` trajectory tracks the warm/cold gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::regex_forms::b2b_strict_decomposition;
+use cqa_datalog::cqa_program::generate_program_with_cache;
+use cqa_datalog::plan_cache::PlanCache;
+use cqa_solver::prelude::*;
+use cqa_workloads::random::repeated_query_requests;
+
+/// Largest per-request instance; `CQA_BENCH_MAX_FACTS` caps it for CI smoke
+/// runs (the workloads here are small by design, so the cap rarely binds).
+fn max_facts() -> usize {
+    std::env::var("CQA_BENCH_MAX_FACTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+fn bench_session_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_batch");
+    group.sample_size(10);
+
+    // NL-class queries served by the Datalog back-end: the per-query setup
+    // (classification, decomposition, program generation and planning) is
+    // what a warm session amortizes across the batch.
+    let words = ["RRX", "RXRY"];
+    for width in [3usize, 12] {
+        let requests = repeated_query_requests(&words, 16, width, 0xBA7C);
+        if requests.iter().any(|(_, db)| db.len() > max_facts()) {
+            continue;
+        }
+        let avg_facts = requests.iter().map(|(_, db)| db.len()).sum::<usize>() / requests.len();
+        let id = format!("{}qx{}/{}", words.len(), requests.len(), avg_facts);
+
+        group.bench_with_input(
+            BenchmarkId::new("cold_dispatch", &id),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let mut certain = 0u32;
+                    for (query, db) in requests {
+                        // Plan-every-call: decomposition, program generation
+                        // and join planning all happen per request.
+                        let dec = b2b_strict_decomposition(query.word()).expect("NL query");
+                        let cache = PlanCache::new();
+                        let cqa = generate_program_with_cache(&dec, query.word(), &cache)
+                            .expect("non-degenerate decomposition");
+                        let store = cqa.compiled.run(db);
+                        let o_holds = store.unary(cqa.o).unwrap();
+                        certain += db.adom().iter().any(|c| !o_holds.contains(&c.symbol())) as u32;
+                    }
+                    black_box(certain)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("percall_dispatch", &id),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let mut certain = 0u32;
+                    for (query, db) in requests {
+                        let solver = DispatchSolver::with_datalog_nl();
+                        certain += solver.certain(query, db).unwrap() as u32;
+                    }
+                    black_box(certain)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("warm_session", &id),
+            &requests,
+            |b, requests| {
+                let session = CertaintySession::with_datalog_nl();
+                b.iter(|| {
+                    let mut certain = 0u32;
+                    for (query, db) in requests {
+                        certain += session.certain(query, db).unwrap() as u32;
+                    }
+                    black_box(certain)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("warm_session_batch", &id),
+            &requests,
+            |b, requests| {
+                let session = CertaintySession::with_datalog_nl();
+                b.iter(|| {
+                    let answers = session.certain_batch(requests);
+                    black_box(answers.iter().filter(|a| *a.as_ref().unwrap()).count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_batch);
+criterion_main!(benches);

@@ -31,17 +31,23 @@ fn bench_specialized_vs_naive(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("nl_direct", blocks), &db, |b, db| {
             b.iter(|| black_box(nl.certain(&q, db).unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("fo_rewriting_unchecked", blocks), &db, |b, db| {
-            b.iter(|| black_box(fo_unchecked.evaluate_rewriting(&q, db)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fo_rewriting_unchecked", blocks),
+            &db,
+            |b, db| b.iter(|| black_box(fo_unchecked.evaluate_rewriting(&q, db))),
+        );
         // The exponential baselines are only run while affordable.
         if db.repair_count() <= 1 << 18 {
-            group.bench_with_input(BenchmarkId::new("naive_enumeration", blocks), &db, |b, db| {
-                b.iter(|| black_box(naive.certain(&q, db).unwrap()))
-            });
-            group.bench_with_input(BenchmarkId::new("pruned_backtracking", blocks), &db, |b, db| {
-                b.iter(|| black_box(backtrack.certain(&q, db).unwrap()))
-            });
+            group.bench_with_input(
+                BenchmarkId::new("naive_enumeration", blocks),
+                &db,
+                |b, db| b.iter(|| black_box(naive.certain(&q, db).unwrap())),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("pruned_backtracking", blocks),
+                &db,
+                |b, db| b.iter(|| black_box(backtrack.certain(&q, db).unwrap())),
+            );
         }
     }
     group.finish();

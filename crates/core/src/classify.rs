@@ -119,7 +119,10 @@ mod tests {
         assert_eq!(classify(&q("RXRX")).class, ComplexityClass::FO);
         assert_eq!(classify(&q("RXRY")).class, ComplexityClass::NlComplete);
         assert_eq!(classify(&q("RXRYRY")).class, ComplexityClass::PtimeComplete);
-        assert_eq!(classify(&q("RXRXRYRY")).class, ComplexityClass::CoNpComplete);
+        assert_eq!(
+            classify(&q("RXRXRYRY")).class,
+            ComplexityClass::CoNpComplete
+        );
     }
 
     #[test]
@@ -149,7 +152,10 @@ mod tests {
     #[test]
     fn generalized_classification_trichotomy_with_constants() {
         // Theorem 5: with at least one constant, PTIME-complete cannot occur.
-        let alphabet = [crate::symbol::RelName::new("R"), crate::symbol::RelName::new("S")];
+        let alphabet = [
+            crate::symbol::RelName::new("R"),
+            crate::symbol::RelName::new("S"),
+        ];
         for word in crate::word::all_words(&alphabet, 5) {
             let Ok(path) = PathQuery::new(word.clone()) else {
                 continue;

@@ -31,8 +31,12 @@ mod tests {
 
     #[test]
     fn errors_display_human_readable_messages() {
-        assert!(CoreError::EmptyQuery.to_string().contains("at least one atom"));
-        assert!(CoreError::MalformedQuery("x".into()).to_string().contains("x"));
+        assert!(CoreError::EmptyQuery
+            .to_string()
+            .contains("at least one atom"));
+        assert!(CoreError::MalformedQuery("x".into())
+            .to_string()
+            .contains("x"));
         assert!(CoreError::ParseError("y".into()).to_string().contains("y"));
     }
 }

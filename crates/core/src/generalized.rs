@@ -266,7 +266,9 @@ mod tests {
 
     #[test]
     fn query_starting_with_constant_is_fo() {
-        let q = PathQuery::parse("RRRR").unwrap().rooted_at(Symbol::new("c"));
+        let q = PathQuery::parse("RRRR")
+            .unwrap()
+            .rooted_at(Symbol::new("c"));
         let rep = generalized_conditions(&q);
         assert!(rep.d1 && rep.d2 && rep.d3);
     }

@@ -142,8 +142,14 @@ mod tests {
         // [[RX, c]] maps into [[RXRX, c]] only at the end (suffix), which is
         // possible; [[XR, c]] does not map into [[RXRX, c]] because the word
         // does not end with XR... it does (R X R X ends with RX not XR).
-        assert!(has_homomorphism(&gpq_capped("RX", "c"), &gpq_capped("RXRX", "c")));
-        assert!(!has_homomorphism(&gpq_capped("XR", "c"), &gpq_capped("RXRX", "c")));
+        assert!(has_homomorphism(
+            &gpq_capped("RX", "c"),
+            &gpq_capped("RXRX", "c")
+        ));
+        assert!(!has_homomorphism(
+            &gpq_capped("XR", "c"),
+            &gpq_capped("RXRX", "c")
+        ));
     }
 
     #[test]
@@ -151,11 +157,7 @@ mod tests {
         // q1 = R(x,y), R(y,x) has a homomorphism onto the single fact-shaped
         // atom set {R(a,a)} (both atoms map to it).
         let a = Symbol::new("a");
-        let fold_target = vec![Atom::new(
-            RelName::new("R"),
-            Term::Const(a),
-            Term::Const(a),
-        )];
+        let fold_target = vec![Atom::new(RelName::new("R"), Term::Const(a), Term::Const(a))];
         let x = Term::var("x");
         let y = Term::var("y");
         let source = vec![

@@ -180,9 +180,18 @@ fn extract_witness(
             }
         }
     }
-    let u: Word = u_letters.into_iter().map(|o| o.unwrap_or_else(&mut fresh)).collect();
-    let v: Word = v_letters.into_iter().map(|o| o.unwrap_or_else(&mut fresh)).collect();
-    let w: Word = w_letters.into_iter().map(|o| o.unwrap_or_else(&mut fresh)).collect();
+    let u: Word = u_letters
+        .into_iter()
+        .map(|o| o.unwrap_or_else(&mut fresh))
+        .collect();
+    let v: Word = v_letters
+        .into_iter()
+        .map(|o| o.unwrap_or_else(&mut fresh))
+        .collect();
+    let w: Word = w_letters
+        .into_iter()
+        .map(|o| o.unwrap_or_else(&mut fresh))
+        .collect();
     // Rebuild the concrete template word from the slot sequence.
     let template_word: Word = template
         .iter()
@@ -460,12 +469,14 @@ pub fn b2b_strict_decomposition(q: &Word) -> Option<B2bDecomposition> {
                             k,
                             s,
                         };
-                        debug_assert_eq!(&dec.reassemble(), q, "strict decomposition must rebuild q");
+                        debug_assert_eq!(
+                            &dec.reassemble(),
+                            q,
+                            "strict decomposition must rebuild q"
+                        );
                         let better = match &best {
                             None => true,
-                            Some(b0) => {
-                                (dec.uv().len(), dec.k) < (b0.uv().len(), b0.k)
-                            }
+                            Some(b0) => (dec.uv().len(), dec.k) < (b0.uv().len(), b0.k),
                         };
                         if better {
                             best = Some(dec);
@@ -562,8 +573,8 @@ mod tests {
     #[test]
     fn lemmas_1_2_3_hold_on_selected_longer_words() {
         for q in [
-            "RRSRS", "RSRRR", "RXRXRYRY", "RXRYRY", "RXRRR", "UVUVWV", "RXRXRX", "RRRRR",
-            "RSRSR", "SRRSR", "RSSRS", "ABABAB",
+            "RRSRS", "RSRRR", "RXRXRYRY", "RXRYRY", "RXRRR", "UVUVWV", "RXRXRX", "RRRRR", "RSRSR",
+            "SRRSR", "RSSRS", "ABABAB",
         ] {
             check_lemmas_on(&w(q));
         }

@@ -299,9 +299,7 @@ impl Word {
         let mut out = Vec::new();
         for i in 0..self.len() {
             for j in i + 1..self.len() {
-                if self.0[i] == self.0[j]
-                    && !self.0[i + 1..j].contains(&self.0[i])
-                {
+                if self.0[i] == self.0[j] && !self.0[i + 1..j].contains(&self.0[i]) {
                     out.push((i, j));
                 }
             }

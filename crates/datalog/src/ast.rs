@@ -177,7 +177,7 @@ impl fmt::Display for BodyLiteral {
 }
 
 /// A rule `head :- body`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Rule {
     /// The head atom.
     pub head: DlAtom,
@@ -282,15 +282,6 @@ impl Rule {
     }
 }
 
-impl Program {
-    /// Numbers the variables of every rule, in rule order. Generators that
-    /// construct programs once and evaluate them many times can compute this
-    /// eagerly and hand it to the engine alongside the program.
-    pub fn numberings(&self) -> Vec<RuleVars> {
-        self.rules.iter().map(RuleVars::of).collect()
-    }
-}
-
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} :- ", self.head)?;
@@ -308,7 +299,11 @@ impl fmt::Display for Rule {
 }
 
 /// A Datalog program: a list of rules plus the set of EDB predicates.
-#[derive(Clone, Debug, Default)]
+///
+/// Programs have structural identity (`Eq` + `Hash` over rules and EDB
+/// declarations), which is what [`crate::plan_cache::PlanCache`] keys
+/// compiled plans by.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Program {
     /// The rules.
     pub rules: Vec<Rule>,
@@ -405,8 +400,14 @@ mod tests {
         let unsafe_neg = Rule::new(
             DlAtom::new(Predicate::new("p", 1), vec![DlTerm::var("X")]),
             vec![
-                BodyLiteral::Positive(DlAtom::new(edge(), vec![DlTerm::var("X"), DlTerm::var("Y")])),
-                BodyLiteral::Negative(DlAtom::new(path(), vec![DlTerm::var("X"), DlTerm::var("Z")])),
+                BodyLiteral::Positive(DlAtom::new(
+                    edge(),
+                    vec![DlTerm::var("X"), DlTerm::var("Y")],
+                )),
+                BodyLiteral::Negative(DlAtom::new(
+                    path(),
+                    vec![DlTerm::var("X"), DlTerm::var("Z")],
+                )),
             ],
         );
         assert!(!unsafe_neg.is_safe());
@@ -417,7 +418,10 @@ mod tests {
         let rule = Rule::new(
             DlAtom::new(path(), vec![DlTerm::var("X"), DlTerm::var("Y")]),
             vec![
-                BodyLiteral::Positive(DlAtom::new(edge(), vec![DlTerm::var("X"), DlTerm::var("Y")])),
+                BodyLiteral::Positive(DlAtom::new(
+                    edge(),
+                    vec![DlTerm::var("X"), DlTerm::var("Y")],
+                )),
                 BodyLiteral::Builtin(Builtin::Neq(DlTerm::var("X"), DlTerm::var("Y"))),
             ],
         );

@@ -19,12 +19,15 @@
 //!   consistent spine path leads from `X` to some `Y` with `p(Y)`.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cqa_core::regex_forms::B2bDecomposition;
 use cqa_core::symbol::RelName;
 use cqa_core::word::Word;
 
-use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule, RuleVars};
+use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule};
+use crate::engine::CompiledProgram;
+use crate::plan_cache::PlanCache;
 
 /// Names of the generated predicates, so that callers can query the result.
 #[derive(Debug, Clone)]
@@ -39,11 +42,10 @@ pub struct CqaProgram {
     pub uvpath: Predicate,
     /// The decomposition the program was generated from.
     pub decomposition: B2bDecomposition,
-    /// Pre-computed variable numberings, one per rule in `program.rules`
-    /// order. The program is generated once and evaluated many times, so the
-    /// numbering pass the engine's join planner needs is emitted here rather
-    /// than recomputed per evaluation.
-    pub numberings: Vec<RuleVars>,
+    /// The compiled evaluation plan, shared through the process-wide
+    /// [`PlanCache`]: generating the same query's program twice hands back
+    /// the same `Arc`, so repeated certain-answer calls never re-plan.
+    pub compiled: Arc<CompiledProgram>,
 }
 
 fn rel_pred(rel: RelName) -> Predicate {
@@ -136,12 +138,25 @@ fn terminal_rules(program: &mut Program, terminal: Predicate, word: &Word, keys:
 }
 
 /// Generates the linear Datalog program of Lemma 14 for the decomposition
-/// `q = s (uv)^(k-1) w v`.
+/// `q = s (uv)^(k-1) w v`, compiling it through the process-wide
+/// [`PlanCache`] (so generating the same query's program twice shares one
+/// compilation).
 ///
 /// Returns `None` if the decomposition is degenerate (`uv = ε`), in which
 /// case the query is self-join-free and the FO rewriting should be used
 /// instead.
 pub fn generate_program(decomposition: &B2bDecomposition, query: &Word) -> Option<CqaProgram> {
+    generate_program_with_cache(decomposition, query, PlanCache::global())
+}
+
+/// [`generate_program`] against an explicit plan cache. Benchmarks use a
+/// fresh cache per call to measure the cold (plan-every-call) path; everyone
+/// else wants [`generate_program`].
+pub fn generate_program_with_cache(
+    decomposition: &B2bDecomposition,
+    query: &Word,
+    cache: &PlanCache,
+) -> Option<CqaProgram> {
     let uv = decomposition.uv();
     let wv = decomposition.wv();
     let spine = decomposition.spine();
@@ -232,7 +247,10 @@ pub fn generate_program(decomposition: &B2bDecomposition, query: &Word) -> Optio
     program.add_rule(Rule::new(
         DlAtom::new(p, vec![DlTerm::var("X")]),
         vec![
-            BodyLiteral::Positive(DlAtom::new(uvpath, vec![DlTerm::var("X"), DlTerm::var("Y")])),
+            BodyLiteral::Positive(DlAtom::new(
+                uvpath,
+                vec![DlTerm::var("X"), DlTerm::var("Y")],
+            )),
             BodyLiteral::Positive(DlAtom::new(uvterminal, vec![DlTerm::var("Y")])),
         ],
     ));
@@ -240,8 +258,14 @@ pub fn generate_program(decomposition: &B2bDecomposition, query: &Word) -> Optio
     program.add_rule(Rule::new(
         DlAtom::new(p, vec![DlTerm::var("X")]),
         vec![
-            BodyLiteral::Positive(DlAtom::new(uvpath, vec![DlTerm::var("X"), DlTerm::var("Y")])),
-            BodyLiteral::Positive(DlAtom::new(uvpath, vec![DlTerm::var("Y"), DlTerm::var("Y")])),
+            BodyLiteral::Positive(DlAtom::new(
+                uvpath,
+                vec![DlTerm::var("X"), DlTerm::var("Y")],
+            )),
+            BodyLiteral::Positive(DlAtom::new(
+                uvpath,
+                vec![DlTerm::var("Y"), DlTerm::var("Y")],
+            )),
         ],
     ));
 
@@ -271,14 +295,16 @@ pub fn generate_program(decomposition: &B2bDecomposition, query: &Word) -> Optio
         program.add_rule(Rule::new(DlAtom::new(o, vec![var("S", 0)]), body));
     }
 
-    let numberings = program.numberings();
+    let compiled = cache
+        .get_or_compile(&program)
+        .expect("generated programs are safe and stratified by construction");
     Some(CqaProgram {
         program,
         o,
         p,
         uvpath,
         decomposition: decomposition.clone(),
-        numberings,
+        compiled,
     })
 }
 

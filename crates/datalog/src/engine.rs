@@ -9,22 +9,36 @@
 //! workload — the linear CQA programs of Lemma 14, whose hot loop dominates
 //! every certain-answer call:
 //!
-//! * **Join planning** ([`crate::plan`]). Each rule is compiled once per
-//!   [`Evaluator::run_on_store`] call into a sequence of ops over a flat
-//!   binding array indexed by the rule's [`crate::ast::RuleVars`] numbering.
-//!   Positive literals are ordered greedily by how many of their positions
-//!   are bound at placement time (constants count), so every literal after
-//!   the first is an index probe in the common case; negative literals and
-//!   built-ins run as soon as their variables are bound, pruning early. A
-//!   fully bound atom degenerates to a set-membership test.
+//! * **Compile once, evaluate many times.** A [`Program`] is compiled into a
+//!   reusable [`CompiledProgram`] — stratified join plans, a dense
+//!   [`PredTable`] of interned [`PredId`]s, and index-slot assignments — that
+//!   is immutable, `Sync`, and can be shared across threads and cached across
+//!   calls (see [`crate::plan_cache`]). An [`Evaluator`] borrows a compiled
+//!   program and carries only per-run state.
+//!
+//! * **Join planning** ([`crate::plan`]). Each rule is compiled into a
+//!   sequence of ops over a flat binding array indexed by the rule's
+//!   [`crate::ast::RuleVars`] numbering. Positive literals are ordered
+//!   greedily by how many of their positions are bound at placement time
+//!   (constants count), so every literal after the first is an index probe in
+//!   the common case; negative literals and built-ins run as soon as their
+//!   variables are bound, pruning early. A fully bound atom degenerates to a
+//!   set-membership test.
+//!
+//! * **Interned predicates.** Plans refer to predicates by dense [`PredId`],
+//!   and [`RelationStore`] keeps its relations in a flat `Vec` behind its own
+//!   [`PredTable`]; a per-run translation array maps program ids to store
+//!   ids, so the evaluator's inner loop never hashes a predicate — every
+//!   relation lookup is a vector index, and every `(predicate, bound-mask)`
+//!   index probe goes through a compile-time slot into a flat
+//!   [`crate::plan::IndexSpace`].
 //!
 //! * **Delta indexes.** Relations are append-only during a run, so the
 //!   semi-naive delta of a predicate is simply the id range of tuples
 //!   appended in the previous round. A delta-restricted plan scans exactly
 //!   that range for its delta literal and probes indexes for everything
-//!   else; per-`(predicate, bound-position-set)` hash indexes are built on
-//!   first probe and *extended* (never invalidated) by absorbing the tuples
-//!   appended since their last use.
+//!   else; indexes are built on first probe and *extended* (never
+//!   invalidated) by absorbing the tuples appended since their last use.
 //!
 //! * **Allocation-free inner loop.** Bindings live in a
 //!   `Vec<Option<Symbol>>` with compile-time-known reset lists instead of
@@ -42,15 +56,82 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use cqa_core::symbol::Symbol;
 use cqa_db::instance::DatabaseInstance;
 
-use crate::ast::{Predicate, Program, Rule};
-use crate::plan::{compile_rule, CompiledRule, IndexSpace, Op};
+use crate::ast::{Predicate, Program, Rule, RuleVars};
+use crate::plan::{compile_rule, CompiledRule, IndexSlots, IndexSpace, Op};
 use crate::stratify::{stratify, StratifyError};
 pub use crate::tuple::Tuple;
 
-/// A set of derived relations.
+/// A dense predicate id, assigned by a [`PredTable`] in interning order.
+///
+/// Ids are scoped to the table that produced them: a [`CompiledProgram`] and
+/// a [`RelationStore`] each intern independently, and the evaluator
+/// translates between the two with a per-run array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(u32);
+
+impl PredId {
+    /// The id as a dense vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interner of [`Predicate`]s into dense [`PredId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct PredTable {
+    ids: HashMap<Predicate, PredId>,
+    preds: Vec<Predicate>,
+}
+
+impl PredTable {
+    /// Interns a predicate, assigning the next dense id on first sight.
+    pub(crate) fn intern(&mut self, pred: Predicate) -> PredId {
+        if let Some(&id) = self.ids.get(&pred) {
+            return id;
+        }
+        let id = PredId(self.preds.len() as u32);
+        self.preds.push(pred);
+        self.ids.insert(pred, id);
+        id
+    }
+
+    /// The id of a predicate, if it has been interned.
+    pub fn lookup(&self, pred: Predicate) -> Option<PredId> {
+        self.ids.get(&pred).copied()
+    }
+
+    /// The predicate with the given id.
+    pub fn predicate(&self, id: PredId) -> Predicate {
+        self.preds[id.index()]
+    }
+
+    /// Number of interned predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Iterates over `(id, predicate)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, Predicate)> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (PredId(i as u32), p))
+    }
+}
+
+/// A set of derived relations, stored densely behind an interned
+/// [`PredTable`]: the public API is keyed by [`Predicate`] for convenience,
+/// while the evaluator addresses relations by [`PredId`] vector index.
 #[derive(Debug, Clone, Default)]
 pub struct RelationStore {
-    relations: HashMap<Predicate, Relation>,
+    preds: PredTable,
+    relations: Vec<Relation>,
 }
 
 /// One predicate's tuples: a dense append-only vector (indexes and deltas
@@ -80,6 +161,22 @@ impl RelationStore {
         RelationStore::default()
     }
 
+    /// Interns a predicate into this store, growing the relation vector.
+    pub(crate) fn intern(&mut self, pred: Predicate) -> PredId {
+        let id = self.preds.intern(pred);
+        if id.index() >= self.relations.len() {
+            self.relations
+                .resize_with(id.index() + 1, Relation::default);
+        }
+        id
+    }
+
+    /// The store-scoped id of a predicate, if any tuples were ever inserted
+    /// for it (or it was touched by an evaluation).
+    pub fn pred_id(&self, pred: Predicate) -> Option<PredId> {
+        self.preds.lookup(pred)
+    }
+
     /// The tuples of a predicate (empty if absent), in insertion order.
     pub fn tuples(&self, pred: Predicate) -> impl Iterator<Item = &Tuple> {
         self.tuples_slice(pred).iter()
@@ -87,42 +184,78 @@ impl RelationStore {
 
     /// The tuples of a predicate as a dense slice; tuple ids used by indexes
     /// and deltas are positions in this slice.
-    pub(crate) fn tuples_slice(&self, pred: Predicate) -> &[Tuple] {
-        self.relations.get(&pred).map_or(&[], |r| &r.tuples)
+    fn tuples_slice(&self, pred: Predicate) -> &[Tuple] {
+        self.preds
+            .lookup(pred)
+            .map_or(&[], |id| &self.relations[id.index()].tuples)
+    }
+
+    /// The tuples of an interned predicate as a dense slice.
+    #[inline]
+    pub(crate) fn tuples_by_id(&self, id: PredId) -> &[Tuple] {
+        &self.relations[id.index()].tuples
     }
 
     /// True iff the tuple is present.
     pub fn contains(&self, pred: Predicate, tuple: &[Symbol]) -> bool {
-        self.relations
-            .get(&pred)
-            .is_some_and(|r| r.set.contains(tuple))
+        self.preds
+            .lookup(pred)
+            .is_some_and(|id| self.relations[id.index()].set.contains(tuple))
+    }
+
+    /// True iff the tuple is present, by interned id.
+    #[inline]
+    pub(crate) fn contains_by_id(&self, id: PredId, tuple: &[Symbol]) -> bool {
+        self.relations[id.index()].set.contains(tuple)
     }
 
     /// Inserts a tuple; returns true if it was new.
     pub fn insert(&mut self, pred: Predicate, tuple: impl Into<Tuple>) -> bool {
         let tuple = tuple.into();
         debug_assert_eq!(pred.arity, tuple.len());
-        self.relations.entry(pred).or_default().insert(tuple)
+        let id = self.intern(pred);
+        self.relations[id.index()].insert(tuple)
+    }
+
+    /// Inserts a tuple for an interned predicate; returns true if it was new.
+    #[inline]
+    pub(crate) fn insert_by_id(&mut self, id: PredId, tuple: Tuple) -> bool {
+        self.relations[id.index()].insert(tuple)
     }
 
     /// Number of tuples of a predicate.
     pub fn len(&self, pred: Predicate) -> usize {
-        self.relations.get(&pred).map_or(0, |r| r.tuples.len())
+        self.preds
+            .lookup(pred)
+            .map_or(0, |id| self.relations[id.index()].tuples.len())
+    }
+
+    /// Number of tuples of an interned predicate.
+    #[inline]
+    pub fn len_of(&self, id: PredId) -> usize {
+        self.relations[id.index()].tuples.len()
+    }
+
+    /// Iterates over every nonempty relation as `(predicate, tuples)`, in
+    /// interning order. The supported way for tests and benches to look at
+    /// everything a run derived without reaching into store internals.
+    pub fn iter_relations(&self) -> impl Iterator<Item = (Predicate, &[Tuple])> {
+        self.preds
+            .iter()
+            .map(|(id, pred)| (pred, self.relations[id.index()].tuples.as_slice()))
+            .filter(|(_, tuples)| !tuples.is_empty())
     }
 
     /// True iff no tuples at all are stored.
     pub fn is_empty(&self) -> bool {
-        self.relations.values().all(|r| r.tuples.is_empty())
+        self.relations.iter().all(|r| r.tuples.is_empty())
     }
 
     /// The unary relation of a predicate as a set of symbols, or an arity
     /// error if the predicate is not unary.
     pub fn unary(&self, pred: Predicate) -> Result<BTreeSet<Symbol>, EngineError> {
         if pred.arity != 1 {
-            return Err(EngineError::ArityMismatch {
-                pred,
-                expected: 1,
-            });
+            return Err(EngineError::ArityMismatch { pred, expected: 1 });
         }
         Ok(self.tuples(pred).map(|t| t[0]).collect())
     }
@@ -132,7 +265,8 @@ impl RelationStore {
     /// (each is still hashed once for the membership set, but never
     /// re-checked or re-inserted).
     fn bulk_load<I: ExactSizeIterator<Item = Tuple>>(&mut self, pred: Predicate, tuples: I) {
-        let relation = self.relations.entry(pred).or_default();
+        let id = self.intern(pred);
+        let relation = &mut self.relations[id.index()];
         relation.tuples.reserve(tuples.len());
         relation.set.reserve(tuples.len());
         for tuple in tuples {
@@ -148,30 +282,22 @@ impl PartialEq for RelationStore {
     /// Set equality per predicate, ignoring empty relations and insertion
     /// order — the natural notion for comparing evaluation results.
     fn eq(&self, other: &RelationStore) -> bool {
-        let count = |store: &RelationStore| {
-            store
-                .relations
-                .values()
-                .filter(|r| !r.tuples.is_empty())
-                .count()
-        };
+        let count = |store: &RelationStore| store.iter_relations().count();
         count(self) == count(other)
-            && self
-                .relations
-                .iter()
-                .filter(|(_, r)| !r.tuples.is_empty())
-                .all(|(p, r)| {
-                    other
-                        .relations
-                        .get(p)
-                        .is_some_and(|theirs| r.set == theirs.set)
-                })
+            && self.preds.iter().all(|(id, pred)| {
+                let mine = &self.relations[id.index()].set;
+                mine.is_empty()
+                    || other
+                        .preds
+                        .lookup(pred)
+                        .is_some_and(|oid| *mine == other.relations[oid.index()].set)
+            })
     }
 }
 
 impl Eq for RelationStore {}
 
-/// Errors produced by evaluation.
+/// Errors produced by compilation and evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// The program is not stratifiable.
@@ -237,127 +363,181 @@ pub fn edb_from_instance(db: &DatabaseInstance) -> RelationStore {
     store
 }
 
-/// Evaluates a Datalog program over a database instance using compiled join
-/// plans and lazy hash indexes (see the module docs).
-pub struct Evaluator<'a> {
-    program: &'a Program,
-    numberings: Option<&'a [crate::ast::RuleVars]>,
+/// One stratum's compiled plans.
+#[derive(Debug)]
+struct CompiledStratum {
+    /// The stratum's predicates, as program-scoped ids; delta watermarks are
+    /// tracked positionally against this list.
+    preds: Vec<PredId>,
+    /// One full (non-delta) plan per rule of the stratum.
+    full_plans: Vec<CompiledRule>,
+    /// Delta-restricted plans, keyed by the position of the delta predicate
+    /// in `preds`.
+    delta_plans: Vec<(usize, CompiledRule)>,
 }
 
-impl<'a> Evaluator<'a> {
-    /// Creates an evaluator for the program.
-    pub fn new(program: &'a Program) -> Evaluator<'a> {
-        Evaluator {
-            program,
-            numberings: None,
-        }
-    }
+/// A program compiled once and evaluated many times: stratified join plans,
+/// the dense predicate table they refer to, and the index-slot layout.
+///
+/// A compiled program is immutable and `Sync`, so it can be shared across
+/// threads and cached across calls — [`crate::plan_cache::PlanCache`] keys
+/// compiled programs by program identity, and
+/// [`crate::cqa_program::CqaProgram`] carries one per generated CQA program.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    preds: PredTable,
+    strata: Vec<CompiledStratum>,
+    num_index_slots: usize,
+}
 
-    /// Creates an evaluator reusing pre-computed variable numberings (one
-    /// [`crate::ast::RuleVars`] per rule, in rule order — see
-    /// [`Program::numberings`]). Generators that evaluate the same program
-    /// many times (e.g. [`crate::cqa_program::CqaProgram`]) emit these once.
-    pub fn with_numberings(
-        program: &'a Program,
-        numberings: &'a [crate::ast::RuleVars],
-    ) -> Evaluator<'a> {
-        assert_eq!(
-            numberings.len(),
-            program.rules.len(),
-            "one numbering per rule"
-        );
-        Evaluator {
-            program,
-            numberings: Some(numberings),
-        }
-    }
-
-    /// Runs the program on the EDB extracted from `db`, returning all derived
-    /// relations (the EDB tuples are included in the result).
-    pub fn run(&self, db: &DatabaseInstance) -> Result<RelationStore, EngineError> {
-        self.run_on_store(edb_from_instance(db))
-    }
-
-    /// Runs the program on an explicitly provided EDB store.
-    pub fn run_on_store(&self, mut store: RelationStore) -> Result<RelationStore, EngineError> {
-        for rule in &self.program.rules {
+impl CompiledProgram {
+    /// Compiles a program: safety check, stratification, variable numbering,
+    /// join planning (full + delta plans), predicate interning and index-slot
+    /// assignment.
+    pub fn compile(program: &Program) -> Result<CompiledProgram, EngineError> {
+        for rule in &program.rules {
             if !rule.is_safe() {
                 return Err(EngineError::UnsafeRule(rule.to_string()));
             }
         }
-        let strat = stratify(self.program)?;
-        let computed;
-        let numberings: &[crate::ast::RuleVars] = match self.numberings {
-            Some(n) => n,
-            None => {
-                computed = self.program.numberings();
-                &computed
-            }
-        };
-        let mut indexes = IndexSpace::new();
-        let mut executor = Executor::default();
+        let strat = stratify(program)?;
+        let numberings: Vec<RuleVars> = program.rules.iter().map(RuleVars::of).collect();
+        let mut preds = PredTable::default();
+        // EDB predicates first, so extensional relations get the lowest ids
+        // regardless of rule order.
+        for &p in &program.edb {
+            preds.intern(p);
+        }
+        let mut islots = IndexSlots::default();
+        let mut strata = Vec::with_capacity(strat.strata.len());
         for stratum_preds in &strat.strata {
             let stratum: BTreeSet<Predicate> = stratum_preds.iter().copied().collect();
-            let rules: Vec<(usize, &Rule)> = self
-                .program
+            let rules: Vec<(usize, &Rule)> = program
                 .rules
                 .iter()
                 .enumerate()
                 .filter(|(_, r)| stratum.contains(&r.head.pred))
                 .collect();
-            evaluate_stratum(
-                &rules,
-                numberings,
-                &stratum,
-                &mut store,
-                &mut indexes,
-                &mut executor,
-            );
+            let pred_ids: Vec<PredId> = stratum_preds.iter().map(|&p| preds.intern(p)).collect();
+            let full_plans: Vec<CompiledRule> = rules
+                .iter()
+                .map(|&(i, rule)| compile_rule(rule, &numberings[i], None, &mut preds, &mut islots))
+                .collect();
+            let mut delta_plans: Vec<(usize, CompiledRule)> = Vec::new();
+            for &(i, rule) in &rules {
+                for (pos, literal) in rule.body.iter().enumerate() {
+                    if let crate::ast::BodyLiteral::Positive(atom) = literal {
+                        if let Some(delta_idx) = stratum_preds.iter().position(|&p| p == atom.pred)
+                        {
+                            delta_plans.push((
+                                delta_idx,
+                                compile_rule(
+                                    rule,
+                                    &numberings[i],
+                                    Some(pos),
+                                    &mut preds,
+                                    &mut islots,
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            strata.push(CompiledStratum {
+                preds: pred_ids,
+                full_plans,
+                delta_plans,
+            });
         }
-        Ok(store)
+        Ok(CompiledProgram {
+            preds,
+            strata,
+            num_index_slots: islots.len(),
+        })
+    }
+
+    /// The compiled program's predicate table (program-scoped ids).
+    pub fn preds(&self) -> &PredTable {
+        &self.preds
+    }
+
+    /// Runs the program on the EDB extracted from `db`, returning all derived
+    /// relations (the EDB tuples are included in the result).
+    pub fn run(&self, db: &DatabaseInstance) -> RelationStore {
+        Evaluator::new(self).run(db)
+    }
+
+    /// Runs the program on an explicitly provided EDB store.
+    pub fn run_on_store(&self, store: RelationStore) -> RelationStore {
+        Evaluator::new(self).run_on_store(store)
+    }
+}
+
+/// Evaluates a [`CompiledProgram`] over a database instance; all per-run
+/// state (indexes, binding scratch) lives inside a single `run*` call, so an
+/// evaluator is free to be shared or rebuilt at will.
+pub struct Evaluator<'a> {
+    compiled: &'a CompiledProgram,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator borrowing a compiled program.
+    pub fn new(compiled: &'a CompiledProgram) -> Evaluator<'a> {
+        Evaluator { compiled }
+    }
+
+    /// Runs the program on the EDB extracted from `db`, returning all derived
+    /// relations (the EDB tuples are included in the result).
+    pub fn run(&self, db: &DatabaseInstance) -> RelationStore {
+        self.run_on_store(edb_from_instance(db))
+    }
+
+    /// Runs the program on an explicitly provided EDB store.
+    pub fn run_on_store(&self, mut store: RelationStore) -> RelationStore {
+        // Translate program-scoped ids to store-scoped ids once per run; the
+        // inner loop then only does vector indexing.
+        let pred_map: Vec<PredId> = self
+            .compiled
+            .preds
+            .iter()
+            .map(|(_, pred)| store.intern(pred))
+            .collect();
+        let mut indexes = IndexSpace::new(self.compiled.num_index_slots);
+        let mut executor = Executor::default();
+        for stratum in &self.compiled.strata {
+            evaluate_stratum(stratum, &pred_map, &mut store, &mut indexes, &mut executor);
+        }
+        store
     }
 }
 
 /// Semi-naive evaluation of one stratum with compiled plans.
 fn evaluate_stratum(
-    rules: &[(usize, &Rule)],
-    numberings: &[crate::ast::RuleVars],
-    stratum: &BTreeSet<Predicate>,
+    stratum: &CompiledStratum,
+    pred_map: &[PredId],
     store: &mut RelationStore,
     indexes: &mut IndexSpace,
     executor: &mut Executor,
 ) {
-    // Compile once per stratum evaluation: a full plan per rule, plus one
-    // delta-restricted plan per (rule, recursive body position).
-    let full_plans: Vec<CompiledRule> = rules
-        .iter()
-        .map(|&(i, rule)| compile_rule(rule, &numberings[i], None))
-        .collect();
-    let mut delta_plans: Vec<(Predicate, CompiledRule)> = Vec::new();
-    for &(i, rule) in rules {
-        for (pos, literal) in rule.body.iter().enumerate() {
-            if let crate::ast::BodyLiteral::Positive(atom) = literal {
-                if stratum.contains(&atom.pred) {
-                    delta_plans.push((atom.pred, compile_rule(rule, &numberings[i], Some(pos))));
-                }
-            }
-        }
-    }
-
     // The predicates whose growth drives the iteration.
-    let watermark = |store: &RelationStore| -> HashMap<Predicate, usize> {
-        stratum.iter().map(|&p| (p, store.len(p))).collect()
+    let watermark = |store: &RelationStore| -> Vec<usize> {
+        stratum
+            .preds
+            .iter()
+            .map(|&p| store.len_of(pred_map[p.index()]))
+            .collect()
     };
 
     let mut low = watermark(store);
     let mut derived: Vec<Tuple> = Vec::new();
 
     // Initial round: every rule against the full store.
-    for plan in &full_plans {
+    for plan in &stratum.full_plans {
         derived.clear();
-        executor.derive(plan, store, indexes, None, &mut derived);
+        executor.derive(plan, pred_map, store, indexes, None, &mut derived);
+        let head = pred_map[plan.head_pred.index()];
         for tuple in derived.drain(..) {
-            store.insert(plan.head_pred, tuple);
+            store.insert_by_id(head, tuple);
         }
     }
 
@@ -365,18 +545,19 @@ fn evaluate_stratum(
     // predicate — the tuples appended during the previous round.
     loop {
         let high = watermark(store);
-        if stratum.iter().all(|p| high[p] == low[p]) {
+        if high == low {
             break;
         }
-        for (delta_pred, plan) in &delta_plans {
-            let (lo, hi) = (low[delta_pred], high[delta_pred]);
+        for &(delta_idx, ref plan) in &stratum.delta_plans {
+            let (lo, hi) = (low[delta_idx], high[delta_idx]);
             if lo == hi {
                 continue;
             }
             derived.clear();
-            executor.derive(plan, store, indexes, Some((lo, hi)), &mut derived);
+            executor.derive(plan, pred_map, store, indexes, Some((lo, hi)), &mut derived);
+            let head = pred_map[plan.head_pred.index()];
             for tuple in derived.drain(..) {
-                store.insert(plan.head_pred, tuple);
+                store.insert_by_id(head, tuple);
             }
         }
         low = high;
@@ -398,6 +579,7 @@ impl Executor {
     fn derive(
         &mut self,
         plan: &CompiledRule,
+        pred_map: &[PredId],
         store: &RelationStore,
         indexes: &mut IndexSpace,
         delta: Option<(usize, usize)>,
@@ -408,13 +590,15 @@ impl Executor {
         if self.id_bufs.len() < plan.ops.len() {
             self.id_bufs.resize_with(plan.ops.len(), Vec::new);
         }
-        self.step(plan, 0, store, indexes, delta, out);
+        self.step(plan, 0, pred_map, store, indexes, delta, out);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &mut self,
         plan: &CompiledRule,
         depth: usize,
+        pred_map: &[PredId],
         store: &RelationStore,
         indexes: &mut IndexSpace,
         delta: Option<(usize, usize)>,
@@ -431,14 +615,14 @@ impl Executor {
         };
         match op {
             Op::Scan(ap) => {
-                let tuples = store.tuples_slice(ap.pred);
+                let tuples = store.tuples_by_id(pred_map[ap.pred.index()]);
                 let (lo, hi) = match delta {
                     Some(range) if depth == 0 => range,
                     _ => (0, tuples.len()),
                 };
                 for tuple in &tuples[lo..hi] {
                     if self.try_match(ap, tuple) {
-                        self.step(plan, depth + 1, store, indexes, delta, out);
+                        self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
                     }
                     self.reset(ap);
                 }
@@ -451,11 +635,11 @@ impl Executor {
                     .collect();
                 let mut ids = std::mem::take(&mut self.id_bufs[depth]);
                 ids.clear();
-                indexes.probe(store, ap.pred, ap.mask, &key, &mut ids);
-                let tuples = store.tuples_slice(ap.pred);
+                let tuples = store.tuples_by_id(pred_map[ap.pred.index()]);
+                indexes.probe(ap.index_slot, tuples, ap.mask, &key, &mut ids);
                 for &id in &ids {
                     if self.try_match(ap, &tuples[id as usize]) {
-                        self.step(plan, depth + 1, store, indexes, delta, out);
+                        self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
                     }
                     self.reset(ap);
                 }
@@ -467,8 +651,8 @@ impl Executor {
                     .iter()
                     .map(|slot| slot.resolve(&self.bindings))
                     .collect();
-                if store.contains(ap.pred, &ground) {
-                    self.step(plan, depth + 1, store, indexes, delta, out);
+                if store.contains_by_id(pred_map[ap.pred.index()], &ground) {
+                    self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
                 }
             }
             Op::Negative { pred, args } => {
@@ -476,13 +660,13 @@ impl Executor {
                     .iter()
                     .map(|slot| slot.resolve(&self.bindings))
                     .collect();
-                if !store.contains(*pred, &ground) {
-                    self.step(plan, depth + 1, store, indexes, delta, out);
+                if !store.contains_by_id(pred_map[pred.index()], &ground) {
+                    self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
                 }
             }
             Op::Filter(builtin) => {
                 if builtin.holds(&self.bindings) {
-                    self.step(plan, depth + 1, store, indexes, delta, out);
+                    self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
                 }
             }
         }
@@ -520,10 +704,13 @@ impl Executor {
     }
 }
 
-/// Convenience: evaluates a program over a database instance with the
-/// indexed engine.
+/// Convenience: compiles and evaluates a program over a database instance
+/// with the indexed engine. Callers that evaluate the same program more than
+/// once should compile once ([`CompiledProgram::compile`], or
+/// [`crate::plan_cache::PlanCache`] for cross-call reuse) and call
+/// [`CompiledProgram::run`] instead.
 pub fn evaluate(program: &Program, db: &DatabaseInstance) -> Result<RelationStore, EngineError> {
-    Evaluator::new(program).run(db)
+    Ok(CompiledProgram::compile(program)?.run(db))
 }
 
 /// The retained scan-based evaluator.
@@ -640,9 +827,9 @@ pub mod reference {
                     .body
                     .iter()
                     .enumerate()
-                    .filter(|(_, l)| {
-                        matches!(l, BodyLiteral::Positive(a) if stratum.contains(&a.pred))
-                    })
+                    .filter(
+                        |(_, l)| matches!(l, BodyLiteral::Positive(a) if stratum.contains(&a.pred)),
+                    )
                     .map(|(i, _)| i)
                     .collect();
                 if recursive_positions.is_empty() {
@@ -794,6 +981,17 @@ mod tests {
     }
 
     #[test]
+    fn compiled_programs_are_reusable_across_instances() {
+        let compiled = CompiledProgram::compile(&reachability_program()).unwrap();
+        let evaluator = Evaluator::new(&compiled);
+        let path = pred("path", 2);
+        assert_eq!(evaluator.run(&chain_db(5)).len(path), 15);
+        assert_eq!(evaluator.run(&chain_db(3)).len(path), 6);
+        // Again with the first instance: the shared plans are not consumed.
+        assert_eq!(compiled.run(&chain_db(5)).len(path), 15);
+    }
+
+    #[test]
     fn closure_of_a_cycle_terminates() {
         let mut db = chain_db(3);
         db.insert_parsed("E", "n3", "n0");
@@ -871,6 +1069,10 @@ mod tests {
         ));
         let db = chain_db(1);
         assert!(matches!(
+            CompiledProgram::compile(&program),
+            Err(EngineError::UnsafeRule(_))
+        ));
+        assert!(matches!(
             evaluate(&program, &db),
             Err(EngineError::UnsafeRule(_))
         ));
@@ -941,6 +1143,23 @@ mod tests {
             store.unary(pred("E", 2)),
             Err(EngineError::ArityMismatch { expected: 1, .. })
         ));
+    }
+
+    #[test]
+    fn store_accessors_expose_relations_without_internals() {
+        let db = chain_db(3);
+        let store = evaluate(&reachability_program(), &db).unwrap();
+        let path_id = store.pred_id(pred("path", 2)).expect("path was derived");
+        assert_eq!(store.len_of(path_id), store.len(pred("path", 2)));
+        // iter_relations covers E, adom and path, with consistent lengths.
+        let mut seen = std::collections::BTreeMap::new();
+        for (p, tuples) in store.iter_relations() {
+            seen.insert(p, tuples.len());
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[&pred("E", 2)], 3);
+        assert_eq!(seen[&pred("path", 2)], 6);
+        assert!(store.pred_id(pred("nonexistent", 1)).is_none());
     }
 
     #[test]

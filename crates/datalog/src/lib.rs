@@ -22,16 +22,21 @@ pub mod ast;
 pub mod cqa_program;
 pub mod engine;
 mod plan;
+pub mod plan_cache;
 pub mod stratify;
 pub mod tuple;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule, RuleVars};
-    pub use crate::cqa_program::{generate_program, CqaProgram};
-    pub use crate::engine::{
-        edb_from_instance, evaluate, reference::evaluate_scan, Evaluator, RelationStore, Tuple,
+    pub use crate::ast::{
+        BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule, RuleVars,
     };
+    pub use crate::cqa_program::{generate_program, generate_program_with_cache, CqaProgram};
+    pub use crate::engine::{
+        edb_from_instance, evaluate, reference::evaluate_scan, CompiledProgram, Evaluator, PredId,
+        PredTable, RelationStore, Tuple,
+    };
+    pub use crate::plan_cache::PlanCache;
     pub use crate::stratify::{is_linear, stratify, Stratification, StratifyError};
     pub use cqa_core::regex_forms::b2b_strict_decomposition;
 }

@@ -1,6 +1,6 @@
 //! Rule compilation: join planning and index-backed execution.
 //!
-//! Each rule is compiled once per [`crate::engine::Evaluator`] run into a
+//! Each rule is compiled once per [`crate::engine::CompiledProgram`] into a
 //! [`CompiledRule`]: a sequence of [`Op`]s over a flat binding array indexed
 //! by the rule's [`RuleVars`] numbering. Positive literals are ordered
 //! greedily by the number of positions already bound when they are placed
@@ -8,6 +8,12 @@
 //! only when nothing is bound; negative literals and built-ins are emitted as
 //! soon as all their variables are bound, pruning partial bindings as early
 //! as possible.
+//!
+//! Predicates are interned into dense [`PredId`]s at compile time (see
+//! [`crate::engine::PredTable`]), so execution never hashes a predicate:
+//! relation lookups are vector indexes, and every `(predicate, bound-mask)`
+//! index used by a `Probe` op is assigned a dense *slot* here, making
+//! [`IndexSpace`] a flat `Vec` as well.
 //!
 //! Execution probes lazily built hash indexes (see [`IndexSpace`]): one index
 //! per `(predicate, bound-position-set)`, mapping the projection of a tuple
@@ -21,8 +27,8 @@ use std::collections::HashMap;
 
 use cqa_core::symbol::Symbol;
 
-use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Rule, RuleVars};
-use crate::engine::RelationStore;
+use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Rule, RuleVars};
+use crate::engine::{PredId, PredTable};
 use crate::tuple::Tuple;
 
 /// A term resolved against a rule's variable numbering.
@@ -67,10 +73,13 @@ pub(crate) enum SlotAction {
 /// A compiled positive literal.
 #[derive(Debug, Clone)]
 pub(crate) struct AtomPlan {
-    /// The predicate to match against.
-    pub pred: Predicate,
+    /// The interned predicate to match against.
+    pub pred: PredId,
     /// Bitmask of positions bound at entry (probe-key positions).
     pub mask: u32,
+    /// Dense index slot for `(pred, mask)`, assigned at compile time; only
+    /// meaningful on `Probe` ops.
+    pub index_slot: u32,
     /// Probe-key slots, in ascending position order (aligned with the
     /// index projection).
     pub key: Vec<Slot>,
@@ -124,7 +133,7 @@ pub(crate) enum Op {
     /// All positions bound: a set-membership test.
     Exists(AtomPlan),
     /// A ground negative literal: succeed iff the tuple is absent.
-    Negative { pred: Predicate, args: Vec<Slot> },
+    Negative { pred: PredId, args: Vec<Slot> },
     /// A built-in constraint over bound slots.
     Filter(CompiledBuiltin),
 }
@@ -133,7 +142,7 @@ pub(crate) enum Op {
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledRule {
     /// The head predicate.
-    pub head_pred: Predicate,
+    pub head_pred: PredId,
     /// Head template.
     pub head: Vec<Slot>,
     /// Body operations in execution order.
@@ -142,9 +151,36 @@ pub(crate) struct CompiledRule {
     pub num_vars: usize,
 }
 
+/// Assigns dense slots to the `(pred, mask)` indexes a program's `Probe` ops
+/// use, so [`IndexSpace`] can be a flat `Vec` instead of a hash map. Shared
+/// across all rules of a program: two probes of the same `(pred, mask)`
+/// share one index.
+#[derive(Debug, Default)]
+pub(crate) struct IndexSlots {
+    slots: HashMap<(PredId, u32), u32>,
+}
+
+impl IndexSlots {
+    fn slot(&mut self, pred: PredId, mask: u32) -> u32 {
+        let next = self.slots.len() as u32;
+        *self.slots.entry((pred, mask)).or_insert(next)
+    }
+
+    /// Number of distinct indexes.
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 /// Compiles an atom given the set of currently bound variables. Returns the
 /// plan and the list of newly bound variable ids.
-fn compile_atom(atom: &DlAtom, vars: &RuleVars, bound: &[bool], force_scan: bool) -> AtomPlan {
+fn compile_atom(
+    atom: &DlAtom,
+    vars: &RuleVars,
+    bound: &[bool],
+    force_scan: bool,
+    preds: &mut PredTable,
+) -> AtomPlan {
     let mut mask = 0u32;
     let mut key = Vec::new();
     let mut rest = Vec::new();
@@ -177,8 +213,9 @@ fn compile_atom(atom: &DlAtom, vars: &RuleVars, bound: &[bool], force_scan: bool
         }
     }
     AtomPlan {
-        pred: atom.pred,
+        pred: preds.intern(atom.pred),
         mask,
+        index_slot: 0,
         key,
         rest,
         binds,
@@ -197,12 +234,19 @@ fn bound_score(atom: &DlAtom, vars: &RuleVars, bound: &[bool]) -> usize {
         .count()
 }
 
-/// Compiles a rule into a join plan.
+/// Compiles a rule into a join plan, interning predicates into `preds` and
+/// assigning index slots from `islots`.
 ///
 /// If `delta_pos` is given, the positive literal at that body position is
 /// placed first and compiled as a scan; the engine restricts its enumeration
 /// to the current delta id range of its predicate.
-pub(crate) fn compile_rule(rule: &Rule, vars: &RuleVars, delta_pos: Option<usize>) -> CompiledRule {
+pub(crate) fn compile_rule(
+    rule: &Rule,
+    vars: &RuleVars,
+    delta_pos: Option<usize>,
+    preds: &mut PredTable,
+    islots: &mut IndexSlots,
+) -> CompiledRule {
     let num_vars = vars.count();
     let mut bound = vec![false; num_vars];
     let mut ops: Vec<Op> = Vec::with_capacity(rule.body.len());
@@ -224,7 +268,7 @@ pub(crate) fn compile_rule(rule: &Rule, vars: &RuleVars, delta_pos: Option<usize
         .filter(|l| !matches!(l, BodyLiteral::Positive(_)))
         .collect();
 
-    let mut flush_pending = |bound: &[bool], ops: &mut Vec<Op>| {
+    let mut flush_pending = |bound: &[bool], ops: &mut Vec<Op>, preds: &mut PredTable| {
         pending.retain(|literal| {
             let ready = literal
                 .vars()
@@ -235,7 +279,7 @@ pub(crate) fn compile_rule(rule: &Rule, vars: &RuleVars, delta_pos: Option<usize
             }
             match literal {
                 BodyLiteral::Negative(atom) => ops.push(Op::Negative {
-                    pred: atom.pred,
+                    pred: preds.intern(atom.pred),
                     args: atom.args.iter().map(|t| Slot::of(t, vars)).collect(),
                 }),
                 BodyLiteral::Builtin(b) => ops.push(Op::Filter(CompiledBuiltin::of(b, vars))),
@@ -249,15 +293,15 @@ pub(crate) fn compile_rule(rule: &Rule, vars: &RuleVars, delta_pos: Option<usize
         let BodyLiteral::Positive(atom) = &rule.body[pos] else {
             panic!("delta literal must be positive");
         };
-        let plan = compile_atom(atom, vars, &bound, true);
+        let plan = compile_atom(atom, vars, &bound, true, preds);
         for &v in &plan.binds {
             bound[v as usize] = true;
         }
         ops.push(Op::Scan(plan));
-        flush_pending(&bound, &mut ops);
+        flush_pending(&bound, &mut ops, preds);
     } else {
         // Constant-only built-ins (rare) can be checked before any scan.
-        flush_pending(&bound, &mut ops);
+        flush_pending(&bound, &mut ops, preds);
     }
 
     while !positives.is_empty() {
@@ -270,42 +314,43 @@ pub(crate) fn compile_rule(rule: &Rule, vars: &RuleVars, delta_pos: Option<usize
             .map(|(i, _)| i)
             .expect("nonempty");
         let (_, atom) = positives.remove(best);
-        let plan = compile_atom(atom, vars, &bound, false);
+        let mut plan = compile_atom(atom, vars, &bound, false, preds);
         for &v in &plan.binds {
             bound[v as usize] = true;
         }
         let arity = atom.args.len();
-        let fully_bound =
-            arity > 0 && arity < 32 && plan.mask == (1u32 << arity).wrapping_sub(1);
+        let fully_bound = arity > 0 && arity < 32 && plan.mask == (1u32 << arity).wrapping_sub(1);
         ops.push(if fully_bound {
             Op::Exists(plan)
         } else if plan.mask == 0 {
             Op::Scan(plan)
         } else {
+            plan.index_slot = islots.slot(plan.pred, plan.mask);
             Op::Probe(plan)
         });
-        flush_pending(&bound, &mut ops);
+        flush_pending(&bound, &mut ops, preds);
     }
     debug_assert!(pending.is_empty(), "unsafe rule reached the planner");
 
     CompiledRule {
-        head_pred: rule.head.pred,
+        head_pred: preds.intern(rule.head.pred),
         head: rule.head.args.iter().map(|t| Slot::of(t, vars)).collect(),
         ops,
         num_vars,
     }
 }
 
-/// Lazily built hash indexes over a [`RelationStore`].
+/// Lazily built hash indexes over one run's relations, one per compile-time
+/// index slot (a distinct `(pred, mask)` pair — see [`IndexSlots`]).
 ///
-/// `(pred, mask)` maps the projection of each tuple of `pred` onto the
-/// positions in `mask` to the ascending ids of matching tuples. Indexes are
+/// Slot `s` maps the projection of each tuple of its predicate onto the
+/// positions in its mask to the ascending ids of matching tuples. Indexes are
 /// extended on demand (`upto` tracks how much of the relation has been
 /// absorbed); relations only ever grow during evaluation, so extension is
 /// sound and cheap.
 #[derive(Debug, Default)]
 pub(crate) struct IndexSpace {
-    indexes: HashMap<(Predicate, u32), PredIndex>,
+    slots: Vec<PredIndex>,
 }
 
 #[derive(Debug, Default)]
@@ -315,22 +360,23 @@ struct PredIndex {
 }
 
 impl IndexSpace {
-    pub(crate) fn new() -> IndexSpace {
-        IndexSpace::default()
+    pub(crate) fn new(num_slots: usize) -> IndexSpace {
+        let mut slots = Vec::with_capacity(num_slots);
+        slots.resize_with(num_slots, PredIndex::default);
+        IndexSpace { slots }
     }
 
-    /// Appends the ids of tuples of `pred` matching `key` on the positions of
-    /// `mask` to `out`.
+    /// Appends the ids of `tuples` matching `key` on the positions of `mask`
+    /// to `out`, absorbing freshly appended tuples into slot `slot` first.
     pub(crate) fn probe(
         &mut self,
-        store: &RelationStore,
-        pred: Predicate,
+        slot: u32,
+        tuples: &[Tuple],
         mask: u32,
         key: &[Symbol],
         out: &mut Vec<u32>,
     ) {
-        let tuples = store.tuples_slice(pred);
-        let index = self.indexes.entry((pred, mask)).or_default();
+        let index = &mut self.slots[slot as usize];
         if index.upto < tuples.len() {
             let mut proj = Tuple::new();
             for (id, tuple) in tuples.iter().enumerate().skip(index.upto) {
@@ -357,7 +403,7 @@ impl IndexSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::Program;
+    use crate::ast::{Predicate, Program};
 
     fn atom(name: &str, terms: &[DlTerm]) -> DlAtom {
         DlAtom::new(Predicate::new(name, terms.len()), terms.to_vec())
@@ -365,6 +411,14 @@ mod tests {
 
     fn v(name: &str) -> DlTerm {
         DlTerm::var(name)
+    }
+
+    fn compile(rule: &Rule, delta_pos: Option<usize>) -> (CompiledRule, PredTable) {
+        let vars = rule.numbering();
+        let mut preds = PredTable::default();
+        let mut islots = IndexSlots::default();
+        let plan = compile_rule(rule, &vars, delta_pos, &mut preds, &mut islots);
+        (plan, preds)
     }
 
     #[test]
@@ -379,15 +433,13 @@ mod tests {
                 BodyLiteral::Negative(atom("G", &[v("X"), v("Z")])),
             ],
         );
-        let vars = rule.numbering();
-        let plan = compile_rule(&rule, &vars, None);
+        let (plan, preds) = compile(&rule, None);
         assert_eq!(plan.num_vars, 3);
+        let id = |name: &str, arity| preds.lookup(Predicate::new(name, arity)).unwrap();
         // First op scans E (nothing bound), second probes F on Y, and the
         // filter + negation follow immediately once X, Z are bound.
-        assert!(matches!(&plan.ops[0], Op::Scan(p) if p.pred == Predicate::new("E", 2)));
-        assert!(
-            matches!(&plan.ops[1], Op::Probe(p) if p.pred == Predicate::new("F", 2) && p.mask == 0b01)
-        );
+        assert!(matches!(&plan.ops[0], Op::Scan(p) if p.pred == id("E", 2)));
+        assert!(matches!(&plan.ops[1], Op::Probe(p) if p.pred == id("F", 2) && p.mask == 0b01));
         assert!(matches!(&plan.ops[2], Op::Filter(_) | Op::Negative { .. }));
         assert!(matches!(&plan.ops[3], Op::Filter(_) | Op::Negative { .. }));
     }
@@ -402,8 +454,7 @@ mod tests {
                 BodyLiteral::Positive(atom("F", &[v("X"), v("X")])),
             ],
         );
-        let vars = rule.numbering();
-        let plan = compile_rule(&rule, &vars, None);
+        let (plan, _) = compile(&rule, None);
         assert!(matches!(&plan.ops[0], Op::Scan(_)));
         assert!(matches!(&plan.ops[1], Op::Exists(_)));
     }
@@ -418,10 +469,32 @@ mod tests {
                 BodyLiteral::Positive(atom("E", &[v("Y"), v("Z")])),
             ],
         );
-        let vars = rule.numbering();
-        let plan = compile_rule(&rule, &vars, Some(0));
-        assert!(matches!(&plan.ops[0], Op::Scan(p) if p.pred == Predicate::new("path", 2)));
+        let (plan, preds) = compile(&rule, Some(0));
+        let path = preds.lookup(Predicate::new("path", 2)).unwrap();
+        assert!(matches!(&plan.ops[0], Op::Scan(p) if p.pred == path));
         assert!(matches!(&plan.ops[1], Op::Probe(p) if p.mask == 0b01));
+    }
+
+    #[test]
+    fn probes_of_the_same_pred_and_mask_share_an_index_slot() {
+        let rule = Rule::new(
+            atom("head", &[v("X"), v("Z")]),
+            vec![
+                BodyLiteral::Positive(atom("E", &[v("X"), v("Y")])),
+                BodyLiteral::Positive(atom("F", &[v("Y"), v("Z")])),
+            ],
+        );
+        let vars = rule.numbering();
+        let mut preds = PredTable::default();
+        let mut islots = IndexSlots::default();
+        let a = compile_rule(&rule, &vars, None, &mut preds, &mut islots);
+        let b = compile_rule(&rule, &vars, None, &mut preds, &mut islots);
+        let slot_of = |plan: &CompiledRule| match &plan.ops[1] {
+            Op::Probe(p) => p.index_slot,
+            other => panic!("expected probe, got {other:?}"),
+        };
+        assert_eq!(slot_of(&a), slot_of(&b));
+        assert_eq!(islots.len(), 1);
     }
 
     #[test]
@@ -430,8 +503,7 @@ mod tests {
             atom("head", &[v("X")]),
             vec![BodyLiteral::Positive(atom("E", &[v("X"), v("X")]))],
         );
-        let vars = rule.numbering();
-        let plan = compile_rule(&rule, &vars, None);
+        let (plan, _) = compile(&rule, None);
         let Op::Scan(p) = &plan.ops[0] else {
             panic!("expected scan");
         };

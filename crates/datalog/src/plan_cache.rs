@@ -1,0 +1,145 @@
+//! Caching of compiled programs, keyed by program identity.
+//!
+//! Planning a program ([`CompiledProgram::compile`]) — safety checks,
+//! stratification, variable numbering and greedy join ordering — is pure in
+//! the program text, so repeated evaluations of the same program (the normal
+//! case for certain-answer workloads, which run one generated CQA program
+//! per query against many instances) can share a single compiled plan. A
+//! [`PlanCache`] maps a [`Program`] (structural identity: rules plus EDB
+//! declarations) to its `Arc<CompiledProgram>`; the process-wide
+//! [`PlanCache::global`] instance backs
+//! [`crate::cqa_program::generate_program`], so every generated program is
+//! planned at most once per process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::ast::Program;
+use crate::engine::{CompiledProgram, EngineError};
+
+/// A cache of compiled programs keyed by program identity.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<Program, Arc<CompiledProgram>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The process-wide cache.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    /// Returns the cached compiled plan for `program`, compiling (and
+    /// caching) it on first sight. Compilation failures are returned and not
+    /// cached.
+    pub fn get_or_compile(&self, program: &Program) -> Result<Arc<CompiledProgram>, EngineError> {
+        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(program) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Compile outside the lock; a racing thread may compile the same
+        // program, in which case the first insertion wins.
+        let compiled = Arc::new(CompiledProgram::compile(program)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        Ok(Arc::clone(plans.entry(program.clone()).or_insert(compiled)))
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BodyLiteral, DlAtom, DlTerm, Predicate, Rule};
+
+    fn tc_program(edge: &str) -> Program {
+        let atom = |name: &str, vars: [&str; 2]| {
+            DlAtom::new(
+                Predicate::new(name, 2),
+                vars.iter().map(|v| DlTerm::var(v)).collect(),
+            )
+        };
+        let mut p = Program::new();
+        p.declare_edb(Predicate::new(edge, 2));
+        p.add_rule(Rule::new(
+            atom("path", ["X", "Y"]),
+            vec![BodyLiteral::Positive(atom(edge, ["X", "Y"]))],
+        ));
+        p.add_rule(Rule::new(
+            atom("path", ["X", "Z"]),
+            vec![
+                BodyLiteral::Positive(atom("path", ["X", "Y"])),
+                BodyLiteral::Positive(atom(edge, ["Y", "Z"])),
+            ],
+        ));
+        p
+    }
+
+    #[test]
+    fn identical_programs_share_one_compilation() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_compile(&tc_program("E")).unwrap();
+        let b = cache.get_or_compile(&tc_program("E")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_programs_compile_separately() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_compile(&tc_program("E")).unwrap();
+        let b = cache.get_or_compile(&tc_program("F")).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let mut bad = Program::new();
+        bad.add_rule(Rule::new(
+            DlAtom::new(Predicate::new("p", 1), vec![DlTerm::var("X")]),
+            vec![],
+        ));
+        let cache = PlanCache::new();
+        assert!(cache.get_or_compile(&bad).is_err());
+        assert!(cache.is_empty());
+    }
+}

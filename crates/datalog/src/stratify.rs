@@ -150,9 +150,8 @@ fn recursive_components(program: &Program) -> Vec<BTreeSet<Predicate>> {
 /// the head. Linear Datalog with stratified negation captures NL.
 pub fn is_linear(program: &Program) -> bool {
     let components = recursive_components(program);
-    let component_of = |p: Predicate| -> Option<usize> {
-        components.iter().position(|c| c.contains(&p))
-    };
+    let component_of =
+        |p: Predicate| -> Option<usize> { components.iter().position(|c| c.contains(&p)) };
     for rule in &program.rules {
         let Some(head_component) = component_of(rule.head.pred) else {
             continue;
@@ -165,9 +164,9 @@ pub fn is_linear(program: &Program) -> bool {
         let recursive = components[head_component].len() > 1
             || program.rules.iter().any(|r| {
                 r.head.pred == rule.head.pred
-                    && r.body.iter().any(|l| {
-                        matches!(l, BodyLiteral::Positive(a) if a.pred == rule.head.pred)
-                    })
+                    && r.body
+                        .iter()
+                        .any(|l| matches!(l, BodyLiteral::Positive(a) if a.pred == rule.head.pred))
             });
         if !recursive {
             continue;
@@ -294,11 +293,17 @@ mod tests {
         p.declare_edb(pred("e", 2));
         p.add_rule(Rule::new(
             atom("a", &["X"]),
-            vec![BodyLiteral::Positive(atom("e", &["X", "Y"])), BodyLiteral::Positive(atom("b", &["Y"]))],
+            vec![
+                BodyLiteral::Positive(atom("e", &["X", "Y"])),
+                BodyLiteral::Positive(atom("b", &["Y"])),
+            ],
         ));
         p.add_rule(Rule::new(
             atom("b", &["X"]),
-            vec![BodyLiteral::Positive(atom("e", &["X", "Y"])), BodyLiteral::Positive(atom("a", &["Y"]))],
+            vec![
+                BodyLiteral::Positive(atom("e", &["X", "Y"])),
+                BodyLiteral::Positive(atom("a", &["Y"])),
+            ],
         ));
         p.add_rule(Rule::new(
             atom("a", &["X"]),

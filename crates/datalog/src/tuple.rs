@@ -5,6 +5,11 @@
 //! [`INLINE_ARITY`] symbols are stored inline without heap allocation; longer
 //! tuples spill to a `Vec`. [`Symbol`]s are 4-byte interner handles, making
 //! the inline representation a small, copy-friendly array.
+//!
+//! `Tuple` is an enum of the two representations, so the inline case does not
+//! carry an (always empty) `Vec` alongside the array: the whole value is at
+//! most 32 bytes, and every hot-path clone of an inline tuple is a plain
+//! `memcpy`. A unit test pins the size.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -26,71 +31,85 @@ fn pad() -> Symbol {
 
 /// A tuple of constants with inline storage for small arities.
 #[derive(Clone)]
-pub struct Tuple {
-    len: u32,
-    inline: [Symbol; INLINE_ARITY],
-    spill: Vec<Symbol>,
+pub enum Tuple {
+    /// Up to [`INLINE_ARITY`] symbols stored in place.
+    Inline {
+        /// Number of occupied slots.
+        len: u8,
+        /// The symbols; slots at `len..` hold an unobservable padding value.
+        syms: [Symbol; INLINE_ARITY],
+    },
+    /// Longer tuples spill to the heap.
+    Spill(Vec<Symbol>),
 }
 
 impl Tuple {
     /// The empty tuple.
     pub fn new() -> Tuple {
-        Tuple::from_slice(&[])
+        Tuple::Inline {
+            len: 0,
+            syms: [pad(); INLINE_ARITY],
+        }
     }
 
     /// Builds a tuple from a slice of symbols.
     pub fn from_slice(symbols: &[Symbol]) -> Tuple {
         if symbols.len() <= INLINE_ARITY {
-            let mut inline = [pad(); INLINE_ARITY];
-            inline[..symbols.len()].copy_from_slice(symbols);
-            Tuple {
-                len: symbols.len() as u32,
-                inline,
-                spill: Vec::new(),
+            let mut syms = [pad(); INLINE_ARITY];
+            syms[..symbols.len()].copy_from_slice(symbols);
+            Tuple::Inline {
+                len: symbols.len() as u8,
+                syms,
             }
         } else {
-            Tuple {
-                len: symbols.len() as u32,
-                inline: [pad(); INLINE_ARITY],
-                spill: symbols.to_vec(),
-            }
+            Tuple::Spill(symbols.to_vec())
         }
     }
 
     /// The tuple's symbols.
     pub fn as_slice(&self) -> &[Symbol] {
-        if self.len as usize <= INLINE_ARITY {
-            &self.inline[..self.len as usize]
-        } else {
-            &self.spill
+        match self {
+            Tuple::Inline { len, syms } => &syms[..*len as usize],
+            Tuple::Spill(v) => v,
         }
     }
 
     /// Number of symbols.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.len as usize
+        match self {
+            Tuple::Inline { len, .. } => *len as usize,
+            Tuple::Spill(v) => v.len(),
+        }
     }
 
     /// Appends a symbol (used by index-key construction).
     pub fn push(&mut self, s: Symbol) {
-        let n = self.len as usize;
-        if n < INLINE_ARITY {
-            self.inline[n] = s;
-        } else {
-            if n == INLINE_ARITY {
-                self.spill.reserve(INLINE_ARITY + 1);
-                self.spill.extend_from_slice(&self.inline);
+        match self {
+            Tuple::Inline { len, syms } => {
+                let n = *len as usize;
+                if n < INLINE_ARITY {
+                    syms[n] = s;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_ARITY + 1);
+                    v.extend_from_slice(syms);
+                    v.push(s);
+                    *self = Tuple::Spill(v);
+                }
             }
-            self.spill.push(s);
+            Tuple::Spill(v) => v.push(s),
         }
-        self.len += 1;
     }
 
-    /// Removes all symbols, keeping the spill capacity.
+    /// Removes all symbols, keeping the current representation (and thus the
+    /// spill capacity): a scratch tuple reused across wide projection keys
+    /// refills its retained buffer instead of re-allocating.
     pub fn clear(&mut self) {
-        self.len = 0;
-        self.spill.clear();
+        match self {
+            Tuple::Inline { len, .. } => *len = 0,
+            Tuple::Spill(v) => v.clear(),
+        }
     }
 }
 
@@ -156,7 +175,11 @@ impl From<&[Symbol]> for Tuple {
 
 impl From<Vec<Symbol>> for Tuple {
     fn from(v: Vec<Symbol>) -> Tuple {
-        Tuple::from_slice(&v)
+        if v.len() <= INLINE_ARITY {
+            Tuple::from_slice(&v)
+        } else {
+            Tuple::Spill(v)
+        }
     }
 }
 
@@ -223,5 +246,48 @@ mod tests {
         b.push(sym("x"));
         assert_eq!(a, b);
         assert_ne!(a, Tuple::new());
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        // A cleared spill pushed back below the inline arity must equal the
+        // inline tuple with the same symbols.
+        let mut spilled: Tuple = (0..6).map(|i| sym(&format!("r{i}"))).collect();
+        assert!(matches!(spilled, Tuple::Spill(_)));
+        spilled.clear();
+        spilled.push(sym("r0"));
+        let inline = Tuple::from_slice(&[sym("r0")]);
+        assert_eq!(spilled, inline);
+        use std::hash::{BuildHasher, RandomState};
+        let s = RandomState::new();
+        assert_eq!(s.hash_one(&spilled), s.hash_one(&inline));
+    }
+
+    #[test]
+    fn round_trips_arities_zero_through_eight() {
+        for arity in 0..=8usize {
+            let symbols: Vec<Symbol> = (0..arity).map(|i| sym(&format!("a{i}"))).collect();
+            let from_slice = Tuple::from_slice(&symbols);
+            let from_iter: Tuple = symbols.iter().copied().collect();
+            let from_vec: Tuple = Tuple::from(symbols.clone());
+            assert_eq!(from_slice.len(), arity);
+            assert_eq!(from_slice.as_slice(), &symbols[..]);
+            assert_eq!(from_slice, from_iter);
+            assert_eq!(from_slice, from_vec);
+            if arity <= INLINE_ARITY {
+                assert!(matches!(from_slice, Tuple::Inline { .. }));
+            } else {
+                assert!(matches!(from_slice, Tuple::Spill(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_fits_in_32_bytes() {
+        assert!(
+            std::mem::size_of::<Tuple>() <= 32,
+            "Tuple grew to {} bytes",
+            std::mem::size_of::<Tuple>()
+        );
     }
 }

@@ -39,7 +39,9 @@ mod tests {
 
     #[test]
     fn errors_display_their_payloads() {
-        assert!(DbError::UnknownFact("R(a, b)".into()).to_string().contains("R(a, b)"));
+        assert!(DbError::UnknownFact("R(a, b)".into())
+            .to_string()
+            .contains("R(a, b)"));
         assert!(DbError::PathLimitExceeded(7).to_string().contains('7'));
     }
 }

@@ -134,7 +134,10 @@ impl DatabaseInstance {
 
     /// The facts of the block `R(key, ∗)`.
     pub fn block_facts(&self, rel: RelName, key: Constant) -> Vec<Fact> {
-        self.block(rel, key).iter().map(|&id| self.fact(id)).collect()
+        self.block(rel, key)
+            .iter()
+            .map(|&id| self.fact(id))
+            .collect()
     }
 
     /// All values `b` such that `R(key, b)` is a fact.
@@ -266,7 +269,12 @@ impl DatabaseInstance {
 
 impl fmt::Debug for DatabaseInstance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "DatabaseInstance ({} facts, {} blocks):", self.len(), self.block_count())?;
+        writeln!(
+            f,
+            "DatabaseInstance ({} facts, {} blocks):",
+            self.len(),
+            self.block_count()
+        )?;
         for fact in &self.facts {
             writeln!(f, "  {fact}")?;
         }

@@ -37,8 +37,8 @@ pub mod prelude {
     pub use crate::fact::{BlockId, Constant, Fact, FactId};
     pub use crate::instance::DatabaseInstance;
     pub use crate::path::{
-        consistent_path_endpoints, embeddings, has_path, paths_with_trace,
-        paths_with_trace_from, reachable_by_trace, DbPath,
+        consistent_path_endpoints, embeddings, has_path, paths_with_trace, paths_with_trace_from,
+        reachable_by_trace, DbPath,
     };
     pub use crate::repair::{ConsistentInstance, RepairsIter};
 }

@@ -124,7 +124,15 @@ fn search_paths(
     let rel = trace[depth];
     for &fact_id in db.block(rel, at) {
         current.push(fact_id);
-        search_paths(db, db.fact(fact_id).value, trace, depth + 1, current, results, limit)?;
+        search_paths(
+            db,
+            db.fact(fact_id).value,
+            trace,
+            depth + 1,
+            current,
+            results,
+            limit,
+        )?;
         current.pop();
     }
     Ok(())
@@ -181,7 +189,11 @@ pub fn has_path(db: &DatabaseInstance, from: Constant, trace: &Word, to: Constan
 }
 
 /// All constants reachable from `from` by a path with the given trace.
-pub fn reachable_by_trace(db: &DatabaseInstance, from: Constant, trace: &Word) -> BTreeSet<Constant> {
+pub fn reachable_by_trace(
+    db: &DatabaseInstance,
+    from: Constant,
+    trace: &Word,
+) -> BTreeSet<Constant> {
     let mut frontier: BTreeSet<Constant> = BTreeSet::from([from]);
     for rel in trace.iter() {
         let mut next = BTreeSet::new();
@@ -274,9 +286,11 @@ mod tests {
         let paths = paths_with_trace(&db, &Word::from_letters("RRX"), 100).unwrap();
         // 0 -> 1 -> 3 -> 4 (via R(1,3)) and 1 -> 2 -> 3 -> 4 (via R(1,2)).
         assert_eq!(paths.len(), 2);
-        let starts: BTreeSet<Constant> =
-            paths.iter().filter_map(|p| p.start(&db)).collect();
-        assert_eq!(starts, BTreeSet::from([Constant::new("0"), Constant::new("1")]));
+        let starts: BTreeSet<Constant> = paths.iter().filter_map(|p| p.start(&db)).collect();
+        assert_eq!(
+            starts,
+            BTreeSet::from([Constant::new("0"), Constant::new("1")])
+        );
     }
 
     #[test]
@@ -316,7 +330,12 @@ mod tests {
             .contains(&Constant::new("f")));
         assert!(consistent_path_endpoints(&db, c, &Word::from_letters("RSRT")).is_empty());
         // The unrestricted (possibly inconsistent) reachability does find it.
-        assert!(has_path(&db, c, &Word::from_letters("RSRT"), Constant::new("f")));
+        assert!(has_path(
+            &db,
+            c,
+            &Word::from_letters("RSRT"),
+            Constant::new("f")
+        ));
     }
 
     #[test]
@@ -343,9 +362,22 @@ mod tests {
     fn reachability_by_trace() {
         let db = figure_2();
         let reach = reachable_by_trace(&db, Constant::new("0"), &Word::from_letters("RR"));
-        assert_eq!(reach, BTreeSet::from([Constant::new("2"), Constant::new("3")]));
-        assert!(has_path(&db, Constant::new("0"), &Word::from_letters("RRRX"), Constant::new("4")));
-        assert!(!has_path(&db, Constant::new("0"), &Word::from_letters("RX"), Constant::new("4")));
+        assert_eq!(
+            reach,
+            BTreeSet::from([Constant::new("2"), Constant::new("3")])
+        );
+        assert!(has_path(
+            &db,
+            Constant::new("0"),
+            &Word::from_letters("RRRX"),
+            Constant::new("4")
+        ));
+        assert!(!has_path(
+            &db,
+            Constant::new("0"),
+            &Word::from_letters("RX"),
+            Constant::new("4")
+        ));
     }
 
     #[test]

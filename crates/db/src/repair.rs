@@ -134,9 +134,7 @@ impl ConsistentInstance {
         if word.is_empty() {
             return true;
         }
-        self.adom
-            .iter()
-            .any(|&c| self.satisfies_word_from(c, word))
+        self.adom.iter().any(|&c| self.satisfies_word_from(c, word))
     }
 
     /// All constants from which a path with trace `word` starts.
@@ -288,9 +286,7 @@ mod tests {
     #[test]
     fn walk_follows_deterministic_edges() {
         let db = sample_db();
-        let repair = db
-            .repair_containing(&[Fact::parse("R", "1", "2")])
-            .unwrap();
+        let repair = db.repair_containing(&[Fact::parse("R", "1", "2")]).unwrap();
         let start = Constant::new("0");
         assert_eq!(
             repair.walk(start, &Word::from_letters("RRRX")),
@@ -308,14 +304,8 @@ mod tests {
         let q = Word::from_letters("RRX");
         let r1 = db.repair_containing(&[Fact::parse("R", "1", "2")]).unwrap();
         let r2 = db.repair_containing(&[Fact::parse("R", "1", "3")]).unwrap();
-        assert_eq!(
-            r1.starts_of_word(&q),
-            BTreeSet::from([Constant::new("1")])
-        );
-        assert_eq!(
-            r2.starts_of_word(&q),
-            BTreeSet::from([Constant::new("0")])
-        );
+        assert_eq!(r1.starts_of_word(&q), BTreeSet::from([Constant::new("1")]));
+        assert_eq!(r2.starts_of_word(&q), BTreeSet::from([Constant::new("0")]));
     }
 
     #[test]

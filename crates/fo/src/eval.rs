@@ -139,8 +139,14 @@ mod tests {
         let phi = Formula::forall(
             x,
             Formula::exists(y, Formula::atom(r(), Term::Var(x), Term::Var(y))).implies(
-                Formula::exists(z, Formula::atom(RelName::new("S"), Term::Var(x), Term::Var(z)))
-                    .or(Formula::exists(z, Formula::atom(r(), Term::Var(x), Term::Var(z)))),
+                Formula::exists(
+                    z,
+                    Formula::atom(RelName::new("S"), Term::Var(x), Term::Var(z)),
+                )
+                .or(Formula::exists(
+                    z,
+                    Formula::atom(r(), Term::Var(x), Term::Var(z)),
+                )),
             ),
         );
         assert!(eval(&db, &phi));
@@ -155,11 +161,15 @@ mod tests {
         let z = Variable::new("z");
         let phi = Formula::exists(
             x,
-            Formula::exists(y, Formula::atom(r(), Term::Var(x), Term::Var(y))).and(Formula::forall(
-                y,
-                Formula::atom(r(), Term::Var(x), Term::Var(y))
-                    .implies(Formula::exists(z, Formula::atom(r(), Term::Var(y), Term::Var(z)))),
-            )),
+            Formula::exists(y, Formula::atom(r(), Term::Var(x), Term::Var(y))).and(
+                Formula::forall(
+                    y,
+                    Formula::atom(r(), Term::Var(x), Term::Var(y)).implies(Formula::exists(
+                        z,
+                        Formula::atom(r(), Term::Var(y), Term::Var(z)),
+                    )),
+                ),
+            ),
         );
         // On the instance of Figure 1 restricted to R, every repair satisfies
         // RR (Example 1), so φ must hold.
@@ -183,7 +193,10 @@ mod tests {
         assert!(eval(&db, &Formula::True));
         assert!(!eval(&db, &Formula::False));
         assert!(eval(&db, &Formula::False.negate()));
-        assert!(!eval(&db, &Formula::And(vec![Formula::True, Formula::False])));
+        assert!(!eval(
+            &db,
+            &Formula::And(vec![Formula::True, Formula::False])
+        ));
         assert!(eval(&db, &Formula::Or(vec![Formula::True, Formula::False])));
     }
 

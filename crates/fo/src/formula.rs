@@ -249,8 +249,11 @@ mod tests {
         let r = RelName::new("R");
         let phi = Formula::exists(
             v("x"),
-            Formula::exists(v("y"), Formula::atom(r, Term::Var(v("x")), Term::Var(v("y"))))
-                .and(Formula::Eq(Term::Var(v("x")), Term::constant("c"))),
+            Formula::exists(
+                v("y"),
+                Formula::atom(r, Term::Var(v("x")), Term::Var(v("y"))),
+            )
+            .and(Formula::Eq(Term::Var(v("x")), Term::constant("c"))),
         );
         let text = phi.to_string();
         assert!(text.contains("∃x"));

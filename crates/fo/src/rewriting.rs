@@ -220,7 +220,12 @@ impl TerminalCache {
     }
 
     /// The table for a word (computing it on first use).
-    pub fn table(&mut self, db: &DatabaseInstance, word: &Word, end: EndCap) -> &CertainRootedTable {
+    pub fn table(
+        &mut self,
+        db: &DatabaseInstance,
+        word: &Word,
+        end: EndCap,
+    ) -> &CertainRootedTable {
         let key = (
             word.clone(),
             match end {
@@ -370,10 +375,13 @@ mod tests {
     #[test]
     fn rewriting_size_is_linear_in_query_length() {
         for len in 1..=8 {
-            let word: Word = std::iter::repeat_n(cqa_core::symbol::RelName::new("R"), len)
-                .collect();
+            let word: Word =
+                std::iter::repeat_n(cqa_core::symbol::RelName::new("R"), len).collect();
             let phi = c1_rewriting(&word);
-            assert!(phi.size() <= 6 * len + 2, "rewriting too large for length {len}");
+            assert!(
+                phi.size() <= 6 * len + 2,
+                "rewriting too large for length {len}"
+            );
         }
     }
 

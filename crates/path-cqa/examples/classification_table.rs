@@ -9,14 +9,11 @@ use path_cqa::prelude::*;
 fn main() {
     let catalogue = [
         // Section 1 examples.
-        "RR", "RRX", "ARRX",
-        // Example 3.
+        "RR", "RRX", "ARRX", // Example 3.
         "RXRX", "RXRY", "RXRYRY", "RXRXRYRY",
         // Figure 4 and the Lemma 3 boundary words.
-        "RXRRR", "RRSRS", "RSRRR",
-        // Self-join-free queries are always FO.
-        "R", "RST", "ABCDE",
-        // A few longer mixed queries.
+        "RXRRR", "RRSRS", "RSRRR", // Self-join-free queries are always FO.
+        "R", "RST", "ABCDE", // A few longer mixed queries.
         "RXRXRX", "RXRYRXRY", "UVUVWV", "ABAB", "ABABB",
     ];
 

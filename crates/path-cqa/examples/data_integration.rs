@@ -26,7 +26,11 @@ fn main() {
     db.insert_parsed("Next", "ORD", "SFO");
     db.insert_parsed("OperatedBy", "ORD", "AcmeAir");
 
-    println!("merged instance ({} facts, {} conflicting blocks):", db.len(), db.conflicting_blocks().len());
+    println!(
+        "merged instance ({} facts, {} conflicting blocks):",
+        db.len(),
+        db.conflicting_blocks().len()
+    );
     for fact in db.facts() {
         println!("  {fact}");
     }
@@ -51,10 +55,8 @@ fn main() {
 
     // q3: does BRU certainly reach a flight operated by AcmeAir in exactly
     // three legs? (ends in a constant)
-    let q3 = parse_query(
-        "Next('BRU', x), Next(x, y), Next(y, z), OperatedBy(z, 'AcmeAir')",
-    )
-    .expect("valid query");
+    let q3 = parse_query("Next('BRU', x), Next(x, y), Next(y, z), OperatedBy(z, 'AcmeAir')")
+        .expect("valid query");
     println!(
         "q3 = {q3} ({}): certain = {}",
         solver.classify(&q3).class,

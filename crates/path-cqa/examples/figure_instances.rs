@@ -78,7 +78,10 @@ fn figure_4_automaton() {
         println!("  {s}: {}", a.state_prefix(s));
     }
     println!("forward transitions: {:?}", a.nfa().all_transitions());
-    println!("backward (rewinding) transitions: {:?}", a.backward_transitions());
+    println!(
+        "backward (rewinding) transitions: {:?}",
+        a.backward_transitions()
+    );
     for word in ["RXRRR", "RXRXRRR", "RXRRRRR", "RXRR"] {
         println!(
             "  accepts {word:<9} = {}",
@@ -102,10 +105,7 @@ fn figure_6_fixpoint_run() {
         "certain start vertices (Corollary 1): {:?}",
         run.certain_start_vertices()
     );
-    println!(
-        "yes-instance: {}",
-        !run.certain_start_vertices().is_empty()
-    );
+    println!("yes-instance: {}", !run.certain_start_vertices().is_empty());
     // The LFP formula of Figure 7 for the same query.
     println!("\nLFP formula (Figure 7):\n{}", lfp_formula_text(q.word()));
 }

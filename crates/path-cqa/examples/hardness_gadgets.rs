@@ -23,7 +23,11 @@ fn reachability_gadget() {
     graph.add_edge(1, 2);
     let q = PathQuery::parse("RRX").unwrap();
     let db = reachability_reduction(&graph, 0, 2, &q).unwrap();
-    println!("gadget instance has {} facts over {} blocks", db.len(), db.block_count());
+    println!(
+        "gadget instance has {} facts over {} blocks",
+        db.len(),
+        db.block_count()
+    );
     let certain = solve_certainty(&q, &db).unwrap();
     println!(
         "t reachable from s: {}   |   instance certain: {}   (expected: reachable ⇔ not certain)",
@@ -51,7 +55,11 @@ fn sat_gadget() {
     formula.add_clause(vec![-2, 3]);
     let q = PathQuery::parse("ARRX").unwrap();
     let db = sat_reduction(&formula, &q).unwrap();
-    println!("gadget instance has {} facts over {} blocks", db.len(), db.block_count());
+    println!(
+        "gadget instance has {} facts over {} blocks",
+        db.len(),
+        db.block_count()
+    );
     let certain = SatCertaintySolver::default().certain(&q, &db).unwrap();
     println!(
         "formula satisfiable: {}   |   instance certain: {}   (expected: satisfiable ⇔ not certain)",

@@ -39,7 +39,9 @@ fn main() {
     println!("certain answer (every repair satisfies q): {certain}");
 
     // Compare against the exhaustive oracle.
-    let oracle = NaiveSolver::default().certain(&q, &db).expect("small instance");
+    let oracle = NaiveSolver::default()
+        .certain(&q, &db)
+        .expect("small instance");
     println!("naive oracle agrees: {}", certain == oracle);
 
     // A query that is *not* certain: a chain of four ReportsTo edges exists

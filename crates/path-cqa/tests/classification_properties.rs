@@ -94,10 +94,16 @@ fn rewinds_respect_prefix_and_factor_containment() {
         let w = Word::from_letters(&word);
         for (_, _, rewound) in w.rewinds() {
             if satisfies_c1(&w) {
-                assert!(w.is_prefix_of(&rewound), "{word}: not a prefix of {rewound}");
+                assert!(
+                    w.is_prefix_of(&rewound),
+                    "{word}: not a prefix of {rewound}"
+                );
             }
             if satisfies_c3(&w) {
-                assert!(w.is_factor_of(&rewound), "{word}: not a factor of {rewound}");
+                assert!(
+                    w.is_factor_of(&rewound),
+                    "{word}: not a factor of {rewound}"
+                );
             }
         }
     }

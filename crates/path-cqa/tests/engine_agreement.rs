@@ -170,7 +170,46 @@ fn indexed_engine_agrees_with_scan_reference_on_random_programs() {
             checked += 1;
         }
     }
-    assert!(checked >= 200, "need at least 200 agreement pairs, got {checked}");
+    assert!(
+        checked >= 200,
+        "need at least 200 agreement pairs, got {checked}"
+    );
+}
+
+#[test]
+fn plan_cache_cold_and_warm_runs_derive_identical_stores() {
+    // Every random program goes through a plan cache twice: the cold pass
+    // compiles, the warm pass must hand back the *same* compiled plan (by
+    // pointer) and derive an identical store — and both must agree with a
+    // fresh compile-and-run.
+    let cache = PlanCache::new();
+    let mut warm_runs = 0;
+    for program_seed in 0..12u64 {
+        let mut gen = ProgramGen::new(0xCAC4E + program_seed);
+        let program = gen.program();
+        let db = RandomInstanceConfig::new("RS", 5, 16, 0xD0 + program_seed).generate();
+        let cold_plan = cache.get_or_compile(&program).unwrap();
+        let cold = cold_plan.run(&db);
+        let warm_plan = cache.get_or_compile(&program).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&cold_plan, &warm_plan),
+            "warm lookup must reuse the cold compilation (seed {program_seed})"
+        );
+        let warm = warm_plan.run(&db);
+        assert_eq!(
+            cold, warm,
+            "cold and warm runs disagree (seed {program_seed})\n{program}"
+        );
+        let fresh = evaluate(&program, &db).unwrap();
+        assert_eq!(
+            cold, fresh,
+            "cached and fresh compilations disagree (seed {program_seed})\n{program}"
+        );
+        warm_runs += 1;
+    }
+    assert_eq!(cache.misses(), warm_runs);
+    assert_eq!(cache.hits(), warm_runs);
+    assert_eq!(cache.len(), warm_runs as usize);
 }
 
 #[test]
@@ -194,7 +233,7 @@ fn engines_agree_on_generated_cqa_programs() {
                 0xCAA + seed,
             )
             .generate();
-            let indexed = evaluate(&cqa.program, &db).unwrap();
+            let indexed = cqa.compiled.run(&db);
             let scanned = evaluate_scan(&cqa.program, &db).unwrap();
             assert_eq!(indexed, scanned, "disagreement on {word}, seed {seed}");
         }

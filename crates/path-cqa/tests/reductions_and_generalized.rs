@@ -127,7 +127,9 @@ fn theorem_5_trichotomy_for_capped_queries() {
     // coNP-complete — never PTIME-complete.
     let alphabet = [RelName::new("R"), RelName::new("S"), RelName::new("T")];
     for word in cqa_core::word::all_words(&alphabet, 4) {
-        let Ok(q) = PathQuery::new(word.clone()) else { continue };
+        let Ok(q) = PathQuery::new(word.clone()) else {
+            continue;
+        };
         let capped = q.ending_at(Symbol::new("c"));
         let class = classify_generalized(&capped).class;
         assert_ne!(class, ComplexityClass::PtimeComplete, "[[{word}, c]]");

@@ -87,10 +87,10 @@ fn dispatcher_routes_by_classification_and_matches_oracle_on_layered_workloads()
     let naive = NaiveSolver::with_limit(1 << 20);
     let dispatcher = DispatchSolver::new();
     for (word, expected_route) in [
-        ("RXRX", "fo-rewriting"),
-        ("RXRY", "nl-direct"),
-        ("RXRYRY", "ptime-fixpoint"),
-        ("RXRXRYRY", "conp-sat"),
+        ("RXRX", Route::FoRewriting),
+        ("RXRY", Route::Nl(NlBackend::Direct)),
+        ("RXRYRY", Route::PtimeFixpoint),
+        ("RXRXRYRY", Route::ConpSat),
     ] {
         let q = PathQuery::parse(word).unwrap();
         assert_eq!(dispatcher.route(&q), expected_route);

@@ -73,11 +73,8 @@ pub fn reachability_reduction(
         db.insert(fact);
     }
     // Edges of G' = E ∪ {(s', s), (t, t')}: an Rv-path.
-    let mut edge_pairs: Vec<(Constant, Constant)> = graph
-        .edges
-        .iter()
-        .map(|&(a, b)| (v(a), v(b)))
-        .collect();
+    let mut edge_pairs: Vec<(Constant, Constant)> =
+        graph.edges.iter().map(|&(a, b)| (v(a), v(b))).collect();
     edge_pairs.push((s_prime, v(source)));
     edge_pairs.push((v(target), t_prime));
     for (a, b) in edge_pairs {
@@ -118,10 +115,20 @@ pub fn sat_reduction(
 
     // Variables: the truth-value choice between Rw ("true") and RvRw ("false").
     for z in 1..=formula.num_vars {
-        for fact in phi(&rw, Endpoint::Named(var_const(z)), Endpoint::Fresh, &mut fresh) {
+        for fact in phi(
+            &rw,
+            Endpoint::Named(var_const(z)),
+            Endpoint::Fresh,
+            &mut fresh,
+        ) {
             db.insert(fact);
         }
-        for fact in phi(&rv_rw, Endpoint::Named(var_const(z)), Endpoint::Fresh, &mut fresh) {
+        for fact in phi(
+            &rv_rw,
+            Endpoint::Named(var_const(z)),
+            Endpoint::Fresh,
+            &mut fresh,
+        ) {
             db.insert(fact);
         }
     }
@@ -201,7 +208,12 @@ pub fn mcvp_reduction(
     // True inputs: an outgoing Rv2Rw-path.
     for (x, &value) in inputs.iter().enumerate() {
         if value {
-            for fact in phi(&rv2_rw, Endpoint::Named(node(x)), Endpoint::Fresh, &mut fresh) {
+            for fact in phi(
+                &rv2_rw,
+                Endpoint::Named(node(x)),
+                Endpoint::Fresh,
+                &mut fresh,
+            ) {
                 db.insert(fact);
             }
         }
@@ -209,7 +221,12 @@ pub fn mcvp_reduction(
     // Every gate: an incoming u-path and an outgoing Rv2Rw-path.
     for g in 0..circuit.gates.len() {
         let gate_node = circuit.num_inputs + g;
-        for fact in phi(&u, Endpoint::Fresh, Endpoint::Named(node(gate_node)), &mut fresh) {
+        for fact in phi(
+            &u,
+            Endpoint::Fresh,
+            Endpoint::Named(node(gate_node)),
+            &mut fresh,
+        ) {
             db.insert(fact);
         }
         for fact in phi(
@@ -226,29 +243,59 @@ pub fn mcvp_reduction(
         let gate_node = node(circuit.num_inputs + g);
         match *gate {
             Gate::And(g1, g2) => {
-                for fact in phi(&rv1, Endpoint::Named(gate_node), Endpoint::Named(node(g1)), &mut fresh) {
+                for fact in phi(
+                    &rv1,
+                    Endpoint::Named(gate_node),
+                    Endpoint::Named(node(g1)),
+                    &mut fresh,
+                ) {
                     db.insert(fact);
                 }
-                for fact in phi(&rv1, Endpoint::Named(gate_node), Endpoint::Named(node(g2)), &mut fresh) {
+                for fact in phi(
+                    &rv1,
+                    Endpoint::Named(gate_node),
+                    Endpoint::Named(node(g2)),
+                    &mut fresh,
+                ) {
                     db.insert(fact);
                 }
             }
             Gate::Or(g1, g2) => {
                 let c1 = fresh.next();
                 let c2 = fresh.next();
-                for fact in phi(&rv, Endpoint::Named(gate_node), Endpoint::Named(c1), &mut fresh) {
+                for fact in phi(
+                    &rv,
+                    Endpoint::Named(gate_node),
+                    Endpoint::Named(c1),
+                    &mut fresh,
+                ) {
                     db.insert(fact);
                 }
-                for fact in phi(&v1_plus, Endpoint::Named(c1), Endpoint::Named(node(g1)), &mut fresh) {
+                for fact in phi(
+                    &v1_plus,
+                    Endpoint::Named(c1),
+                    Endpoint::Named(node(g1)),
+                    &mut fresh,
+                ) {
                     db.insert(fact);
                 }
-                for fact in phi(&v2_plus, Endpoint::Named(c1), Endpoint::Named(c2), &mut fresh) {
+                for fact in phi(
+                    &v2_plus,
+                    Endpoint::Named(c1),
+                    Endpoint::Named(c2),
+                    &mut fresh,
+                ) {
                     db.insert(fact);
                 }
                 for fact in phi(&u, Endpoint::Fresh, Endpoint::Named(c2), &mut fresh) {
                     db.insert(fact);
                 }
-                for fact in phi(&rv1, Endpoint::Named(c2), Endpoint::Named(node(g2)), &mut fresh) {
+                for fact in phi(
+                    &rv1,
+                    Endpoint::Named(c2),
+                    Endpoint::Named(node(g2)),
+                    &mut fresh,
+                ) {
                     db.insert(fact);
                 }
                 for fact in phi(&rw, Endpoint::Named(c2), Endpoint::Fresh, &mut fresh) {
@@ -268,7 +315,8 @@ mod tests {
     /// Oracle: every repair satisfies q (exhaustive; instances are small).
     fn certain(db: &DatabaseInstance, query: &PathQuery) -> bool {
         assert!(db.repair_count() <= 1 << 16, "oracle would be too slow");
-        db.repairs().all(|r: ConsistentInstance| r.satisfies_word(query.word()))
+        db.repairs()
+            .all(|r: ConsistentInstance| r.satisfies_word(query.word()))
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct Digraph {
 impl Digraph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Digraph {
-        Digraph { n, edges: Vec::new() }
+        Digraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an edge.
@@ -85,7 +88,9 @@ impl CnfFormula {
 
     /// Adds a clause.
     pub fn add_clause(&mut self, lits: Vec<i32>) {
-        assert!(lits.iter().all(|&l| l != 0 && l.unsigned_abs() as usize <= self.num_vars));
+        assert!(lits
+            .iter()
+            .all(|&l| l != 0 && l.unsigned_abs() as usize <= self.num_vars));
         self.clauses.push(lits);
     }
 
@@ -203,11 +208,18 @@ impl MonotoneCircuit {
 
     /// Evaluates the output.
     pub fn evaluate(&self, inputs: &[bool]) -> bool {
-        *self.evaluate_nodes(inputs).last().expect("nonempty circuit")
+        *self
+            .evaluate_nodes(inputs)
+            .last()
+            .expect("nonempty circuit")
     }
 
     /// A random layered monotone circuit with the given number of gates.
-    pub fn random<R: Rng + ?Sized>(num_inputs: usize, num_gates: usize, rng: &mut R) -> MonotoneCircuit {
+    pub fn random<R: Rng + ?Sized>(
+        num_inputs: usize,
+        num_gates: usize,
+        rng: &mut R,
+    ) -> MonotoneCircuit {
         let mut circuit = MonotoneCircuit::new(num_inputs);
         for _ in 0..num_gates {
             let bound = circuit.num_nodes();

@@ -227,7 +227,11 @@ mod tests {
         db.insert_parsed("R", "b", "c");
         db.insert_parsed("X", "c", "d");
         let solver = SatCertaintySolver::default();
-        assert!(solver.certain(&PathQuery::parse("RRX").unwrap(), &db).unwrap());
-        assert!(!solver.certain(&PathQuery::parse("XX").unwrap(), &db).unwrap());
+        assert!(solver
+            .certain(&PathQuery::parse("RRX").unwrap(), &db)
+            .unwrap());
+        assert!(!solver
+            .certain(&PathQuery::parse("XX").unwrap(), &db)
+            .unwrap());
     }
 }

@@ -1,16 +1,55 @@
 //! The classification-driven dispatcher: classify `q` in polynomial time
 //! (Theorem 2) and route the instance to the matching solver.
 
-use cqa_core::classify::{classify, Classification, ComplexityClass};
+use std::fmt;
+
+use cqa_core::classify::{classify, Classification};
 use cqa_core::query::PathQuery;
 use cqa_db::instance::DatabaseInstance;
 
-use crate::conp::SatCertaintySolver;
 use crate::error::SolverError;
-use crate::fixpoint::FixpointSolver;
-use crate::fo_solver::FoSolver;
-use crate::nl_solver::{NlBackend, NlSolver};
+use crate::nl_solver::NlBackend;
+use crate::session::CertaintySession;
 use crate::traits::CertaintySolver;
+
+/// The back-end a query is routed to, one per complexity class of the
+/// tetrachotomy. Callers branch on the enum instead of string-matching
+/// solver names; [`Route::solver_name`] (and `Display`) still yield the
+/// stable names the solvers report through
+/// [`CertaintySolver::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// First-order rewriting (Lemma 13), for the FO class.
+    FoRewriting,
+    /// The predicates `P`/`O` of Lemma 14 with the given back-end, for the
+    /// NL-complete class.
+    Nl(NlBackend),
+    /// The fixpoint algorithm of Figure 5, for the PTIME-complete class.
+    PtimeFixpoint,
+    /// SAT-based counterexample search, for the coNP-complete class.
+    ConpSat,
+}
+
+impl Route {
+    /// The stable name of the routed solver (matches the corresponding
+    /// [`CertaintySolver::name`]).
+    pub fn solver_name(self) -> &'static str {
+        match self {
+            Route::FoRewriting => "fo-rewriting",
+            Route::Nl(NlBackend::Direct) => "nl-direct",
+            Route::Nl(NlBackend::Datalog) => "nl-datalog",
+            Route::PtimeFixpoint => "ptime-fixpoint",
+            Route::ConpSat => "conp-sat",
+        }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honors width/alignment, which the table-style examples use.
+        f.pad(self.solver_name())
+    }
+}
 
 /// A solver that first classifies the query and then dispatches to the
 /// specialized algorithm for its complexity class:
@@ -21,12 +60,15 @@ use crate::traits::CertaintySolver;
 /// | NL-complete    | predicates `P`/`O` of Lemma 14              |
 /// | PTIME-complete | fixpoint algorithm of Figure 5              |
 /// | coNP-complete  | SAT-based counterexample search             |
+///
+/// Dispatch runs through an internal [`CertaintySession`], so per-query
+/// artifacts (classification, decomposition, compiled CQA program, `S-NFA`)
+/// are built once per dispatcher and shared by subsequent calls with the
+/// same query; use [`DispatchSolver::session`] for batch submission and
+/// cache statistics.
 #[derive(Debug)]
 pub struct DispatchSolver {
-    fo: FoSolver,
-    nl: NlSolver,
-    fixpoint: FixpointSolver,
-    conp: SatCertaintySolver,
+    session: CertaintySession,
 }
 
 impl Default for DispatchSolver {
@@ -39,20 +81,14 @@ impl DispatchSolver {
     /// Creates a dispatcher with default sub-solvers (direct NL back-end).
     pub fn new() -> DispatchSolver {
         DispatchSolver {
-            fo: FoSolver::unchecked(),
-            nl: NlSolver::lenient(NlBackend::Direct),
-            fixpoint: FixpointSolver::unchecked(),
-            conp: SatCertaintySolver::default(),
+            session: CertaintySession::new(),
         }
     }
 
     /// Creates a dispatcher whose NL class is served by the Datalog back-end.
     pub fn with_datalog_nl() -> DispatchSolver {
         DispatchSolver {
-            fo: FoSolver::unchecked(),
-            nl: NlSolver::lenient(NlBackend::Datalog),
-            fixpoint: FixpointSolver::unchecked(),
-            conp: SatCertaintySolver::default(),
+            session: CertaintySession::with_datalog_nl(),
         }
     }
 
@@ -61,14 +97,15 @@ impl DispatchSolver {
         classify(query)
     }
 
-    /// The name of the sub-solver that will handle the query.
-    pub fn route(&self, query: &PathQuery) -> &'static str {
-        match classify(query).class {
-            ComplexityClass::FO => self.fo.name(),
-            ComplexityClass::NlComplete => self.nl.name(),
-            ComplexityClass::PtimeComplete => self.fixpoint.name(),
-            ComplexityClass::CoNpComplete => self.conp.name(),
-        }
+    /// The route (sub-solver) that will handle the query.
+    pub fn route(&self, query: &PathQuery) -> Route {
+        self.session.route(query)
+    }
+
+    /// The dispatcher's certainty session, for batched submission
+    /// ([`CertaintySession::certain_batch`]) and cache statistics.
+    pub fn session(&self) -> &CertaintySession {
+        &self.session
     }
 }
 
@@ -78,12 +115,7 @@ impl CertaintySolver for DispatchSolver {
     }
 
     fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
-        match classify(query).class {
-            ComplexityClass::FO => self.fo.certain(query, db),
-            ComplexityClass::NlComplete => self.nl.certain(query, db),
-            ComplexityClass::PtimeComplete => self.fixpoint.certain(query, db),
-            ComplexityClass::CoNpComplete => self.conp.certain(query, db),
-        }
+        self.session.certain(query, db)
     }
 }
 
@@ -118,10 +150,41 @@ mod tests {
     #[test]
     fn routes_match_the_tetrachotomy() {
         let d = DispatchSolver::new();
-        assert_eq!(d.route(&PathQuery::parse("RXRX").unwrap()), "fo-rewriting");
-        assert_eq!(d.route(&PathQuery::parse("RXRY").unwrap()), "nl-direct");
-        assert_eq!(d.route(&PathQuery::parse("RXRYRY").unwrap()), "ptime-fixpoint");
-        assert_eq!(d.route(&PathQuery::parse("RXRXRYRY").unwrap()), "conp-sat");
+        assert_eq!(
+            d.route(&PathQuery::parse("RXRX").unwrap()),
+            Route::FoRewriting
+        );
+        assert_eq!(
+            d.route(&PathQuery::parse("RXRY").unwrap()),
+            Route::Nl(NlBackend::Direct)
+        );
+        assert_eq!(
+            d.route(&PathQuery::parse("RXRYRY").unwrap()),
+            Route::PtimeFixpoint
+        );
+        assert_eq!(
+            d.route(&PathQuery::parse("RXRXRYRY").unwrap()),
+            Route::ConpSat
+        );
+        let dl = DispatchSolver::with_datalog_nl();
+        assert_eq!(
+            dl.route(&PathQuery::parse("RXRY").unwrap()),
+            Route::Nl(NlBackend::Datalog)
+        );
+    }
+
+    #[test]
+    fn route_names_are_stable() {
+        for (route, name) in [
+            (Route::FoRewriting, "fo-rewriting"),
+            (Route::Nl(NlBackend::Direct), "nl-direct"),
+            (Route::Nl(NlBackend::Datalog), "nl-datalog"),
+            (Route::PtimeFixpoint, "ptime-fixpoint"),
+            (Route::ConpSat, "conp-sat"),
+        ] {
+            assert_eq!(route.solver_name(), name);
+            assert_eq!(route.to_string(), name);
+        }
     }
 
     #[test]
@@ -143,7 +206,8 @@ mod tests {
             let q = PathQuery::parse(word).unwrap();
             for seed in 1..=25u64 {
                 let db = random_db(
-                    seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(word.len() as u64),
+                    seed.wrapping_mul(0x9e3779b97f4a7c15)
+                        .wrapping_add(word.len() as u64),
                     &rels,
                     5,
                     4 + seed % 9,
@@ -164,6 +228,10 @@ mod tests {
                 );
             }
         }
+        // The dispatchers' sessions were warm after the first instance of
+        // each query.
+        assert_eq!(dispatch.session().queries_prepared(), 8);
+        assert!(dispatch.session().cache_hits() > 0);
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for SolverError {
                 write!(f, "solver {solver} is not applicable: {reason}")
             }
             SolverError::RepairLimitExceeded { limit, actual } => {
-                write!(f, "instance has {actual} repairs, above the limit of {limit}")
+                write!(
+                    f,
+                    "instance has {actual} repairs, above the limit of {limit}"
+                )
             }
             SolverError::ResourceLimit(msg) => write!(f, "resource limit exceeded: {msg}"),
             SolverError::Db(e) => write!(f, "database error: {e}"),

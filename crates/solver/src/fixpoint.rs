@@ -54,9 +54,16 @@ impl FixpointRun {
 
 /// Runs the fixpoint algorithm of Figure 5.
 pub fn compute_fixpoint(query: &PathQuery, db: &DatabaseInstance) -> FixpointRun {
-    let word = query.word();
+    compute_fixpoint_with_nfa(&QueryNfa::new(query), db)
+}
+
+/// Runs the fixpoint algorithm of Figure 5 against a pre-built `S-NFA`
+/// family. The automaton only depends on the query, so callers that decide
+/// many instances of the same query (e.g.
+/// [`crate::session::CertaintySession`]) build it once and share it.
+pub fn compute_fixpoint_with_nfa(automaton: &QueryNfa, db: &DatabaseInstance) -> FixpointRun {
+    let word = automaton.word();
     let k = word.len();
-    let automaton = QueryNfa::new(query);
     let adom: Vec<Constant> = db.adom().iter().copied().collect();
 
     let mut n: BTreeSet<(Constant, usize)> = BTreeSet::new();
@@ -86,10 +93,10 @@ pub fn compute_fixpoint(query: &PathQuery, db: &DatabaseInstance) -> FixpointRun
     }
 
     let insert = |c: Constant,
-                      state: usize,
-                      n: &mut BTreeSet<(Constant, usize)>,
-                      order: &mut Vec<(Constant, usize)>,
-                      queue: &mut VecDeque<(Constant, usize)>| {
+                  state: usize,
+                  n: &mut BTreeSet<(Constant, usize)>,
+                  order: &mut Vec<(Constant, usize)>,
+                  queue: &mut VecDeque<(Constant, usize)>| {
         if n.insert((c, state)) {
             order.push((c, state));
             queue.push_back((c, state));

@@ -83,14 +83,20 @@ mod tests {
                 db.insert_parsed("R", a, b);
             }
         }
-        assert_eq!(fo.certain(&q, &db).unwrap(), naive.certain(&q, &db).unwrap());
+        assert_eq!(
+            fo.certain(&q, &db).unwrap(),
+            naive.certain(&q, &db).unwrap()
+        );
         assert!(fo.certain(&q, &db).unwrap());
         // A dangling chain: not certain.
         let mut db = DatabaseInstance::new();
         db.insert_parsed("R", "a", "b");
         db.insert_parsed("R", "a", "c");
         db.insert_parsed("R", "b", "d");
-        assert_eq!(fo.certain(&q, &db).unwrap(), naive.certain(&q, &db).unwrap());
+        assert_eq!(
+            fo.certain(&q, &db).unwrap(),
+            naive.certain(&q, &db).unwrap()
+        );
         assert!(!fo.certain(&q, &db).unwrap());
     }
 

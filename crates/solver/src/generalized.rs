@@ -73,8 +73,7 @@ impl GeneralizedSolver {
         }
         match cap {
             Cap::Top => {
-                let path_query =
-                    PathQuery::new(p).expect("nonempty characteristic prefix");
+                let path_query = PathQuery::new(p).expect("nonempty characteristic prefix");
                 self.dispatch.certain(&path_query, db)
             }
             Cap::Const(c) => {
@@ -82,8 +81,7 @@ impl GeneralizedSolver {
                 let fresh_rel = fresh_relation_for(query);
                 let mut ext_word = p;
                 ext_word.push(fresh_rel);
-                let ext_query =
-                    PathQuery::new(ext_word).expect("extended query is nonempty");
+                let ext_query = PathQuery::new(ext_word).expect("extended query is nonempty");
                 let mut extended_db = db.clone();
                 let fresh_value = fresh_constant(db);
                 extended_db.insert(Fact::new(fresh_rel, Constant(c), fresh_value));

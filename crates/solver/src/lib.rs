@@ -15,7 +15,10 @@
 //!   (queries satisfying C3);
 //! * [`conp::SatCertaintySolver`] — counterexample-repair search by reduction
 //!   to SAT (every path query, in particular the coNP-complete ones);
-//! * [`dispatch::DispatchSolver`] — classify, then route;
+//! * [`dispatch::DispatchSolver`] — classify, then route (through a cached
+//!   [`session::CertaintySession`]);
+//! * [`session::CertaintySession`] — batched certain-answer sessions that
+//!   classify each query once and share compiled per-query artifacts;
 //! * [`generalized::GeneralizedSolver`] — queries with constants (Section 8).
 //!
 //! ```
@@ -45,17 +48,21 @@ pub mod fo_solver;
 pub mod generalized;
 pub mod naive;
 pub mod nl_solver;
+pub mod session;
 pub mod traits;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::conp::SatCertaintySolver;
-    pub use crate::dispatch::{solve_certainty, DispatchSolver};
+    pub use crate::dispatch::{solve_certainty, DispatchSolver, Route};
     pub use crate::error::SolverError;
-    pub use crate::fixpoint::{compute_fixpoint, minimizing_repair, FixpointRun, FixpointSolver};
+    pub use crate::fixpoint::{
+        compute_fixpoint, compute_fixpoint_with_nfa, minimizing_repair, FixpointRun, FixpointSolver,
+    };
     pub use crate::fo_solver::FoSolver;
     pub use crate::generalized::GeneralizedSolver;
     pub use crate::naive::{BacktrackSolver, NaiveSolver};
-    pub use crate::nl_solver::{NlBackend, NlSolver};
+    pub use crate::nl_solver::{NlBackend, NlPlan, NlSolver};
+    pub use crate::session::{CertaintySession, QueryPlan};
     pub use crate::traits::CertaintySolver;
 }

@@ -15,26 +15,35 @@
 //! transparently delegated to the PTIME fixpoint algorithm, which is correct
 //! for every C2 query because C2 ⊆ C3; the fallback is recorded in the
 //! solver's name-independent `FallbackStats`.
+//!
+//! Every per-query artifact — the strict decomposition, the generated (and
+//! compiled) linear Datalog program, or the fallback `S-NFA` family — is
+//! captured in an [`NlPlan`] that the solver caches per query word, so
+//! deciding many instances of the same query pays the preparation cost once
+//! (see also [`crate::session::CertaintySession`], which batches on top of
+//! this).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+use cqa_automata::query_nfa::QueryNfa;
 use cqa_core::classify::{classify, ComplexityClass};
 use cqa_core::query::PathQuery;
 use cqa_core::regex_forms::{b2b_strict_decomposition, B2bDecomposition};
-use cqa_datalog::cqa_program::generate_program;
-use cqa_datalog::engine::Evaluator;
+use cqa_core::word::Word;
+use cqa_datalog::cqa_program::{generate_program, CqaProgram};
 use cqa_db::fact::Constant;
 use cqa_db::instance::DatabaseInstance;
 use cqa_db::path::{consistent_path_endpoints, reachable_by_trace};
 use cqa_fo::rewriting::{CertainRootedTable, EndCap};
 
 use crate::error::SolverError;
-use crate::fixpoint::FixpointSolver;
+use crate::fixpoint::compute_fixpoint_with_nfa;
 use crate::traits::CertaintySolver;
 
 /// Which back-end evaluates the `O` predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NlBackend {
     /// Direct graph-reachability evaluation.
     Direct,
@@ -62,12 +71,27 @@ impl FallbackStats {
     }
 }
 
+/// A query's prepared NL evaluation artifacts, shareable across instances
+/// (and across threads: every payload is behind an `Arc`).
+#[derive(Debug, Clone)]
+pub enum NlPlan {
+    /// Evaluate `P`/`O` by direct graph reachability over the decomposition.
+    Direct(Arc<B2bDecomposition>),
+    /// Run the generated linear Datalog program (compiled once, shared
+    /// through the engine's plan cache).
+    Datalog(Arc<CqaProgram>),
+    /// No usable strict decomposition: fixpoint fallback over a shared
+    /// automaton.
+    Fixpoint(Arc<QueryNfa>),
+}
+
 /// The NL solver.
 #[derive(Debug)]
 pub struct NlSolver {
     backend: NlBackend,
     strict: bool,
     stats: FallbackStats,
+    plans: Mutex<HashMap<Word, NlPlan>>,
 }
 
 impl Default for NlSolver {
@@ -77,32 +101,29 @@ impl Default for NlSolver {
 }
 
 impl NlSolver {
+    fn with_mode(backend: NlBackend, strict: bool) -> NlSolver {
+        NlSolver {
+            backend,
+            strict,
+            stats: FallbackStats::default(),
+            plans: Mutex::new(HashMap::new()),
+        }
+    }
+
     /// Creates the solver with the direct (graph-reachability) back-end.
     pub fn direct() -> NlSolver {
-        NlSolver {
-            backend: NlBackend::Direct,
-            strict: true,
-            stats: FallbackStats::default(),
-        }
+        NlSolver::with_mode(NlBackend::Direct, true)
     }
 
     /// Creates the solver with the Datalog back-end.
     pub fn datalog() -> NlSolver {
-        NlSolver {
-            backend: NlBackend::Datalog,
-            strict: true,
-            stats: FallbackStats::default(),
-        }
+        NlSolver::with_mode(NlBackend::Datalog, true)
     }
 
     /// Creates a non-strict solver that accepts any C3 query (falling back to
     /// the fixpoint algorithm when no decomposition applies).
     pub fn lenient(backend: NlBackend) -> NlSolver {
-        NlSolver {
-            backend,
-            strict: false,
-            stats: FallbackStats::default(),
-        }
+        NlSolver::with_mode(backend, false)
     }
 
     /// Fallback statistics.
@@ -110,128 +131,164 @@ impl NlSolver {
         &self.stats
     }
 
-    /// Evaluates the predicate `O` directly and applies Claim 4:
-    /// the instance is certain iff `O(c)` fails for some constant.
-    fn certain_direct(
-        &self,
-        dec: &B2bDecomposition,
-        db: &DatabaseInstance,
-    ) -> bool {
-        let uv = dec.uv();
-        let wv = dec.wv();
-        let spine = dec.spine();
-
-        // Terminal sets via the rooted-rewriting tables (Lemma 17).
-        let uv_table = CertainRootedTable::compute(db, &uv, EndCap::Open);
-        let wv_table = CertainRootedTable::compute(db, &wv, EndCap::Open);
-        let spine_table = CertainRootedTable::compute(db, &spine, EndCap::Open);
-        let uv_terminal: BTreeSet<Constant> = db
-            .adom()
-            .iter()
-            .copied()
-            .filter(|&c| !uv_table.certain_from(c))
-            .collect();
-        let wv_terminal: BTreeSet<Constant> = db
-            .adom()
-            .iter()
-            .copied()
-            .filter(|&c| !wv_table.certain_from(c))
-            .collect();
-        let spine_terminal: BTreeSet<Constant> = db
-            .adom()
-            .iter()
-            .copied()
-            .filter(|&c| !spine_table.certain_from(c))
-            .collect();
-
-        // The uv-step graph restricted to wv-terminal vertices.
-        let mut edges: BTreeMap<Constant, BTreeSet<Constant>> = BTreeMap::new();
-        for &d in &wv_terminal {
-            let successors: BTreeSet<Constant> = reachable_by_trace(db, d, &uv)
-                .into_iter()
-                .filter(|t| wv_terminal.contains(t))
-                .collect();
-            if !successors.is_empty() {
-                edges.insert(d, successors);
-            }
+    /// Prepares (or fetches the cached) per-query plan: the strict B2b
+    /// decomposition and, depending on the back-end, the generated + compiled
+    /// Datalog program, or the fallback automaton. Class checks are *not*
+    /// performed here; [`NlSolver::certain`] applies them first.
+    pub fn prepare(&self, query: &PathQuery) -> NlPlan {
+        if let Some(plan) = self.plans.lock().expect("plan lock").get(query.word()) {
+            return plan.clone();
         }
-
-        // Vertices lying on a cycle of the uv-step graph.
-        let on_cycle: BTreeSet<Constant> = wv_terminal
-            .iter()
-            .copied()
-            .filter(|&v| {
-                // v lies on a cycle iff v is reachable from one of its
-                // successors.
-                edges.get(&v).is_some_and(|succs| {
-                    succs
-                        .iter()
-                        .any(|&s| reaches(&edges, s, v))
-                })
-            })
-            .collect();
-
-        // P(d): d is wv-terminal and reaches (reflexively) a vertex that is
-        // uv-terminal, or reaches a vertex on a cycle.
-        let targets: BTreeSet<Constant> = wv_terminal
-            .iter()
-            .copied()
-            .filter(|c| uv_terminal.contains(c) || on_cycle.contains(c))
-            .collect();
-        let p_set: BTreeSet<Constant> = wv_terminal
-            .iter()
-            .copied()
-            .filter(|&d| targets.contains(&d) || targets.iter().any(|&t| reaches(&edges, d, t)))
-            .collect();
-
-        // O(c): spine-terminal, or a consistent spine path reaches P.
-        let o = |c: Constant| -> bool {
-            if spine_terminal.contains(&c) {
-                return true;
-            }
-            consistent_path_endpoints(db, c, &spine)
-                .into_iter()
-                .any(|d| p_set.contains(&d))
+        let plan = match b2b_strict_decomposition(query.word()) {
+            Some(dec) if !dec.uv().is_empty() => match self.backend {
+                NlBackend::Direct => NlPlan::Direct(Arc::new(dec)),
+                NlBackend::Datalog => match generate_program(&dec, query.word()) {
+                    Some(cqa) => NlPlan::Datalog(Arc::new(cqa)),
+                    None => NlPlan::Fixpoint(Arc::new(QueryNfa::new(query))),
+                },
+            },
+            _ => NlPlan::Fixpoint(Arc::new(QueryNfa::new(query))),
         };
-
-        // Claim 4: "no"-instance iff O(c) holds for every c.
-        db.adom().iter().any(|&c| !o(c))
+        self.plans
+            .lock()
+            .expect("plan lock")
+            .entry(query.word().clone())
+            .or_insert(plan)
+            .clone()
     }
 
-    /// Evaluates the generated linear Datalog program and applies Claim 4.
-    fn certain_datalog(
+    /// Decides one instance with a prepared plan, updating the fallback
+    /// statistics.
+    pub fn certain_prepared(
         &self,
-        dec: &B2bDecomposition,
-        query: &PathQuery,
+        plan: &NlPlan,
         db: &DatabaseInstance,
     ) -> Result<bool, SolverError> {
-        let Some(cqa) = generate_program(dec, query.word()) else {
-            return self.fallback(query, db);
-        };
-        let store = Evaluator::with_numberings(&cqa.program, &cqa.numberings)
-            .run(db)
-            .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;
-        let o_holds = store
-            .unary(cqa.o)
-            .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;
-        Ok(db.adom().iter().any(|c| !o_holds.contains(&c.symbol())))
+        match plan {
+            NlPlan::Direct(dec) => {
+                self.stats
+                    .decompositions_used
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(certain_direct(dec, db))
+            }
+            NlPlan::Datalog(cqa) => {
+                self.stats
+                    .decompositions_used
+                    .fetch_add(1, Ordering::Relaxed);
+                certain_datalog(cqa, db)
+            }
+            NlPlan::Fixpoint(nfa) => {
+                self.stats
+                    .fixpoint_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(!compute_fixpoint_with_nfa(nfa, db)
+                    .certain_start_vertices()
+                    .is_empty())
+            }
+        }
+    }
+}
+
+/// Evaluates the predicate `O` directly and applies Claim 4:
+/// the instance is certain iff `O(c)` fails for some constant.
+pub(crate) fn certain_direct(dec: &B2bDecomposition, db: &DatabaseInstance) -> bool {
+    let uv = dec.uv();
+    let wv = dec.wv();
+    let spine = dec.spine();
+
+    // Terminal sets via the rooted-rewriting tables (Lemma 17).
+    let uv_table = CertainRootedTable::compute(db, &uv, EndCap::Open);
+    let wv_table = CertainRootedTable::compute(db, &wv, EndCap::Open);
+    let spine_table = CertainRootedTable::compute(db, &spine, EndCap::Open);
+    let uv_terminal: BTreeSet<Constant> = db
+        .adom()
+        .iter()
+        .copied()
+        .filter(|&c| !uv_table.certain_from(c))
+        .collect();
+    let wv_terminal: BTreeSet<Constant> = db
+        .adom()
+        .iter()
+        .copied()
+        .filter(|&c| !wv_table.certain_from(c))
+        .collect();
+    let spine_terminal: BTreeSet<Constant> = db
+        .adom()
+        .iter()
+        .copied()
+        .filter(|&c| !spine_table.certain_from(c))
+        .collect();
+
+    // The uv-step graph restricted to wv-terminal vertices.
+    let mut edges: BTreeMap<Constant, BTreeSet<Constant>> = BTreeMap::new();
+    for &d in &wv_terminal {
+        let successors: BTreeSet<Constant> = reachable_by_trace(db, d, &uv)
+            .into_iter()
+            .filter(|t| wv_terminal.contains(t))
+            .collect();
+        if !successors.is_empty() {
+            edges.insert(d, successors);
+        }
     }
 
-    fn fallback(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
-        self.stats.fixpoint_fallbacks.fetch_add(1, Ordering::Relaxed);
-        FixpointSolver::unchecked().certain(query, db)
-    }
+    // Vertices lying on a cycle of the uv-step graph.
+    let on_cycle: BTreeSet<Constant> = wv_terminal
+        .iter()
+        .copied()
+        .filter(|&v| {
+            // v lies on a cycle iff v is reachable from one of its
+            // successors.
+            edges
+                .get(&v)
+                .is_some_and(|succs| succs.iter().any(|&s| reaches(&edges, s, v)))
+        })
+        .collect();
+
+    // P(d): d is wv-terminal and reaches (reflexively) a vertex that is
+    // uv-terminal, or reaches a vertex on a cycle.
+    let targets: BTreeSet<Constant> = wv_terminal
+        .iter()
+        .copied()
+        .filter(|c| uv_terminal.contains(c) || on_cycle.contains(c))
+        .collect();
+    let p_set: BTreeSet<Constant> = wv_terminal
+        .iter()
+        .copied()
+        .filter(|&d| targets.contains(&d) || targets.iter().any(|&t| reaches(&edges, d, t)))
+        .collect();
+
+    // O(c): spine-terminal, or a consistent spine path reaches P.
+    let o = |c: Constant| -> bool {
+        if spine_terminal.contains(&c) {
+            return true;
+        }
+        consistent_path_endpoints(db, c, &spine)
+            .into_iter()
+            .any(|d| p_set.contains(&d))
+    };
+
+    // Claim 4: "no"-instance iff O(c) holds for every c.
+    db.adom().iter().any(|&c| !o(c))
+}
+
+/// Evaluates the generated (pre-compiled) linear Datalog program and applies
+/// Claim 4.
+pub(crate) fn certain_datalog(
+    cqa: &CqaProgram,
+    db: &DatabaseInstance,
+) -> Result<bool, SolverError> {
+    let store = cqa.compiled.run(db);
+    let o_holds = store
+        .unary(cqa.o)
+        .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;
+    Ok(db.adom().iter().any(|c| !o_holds.contains(&c.symbol())))
 }
 
 /// Reflexivity is *not* included: `reaches(edges, a, b)` is true iff there is
 /// a path of length ≥ 1 from `a` to `b`, or `a == b` and ... no: plain BFS
 /// from `a`'s successors, so `a == b` requires a genuine cycle. Callers add
 /// the reflexive case explicitly where the definition needs it.
-fn reaches(
-    edges: &BTreeMap<Constant, BTreeSet<Constant>>,
-    from: Constant,
-    to: Constant,
-) -> bool {
+fn reaches(edges: &BTreeMap<Constant, BTreeSet<Constant>>, from: Constant, to: Constant) -> bool {
     let mut seen = BTreeSet::new();
     let mut stack = vec![from];
     while let Some(v) = stack.pop() {
@@ -271,16 +328,8 @@ impl CertaintySolver for NlSolver {
                 reason: format!("query {query} violates C3"),
             });
         }
-        match b2b_strict_decomposition(query.word()) {
-            Some(dec) if !dec.uv().is_empty() => {
-                self.stats.decompositions_used.fetch_add(1, Ordering::Relaxed);
-                match self.backend {
-                    NlBackend::Direct => Ok(self.certain_direct(&dec, db)),
-                    NlBackend::Datalog => self.certain_datalog(&dec, query, db),
-                }
-            }
-            _ => self.fallback(query, db),
-        }
+        let plan = self.prepare(query);
+        self.certain_prepared(&plan, db)
     }
 }
 
@@ -319,8 +368,16 @@ mod tests {
                 continue;
             }
             let expected = naive.certain(&q, &db).unwrap();
-            assert_eq!(direct.certain(&q, &db).unwrap(), expected, "direct, seed {seed}");
-            assert_eq!(datalog.certain(&q, &db).unwrap(), expected, "datalog, seed {seed}");
+            assert_eq!(
+                direct.certain(&q, &db).unwrap(),
+                expected,
+                "direct, seed {seed}"
+            );
+            assert_eq!(
+                datalog.certain(&q, &db).unwrap(),
+                expected,
+                "datalog, seed {seed}"
+            );
         }
         assert!(direct.stats().decompositions_used() > 0);
     }
@@ -338,8 +395,16 @@ mod tests {
                 continue;
             }
             let expected = naive.certain(&q, &db).unwrap();
-            assert_eq!(direct.certain(&q, &db).unwrap(), expected, "direct, seed {seed}");
-            assert_eq!(datalog.certain(&q, &db).unwrap(), expected, "datalog, seed {seed}");
+            assert_eq!(
+                direct.certain(&q, &db).unwrap(),
+                expected,
+                "direct, seed {seed}"
+            );
+            assert_eq!(
+                datalog.certain(&q, &db).unwrap(),
+                expected,
+                "datalog, seed {seed}"
+            );
         }
     }
 
@@ -369,8 +434,12 @@ mod tests {
         db.insert_parsed("R", "1", "3");
         db.insert_parsed("R", "2", "3");
         db.insert_parsed("X", "3", "4");
-        assert!(NlSolver::direct().certain(&PathQuery::parse("RRX").unwrap(), &db).unwrap());
-        assert!(NlSolver::datalog().certain(&PathQuery::parse("RRX").unwrap(), &db).unwrap());
+        assert!(NlSolver::direct()
+            .certain(&PathQuery::parse("RRX").unwrap(), &db)
+            .unwrap());
+        assert!(NlSolver::datalog()
+            .certain(&PathQuery::parse("RRX").unwrap(), &db)
+            .unwrap());
     }
 
     #[test]
@@ -386,8 +455,12 @@ mod tests {
         }
         // Lenient mode accepts the PTIME query (via fallback) but not coNP.
         let lenient = NlSolver::lenient(NlBackend::Direct);
-        assert!(lenient.certain(&PathQuery::parse("RXRYRY").unwrap(), &db).is_ok());
-        assert!(lenient.certain(&PathQuery::parse("RXRXRYRY").unwrap(), &db).is_err());
+        assert!(lenient
+            .certain(&PathQuery::parse("RXRYRY").unwrap(), &db)
+            .is_ok());
+        assert!(lenient
+            .certain(&PathQuery::parse("RXRXRYRY").unwrap(), &db)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Batched certain-answer sessions.
+//!
+//! Real certain-answer workloads ask the *same* query against many
+//! instances: the classification of `q` (Theorem 2), its strict B2b
+//! decomposition, the generated linear Datalog program of Lemma 14 (plus its
+//! compiled join plans) and the `S-NFA` family of Figure 5 all depend only on
+//! the query, yet a naive per-call dispatcher rebuilds them for every
+//! `(query, instance)` pair. A [`CertaintySession`] amortizes that setup: it
+//! classifies each query once, prepares the route-specific artifacts once,
+//! caches them per query word, and exposes both a per-call
+//! [`CertaintySession::certain`] and a batched
+//! [`CertaintySession::certain_batch`] that groups requests by query before
+//! solving.
+//!
+//! [`crate::dispatch::DispatchSolver`] routes through a private session, so
+//! every dispatcher instance is warm after its first call per query; create
+//! a session directly when you want to inspect routes and cache statistics
+//! or to submit whole batches.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cqa_automata::query_nfa::QueryNfa;
+use cqa_core::classify::{classify, Classification, ComplexityClass};
+use cqa_core::query::PathQuery;
+use cqa_core::word::Word;
+use cqa_db::instance::DatabaseInstance;
+
+use crate::conp::SatCertaintySolver;
+use crate::dispatch::Route;
+use crate::error::SolverError;
+use crate::fixpoint::compute_fixpoint_with_nfa;
+use crate::fo_solver::FoSolver;
+use crate::nl_solver::{NlBackend, NlPlan, NlSolver};
+use crate::traits::CertaintySolver;
+
+/// A query's cached routing decision plus the per-query artifacts its route
+/// shares across instances.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    query: PathQuery,
+    classification: Classification,
+    route: Route,
+    /// Prepared NL artifacts (decomposition / compiled program / fallback
+    /// automaton) for NL-routed queries.
+    nl: Option<NlPlan>,
+    /// The shared automaton for fixpoint-routed queries.
+    nfa: Option<Arc<QueryNfa>>,
+}
+
+impl QueryPlan {
+    /// The query this plan was prepared for.
+    pub fn query(&self) -> &PathQuery {
+        &self.query
+    }
+
+    /// The query's classification (computed once per session and query).
+    pub fn classification(&self) -> Classification {
+        self.classification
+    }
+
+    /// The back-end the session routes this query to.
+    pub fn route(&self) -> Route {
+        self.route
+    }
+}
+
+/// A reusable certain-answer session: classify once per query, share the
+/// compiled artifacts, answer many `(query, instance)` requests.
+#[derive(Debug)]
+pub struct CertaintySession {
+    fo: FoSolver,
+    nl: NlSolver,
+    nl_backend: NlBackend,
+    conp: SatCertaintySolver,
+    plans: Mutex<HashMap<Word, Arc<QueryPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CertaintySession {
+    fn default() -> CertaintySession {
+        CertaintySession::new()
+    }
+}
+
+impl CertaintySession {
+    fn with_backend(backend: NlBackend) -> CertaintySession {
+        CertaintySession {
+            fo: FoSolver::unchecked(),
+            nl: NlSolver::lenient(backend),
+            nl_backend: backend,
+            conp: SatCertaintySolver::default(),
+            plans: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a session serving the NL class with the direct back-end.
+    pub fn new() -> CertaintySession {
+        CertaintySession::with_backend(NlBackend::Direct)
+    }
+
+    /// Creates a session serving the NL class with the Datalog back-end.
+    pub fn with_datalog_nl() -> CertaintySession {
+        CertaintySession::with_backend(NlBackend::Datalog)
+    }
+
+    /// Classifies the query and prepares its route, reusing the cached plan
+    /// when this session has seen the query before.
+    pub fn prepare(&self, query: &PathQuery) -> Arc<QueryPlan> {
+        if let Some(plan) = self.plans.lock().expect("session lock").get(query.word()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let classification = classify(query);
+        let (route, nl, nfa) = match classification.class {
+            ComplexityClass::FO => (Route::FoRewriting, None, None),
+            ComplexityClass::NlComplete => (
+                Route::Nl(self.nl_backend),
+                Some(self.nl.prepare(query)),
+                None,
+            ),
+            ComplexityClass::PtimeComplete => (
+                Route::PtimeFixpoint,
+                None,
+                Some(Arc::new(QueryNfa::new(query))),
+            ),
+            ComplexityClass::CoNpComplete => (Route::ConpSat, None, None),
+        };
+        let plan = Arc::new(QueryPlan {
+            query: query.clone(),
+            classification,
+            route,
+            nl,
+            nfa,
+        });
+        Arc::clone(
+            self.plans
+                .lock()
+                .expect("session lock")
+                .entry(query.word().clone())
+                .or_insert(plan),
+        )
+    }
+
+    /// The route the session would take for a query (preparing and caching
+    /// the plan as a side effect).
+    pub fn route(&self, query: &PathQuery) -> Route {
+        self.prepare(query).route
+    }
+
+    /// Decides one `(query, instance)` request through the cached plan.
+    pub fn certain(&self, query: &PathQuery, db: &DatabaseInstance) -> Result<bool, SolverError> {
+        let plan = self.prepare(query);
+        self.certain_planned(&plan, db)
+    }
+
+    /// Decides one instance against an already prepared plan.
+    pub fn certain_planned(
+        &self,
+        plan: &QueryPlan,
+        db: &DatabaseInstance,
+    ) -> Result<bool, SolverError> {
+        match plan.route {
+            Route::FoRewriting => Ok(self.fo.evaluate_rewriting(&plan.query, db)),
+            Route::Nl(_) => {
+                let nl = plan.nl.as_ref().expect("NL route carries an NL plan");
+                self.nl.certain_prepared(nl, db)
+            }
+            Route::PtimeFixpoint => {
+                let nfa = plan.nfa.as_ref().expect("fixpoint route carries an NFA");
+                Ok(!compute_fixpoint_with_nfa(nfa, db)
+                    .certain_start_vertices()
+                    .is_empty())
+            }
+            Route::ConpSat => self.conp.certain(&plan.query, db),
+        }
+    }
+
+    /// Decides a whole batch of `(query, instance)` requests, grouping by
+    /// query so each distinct query is classified and prepared exactly once.
+    /// Results are returned in request order.
+    pub fn certain_batch(
+        &self,
+        requests: &[(PathQuery, DatabaseInstance)],
+    ) -> Vec<Result<bool, SolverError>> {
+        let mut groups: HashMap<&Word, Vec<usize>> = HashMap::new();
+        for (i, (query, _)) in requests.iter().enumerate() {
+            groups.entry(query.word()).or_default().push(i);
+        }
+        let mut out: Vec<Option<Result<bool, SolverError>>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        for indexes in groups.into_values() {
+            let plan = self.prepare(&requests[indexes[0]].0);
+            for i in indexes {
+                out[i] = Some(self.certain_planned(&plan, &requests[i].1));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request grouped"))
+            .collect()
+    }
+
+    /// Number of requests that reused a cached query plan.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of query plans built (cache misses).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct queries this session has prepared.
+    pub fn queries_prepared(&self) -> usize {
+        self.plans.lock().expect("session lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveSolver;
+    use cqa_workloads::random::LayeredConfig;
+
+    fn layered(word: &str, width: usize, seed: u64) -> DatabaseInstance {
+        let q = PathQuery::parse(word).unwrap();
+        LayeredConfig::for_word(q.word(), width, seed).generate()
+    }
+
+    #[test]
+    fn session_routes_match_the_tetrachotomy() {
+        let session = CertaintySession::new();
+        assert_eq!(
+            session.route(&PathQuery::parse("RXRX").unwrap()),
+            Route::FoRewriting
+        );
+        assert_eq!(
+            session.route(&PathQuery::parse("RXRY").unwrap()),
+            Route::Nl(NlBackend::Direct)
+        );
+        assert_eq!(
+            session.route(&PathQuery::parse("RXRYRY").unwrap()),
+            Route::PtimeFixpoint
+        );
+        assert_eq!(
+            session.route(&PathQuery::parse("RXRXRYRY").unwrap()),
+            Route::ConpSat
+        );
+        let datalog = CertaintySession::with_datalog_nl();
+        assert_eq!(
+            datalog.route(&PathQuery::parse("RXRY").unwrap()),
+            Route::Nl(NlBackend::Datalog)
+        );
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_cache() {
+        let session = CertaintySession::with_datalog_nl();
+        let q = PathQuery::parse("RXRY").unwrap();
+        for seed in 0..5u64 {
+            let db = layered("RXRY", 4, seed);
+            session.certain(&q, &db).unwrap();
+        }
+        assert_eq!(session.cache_misses(), 1);
+        assert_eq!(session.cache_hits(), 4);
+        assert_eq!(session.queries_prepared(), 1);
+    }
+
+    #[test]
+    fn batch_results_agree_with_per_call_dispatch_and_keep_order() {
+        let words = ["RXRX", "RXRY", "RRX", "RXRYRY"];
+        let mut requests: Vec<(PathQuery, DatabaseInstance)> = Vec::new();
+        for (i, word) in words.iter().cycle().take(20).enumerate() {
+            let q = PathQuery::parse(word).unwrap();
+            requests.push((q, layered(word, 3, 0xBA7C + i as u64)));
+        }
+        let session = CertaintySession::with_datalog_nl();
+        let batch = session.certain_batch(&requests);
+        assert_eq!(batch.len(), requests.len());
+        // Each distinct query is prepared exactly once.
+        assert_eq!(session.queries_prepared(), words.len());
+        let naive = NaiveSolver::with_limit(1 << 16);
+        for (i, (q, db)) in requests.iter().enumerate() {
+            let got = batch[i].as_ref().unwrap();
+            let fresh = CertaintySession::new().certain(q, db).unwrap();
+            assert_eq!(*got, fresh, "batch/per-call mismatch at {i} ({q})");
+            if db.repair_count() <= 1 << 16 {
+                assert_eq!(
+                    *got,
+                    naive.certain(q, db).unwrap(),
+                    "oracle mismatch at {i} ({q})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_share_nl_artifacts_across_backends() {
+        // Both backends agree on an NL query through the session path.
+        let q = PathQuery::parse("RRX").unwrap();
+        let direct = CertaintySession::new();
+        let datalog = CertaintySession::with_datalog_nl();
+        for seed in 0..6u64 {
+            let db = layered("RRX", 4, 0x5E55 + seed);
+            assert_eq!(
+                direct.certain(&q, &db).unwrap(),
+                datalog.certain(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+}

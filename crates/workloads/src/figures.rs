@@ -99,7 +99,10 @@ pub fn example_3_queries() -> Vec<(PathQuery, &'static str)> {
         (PathQuery::parse("RXRX").expect("valid"), "FO"),
         (PathQuery::parse("RXRY").expect("valid"), "NL-complete"),
         (PathQuery::parse("RXRYRY").expect("valid"), "PTIME-complete"),
-        (PathQuery::parse("RXRXRYRY").expect("valid"), "coNP-complete"),
+        (
+            PathQuery::parse("RXRXRYRY").expect("valid"),
+            "coNP-complete",
+        ),
     ]
 }
 

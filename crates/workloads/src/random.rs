@@ -13,8 +13,8 @@ use cqa_core::symbol::RelName;
 use cqa_db::fact::Constant;
 use cqa_db::instance::DatabaseInstance;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rand::RngExt as _;
+use rand::SeedableRng;
 
 /// Configuration of the uniform random generator.
 #[derive(Debug, Clone)]
@@ -31,7 +31,12 @@ pub struct RandomInstanceConfig {
 
 impl RandomInstanceConfig {
     /// A configuration over single-letter relation names.
-    pub fn new(letters: &str, domain_size: usize, num_facts: usize, seed: u64) -> RandomInstanceConfig {
+    pub fn new(
+        letters: &str,
+        domain_size: usize,
+        num_facts: usize,
+        seed: u64,
+    ) -> RandomInstanceConfig {
         RandomInstanceConfig {
             relations: letters
                 .chars()
@@ -140,6 +145,36 @@ pub fn scaling_series(
         .collect()
 }
 
+/// A repeated-query certain-answer workload: `per_query` layered instances
+/// for each query word, interleaved round-robin the way a batching service
+/// front-end would receive them. This is the input shape
+/// `cqa_solver::session::CertaintySession::certain_batch` amortizes (one
+/// classification / compiled program / automaton per distinct query), and
+/// what the `session_batch` bench replays.
+pub fn repeated_query_requests(
+    words: &[&str],
+    per_query: usize,
+    width: usize,
+    seed: u64,
+) -> Vec<(cqa_core::query::PathQuery, DatabaseInstance)> {
+    let queries: Vec<cqa_core::query::PathQuery> = words
+        .iter()
+        .map(|w| cqa_core::query::PathQuery::parse(w).expect("valid query word"))
+        .collect();
+    let mut out = Vec::with_capacity(queries.len() * per_query);
+    for round in 0..per_query {
+        for query in &queries {
+            let config = LayeredConfig::for_word(
+                query.word(),
+                width,
+                seed ^ ((round as u64) << 16) ^ (query.word().len() as u64),
+            );
+            out.push((query.clone(), config.generate()));
+        }
+    }
+    out
+}
+
 /// Generates a batch of small random instances suitable for cross-checking a
 /// solver against the naive oracle (repair count capped).
 pub fn oracle_batch(
@@ -151,7 +186,9 @@ pub fn oracle_batch(
     let mut out = Vec::new();
     let mut s = seed;
     while out.len() < count {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let config = RandomInstanceConfig::new(letters, 5, 6 + (s % 8) as usize, s);
         let db = config.generate();
         if db.repair_count() <= max_repairs {
@@ -197,6 +234,21 @@ mod tests {
         let series = scaling_series(&word, &[4, 16, 64], 3);
         assert_eq!(series.len(), 3);
         assert!(series[0].1.len() < series[2].1.len());
+    }
+
+    #[test]
+    fn repeated_query_requests_interleave_round_robin() {
+        let requests = repeated_query_requests(&["RRX", "RXRY"], 3, 4, 9);
+        assert_eq!(requests.len(), 6);
+        // Round-robin: queries alternate, and each (query, round) pair is a
+        // deterministic instance.
+        assert_eq!(requests[0].0, requests[2].0);
+        assert_eq!(requests[1].0, requests[3].0);
+        assert_ne!(requests[0].0, requests[1].0);
+        let again = repeated_query_requests(&["RRX", "RXRY"], 3, 4, 9);
+        assert_eq!(requests[4].1, again[4].1);
+        // Distinct rounds draw distinct instances.
+        assert_ne!(requests[0].1, requests[2].1);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Runs the Datalog-relevant benchmarks and assembles BENCH_datalog.json at
 # the repository root: one entry per benchmark with the median ns/iter, for
-# the `datalog_engine` (scan vs indexed before/after), `nl_vs_ptime` and
-# `certainty_scaling` suites. Future PRs re-run this script to extend the
-# perf trajectory.
+# the `datalog_engine` (scan vs indexed before/after, plus warm-plan runs),
+# `nl_vs_ptime`, `certainty_scaling` and `session_batch` (warm sessions vs
+# cold per-call dispatch) suites. Future PRs re-run this script to extend
+# the perf trajectory.
 #
 # Usage: scripts/bench_datalog.sh
-# Knobs: CQA_BENCH_TARGET_MS (per-benchmark budget, default 300).
+# Knobs: CQA_BENCH_TARGET_MS (per-benchmark budget, default 300),
+#        CQA_BENCH_MAX_FACTS / CQA_BENCH_SCAN_CUTOFF (instance-size caps,
+#        used by the CI smoke job to stay at ~10^3 facts).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,7 +23,8 @@ rm -f "$jsonl"
 CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
     --bench datalog_engine \
     --bench nl_vs_ptime \
-    --bench certainty_scaling
+    --bench certainty_scaling \
+    --bench session_batch
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 {
