@@ -1,0 +1,127 @@
+//! E18: parallel stratum evaluation at 1/2/4/8 worker threads.
+//!
+//! Two engine workloads at ~10^3 and ~10^4 facts:
+//!
+//! * `tc` — transitive closure of a layered random graph: a single recursive
+//!   rule, so all parallelism comes from chunking the delta scan range;
+//! * `cqa_rrx` — the generated linear Lemma 14 program for `RRX`, the
+//!   engine's production shape (several rules per stratum plus a recursive
+//!   `uvpath` core).
+//!
+//! The `tN` suffix is the fixed thread count ([`Threads::Fixed`]); `t1` is
+//! the exact sequential engine, so `t1 / tN` is the speedup tracked in
+//! `BENCH_datalog.json`. Note that the trajectory numbers are only
+//! meaningful relative to the host they were recorded on: on a single-core
+//! container the expected "speedup" is ≤ 1 (the bench then measures the
+//! snapshot-round driver's overhead instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::query::PathQuery;
+use cqa_datalog::prelude::*;
+use cqa_db::instance::DatabaseInstance;
+use cqa_workloads::random::LayeredConfig;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn tc_program() -> Program {
+    let mut p = Program::new();
+    p.declare_edb(Predicate::new("R", 2));
+    let atom = |name: &str, vars: [&str; 2]| {
+        DlAtom::new(
+            Predicate::new(name, 2),
+            vars.iter().map(|v| DlTerm::var(v)).collect(),
+        )
+    };
+    p.add_rule(Rule::new(
+        atom("path", ["X", "Y"]),
+        vec![BodyLiteral::Positive(atom("R", ["X", "Y"]))],
+    ));
+    p.add_rule(Rule::new(
+        atom("path", ["X", "Z"]),
+        vec![
+            BodyLiteral::Positive(atom("path", ["X", "Y"])),
+            BodyLiteral::Positive(atom("R", ["Y", "Z"])),
+        ],
+    ));
+    p
+}
+
+/// A layered single-relation graph with bounded depth (see
+/// `datalog_engine.rs`), sized by layer width.
+fn layered_graph(width: usize) -> DatabaseInstance {
+    LayeredConfig {
+        relations: vec![cqa_core::symbol::RelName::new("R")],
+        layers: 8,
+        width,
+        conflict_probability: 0.3,
+        dead_end_probability: 0.05,
+        seed: 0xE18 ^ width as u64,
+    }
+    .generate()
+}
+
+/// Largest instance any entry is asked to handle; `CQA_BENCH_MAX_FACTS` caps
+/// it so CI smoke runs stay at ~10^3 facts.
+fn max_facts() -> usize {
+    std::env::var("CQA_BENCH_MAX_FACTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+fn bench_tc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_parallel");
+    group.sample_size(10);
+    let compiled = CompiledProgram::compile(&tc_program()).expect("tc compiles");
+    let path = Predicate::new("path", 2);
+    for width in [120usize, 1_200] {
+        let db = layered_graph(width);
+        let facts = db.len();
+        if facts > max_facts() {
+            continue;
+        }
+        for threads in THREADS {
+            let options = EvalOptions::with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("tc_t{threads}"), facts),
+                &db,
+                |b, db| b.iter(|| black_box(compiled.run_with(db, &options).len(path))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cqa_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_parallel");
+    group.sample_size(10);
+    let q = PathQuery::parse("RRX").unwrap();
+    let dec = b2b_strict_decomposition(q.word()).expect("RRX decomposes");
+    let cqa = generate_program(&dec, q.word()).expect("program generated");
+    for width in [300usize, 3_000] {
+        let db = LayeredConfig::for_word(q.word(), width, 0xCAA ^ width as u64).generate();
+        let facts = db.len();
+        if facts > max_facts() {
+            continue;
+        }
+        for threads in THREADS {
+            let options = EvalOptions::with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("cqa_rrx_t{threads}"), facts),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        let store = cqa.compiled.run_with(db, &options);
+                        black_box(store.unary(cqa.o).unwrap().len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc_scaling, bench_cqa_scaling);
+criterion_main!(benches);

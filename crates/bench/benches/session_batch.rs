@@ -115,6 +115,25 @@ fn bench_session_batch(c: &mut Criterion) {
                 })
             },
         );
+
+        // The same warm batch fanned out across 4 worker threads (each
+        // request still evaluated sequentially inside its worker). On
+        // multi-core hosts this tracks batch-level scaling; on a single core
+        // it tracks the fan-out overhead.
+        group.bench_with_input(
+            BenchmarkId::new("warm_session_batch_t4", &id),
+            &requests,
+            |b, requests| {
+                let session = CertaintySession::with_options(
+                    NlBackend::Datalog,
+                    EvalOptions::with_threads(4),
+                );
+                b.iter(|| {
+                    let answers = session.certain_batch(requests);
+                    black_box(answers.iter().filter(|a| *a.as_ref().unwrap()).count())
+                })
+            },
+        );
     }
     group.finish();
 }

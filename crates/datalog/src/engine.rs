@@ -46,10 +46,18 @@
 //!   ([`crate::tuple::Tuple`]), and probe results are copied into per-depth
 //!   scratch buffers that are reused across candidates.
 //!
+//! * **Parallel rounds** ([`crate::parallel`]). With
+//!   [`crate::parallel::EvalOptions`] resolving to more than one thread,
+//!   each semi-naive round fans its rules (and chunks of their depth-0 scan
+//!   ranges) out across scoped workers over a frozen snapshot, merging
+//!   per-worker deltas deterministically; one thread selects this module's
+//!   sequential loop unchanged.
+//!
 //! The previous scan-based evaluator is retained verbatim-in-spirit under
-//! [`reference`]; the property suite (`tests/engine_agreement.rs`) checks
-//! that both engines derive identical stores on random programs, and the
-//! `datalog_engine` bench tracks the speedup.
+//! [`reference`]; the property suites (`tests/engine_agreement.rs`,
+//! `tests/parallel_agreement.rs`) check that all engines derive identical
+//! stores on random programs, and the `datalog_engine` /
+//! `datalog_parallel` benches track the speedups.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -57,7 +65,8 @@ use cqa_core::symbol::Symbol;
 use cqa_db::instance::DatabaseInstance;
 
 use crate::ast::{Predicate, Program, Rule, RuleVars};
-use crate::plan::{compile_rule, CompiledRule, IndexSlots, IndexSpace, Op};
+use crate::parallel::{evaluate_stratum_parallel, EvalOptions, EvalStats, WorkerPool};
+use crate::plan::{compile_rule, CompiledRule, IndexSlots, IndexSpace, Op, ProbeSlot};
 use crate::stratify::{stratify, StratifyError};
 pub use crate::tuple::Tuple;
 
@@ -132,6 +141,11 @@ impl PredTable {
 pub struct RelationStore {
     preds: PredTable,
     relations: Vec<Relation>,
+    /// Monotone watermark: bumped exactly once per tuple that is actually
+    /// inserted (duplicates do not count). The evaluation drivers compare
+    /// generations to decide whether any index could possibly be stale, so an
+    /// unproductive round never triggers an index-extension pass.
+    generation: u64,
 }
 
 /// One predicate's tuples: a dense append-only vector (indexes and deltas
@@ -214,13 +228,22 @@ impl RelationStore {
         let tuple = tuple.into();
         debug_assert_eq!(pred.arity, tuple.len());
         let id = self.intern(pred);
-        self.relations[id.index()].insert(tuple)
+        self.insert_by_id(id, tuple)
     }
 
     /// Inserts a tuple for an interned predicate; returns true if it was new.
     #[inline]
     pub(crate) fn insert_by_id(&mut self, id: PredId, tuple: Tuple) -> bool {
-        self.relations[id.index()].insert(tuple)
+        let inserted = self.relations[id.index()].insert(tuple);
+        self.generation += inserted as u64;
+        inserted
+    }
+
+    /// The store's insertion watermark: the total number of tuples ever
+    /// inserted (duplicates excluded). Strictly monotone, so two equal
+    /// generations guarantee that no relation has grown in between.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of tuples of a predicate.
@@ -274,6 +297,7 @@ impl RelationStore {
             debug_assert!(!relation.set.contains(tuple.as_slice()));
             relation.set.insert(tuple.clone());
             relation.tuples.push(tuple);
+            self.generation += 1;
         }
     }
 }
@@ -365,15 +389,19 @@ pub fn edb_from_instance(db: &DatabaseInstance) -> RelationStore {
 
 /// One stratum's compiled plans.
 #[derive(Debug)]
-struct CompiledStratum {
+pub(crate) struct CompiledStratum {
     /// The stratum's predicates, as program-scoped ids; delta watermarks are
     /// tracked positionally against this list.
-    preds: Vec<PredId>,
+    pub(crate) preds: Vec<PredId>,
     /// One full (non-delta) plan per rule of the stratum.
-    full_plans: Vec<CompiledRule>,
+    pub(crate) full_plans: Vec<CompiledRule>,
     /// Delta-restricted plans, keyed by the position of the delta predicate
     /// in `preds`.
-    delta_plans: Vec<(usize, CompiledRule)>,
+    pub(crate) delta_plans: Vec<(usize, CompiledRule)>,
+    /// Every `(slot, pred, mask)` index this stratum's probes use, deduped.
+    /// The parallel driver extends exactly these slots once per round and
+    /// then shares the index space read-only across its workers.
+    pub(crate) probe_slots: Vec<ProbeSlot>,
 }
 
 /// A program compiled once and evaluated many times: stratified join plans,
@@ -386,8 +414,8 @@ struct CompiledStratum {
 #[derive(Debug)]
 pub struct CompiledProgram {
     preds: PredTable,
-    strata: Vec<CompiledStratum>,
-    num_index_slots: usize,
+    pub(crate) strata: Vec<CompiledStratum>,
+    pub(crate) num_index_slots: usize,
 }
 
 impl CompiledProgram {
@@ -443,10 +471,28 @@ impl CompiledProgram {
                     }
                 }
             }
+            let mut probe_slots: Vec<ProbeSlot> = Vec::new();
+            let all_plans = full_plans.iter().chain(delta_plans.iter().map(|(_, p)| p));
+            for plan in all_plans {
+                for op in &plan.ops {
+                    if let Op::Probe(ap) = op {
+                        let ps = ProbeSlot {
+                            slot: ap.index_slot,
+                            pred: ap.pred,
+                            mask: ap.mask,
+                        };
+                        if !probe_slots.contains(&ps) {
+                            probe_slots.push(ps);
+                        }
+                    }
+                }
+            }
+            probe_slots.sort_by_key(|ps| ps.slot);
             strata.push(CompiledStratum {
                 preds: pred_ids,
                 full_plans,
                 delta_plans,
+                probe_slots,
             });
         }
         Ok(CompiledProgram {
@@ -471,6 +517,27 @@ impl CompiledProgram {
     pub fn run_on_store(&self, store: RelationStore) -> RelationStore {
         Evaluator::new(self).run_on_store(store)
     }
+
+    /// Runs the program on the EDB extracted from `db` with explicit
+    /// evaluation options (thread count).
+    pub fn run_with(&self, db: &DatabaseInstance, options: &EvalOptions) -> RelationStore {
+        Evaluator::with_options(self, *options).run(db)
+    }
+
+    /// Runs the program on an explicit EDB store with explicit options.
+    pub fn run_on_store_with(&self, store: RelationStore, options: &EvalOptions) -> RelationStore {
+        Evaluator::with_options(self, *options).run_on_store(store)
+    }
+
+    /// Like [`CompiledProgram::run_on_store_with`], additionally reporting
+    /// evaluation statistics (rounds, index-extension passes, threads used).
+    pub fn run_on_store_with_stats(
+        &self,
+        store: RelationStore,
+        options: &EvalOptions,
+    ) -> (RelationStore, EvalStats) {
+        Evaluator::with_options(self, *options).run_on_store_with_stats(store)
+    }
 }
 
 /// Evaluates a [`CompiledProgram`] over a database instance; all per-run
@@ -478,12 +545,23 @@ impl CompiledProgram {
 /// evaluator is free to be shared or rebuilt at will.
 pub struct Evaluator<'a> {
     compiled: &'a CompiledProgram,
+    options: EvalOptions,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator borrowing a compiled program.
+    /// Creates an evaluator borrowing a compiled program, with default
+    /// options ([`crate::parallel::Threads::Auto`]: the `PATH_CQA_THREADS`
+    /// environment variable if set, otherwise the host's available
+    /// parallelism — so multicore hosts evaluate in parallel by default;
+    /// use [`crate::parallel::EvalOptions::sequential`] to pin the exact
+    /// single-threaded path).
     pub fn new(compiled: &'a CompiledProgram) -> Evaluator<'a> {
-        Evaluator { compiled }
+        Evaluator::with_options(compiled, EvalOptions::default())
+    }
+
+    /// Creates an evaluator with explicit evaluation options.
+    pub fn with_options(compiled: &'a CompiledProgram, options: EvalOptions) -> Evaluator<'a> {
+        Evaluator { compiled, options }
     }
 
     /// Runs the program on the EDB extracted from `db`, returning all derived
@@ -493,7 +571,17 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Runs the program on an explicitly provided EDB store.
-    pub fn run_on_store(&self, mut store: RelationStore) -> RelationStore {
+    pub fn run_on_store(&self, store: RelationStore) -> RelationStore {
+        self.run_on_store_with_stats(store).0
+    }
+
+    /// Runs the program, additionally reporting evaluation statistics.
+    ///
+    /// With one resolved thread this is *exactly* the sequential semi-naive
+    /// loop (the stats bookkeeping never changes what is derived, or in which
+    /// order); with more it switches to the parallel per-round driver of
+    /// [`crate::parallel`].
+    pub fn run_on_store_with_stats(&self, mut store: RelationStore) -> (RelationStore, EvalStats) {
         // Translate program-scoped ids to store-scoped ids once per run; the
         // inner loop then only does vector indexing.
         let pred_map: Vec<PredId> = self
@@ -502,12 +590,36 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|(_, pred)| store.intern(pred))
             .collect();
+        let threads = self.options.threads.resolve();
         let mut indexes = IndexSpace::new(self.compiled.num_index_slots);
-        let mut executor = Executor::default();
-        for stratum in &self.compiled.strata {
-            evaluate_stratum(stratum, &pred_map, &mut store, &mut indexes, &mut executor);
+        let mut stats = EvalStats::new(threads);
+        if threads <= 1 {
+            let mut executor = Executor::default();
+            for stratum in &self.compiled.strata {
+                evaluate_stratum(
+                    stratum,
+                    &pred_map,
+                    &mut store,
+                    &mut indexes,
+                    &mut executor,
+                    &mut stats,
+                );
+            }
+        } else {
+            let mut pool = WorkerPool::new(threads);
+            for stratum in &self.compiled.strata {
+                evaluate_stratum_parallel(
+                    stratum,
+                    &pred_map,
+                    &mut store,
+                    &mut indexes,
+                    &mut pool,
+                    &mut stats,
+                );
+            }
         }
-        store
+        stats.index_extensions = indexes.extensions();
+        (store, stats)
     }
 }
 
@@ -518,6 +630,7 @@ fn evaluate_stratum(
     store: &mut RelationStore,
     indexes: &mut IndexSpace,
     executor: &mut Executor,
+    stats: &mut EvalStats,
 ) {
     // The predicates whose growth drives the iteration.
     let watermark = |store: &RelationStore| -> Vec<usize> {
@@ -532,13 +645,28 @@ fn evaluate_stratum(
     let mut derived: Vec<Tuple> = Vec::new();
 
     // Initial round: every rule against the full store.
+    stats.rounds += 1;
     for plan in &stratum.full_plans {
         derived.clear();
-        executor.derive(plan, pred_map, store, indexes, None, &mut derived);
+        executor.derive(
+            plan,
+            pred_map,
+            store,
+            &mut Probing::Lazy(indexes),
+            None,
+            &mut derived,
+        );
         let head = pred_map[plan.head_pred.index()];
         for tuple in derived.drain(..) {
             store.insert_by_id(head, tuple);
         }
+    }
+
+    // Non-recursive stratum: nothing to iterate. (Entering the loop would
+    // derive nothing either, but would count a phantom round that the
+    // parallel driver — which returns here too — does not.)
+    if stratum.delta_plans.is_empty() {
+        return;
     }
 
     // Iterate: each recursive plan consumes the delta range of its delta
@@ -548,13 +676,21 @@ fn evaluate_stratum(
         if high == low {
             break;
         }
+        stats.rounds += 1;
         for &(delta_idx, ref plan) in &stratum.delta_plans {
             let (lo, hi) = (low[delta_idx], high[delta_idx]);
             if lo == hi {
                 continue;
             }
             derived.clear();
-            executor.derive(plan, pred_map, store, indexes, Some((lo, hi)), &mut derived);
+            executor.derive(
+                plan,
+                pred_map,
+                store,
+                &mut Probing::Lazy(indexes),
+                Some((lo, hi)),
+                &mut derived,
+            );
             let head = pred_map[plan.head_pred.index()];
             for tuple in derived.drain(..) {
                 store.insert_by_id(head, tuple);
@@ -564,10 +700,23 @@ fn evaluate_stratum(
     }
 }
 
+/// How the executor reaches the probe indexes.
+///
+/// The sequential engine owns the [`IndexSpace`] mutably and extends slots
+/// lazily inside every probe (`Lazy`); parallel workers share it read-only
+/// after the round driver extended every slot the stratum needs (`Ready`).
+/// A single match per probe keeps the two modes on one code path.
+pub(crate) enum Probing<'a> {
+    /// Extend-on-probe: the original sequential behavior.
+    Lazy(&'a mut IndexSpace),
+    /// Read-only lookups against pre-extended slots.
+    Ready(&'a IndexSpace),
+}
+
 /// Reusable execution state: the flat binding array and per-depth candidate
 /// buffers. Nothing here allocates per candidate tuple.
 #[derive(Debug, Default)]
-struct Executor {
+pub(crate) struct Executor {
     bindings: Vec<Option<Symbol>>,
     id_bufs: Vec<Vec<u32>>,
 }
@@ -576,12 +725,12 @@ impl Executor {
     /// Derives all head tuples of a compiled rule into `out`. If `delta` is
     /// given, the first op (the delta literal's scan) enumerates only that id
     /// range of its predicate.
-    fn derive(
+    pub(crate) fn derive(
         &mut self,
         plan: &CompiledRule,
         pred_map: &[PredId],
         store: &RelationStore,
-        indexes: &mut IndexSpace,
+        probing: &mut Probing<'_>,
         delta: Option<(usize, usize)>,
         out: &mut Vec<Tuple>,
     ) {
@@ -590,7 +739,7 @@ impl Executor {
         if self.id_bufs.len() < plan.ops.len() {
             self.id_bufs.resize_with(plan.ops.len(), Vec::new);
         }
-        self.step(plan, 0, pred_map, store, indexes, delta, out);
+        self.step(plan, 0, pred_map, store, probing, delta, out);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -600,7 +749,7 @@ impl Executor {
         depth: usize,
         pred_map: &[PredId],
         store: &RelationStore,
-        indexes: &mut IndexSpace,
+        probing: &mut Probing<'_>,
         delta: Option<(usize, usize)>,
         out: &mut Vec<Tuple>,
     ) {
@@ -622,7 +771,7 @@ impl Executor {
                 };
                 for tuple in &tuples[lo..hi] {
                     if self.try_match(ap, tuple) {
-                        self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
+                        self.step(plan, depth + 1, pred_map, store, probing, delta, out);
                     }
                     self.reset(ap);
                 }
@@ -636,10 +785,15 @@ impl Executor {
                 let mut ids = std::mem::take(&mut self.id_bufs[depth]);
                 ids.clear();
                 let tuples = store.tuples_by_id(pred_map[ap.pred.index()]);
-                indexes.probe(ap.index_slot, tuples, ap.mask, &key, &mut ids);
+                match probing {
+                    Probing::Lazy(indexes) => {
+                        indexes.probe(ap.index_slot, tuples, ap.mask, &key, &mut ids)
+                    }
+                    Probing::Ready(indexes) => indexes.probe_ready(ap.index_slot, &key, &mut ids),
+                }
                 for &id in &ids {
                     if self.try_match(ap, &tuples[id as usize]) {
-                        self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
+                        self.step(plan, depth + 1, pred_map, store, probing, delta, out);
                     }
                     self.reset(ap);
                 }
@@ -652,7 +806,7 @@ impl Executor {
                     .map(|slot| slot.resolve(&self.bindings))
                     .collect();
                 if store.contains_by_id(pred_map[ap.pred.index()], &ground) {
-                    self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
+                    self.step(plan, depth + 1, pred_map, store, probing, delta, out);
                 }
             }
             Op::Negative { pred, args } => {
@@ -661,12 +815,12 @@ impl Executor {
                     .map(|slot| slot.resolve(&self.bindings))
                     .collect();
                 if !store.contains_by_id(pred_map[pred.index()], &ground) {
-                    self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
+                    self.step(plan, depth + 1, pred_map, store, probing, delta, out);
                 }
             }
             Op::Filter(builtin) => {
                 if builtin.holds(&self.bindings) {
-                    self.step(plan, depth + 1, pred_map, store, indexes, delta, out);
+                    self.step(plan, depth + 1, pred_map, store, probing, delta, out);
                 }
             }
         }

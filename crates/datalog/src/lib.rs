@@ -21,6 +21,7 @@
 pub mod ast;
 pub mod cqa_program;
 pub mod engine;
+pub mod parallel;
 mod plan;
 pub mod plan_cache;
 pub mod stratify;
@@ -36,6 +37,7 @@ pub mod prelude {
         edb_from_instance, evaluate, reference::evaluate_scan, CompiledProgram, Evaluator, PredId,
         PredTable, RelationStore, Tuple,
     };
+    pub use crate::parallel::{EvalOptions, EvalStats, Threads};
     pub use crate::plan_cache::PlanCache;
     pub use crate::stratify::{is_linear, stratify, Stratification, StratifyError};
     pub use cqa_core::regex_forms::b2b_strict_decomposition;

@@ -340,6 +340,20 @@ pub(crate) fn compile_rule(
     }
 }
 
+/// A `(slot, pred, mask)` triple naming one index a stratum's probes use;
+/// collected per stratum at compile time so the parallel driver can bring
+/// every needed index up to date *once per round* and then share the
+/// [`IndexSpace`] read-only across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ProbeSlot {
+    /// Dense index slot (see [`IndexSlots`]).
+    pub slot: u32,
+    /// Program-scoped predicate id.
+    pub pred: PredId,
+    /// Bound-position mask.
+    pub mask: u32,
+}
+
 /// Lazily built hash indexes over one run's relations, one per compile-time
 /// index slot (a distinct `(pred, mask)` pair — see [`IndexSlots`]).
 ///
@@ -348,9 +362,18 @@ pub(crate) fn compile_rule(
 /// extended on demand (`upto` tracks how much of the relation has been
 /// absorbed); relations only ever grow during evaluation, so extension is
 /// sound and cheap.
+///
+/// Two usage modes share this structure:
+///
+/// * the sequential engine probes through [`IndexSpace::probe`], which
+///   lazily absorbs freshly appended tuples before every lookup;
+/// * the parallel engine extends every slot a stratum needs up front
+///   ([`IndexSpace::extend_slot`], once per round) and then lets worker
+///   threads look up through the read-only [`IndexSpace::probe_ready`].
 #[derive(Debug, Default)]
 pub(crate) struct IndexSpace {
     slots: Vec<PredIndex>,
+    extensions: u64,
 }
 
 #[derive(Debug, Default)]
@@ -363,7 +386,37 @@ impl IndexSpace {
     pub(crate) fn new(num_slots: usize) -> IndexSpace {
         let mut slots = Vec::with_capacity(num_slots);
         slots.resize_with(num_slots, PredIndex::default);
-        IndexSpace { slots }
+        IndexSpace {
+            slots,
+            extensions: 0,
+        }
+    }
+
+    /// Absorbs the tuples appended to `tuples` since slot `slot` last saw the
+    /// relation. Returns true iff anything was absorbed (an "extension
+    /// pass"); the total is tracked for the engine's evaluation stats.
+    pub(crate) fn extend_slot(&mut self, slot: u32, tuples: &[Tuple], mask: u32) -> bool {
+        let index = &mut self.slots[slot as usize];
+        if index.upto >= tuples.len() {
+            return false;
+        }
+        let mut proj = Tuple::new();
+        for (id, tuple) in tuples.iter().enumerate().skip(index.upto) {
+            proj.clear();
+            for pos in 0..tuple.len().min(32) {
+                if mask & (1 << pos) != 0 {
+                    proj.push(tuple[pos]);
+                }
+            }
+            index
+                .entries
+                .entry(proj.clone())
+                .or_default()
+                .push(id as u32);
+        }
+        index.upto = tuples.len();
+        self.extensions += 1;
+        true
     }
 
     /// Appends the ids of `tuples` matching `key` on the positions of `mask`
@@ -376,27 +429,24 @@ impl IndexSpace {
         key: &[Symbol],
         out: &mut Vec<u32>,
     ) {
-        let index = &mut self.slots[slot as usize];
-        if index.upto < tuples.len() {
-            let mut proj = Tuple::new();
-            for (id, tuple) in tuples.iter().enumerate().skip(index.upto) {
-                proj.clear();
-                for pos in 0..tuple.len().min(32) {
-                    if mask & (1 << pos) != 0 {
-                        proj.push(tuple[pos]);
-                    }
-                }
-                index
-                    .entries
-                    .entry(proj.clone())
-                    .or_default()
-                    .push(id as u32);
-            }
-            index.upto = tuples.len();
-        }
-        if let Some(ids) = index.entries.get(key) {
+        self.extend_slot(slot, tuples, mask);
+        self.probe_ready(slot, key, out);
+    }
+
+    /// Read-only lookup against slot `slot`, which the caller must have
+    /// brought up to date with [`IndexSpace::extend_slot`]. This is the probe
+    /// path worker threads share during a parallel round.
+    pub(crate) fn probe_ready(&self, slot: u32, key: &[Symbol], out: &mut Vec<u32>) {
+        if let Some(ids) = self.slots[slot as usize].entries.get(key) {
             out.extend_from_slice(ids);
         }
+    }
+
+    /// Number of extension passes that actually absorbed tuples, across all
+    /// slots. A pinned regression test keeps the parallel driver honest about
+    /// not re-extending after unproductive rounds.
+    pub(crate) fn extensions(&self) -> u64 {
+        self.extensions
     }
 }
 

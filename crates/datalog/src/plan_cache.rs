@@ -10,6 +10,12 @@
 //! [`PlanCache::global`] instance backs
 //! [`crate::cqa_program::generate_program`], so every generated program is
 //! planned at most once per process.
+//!
+//! The cache is `Sync` and its payloads are immutable, so the parallel batch
+//! driver (`cqa-solver`'s `CertaintySession::certain_batch`) and the
+//! parallel stratum evaluator ([`crate::parallel`]) share compiled plans
+//! across worker threads without copying; racing compilations of the same
+//! program are collapsed to whichever insertion wins.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,6 +135,24 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_collapse_to_one_cached_plan() {
+        // Worker threads hammering the cache with the same program must all
+        // end up sharing a single Arc (one cached entry), and the cache must
+        // stay usable from multiple threads (it is Sync by construction).
+        let cache = PlanCache::new();
+        let plans: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| cache.get_or_compile(&tc_program("E")).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        for pair in plans.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! The differential harness for parallel evaluation.
+//!
+//! Three layers of oracle pin the parallel engine to the trusted ones:
+//!
+//! * **Agreement** — on ≥ 200 random stratified program/instance pairs, the
+//!   parallel engine at 2 and 8 threads derives exactly the fact sets of the
+//!   sequential indexed engine *and* of the scan-based reference engine
+//!   (`engine::reference`, the executable specification).
+//! * **Batch bitmaps** — `CertaintySession::certain_batch` answers a mixed
+//!   workload with byte-identical certain-answer bitmaps at 1, 2 and 8
+//!   threads.
+//! * **Determinism** — repeated runs at 8 threads produce identical *ordered*
+//!   output (relation iteration order and tuple insertion order), which
+//!   catches merge-order bugs that set-equality would hide; and `threads = 1`
+//!   is bit-identical (same orders) to the plain sequential entry point.
+
+mod common;
+
+use common::ProgramGen;
+use cqa_core::query::PathQuery;
+use cqa_datalog::prelude::*;
+use cqa_db::instance::DatabaseInstance;
+use cqa_solver::prelude::*;
+use cqa_workloads::random::{repeated_query_requests, RandomInstanceConfig};
+
+/// The store's full contents in iteration order — relation order and tuple
+/// order both matter, unlike `RelationStore`'s set-based `PartialEq`.
+fn ordered_dump(store: &RelationStore) -> Vec<(String, Vec<Vec<String>>)> {
+    store
+        .iter_relations()
+        .map(|(pred, tuples)| {
+            (
+                format!("{pred}"),
+                tuples
+                    .iter()
+                    .map(|t| t.iter().map(|s| s.to_string()).collect())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_engine_agrees_with_sequential_and_reference_on_random_programs() {
+    let mut checked = 0;
+    for program_seed in 0..50u64 {
+        let mut gen = ProgramGen::new(0xA6BEE + program_seed);
+        let program = gen.program();
+        let compiled = CompiledProgram::compile(&program)
+            .unwrap_or_else(|e| panic!("compilation failed: {e}\n{program}"));
+        for instance_seed in 0..4u64 {
+            let db = RandomInstanceConfig::new(
+                "RS",
+                5,
+                6 + (instance_seed as usize) * 5,
+                0xDB + program_seed * 31 + instance_seed,
+            )
+            .generate();
+            let sequential = compiled.run_with(&db, &EvalOptions::sequential());
+            let scanned = evaluate_scan(&program, &db)
+                .unwrap_or_else(|e| panic!("scan engine failed: {e}\n{program}"));
+            assert_eq!(
+                sequential, scanned,
+                "sequential/reference disagreement (program seed {program_seed}, instance seed \
+                 {instance_seed})\nprogram:\n{program}"
+            );
+            for threads in [2usize, 8] {
+                let parallel = compiled.run_with(&db, &EvalOptions::with_threads(threads));
+                assert_eq!(
+                    parallel, sequential,
+                    "parallel({threads}) disagrees with sequential (program seed \
+                     {program_seed}, instance seed {instance_seed})\nprogram:\n{program}\n\
+                     instance: {db:?}"
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 200,
+        "need at least 200 agreement pairs, got {checked}"
+    );
+}
+
+#[test]
+fn certain_batch_bitmaps_are_byte_identical_across_thread_counts() {
+    // A mixed workload covering every route of the tetrachotomy: FO (RXRX),
+    // NL via the Datalog back-end (RRX, RXRY) and PTIME fixpoint (RXRYRY).
+    let requests = repeated_query_requests(&["RXRX", "RRX", "RXRY", "RXRYRY"], 6, 3, 0xB17);
+    let bitmap = |threads: usize| -> Vec<u8> {
+        let session =
+            CertaintySession::with_options(NlBackend::Datalog, EvalOptions::with_threads(threads));
+        let answers = session.certain_batch(&requests);
+        assert_eq!(
+            session.queries_prepared(),
+            4,
+            "each distinct query prepared exactly once at {threads} threads"
+        );
+        let mut bytes = vec![0u8; requests.len().div_ceil(8)];
+        for (i, answer) in answers.iter().enumerate() {
+            let certain = *answer.as_ref().unwrap_or_else(|e| {
+                panic!("request {i} failed at {threads} threads: {e}");
+            });
+            bytes[i / 8] |= (certain as u8) << (i % 8);
+        }
+        bytes
+    };
+    let reference = bitmap(1);
+    // Not all-certain / not all-uncertain, or the comparison proves little.
+    assert!(reference.iter().any(|&b| b != 0), "degenerate workload");
+    for threads in [2usize, 8] {
+        assert_eq!(
+            bitmap(threads),
+            reference,
+            "bitmap at {threads} threads differs from sequential"
+        );
+    }
+}
+
+#[test]
+fn parallel_runs_are_deterministic_across_repetitions() {
+    // Same seed, 10 runs at 8 threads: the ordered output (relations in
+    // interning order, tuples in insertion order) must be identical every
+    // time. Scheduling may vary; the deterministic merge must hide it.
+    for program_seed in [3u64, 17, 29] {
+        let mut gen = ProgramGen::new(0xDE7E12 + program_seed);
+        let program = gen.program();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let db = RandomInstanceConfig::new("RS", 5, 24, 0x5EED + program_seed).generate();
+        let options = EvalOptions::with_threads(8);
+        let first = ordered_dump(&compiled.run_with(&db, &options));
+        for run in 1..10 {
+            let again = ordered_dump(&compiled.run_with(&db, &options));
+            assert_eq!(
+                first, again,
+                "run {run} at 8 threads differs from run 0 (program seed {program_seed})\n\
+                 program:\n{program}"
+            );
+        }
+    }
+}
+
+#[test]
+fn default_entry_point_matches_the_pinned_sequential_path() {
+    // `run_on_store` resolves `Threads::Auto` (PATH_CQA_THREADS, else the
+    // host's available parallelism), so the *ordered* comparison against the
+    // pinned sequential path is only valid when Auto resolves to one thread;
+    // when the environment opts the default entry points into parallelism,
+    // ordered output may legitimately differ and the set-level guarantee is
+    // what remains.
+    let auto_threads = Threads::Auto.resolve();
+    for program_seed in [1u64, 11, 23] {
+        let mut gen = ProgramGen::new(0xB17B17 + program_seed);
+        let program = gen.program();
+        let compiled = CompiledProgram::compile(&program).unwrap();
+        let db = RandomInstanceConfig::new("RS", 5, 20, 0x1DE + program_seed).generate();
+        let plain = compiled.run_on_store(edb_from_instance(&db));
+        let pinned = compiled.run_with(&db, &EvalOptions::sequential());
+        if auto_threads == 1 {
+            assert_eq!(
+                ordered_dump(&plain),
+                ordered_dump(&pinned),
+                "Auto resolved to 1 thread: run_on_store must be bit-identical to the \
+                 sequential path (seed {program_seed})"
+            );
+        } else {
+            assert_eq!(
+                plain, pinned,
+                "Auto resolved to {auto_threads} threads: run_on_store must still derive \
+                 the same fact sets (seed {program_seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_rounds_fire_and_agree_on_large_deltas() {
+    // The random-program suites above use tiny instances whose rounds fall
+    // below the inline-work threshold, so this is the test that pushes real
+    // work through the scoped-thread derive/merge path: transitive closure
+    // over a layered graph with multi-thousand-tuple deltas. EvalStats
+    // proves the threaded branch actually ran — if a future threshold change
+    // quietly routes everything inline again, this assertion fails rather
+    // than letting the harness go hollow.
+    use cqa_workloads::random::LayeredConfig;
+    let mut program = Program::new();
+    program.declare_edb(Predicate::new("R", 2));
+    let atom = |n: &str, vs: [&str; 2]| {
+        DlAtom::new(
+            Predicate::new(n, 2),
+            vs.iter().map(|v| DlTerm::var(v)).collect(),
+        )
+    };
+    program.add_rule(Rule::new(
+        atom("path", ["X", "Y"]),
+        vec![BodyLiteral::Positive(atom("R", ["X", "Y"]))],
+    ));
+    program.add_rule(Rule::new(
+        atom("path", ["X", "Z"]),
+        vec![
+            BodyLiteral::Positive(atom("path", ["X", "Y"])),
+            BodyLiteral::Positive(atom("R", ["Y", "Z"])),
+        ],
+    ));
+    let compiled = CompiledProgram::compile(&program).unwrap();
+    let db = LayeredConfig {
+        relations: vec![cqa_core::symbol::RelName::new("R")],
+        layers: 8,
+        width: 250,
+        conflict_probability: 0.3,
+        dead_end_probability: 0.05,
+        seed: 0x7A6E,
+    }
+    .generate();
+
+    let (sequential, seq_stats) =
+        compiled.run_on_store_with_stats(edb_from_instance(&db), &EvalOptions::sequential());
+    assert_eq!(seq_stats.threaded_rounds, 0);
+    let (parallel, par_stats) =
+        compiled.run_on_store_with_stats(edb_from_instance(&db), &EvalOptions::with_threads(8));
+    assert!(
+        par_stats.threaded_rounds > 0,
+        "workload must cross the inline threshold into the threaded branch \
+         (rounds: {}, threaded: {})",
+        par_stats.rounds,
+        par_stats.threaded_rounds
+    );
+    assert_eq!(
+        sequential, parallel,
+        "threaded rounds must derive the sequential fact sets"
+    );
+    // Determinism through the threaded branch as well: repeated 8-thread
+    // runs produce identical ordered output.
+    let first = ordered_dump(&parallel);
+    for run in 0..2 {
+        let (again, stats) =
+            compiled.run_on_store_with_stats(edb_from_instance(&db), &EvalOptions::with_threads(8));
+        assert!(stats.threaded_rounds > 0);
+        assert_eq!(first, ordered_dump(&again), "run {run} differs");
+    }
+}
+
+#[test]
+fn parallel_batch_results_agree_with_fresh_sequential_sessions() {
+    // End-to-end: a parallel-batch session against per-request fresh
+    // sequential sessions (and, where feasible, the naive repair-enumeration
+    // oracle).
+    let requests = repeated_query_requests(&["RRX", "RXRY"], 8, 4, 0x0DDB17);
+    let session = CertaintySession::with_options(NlBackend::Datalog, EvalOptions::with_threads(8));
+    let batch = session.certain_batch(&requests);
+    let naive = NaiveSolver::with_limit(1 << 16);
+    for (i, (query, db)) in requests.iter().enumerate() {
+        let got = *batch[i].as_ref().unwrap();
+        let fresh = CertaintySession::with_options(NlBackend::Datalog, EvalOptions::sequential())
+            .certain(query, db)
+            .unwrap();
+        assert_eq!(got, fresh, "batch/per-call mismatch at {i} ({query})");
+        if db.repair_count() <= 1 << 16 {
+            assert_eq!(
+                got,
+                naive.certain(query, db).unwrap(),
+                "oracle mismatch at {i} ({query})"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_handles_the_generated_cqa_programs() {
+    // The production workload: Lemma 14's linear programs, parallel vs scan.
+    for word in ["RRX", "RXRY", "UVUVWV"] {
+        let q = PathQuery::parse(word).unwrap();
+        let Some(dec) = b2b_strict_decomposition(q.word()) else {
+            continue;
+        };
+        let Some(cqa) = generate_program(&dec, q.word()) else {
+            continue;
+        };
+        for seed in 0..10u64 {
+            let db: DatabaseInstance = RandomInstanceConfig::new(
+                if word == "UVUVWV" { "UVW" } else { "RXY" },
+                5,
+                12,
+                0xCAA + seed,
+            )
+            .generate();
+            let parallel = cqa.compiled.run_with(&db, &EvalOptions::with_threads(4));
+            let scanned = evaluate_scan(&cqa.program, &db).unwrap();
+            assert_eq!(parallel, scanned, "disagreement on {word}, seed {seed}");
+        }
+    }
+}

@@ -5,6 +5,7 @@ use std::fmt;
 
 use cqa_core::classify::{classify, Classification};
 use cqa_core::query::PathQuery;
+use cqa_datalog::parallel::EvalOptions;
 use cqa_db::instance::DatabaseInstance;
 
 use crate::error::SolverError;
@@ -89,6 +90,15 @@ impl DispatchSolver {
     pub fn with_datalog_nl() -> DispatchSolver {
         DispatchSolver {
             session: CertaintySession::with_datalog_nl(),
+        }
+    }
+
+    /// Creates a dispatcher with an explicit NL back-end and evaluation
+    /// options (thread budget for engine rounds and batched submission).
+    /// `EvalOptions::sequential()` pins the exact single-threaded path.
+    pub fn with_options(backend: NlBackend, options: EvalOptions) -> DispatchSolver {
+        DispatchSolver {
+            session: CertaintySession::with_options(backend, options),
         }
     }
 

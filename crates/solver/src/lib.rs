@@ -65,4 +65,5 @@ pub mod prelude {
     pub use crate::nl_solver::{NlBackend, NlPlan, NlSolver};
     pub use crate::session::{CertaintySession, QueryPlan};
     pub use crate::traits::CertaintySolver;
+    pub use cqa_datalog::parallel::{EvalOptions, EvalStats, Threads};
 }

@@ -33,6 +33,7 @@ use cqa_core::query::PathQuery;
 use cqa_core::regex_forms::{b2b_strict_decomposition, B2bDecomposition};
 use cqa_core::word::Word;
 use cqa_datalog::cqa_program::{generate_program, CqaProgram};
+use cqa_datalog::parallel::EvalOptions;
 use cqa_db::fact::Constant;
 use cqa_db::instance::DatabaseInstance;
 use cqa_db::path::{consistent_path_endpoints, reachable_by_trace};
@@ -92,6 +93,7 @@ pub struct NlSolver {
     strict: bool,
     stats: FallbackStats,
     plans: Mutex<HashMap<Word, NlPlan>>,
+    options: EvalOptions,
 }
 
 impl Default for NlSolver {
@@ -107,6 +109,7 @@ impl NlSolver {
             strict,
             stats: FallbackStats::default(),
             plans: Mutex::new(HashMap::new()),
+            options: EvalOptions::default(),
         }
     }
 
@@ -124,6 +127,15 @@ impl NlSolver {
     /// the fixpoint algorithm when no decomposition applies).
     pub fn lenient(backend: NlBackend) -> NlSolver {
         NlSolver::with_mode(backend, false)
+    }
+
+    /// Creates a non-strict solver with explicit engine evaluation options
+    /// (thread count for the Datalog back-end's stratum rounds).
+    pub fn lenient_with_options(backend: NlBackend, options: EvalOptions) -> NlSolver {
+        NlSolver {
+            options,
+            ..NlSolver::with_mode(backend, false)
+        }
     }
 
     /// Fallback statistics.
@@ -164,6 +176,19 @@ impl NlSolver {
         plan: &NlPlan,
         db: &DatabaseInstance,
     ) -> Result<bool, SolverError> {
+        self.certain_prepared_with(plan, db, &self.options)
+    }
+
+    /// Like [`NlSolver::certain_prepared`], but with caller-supplied engine
+    /// options. The batched session driver uses this to force sequential
+    /// engine runs inside its own worker threads (one level of parallelism
+    /// at a time).
+    pub fn certain_prepared_with(
+        &self,
+        plan: &NlPlan,
+        db: &DatabaseInstance,
+        options: &EvalOptions,
+    ) -> Result<bool, SolverError> {
         match plan {
             NlPlan::Direct(dec) => {
                 self.stats
@@ -175,7 +200,7 @@ impl NlSolver {
                 self.stats
                     .decompositions_used
                     .fetch_add(1, Ordering::Relaxed);
-                certain_datalog(cqa, db)
+                certain_datalog(cqa, db, options)
             }
             NlPlan::Fixpoint(nfa) => {
                 self.stats
@@ -276,8 +301,9 @@ pub(crate) fn certain_direct(dec: &B2bDecomposition, db: &DatabaseInstance) -> b
 pub(crate) fn certain_datalog(
     cqa: &CqaProgram,
     db: &DatabaseInstance,
+    options: &EvalOptions,
 ) -> Result<bool, SolverError> {
-    let store = cqa.compiled.run(db);
+    let store = cqa.compiled.run_with(db, options);
     let o_holds = store
         .unary(cqa.o)
         .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;

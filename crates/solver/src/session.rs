@@ -25,6 +25,7 @@ use cqa_automata::query_nfa::QueryNfa;
 use cqa_core::classify::{classify, Classification, ComplexityClass};
 use cqa_core::query::PathQuery;
 use cqa_core::word::Word;
+use cqa_datalog::parallel::EvalOptions;
 use cqa_db::instance::DatabaseInstance;
 
 use crate::conp::SatCertaintySolver;
@@ -77,6 +78,7 @@ pub struct CertaintySession {
     plans: Mutex<HashMap<Word, Arc<QueryPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    options: EvalOptions,
 }
 
 impl Default for CertaintySession {
@@ -87,14 +89,26 @@ impl Default for CertaintySession {
 
 impl CertaintySession {
     fn with_backend(backend: NlBackend) -> CertaintySession {
+        CertaintySession::with_options(backend, EvalOptions::default())
+    }
+
+    /// Creates a session with an explicit back-end and evaluation options.
+    ///
+    /// One `threads` knob controls both layers of parallelism, one level at
+    /// a time: [`CertaintySession::certain_batch`] fans whole requests out
+    /// across that many worker threads (each request then evaluated
+    /// sequentially), while single-request entry points pass the thread
+    /// budget down to the Datalog engine's stratum rounds instead.
+    pub fn with_options(backend: NlBackend, options: EvalOptions) -> CertaintySession {
         CertaintySession {
             fo: FoSolver::unchecked(),
-            nl: NlSolver::lenient(backend),
+            nl: NlSolver::lenient_with_options(backend, options),
             nl_backend: backend,
             conp: SatCertaintySolver::default(),
             plans: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            options,
         }
     }
 
@@ -106,6 +120,11 @@ impl CertaintySession {
     /// Creates a session serving the NL class with the Datalog back-end.
     pub fn with_datalog_nl() -> CertaintySession {
         CertaintySession::with_backend(NlBackend::Datalog)
+    }
+
+    /// The evaluation options this session was created with.
+    pub fn options(&self) -> EvalOptions {
+        self.options
     }
 
     /// Classifies the query and prepares its route, reusing the cached plan
@@ -165,11 +184,23 @@ impl CertaintySession {
         plan: &QueryPlan,
         db: &DatabaseInstance,
     ) -> Result<bool, SolverError> {
+        self.certain_planned_with(plan, db, &self.options)
+    }
+
+    /// Decides one instance against a prepared plan with caller-supplied
+    /// engine options (the parallel batch path pins its workers to
+    /// sequential engine runs through this).
+    fn certain_planned_with(
+        &self,
+        plan: &QueryPlan,
+        db: &DatabaseInstance,
+        options: &EvalOptions,
+    ) -> Result<bool, SolverError> {
         match plan.route {
             Route::FoRewriting => Ok(self.fo.evaluate_rewriting(&plan.query, db)),
             Route::Nl(_) => {
                 let nl = plan.nl.as_ref().expect("NL route carries an NL plan");
-                self.nl.certain_prepared(nl, db)
+                self.nl.certain_prepared_with(nl, db, options)
             }
             Route::PtimeFixpoint => {
                 let nfa = plan.nfa.as_ref().expect("fixpoint route carries an NFA");
@@ -184,10 +215,22 @@ impl CertaintySession {
     /// Decides a whole batch of `(query, instance)` requests, grouping by
     /// query so each distinct query is classified and prepared exactly once.
     /// Results are returned in request order.
+    ///
+    /// With a resolved thread budget above one, the batch is fanned out
+    /// across scoped worker threads: plans are prepared once on the
+    /// coordinator (every [`crate::dispatch::Route`]'s artifacts are `Sync`,
+    /// so workers share them by reference), each worker decides a contiguous
+    /// slice of the requests with *sequential* engine runs, and results land
+    /// in preassigned slots — request order, and therefore the answer
+    /// bitmap, is identical at every thread count.
     pub fn certain_batch(
         &self,
         requests: &[(PathQuery, DatabaseInstance)],
     ) -> Vec<Result<bool, SolverError>> {
+        let threads = self.options.threads.resolve().min(requests.len());
+        if threads > 1 {
+            return self.certain_batch_parallel(requests, threads);
+        }
         let mut groups: HashMap<&Word, Vec<usize>> = HashMap::new();
         for (i, (query, _)) in requests.iter().enumerate() {
             groups.entry(query.word()).or_default().push(i);
@@ -202,6 +245,56 @@ impl CertaintySession {
         }
         out.into_iter()
             .map(|r| r.expect("every request grouped"))
+            .collect()
+    }
+
+    /// The scoped fan-out behind [`CertaintySession::certain_batch`].
+    fn certain_batch_parallel(
+        &self,
+        requests: &[(PathQuery, DatabaseInstance)],
+        threads: usize,
+    ) -> Vec<Result<bool, SolverError>> {
+        // Classify and prepare on the coordinator: one prepare per distinct
+        // query, exactly like the sequential grouping path, so cache
+        // statistics do not depend on the thread count.
+        let mut by_word: HashMap<&Word, Arc<QueryPlan>> = HashMap::new();
+        let plans: Vec<Arc<QueryPlan>> = requests
+            .iter()
+            .map(|(query, _)| {
+                Arc::clone(
+                    by_word
+                        .entry(query.word())
+                        .or_insert_with(|| self.prepare(query)),
+                )
+            })
+            .collect();
+
+        // Workers run each request's engine sequentially: batch-level
+        // parallelism already saturates the budget, and nested scopes would
+        // oversubscribe.
+        let per_request = EvalOptions::sequential();
+        let chunk = requests.len().div_ceil(threads);
+        let mut out: Vec<Option<Result<bool, SolverError>>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        std::thread::scope(|scope| {
+            for ((request_chunk, plan_chunk), out_chunk) in requests
+                .chunks(chunk)
+                .zip(plans.chunks(chunk))
+                .zip(out.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for (((_, db), plan), slot) in request_chunk
+                        .iter()
+                        .zip(plan_chunk)
+                        .zip(out_chunk.iter_mut())
+                    {
+                        *slot = Some(self.certain_planned_with(plan, db, &per_request));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every request chunked"))
             .collect()
     }
 

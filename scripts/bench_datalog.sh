@@ -2,9 +2,11 @@
 # Runs the Datalog-relevant benchmarks and assembles BENCH_datalog.json at
 # the repository root: one entry per benchmark with the median ns/iter, for
 # the `datalog_engine` (scan vs indexed before/after, plus warm-plan runs),
-# `nl_vs_ptime`, `certainty_scaling` and `session_batch` (warm sessions vs
-# cold per-call dispatch) suites. Future PRs re-run this script to extend
-# the perf trajectory.
+# `nl_vs_ptime`, `certainty_scaling`, `session_batch` (warm sessions vs
+# cold per-call dispatch, including a 4-thread batch fan-out) and
+# `datalog_parallel` (stratum evaluation at 1/2/4/8 worker threads) suites.
+# Future PRs re-run this script to extend the perf trajectory; thread-scaling
+# entries are only comparable against same-host baselines.
 #
 # Usage: scripts/bench_datalog.sh
 # Knobs: CQA_BENCH_TARGET_MS (per-benchmark budget, default 300),
@@ -24,7 +26,8 @@ CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
     --bench datalog_engine \
     --bench nl_vs_ptime \
     --bench certainty_scaling \
-    --bench session_batch
+    --bench session_batch \
+    --bench parallel_scaling
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 {
