@@ -67,7 +67,7 @@ fn bench_session_batch(c: &mut Criterion) {
                             .expect("non-degenerate decomposition");
                         let store = cqa.compiled.run(db);
                         let o_holds = store.unary(cqa.o).unwrap();
-                        certain += db.adom().iter().any(|c| !o_holds.contains(&c.symbol())) as u32;
+                        certain += db.adom().iter().any(|c| !o_holds.contains(c.symbol())) as u32;
                     }
                     black_box(certain)
                 })

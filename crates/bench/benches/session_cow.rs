@@ -1,0 +1,152 @@
+//! E18: copy-on-write family sessions against fresh-load batches on
+//! shared-prefix workloads.
+//!
+//! The serving scenario: a family of requests arrives as one shared EDB
+//! prefix plus a small per-request delta (90% shared here), all asking the
+//! same NL-class query through the Datalog back-end. Two architectures
+//! answer the identical input:
+//!
+//! * `fresh_load` — the pre-layering path: every request materializes its
+//!   full instance (`prefix ∪ delta`) and goes through
+//!   [`CertaintySession::certain_batch`], which loads a fresh
+//!   `RelationStore` — re-copying and re-indexing the prefix — per request;
+//! * `prefix_shared` — [`CertaintySession::certain_batch_family`]: the
+//!   prefix is loaded and frozen into a copy-on-write base store once per
+//!   batch (committed indexes built on the first request), and each request
+//!   forks an O(delta) overlay.
+//!
+//! Both produce byte-identical answer bitmaps (pinned by
+//! `tests/family_cow.rs`). Two layers of comparison go into
+//! `BENCH_datalog.json`:
+//!
+//! * `store_build_fresh` vs `store_build_overlay` isolate the component the
+//!   layering amortizes — per-request instance materialization, EDB store
+//!   loading and (on first probe) index construction. This is where the
+//!   copy-on-write win lives, and it is large (O(database) vs O(delta)).
+//! * `fresh_load` vs `prefix_shared` measure the full end-to-end batch.
+//!   **Honest caveat:** on this engine the end-to-end gap is small (~1.1x),
+//!   because after PRs 1–2 the dominant per-request cost is semi-naive
+//!   *derivation* — which both architectures must redo per request, since
+//!   stratified negation makes the derived relations non-monotone in the
+//!   delta — not store construction. The faster the engine got, the less
+//!   there is for EDB sharing to save end to end.
+//!
+//! `prefix_shared_t4` additionally fans the family across 4 worker threads —
+//! on this single-CPU container that measures fan-out overhead, not scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::query::PathQuery;
+use cqa_datalog::prelude::{edb_base_from_instance, edb_from_instance, edb_overlay_on};
+use cqa_db::instance::DatabaseInstance;
+use cqa_solver::prelude::*;
+use cqa_workloads::random::shared_prefix_families;
+
+/// Largest prefix instance; `CQA_BENCH_MAX_FACTS` caps it so the CI smoke
+/// run stays at ~10^3 facts.
+fn max_facts() -> usize {
+    std::env::var("CQA_BENCH_MAX_FACTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+fn bench_session_cow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_cow");
+    group.sample_size(10);
+
+    let query = PathQuery::parse("RRX").unwrap();
+    // Widths chosen so prefixes land near 10^3 and 10^4 facts (the layered
+    // generator emits ~3.7 facts per vertex-width for a 3-letter word);
+    // 16 requests at a 0.1 delta ratio ≈ 90% shared prefix.
+    for width in [270usize, 2700] {
+        let family = shared_prefix_families(query.word(), width, 16, 0.1, 0xC0_FFA);
+        if family.prefix().len() > max_facts() {
+            continue;
+        }
+        let shared_pct = (family.shared_fraction() * 100.0).round();
+        let id = format!(
+            "{}f_x{}_{}pct",
+            family.prefix().len(),
+            family.len(),
+            shared_pct
+        );
+
+        // Store construction alone — the amortized component. The overlay
+        // side pays the base build (freeze + first-probe index commits) once
+        // per batch, then O(delta) per request.
+        group.bench_with_input(
+            BenchmarkId::new("store_build_fresh", &id),
+            &family,
+            |b, family| {
+                b.iter(|| {
+                    let mut tuples = 0u64;
+                    for i in 0..family.len() {
+                        tuples += edb_from_instance(&family.materialize(i)).generation();
+                    }
+                    black_box(tuples)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("store_build_overlay", &id),
+            &family,
+            |b, family| {
+                b.iter(|| {
+                    let base = edb_base_from_instance(family.prefix());
+                    let mut tuples = 0u64;
+                    for delta in family.deltas() {
+                        tuples += edb_overlay_on(&base, delta).generation();
+                    }
+                    black_box(tuples)
+                })
+            },
+        );
+
+        // Warm sessions for both sides: query planning is already amortized
+        // by PR 2, so the measured gap is store loading + index building.
+        group.bench_with_input(BenchmarkId::new("fresh_load", &id), &family, |b, family| {
+            let session = CertaintySession::with_datalog_nl();
+            b.iter(|| {
+                let requests: Vec<(PathQuery, DatabaseInstance)> = (0..family.len())
+                    .map(|i| (query.clone(), family.materialize(i)))
+                    .collect();
+                let answers = session.certain_batch(&requests);
+                black_box(answers.iter().filter(|a| *a.as_ref().unwrap()).count())
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("prefix_shared", &id),
+            &family,
+            |b, family| {
+                let session = CertaintySession::with_datalog_nl();
+                b.iter(|| {
+                    let answers = session.certain_batch_family(&query, family);
+                    black_box(answers.iter().filter(|a| *a.as_ref().unwrap()).count())
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("prefix_shared_t4", &id),
+            &family,
+            |b, family| {
+                let session = CertaintySession::with_options(
+                    NlBackend::Datalog,
+                    EvalOptions::with_threads(4),
+                );
+                b.iter(|| {
+                    let answers = session.certain_batch_family(&query, family);
+                    black_box(answers.iter().filter(|a| *a.as_ref().unwrap()).count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_cow);
+criterion_main!(benches);

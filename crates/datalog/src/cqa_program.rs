@@ -335,7 +335,7 @@ mod tests {
         let cqa = program_for(word);
         let store = evaluate(&cqa.program, db).unwrap();
         let o_holds = store.unary(cqa.o).unwrap();
-        db.adom().iter().any(|c| !o_holds.contains(&c.symbol()))
+        db.adom().iter().any(|c| !o_holds.contains(c.symbol()))
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //!   variables are bound, pruning early. A fully bound atom degenerates to a
 //!   set-membership test.
 //!
+//! * **Layered copy-on-write stores** ([`crate::store`]). Relations live in
+//!   a [`RelationStore`] that is either flat or an overlay over a frozen,
+//!   `Arc`-shared [`BaseStore`] (a shared EDB prefix plus its committed
+//!   `(pred, mask)` indexes, built once per base). Tuple ids index the
+//!   base-then-overlay concatenation, so the semi-naive delta machinery and
+//!   the probe indexes work unchanged across the seam; a flat store is the
+//!   empty-base case and keeps the exact single-layer code paths.
+//!
 //! * **Interned predicates.** Plans refer to predicates by dense [`PredId`],
 //!   and [`RelationStore`] keeps its relations in a flat `Vec` behind its own
 //!   [`PredTable`]; a per-run translation array maps program ids to store
@@ -38,7 +46,9 @@
 //!   appended in the previous round. A delta-restricted plan scans exactly
 //!   that range for its delta literal and probes indexes for everything
 //!   else; indexes are built on first probe and *extended* (never
-//!   invalidated) by absorbing the tuples appended since their last use.
+//!   invalidated) by absorbing the tuples appended since their last use. On
+//!   an overlay store a probe pairs the base's committed index with the
+//!   run's overlay extension.
 //!
 //! * **Allocation-free inner loop.** Bindings live in a
 //!   `Vec<Option<Symbol>>` with compile-time-known reset lists instead of
@@ -54,12 +64,14 @@
 //!   sequential loop unchanged.
 //!
 //! The previous scan-based evaluator is retained verbatim-in-spirit under
-//! [`reference`]; the property suites (`tests/engine_agreement.rs`,
-//! `tests/parallel_agreement.rs`) check that all engines derive identical
-//! stores on random programs, and the `datalog_engine` /
-//! `datalog_parallel` benches track the speedups.
+//! [`crate::reference`] (re-exported here as [`reference`]); the property
+//! suites (`tests/engine_agreement.rs`, `tests/parallel_agreement.rs`,
+//! `tests/family_cow.rs`) check that all engines — and layered vs fresh-load
+//! stores — derive identical fact sets on random programs, and the
+//! `datalog_engine` / `datalog_parallel` / `session_cow` benches track the
+//! speedups.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
 use cqa_core::symbol::Symbol;
 use cqa_db::instance::DatabaseInstance;
@@ -68,258 +80,13 @@ use crate::ast::{Predicate, Program, Rule, RuleVars};
 use crate::parallel::{evaluate_stratum_parallel, EvalOptions, EvalStats, WorkerPool};
 use crate::plan::{compile_rule, CompiledRule, IndexSlots, IndexSpace, Op, ProbeSlot};
 use crate::stratify::{stratify, StratifyError};
+
+pub use crate::reference;
+pub use crate::store::{
+    edb_base_from_instance, edb_from_instance, edb_overlay_on, BaseStore, PredId, PredTable,
+    RelationStore, Tuples, UnaryView,
+};
 pub use crate::tuple::Tuple;
-
-/// A dense predicate id, assigned by a [`PredTable`] in interning order.
-///
-/// Ids are scoped to the table that produced them: a [`CompiledProgram`] and
-/// a [`RelationStore`] each intern independently, and the evaluator
-/// translates between the two with a per-run array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PredId(u32);
-
-impl PredId {
-    /// The id as a dense vector index.
-    #[inline]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-/// An interner of [`Predicate`]s into dense [`PredId`]s.
-#[derive(Debug, Clone, Default)]
-pub struct PredTable {
-    ids: HashMap<Predicate, PredId>,
-    preds: Vec<Predicate>,
-}
-
-impl PredTable {
-    /// Interns a predicate, assigning the next dense id on first sight.
-    pub(crate) fn intern(&mut self, pred: Predicate) -> PredId {
-        if let Some(&id) = self.ids.get(&pred) {
-            return id;
-        }
-        let id = PredId(self.preds.len() as u32);
-        self.preds.push(pred);
-        self.ids.insert(pred, id);
-        id
-    }
-
-    /// The id of a predicate, if it has been interned.
-    pub fn lookup(&self, pred: Predicate) -> Option<PredId> {
-        self.ids.get(&pred).copied()
-    }
-
-    /// The predicate with the given id.
-    pub fn predicate(&self, id: PredId) -> Predicate {
-        self.preds[id.index()]
-    }
-
-    /// Number of interned predicates.
-    pub fn len(&self) -> usize {
-        self.preds.len()
-    }
-
-    /// True iff nothing has been interned.
-    pub fn is_empty(&self) -> bool {
-        self.preds.is_empty()
-    }
-
-    /// Iterates over `(id, predicate)` pairs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (PredId, Predicate)> + '_ {
-        self.preds
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (PredId(i as u32), p))
-    }
-}
-
-/// A set of derived relations, stored densely behind an interned
-/// [`PredTable`]: the public API is keyed by [`Predicate`] for convenience,
-/// while the evaluator addresses relations by [`PredId`] vector index.
-#[derive(Debug, Clone, Default)]
-pub struct RelationStore {
-    preds: PredTable,
-    relations: Vec<Relation>,
-    /// Monotone watermark: bumped exactly once per tuple that is actually
-    /// inserted (duplicates do not count). The evaluation drivers compare
-    /// generations to decide whether any index could possibly be stale, so an
-    /// unproductive round never triggers an index-extension pass.
-    generation: u64,
-}
-
-/// One predicate's tuples: a dense append-only vector (indexes and deltas
-/// address tuples by position in it) plus a hash set for O(1) membership.
-#[derive(Debug, Clone, Default)]
-struct Relation {
-    tuples: Vec<Tuple>,
-    set: HashSet<Tuple>,
-}
-
-impl Relation {
-    fn insert(&mut self, tuple: Tuple) -> bool {
-        // Single hash lookup; the clone is an inline copy for the arity ≤ 4
-        // tuples this workload uses.
-        if self.set.insert(tuple.clone()) {
-            self.tuples.push(tuple);
-            true
-        } else {
-            false
-        }
-    }
-}
-
-impl RelationStore {
-    /// Creates an empty store.
-    pub fn new() -> RelationStore {
-        RelationStore::default()
-    }
-
-    /// Interns a predicate into this store, growing the relation vector.
-    pub(crate) fn intern(&mut self, pred: Predicate) -> PredId {
-        let id = self.preds.intern(pred);
-        if id.index() >= self.relations.len() {
-            self.relations
-                .resize_with(id.index() + 1, Relation::default);
-        }
-        id
-    }
-
-    /// The store-scoped id of a predicate, if any tuples were ever inserted
-    /// for it (or it was touched by an evaluation).
-    pub fn pred_id(&self, pred: Predicate) -> Option<PredId> {
-        self.preds.lookup(pred)
-    }
-
-    /// The tuples of a predicate (empty if absent), in insertion order.
-    pub fn tuples(&self, pred: Predicate) -> impl Iterator<Item = &Tuple> {
-        self.tuples_slice(pred).iter()
-    }
-
-    /// The tuples of a predicate as a dense slice; tuple ids used by indexes
-    /// and deltas are positions in this slice.
-    fn tuples_slice(&self, pred: Predicate) -> &[Tuple] {
-        self.preds
-            .lookup(pred)
-            .map_or(&[], |id| &self.relations[id.index()].tuples)
-    }
-
-    /// The tuples of an interned predicate as a dense slice.
-    #[inline]
-    pub(crate) fn tuples_by_id(&self, id: PredId) -> &[Tuple] {
-        &self.relations[id.index()].tuples
-    }
-
-    /// True iff the tuple is present.
-    pub fn contains(&self, pred: Predicate, tuple: &[Symbol]) -> bool {
-        self.preds
-            .lookup(pred)
-            .is_some_and(|id| self.relations[id.index()].set.contains(tuple))
-    }
-
-    /// True iff the tuple is present, by interned id.
-    #[inline]
-    pub(crate) fn contains_by_id(&self, id: PredId, tuple: &[Symbol]) -> bool {
-        self.relations[id.index()].set.contains(tuple)
-    }
-
-    /// Inserts a tuple; returns true if it was new.
-    pub fn insert(&mut self, pred: Predicate, tuple: impl Into<Tuple>) -> bool {
-        let tuple = tuple.into();
-        debug_assert_eq!(pred.arity, tuple.len());
-        let id = self.intern(pred);
-        self.insert_by_id(id, tuple)
-    }
-
-    /// Inserts a tuple for an interned predicate; returns true if it was new.
-    #[inline]
-    pub(crate) fn insert_by_id(&mut self, id: PredId, tuple: Tuple) -> bool {
-        let inserted = self.relations[id.index()].insert(tuple);
-        self.generation += inserted as u64;
-        inserted
-    }
-
-    /// The store's insertion watermark: the total number of tuples ever
-    /// inserted (duplicates excluded). Strictly monotone, so two equal
-    /// generations guarantee that no relation has grown in between.
-    pub fn generation(&self) -> u64 {
-        self.generation
-    }
-
-    /// Number of tuples of a predicate.
-    pub fn len(&self, pred: Predicate) -> usize {
-        self.preds
-            .lookup(pred)
-            .map_or(0, |id| self.relations[id.index()].tuples.len())
-    }
-
-    /// Number of tuples of an interned predicate.
-    #[inline]
-    pub fn len_of(&self, id: PredId) -> usize {
-        self.relations[id.index()].tuples.len()
-    }
-
-    /// Iterates over every nonempty relation as `(predicate, tuples)`, in
-    /// interning order. The supported way for tests and benches to look at
-    /// everything a run derived without reaching into store internals.
-    pub fn iter_relations(&self) -> impl Iterator<Item = (Predicate, &[Tuple])> {
-        self.preds
-            .iter()
-            .map(|(id, pred)| (pred, self.relations[id.index()].tuples.as_slice()))
-            .filter(|(_, tuples)| !tuples.is_empty())
-    }
-
-    /// True iff no tuples at all are stored.
-    pub fn is_empty(&self) -> bool {
-        self.relations.iter().all(|r| r.tuples.is_empty())
-    }
-
-    /// The unary relation of a predicate as a set of symbols, or an arity
-    /// error if the predicate is not unary.
-    pub fn unary(&self, pred: Predicate) -> Result<BTreeSet<Symbol>, EngineError> {
-        if pred.arity != 1 {
-            return Err(EngineError::ArityMismatch { pred, expected: 1 });
-        }
-        Ok(self.tuples(pred).map(|t| t[0]).collect())
-    }
-
-    /// Bulk-loads tuples into a predicate, reserving capacity up front. The
-    /// caller asserts the tuples are pairwise distinct and not yet present
-    /// (each is still hashed once for the membership set, but never
-    /// re-checked or re-inserted).
-    fn bulk_load<I: ExactSizeIterator<Item = Tuple>>(&mut self, pred: Predicate, tuples: I) {
-        let id = self.intern(pred);
-        let relation = &mut self.relations[id.index()];
-        relation.tuples.reserve(tuples.len());
-        relation.set.reserve(tuples.len());
-        for tuple in tuples {
-            debug_assert_eq!(pred.arity, tuple.len());
-            debug_assert!(!relation.set.contains(tuple.as_slice()));
-            relation.set.insert(tuple.clone());
-            relation.tuples.push(tuple);
-            self.generation += 1;
-        }
-    }
-}
-
-impl PartialEq for RelationStore {
-    /// Set equality per predicate, ignoring empty relations and insertion
-    /// order — the natural notion for comparing evaluation results.
-    fn eq(&self, other: &RelationStore) -> bool {
-        let count = |store: &RelationStore| store.iter_relations().count();
-        count(self) == count(other)
-            && self.preds.iter().all(|(id, pred)| {
-                let mine = &self.relations[id.index()].set;
-                mine.is_empty()
-                    || other
-                        .preds
-                        .lookup(pred)
-                        .is_some_and(|oid| *mine == other.relations[oid.index()].set)
-            })
-    }
-}
-
-impl Eq for RelationStore {}
 
 /// Errors produced by compilation and evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -358,33 +125,6 @@ impl From<StratifyError> for EngineError {
     fn from(e: StratifyError) -> EngineError {
         EngineError::Stratification(e)
     }
-}
-
-/// Loads the extensional database from a [`DatabaseInstance`]: every relation
-/// name `R` becomes a binary predicate `R`, and the unary predicate `adom`
-/// holds the active domain.
-///
-/// This is a bulk fast path: facts arrive grouped per relation with exact
-/// counts ([`DatabaseInstance::facts_by_relation`]), so each relation is
-/// loaded with pre-reserved capacity and a single hash per fact, instead of
-/// re-probing the predicate map and the dedup set fact by fact.
-pub fn edb_from_instance(db: &DatabaseInstance) -> RelationStore {
-    let mut store = RelationStore::new();
-    for (rel, pairs) in db.facts_by_relation() {
-        let pred = Predicate {
-            name: rel.symbol(),
-            arity: 2,
-        };
-        store.bulk_load(
-            pred,
-            pairs
-                .iter()
-                .map(|&(k, v)| Tuple::from([k.symbol(), v.symbol()])),
-        );
-    }
-    let adom = Predicate::new("adom", 1);
-    store.bulk_load(adom, db.adom().iter().map(|c| Tuple::from([c.symbol()])));
-    store
 }
 
 /// One stratum's compiled plans.
@@ -570,7 +310,8 @@ impl<'a> Evaluator<'a> {
         self.run_on_store(edb_from_instance(db))
     }
 
-    /// Runs the program on an explicitly provided EDB store.
+    /// Runs the program on an explicitly provided EDB store (flat, or an
+    /// overlay forked from a shared base — see [`crate::store`]).
     pub fn run_on_store(&self, store: RelationStore) -> RelationStore {
         self.run_on_store_with_stats(store).0
     }
@@ -619,6 +360,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         stats.index_extensions = indexes.extensions();
+        stats.base_index_builds = indexes.base_builds();
         (store, stats)
     }
 }
@@ -769,11 +511,17 @@ impl Executor {
                     Some(range) if depth == 0 => range,
                     _ => (0, tuples.len()),
                 };
-                for tuple in &tuples[lo..hi] {
-                    if self.try_match(ap, tuple) {
-                        self.step(plan, depth + 1, pred_map, store, probing, delta, out);
+                // Two tight per-segment loops instead of one chained
+                // iterator; a flat store's base segment is empty, so this is
+                // the original single-slice scan there.
+                let (base, overlay) = tuples.segments(lo, hi);
+                for segment in [base, overlay] {
+                    for tuple in segment {
+                        if self.try_match(ap, tuple) {
+                            self.step(plan, depth + 1, pred_map, store, probing, delta, out);
+                        }
+                        self.reset(ap);
                     }
-                    self.reset(ap);
                 }
             }
             Op::Probe(ap) => {
@@ -784,15 +532,16 @@ impl Executor {
                     .collect();
                 let mut ids = std::mem::take(&mut self.id_bufs[depth]);
                 ids.clear();
-                let tuples = store.tuples_by_id(pred_map[ap.pred.index()]);
+                let pred = pred_map[ap.pred.index()];
+                let tuples = store.tuples_by_id(pred);
                 match probing {
                     Probing::Lazy(indexes) => {
-                        indexes.probe(ap.index_slot, tuples, ap.mask, &key, &mut ids)
+                        indexes.probe(ap.index_slot, store, pred, ap.mask, &key, &mut ids)
                     }
                     Probing::Ready(indexes) => indexes.probe_ready(ap.index_slot, &key, &mut ids),
                 }
                 for &id in &ids {
-                    if self.try_match(ap, &tuples[id as usize]) {
+                    if self.try_match(ap, tuples.get(id as usize)) {
                         self.step(plan, depth + 1, pred_map, store, probing, delta, out);
                     }
                     self.reset(ap);
@@ -865,217 +614,6 @@ impl Executor {
 /// [`CompiledProgram::run`] instead.
 pub fn evaluate(program: &Program, db: &DatabaseInstance) -> Result<RelationStore, EngineError> {
     Ok(CompiledProgram::compile(program)?.run(db))
-}
-
-/// The retained scan-based evaluator.
-///
-/// This is the engine's original inner loop — per-candidate environment
-/// cloning and full-relation scans — kept as an executable specification:
-/// `tests/engine_agreement.rs` checks the indexed engine against it on random
-/// programs, and `benches/datalog_engine.rs` measures the gap. Do not use it
-/// for real workloads.
-pub mod reference {
-    use std::collections::{BTreeMap, HashSet};
-
-    use cqa_core::symbol::Symbol;
-    use cqa_db::instance::DatabaseInstance;
-
-    use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule};
-    use crate::stratify::stratify;
-
-    use super::{edb_from_instance, EngineError, RelationStore, Tuple};
-
-    /// The binding environment: a name-keyed map, cloned per candidate.
-    type Env = BTreeMap<Symbol, Symbol>;
-
-    fn resolve(term: &DlTerm, env: &Env) -> Option<Symbol> {
-        match term {
-            DlTerm::Const(c) => Some(*c),
-            DlTerm::Var(v) => env.get(v).copied(),
-        }
-    }
-
-    fn match_atom(atom: &DlAtom, tuple: &Tuple, env: &Env) -> Option<Env> {
-        let mut new_env = env.clone();
-        for (term, &value) in atom.args.iter().zip(tuple.iter()) {
-            match term {
-                DlTerm::Const(c) => {
-                    if *c != value {
-                        return None;
-                    }
-                }
-                DlTerm::Var(v) => match new_env.get(v) {
-                    Some(&bound) if bound != value => return None,
-                    Some(_) => {}
-                    None => {
-                        new_env.insert(*v, value);
-                    }
-                },
-            }
-        }
-        Some(new_env)
-    }
-
-    fn eval_builtin(builtin: &Builtin, env: &Env) -> bool {
-        let value =
-            |t: &DlTerm| resolve(t, env).expect("builtin arguments must be bound (safe rule)");
-        match builtin {
-            Builtin::Neq(a, b) => value(a) != value(b),
-            Builtin::Eq(a, b) => value(a) == value(b),
-            Builtin::KeyConsistent(x1, y1, x2, y2) => {
-                value(x1) != value(x2) || value(y1) == value(y2)
-            }
-        }
-    }
-
-    /// Evaluates a program with the scan-based engine.
-    pub fn evaluate_scan(
-        program: &Program,
-        db: &DatabaseInstance,
-    ) -> Result<RelationStore, EngineError> {
-        run_scan_on_store(program, edb_from_instance(db))
-    }
-
-    /// Runs the scan-based engine on an explicit EDB store.
-    pub fn run_scan_on_store(
-        program: &Program,
-        mut store: RelationStore,
-    ) -> Result<RelationStore, EngineError> {
-        for rule in &program.rules {
-            if !rule.is_safe() {
-                return Err(EngineError::UnsafeRule(rule.to_string()));
-            }
-        }
-        let strat = stratify(program)?;
-        for stratum_preds in &strat.strata {
-            let stratum: std::collections::BTreeSet<Predicate> =
-                stratum_preds.iter().copied().collect();
-            let rules: Vec<&Rule> = program
-                .rules
-                .iter()
-                .filter(|r| stratum.contains(&r.head.pred))
-                .collect();
-            evaluate_stratum(&rules, &stratum, &mut store);
-        }
-        Ok(store)
-    }
-
-    fn evaluate_stratum(
-        rules: &[&Rule],
-        stratum: &std::collections::BTreeSet<Predicate>,
-        store: &mut RelationStore,
-    ) {
-        let mut delta: Vec<(Predicate, Tuple)> = Vec::new();
-        for rule in rules {
-            for tuple in derive(rule, store, None) {
-                if store.insert(rule.head.pred, tuple.clone()) {
-                    delta.push((rule.head.pred, tuple));
-                }
-            }
-        }
-        while !delta.is_empty() {
-            let delta_set: HashSet<(Predicate, Tuple)> = delta.drain(..).collect();
-            let mut next_delta = Vec::new();
-            for rule in rules {
-                let recursive_positions: Vec<usize> = rule
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter(
-                        |(_, l)| matches!(l, BodyLiteral::Positive(a) if stratum.contains(&a.pred)),
-                    )
-                    .map(|(i, _)| i)
-                    .collect();
-                if recursive_positions.is_empty() {
-                    continue;
-                }
-                for &pos in &recursive_positions {
-                    for tuple in derive(rule, store, Some((pos, &delta_set))) {
-                        if store.insert(rule.head.pred, tuple.clone()) {
-                            next_delta.push((rule.head.pred, tuple));
-                        }
-                    }
-                }
-            }
-            delta = next_delta;
-        }
-    }
-
-    fn derive(
-        rule: &Rule,
-        store: &RelationStore,
-        delta_at: Option<(usize, &HashSet<(Predicate, Tuple)>)>,
-    ) -> Vec<Tuple> {
-        let mut results = Vec::new();
-        // Order literals: positives first in given order, then negatives and
-        // builtins (bound by then because the rule is safe).
-        let mut ordered: Vec<(usize, &BodyLiteral)> = Vec::new();
-        for (i, l) in rule.body.iter().enumerate() {
-            if matches!(l, BodyLiteral::Positive(_)) {
-                ordered.push((i, l));
-            }
-        }
-        for (i, l) in rule.body.iter().enumerate() {
-            if !matches!(l, BodyLiteral::Positive(_)) {
-                ordered.push((i, l));
-            }
-        }
-        let mut envs: Vec<Env> = vec![Env::new()];
-        for (position, literal) in ordered {
-            let mut next: Vec<Env> = Vec::new();
-            match literal {
-                BodyLiteral::Positive(atom) => {
-                    for env in &envs {
-                        match delta_at {
-                            Some((delta_pos, delta_set)) if delta_pos == position => {
-                                for (pred, tuple) in delta_set {
-                                    if *pred != atom.pred {
-                                        continue;
-                                    }
-                                    if let Some(extended) = match_atom(atom, tuple, env) {
-                                        next.push(extended);
-                                    }
-                                }
-                            }
-                            _ => {
-                                for tuple in store.tuples(atom.pred) {
-                                    if let Some(extended) = match_atom(atom, tuple, env) {
-                                        next.push(extended);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                BodyLiteral::Negative(atom) => {
-                    for env in &envs {
-                        let ground: Option<Vec<Symbol>> =
-                            atom.args.iter().map(|t| resolve(t, env)).collect();
-                        let ground = ground.expect("safe rule: negated atoms are bound");
-                        if !store.contains(atom.pred, &ground) {
-                            next.push(env.clone());
-                        }
-                    }
-                }
-                BodyLiteral::Builtin(builtin) => {
-                    for env in &envs {
-                        if eval_builtin(builtin, env) {
-                            next.push(env.clone());
-                        }
-                    }
-                }
-            }
-            envs = next;
-            if envs.is_empty() {
-                return results;
-            }
-        }
-        for env in envs {
-            let tuple: Option<Tuple> = rule.head.args.iter().map(|t| resolve(t, &env)).collect();
-            results.push(tuple.expect("safe rule: head variables are bound"));
-        }
-        results
-    }
 }
 
 #[cfg(test)]
@@ -1314,6 +852,43 @@ mod tests {
         assert_eq!(seen[&pred("E", 2)], 3);
         assert_eq!(seen[&pred("path", 2)], 6);
         assert!(store.pred_id(pred("nonexistent", 1)).is_none());
+    }
+
+    #[test]
+    fn evaluation_over_an_overlay_matches_fresh_load() {
+        // The layered entry: a base of the first half of the chain, an
+        // overlay with the second half, evaluated without ever copying the
+        // base — against a fresh load of the full instance. Sequential and
+        // 4-thread runs both agree, and the base indexes are built during
+        // the first run only.
+        let full = chain_db(9);
+        let mut prefix = DatabaseInstance::new();
+        let mut delta = DatabaseInstance::new();
+        for (i, &fact) in full.facts().iter().enumerate() {
+            if i < 5 {
+                prefix.insert(fact);
+            } else {
+                delta.insert(fact);
+            }
+        }
+        let compiled = CompiledProgram::compile(&reachability_program()).unwrap();
+        let fresh =
+            compiled.run_on_store_with(edb_from_instance(&full), &EvalOptions::sequential());
+
+        let base = edb_base_from_instance(&prefix);
+        let (layered, stats) = compiled
+            .run_on_store_with_stats(edb_overlay_on(&base, &delta), &EvalOptions::sequential());
+        assert_eq!(layered, fresh);
+        assert!(stats.base_index_builds > 0, "first run builds base indexes");
+
+        let (again, stats2) = compiled
+            .run_on_store_with_stats(edb_overlay_on(&base, &delta), &EvalOptions::sequential());
+        assert_eq!(again, fresh);
+        assert_eq!(stats2.base_index_builds, 0, "second run reuses them");
+
+        let threaded = compiled
+            .run_on_store_with(edb_overlay_on(&base, &delta), &EvalOptions::with_threads(4));
+        assert_eq!(threaded, fresh);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for the engine's hot maps.
+//!
+//! The engine's inner loops are dominated by hash operations over tiny keys
+//! — [`crate::tuple::Tuple`]s of one to four 4-byte interned symbols: every
+//! derived-tuple insert hits a membership set, and every join probe hits one
+//! or two index maps (base + overlay on layered stores). The standard
+//! library's default SipHash is DoS-resistant but pays tens of nanoseconds
+//! per key; these maps are process-internal (keys are interner handles, not
+//! attacker-controlled strings), so the Firefox `FxHasher`
+//! multiply-rotate-xor scheme is the right trade — a few nanoseconds per
+//! key, long used by rustc itself for the same reason.
+//!
+//! Nothing observable depends on hash values: the engine iterates relations
+//! through their insertion-ordered tuple vectors and index postings through
+//! ascending id lists, never through map iteration order, so swapping the
+//! hasher changes no derived store, no ordered output, and no bitmap.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Firefox/rustc "Fx" hash: fold each machine word into the state with
+/// a rotate, xor and a multiply by a large odd constant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add(u64::from_ne_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add(u64::from(u32::from_ne_bytes(
+                bytes[..4].try_into().unwrap(),
+            )));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_behave_like_std() {
+        let mut map: FxHashMap<crate::tuple::Tuple, u32> = FxHashMap::default();
+        let t1 = crate::tuple::Tuple::from([cqa_core::symbol::Symbol::new("a")]);
+        let t2 = crate::tuple::Tuple::from([cqa_core::symbol::Symbol::new("b")]);
+        map.insert(t1.clone(), 1);
+        map.insert(t2.clone(), 2);
+        map.insert(t1.clone(), 3);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(&t1), Some(&3));
+        // Borrowed-slice lookups (the probe-key path) keep working.
+        assert_eq!(map.get(t2.as_slice()), Some(&2));
+
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            set.insert(i * 0x9e37_79b9);
+        }
+        assert_eq!(set.len(), 1000);
+        assert!(set.contains(&0));
+    }
+
+    #[test]
+    fn byte_tails_hash_consistently() {
+        // write() must agree with itself across chunk boundaries (same input
+        // → same hash), covering the 8/4/1-byte folds.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

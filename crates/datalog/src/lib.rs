@@ -21,9 +21,12 @@
 pub mod ast;
 pub mod cqa_program;
 pub mod engine;
+mod fxhash;
 pub mod parallel;
 mod plan;
 pub mod plan_cache;
+pub mod reference;
+pub mod store;
 pub mod stratify;
 pub mod tuple;
 
@@ -33,12 +36,15 @@ pub mod prelude {
         BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule, RuleVars,
     };
     pub use crate::cqa_program::{generate_program, generate_program_with_cache, CqaProgram};
-    pub use crate::engine::{
-        edb_from_instance, evaluate, reference::evaluate_scan, CompiledProgram, Evaluator, PredId,
-        PredTable, RelationStore, Tuple,
-    };
+    pub use crate::engine::{evaluate, CompiledProgram, Evaluator};
     pub use crate::parallel::{EvalOptions, EvalStats, Threads};
     pub use crate::plan_cache::PlanCache;
+    pub use crate::reference::evaluate_scan;
+    pub use crate::store::{
+        edb_base_from_instance, edb_from_instance, edb_overlay_on, BaseStore, PredId, PredTable,
+        RelationStore, Tuples, UnaryView,
+    };
     pub use crate::stratify::{is_linear, stratify, Stratification, StratifyError};
+    pub use crate::tuple::Tuple;
     pub use cqa_core::regex_forms::b2b_strict_decomposition;
 }

@@ -46,6 +46,14 @@
 //! literal of a recursive plan, or the leading full scan of a non-recursive
 //! one), so even a single-rule stratum — transitive closure, the linear CQA
 //! programs of Lemma 14 — parallelizes across its delta.
+//!
+//! Layered stores ([`crate::store`]) need no extra machinery here: the base
+//! layer is frozen (immutable by construction), so the only state a round
+//! must hold still is the overlay — exactly what the snapshot invariant
+//! already guarantees. Workers share the base through the same `&RelationStore`
+//! borrow, and the once-per-round index extension attaches the base's
+//! committed indexes through [`IndexSpace::extend_slot`] like any other
+//! absorption.
 
 use std::collections::VecDeque;
 
@@ -135,6 +143,12 @@ pub struct EvalStats {
     /// nonzero on its large-delta workloads, so the threaded derive/merge
     /// path can never silently fall out of test coverage.
     pub threaded_rounds: u64,
+    /// Committed base-layer indexes this run *built* (rather than found
+    /// cached on its store's [`crate::store::BaseStore`]). Zero for flat
+    /// stores; for a family of runs over one shared base only the first run
+    /// reports nonzero — pinned by a regression test, since re-building per
+    /// run would silently forfeit the copy-on-write win.
+    pub base_index_builds: u64,
 }
 
 impl EvalStats {
@@ -365,11 +379,7 @@ pub(crate) fn evaluate_stratum_parallel(
         () => {
             if extended_at != Some(store.generation()) {
                 for ps in &stratum.probe_slots {
-                    indexes.extend_slot(
-                        ps.slot,
-                        store.tuples_by_id(pred_map[ps.pred.index()]),
-                        ps.mask,
-                    );
+                    indexes.extend_slot(ps.slot, store, pred_map[ps.pred.index()], ps.mask);
                 }
                 extended_at = Some(store.generation());
             }

@@ -22,13 +22,24 @@
 //! the tuples appended since its last use — no invalidation is ever needed,
 //! and the semi-naive delta (an id range per predicate) composes with every
 //! index for free.
+//!
+//! On a layered store ([`crate::store`]) an index slot is a *pair*: the
+//! frozen base layer's committed index — built at most once per
+//! [`crate::store::BaseStore`] and shared by every run over it — plus this
+//! run's private extension over the overlay tuples. A probe looks the key up
+//! in both (base ids precede overlay ids, so the merged id list stays
+//! ascending); a flat store never attaches a base side, leaving the original
+//! single-index behavior untouched.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cqa_core::symbol::Symbol;
 
 use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Rule, RuleVars};
-use crate::engine::{PredId, PredTable};
+use crate::engine::{PredId, PredTable, RelationStore};
+use crate::fxhash::FxHashMap;
+use crate::store::{project_onto_mask, BaseIndex};
 use crate::tuple::Tuple;
 
 /// A term resolved against a rule's variable numbering.
@@ -363,6 +374,13 @@ pub(crate) struct ProbeSlot {
 /// absorbed); relations only ever grow during evaluation, so extension is
 /// sound and cheap.
 ///
+/// When the run's store is an overlay (see [`crate::store`]), the first
+/// extension of a slot *attaches* the base layer's committed index instead
+/// of absorbing the base tuples — building it through the base's cache if
+/// this is the first run over the base to probe this `(pred, mask)` — and
+/// the slot's private `entries` then only ever hold overlay ids. On a flat
+/// store the base side stays `None` and nothing changes.
+///
 /// Two usage modes share this structure:
 ///
 /// * the sequential engine probes through [`IndexSpace::probe`], which
@@ -374,11 +392,16 @@ pub(crate) struct ProbeSlot {
 pub(crate) struct IndexSpace {
     slots: Vec<PredIndex>,
     extensions: u64,
+    base_builds: u64,
 }
 
 #[derive(Debug, Default)]
 struct PredIndex {
-    entries: HashMap<Tuple, Vec<u32>>,
+    /// The base layer's committed index, attached on first extension over an
+    /// overlay store; `None` on flat stores.
+    base: Option<Arc<BaseIndex>>,
+    /// Overlay-id entries (ids ≥ the base segment length).
+    entries: FxHashMap<Tuple, Vec<u32>>,
     upto: usize,
 }
 
@@ -389,55 +412,77 @@ impl IndexSpace {
         IndexSpace {
             slots,
             extensions: 0,
+            base_builds: 0,
         }
     }
 
-    /// Absorbs the tuples appended to `tuples` since slot `slot` last saw the
-    /// relation. Returns true iff anything was absorbed (an "extension
-    /// pass"); the total is tracked for the engine's evaluation stats.
-    pub(crate) fn extend_slot(&mut self, slot: u32, tuples: &[Tuple], mask: u32) -> bool {
+    /// Absorbs the tuples appended to `pred`'s relation since slot `slot`
+    /// last saw it; on the first pass over an overlay store this attaches
+    /// the base's committed `(pred, mask)` index (building it if no run over
+    /// this base probed the pair before). Returns true iff overlay tuples
+    /// were absorbed (an "extension pass"); the total is tracked for the
+    /// engine's evaluation stats.
+    pub(crate) fn extend_slot(
+        &mut self,
+        slot: u32,
+        store: &RelationStore,
+        pred: PredId,
+        mask: u32,
+    ) -> bool {
+        let view = store.tuples_by_id(pred);
+        let base_len = view.base_len();
+        if self.slots[slot as usize].upto < base_len {
+            if let Some((base, built)) = store.base_index(pred, mask) {
+                self.base_builds += built as u64;
+                self.slots[slot as usize].base = Some(base);
+            }
+            self.slots[slot as usize].upto = base_len;
+        }
         let index = &mut self.slots[slot as usize];
-        if index.upto >= tuples.len() {
+        if index.upto >= view.len() {
             return false;
         }
         let mut proj = Tuple::new();
-        for (id, tuple) in tuples.iter().enumerate().skip(index.upto) {
-            proj.clear();
-            for pos in 0..tuple.len().min(32) {
-                if mask & (1 << pos) != 0 {
-                    proj.push(tuple[pos]);
-                }
-            }
+        let skip = index.upto - base_len;
+        for (off, tuple) in view.delta_slice().iter().enumerate().skip(skip) {
+            project_onto_mask(tuple, mask, &mut proj);
             index
                 .entries
                 .entry(proj.clone())
                 .or_default()
-                .push(id as u32);
+                .push((base_len + off) as u32);
         }
-        index.upto = tuples.len();
+        index.upto = view.len();
         self.extensions += 1;
         true
     }
 
-    /// Appends the ids of `tuples` matching `key` on the positions of `mask`
-    /// to `out`, absorbing freshly appended tuples into slot `slot` first.
+    /// Appends the ids of `pred`'s tuples matching `key` on the positions of
+    /// `mask` to `out`, absorbing freshly appended tuples into slot `slot`
+    /// first.
     pub(crate) fn probe(
         &mut self,
         slot: u32,
-        tuples: &[Tuple],
+        store: &RelationStore,
+        pred: PredId,
         mask: u32,
         key: &[Symbol],
         out: &mut Vec<u32>,
     ) {
-        self.extend_slot(slot, tuples, mask);
+        self.extend_slot(slot, store, pred, mask);
         self.probe_ready(slot, key, out);
     }
 
     /// Read-only lookup against slot `slot`, which the caller must have
     /// brought up to date with [`IndexSpace::extend_slot`]. This is the probe
-    /// path worker threads share during a parallel round.
+    /// path worker threads share during a parallel round. Base-layer ids all
+    /// precede overlay ids, so the merged list is ascending.
     pub(crate) fn probe_ready(&self, slot: u32, key: &[Symbol], out: &mut Vec<u32>) {
-        if let Some(ids) = self.slots[slot as usize].entries.get(key) {
+        let index = &self.slots[slot as usize];
+        if let Some(ids) = index.base.as_ref().and_then(|b| b.entries.get(key)) {
+            out.extend_from_slice(ids);
+        }
+        if let Some(ids) = index.entries.get(key) {
             out.extend_from_slice(ids);
         }
     }
@@ -447,6 +492,14 @@ impl IndexSpace {
     /// not re-extending after unproductive rounds.
     pub(crate) fn extensions(&self) -> u64 {
         self.extensions
+    }
+
+    /// Number of base-layer committed indexes this run *built* (as opposed
+    /// to found cached on the base). For a family of runs over one shared
+    /// base, only the first run reports nonzero — pinned by a regression
+    /// test.
+    pub(crate) fn base_builds(&self) -> u64 {
+        self.base_builds
     }
 }
 

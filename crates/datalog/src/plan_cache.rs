@@ -16,6 +16,13 @@
 //! parallel stratum evaluator ([`crate::parallel`]) share compiled plans
 //! across worker threads without copying; racing compilations of the same
 //! program are collapsed to whichever insertion wins.
+//!
+//! Plan caching composes with store layering ([`crate::store`]): a compiled
+//! program's `(pred, mask)` index slots are stable across runs, and on
+//! family workloads the *contents* of the slots over shared-base predicates
+//! are cached too — committed once per [`crate::store::BaseStore`] and
+//! attached by every sibling run — so a warm family session re-plans
+//! nothing and re-indexes only per-request deltas.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,206 @@
+//! The retained scan-based evaluator.
+//!
+//! This is the engine's original inner loop — per-candidate environment
+//! cloning and full-relation scans — kept as an executable specification:
+//! `tests/engine_agreement.rs` checks the indexed engine against it on random
+//! programs, and `benches/datalog_engine.rs` measures the gap. Do not use it
+//! for real workloads.
+//!
+//! (Moved verbatim out of `engine.rs`; the old path stays available as
+//! [`crate::engine::reference`].)
+
+use std::collections::{BTreeMap, HashSet};
+
+use cqa_core::symbol::Symbol;
+use cqa_db::instance::DatabaseInstance;
+
+use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule};
+use crate::engine::{edb_from_instance, EngineError, RelationStore, Tuple};
+use crate::stratify::stratify;
+
+/// The binding environment: a name-keyed map, cloned per candidate.
+type Env = BTreeMap<Symbol, Symbol>;
+
+fn resolve(term: &DlTerm, env: &Env) -> Option<Symbol> {
+    match term {
+        DlTerm::Const(c) => Some(*c),
+        DlTerm::Var(v) => env.get(v).copied(),
+    }
+}
+
+fn match_atom(atom: &DlAtom, tuple: &Tuple, env: &Env) -> Option<Env> {
+    let mut new_env = env.clone();
+    for (term, &value) in atom.args.iter().zip(tuple.iter()) {
+        match term {
+            DlTerm::Const(c) => {
+                if *c != value {
+                    return None;
+                }
+            }
+            DlTerm::Var(v) => match new_env.get(v) {
+                Some(&bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    new_env.insert(*v, value);
+                }
+            },
+        }
+    }
+    Some(new_env)
+}
+
+fn eval_builtin(builtin: &Builtin, env: &Env) -> bool {
+    let value = |t: &DlTerm| resolve(t, env).expect("builtin arguments must be bound (safe rule)");
+    match builtin {
+        Builtin::Neq(a, b) => value(a) != value(b),
+        Builtin::Eq(a, b) => value(a) == value(b),
+        Builtin::KeyConsistent(x1, y1, x2, y2) => value(x1) != value(x2) || value(y1) == value(y2),
+    }
+}
+
+/// Evaluates a program with the scan-based engine.
+pub fn evaluate_scan(
+    program: &Program,
+    db: &DatabaseInstance,
+) -> Result<RelationStore, EngineError> {
+    run_scan_on_store(program, edb_from_instance(db))
+}
+
+/// Runs the scan-based engine on an explicit EDB store.
+pub fn run_scan_on_store(
+    program: &Program,
+    mut store: RelationStore,
+) -> Result<RelationStore, EngineError> {
+    for rule in &program.rules {
+        if !rule.is_safe() {
+            return Err(EngineError::UnsafeRule(rule.to_string()));
+        }
+    }
+    let strat = stratify(program)?;
+    for stratum_preds in &strat.strata {
+        let stratum: std::collections::BTreeSet<Predicate> =
+            stratum_preds.iter().copied().collect();
+        let rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| stratum.contains(&r.head.pred))
+            .collect();
+        evaluate_stratum(&rules, &stratum, &mut store);
+    }
+    Ok(store)
+}
+
+fn evaluate_stratum(
+    rules: &[&Rule],
+    stratum: &std::collections::BTreeSet<Predicate>,
+    store: &mut RelationStore,
+) {
+    let mut delta: Vec<(Predicate, Tuple)> = Vec::new();
+    for rule in rules {
+        for tuple in derive(rule, store, None) {
+            if store.insert(rule.head.pred, tuple.clone()) {
+                delta.push((rule.head.pred, tuple));
+            }
+        }
+    }
+    while !delta.is_empty() {
+        let delta_set: HashSet<(Predicate, Tuple)> = delta.drain(..).collect();
+        let mut next_delta = Vec::new();
+        for rule in rules {
+            let recursive_positions: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| matches!(l, BodyLiteral::Positive(a) if stratum.contains(&a.pred)))
+                .map(|(i, _)| i)
+                .collect();
+            if recursive_positions.is_empty() {
+                continue;
+            }
+            for &pos in &recursive_positions {
+                for tuple in derive(rule, store, Some((pos, &delta_set))) {
+                    if store.insert(rule.head.pred, tuple.clone()) {
+                        next_delta.push((rule.head.pred, tuple));
+                    }
+                }
+            }
+        }
+        delta = next_delta;
+    }
+}
+
+fn derive(
+    rule: &Rule,
+    store: &RelationStore,
+    delta_at: Option<(usize, &HashSet<(Predicate, Tuple)>)>,
+) -> Vec<Tuple> {
+    let mut results = Vec::new();
+    // Order literals: positives first in given order, then negatives and
+    // builtins (bound by then because the rule is safe).
+    let mut ordered: Vec<(usize, &BodyLiteral)> = Vec::new();
+    for (i, l) in rule.body.iter().enumerate() {
+        if matches!(l, BodyLiteral::Positive(_)) {
+            ordered.push((i, l));
+        }
+    }
+    for (i, l) in rule.body.iter().enumerate() {
+        if !matches!(l, BodyLiteral::Positive(_)) {
+            ordered.push((i, l));
+        }
+    }
+    let mut envs: Vec<Env> = vec![Env::new()];
+    for (position, literal) in ordered {
+        let mut next: Vec<Env> = Vec::new();
+        match literal {
+            BodyLiteral::Positive(atom) => {
+                for env in &envs {
+                    match delta_at {
+                        Some((delta_pos, delta_set)) if delta_pos == position => {
+                            for (pred, tuple) in delta_set {
+                                if *pred != atom.pred {
+                                    continue;
+                                }
+                                if let Some(extended) = match_atom(atom, tuple, env) {
+                                    next.push(extended);
+                                }
+                            }
+                        }
+                        _ => {
+                            for tuple in store.tuples(atom.pred) {
+                                if let Some(extended) = match_atom(atom, tuple, env) {
+                                    next.push(extended);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            BodyLiteral::Negative(atom) => {
+                for env in &envs {
+                    let ground: Option<Vec<Symbol>> =
+                        atom.args.iter().map(|t| resolve(t, env)).collect();
+                    let ground = ground.expect("safe rule: negated atoms are bound");
+                    if !store.contains(atom.pred, &ground) {
+                        next.push(env.clone());
+                    }
+                }
+            }
+            BodyLiteral::Builtin(builtin) => {
+                for env in &envs {
+                    if eval_builtin(builtin, env) {
+                        next.push(env.clone());
+                    }
+                }
+            }
+        }
+        envs = next;
+        if envs.is_empty() {
+            return results;
+        }
+    }
+    for env in envs {
+        let tuple: Option<Tuple> = rule.head.args.iter().map(|t| resolve(t, &env)).collect();
+        results.push(tuple.expect("safe rule: head variables are bound"));
+    }
+    results
+}

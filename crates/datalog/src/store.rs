@@ -1,0 +1,801 @@
+//! Relation storage for the engine: interned predicate tables and **layered
+//! copy-on-write relation stores**.
+//!
+//! # Store layering
+//!
+//! A [`RelationStore`] is either *flat* (the classic single-layer store: one
+//! append-only tuple vector plus a membership set per predicate) or an
+//! *overlay* over a frozen, `Arc`-shared [`BaseStore`]:
+//!
+//! * the **base** holds the tuples of a shared EDB prefix, loaded and frozen
+//!   once ([`edb_base_from_instance`]), together with its *committed*
+//!   `(predicate, bound-mask)` hash indexes — built lazily at most once per
+//!   base and then shared read-only by every run over it;
+//! * the **overlay** holds only what one run adds on top: per-request delta
+//!   facts ([`edb_overlay_on`]) and everything the engine derives. Forking an
+//!   overlay is O(number of predicates), not O(database).
+//!
+//! Tuple ids — the currency of the engine's indexes and semi-naive delta
+//! ranges — are positions in the *concatenation* base-then-overlay, exposed
+//! as the two-segment [`Tuples`] view. A flat store is simply the
+//! empty-base case: every view degenerates to plain slice access, so the
+//! single-layer engine paths are unchanged (and `threads = 1` evaluation
+//! stays bit-identical to the pre-layering engine).
+//!
+//! Duplicate suppression spans layers: inserting a tuple the base already
+//! holds is a no-op, so `base ∪ overlay` is a genuine set and
+//! [`RelationStore::len_of`] is its cardinality. The generation watermark of
+//! an overlay starts at the base's, keeping the "has anything grown?"
+//! comparisons of the evaluation drivers monotone across the seam.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cqa_core::symbol::Symbol;
+use cqa_db::instance::DatabaseInstance;
+
+use crate::ast::Predicate;
+use crate::engine::EngineError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::tuple::Tuple;
+
+/// A dense predicate id, assigned by a [`PredTable`] in interning order.
+///
+/// Ids are scoped to the table that produced them: a
+/// [`crate::engine::CompiledProgram`] and a [`RelationStore`] each intern
+/// independently, and the evaluator translates between the two with a
+/// per-run array. An overlay store *clones* its base's table, so base ids
+/// remain valid store ids in every fork.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub(crate) u32);
+
+impl PredId {
+    /// The id as a dense vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interner of [`Predicate`]s into dense [`PredId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct PredTable {
+    ids: HashMap<Predicate, PredId>,
+    preds: Vec<Predicate>,
+}
+
+impl PredTable {
+    /// Interns a predicate, assigning the next dense id on first sight.
+    pub(crate) fn intern(&mut self, pred: Predicate) -> PredId {
+        if let Some(&id) = self.ids.get(&pred) {
+            return id;
+        }
+        let id = PredId(self.preds.len() as u32);
+        self.preds.push(pred);
+        self.ids.insert(pred, id);
+        id
+    }
+
+    /// The id of a predicate, if it has been interned.
+    pub fn lookup(&self, pred: Predicate) -> Option<PredId> {
+        self.ids.get(&pred).copied()
+    }
+
+    /// The predicate with the given id.
+    pub fn predicate(&self, id: PredId) -> Predicate {
+        self.preds[id.index()]
+    }
+
+    /// Number of interned predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Iterates over `(id, predicate)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, Predicate)> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (PredId(i as u32), p))
+    }
+}
+
+/// One predicate's tuples: a dense append-only vector (indexes and deltas
+/// address tuples by position in it) plus a hash set for O(1) membership.
+#[derive(Debug, Clone, Default)]
+struct Relation {
+    tuples: Vec<Tuple>,
+    set: FxHashSet<Tuple>,
+}
+
+impl Relation {
+    fn insert(&mut self, tuple: Tuple) -> bool {
+        // Single hash lookup; the clone is an inline copy for the arity ≤ 4
+        // tuples this workload uses.
+        if self.set.insert(tuple.clone()) {
+            self.tuples.push(tuple);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Projects `tuple` onto the positions of `mask` into `proj` (cleared
+/// first). Committed base indexes and per-run overlay extensions share this
+/// helper so both sides of a layered probe agree on the key shape.
+///
+/// The mask is a `u32`, so positions ≥ 32 (never seen in practice) are not
+/// part of any probe key; the planner falls back to per-candidate checks for
+/// them.
+#[inline]
+pub(crate) fn project_onto_mask(tuple: &Tuple, mask: u32, proj: &mut Tuple) {
+    proj.clear();
+    for pos in 0..tuple.len().min(32) {
+        if mask & (1 << pos) != 0 {
+            proj.push(tuple[pos]);
+        }
+    }
+}
+
+/// A committed hash index over one base relation for a `(predicate,
+/// bound-mask)` pair: the projection of each base tuple onto the mask's
+/// positions, mapped to the ascending ids of matching tuples. Built at most
+/// once per [`BaseStore`] and then shared read-only (behind an `Arc`) by
+/// every overlay run's [`crate::plan::IndexSpace`] slot that probes it.
+#[derive(Debug, Default)]
+pub(crate) struct BaseIndex {
+    pub(crate) entries: FxHashMap<Tuple, Vec<u32>>,
+}
+
+impl BaseIndex {
+    fn build(tuples: &[Tuple], mask: u32) -> BaseIndex {
+        let mut entries: FxHashMap<Tuple, Vec<u32>> = FxHashMap::default();
+        let mut proj = Tuple::new();
+        for (id, tuple) in tuples.iter().enumerate() {
+            project_onto_mask(tuple, mask, &mut proj);
+            entries.entry(proj.clone()).or_default().push(id as u32);
+        }
+        BaseIndex { entries }
+    }
+}
+
+/// A frozen relation store, shared via `Arc` as the common bottom layer of
+/// many overlay [`RelationStore`]s.
+///
+/// Freezing a flat store ([`BaseStore::freeze`]) makes its tuples immutable,
+/// which buys two amortizations for family workloads (many runs extending
+/// one shared EDB prefix):
+///
+/// * the prefix's tuples are loaded and deduplicated **once**, and every
+///   fork ([`RelationStore::overlay_on`]) is O(number of predicates);
+/// * the `(predicate, bound-mask)` indexes the runs probe are built **once**
+///   per base ([`BaseStore`] caches them by `(pred, mask)`) instead of once
+///   per run — [`crate::parallel::EvalStats::base_index_builds`] counts the
+///   builds, and a regression test pins "once per family".
+///
+/// A base store is immutable except for its index cache, which is an
+/// interior-mutability memo (a mutex is fine: each entry is built at most
+/// once, after which every access is a clone of an `Arc`).
+#[derive(Debug)]
+pub struct BaseStore {
+    preds: PredTable,
+    relations: Vec<Relation>,
+    generation: u64,
+    /// Committed indexes, keyed by `(pred id, mask)`. Built under the lock,
+    /// so concurrent first probes of one `(pred, mask)` still build exactly
+    /// once (the loser of the race finds the entry).
+    indexes: Mutex<HashMap<(u32, u32), Arc<BaseIndex>>>,
+    /// Number of committed indexes actually built (cache misses).
+    index_builds: AtomicU64,
+}
+
+impl BaseStore {
+    /// Freezes a flat store into a shareable base layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store` is itself an overlay; freeze the flat store the
+    /// overlay was forked from instead (re-freezing derived overlays is not
+    /// a supported way to stack layers).
+    pub fn freeze(store: RelationStore) -> Arc<BaseStore> {
+        assert!(
+            store.base.is_none(),
+            "BaseStore::freeze expects a flat store, not an overlay"
+        );
+        Arc::new(BaseStore {
+            preds: store.preds,
+            relations: store.relations,
+            generation: store.generation,
+            indexes: Mutex::new(HashMap::new()),
+            index_builds: AtomicU64::new(0),
+        })
+    }
+
+    /// The base's insertion watermark (the overlay forks start from it).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of committed `(pred, mask)` indexes built so far. For a family
+    /// of runs over one base this stops growing after the first run — the
+    /// whole point of sharing the base.
+    pub fn index_builds(&self) -> u64 {
+        self.index_builds.load(Ordering::Relaxed)
+    }
+
+    /// The committed index for `(id, mask)`, building it on first request;
+    /// the flag reports whether this call built it.
+    pub(crate) fn committed_index(&self, id: PredId, mask: u32) -> (Arc<BaseIndex>, bool) {
+        let mut cache = self.indexes.lock().expect("base index cache poisoned");
+        match cache.entry((id.0, mask)) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let built = Arc::new(BaseIndex::build(&self.relations[id.index()].tuples, mask));
+                self.index_builds.fetch_add(1, Ordering::Relaxed);
+                (Arc::clone(e.insert(built)), true)
+            }
+        }
+    }
+}
+
+/// The tuples of one predicate as a two-segment view: the frozen base
+/// layer's slice followed by the overlay's. Tuple ids — the positions the
+/// engine's indexes and semi-naive delta ranges speak — index the
+/// concatenation. A flat store has an empty base segment, so every accessor
+/// degenerates to plain slice access.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuples<'a> {
+    base: &'a [Tuple],
+    delta: &'a [Tuple],
+}
+
+impl<'a> Tuples<'a> {
+    fn empty() -> Tuples<'a> {
+        Tuples {
+            base: &[],
+            delta: &[],
+        }
+    }
+
+    /// Total number of tuples across both segments.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+
+    /// True iff both segments are empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.base.is_empty() && self.delta.is_empty()
+    }
+
+    /// The tuple with the given id.
+    #[inline]
+    pub fn get(self, id: usize) -> &'a Tuple {
+        if id < self.base.len() {
+            &self.base[id]
+        } else {
+            &self.delta[id - self.base.len()]
+        }
+    }
+
+    /// Iterates base tuples first, then overlay tuples (ascending id order).
+    pub fn iter(self) -> impl Iterator<Item = &'a Tuple> {
+        self.base.iter().chain(self.delta.iter())
+    }
+
+    /// Length of the frozen base segment (0 for flat stores).
+    #[inline]
+    pub(crate) fn base_len(self) -> usize {
+        self.base.len()
+    }
+
+    /// The overlay segment alone (ids `base_len()..len()`).
+    #[inline]
+    pub(crate) fn delta_slice(self) -> &'a [Tuple] {
+        self.delta
+    }
+
+    /// The two sub-slices covering ids `lo..hi` (`lo <= hi <= len`), for
+    /// scan loops that want tight per-slice iteration instead of a branchy
+    /// chained iterator.
+    #[inline]
+    pub(crate) fn segments(self, lo: usize, hi: usize) -> (&'a [Tuple], &'a [Tuple]) {
+        let b = self.base.len();
+        (
+            &self.base[lo.min(b)..hi.min(b)],
+            &self.delta[lo.saturating_sub(b)..hi.saturating_sub(b)],
+        )
+    }
+}
+
+/// A borrowed view of a unary relation: O(1) membership through the layered
+/// hash sets and allocation-free iteration, replacing the `BTreeSet`
+/// the old `RelationStore::unary` rebuilt on every call (a measurable cost
+/// on the per-request CQA answer check).
+#[derive(Debug, Clone, Copy)]
+pub struct UnaryView<'a> {
+    base: Option<&'a Relation>,
+    delta: Option<&'a Relation>,
+}
+
+impl UnaryView<'_> {
+    /// True iff the symbol is in the relation (either layer).
+    #[inline]
+    pub fn contains(&self, sym: Symbol) -> bool {
+        let key = [sym];
+        self.base.is_some_and(|r| r.set.contains(&key[..]))
+            || self.delta.is_some_and(|r| r.set.contains(&key[..]))
+    }
+
+    /// Number of distinct symbols (layers never duplicate each other).
+    pub fn len(&self) -> usize {
+        self.base.map_or(0, |r| r.tuples.len()) + self.delta.map_or(0, |r| r.tuples.len())
+    }
+
+    /// True iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the symbols in insertion order (base layer first); each
+    /// symbol appears exactly once.
+    pub fn iter(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.base
+            .into_iter()
+            .chain(self.delta)
+            .flat_map(|r| r.tuples.iter().map(|t| t[0]))
+    }
+}
+
+/// A set of derived relations, stored densely behind an interned
+/// [`PredTable`]: the public API is keyed by [`Predicate`] for convenience,
+/// while the evaluator addresses relations by [`PredId`] vector index.
+///
+/// A store is either flat or an overlay over a frozen [`BaseStore`] (see
+/// the [module docs](crate::store) for the layering contract).
+#[derive(Debug, Clone, Default)]
+pub struct RelationStore {
+    preds: PredTable,
+    /// The frozen bottom layer, if this store is an overlay.
+    base: Option<Arc<BaseStore>>,
+    /// This layer's relations; for overlays, only the tuples added on top
+    /// of the base.
+    relations: Vec<Relation>,
+    /// Monotone watermark: bumped exactly once per tuple that is actually
+    /// inserted (duplicates do not count); overlays start at the base's
+    /// watermark. The evaluation drivers compare generations to decide
+    /// whether any index could possibly be stale, so an unproductive round
+    /// never triggers an index-extension pass.
+    generation: u64,
+}
+
+impl RelationStore {
+    /// Creates an empty flat store.
+    pub fn new() -> RelationStore {
+        RelationStore::default()
+    }
+
+    /// Forks a mutable overlay on a frozen base: lookups see `base ∪
+    /// overlay`, inserts land in the overlay, and the fork itself is
+    /// O(number of predicates) — the copy-on-write entry point for
+    /// family workloads.
+    pub fn overlay_on(base: &Arc<BaseStore>) -> RelationStore {
+        let mut relations = Vec::new();
+        relations.resize_with(base.relations.len(), Relation::default);
+        RelationStore {
+            preds: base.preds.clone(),
+            generation: base.generation,
+            base: Some(Arc::clone(base)),
+            relations,
+        }
+    }
+
+    /// The frozen base layer, if this store is an overlay.
+    pub fn base(&self) -> Option<&Arc<BaseStore>> {
+        self.base.as_ref()
+    }
+
+    /// The base layer's relation for an interned id, if the store is an
+    /// overlay and the base knows the id (ids interned after the fork are
+    /// overlay-only).
+    #[inline]
+    fn base_relation(&self, id: PredId) -> Option<&Relation> {
+        self.base.as_ref().and_then(|b| b.relations.get(id.index()))
+    }
+
+    /// Interns a predicate into this store, growing the relation vector.
+    pub(crate) fn intern(&mut self, pred: Predicate) -> PredId {
+        let id = self.preds.intern(pred);
+        if id.index() >= self.relations.len() {
+            self.relations
+                .resize_with(id.index() + 1, Relation::default);
+        }
+        id
+    }
+
+    /// The store-scoped id of a predicate, if any tuples were ever inserted
+    /// for it (or it was touched by an evaluation).
+    pub fn pred_id(&self, pred: Predicate) -> Option<PredId> {
+        self.preds.lookup(pred)
+    }
+
+    /// The tuples of a predicate (empty if absent), in id order: base layer
+    /// first, then this layer, each in insertion order.
+    pub fn tuples(&self, pred: Predicate) -> impl Iterator<Item = &Tuple> {
+        self.preds
+            .lookup(pred)
+            .map_or_else(Tuples::empty, |id| self.tuples_by_id(id))
+            .iter()
+    }
+
+    /// The tuples of an interned predicate as a two-segment view; tuple ids
+    /// used by indexes and deltas are positions in it.
+    #[inline]
+    pub(crate) fn tuples_by_id(&self, id: PredId) -> Tuples<'_> {
+        Tuples {
+            base: self
+                .base_relation(id)
+                .map_or(&[][..], |r| r.tuples.as_slice()),
+            delta: &self.relations[id.index()].tuples,
+        }
+    }
+
+    /// The committed base-layer index for `(id, mask)`, if this store is an
+    /// overlay and the base holds tuples of the predicate. The flag reports
+    /// whether the call built the index (first probe over this base) or
+    /// found it cached.
+    pub(crate) fn base_index(&self, id: PredId, mask: u32) -> Option<(Arc<BaseIndex>, bool)> {
+        let base = self.base.as_ref()?;
+        match base.relations.get(id.index()) {
+            Some(r) if !r.tuples.is_empty() => Some(base.committed_index(id, mask)),
+            _ => None,
+        }
+    }
+
+    /// True iff the tuple is present (either layer).
+    pub fn contains(&self, pred: Predicate, tuple: &[Symbol]) -> bool {
+        self.preds
+            .lookup(pred)
+            .is_some_and(|id| self.contains_by_id(id, tuple))
+    }
+
+    /// True iff the tuple is present, by interned id.
+    #[inline]
+    pub(crate) fn contains_by_id(&self, id: PredId, tuple: &[Symbol]) -> bool {
+        self.relations[id.index()].set.contains(tuple)
+            || self
+                .base_relation(id)
+                .is_some_and(|r| r.set.contains(tuple))
+    }
+
+    /// Inserts a tuple; returns true if it was new.
+    pub fn insert(&mut self, pred: Predicate, tuple: impl Into<Tuple>) -> bool {
+        let tuple = tuple.into();
+        debug_assert_eq!(pred.arity, tuple.len());
+        let id = self.intern(pred);
+        self.insert_by_id(id, tuple)
+    }
+
+    /// Inserts a tuple for an interned predicate; returns true if it was new
+    /// in `base ∪ overlay` (tuples the base holds are never duplicated into
+    /// the overlay).
+    #[inline]
+    pub(crate) fn insert_by_id(&mut self, id: PredId, tuple: Tuple) -> bool {
+        if self
+            .base_relation(id)
+            .is_some_and(|r| r.set.contains(tuple.as_slice()))
+        {
+            return false;
+        }
+        let inserted = self.relations[id.index()].insert(tuple);
+        self.generation += inserted as u64;
+        inserted
+    }
+
+    /// The store's insertion watermark: the total number of tuples ever
+    /// inserted (duplicates excluded), counting the base layer. Strictly
+    /// monotone, so two equal generations guarantee that no relation has
+    /// grown in between.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of tuples of a predicate, across both layers.
+    pub fn len(&self, pred: Predicate) -> usize {
+        self.preds.lookup(pred).map_or(0, |id| self.len_of(id))
+    }
+
+    /// Number of tuples of an interned predicate, across both layers.
+    #[inline]
+    pub fn len_of(&self, id: PredId) -> usize {
+        self.base_relation(id).map_or(0, |r| r.tuples.len())
+            + self.relations[id.index()].tuples.len()
+    }
+
+    /// Iterates over every nonempty relation as `(predicate, tuples)`, in
+    /// interning order. The supported way for tests and benches to look at
+    /// everything a run derived without reaching into store internals.
+    pub fn iter_relations(&self) -> impl Iterator<Item = (Predicate, Tuples<'_>)> {
+        self.preds
+            .iter()
+            .map(|(id, pred)| (pred, self.tuples_by_id(id)))
+            .filter(|(_, tuples)| !tuples.is_empty())
+    }
+
+    /// True iff no tuples at all are stored (in either layer).
+    pub fn is_empty(&self) -> bool {
+        self.iter_relations().next().is_none()
+    }
+
+    /// The unary relation of a predicate as a borrowed [`UnaryView`] (O(1)
+    /// membership, allocation-free), or an arity error if the predicate is
+    /// not unary. An absent predicate yields the empty view.
+    pub fn unary(&self, pred: Predicate) -> Result<UnaryView<'_>, EngineError> {
+        if pred.arity != 1 {
+            return Err(EngineError::ArityMismatch { pred, expected: 1 });
+        }
+        let id = self.preds.lookup(pred);
+        Ok(UnaryView {
+            base: id.and_then(|id| self.base_relation(id)),
+            delta: id.map(|id| &self.relations[id.index()]),
+        })
+    }
+
+    /// Bulk-loads tuples into a predicate of a **flat** store, reserving
+    /// capacity up front. The caller asserts the tuples are pairwise
+    /// distinct and not yet present (each is still hashed once for the
+    /// membership set, but never re-checked or re-inserted); overlays must
+    /// go through [`RelationStore::insert`], which deduplicates against the
+    /// base.
+    pub(crate) fn bulk_load<I: ExactSizeIterator<Item = Tuple>>(
+        &mut self,
+        pred: Predicate,
+        tuples: I,
+    ) {
+        debug_assert!(self.base.is_none(), "bulk_load is a flat-store fast path");
+        let id = self.intern(pred);
+        let relation = &mut self.relations[id.index()];
+        relation.tuples.reserve(tuples.len());
+        relation.set.reserve(tuples.len());
+        for tuple in tuples {
+            debug_assert_eq!(pred.arity, tuple.len());
+            debug_assert!(!relation.set.contains(tuple.as_slice()));
+            relation.set.insert(tuple.clone());
+            relation.tuples.push(tuple);
+            self.generation += 1;
+        }
+    }
+}
+
+impl PartialEq for RelationStore {
+    /// Set equality per predicate, ignoring empty relations and insertion
+    /// order — the natural notion for comparing evaluation results. Layering
+    /// is invisible here: an overlay equals the flat store holding the same
+    /// fact sets.
+    fn eq(&self, other: &RelationStore) -> bool {
+        let count = |store: &RelationStore| store.iter_relations().count();
+        count(self) == count(other)
+            && self.preds.iter().all(|(id, pred)| {
+                let mine = self.tuples_by_id(id);
+                mine.is_empty()
+                    || other.preds.lookup(pred).is_some_and(|oid| {
+                        // Both sides are duplicate-free sets, so equal
+                        // cardinality plus inclusion is equality.
+                        other.len_of(oid) == mine.len()
+                            && mine.iter().all(|t| other.contains_by_id(oid, t.as_slice()))
+                    })
+            })
+    }
+}
+
+impl Eq for RelationStore {}
+
+/// Loads the extensional database from a [`DatabaseInstance`]: every relation
+/// name `R` becomes a binary predicate `R`, and the unary predicate `adom`
+/// holds the active domain.
+///
+/// This is a bulk fast path: facts arrive grouped per relation with exact
+/// counts ([`DatabaseInstance::facts_by_relation`]), so each relation is
+/// loaded with pre-reserved capacity and a single hash per fact, instead of
+/// re-probing the predicate map and the dedup set fact by fact.
+pub fn edb_from_instance(db: &DatabaseInstance) -> RelationStore {
+    let mut store = RelationStore::new();
+    for (rel, pairs) in db.facts_by_relation() {
+        let pred = Predicate {
+            name: rel.symbol(),
+            arity: 2,
+        };
+        store.bulk_load(
+            pred,
+            pairs
+                .iter()
+                .map(|&(k, v)| Tuple::from([k.symbol(), v.symbol()])),
+        );
+    }
+    let adom = Predicate::new("adom", 1);
+    store.bulk_load(adom, db.adom().iter().map(|c| Tuple::from([c.symbol()])));
+    store
+}
+
+/// Loads a shared EDB prefix once and freezes it into an `Arc`-shared base
+/// layer. Pair with [`edb_overlay_on`] to serve a whole family of instances
+/// extending the prefix with O(delta) work per instance.
+pub fn edb_base_from_instance(db: &DatabaseInstance) -> Arc<BaseStore> {
+    BaseStore::freeze(edb_from_instance(db))
+}
+
+/// Forks an overlay on a frozen EDB base and loads only `delta`'s facts (and
+/// active-domain constants) into it. The resulting store holds exactly the
+/// fact sets of `edb_from_instance(prefix ∪ delta)` — facts the base already
+/// holds are deduplicated away — while sharing the prefix's tuples and
+/// committed indexes with every sibling overlay.
+pub fn edb_overlay_on(base: &Arc<BaseStore>, delta: &DatabaseInstance) -> RelationStore {
+    let mut store = RelationStore::overlay_on(base);
+    for (rel, pairs) in delta.facts_by_relation() {
+        let pred = Predicate {
+            name: rel.symbol(),
+            arity: 2,
+        };
+        let id = store.intern(pred);
+        for &(k, v) in &pairs {
+            store.insert_by_id(id, Tuple::from([k.symbol(), v.symbol()]));
+        }
+    }
+    let adom = store.intern(Predicate::new("adom", 1));
+    for c in delta.adom() {
+        store.insert_by_id(adom, Tuple::from([c.symbol()]));
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(name: &str, arity: usize) -> Predicate {
+        Predicate::new(name, arity)
+    }
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    fn small_db() -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        db.insert_parsed("R", "a", "b");
+        db.insert_parsed("R", "b", "c");
+        db.insert_parsed("S", "a", "c");
+        db
+    }
+
+    #[test]
+    fn overlay_sees_base_and_own_tuples() {
+        let base = edb_base_from_instance(&small_db());
+        let mut delta = DatabaseInstance::new();
+        delta.insert_parsed("R", "c", "d");
+        let store = edb_overlay_on(&base, &delta);
+        let r = pred("R", 2);
+        assert_eq!(store.len(r), 3);
+        assert!(store.contains(r, &[sym("a"), sym("b")])); // base
+        assert!(store.contains(r, &[sym("c"), sym("d")])); // overlay
+        assert!(!store.contains(r, &[sym("d"), sym("c")]));
+        // adom spans both layers: {a, b, c} ∪ {c, d}.
+        assert_eq!(store.len(pred("adom", 1)), 4);
+        // The overlay equals the fresh load of the union.
+        let fresh = edb_from_instance(&small_db().union(&delta));
+        assert_eq!(store, fresh);
+        assert_eq!(fresh, store);
+    }
+
+    #[test]
+    fn overlay_inserts_deduplicate_against_the_base() {
+        let base = edb_base_from_instance(&small_db());
+        let mut store = RelationStore::overlay_on(&base);
+        let r = pred("R", 2);
+        let before = store.generation();
+        assert_eq!(before, base.generation());
+        // A base fact: rejected, watermark untouched.
+        assert!(!store.insert(r, [sym("a"), sym("b")]));
+        assert_eq!(store.generation(), before);
+        // A new fact: lands in the overlay exactly once.
+        assert!(store.insert(r, [sym("z"), sym("z")]));
+        assert!(!store.insert(r, [sym("z"), sym("z")]));
+        assert_eq!(store.generation(), before + 1);
+        assert_eq!(store.len(r), 3);
+    }
+
+    #[test]
+    fn tuple_ids_index_the_concatenation() {
+        let base = edb_base_from_instance(&small_db());
+        let mut store = RelationStore::overlay_on(&base);
+        let r = pred("R", 2);
+        store.insert(r, [sym("x"), sym("y")]);
+        let id = store.pred_id(r).unwrap();
+        let view = store.tuples_by_id(id);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.base_len(), 2);
+        assert_eq!(view.get(0).as_slice(), &[sym("a"), sym("b")]);
+        assert_eq!(view.get(2).as_slice(), &[sym("x"), sym("y")]);
+        let collected: Vec<_> = view.iter().map(|t| t[0]).collect();
+        assert_eq!(collected, vec![sym("a"), sym("b"), sym("x")]);
+        // Segments split ranges at the seam.
+        let (lo, hi) = view.segments(1, 3);
+        assert_eq!(lo.len(), 1);
+        assert_eq!(hi.len(), 1);
+        let (all_base, none) = view.segments(0, 2);
+        assert_eq!(all_base.len(), 2);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn committed_indexes_build_once_and_are_shared() {
+        let base = edb_base_from_instance(&small_db());
+        let r_id = {
+            let probe = RelationStore::overlay_on(&base);
+            probe.pred_id(pred("R", 2)).unwrap()
+        };
+        let (first, built_first) = base.committed_index(r_id, 0b01);
+        assert!(built_first);
+        let (second, built_second) = base.committed_index(r_id, 0b01);
+        assert!(!built_second);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(base.index_builds(), 1);
+        // A different mask is a different index.
+        let (_, built_other) = base.committed_index(r_id, 0b10);
+        assert!(built_other);
+        assert_eq!(base.index_builds(), 2);
+        // The key-projected entries cover the base tuples.
+        let key = Tuple::from([sym("a")]);
+        assert_eq!(
+            first.entries.get(&key).map(Vec::as_slice),
+            Some(&[0u32][..])
+        );
+    }
+
+    #[test]
+    fn unary_view_is_deduplicated_and_layered() {
+        let mut flat = RelationStore::new();
+        let p = pred("p", 1);
+        // Duplicate inserts collapse: the view sees each symbol once.
+        assert!(flat.insert(p, [sym("a")]));
+        assert!(!flat.insert(p, [sym("a")]));
+        assert!(flat.insert(p, [sym("b")]));
+        let view = flat.unary(p).unwrap();
+        assert_eq!(view.len(), 2);
+        assert!(view.contains(sym("a")));
+        assert!(!view.contains(sym("c")));
+        assert_eq!(view.iter().collect::<Vec<_>>(), vec![sym("a"), sym("b")]);
+
+        // Across layers: base {a, b}, overlay adds c and re-adds a (no-op).
+        let base = BaseStore::freeze(flat);
+        let mut overlay = RelationStore::overlay_on(&base);
+        overlay.insert(p, [sym("c")]);
+        overlay.insert(p, [sym("a")]);
+        let view = overlay.unary(p).unwrap();
+        assert_eq!(view.len(), 3);
+        assert_eq!(
+            view.iter().collect::<Vec<_>>(),
+            vec![sym("a"), sym("b"), sym("c")]
+        );
+
+        // Arity misuse is still rejected; absent predicates are empty.
+        assert!(overlay.unary(pred("R", 2)).is_err());
+        assert!(overlay.unary(pred("absent", 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn freeze_rejects_overlays() {
+        let base = edb_base_from_instance(&small_db());
+        let overlay = RelationStore::overlay_on(&base);
+        let result = std::panic::catch_unwind(move || BaseStore::freeze(overlay));
+        assert!(result.is_err(), "re-freezing an overlay must panic");
+    }
+}

@@ -1,12 +1,17 @@
-//! Textual encodings of database instances.
+//! Textual encodings of database instances and instance families.
 //!
 //! The text format is one fact per line: `R key value`, with `#`-comments and
 //! blank lines ignored. It is convenient for checked-in test fixtures and for
 //! piping instances between the example binaries. The `*Repr` types are
 //! plain-data mirrors of the interned types, suitable for any serializer.
+//!
+//! An [`crate::family::InstanceFamily`] adds section headers to the same
+//! line format: a `[prefix]` section followed by one `[delta]` section per
+//! request (see [`family_to_text`] / [`family_from_text`]).
 
 use crate::error::DbError;
 use crate::fact::Fact;
+use crate::family::InstanceFamily;
 use crate::instance::DatabaseInstance;
 
 /// Serializable representation of a fact.
@@ -91,6 +96,103 @@ pub fn from_text(text: &str) -> Result<DatabaseInstance, DbError> {
     Ok(db)
 }
 
+/// Serializable representation of an instance family: the shared prefix and
+/// one delta per request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FamilyRepr {
+    /// The shared prefix instance.
+    pub prefix: InstanceRepr,
+    /// Per-request delta instances, in request order.
+    pub deltas: Vec<InstanceRepr>,
+}
+
+impl From<&InstanceFamily> for FamilyRepr {
+    fn from(family: &InstanceFamily) -> FamilyRepr {
+        FamilyRepr {
+            prefix: InstanceRepr::from(family.prefix()),
+            deltas: family.deltas().iter().map(InstanceRepr::from).collect(),
+        }
+    }
+}
+
+impl From<&FamilyRepr> for InstanceFamily {
+    fn from(repr: &FamilyRepr) -> InstanceFamily {
+        InstanceFamily::with_deltas(
+            DatabaseInstance::from(&repr.prefix),
+            repr.deltas.iter().map(DatabaseInstance::from).collect(),
+        )
+    }
+}
+
+/// Renders an instance family in the sectioned text format: a `[prefix]`
+/// header, its facts, then one `[delta]` header per request followed by that
+/// delta's facts.
+pub fn family_to_text(family: &InstanceFamily) -> String {
+    let mut out = String::from("[prefix]\n");
+    out.push_str(&to_text(family.prefix()));
+    for delta in family.deltas() {
+        out.push_str("[delta]\n");
+        out.push_str(&to_text(delta));
+    }
+    out
+}
+
+/// Parses an instance family from the sectioned text format. The `[prefix]`
+/// header must come first (facts before any header are rejected); each
+/// `[delta]` header opens one request, which may be empty.
+pub fn family_from_text(text: &str) -> Result<InstanceFamily, DbError> {
+    let mut seen_prefix = false;
+    let mut prefix = DatabaseInstance::new();
+    let mut deltas: Vec<DatabaseInstance> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            "[prefix]" => {
+                if seen_prefix {
+                    return Err(DbError::ParseError(format!(
+                        "line {}: duplicate [prefix] section",
+                        lineno + 1
+                    )));
+                }
+                seen_prefix = true;
+            }
+            "[delta]" => {
+                if !seen_prefix {
+                    return Err(DbError::ParseError(format!(
+                        "line {}: [delta] before [prefix]",
+                        lineno + 1
+                    )));
+                }
+                deltas.push(DatabaseInstance::new());
+            }
+            _ => {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 3 {
+                    return Err(DbError::ParseError(format!(
+                        "line {}: expected `REL KEY VALUE` or a section header, got {line:?}",
+                        lineno + 1
+                    )));
+                }
+                if !seen_prefix {
+                    return Err(DbError::ParseError(format!(
+                        "line {}: fact before the [prefix] header",
+                        lineno + 1
+                    )));
+                }
+                let fact = Fact::parse(parts[0], parts[1], parts[2]);
+                match deltas.last_mut() {
+                    Some(delta) => delta.insert(fact),
+                    None => prefix.insert(fact),
+                };
+            }
+        }
+    }
+    Ok(InstanceFamily::with_deltas(prefix, deltas))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +218,49 @@ mod tests {
     fn text_parser_rejects_malformed_lines() {
         assert!(from_text("R a").is_err());
         assert!(from_text("R a b c").is_err());
+    }
+
+    #[test]
+    fn family_text_round_trip() {
+        let mut prefix = DatabaseInstance::new();
+        prefix.insert_parsed("R", "a", "b");
+        prefix.insert_parsed("S", "b", "c");
+        let mut d0 = DatabaseInstance::new();
+        d0.insert_parsed("R", "c", "d");
+        let d1 = DatabaseInstance::new(); // empty delta is legal
+        let family = InstanceFamily::with_deltas(prefix, vec![d0, d1]);
+        let text = family_to_text(&family);
+        assert!(text.starts_with("[prefix]\n"));
+        assert_eq!(text.matches("[delta]").count(), 2);
+        let back = family_from_text(&text).unwrap();
+        assert_eq!(family, back);
+        // Comments and blank lines are tolerated anywhere.
+        let commented = format!("# family fixture\n\n{text}\n# end\n");
+        assert_eq!(family_from_text(&commented).unwrap(), family);
+    }
+
+    #[test]
+    fn family_parser_rejects_malformed_sections() {
+        assert!(family_from_text("R a b\n").is_err()); // fact before header
+        assert!(family_from_text("[delta]\nR a b\n").is_err()); // delta first
+        assert!(family_from_text("[prefix]\n[prefix]\n").is_err()); // duplicate
+        assert!(family_from_text("[prefix]\nR a\n").is_err()); // bad fact
+                                                               // Prefix-only families parse to zero requests.
+        let empty = family_from_text("[prefix]\nR a b\n").unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.prefix().len(), 1);
+    }
+
+    #[test]
+    fn family_repr_round_trip() {
+        let mut prefix = DatabaseInstance::new();
+        prefix.insert_parsed("R", "0", "1");
+        let mut delta = DatabaseInstance::new();
+        delta.insert_parsed("R", "1", "2");
+        let family = InstanceFamily::with_deltas(prefix, vec![delta]);
+        let repr = FamilyRepr::from(&family);
+        assert_eq!(repr.deltas.len(), 1);
+        assert_eq!(InstanceFamily::from(&repr), family);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Families of database instances extending a shared prefix.
+//!
+//! Production certain-answer traffic rarely asks about unrelated instances:
+//! a batching front-end typically sees thousands of requests that all extend
+//! one common EDB prefix (a published base dataset, a tenant's snapshot, a
+//! daily import) with a small per-request delta. An [`InstanceFamily`] names
+//! that shape explicitly — a prefix instance plus per-request delta
+//! instances, where request `i` denotes the full instance
+//! `prefix ∪ deltas[i]` — so the layers above can exploit the sharing:
+//! `cqa_solver::session::CertaintySession::certain_batch_family` loads the
+//! prefix into a frozen copy-on-write base store once and forks an O(delta)
+//! overlay per request, instead of re-materializing the prefix per request.
+//!
+//! A family is purely a *description* of the workload; [`materialize`]
+//! recovers the plain per-request instances for any consumer that does not
+//! understand sharing (and for differential tests pinning the shared path to
+//! the fresh-load path). Text and plain-data codecs live in
+//! [`crate::codec`] ([`crate::codec::family_to_text`] /
+//! [`crate::codec::FamilyRepr`]).
+//!
+//! [`materialize`]: InstanceFamily::materialize
+
+use crate::instance::DatabaseInstance;
+
+/// A shared EDB prefix plus per-request delta instances; request `i` stands
+/// for the full instance `prefix ∪ deltas[i]`.
+///
+/// Deltas may overlap the prefix (shared facts are deduplicated by the set
+/// semantics of [`DatabaseInstance`]) and may introduce new constants — the
+/// active domain of request `i` is `adom(prefix) ∪ adom(deltas[i])`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstanceFamily {
+    prefix: DatabaseInstance,
+    deltas: Vec<DatabaseInstance>,
+}
+
+impl InstanceFamily {
+    /// Creates a family with the given shared prefix and no requests yet.
+    pub fn new(prefix: DatabaseInstance) -> InstanceFamily {
+        InstanceFamily {
+            prefix,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Creates a family from a prefix and its per-request deltas.
+    pub fn with_deltas(prefix: DatabaseInstance, deltas: Vec<DatabaseInstance>) -> InstanceFamily {
+        InstanceFamily { prefix, deltas }
+    }
+
+    /// Appends one request (its delta over the prefix).
+    pub fn push_delta(&mut self, delta: DatabaseInstance) {
+        self.deltas.push(delta);
+    }
+
+    /// The shared prefix instance.
+    pub fn prefix(&self) -> &DatabaseInstance {
+        &self.prefix
+    }
+
+    /// The per-request delta instances, in request order.
+    pub fn deltas(&self) -> &[DatabaseInstance] {
+        &self.deltas
+    }
+
+    /// Number of requests (deltas) in the family.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True iff the family carries no requests.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The full instance of request `i`: `prefix ∪ deltas[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn materialize(&self, i: usize) -> DatabaseInstance {
+        self.prefix.union(&self.deltas[i])
+    }
+
+    /// The full instances of every request, in request order — the fresh-load
+    /// view of the family, for consumers that do not exploit sharing.
+    pub fn materialize_all(&self) -> Vec<DatabaseInstance> {
+        (0..self.len()).map(|i| self.materialize(i)).collect()
+    }
+
+    /// Fraction of the average full instance's facts that come from the
+    /// shared prefix — `1.0` means every request is exactly the prefix, `0.0`
+    /// a disjoint delta-only family. Diagnostic; duplicated facts count for
+    /// the prefix.
+    pub fn shared_fraction(&self) -> f64 {
+        if self.deltas.is_empty() || self.prefix.is_empty() {
+            return if self.deltas.is_empty() { 1.0 } else { 0.0 };
+        }
+        let total: usize = (0..self.len()).map(|i| self.materialize(i).len()).sum();
+        (self.len() * self.prefix.len()) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(facts: &[(&str, &str, &str)]) -> DatabaseInstance {
+        let mut db = DatabaseInstance::new();
+        for &(r, k, v) in facts {
+            db.insert_parsed(r, k, v);
+        }
+        db
+    }
+
+    #[test]
+    fn materialize_unions_prefix_and_delta() {
+        let prefix = instance(&[("R", "a", "b"), ("S", "b", "c")]);
+        let mut family = InstanceFamily::new(prefix.clone());
+        assert!(family.is_empty());
+        family.push_delta(instance(&[("R", "c", "d")]));
+        family.push_delta(instance(&[("R", "a", "b")])); // fully shared
+        assert_eq!(family.len(), 2);
+
+        let first = family.materialize(0);
+        assert_eq!(first.len(), 3);
+        assert!(first.contains(&crate::fact::Fact::parse("R", "c", "d")));
+
+        // A delta repeating prefix facts materializes to the prefix itself.
+        assert_eq!(family.materialize(1), prefix);
+        assert_eq!(family.materialize_all().len(), 2);
+    }
+
+    #[test]
+    fn shared_fraction_reflects_the_split() {
+        let prefix = instance(&[("R", "a", "b"), ("R", "b", "c"), ("R", "c", "d")]);
+        let family = InstanceFamily::with_deltas(
+            prefix.clone(),
+            vec![instance(&[("R", "d", "e")]), instance(&[("R", "d", "f")])],
+        );
+        let f = family.shared_fraction();
+        assert!((f - 0.75).abs() < 1e-9, "got {f}");
+        assert!((InstanceFamily::new(prefix).shared_fraction() - 1.0).abs() < 1e-9);
+    }
+}

@@ -26,15 +26,19 @@
 pub mod codec;
 pub mod error;
 pub mod fact;
+pub mod family;
 pub mod instance;
 pub mod path;
 pub mod repair;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::codec::{from_text, to_text, InstanceRepr};
+    pub use crate::codec::{
+        family_from_text, family_to_text, from_text, to_text, FamilyRepr, InstanceRepr,
+    };
     pub use crate::error::DbError;
     pub use crate::fact::{BlockId, Constant, Fact, FactId};
+    pub use crate::family::InstanceFamily;
     pub use crate::instance::DatabaseInstance;
     pub use crate::path::{
         consistent_path_endpoints, embeddings, has_path, paths_with_trace, paths_with_trace_from,

@@ -117,6 +117,18 @@ impl DispatchSolver {
     pub fn session(&self) -> &CertaintySession {
         &self.session
     }
+
+    /// Decides one query against every request of an instance family
+    /// (shared prefix + per-request deltas), loading the prefix once —
+    /// see [`CertaintySession::certain_batch_family`]. Answers are identical
+    /// to dispatching every materialized `prefix ∪ delta` individually.
+    pub fn certain_batch_family(
+        &self,
+        query: &PathQuery,
+        family: &cqa_db::family::InstanceFamily,
+    ) -> Vec<Result<bool, SolverError>> {
+        self.session.certain_batch_family(query, family)
+    }
 }
 
 impl CertaintySolver for DispatchSolver {

@@ -34,6 +34,7 @@ use cqa_core::regex_forms::{b2b_strict_decomposition, B2bDecomposition};
 use cqa_core::word::Word;
 use cqa_datalog::cqa_program::{generate_program, CqaProgram};
 use cqa_datalog::parallel::EvalOptions;
+use cqa_datalog::store::{edb_overlay_on, BaseStore};
 use cqa_db::fact::Constant;
 use cqa_db::instance::DatabaseInstance;
 use cqa_db::path::{consistent_path_endpoints, reachable_by_trace};
@@ -212,6 +213,27 @@ impl NlSolver {
             }
         }
     }
+
+    /// Decides one shared-prefix family request with a prepared Datalog plan
+    /// through the copy-on-write store path (base forked, only the delta
+    /// loaded), updating the fallback statistics exactly like the fresh-load
+    /// path. The family batch driver
+    /// (`cqa_solver::session::CertaintySession::certain_batch_family`) calls
+    /// this for Datalog-backed NL plans and materializes full instances for
+    /// every other route.
+    pub fn certain_overlay_with(
+        &self,
+        cqa: &CqaProgram,
+        base: &Arc<BaseStore>,
+        prefix: &DatabaseInstance,
+        delta: &DatabaseInstance,
+        options: &EvalOptions,
+    ) -> Result<bool, SolverError> {
+        self.stats
+            .decompositions_used
+            .fetch_add(1, Ordering::Relaxed);
+        certain_datalog_overlay(cqa, base, prefix, delta, options)
+    }
 }
 
 /// Evaluates the predicate `O` directly and applies Claim 4:
@@ -304,10 +326,45 @@ pub(crate) fn certain_datalog(
     options: &EvalOptions,
 ) -> Result<bool, SolverError> {
     let store = cqa.compiled.run_with(db, options);
+    o_fails_somewhere(cqa, &store, db.adom().iter().copied())
+}
+
+/// Decides one shared-prefix family request through the copy-on-write store
+/// path: fork an overlay of the frozen base EDB (the prefix, loaded and
+/// index-committed once per family), insert only the delta instance, and run
+/// the pre-compiled program on the layered store. The answer is identical to
+/// fresh-loading `prefix ∪ delta`, because the layered EDB holds exactly the
+/// union's fact sets and semi-naive evaluation reaches the same unique
+/// fixpoint on set-equal EDBs.
+pub(crate) fn certain_datalog_overlay(
+    cqa: &CqaProgram,
+    base: &Arc<BaseStore>,
+    prefix: &DatabaseInstance,
+    delta: &DatabaseInstance,
+    options: &EvalOptions,
+) -> Result<bool, SolverError> {
+    let store = cqa
+        .compiled
+        .run_on_store_with(edb_overlay_on(base, delta), options);
+    // adom(prefix ∪ delta) = adom(prefix) ∪ adom(delta); the overlap is
+    // checked twice, which is harmless for an `any`.
+    let adom = prefix.adom().iter().chain(delta.adom().iter()).copied();
+    o_fails_somewhere(cqa, &store, adom)
+}
+
+/// Claim 4 over an evaluated store: the instance is certain iff `o(c)` fails
+/// for some constant of the active domain. Membership goes through the
+/// store's borrowed [`cqa_datalog::store::UnaryView`] — O(1) per constant,
+/// no per-call set materialization.
+fn o_fails_somewhere(
+    cqa: &CqaProgram,
+    store: &cqa_datalog::engine::RelationStore,
+    mut adom: impl Iterator<Item = Constant>,
+) -> Result<bool, SolverError> {
     let o_holds = store
         .unary(cqa.o)
         .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;
-    Ok(db.adom().iter().any(|c| !o_holds.contains(&c.symbol())))
+    Ok(adom.any(|c| !o_holds.contains(c.symbol())))
 }
 
 /// Reflexivity is *not* included: `reaches(edges, a, b)` is true iff there is

@@ -26,6 +26,8 @@ use cqa_core::classify::{classify, Classification, ComplexityClass};
 use cqa_core::query::PathQuery;
 use cqa_core::word::Word;
 use cqa_datalog::parallel::EvalOptions;
+use cqa_datalog::store::{edb_base_from_instance, BaseStore};
+use cqa_db::family::InstanceFamily;
 use cqa_db::instance::DatabaseInstance;
 
 use crate::conp::SatCertaintySolver;
@@ -273,29 +275,83 @@ impl CertaintySession {
         // parallelism already saturates the budget, and nested scopes would
         // oversubscribe.
         let per_request = EvalOptions::sequential();
-        let chunk = requests.len().div_ceil(threads);
-        let mut out: Vec<Option<Result<bool, SolverError>>> = Vec::new();
-        out.resize_with(requests.len(), || None);
-        std::thread::scope(|scope| {
-            for ((request_chunk, plan_chunk), out_chunk) in requests
-                .chunks(chunk)
-                .zip(plans.chunks(chunk))
-                .zip(out.chunks_mut(chunk))
-            {
-                scope.spawn(move || {
-                    for (((_, db), plan), slot) in request_chunk
-                        .iter()
-                        .zip(plan_chunk)
-                        .zip(out_chunk.iter_mut())
-                    {
-                        *slot = Some(self.certain_planned_with(plan, db, &per_request));
-                    }
-                });
+        fan_out(requests.len(), threads, |i| {
+            self.certain_planned_with(&plans[i], &requests[i].1, &per_request)
+        })
+    }
+
+    /// Decides one query against every request of an [`InstanceFamily`]
+    /// (request `i` denotes the full instance `prefix ∪ deltas[i]`),
+    /// exploiting the shared prefix. Results are returned in request order
+    /// and are **identical to fresh-loading every full instance** through
+    /// [`CertaintySession::certain_batch`] — at every thread count.
+    ///
+    /// For queries the session routes to the Datalog NL back-end, the prefix
+    /// is loaded and frozen into an `Arc`-shared copy-on-write base store
+    /// *once* (its probe indexes are likewise built once, on the first
+    /// request), and each request forks an O(delta) overlay — see
+    /// [`cqa_datalog::store`]. Every other route evaluates on plain
+    /// [`DatabaseInstance`]s, so those requests materialize `prefix ∪ delta`
+    /// per request, exactly like the fresh-load path.
+    ///
+    /// With a resolved thread budget above one, requests fan out across
+    /// scoped worker threads into preassigned result slots (engine runs
+    /// pinned sequential, one level of parallelism at a time), sharing the
+    /// frozen base by reference.
+    pub fn certain_batch_family(
+        &self,
+        query: &PathQuery,
+        family: &InstanceFamily,
+    ) -> Vec<Result<bool, SolverError>> {
+        let plan = self.prepare(query);
+        let deltas = family.deltas();
+        if deltas.is_empty() {
+            return Vec::new();
+        }
+        // The copy-on-write base is only worth building when the route
+        // evaluates on relation stores (the generated Datalog program).
+        let base = match &plan.nl {
+            Some(NlPlan::Datalog(_)) => Some(edb_base_from_instance(family.prefix())),
+            _ => None,
+        };
+        let threads = self.options.threads.resolve().min(deltas.len());
+        if threads <= 1 {
+            return deltas
+                .iter()
+                .map(|delta| {
+                    self.certain_family_request(&plan, base.as_ref(), family, delta, &self.options)
+                })
+                .collect();
+        }
+        // Scoped fan-out with preassigned slots, exactly like
+        // `certain_batch_parallel` (workers pin their engine runs
+        // sequential — one level of parallelism at a time).
+        let per_request = EvalOptions::sequential();
+        fan_out(deltas.len(), threads, |i| {
+            self.certain_family_request(&plan, base.as_ref(), family, &deltas[i], &per_request)
+        })
+    }
+
+    /// Decides one family request: the overlay fast path when a shared base
+    /// exists for the plan, the materialized full instance otherwise.
+    fn certain_family_request(
+        &self,
+        plan: &QueryPlan,
+        base: Option<&Arc<BaseStore>>,
+        family: &InstanceFamily,
+        delta: &DatabaseInstance,
+        options: &EvalOptions,
+    ) -> Result<bool, SolverError> {
+        match (base, &plan.nl) {
+            (Some(base), Some(NlPlan::Datalog(cqa))) => {
+                self.nl
+                    .certain_overlay_with(cqa, base, family.prefix(), delta, options)
             }
-        });
-        out.into_iter()
-            .map(|r| r.expect("every request chunked"))
-            .collect()
+            _ => {
+                let full = family.prefix().union(delta);
+                self.certain_planned_with(plan, &full, options)
+            }
+        }
     }
 
     /// Number of requests that reused a cached query plan.
@@ -312,6 +368,34 @@ impl CertaintySession {
     pub fn queries_prepared(&self) -> usize {
         self.plans.lock().expect("session lock").len()
     }
+}
+
+/// Decides requests `0..n` across `threads` scoped workers in contiguous
+/// chunks, writing into preassigned slots — request order (and therefore the
+/// answer bitmap) is independent of scheduling and thread count. Shared by
+/// the request-batch and family-batch fan-outs so the two paths cannot
+/// drift apart.
+fn fan_out(
+    n: usize,
+    threads: usize,
+    decide: impl Fn(usize) -> Result<bool, SolverError> + Sync,
+) -> Vec<Result<bool, SolverError>> {
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<Result<bool, SolverError>>> = Vec::new();
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (chunk_index, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let decide = &decide;
+            scope.spawn(move || {
+                for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = Some(decide(chunk_index * chunk + offset));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every request chunked"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -390,6 +474,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn family_batches_match_materialized_batches_on_every_route() {
+        // One family, four queries spanning FO / NL-datalog / PTIME routes:
+        // the shared-prefix path must produce exactly the answers of the
+        // materialized fresh-load path, for both the COW-backed Datalog
+        // route and the materializing fallback.
+        use cqa_db::family::InstanceFamily;
+        let prefix = layered("RXRY", 4, 0xFA81);
+        let deltas: Vec<DatabaseInstance> =
+            (0..6u64).map(|i| layered("RXRY", 2, 0xDE17A + i)).collect();
+        let family = InstanceFamily::with_deltas(prefix, deltas);
+        for word in ["RXRX", "RRX", "RXRY", "RXRYRY"] {
+            let q = PathQuery::parse(word).unwrap();
+            let session = CertaintySession::with_datalog_nl();
+            let shared = session.certain_batch_family(&q, &family);
+            let requests: Vec<(PathQuery, DatabaseInstance)> = (0..family.len())
+                .map(|i| (q.clone(), family.materialize(i)))
+                .collect();
+            let materialized = session.certain_batch(&requests);
+            assert_eq!(shared.len(), materialized.len());
+            for (i, (s, m)) in shared.iter().zip(&materialized).enumerate() {
+                assert_eq!(
+                    s.as_ref().unwrap(),
+                    m.as_ref().unwrap(),
+                    "family/materialized mismatch for {word} at request {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_families_yield_empty_batches() {
+        use cqa_db::family::InstanceFamily;
+        let session = CertaintySession::with_datalog_nl();
+        let family = InstanceFamily::new(layered("RRX", 3, 1));
+        assert!(session
+            .certain_batch_family(&PathQuery::parse("RRX").unwrap(), &family)
+            .is_empty());
     }
 
     #[test]

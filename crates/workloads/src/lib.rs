@@ -18,6 +18,7 @@ pub mod prelude {
         figure_2_query, figure_3, figure_3_query, figure_4_query, figure_6,
     };
     pub use crate::random::{
-        oracle_batch, repeated_query_requests, scaling_series, LayeredConfig, RandomInstanceConfig,
+        oracle_batch, repeated_query_requests, scaling_series, shared_prefix_families,
+        LayeredConfig, RandomInstanceConfig,
     };
 }

@@ -175,6 +175,43 @@ pub fn repeated_query_requests(
     out
 }
 
+/// A shared-prefix family workload: one layered prefix instance plus
+/// `instances` per-request delta instances over the *same* vertex space, so
+/// deltas genuinely interact with the prefix (extra — possibly conflicting —
+/// outgoing edges, new dead-end escapes), not just sit beside it.
+///
+/// `delta_ratio` controls how much of each request is private: the delta
+/// layer width is `⌈width * delta_ratio⌉` (at least 1), so a ratio of `0.1`
+/// yields requests whose facts are ~90% shared prefix. This is the input
+/// shape `cqa_solver::session::CertaintySession::certain_batch_family`
+/// amortizes (prefix loaded and index-committed once, O(delta) overlay per
+/// request), and what the `session_cow` bench replays against fresh-load.
+pub fn shared_prefix_families(
+    word: &cqa_core::word::Word,
+    width: usize,
+    instances: usize,
+    delta_ratio: f64,
+    seed: u64,
+) -> cqa_db::family::InstanceFamily {
+    let prefix = LayeredConfig::for_word(word, width, seed).generate();
+    let delta_width = ((width as f64 * delta_ratio).ceil() as usize).clamp(1, width.max(1));
+    let deltas = (0..instances)
+        .map(|i| {
+            // Delta vertices reuse the prefix's `L{layer}_{j}` names for
+            // j < delta_width, so delta edges extend (and conflict with)
+            // prefix blocks rather than forming a disjoint component.
+            let config = LayeredConfig {
+                conflict_probability: 0.4,
+                dead_end_probability: 0.1,
+                seed: seed ^ 0x5EED_FA31 ^ ((i as u64 + 1) << 20),
+                ..LayeredConfig::for_word(word, delta_width, 0)
+            };
+            config.generate()
+        })
+        .collect();
+    cqa_db::family::InstanceFamily::with_deltas(prefix, deltas)
+}
+
 /// Generates a batch of small random instances suitable for cross-checking a
 /// solver against the naive oracle (repair count capped).
 pub fn oracle_batch(
@@ -249,6 +286,39 @@ mod tests {
         assert_eq!(requests[4].1, again[4].1);
         // Distinct rounds draw distinct instances.
         assert_ne!(requests[0].1, requests[2].1);
+    }
+
+    #[test]
+    fn shared_prefix_families_are_deterministic_and_mostly_shared() {
+        let word = Word::from_letters("RRX");
+        let family = shared_prefix_families(&word, 20, 5, 0.1, 0x0FA7);
+        assert_eq!(family.len(), 5);
+        assert!(!family.prefix().is_empty());
+        let again = shared_prefix_families(&word, 20, 5, 0.1, 0x0FA7);
+        assert_eq!(family, again);
+        assert_ne!(family, shared_prefix_families(&word, 20, 5, 0.1, 0x0FA8));
+        // Deltas are distinct per request and small relative to the prefix.
+        assert_ne!(family.deltas()[0], family.deltas()[1]);
+        assert!(
+            family.shared_fraction() > 0.8,
+            "ratio 0.1 should share most facts, got {}",
+            family.shared_fraction()
+        );
+        // Delta vertices live in the prefix's vertex space, so at least one
+        // delta fact shares a block key with (or duplicates) prefix facts.
+        let delta_keys: std::collections::BTreeSet<_> = family
+            .deltas()
+            .iter()
+            .flat_map(|d| d.facts().iter().map(|f| f.key))
+            .collect();
+        assert!(family
+            .prefix()
+            .facts()
+            .iter()
+            .any(|f| delta_keys.contains(&f.key)));
+        // A fatter delta ratio shares less.
+        let fat = shared_prefix_families(&word, 20, 5, 1.0, 0x0FA7);
+        assert!(fat.shared_fraction() < family.shared_fraction());
     }
 
     #[test]

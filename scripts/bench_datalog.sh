@@ -3,8 +3,10 @@
 # the repository root: one entry per benchmark with the median ns/iter, for
 # the `datalog_engine` (scan vs indexed before/after, plus warm-plan runs),
 # `nl_vs_ptime`, `certainty_scaling`, `session_batch` (warm sessions vs
-# cold per-call dispatch, including a 4-thread batch fan-out) and
-# `datalog_parallel` (stratum evaluation at 1/2/4/8 worker threads) suites.
+# cold per-call dispatch, including a 4-thread batch fan-out),
+# `datalog_parallel` (stratum evaluation at 1/2/4/8 worker threads) and
+# `session_cow` (copy-on-write shared-prefix families vs fresh-load,
+# store-build amortization isolated) suites.
 # Future PRs re-run this script to extend the perf trajectory; thread-scaling
 # entries are only comparable against same-host baselines.
 #
@@ -27,6 +29,7 @@ CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
     --bench nl_vs_ptime \
     --bench certainty_scaling \
     --bench session_batch \
+    --bench session_cow \
     --bench parallel_scaling
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
