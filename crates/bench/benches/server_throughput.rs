@@ -1,0 +1,139 @@
+//! E19: the serving layer's wire/dispatch overhead — a live loopback
+//! `cqa-server` against direct in-process session calls on the identical
+//! multi-tenant request stream.
+//!
+//! Both sides answer the same `tenant_request_stream` (4 tenants,
+//! Zipf-skewed, mixed query words) against the same resident families:
+//!
+//! * `direct_session` — the floor: one warm [`CertaintySession`] and one
+//!   resident `Arc<BaseStore>` per tenant, `certain_batch_family_resident`
+//!   called in-process per stream command. No sockets, no queue.
+//! * `loopback_server` — a real server on 127.0.0.1 with its worker pool,
+//!   one client connection replaying the stream as `QUERY` commands. The
+//!   measured gap over `direct_session` *is* the wire + framing + queue +
+//!   reply-channel cost per command.
+//!
+//! Requests/sec: each iteration answers the whole stream, so
+//! `commands_per_iter / (median_ns · 1e-9)` is the command throughput (and
+//! × requests-per-family the per-request throughput). **Honest caveat:**
+//! this container is single-CPU, so the loopback numbers measure protocol
+//! overhead at concurrency 1 — not multi-core serving capacity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use cqa_datalog::prelude::edb_base_from_instance;
+use cqa_datalog::store::BaseStore;
+use cqa_db::family::InstanceFamily;
+use cqa_server::client::Client;
+use cqa_server::registry::ResidencyLimits;
+use cqa_server::server::{start, ServerConfig};
+use cqa_solver::prelude::*;
+use cqa_workloads::random::{shared_prefix_families, tenant_request_stream, TenantRequest};
+
+const TENANTS: usize = 4;
+const COMMANDS: usize = 32;
+const WORDS: [&str; 3] = ["RRX", "RXRY", "RXRX"];
+
+fn max_facts() -> usize {
+    std::env::var("CQA_BENCH_MAX_FACTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+
+    let word = cqa_core::word::Word::from_letters("RXRYRY");
+    // Widths as in `session_cow`: prefixes near 10^3 and 10^4 facts.
+    for width in [270usize, 2700] {
+        let families: Vec<InstanceFamily> = (0..TENANTS)
+            .map(|t| shared_prefix_families(&word, width, 8, 0.1, 0xF00D + t as u64))
+            .collect();
+        if families[0].prefix().len() > max_facts() {
+            continue;
+        }
+        let stream = tenant_request_stream(TENANTS, &WORDS, COMMANDS, 1.0, 0x5EEE);
+        let id = format!(
+            "{}f_x{}t_{}cmd",
+            families[0].prefix().len(),
+            TENANTS,
+            stream.len()
+        );
+
+        // The in-process floor: warm session, resident bases, no wire.
+        group.bench_with_input(
+            BenchmarkId::new("direct_session", &id),
+            &stream,
+            |b, stream| {
+                let session =
+                    CertaintySession::with_options(NlBackend::Datalog, EvalOptions::sequential());
+                let bases: Vec<Arc<BaseStore>> = families
+                    .iter()
+                    .map(|f| edb_base_from_instance(f.prefix()))
+                    .collect();
+                let all: Vec<Vec<usize>> =
+                    families.iter().map(|f| (0..f.len()).collect()).collect();
+                b.iter(|| {
+                    let mut certain = 0usize;
+                    for TenantRequest { tenant, query } in stream {
+                        let answers = session.certain_batch_family_resident(
+                            query,
+                            &families[*tenant],
+                            &bases[*tenant],
+                            &all[*tenant],
+                        );
+                        certain += answers.iter().filter(|a| *a.as_ref().unwrap()).count();
+                    }
+                    black_box(certain)
+                })
+            },
+        );
+
+        // The same stream over a live loopback socket.
+        group.bench_with_input(
+            BenchmarkId::new("loopback_server", &id),
+            &stream,
+            |b, stream| {
+                let server = start(ServerConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    workers: 2,
+                    limits: ResidencyLimits::default(),
+                })
+                .expect("bind loopback");
+                let mut client = Client::connect(server.addr()).expect("connect");
+                for (t, family) in families.iter().enumerate() {
+                    client.load_family(&format!("t{t}"), family).expect("load");
+                }
+                // Warm the resident bases so the measured loop compares
+                // steady-state serving, exactly like the warm direct side.
+                for t in 0..TENANTS {
+                    for w in WORDS {
+                        client.query(&format!("t{t}"), w).expect("warm");
+                    }
+                }
+                let queries: Vec<(String, String)> = stream
+                    .iter()
+                    .map(|r| (format!("t{}", r.tenant), r.query.word().to_string()))
+                    .collect();
+                b.iter(|| {
+                    let mut certain = 0usize;
+                    for (tenant, word) in &queries {
+                        let answers = client.query(tenant, word).expect("query");
+                        certain += answers.iter().filter(|&&a| a).count();
+                    }
+                    black_box(certain)
+                });
+                client.quit().expect("quit");
+                server.shutdown();
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -86,10 +86,10 @@ pub fn from_text(text: &str) -> Result<DatabaseInstance, DbError> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 3 {
-            return Err(DbError::ParseError(format!(
-                "line {}: expected `REL KEY VALUE`, got {line:?}",
-                lineno + 1
-            )));
+            return Err(DbError::ArityMismatch {
+                line: lineno + 1,
+                found: parts.len(),
+            });
         }
         db.insert_parsed(parts[0], parts[1], parts[2]);
     }
@@ -138,49 +138,61 @@ pub fn family_to_text(family: &InstanceFamily) -> String {
 }
 
 /// Parses an instance family from the sectioned text format. The `[prefix]`
-/// header must come first (facts before any header are rejected); each
-/// `[delta]` header opens one request, which may be empty.
+/// header must come first and exactly once (facts or `[delta]` headers
+/// before it are rejected); each `[delta]` header opens one request, which
+/// may be empty. Rejections carry typed [`DbError`] variants —
+/// [`DbError::DuplicateSection`], [`DbError::MisplacedSection`],
+/// [`DbError::UnknownSection`] and [`DbError::ArityMismatch`] — so a wire
+/// boundary (`cqa-server`'s `LOAD`) can report *what* was malformed instead
+/// of a free-form string.
 pub fn family_from_text(text: &str) -> Result<InstanceFamily, DbError> {
     let mut seen_prefix = false;
     let mut prefix = DatabaseInstance::new();
     let mut deltas: Vec<DatabaseInstance> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
+        let lineno = lineno + 1;
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         match line {
             "[prefix]" => {
                 if seen_prefix {
-                    return Err(DbError::ParseError(format!(
-                        "line {}: duplicate [prefix] section",
-                        lineno + 1
-                    )));
+                    return Err(DbError::DuplicateSection {
+                        line: lineno,
+                        section: "prefix".to_owned(),
+                    });
                 }
                 seen_prefix = true;
             }
             "[delta]" => {
                 if !seen_prefix {
-                    return Err(DbError::ParseError(format!(
-                        "line {}: [delta] before [prefix]",
-                        lineno + 1
-                    )));
+                    return Err(DbError::MisplacedSection {
+                        line: lineno,
+                        found: "[delta] header".to_owned(),
+                    });
                 }
                 deltas.push(DatabaseInstance::new());
+            }
+            header if header.starts_with('[') && header.ends_with(']') => {
+                return Err(DbError::UnknownSection {
+                    line: lineno,
+                    section: header[1..header.len() - 1].to_owned(),
+                });
             }
             _ => {
                 let parts: Vec<&str> = line.split_whitespace().collect();
                 if parts.len() != 3 {
-                    return Err(DbError::ParseError(format!(
-                        "line {}: expected `REL KEY VALUE` or a section header, got {line:?}",
-                        lineno + 1
-                    )));
+                    return Err(DbError::ArityMismatch {
+                        line: lineno,
+                        found: parts.len(),
+                    });
                 }
                 if !seen_prefix {
-                    return Err(DbError::ParseError(format!(
-                        "line {}: fact before the [prefix] header",
-                        lineno + 1
-                    )));
+                    return Err(DbError::MisplacedSection {
+                        line: lineno,
+                        found: format!("fact {line:?}"),
+                    });
                 }
                 let fact = Fact::parse(parts[0], parts[1], parts[2]);
                 match deltas.last_mut() {
@@ -189,6 +201,11 @@ pub fn family_from_text(text: &str) -> Result<InstanceFamily, DbError> {
                 };
             }
         }
+    }
+    if !seen_prefix {
+        return Err(DbError::MissingSection {
+            section: "prefix".to_owned(),
+        });
     }
     Ok(InstanceFamily::with_deltas(prefix, deltas))
 }
@@ -216,8 +233,14 @@ mod tests {
 
     #[test]
     fn text_parser_rejects_malformed_lines() {
-        assert!(from_text("R a").is_err());
-        assert!(from_text("R a b c").is_err());
+        assert_eq!(
+            from_text("R a"),
+            Err(DbError::ArityMismatch { line: 1, found: 2 })
+        );
+        assert_eq!(
+            from_text("R a b\nR a b c\n"),
+            Err(DbError::ArityMismatch { line: 2, found: 4 })
+        );
     }
 
     #[test]
@@ -240,12 +263,98 @@ mod tests {
     }
 
     #[test]
-    fn family_parser_rejects_malformed_sections() {
-        assert!(family_from_text("R a b\n").is_err()); // fact before header
-        assert!(family_from_text("[delta]\nR a b\n").is_err()); // delta first
-        assert!(family_from_text("[prefix]\n[prefix]\n").is_err()); // duplicate
-        assert!(family_from_text("[prefix]\nR a\n").is_err()); // bad fact
-                                                               // Prefix-only families parse to zero requests.
+    fn family_parser_rejects_facts_before_the_prefix_header() {
+        match family_from_text("# leading comment\nR a b\n") {
+            Err(DbError::MisplacedSection { line: 2, found }) => {
+                assert!(found.contains("R a b"), "got {found:?}")
+            }
+            other => panic!("expected MisplacedSection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn family_parser_rejects_delta_before_prefix() {
+        assert_eq!(
+            family_from_text("[delta]\nR a b\n"),
+            Err(DbError::MisplacedSection {
+                line: 1,
+                found: "[delta] header".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn family_parser_rejects_duplicate_prefix_sections() {
+        // Both a back-to-back repeat and a [prefix] reopened after deltas.
+        assert_eq!(
+            family_from_text("[prefix]\n[prefix]\n"),
+            Err(DbError::DuplicateSection {
+                line: 2,
+                section: "prefix".to_owned()
+            })
+        );
+        assert_eq!(
+            family_from_text("[prefix]\nR a b\n[delta]\n[prefix]\n"),
+            Err(DbError::DuplicateSection {
+                line: 4,
+                section: "prefix".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn family_parser_rejects_unknown_sections() {
+        assert_eq!(
+            family_from_text("[prefix]\n[snapshot]\n"),
+            Err(DbError::UnknownSection {
+                line: 2,
+                section: "snapshot".to_owned()
+            })
+        );
+        // Even before the prefix, an unknown header is reported as such.
+        assert_eq!(
+            family_from_text("[snapshot]\n"),
+            Err(DbError::UnknownSection {
+                line: 1,
+                section: "snapshot".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn family_parser_rejects_inconsistent_arities() {
+        assert_eq!(
+            family_from_text("[prefix]\nR a\n"),
+            Err(DbError::ArityMismatch { line: 2, found: 2 })
+        );
+        assert_eq!(
+            family_from_text("[prefix]\nR a b\n[delta]\nR a b c\n"),
+            Err(DbError::ArityMismatch { line: 4, found: 4 })
+        );
+    }
+
+    #[test]
+    fn family_parser_requires_a_prefix_section() {
+        // An empty (or comments-only) payload is not an empty family — it
+        // is not a family at all, and a wire boundary must reject it.
+        assert_eq!(
+            family_from_text(""),
+            Err(DbError::MissingSection {
+                section: "prefix".to_owned()
+            })
+        );
+        assert_eq!(
+            family_from_text("# nothing here\n\n"),
+            Err(DbError::MissingSection {
+                section: "prefix".to_owned()
+            })
+        );
+        // An empty prefix *section* is still a family.
+        assert!(family_from_text("[prefix]\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn prefix_only_families_parse_to_zero_requests() {
         let empty = family_from_text("[prefix]\nR a b\n").unwrap();
         assert!(empty.is_empty());
         assert_eq!(empty.prefix().len(), 1);

@@ -15,6 +15,44 @@ pub enum DbError {
     PathLimitExceeded(usize),
     /// A textual instance encoding could not be parsed.
     ParseError(String),
+    /// A sectioned family encoding repeated a section that may appear only
+    /// once (the `[prefix]` header).
+    DuplicateSection {
+        /// 1-based line number of the repeated header.
+        line: usize,
+        /// The repeated section name (without brackets).
+        section: String,
+    },
+    /// A sectioned family encoding placed a header or fact where the format
+    /// does not allow it (a `[delta]` header or fact before `[prefix]`).
+    MisplacedSection {
+        /// 1-based line number of the misplaced line.
+        line: usize,
+        /// What was found there.
+        found: String,
+    },
+    /// A sectioned family encoding never opened a required section (a
+    /// family without a `[prefix]` header is not a family, even if empty).
+    MissingSection {
+        /// The absent section name (without brackets).
+        section: String,
+    },
+    /// A sectioned family encoding used a section header this format does
+    /// not define (anything other than `[prefix]` / `[delta]`).
+    UnknownSection {
+        /// 1-based line number of the unknown header.
+        line: usize,
+        /// The unknown section name (without brackets).
+        section: String,
+    },
+    /// A fact line carried the wrong number of fields (every fact is the
+    /// binary `REL KEY VALUE`).
+    ArityMismatch {
+        /// 1-based line number of the offending fact.
+        line: usize,
+        /// Number of whitespace-separated fields found.
+        found: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -27,6 +65,24 @@ impl fmt::Display for DbError {
                 write!(f, "path enumeration exceeded the limit of {limit} paths")
             }
             DbError::ParseError(msg) => write!(f, "parse error: {msg}"),
+            DbError::DuplicateSection { line, section } => {
+                write!(f, "line {line}: duplicate [{section}] section")
+            }
+            DbError::MisplacedSection { line, found } => {
+                write!(f, "line {line}: {found} before the [prefix] header")
+            }
+            DbError::MissingSection { section } => {
+                write!(f, "missing [{section}] section")
+            }
+            DbError::UnknownSection { line, section } => {
+                write!(f, "line {line}: unknown section [{section}]")
+            }
+            DbError::ArityMismatch { line, found } => {
+                write!(
+                    f,
+                    "line {line}: expected the 3 fields of `REL KEY VALUE`, found {found}"
+                )
+            }
         }
     }
 }

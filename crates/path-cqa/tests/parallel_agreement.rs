@@ -92,7 +92,7 @@ fn certain_batch_bitmaps_are_byte_identical_across_thread_counts() {
             CertaintySession::with_options(NlBackend::Datalog, EvalOptions::with_threads(threads));
         let answers = session.certain_batch(&requests);
         assert_eq!(
-            session.queries_prepared(),
+            session.stats().queries_prepared,
             4,
             "each distinct query prepared exactly once at {threads} threads"
         );

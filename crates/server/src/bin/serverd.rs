@@ -1,0 +1,62 @@
+//! `cqa-serverd` — the multi-tenant certain-answer serving daemon.
+//!
+//! ```text
+//! cqa-serverd [--addr HOST:PORT] [--workers N] [--max-tenants N] [--max-facts N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7464`), prints the resolved
+//! address and serves until killed. See `crates/server/README.md` for the
+//! wire protocol.
+
+use cqa_server::server::{start, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cqa-serverd [--addr HOST:PORT] [--workers N] [--max-tenants N] [--max-facts N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7464".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--workers" => match value.parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--max-tenants" => match value.parse() {
+                Ok(n) if n > 0 => config.limits.max_tenants = n,
+                _ => usage(),
+            },
+            "--max-facts" => match value.parse() {
+                Ok(n) if n > 0 => config.limits.max_facts = n,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let limits = config.limits;
+    let workers = config.workers;
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cqa-serverd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "cqa-serverd listening on {} ({} workers, caps: {} tenants / {} facts)",
+        handle.addr(),
+        workers,
+        limits.max_tenants,
+        limits.max_facts
+    );
+    handle.wait();
+}

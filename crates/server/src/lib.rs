@@ -1,0 +1,46 @@
+//! # cqa-server
+//!
+//! The multi-tenant serving layer over the CQA stack: a std-only TCP server
+//! (`cqa-serverd`) that keeps hot tenants' instance families *resident* —
+//! each with a frozen, `Arc`-shared copy-on-write base store built once per
+//! `LOAD` — and answers certain-answer queries over a line-framed text
+//! protocol.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`proto`] — the wire protocol: `LOAD` (length-framed family text in
+//!   the [`cqa_db::codec`] sectioned format), `QUERY`, `BATCH`, `STATS`,
+//!   `EVICT`, `QUIT`; single-line `OK`/`ERR` replies with typed error
+//!   codes.
+//! * [`registry`] — the residency cache: tenant → family + base store,
+//!   LRU-by-generation eviction under tenant-count and fact caps, and the
+//!   counters `STATS` reports (including cumulative base index builds, the
+//!   "built exactly once per residency" pin).
+//! * [`server`] — the dispatch loop: per-connection reader threads feed a
+//!   shared condvar queue drained by parked workers, which answer through
+//!   one warm [`cqa_solver::session::CertaintySession`] via
+//!   `certain_batch_family_resident` on the resident base. Answers are
+//!   byte-identical to a fresh in-process
+//!   [`cqa_solver::dispatch::DispatchSolver`] — pinned by the loopback
+//!   integration tests.
+//! * [`client`] — a typed blocking client, used by the tests and the
+//!   `server_throughput` bench driver.
+//!
+//! The protocol spec and a "run the server" walkthrough live in this
+//! crate's `README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::client::{Client, ClientError, LoadSummary};
+    pub use crate::proto::{Command, ErrorCode, Reply, WireError};
+    pub use crate::registry::{RegistryStats, ResidencyLimits, TenantRegistry, TenantStats};
+    pub use crate::server::{start, ServerConfig, ServerHandle};
+}

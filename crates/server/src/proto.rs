@@ -1,0 +1,443 @@
+//! The wire protocol: line-framed text commands with one length-framed
+//! payload (`LOAD`'s family text) and single-line typed replies.
+//!
+//! Commands (one per line, fields separated by single spaces):
+//!
+//! | command                            | meaning                                              |
+//! |------------------------------------|------------------------------------------------------|
+//! | `LOAD <tenant> <nbytes>` + payload | load the tenant's instance family (sectioned codec)  |
+//! | `QUERY <tenant> <word>`            | decide `word` against every request of the family    |
+//! | `BATCH <tenant> <ids> <word>`      | decide `word` against the comma-separated request ids|
+//! | `STATS`                            | server-wide registry + session counters              |
+//! | `STATS <tenant>`                   | one resident tenant's counters                       |
+//! | `EVICT <tenant>`                   | drop the tenant's resident base                      |
+//! | `QUIT`                             | close the connection                                 |
+//!
+//! Replies are a single line: `OK <payload>` on success or
+//! `ERR <code> <message>` with a machine-readable [`ErrorCode`]. Answer
+//! bitmaps are rendered as a `0`/`1` string in request order (`-` for an
+//! empty bitmap, so the reply always has a payload field).
+
+use std::fmt;
+
+/// Maximum accepted `LOAD` payload, a guard against absurd length headers.
+pub const MAX_LOAD_BYTES: usize = 64 << 20;
+
+/// Maximum accepted command-line length in bytes (a connection streaming
+/// newline-free bytes must not grow server buffers without bound; `BATCH`
+/// id lists fit comfortably).
+pub const MAX_COMMAND_LINE: usize = 8 << 10;
+
+/// Maximum accepted tenant-name length.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// A parsed client command. `LOAD`'s family text travels out of band (the
+/// connection reads `bytes` of payload after the command line), so the
+/// variant only carries the length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `LOAD <tenant> <nbytes>`: load (or replace) a tenant's family.
+    Load {
+        /// Target tenant.
+        tenant: String,
+        /// Length of the family-text payload that follows the command line.
+        bytes: usize,
+    },
+    /// `QUERY <tenant> <word>`: decide the query against every request.
+    Query {
+        /// Target tenant.
+        tenant: String,
+        /// The path-query word.
+        word: String,
+    },
+    /// `BATCH <tenant> <ids> <word>`: decide the query against a subset of
+    /// requests, in the given order.
+    Batch {
+        /// Target tenant.
+        tenant: String,
+        /// Request indexes into the tenant's family, in reply order.
+        requests: Vec<usize>,
+        /// The path-query word.
+        word: String,
+    },
+    /// `STATS` / `STATS <tenant>`: counters, server-wide or per tenant.
+    Stats {
+        /// `Some` restricts the report to one resident tenant.
+        tenant: Option<String>,
+    },
+    /// `EVICT <tenant>`: drop the tenant's resident base.
+    Evict {
+        /// Target tenant.
+        tenant: String,
+    },
+    /// `QUIT`: close the connection.
+    Quit,
+}
+
+/// Machine-readable error classes carried by `ERR` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The command line itself was malformed (unknown verb, bad arity,
+    /// invalid tenant name or length field).
+    BadCommand,
+    /// A `LOAD` payload was not valid family text (the codec's typed
+    /// rejection, relayed).
+    BadPayload,
+    /// A query word failed to parse.
+    BadQuery,
+    /// The addressed tenant is not resident (never loaded, or evicted).
+    NotLoaded,
+    /// A `BATCH` request index is outside the tenant's family.
+    BadRequestId,
+    /// The solver failed on an otherwise well-formed request.
+    Solver,
+}
+
+impl ErrorCode {
+    /// The stable wire token of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadCommand => "bad-command",
+            ErrorCode::BadPayload => "bad-payload",
+            ErrorCode::BadQuery => "bad-query",
+            ErrorCode::NotLoaded => "not-loaded",
+            ErrorCode::BadRequestId => "bad-request-id",
+            ErrorCode::Solver => "solver",
+        }
+    }
+
+    /// Parses a wire token back into a code.
+    pub fn parse(token: &str) -> Option<ErrorCode> {
+        Some(match token {
+            "bad-command" => ErrorCode::BadCommand,
+            "bad-payload" => ErrorCode::BadPayload,
+            "bad-query" => ErrorCode::BadQuery,
+            "not-loaded" => ErrorCode::NotLoaded,
+            "bad-request-id" => ErrorCode::BadRequestId,
+            "solver" => ErrorCode::Solver,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed error reply: code plus human-readable message. Both halves cross
+/// the wire (`ERR <code> <message>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The machine-readable class.
+    pub code: ErrorCode,
+    /// Human-readable detail (single line).
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error reply, flattening the message to one line.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        let mut message = message.into();
+        if message.contains('\n') {
+            message = message.replace('\n', " ");
+        }
+        WireError { code, message }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A server reply, rendered as a single `OK …` / `ERR …` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `LOAD` succeeded.
+    Loaded {
+        /// The loaded tenant.
+        tenant: String,
+        /// Number of requests (deltas) in the family.
+        requests: usize,
+        /// Facts in the shared prefix.
+        prefix_facts: usize,
+        /// Tenants the residency cap pushed out to make room.
+        evicted: usize,
+    },
+    /// `QUERY` / `BATCH` answers, in request order.
+    Answers(Vec<bool>),
+    /// `STATS` counters as `key=value` pairs, in the server's order.
+    Stats(Vec<(String, String)>),
+    /// `EVICT` succeeded.
+    Evicted {
+        /// The evicted tenant.
+        tenant: String,
+    },
+    /// `QUIT` acknowledged; the server closes the connection next.
+    Bye,
+    /// Any failure, with a typed code.
+    Err(WireError),
+}
+
+impl Reply {
+    /// Renders the reply as its wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Reply::Loaded {
+                tenant,
+                requests,
+                prefix_facts,
+                evicted,
+            } => format!(
+                "OK LOADED tenant={tenant} requests={requests} prefix_facts={prefix_facts} evicted={evicted}"
+            ),
+            Reply::Answers(bits) => {
+                if bits.is_empty() {
+                    "OK ANSWERS -".to_owned()
+                } else {
+                    let rendered: String =
+                        bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                    format!("OK ANSWERS {rendered}")
+                }
+            }
+            Reply::Stats(pairs) => {
+                let mut line = String::from("OK STATS");
+                for (k, v) in pairs {
+                    line.push(' ');
+                    line.push_str(k);
+                    line.push('=');
+                    line.push_str(v);
+                }
+                line
+            }
+            Reply::Evicted { tenant } => format!("OK EVICTED tenant={tenant}"),
+            Reply::Bye => "OK BYE".to_owned(),
+            Reply::Err(e) => format!("ERR {} {}", e.code, e.message),
+        }
+    }
+}
+
+/// True iff `name` is a legal tenant name: 1–64 characters drawn from
+/// ASCII alphanumerics, `_`, `-` and `.` (no whitespace, so names never
+/// collide with the line framing).
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT_LEN
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+fn checked_tenant(token: &str) -> Result<String, WireError> {
+    if valid_tenant_name(token) {
+        Ok(token.to_owned())
+    } else {
+        Err(WireError::new(
+            ErrorCode::BadCommand,
+            format!("invalid tenant name {token:?}"),
+        ))
+    }
+}
+
+fn bad_arity(verb: &str, expected: &str) -> WireError {
+    WireError::new(ErrorCode::BadCommand, format!("{verb} expects {expected}"))
+}
+
+/// Parses one command line (without its trailing newline). `LOAD` payload
+/// bytes are *not* consumed here — the connection reads them after this
+/// returns.
+pub fn parse_command(line: &str) -> Result<Command, WireError> {
+    let mut fields = line.split_whitespace();
+    let verb = fields
+        .next()
+        .ok_or_else(|| WireError::new(ErrorCode::BadCommand, "empty command line"))?;
+    let rest: Vec<&str> = fields.collect();
+    match verb {
+        "LOAD" => {
+            let [tenant, bytes] = rest[..] else {
+                return Err(bad_arity("LOAD", "<tenant> <nbytes>"));
+            };
+            let bytes: usize = bytes.parse().map_err(|_| {
+                WireError::new(ErrorCode::BadCommand, format!("bad LOAD length {bytes:?}"))
+            })?;
+            if bytes > MAX_LOAD_BYTES {
+                return Err(WireError::new(
+                    ErrorCode::BadCommand,
+                    format!("LOAD length {bytes} exceeds the {MAX_LOAD_BYTES}-byte cap"),
+                ));
+            }
+            Ok(Command::Load {
+                tenant: checked_tenant(tenant)?,
+                bytes,
+            })
+        }
+        "QUERY" => {
+            let [tenant, word] = rest[..] else {
+                return Err(bad_arity("QUERY", "<tenant> <query-word>"));
+            };
+            Ok(Command::Query {
+                tenant: checked_tenant(tenant)?,
+                word: word.to_owned(),
+            })
+        }
+        "BATCH" => {
+            let [tenant, ids, word] = rest[..] else {
+                return Err(bad_arity("BATCH", "<tenant> <id,id,…> <query-word>"));
+            };
+            let requests = ids
+                .split(',')
+                .map(|id| id.parse::<usize>())
+                .collect::<Result<Vec<usize>, _>>()
+                .map_err(|_| {
+                    WireError::new(
+                        ErrorCode::BadCommand,
+                        format!("bad BATCH request ids {ids:?}"),
+                    )
+                })?;
+            Ok(Command::Batch {
+                tenant: checked_tenant(tenant)?,
+                requests,
+                word: word.to_owned(),
+            })
+        }
+        "STATS" => match rest[..] {
+            [] => Ok(Command::Stats { tenant: None }),
+            [tenant] => Ok(Command::Stats {
+                tenant: Some(checked_tenant(tenant)?),
+            }),
+            _ => Err(bad_arity("STATS", "no argument or <tenant>")),
+        },
+        "EVICT" => {
+            let [tenant] = rest[..] else {
+                return Err(bad_arity("EVICT", "<tenant>"));
+            };
+            Ok(Command::Evict {
+                tenant: checked_tenant(tenant)?,
+            })
+        }
+        "QUIT" => {
+            if rest.is_empty() {
+                Ok(Command::Quit)
+            } else {
+                Err(bad_arity("QUIT", "no arguments"))
+            }
+        }
+        other => Err(WireError::new(
+            ErrorCode::BadCommand,
+            format!("unknown command {other:?}"),
+        )),
+    }
+}
+
+/// Parses a reply line into `Ok(payload)` for `OK` replies or the typed
+/// [`WireError`] for `ERR` replies. The client builds its typed results on
+/// top of the payload.
+pub fn parse_reply(line: &str) -> Result<String, WireError> {
+    if let Some(payload) = line.strip_prefix("OK ") {
+        return Ok(payload.to_owned());
+    }
+    if let Some(err) = line.strip_prefix("ERR ") {
+        let (code, message) = err.split_once(' ').unwrap_or((err, ""));
+        let code = ErrorCode::parse(code).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadCommand,
+                format!("unknown error code in reply {line:?}"),
+            )
+        })?;
+        return Err(WireError::new(code, message));
+    }
+    Err(WireError::new(
+        ErrorCode::BadCommand,
+        format!("malformed reply line {line:?}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_parse_and_reject() {
+        assert_eq!(
+            parse_command("LOAD t1 42").unwrap(),
+            Command::Load {
+                tenant: "t1".into(),
+                bytes: 42
+            }
+        );
+        assert_eq!(
+            parse_command("BATCH t1 3,1,4 RRX").unwrap(),
+            Command::Batch {
+                tenant: "t1".into(),
+                requests: vec![3, 1, 4],
+                word: "RRX".into()
+            }
+        );
+        assert_eq!(
+            parse_command("STATS").unwrap(),
+            Command::Stats { tenant: None }
+        );
+        assert_eq!(parse_command("QUIT").unwrap(), Command::Quit);
+        for bad in [
+            "",
+            "NOPE",
+            "LOAD t1",
+            "LOAD t1 x",
+            "LOAD bad name 3",
+            "QUERY t1",
+            "BATCH t1 1,x RRX",
+            "QUIT now",
+            "LOAD t1 99999999999",
+        ] {
+            let err = parse_command(bad).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadCommand, "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        assert!(valid_tenant_name("tenant-1.prod_x"));
+        assert!(!valid_tenant_name(""));
+        assert!(!valid_tenant_name("has space"));
+        assert!(!valid_tenant_name(&"x".repeat(MAX_TENANT_LEN + 1)));
+    }
+
+    #[test]
+    fn replies_render_and_parse_back() {
+        assert_eq!(
+            Reply::Answers(vec![true, false, true]).render(),
+            "OK ANSWERS 101"
+        );
+        assert_eq!(Reply::Answers(vec![]).render(), "OK ANSWERS -");
+        assert_eq!(
+            parse_reply("OK ANSWERS 101").unwrap(),
+            "ANSWERS 101".to_owned()
+        );
+        let err = parse_reply("ERR not-loaded tenant \"x\" is not resident").unwrap_err();
+        assert_eq!(err.code, ErrorCode::NotLoaded);
+        assert!(err.message.contains("not resident"));
+        assert!(parse_reply("GARBAGE").is_err());
+        // Every code round-trips through its wire token.
+        for code in [
+            ErrorCode::BadCommand,
+            ErrorCode::BadPayload,
+            ErrorCode::BadQuery,
+            ErrorCode::NotLoaded,
+            ErrorCode::BadRequestId,
+            ErrorCode::Solver,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+    }
+
+    #[test]
+    fn wire_errors_flatten_newlines() {
+        let e = WireError::new(ErrorCode::BadPayload, "line 1\nline 2");
+        assert!(!e.message.contains('\n'));
+    }
+}

@@ -1,0 +1,368 @@
+//! The tenant registry: which instance families are resident, each with a
+//! frozen copy-on-write base store, plus the counters the `STATS` command
+//! and the eviction policy read.
+//!
+//! A *resident* tenant is an [`InstanceFamily`] whose shared prefix has been
+//! loaded and frozen into an `Arc<BaseStore>` exactly once (at `LOAD` time).
+//! Every connection and worker that serves the tenant shares that base, so
+//! the prefix's committed probe indexes are built at most once per residency
+//! — [`cqa_datalog::store::BaseStore::index_builds`] is the ground truth the
+//! loopback tests pin. Eviction is least-recently-used over a generation
+//! counter bumped on every lookup, bounded by both a tenant-count and a
+//! total-fact cap; evicted tenants' index-build counts are retired into a
+//! cumulative total so "rebuilt exactly once after re-`LOAD`" stays
+//! observable.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use cqa_datalog::store::{edb_base_from_instance, BaseStore};
+use cqa_db::family::InstanceFamily;
+
+/// Residency caps. A `LOAD` that would exceed either cap evicts
+/// least-recently-used tenants first (never the tenant being loaded, so one
+/// oversized family can still be served — it just monopolizes the cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencyLimits {
+    /// Maximum number of resident tenants.
+    pub max_tenants: usize,
+    /// Maximum total facts (prefix + deltas) across resident tenants.
+    pub max_facts: usize,
+}
+
+impl Default for ResidencyLimits {
+    fn default() -> ResidencyLimits {
+        ResidencyLimits {
+            max_tenants: 64,
+            max_facts: 8 << 20,
+        }
+    }
+}
+
+/// One resident tenant's immutable data, shared by reference with every
+/// worker currently serving it (eviction drops the registry's `Arc`;
+/// in-flight requests keep theirs until they finish).
+#[derive(Debug)]
+pub struct TenantData {
+    /// The tenant's name.
+    pub name: String,
+    /// The family as loaded.
+    pub family: InstanceFamily,
+    /// The frozen base store of the family's prefix, built once per load.
+    pub base: Arc<BaseStore>,
+    /// Total facts across prefix and deltas (the eviction size).
+    pub facts: usize,
+}
+
+#[derive(Debug)]
+struct Resident {
+    data: Arc<TenantData>,
+    last_used: u64,
+    served: u64,
+}
+
+/// Registry-wide counters, as reported by `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Tenants currently resident.
+    pub residents: usize,
+    /// Total facts across resident tenants.
+    pub resident_facts: usize,
+    /// `LOAD`s performed (including replacements of a resident tenant).
+    pub loads: u64,
+    /// Tenants dropped, by cap pressure or explicit `EVICT`.
+    pub evictions: u64,
+    /// Lookups that found their tenant resident.
+    pub hits: u64,
+    /// Lookups that missed (not loaded, or evicted).
+    pub misses: u64,
+    /// Committed base probe indexes built across *all* bases this registry
+    /// ever held (evicted bases' builds are retired into the total). For a
+    /// fixed query mix this grows exactly once per residency — the
+    /// builds-once invariant the loopback tests pin.
+    pub base_index_builds: u64,
+}
+
+/// One tenant's counters, as reported by `STATS <tenant>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's name.
+    pub tenant: String,
+    /// Requests (deltas) in the resident family.
+    pub requests: usize,
+    /// Facts in the shared prefix.
+    pub prefix_facts: usize,
+    /// Total facts (prefix + deltas).
+    pub facts: usize,
+    /// Committed probe indexes built on this residency's base so far.
+    pub base_index_builds: u64,
+    /// Commands served against this residency (lookups that hit it).
+    pub served: u64,
+}
+
+/// Outcome of a `LOAD`: what became resident and what was pushed out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Requests (deltas) in the loaded family.
+    pub requests: usize,
+    /// Facts in the loaded family's prefix.
+    pub prefix_facts: usize,
+    /// Names of tenants evicted to make room, oldest first.
+    pub evicted: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    residents: HashMap<String, Resident>,
+    clock: u64,
+    loads: u64,
+    evictions: u64,
+    hits: u64,
+    misses: u64,
+    /// Index builds of bases no longer resident.
+    retired_builds: u64,
+}
+
+impl Inner {
+    fn retire(&mut self, resident: Resident) {
+        self.retired_builds += resident.data.base.index_builds();
+        self.evictions += 1;
+    }
+
+    fn total_facts(&self) -> usize {
+        self.residents.values().map(|r| r.data.facts).sum()
+    }
+
+    /// Evicts least-recently-used tenants (never `keep`) until both caps
+    /// hold.
+    fn enforce(&mut self, limits: &ResidencyLimits, keep: &str, evicted: &mut Vec<String>) {
+        while self.residents.len() > limits.max_tenants || self.total_facts() > limits.max_facts {
+            let victim = self
+                .residents
+                .iter()
+                .filter(|(name, _)| name.as_str() != keep)
+                .min_by_key(|(_, r)| r.last_used)
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else {
+                break; // only `keep` is left; an oversized tenant stays
+            };
+            let resident = self.residents.remove(&victim).expect("victim resident");
+            self.retire(resident);
+            evicted.push(victim);
+        }
+    }
+}
+
+/// The residency cache: tenant name → frozen base + family, with LRU
+/// eviction and the counters behind `STATS`. All methods are `&self`; a
+/// single mutex guards the map (lookups are cheap — the expensive work, base
+/// construction, happens outside any serving hot path, at `LOAD`).
+#[derive(Debug)]
+pub struct TenantRegistry {
+    inner: Mutex<Inner>,
+    limits: ResidencyLimits,
+}
+
+impl TenantRegistry {
+    /// Creates an empty registry with the given caps.
+    pub fn new(limits: ResidencyLimits) -> TenantRegistry {
+        TenantRegistry {
+            inner: Mutex::new(Inner::default()),
+            limits,
+        }
+    }
+
+    /// The registry's caps.
+    pub fn limits(&self) -> ResidencyLimits {
+        self.limits
+    }
+
+    /// Makes a tenant resident: freezes the family's prefix into a base
+    /// store (the one O(prefix) cost of the residency), replaces any
+    /// previous residency of the same name, and evicts LRU tenants past the
+    /// caps.
+    pub fn load(&self, name: &str, family: InstanceFamily) -> LoadOutcome {
+        let prefix_facts = family.prefix().len();
+        let requests = family.len();
+        let facts = prefix_facts + family.deltas().iter().map(|d| d.len()).sum::<usize>();
+        // Build the base outside the lock: freezing is pure construction,
+        // and serving traffic should not stall behind it.
+        let base = edb_base_from_instance(family.prefix());
+        let data = Arc::new(TenantData {
+            name: name.to_owned(),
+            family,
+            base,
+            facts,
+        });
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        inner.loads += 1;
+        let resident = Resident {
+            data,
+            last_used: inner.clock,
+            served: 0,
+        };
+        if let Some(previous) = inner.residents.insert(name.to_owned(), resident) {
+            inner.retire(previous);
+        }
+        let mut evicted = Vec::new();
+        inner.enforce(&self.limits, name, &mut evicted);
+        LoadOutcome {
+            requests,
+            prefix_facts,
+            evicted,
+        }
+    }
+
+    /// Looks a tenant up, bumping its LRU generation and served count. The
+    /// returned `Arc` stays valid even if the tenant is evicted while the
+    /// caller is still serving it.
+    pub fn get(&self, name: &str) -> Option<Arc<TenantData>> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.residents.get_mut(name) {
+            Some(resident) => {
+                resident.last_used = clock;
+                resident.served += 1;
+                let data = Arc::clone(&resident.data);
+                inner.hits += 1;
+                Some(data)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Explicitly drops a tenant's residency. Returns `false` if it was not
+    /// resident.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().expect("registry lock");
+        match inner.residents.remove(name) {
+            Some(resident) => {
+                inner.retire(resident);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A snapshot of the registry-wide counters.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry lock");
+        let live_builds: u64 = inner
+            .residents
+            .values()
+            .map(|r| r.data.base.index_builds())
+            .sum();
+        RegistryStats {
+            residents: inner.residents.len(),
+            resident_facts: inner.total_facts(),
+            loads: inner.loads,
+            evictions: inner.evictions,
+            hits: inner.hits,
+            misses: inner.misses,
+            base_index_builds: inner.retired_builds + live_builds,
+        }
+    }
+
+    /// A snapshot of one resident tenant's counters, without touching its
+    /// LRU position (observability must not keep a tenant warm).
+    pub fn tenant_stats(&self, name: &str) -> Option<TenantStats> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner.residents.get(name).map(|resident| TenantStats {
+            tenant: name.to_owned(),
+            requests: resident.data.family.len(),
+            prefix_facts: resident.data.family.prefix().len(),
+            facts: resident.data.facts,
+            base_index_builds: resident.data.base.index_builds(),
+            served: resident.served,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_db::instance::DatabaseInstance;
+
+    fn family(facts: usize, tag: &str) -> InstanceFamily {
+        let mut prefix = DatabaseInstance::new();
+        for i in 0..facts {
+            prefix.insert_parsed("R", &format!("{tag}{i}"), &format!("{tag}{}", i + 1));
+        }
+        let mut delta = DatabaseInstance::new();
+        delta.insert_parsed("R", &format!("{tag}d"), &format!("{tag}e"));
+        InstanceFamily::with_deltas(prefix, vec![delta])
+    }
+
+    #[test]
+    fn load_get_evict_round_trip() {
+        let registry = TenantRegistry::new(ResidencyLimits::default());
+        let outcome = registry.load("a", family(3, "a"));
+        assert_eq!(outcome.requests, 1);
+        assert_eq!(outcome.prefix_facts, 3);
+        assert!(outcome.evicted.is_empty());
+        let data = registry.get("a").expect("resident");
+        assert_eq!(data.name, "a");
+        assert_eq!(data.facts, 4);
+        assert!(registry.get("b").is_none());
+        assert!(registry.evict("a"));
+        assert!(!registry.evict("a"));
+        let stats = registry.stats();
+        assert_eq!(stats.residents, 0);
+        assert_eq!((stats.loads, stats.evictions), (1, 1));
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_tenant_cap_and_recency() {
+        let registry = TenantRegistry::new(ResidencyLimits {
+            max_tenants: 2,
+            max_facts: usize::MAX,
+        });
+        registry.load("a", family(2, "a"));
+        registry.load("b", family(2, "b"));
+        registry.get("a"); // b is now least recently used
+        let outcome = registry.load("c", family(2, "c"));
+        assert_eq!(outcome.evicted, vec!["b".to_owned()]);
+        assert!(registry.get("b").is_none());
+        assert!(registry.get("a").is_some());
+        assert!(registry.get("c").is_some());
+    }
+
+    #[test]
+    fn fact_cap_evicts_but_never_the_loaded_tenant() {
+        let registry = TenantRegistry::new(ResidencyLimits {
+            max_tenants: 8,
+            max_facts: 10,
+        });
+        registry.load("small", family(4, "s"));
+        // 21 facts > 10: "small" goes, and the oversized family itself stays.
+        let outcome = registry.load("big", family(20, "b"));
+        assert_eq!(outcome.evicted, vec!["small".to_owned()]);
+        assert!(registry.get("big").is_some());
+        assert_eq!(registry.stats().residents, 1);
+    }
+
+    #[test]
+    fn reloads_replace_and_retire_the_previous_base() {
+        let registry = TenantRegistry::new(ResidencyLimits::default());
+        registry.load("a", family(2, "a"));
+        let first = registry.get("a").unwrap();
+        registry.load("a", family(2, "a2"));
+        let second = registry.get("a").unwrap();
+        assert!(
+            !Arc::ptr_eq(&first, &second),
+            "reload must rebuild the base"
+        );
+        // Replacing a residency counts as an eviction of the old base (its
+        // index builds are retired into the cumulative total — the loopback
+        // tests exercise that path with real queries).
+        assert_eq!(registry.stats().evictions, 1);
+        assert_eq!(registry.tenant_stats("a").unwrap().prefix_facts, 2);
+        assert!(registry.tenant_stats("gone").is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! The serving loop: a TCP listener whose per-connection reader threads
+//! feed one shared work queue, drained by parked worker threads that answer
+//! through a warm [`CertaintySession`] against the registry's resident
+//! bases.
+//!
+//! Concurrency shape (one level of parallelism at a time, like the rest of
+//! the workspace): connections are cheap reader threads that block on the
+//! socket, parse one command, enqueue it and wait for its reply — so one
+//! slow tenant never wedges the listener. The `workers` threads park on a
+//! condvar, pop commands in arrival order and run the solver with
+//! *sequential* engine options; cross-request parallelism comes from having
+//! several workers, not from nesting thread scopes. Replies travel back on a
+//! per-command channel, which keeps each connection's request/reply order
+//! trivially correct.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use cqa_core::query::PathQuery;
+use cqa_datalog::parallel::EvalOptions;
+use cqa_solver::nl_solver::NlBackend;
+use cqa_solver::session::CertaintySession;
+
+use crate::proto::{parse_command, Command, ErrorCode, Reply, WireError, MAX_COMMAND_LINE};
+use crate::registry::{ResidencyLimits, TenantRegistry};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Worker threads draining the shared queue.
+    pub workers: usize,
+    /// Residency caps for the tenant registry.
+    pub limits: ResidencyLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            limits: ResidencyLimits::default(),
+        }
+    }
+}
+
+/// One queued command and the channel its reply goes back on.
+struct Job {
+    command: Command,
+    /// `LOAD`'s length-framed family text, already read off the socket.
+    payload: Option<String>,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// State shared by the listener, connections and workers.
+struct Shared {
+    registry: TenantRegistry,
+    session: CertaintySession,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+}
+
+/// A running server: join handles plus the shared state, with explicit
+/// [`ServerHandle::shutdown`] (also run on drop).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks the calling thread until the listener exits (it never does on
+    /// its own, so this is the daemon's "run forever").
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops accepting, drains the workers and joins every thread the
+    /// server owns. Connections still open see their socket close.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.available.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers drain every job enqueued before the stop flag, and readers
+        // refuse to enqueue after it — but clear stragglers anyway (dropping
+        // a job's reply sender unblocks its reader with the typed shutdown
+        // error) so no connection can hang on a logic change above.
+        self.shared.queue.lock().expect("queue lock").clear();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Starts a server: binds the address, spawns the worker pool and the
+/// accept loop, and returns immediately.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        registry: TenantRegistry::new(config.limits),
+        // One warm session serves every tenant: per-query artifacts
+        // (classification, compiled CQA programs, automata) are shared
+        // across tenants by construction — they depend only on the query.
+        // Engine runs stay sequential; parallelism is across commands.
+        session: CertaintySession::with_options(NlBackend::Datalog, EvalOptions::sequential()),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        stop: AtomicBool::new(false),
+    });
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Readers are detached: they exit when their client disconnects or
+        // when the worker pool shuts down under them (reply channel closes).
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &shared);
+        });
+    }
+}
+
+/// Reads commands off one connection, routes them through the shared queue
+/// and writes each reply before reading the next command — per-connection
+/// ordering is the socket's own.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    // Replies are small single-line frames written as one `write_all`; with
+    // Nagle's algorithm on, each request/reply turn would stall up to ~40ms
+    // against the peer's delayed ACK — disable it, this is a low-latency
+    // RPC socket, not a bulk stream.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let send = |writer: &mut TcpStream, reply: Reply| -> std::io::Result<()> {
+        let mut frame = reply.render();
+        frame.push('\n');
+        writer.write_all(frame.as_bytes())
+    };
+    loop {
+        line.clear();
+        // Cap the command line so a client streaming newline-free bytes
+        // cannot grow the buffer without bound.
+        let n = (&mut reader)
+            .take(MAX_COMMAND_LINE as u64 + 1)
+            .read_line(&mut line)?;
+        if n == 0 {
+            return Ok(()); // client disconnected
+        }
+        if n > MAX_COMMAND_LINE {
+            // Framing is lost (the rest of the overlong line would parse as
+            // commands): report and close.
+            let err = WireError::new(
+                ErrorCode::BadCommand,
+                format!("command line exceeds {MAX_COMMAND_LINE} bytes"),
+            );
+            return send(&mut writer, Reply::Err(err));
+        }
+        let command = match parse_command(line.trim_end_matches(['\r', '\n'])) {
+            Ok(command) => command,
+            Err(err) => {
+                send(&mut writer, Reply::Err(err))?;
+                // A malformed LOAD line may be followed by a payload whose
+                // length we never learned — framing cannot be trusted, so
+                // close. Any other malformed line leaves the connection
+                // usable.
+                if line.trim_start().starts_with("LOAD") {
+                    return Ok(());
+                }
+                continue;
+            }
+        };
+        let payload = match &command {
+            Command::Load { bytes, .. } => {
+                // Read in chunks so memory grows only as payload data
+                // actually arrives (a 20-byte header must not pin 64 MiB).
+                let mut buf = Vec::with_capacity((*bytes).min(64 << 10));
+                let mut remaining = *bytes;
+                while remaining > 0 {
+                    let chunk = remaining.min(64 << 10);
+                    let start = buf.len();
+                    buf.resize(start + chunk, 0);
+                    reader.read_exact(&mut buf[start..])?;
+                    remaining -= chunk;
+                }
+                match String::from_utf8(buf) {
+                    Ok(text) => Some(text),
+                    Err(_) => {
+                        let err =
+                            WireError::new(ErrorCode::BadPayload, "LOAD payload is not UTF-8");
+                        send(&mut writer, Reply::Err(err))?;
+                        continue;
+                    }
+                }
+            }
+            _ => None,
+        };
+        if matches!(command, Command::Quit) {
+            send(&mut writer, Reply::Bye)?;
+            return Ok(());
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            if shared.stop.load(Ordering::SeqCst) {
+                // The worker pool is (or is about to be) gone; nothing will
+                // ever pop this job.
+                drop(queue);
+                let err = WireError::new(ErrorCode::Solver, "server shutting down");
+                return send(&mut writer, Reply::Err(err));
+            }
+            queue.push_back(Job {
+                command,
+                payload,
+                reply: tx,
+            });
+        }
+        shared.available.notify_one();
+        // Wait for the worker's reply, but never past a shutdown: workers
+        // drain every job enqueued before the stop flag, so the periodic
+        // stop check only fires for jobs abandoned by a dying pool — reply
+        // with the typed error and close.
+        let reply = loop {
+            match rx.recv_timeout(std::time::Duration::from_millis(200)) {
+                Ok(reply) => break reply,
+                Err(mpsc::RecvTimeoutError::Timeout) if !shared.stop.load(Ordering::SeqCst) => {}
+                Err(_) => {
+                    let err = WireError::new(ErrorCode::Solver, "server shut down");
+                    return send(&mut writer, Reply::Err(err));
+                }
+            }
+        };
+        send(&mut writer, reply)?;
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("queue lock");
+            }
+        };
+        let reply = execute(shared, job.command, job.payload);
+        // A send failure just means the connection went away mid-command.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Executes one command against the registry and session. Every failure is
+/// a typed [`Reply::Err`]; this function never panics on client input.
+fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply {
+    match command {
+        Command::Load { tenant, .. } => {
+            let text = payload.unwrap_or_default();
+            match cqa_db::codec::family_from_text(&text) {
+                Ok(family) => {
+                    let outcome = shared.registry.load(&tenant, family);
+                    Reply::Loaded {
+                        tenant,
+                        requests: outcome.requests,
+                        prefix_facts: outcome.prefix_facts,
+                        evicted: outcome.evicted.len(),
+                    }
+                }
+                Err(e) => Reply::Err(WireError::new(ErrorCode::BadPayload, e.to_string())),
+            }
+        }
+        Command::Query { tenant, word } => answer(shared, &tenant, &word, None),
+        Command::Batch {
+            tenant,
+            requests,
+            word,
+        } => answer(shared, &tenant, &word, Some(requests)),
+        Command::Stats { tenant: None } => {
+            let registry = shared.registry.stats();
+            let session = shared.session.stats();
+            let pair = |k: &str, v: String| (k.to_owned(), v);
+            Reply::Stats(vec![
+                pair("residents", registry.residents.to_string()),
+                pair("resident_facts", registry.resident_facts.to_string()),
+                pair("loads", registry.loads.to_string()),
+                pair("evictions", registry.evictions.to_string()),
+                pair("tenant_hits", registry.hits.to_string()),
+                pair("tenant_misses", registry.misses.to_string()),
+                pair("base_index_builds", registry.base_index_builds.to_string()),
+                pair("plan_hits", session.cache_hits.to_string()),
+                pair("plan_misses", session.cache_misses.to_string()),
+                pair("queries_prepared", session.queries_prepared.to_string()),
+                pair("requests_decided", session.routes.total().to_string()),
+                pair("route_fo", session.routes.fo_rewriting.to_string()),
+                pair("route_nl_direct", session.routes.nl_direct.to_string()),
+                pair("route_nl_datalog", session.routes.nl_datalog.to_string()),
+                pair("route_ptime", session.routes.ptime_fixpoint.to_string()),
+                pair("route_conp", session.routes.conp_sat.to_string()),
+            ])
+        }
+        Command::Stats {
+            tenant: Some(tenant),
+        } => match shared.registry.tenant_stats(&tenant) {
+            Some(stats) => {
+                let pair = |k: &str, v: String| (k.to_owned(), v);
+                Reply::Stats(vec![
+                    pair("tenant", stats.tenant),
+                    pair("requests", stats.requests.to_string()),
+                    pair("prefix_facts", stats.prefix_facts.to_string()),
+                    pair("facts", stats.facts.to_string()),
+                    pair("base_index_builds", stats.base_index_builds.to_string()),
+                    pair("served", stats.served.to_string()),
+                ])
+            }
+            None => Reply::Err(WireError::new(
+                ErrorCode::NotLoaded,
+                format!("tenant {tenant:?} is not resident"),
+            )),
+        },
+        Command::Evict { tenant } => {
+            if shared.registry.evict(&tenant) {
+                Reply::Evicted { tenant }
+            } else {
+                Reply::Err(WireError::new(
+                    ErrorCode::NotLoaded,
+                    format!("tenant {tenant:?} is not resident"),
+                ))
+            }
+        }
+        // QUIT is handled on the connection; a queued one is a logic error
+        // upstream, not a client-visible state.
+        Command::Quit => Reply::Bye,
+    }
+}
+
+/// Serves `QUERY` (all requests) or `BATCH` (an explicit subset) against a
+/// resident tenant through the warm session and the tenant's resident base.
+fn answer(shared: &Shared, tenant: &str, word: &str, subset: Option<Vec<usize>>) -> Reply {
+    // Validate the query before touching the registry: a rejected command
+    // must not bump the tenant's LRU recency or served/hit counters.
+    // Serving policy: the wire speaks the paper's single-letter word syntax,
+    // so a query word is a nonempty ASCII-alphanumeric string (this also
+    // keeps arbitrary client bytes out of the interned symbol tables).
+    if word.is_empty() || !word.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Reply::Err(WireError::new(
+            ErrorCode::BadQuery,
+            format!("query word {word:?} must be ASCII alphanumeric"),
+        ));
+    }
+    let query = match PathQuery::parse(word) {
+        Ok(query) => query,
+        Err(e) => {
+            return Reply::Err(WireError::new(
+                ErrorCode::BadQuery,
+                format!("bad query word {word:?}: {e}"),
+            ))
+        }
+    };
+    let Some(data) = shared.registry.get(tenant) else {
+        return Reply::Err(WireError::new(
+            ErrorCode::NotLoaded,
+            format!("tenant {tenant:?} is not resident"),
+        ));
+    };
+    let requests: Vec<usize> = match subset {
+        Some(ids) => {
+            if let Some(&bad) = ids.iter().find(|&&id| id >= data.family.len()) {
+                return Reply::Err(WireError::new(
+                    ErrorCode::BadRequestId,
+                    format!(
+                        "request id {bad} out of range for tenant {tenant:?} ({} requests)",
+                        data.family.len()
+                    ),
+                ));
+            }
+            ids
+        }
+        None => (0..data.family.len()).collect(),
+    };
+    let answers =
+        shared
+            .session
+            .certain_batch_family_resident(&query, &data.family, &data.base, &requests);
+    let mut bits = Vec::with_capacity(answers.len());
+    for (slot, result) in answers.into_iter().enumerate() {
+        match result {
+            Ok(bit) => bits.push(bit),
+            Err(e) => {
+                return Reply::Err(WireError::new(
+                    ErrorCode::Solver,
+                    format!("request {} failed: {e}", requests[slot]),
+                ))
+            }
+        }
+    }
+    Reply::Answers(bits)
+}

@@ -1,0 +1,394 @@
+//! Loopback integration tests: a real server on 127.0.0.1, real sockets,
+//! and answers pinned byte-identical to the direct in-process path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cqa_core::query::PathQuery;
+use cqa_db::family::InstanceFamily;
+use cqa_server::client::Client;
+use cqa_server::proto::ErrorCode;
+use cqa_server::registry::ResidencyLimits;
+use cqa_server::server::{start, ServerConfig, ServerHandle};
+use cqa_solver::dispatch::DispatchSolver;
+use cqa_workloads::random::{shared_prefix_families, tenant_request_stream};
+
+/// The query words the streams draw from: NL-datalog (RRX, RXRY), FO
+/// (RXRX) and PTIME (RXRYRY) routes, so the wire path is exercised across
+/// the tetrachotomy, not just the copy-on-write fast path.
+const WORDS: [&str; 4] = ["RRX", "RXRY", "RXRX", "RXRYRY"];
+
+fn test_server(workers: usize) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        limits: ResidencyLimits::default(),
+    })
+    .expect("bind loopback")
+}
+
+/// A small per-tenant family over the RRX relation alphabet (every word in
+/// WORDS uses a subset of {R, X, Y}; the layered generator cycles whatever
+/// word it is given, so one family serves all four queries).
+fn tenant_family(tenant: usize) -> InstanceFamily {
+    let word = cqa_core::word::Word::from_letters("RXRYRY");
+    shared_prefix_families(&word, 12, 6, 0.25, 0xABBA + tenant as u64)
+}
+
+/// The direct, no-server answer: a fresh dispatcher deciding the same
+/// family through `certain_batch_family`.
+fn direct_answers(query: &PathQuery, family: &InstanceFamily) -> Vec<bool> {
+    DispatchSolver::with_datalog_nl()
+        .certain_batch_family(query, family)
+        .into_iter()
+        .map(|r| r.expect("direct path must not fail"))
+        .collect()
+}
+
+fn stat(stats: &BTreeMap<String, String>, key: &str) -> u64 {
+    stats
+        .get(key)
+        .unwrap_or_else(|| panic!("stats missing {key}: {stats:?}"))
+        .parse()
+        .expect("numeric stat")
+}
+
+#[test]
+fn mixed_tenant_stream_matches_direct_answers() {
+    let server = test_server(2);
+    let tenants = 3usize;
+    let families: Vec<InstanceFamily> = (0..tenants).map(tenant_family).collect();
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for (t, family) in families.iter().enumerate() {
+        let summary = client.load_family(&format!("t{t}"), family).expect("load");
+        assert_eq!(summary.requests, family.len());
+        assert_eq!(summary.prefix_facts, family.prefix().len());
+    }
+
+    // 120 requests across tenants and query words, hot/cold skewed. The
+    // direct-path oracle is computed once per (tenant, word) pair — the
+    // answers are deterministic, so every repeat must match the same bits.
+    let mut oracle: BTreeMap<(usize, String), Vec<bool>> = BTreeMap::new();
+    let stream = tenant_request_stream(tenants, &WORDS, 120, 1.0, 0x57EA);
+    assert!(stream.len() >= 100);
+    for (i, request) in stream.iter().enumerate() {
+        let word = request.query.word().to_string();
+        let got = client
+            .query(&format!("t{}", request.tenant), &word)
+            .expect("query");
+        let want = oracle
+            .entry((request.tenant, word.clone()))
+            .or_insert_with(|| direct_answers(&request.query, &families[request.tenant]));
+        assert_eq!(
+            &got, want,
+            "request {i}: tenant {} word {word} answers drifted from the direct path",
+            request.tenant
+        );
+    }
+
+    // BATCH subsets agree with the corresponding QUERY slice, including
+    // duplicates and permutations.
+    let q = PathQuery::parse("RRX").unwrap();
+    let full = direct_answers(&q, &families[1]);
+    let subset = [5usize, 0, 3, 3, 1];
+    let got = client.batch("t1", &subset, "RRX").expect("batch");
+    let want: Vec<bool> = subset.iter().map(|&i| full[i]).collect();
+    assert_eq!(got, want, "BATCH must answer the selected ids in order");
+
+    // Typed errors for the failure shapes a client can trigger.
+    let not_loaded = client.query("ghost", "RRX").unwrap_err();
+    match not_loaded {
+        cqa_server::client::ClientError::Server(e) => assert_eq!(e.code, ErrorCode::NotLoaded),
+        other => panic!("expected typed not-loaded, got {other}"),
+    }
+    let served_before = stat(&client.tenant_stats("t0").expect("stats"), "served");
+    let bad_query = client.query("t0", "R!X").unwrap_err();
+    match bad_query {
+        cqa_server::client::ClientError::Server(e) => assert_eq!(e.code, ErrorCode::BadQuery),
+        other => panic!("expected typed bad-query, got {other}"),
+    }
+    // A rejected query must not count as serving the tenant (or keep it
+    // warm in the LRU).
+    assert_eq!(
+        stat(&client.tenant_stats("t0").expect("stats"), "served"),
+        served_before
+    );
+    let bad_id = client.batch("t0", &[999], "RRX").unwrap_err();
+    match bad_id {
+        cqa_server::client::ClientError::Server(e) => assert_eq!(e.code, ErrorCode::BadRequestId),
+        other => panic!("expected typed bad-request-id, got {other}"),
+    }
+
+    client.quit().expect("clean quit");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_disjoint_tenants_answer_identically_and_build_bases_once() {
+    let server = test_server(4);
+    let tenants = 4usize;
+    let families: Vec<Arc<InstanceFamily>> =
+        (0..tenants).map(|t| Arc::new(tenant_family(t))).collect();
+
+    // Expected per-tenant index builds for this query mix, measured on a
+    // fresh in-process resident base (stats-pinned, not timing-pinned).
+    let expected_builds: Vec<u64> = families
+        .iter()
+        .map(|family| {
+            let session = cqa_solver::session::CertaintySession::with_datalog_nl();
+            let base = cqa_datalog::store::edb_base_from_instance(family.prefix());
+            let all: Vec<usize> = (0..family.len()).collect();
+            for word in WORDS {
+                let q = PathQuery::parse(word).unwrap();
+                for _ in 0..3 {
+                    session.certain_batch_family_resident(&q, family, &base, &all);
+                }
+            }
+            base.index_builds()
+        })
+        .collect();
+
+    {
+        let mut loader = Client::connect(server.addr()).expect("connect");
+        for (t, family) in families.iter().enumerate() {
+            loader.load_family(&format!("t{t}"), family).expect("load");
+        }
+        loader.quit().expect("quit");
+    }
+
+    // One client thread per tenant, each over its own connection, each
+    // hammering every word several times.
+    std::thread::scope(|scope| {
+        for (t, family) in families.iter().enumerate() {
+            let addr = server.addr();
+            let family = Arc::clone(family);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let wants: Vec<Vec<bool>> = WORDS
+                    .iter()
+                    .map(|word| direct_answers(&PathQuery::parse(word).unwrap(), &family))
+                    .collect();
+                for round in 0..3 {
+                    for (word, want) in WORDS.iter().zip(&wants) {
+                        let got = client.query(&format!("t{t}"), word).expect("query");
+                        assert_eq!(&got, want, "tenant {t} word {word} round {round}");
+                    }
+                }
+                client.quit().expect("quit");
+            });
+        }
+    });
+
+    // Despite 4 connections × 3 rounds × 4 words, each tenant's base built
+    // its probe indexes exactly as often as one fresh run — i.e. exactly
+    // once per (pred, mask) slot, never per connection or per query.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut total_builds = 0;
+    for (t, expected) in expected_builds.iter().enumerate() {
+        let stats = client.tenant_stats(&format!("t{t}")).expect("tenant stats");
+        assert_eq!(
+            stat(&stats, "base_index_builds"),
+            *expected,
+            "tenant {t} rebuilt its base indexes"
+        );
+        assert_eq!(stat(&stats, "requests"), families[t].len() as u64);
+        total_builds += expected;
+    }
+    let global = client.stats().expect("stats");
+    assert_eq!(stat(&global, "base_index_builds"), total_builds);
+    assert_eq!(stat(&global, "residents"), tenants as u64);
+    assert_eq!(stat(&global, "loads"), tenants as u64);
+    assert_eq!(stat(&global, "evictions"), 0);
+    // The session decided every wire request: 4 tenants × 3 rounds × 4
+    // words × 6 family requests, all through cached plans (4 misses).
+    assert_eq!(
+        stat(&global, "requests_decided"),
+        (tenants * 3 * WORDS.len() * 6) as u64
+    );
+    assert_eq!(stat(&global, "queries_prepared"), WORDS.len() as u64);
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn eviction_and_reload_rebuild_exactly_once_with_identical_answers() {
+    let server = test_server(2);
+    let family = tenant_family(7);
+    let q = PathQuery::parse("RRX").unwrap();
+    let want = direct_answers(&q, &family);
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.load_family("t", &family).expect("load");
+    assert_eq!(client.query("t", "RRX").expect("query"), want);
+    let builds_first = stat(
+        &client.tenant_stats("t").expect("stats"),
+        "base_index_builds",
+    );
+    assert!(builds_first > 0, "the datalog route must probe the base");
+    // Repeats do not grow the build count.
+    assert_eq!(client.query("t", "RRX").expect("query"), want);
+    assert_eq!(
+        stat(
+            &client.tenant_stats("t").expect("stats"),
+            "base_index_builds"
+        ),
+        builds_first
+    );
+
+    // Explicit eviction: the tenant is gone, and its builds are retired
+    // into the cumulative registry total.
+    client.evict("t").expect("evict");
+    match client.query("t", "RRX").unwrap_err() {
+        cqa_server::client::ClientError::Server(e) => assert_eq!(e.code, ErrorCode::NotLoaded),
+        other => panic!("expected not-loaded after evict, got {other}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat(&stats, "evictions"), 1);
+    assert_eq!(stat(&stats, "base_index_builds"), builds_first);
+
+    // Re-LOAD: answers identical, and the base is rebuilt exactly once
+    // more (cumulative builds double, per-tenant builds equal the first
+    // residency's).
+    client.load_family("t", &family).expect("reload");
+    assert_eq!(client.query("t", "RRX").expect("query"), want);
+    assert_eq!(client.query("t", "RRX").expect("query"), want);
+    assert_eq!(
+        stat(
+            &client.tenant_stats("t").expect("stats"),
+            "base_index_builds"
+        ),
+        builds_first
+    );
+    assert_eq!(
+        stat(&client.stats().expect("stats"), "base_index_builds"),
+        2 * builds_first
+    );
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn lru_pressure_evicts_cold_tenants_and_reload_serves_again() {
+    let server = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        limits: ResidencyLimits {
+            max_tenants: 2,
+            max_facts: usize::MAX,
+        },
+    })
+    .expect("bind");
+    let families: Vec<InstanceFamily> = (0..3).map(tenant_family).collect();
+    let q = PathQuery::parse("RXRY").unwrap();
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.load_family("t0", &families[0]).expect("load");
+    client.load_family("t1", &families[1]).expect("load");
+    // Touch t0 so t1 is the LRU victim when t2 arrives.
+    client.query("t0", "RXRY").expect("query");
+    let summary = client.load_family("t2", &families[2]).expect("load");
+    assert_eq!(summary.evicted, 1, "the cap must push one tenant out");
+    match client.query("t1", "RXRY").unwrap_err() {
+        cqa_server::client::ClientError::Server(e) => assert_eq!(e.code, ErrorCode::NotLoaded),
+        other => panic!("expected not-loaded for the LRU victim, got {other}"),
+    }
+    for t in [0usize, 2] {
+        assert_eq!(
+            client.query(&format!("t{t}"), "RXRY").expect("query"),
+            direct_answers(&q, &families[t]),
+            "surviving tenant {t}"
+        );
+    }
+    // Reloading the victim serves identical answers again.
+    client.load_family("t1", &families[1]).expect("reload");
+    assert_eq!(
+        client.query("t1", "RXRY").expect("query"),
+        direct_answers(&q, &families[1])
+    );
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_load_lines_close_the_connection() {
+    use std::io::{BufRead, BufReader, Write};
+    let server = test_server(1);
+
+    // A LOAD whose command line is rejected may be followed by payload
+    // bytes the server never learned the length of — after the typed error
+    // the server must close rather than parse the payload as commands.
+    let stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"LOAD bad..name..way..too..long..to..matter 99999999999\nR a b\n")
+        .expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error reply");
+    assert!(line.starts_with("ERR bad-command"), "got {line:?}");
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("read eof"),
+        0,
+        "connection must be closed after a malformed LOAD, got {line:?}"
+    );
+
+    // Other malformed lines keep the connection usable.
+    let stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"NOPE\nSTATS\n").expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error reply");
+    assert!(line.starts_with("ERR bad-command"), "got {line:?}");
+    line.clear();
+    reader.read_line(&mut line).expect("read stats reply");
+    assert!(line.starts_with("OK STATS"), "got {line:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn overlong_command_lines_are_rejected_and_close() {
+    use std::io::{BufRead, BufReader, Write};
+    let server = test_server(1);
+    let stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    // 32 KiB of newline-free garbage: the server must cap its line buffer,
+    // reply with the typed error and close instead of buffering forever.
+    writer.write_all(&vec![b'x'; 32 << 10]).expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error reply");
+    assert!(
+        line.starts_with("ERR bad-command") && line.contains("exceeds"),
+        "got {line:?}"
+    );
+    line.clear();
+    // Closing with the rest of the garbage unread makes the kernel send
+    // RST, so either a clean EOF or a reset proves the connection is gone.
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("expected a closed connection, read {n} more bytes: {line:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_with_open_connections_does_not_hang() {
+    let server = test_server(1);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.load_family("t", &tenant_family(0)).expect("load");
+    assert!(client.query("t", "RRX").is_ok());
+    // Shut the server down while the connection is idle-open: the next
+    // command must get a typed error or a closed socket, never a hang.
+    server.shutdown();
+    match client.query("t", "RRX") {
+        Err(cqa_server::client::ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::Solver, "got {e}")
+        }
+        Err(_) => {} // closed socket is equally acceptable
+        Ok(answers) => panic!("expected an error after shutdown, got {answers:?}"),
+    }
+}

@@ -118,6 +118,13 @@ impl DispatchSolver {
         &self.session
     }
 
+    /// A point-in-time snapshot of the internal session's counters
+    /// (plan-cache traffic and decided requests by route) — see
+    /// [`CertaintySession::stats`].
+    pub fn stats(&self) -> crate::session::SessionStats {
+        self.session.stats()
+    }
+
     /// Decides one query against every request of an instance family
     /// (shared prefix + per-request deltas), loading the prefix once —
     /// see [`CertaintySession::certain_batch_family`]. Answers are identical
@@ -251,9 +258,15 @@ mod tests {
             }
         }
         // The dispatchers' sessions were warm after the first instance of
-        // each query.
-        assert_eq!(dispatch.session().queries_prepared(), 8);
-        assert!(dispatch.session().cache_hits() > 0);
+        // each query, and every class shows up in the route counts.
+        let stats = dispatch.stats();
+        assert_eq!(stats.queries_prepared, 8);
+        assert!(stats.cache_hits > 0);
+        assert!(stats.routes.fo_rewriting > 0);
+        assert!(stats.routes.nl_direct > 0);
+        assert!(stats.routes.ptime_fixpoint > 0);
+        assert!(stats.routes.conp_sat > 0);
+        assert!(dispatch_dl.stats().routes.nl_datalog > 0);
     }
 
     #[test]

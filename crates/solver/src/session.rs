@@ -69,6 +69,57 @@ impl QueryPlan {
     }
 }
 
+/// Per-route counts of decided requests — which back-ends a session's
+/// traffic actually exercised. Part of [`SessionStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCounts {
+    /// Requests decided by first-order rewriting.
+    pub fo_rewriting: u64,
+    /// Requests decided by the direct NL back-end.
+    pub nl_direct: u64,
+    /// Requests decided by the Datalog NL back-end.
+    pub nl_datalog: u64,
+    /// Requests decided by the PTIME fixpoint algorithm.
+    pub ptime_fixpoint: u64,
+    /// Requests decided by SAT counterexample search.
+    pub conp_sat: u64,
+}
+
+impl RouteCounts {
+    /// The count for one route.
+    pub fn of(&self, route: Route) -> u64 {
+        match route {
+            Route::FoRewriting => self.fo_rewriting,
+            Route::Nl(NlBackend::Direct) => self.nl_direct,
+            Route::Nl(NlBackend::Datalog) => self.nl_datalog,
+            Route::PtimeFixpoint => self.ptime_fixpoint,
+            Route::ConpSat => self.conp_sat,
+        }
+    }
+
+    /// Total requests decided across every route.
+    pub fn total(&self) -> u64 {
+        self.fo_rewriting + self.nl_direct + self.nl_datalog + self.ptime_fixpoint + self.conp_sat
+    }
+}
+
+/// A cheap point-in-time snapshot of a session's counters: plan-cache
+/// traffic plus the routes its requests took. This is the one surface
+/// callers observe a session through — `cqa-server`'s `STATS` command and
+/// its eviction policy both render it — instead of a drawer of ad-hoc
+/// getters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests that reused a cached query plan.
+    pub cache_hits: u64,
+    /// Query plans built (cache misses).
+    pub cache_misses: u64,
+    /// Distinct queries prepared by this session.
+    pub queries_prepared: usize,
+    /// Requests decided, by route.
+    pub routes: RouteCounts,
+}
+
 /// A reusable certain-answer session: classify once per query, share the
 /// compiled artifacts, answer many `(query, instance)` requests.
 #[derive(Debug)]
@@ -80,6 +131,9 @@ pub struct CertaintySession {
     plans: Mutex<HashMap<Word, Arc<QueryPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Decided requests per route, in the order of [`RouteCounts`]'s fields
+    /// (see [`CertaintySession::route_slot`]).
+    route_counts: [AtomicU64; 5],
     options: EvalOptions,
 }
 
@@ -110,6 +164,7 @@ impl CertaintySession {
             plans: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            route_counts: Default::default(),
             options,
         }
     }
@@ -198,6 +253,7 @@ impl CertaintySession {
         db: &DatabaseInstance,
         options: &EvalOptions,
     ) -> Result<bool, SolverError> {
+        self.route_slot(plan.route).fetch_add(1, Ordering::Relaxed);
         match plan.route {
             Route::FoRewriting => Ok(self.fo.evaluate_rewriting(&plan.query, db)),
             Route::Nl(_) => {
@@ -304,8 +360,7 @@ impl CertaintySession {
         family: &InstanceFamily,
     ) -> Vec<Result<bool, SolverError>> {
         let plan = self.prepare(query);
-        let deltas = family.deltas();
-        if deltas.is_empty() {
+        if family.deltas().is_empty() {
             return Vec::new();
         }
         // The copy-on-write base is only worth building when the route
@@ -314,12 +369,62 @@ impl CertaintySession {
             Some(NlPlan::Datalog(_)) => Some(edb_base_from_instance(family.prefix())),
             _ => None,
         };
-        let threads = self.options.threads.resolve().min(deltas.len());
+        let requests: Vec<usize> = (0..family.len()).collect();
+        self.family_requests(&plan, base.as_ref(), family, &requests)
+    }
+
+    /// Like [`CertaintySession::certain_batch_family`], but against a
+    /// caller-held *resident* base store (frozen from the family's prefix
+    /// with [`edb_base_from_instance`] once, kept across calls) and an
+    /// explicit subset of request indexes. This is the serving entry point:
+    /// `cqa-server` keeps one `Arc<BaseStore>` per resident tenant, so the
+    /// prefix's committed probe indexes are built exactly once across *all*
+    /// connections and queries, not once per batch.
+    ///
+    /// Answers are identical to materializing each selected request
+    /// (`prefix ∪ deltas[i]`) through [`CertaintySession::certain_batch`] —
+    /// the resident base only changes *where* the shared store lives, never
+    /// what it contains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request index is out of range; validate indexes at the
+    /// boundary (the server replies with a typed error instead).
+    pub fn certain_batch_family_resident(
+        &self,
+        query: &PathQuery,
+        family: &InstanceFamily,
+        base: &Arc<BaseStore>,
+        requests: &[usize],
+    ) -> Vec<Result<bool, SolverError>> {
+        let plan = self.prepare(query);
+        // Only the Datalog NL route evaluates on relation stores; every
+        // other route materializes, exactly like `certain_batch_family`.
+        let base = match &plan.nl {
+            Some(NlPlan::Datalog(_)) => Some(base),
+            _ => None,
+        };
+        self.family_requests(&plan, base, family, requests)
+    }
+
+    /// Decides the selected family requests with an optional shared base,
+    /// fanning out across the session's thread budget. Common driver of
+    /// [`CertaintySession::certain_batch_family`] and
+    /// [`CertaintySession::certain_batch_family_resident`].
+    fn family_requests(
+        &self,
+        plan: &QueryPlan,
+        base: Option<&Arc<BaseStore>>,
+        family: &InstanceFamily,
+        requests: &[usize],
+    ) -> Vec<Result<bool, SolverError>> {
+        let deltas = family.deltas();
+        let threads = self.options.threads.resolve().min(requests.len());
         if threads <= 1 {
-            return deltas
+            return requests
                 .iter()
-                .map(|delta| {
-                    self.certain_family_request(&plan, base.as_ref(), family, delta, &self.options)
+                .map(|&i| {
+                    self.certain_family_request(plan, base, family, &deltas[i], &self.options)
                 })
                 .collect();
         }
@@ -327,8 +432,8 @@ impl CertaintySession {
         // `certain_batch_parallel` (workers pin their engine runs
         // sequential — one level of parallelism at a time).
         let per_request = EvalOptions::sequential();
-        fan_out(deltas.len(), threads, |i| {
-            self.certain_family_request(&plan, base.as_ref(), family, &deltas[i], &per_request)
+        fan_out(requests.len(), threads, |slot| {
+            self.certain_family_request(plan, base, family, &deltas[requests[slot]], &per_request)
         })
     }
 
@@ -344,6 +449,7 @@ impl CertaintySession {
     ) -> Result<bool, SolverError> {
         match (base, &plan.nl) {
             (Some(base), Some(NlPlan::Datalog(cqa))) => {
+                self.route_slot(plan.route).fetch_add(1, Ordering::Relaxed);
                 self.nl
                     .certain_overlay_with(cqa, base, family.prefix(), delta, options)
             }
@@ -354,19 +460,35 @@ impl CertaintySession {
         }
     }
 
-    /// Number of requests that reused a cached query plan.
-    pub fn cache_hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+    /// The counter slot for a route, in [`RouteCounts`] field order.
+    fn route_slot(&self, route: Route) -> &AtomicU64 {
+        let i = match route {
+            Route::FoRewriting => 0,
+            Route::Nl(NlBackend::Direct) => 1,
+            Route::Nl(NlBackend::Datalog) => 2,
+            Route::PtimeFixpoint => 3,
+            Route::ConpSat => 4,
+        };
+        &self.route_counts[i]
     }
 
-    /// Number of query plans built (cache misses).
-    pub fn cache_misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Number of distinct queries this session has prepared.
-    pub fn queries_prepared(&self) -> usize {
-        self.plans.lock().expect("session lock").len()
+    /// A point-in-time snapshot of the session's counters: plan-cache
+    /// hits/misses, distinct queries prepared, and decided requests by
+    /// route. Cheap — five relaxed atomic loads and one map-size read.
+    pub fn stats(&self) -> SessionStats {
+        let load = |i: usize| self.route_counts[i].load(Ordering::Relaxed);
+        SessionStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            queries_prepared: self.plans.lock().expect("session lock").len(),
+            routes: RouteCounts {
+                fo_rewriting: load(0),
+                nl_direct: load(1),
+                nl_datalog: load(2),
+                ptime_fixpoint: load(3),
+                conp_sat: load(4),
+            },
+        }
     }
 }
 
@@ -443,9 +565,14 @@ mod tests {
             let db = layered("RXRY", 4, seed);
             session.certain(&q, &db).unwrap();
         }
-        assert_eq!(session.cache_misses(), 1);
-        assert_eq!(session.cache_hits(), 4);
-        assert_eq!(session.queries_prepared(), 1);
+        let stats = session.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 4);
+        assert_eq!(stats.queries_prepared, 1);
+        // All five requests were decided on the Datalog NL route.
+        assert_eq!(stats.routes.nl_datalog, 5);
+        assert_eq!(stats.routes.total(), 5);
+        assert_eq!(stats.routes.of(Route::Nl(NlBackend::Datalog)), 5);
     }
 
     #[test]
@@ -459,8 +586,10 @@ mod tests {
         let session = CertaintySession::with_datalog_nl();
         let batch = session.certain_batch(&requests);
         assert_eq!(batch.len(), requests.len());
-        // Each distinct query is prepared exactly once.
-        assert_eq!(session.queries_prepared(), words.len());
+        // Each distinct query is prepared exactly once, and every request
+        // shows up in the route counts.
+        assert_eq!(session.stats().queries_prepared, words.len());
+        assert_eq!(session.stats().routes.total(), requests.len() as u64);
         let naive = NaiveSolver::with_limit(1 << 16);
         for (i, (q, db)) in requests.iter().enumerate() {
             let got = batch[i].as_ref().unwrap();
@@ -503,6 +632,31 @@ mod tests {
                     "family/materialized mismatch for {word} at request {i}"
                 );
             }
+            // The resident-base entry point answers identically, both for
+            // the full request set and for an arbitrary subset, and reuses
+            // the caller's base across calls (builds don't grow on repeats).
+            let base = edb_base_from_instance(family.prefix());
+            let all: Vec<usize> = (0..family.len()).collect();
+            let resident = session.certain_batch_family_resident(&q, &family, &base, &all);
+            for (i, (s, r)) in shared.iter().zip(&resident).enumerate() {
+                assert_eq!(
+                    s.as_ref().unwrap(),
+                    r.as_ref().unwrap(),
+                    "family/resident mismatch for {word} at request {i}"
+                );
+            }
+            let subset = [4usize, 1, 1, 5];
+            let picked = session.certain_batch_family_resident(&q, &family, &base, &subset);
+            for (slot, &i) in subset.iter().enumerate() {
+                assert_eq!(
+                    picked[slot].as_ref().unwrap(),
+                    shared[i].as_ref().unwrap(),
+                    "subset/resident mismatch for {word} at request {i}"
+                );
+            }
+            let builds = base.index_builds();
+            session.certain_batch_family_resident(&q, &family, &base, &all);
+            assert_eq!(base.index_builds(), builds, "resident base was rebuilt");
         }
     }
 

@@ -19,6 +19,6 @@ pub mod prelude {
     };
     pub use crate::random::{
         oracle_batch, repeated_query_requests, scaling_series, shared_prefix_families,
-        LayeredConfig, RandomInstanceConfig,
+        tenant_request_stream, LayeredConfig, RandomInstanceConfig, TenantRequest,
     };
 }

@@ -13,6 +13,7 @@ use cqa_core::symbol::RelName;
 use cqa_db::fact::Constant;
 use cqa_db::instance::DatabaseInstance;
 use rand::rngs::StdRng;
+use rand::Rng as _;
 use rand::RngExt as _;
 use rand::SeedableRng;
 
@@ -212,6 +213,57 @@ pub fn shared_prefix_families(
     cqa_db::family::InstanceFamily::with_deltas(prefix, deltas)
 }
 
+/// One request of a multi-tenant serving stream: which tenant's family it
+/// addresses and what query it asks. Produced by [`tenant_request_stream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRequest {
+    /// Index of the tenant (into whatever tenant list the driver loaded).
+    pub tenant: usize,
+    /// The path query to decide against every request of that tenant's
+    /// family.
+    pub query: cqa_core::query::PathQuery,
+}
+
+/// A seeded multi-tenant request stream: `requests` draws of
+/// `(tenant, query)`, with tenants drawn from a Zipf-ish distribution
+/// (weight of tenant `t` proportional to `1 / (t + 1)^skew`) and queries
+/// drawn uniformly from `words`. `skew = 0.0` is uniform across tenants;
+/// larger skews concentrate traffic on the low-numbered (hot) tenants,
+/// which is what makes LRU residency caches earn their keep. This is the
+/// input shape `cqa-server`'s dispatch loop serves, and what the
+/// `server_throughput` bench and the loopback load driver replay.
+pub fn tenant_request_stream(
+    tenants: usize,
+    words: &[&str],
+    requests: usize,
+    skew: f64,
+    seed: u64,
+) -> Vec<TenantRequest> {
+    assert!(tenants > 0, "need at least one tenant");
+    assert!(!words.is_empty(), "need at least one query word");
+    let queries: Vec<cqa_core::query::PathQuery> = words
+        .iter()
+        .map(|w| cqa_core::query::PathQuery::parse(w).expect("valid query word"))
+        .collect();
+    // Cumulative Zipf weights over the tenant indexes.
+    let mut cumulative = Vec::with_capacity(tenants);
+    let mut total = 0.0f64;
+    for t in 0..tenants {
+        total += 1.0 / ((t + 1) as f64).powf(skew);
+        cumulative.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut unit = move || (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (0..requests)
+        .map(|_| {
+            let draw = unit() * total;
+            let tenant = cumulative.partition_point(|&c| c <= draw).min(tenants - 1);
+            let query = queries[(unit() * queries.len() as f64) as usize % queries.len()].clone();
+            TenantRequest { tenant, query }
+        })
+        .collect()
+}
+
 /// Generates a batch of small random instances suitable for cross-checking a
 /// solver against the naive oracle (repair count capped).
 pub fn oracle_batch(
@@ -319,6 +371,44 @@ mod tests {
         // A fatter delta ratio shares less.
         let fat = shared_prefix_families(&word, 20, 5, 1.0, 0x0FA7);
         assert!(fat.shared_fraction() < family.shared_fraction());
+    }
+
+    #[test]
+    fn tenant_streams_are_deterministic_and_cover_tenants_and_words() {
+        let stream = tenant_request_stream(4, &["RRX", "RXRY"], 400, 0.0, 0x7E4A);
+        assert_eq!(stream.len(), 400);
+        assert_eq!(
+            stream,
+            tenant_request_stream(4, &["RRX", "RXRY"], 400, 0.0, 0x7E4A)
+        );
+        assert_ne!(
+            stream,
+            tenant_request_stream(4, &["RRX", "RXRY"], 400, 0.0, 0x7E4B)
+        );
+        // Uniform skew touches every tenant and every word.
+        for t in 0..4 {
+            assert!(stream.iter().any(|r| r.tenant == t), "tenant {t} never hit");
+        }
+        let distinct: std::collections::BTreeSet<_> =
+            stream.iter().map(|r| r.query.word().clone()).collect();
+        assert_eq!(distinct.len(), 2);
+        assert!(stream.iter().all(|r| r.tenant < 4));
+    }
+
+    #[test]
+    fn tenant_skew_concentrates_traffic_on_hot_tenants() {
+        let hot_share = |skew: f64| -> f64 {
+            let stream = tenant_request_stream(8, &["RRX"], 2000, skew, 0xC01D);
+            stream.iter().filter(|r| r.tenant == 0).count() as f64 / 2000.0
+        };
+        let uniform = hot_share(0.0);
+        let skewed = hot_share(1.5);
+        assert!(
+            (uniform - 1.0 / 8.0).abs() < 0.05,
+            "uniform share was {uniform}"
+        );
+        // With skew 1.5 over 8 tenants, tenant 0's weight is ~52%.
+        assert!(skewed > 0.4, "skewed share was {skewed}");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 # the `datalog_engine` (scan vs indexed before/after, plus warm-plan runs),
 # `nl_vs_ptime`, `certainty_scaling`, `session_batch` (warm sessions vs
 # cold per-call dispatch, including a 4-thread batch fan-out),
-# `datalog_parallel` (stratum evaluation at 1/2/4/8 worker threads) and
+# `datalog_parallel` (stratum evaluation at 1/2/4/8 worker threads),
 # `session_cow` (copy-on-write shared-prefix families vs fresh-load,
-# store-build amortization isolated) suites.
+# store-build amortization isolated) and `server_throughput` (live loopback
+# cqa-server vs direct in-process session calls on the same multi-tenant
+# stream — the wire/dispatch overhead) suites.
 # Future PRs re-run this script to extend the perf trajectory; thread-scaling
 # entries are only comparable against same-host baselines.
 #
@@ -30,7 +32,8 @@ CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
     --bench certainty_scaling \
     --bench session_batch \
     --bench session_cow \
-    --bench parallel_scaling
+    --bench parallel_scaling \
+    --bench server_throughput
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 {
