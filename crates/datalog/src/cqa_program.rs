@@ -26,14 +26,19 @@ use cqa_core::symbol::RelName;
 use cqa_core::word::Word;
 
 use crate::ast::{BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule};
+use crate::demand::{Demand, DemandMode, DemandReport};
 use crate::engine::CompiledProgram;
 use crate::plan_cache::PlanCache;
 
 /// Names of the generated predicates, so that callers can query the result.
 #[derive(Debug, Clone)]
 pub struct CqaProgram {
-    /// The generated program.
-    pub program: Program,
+    /// The generated program, as transformed under `mode` (with
+    /// [`DemandMode::Off`] this is exactly the Lemma 14 program; under
+    /// pruning/magic only the `o/1` extension is guaranteed unchanged).
+    /// Shared out of the [`PlanCache`], like the compiled plan: repeated
+    /// generation of the same query's program never re-transforms.
+    pub program: Arc<Program>,
     /// The `o/1` answer predicate.
     pub o: Predicate,
     /// The `p/1` predicate of Lemma 14.
@@ -42,6 +47,11 @@ pub struct CqaProgram {
     pub uvpath: Predicate,
     /// The decomposition the program was generated from.
     pub decomposition: B2bDecomposition,
+    /// The resolved demand mode `program` was transformed under.
+    pub mode: DemandMode,
+    /// What the demand transformation did (all zero for
+    /// [`DemandMode::Off`]).
+    pub demand: DemandReport,
     /// The compiled evaluation plan, shared through the process-wide
     /// [`PlanCache`]: generating the same query's program twice hands back
     /// the same `Arc`, so repeated certain-answer calls never re-plan.
@@ -156,6 +166,20 @@ pub fn generate_program_with_cache(
     decomposition: &B2bDecomposition,
     query: &Word,
     cache: &PlanCache,
+) -> Option<CqaProgram> {
+    generate_program_with_options(decomposition, query, cache, Demand::Auto)
+}
+
+/// [`generate_program`] with an explicit plan cache and demand setting: the
+/// Lemma 14 program is built, then transformed for the `o/1` goal under the
+/// resolved demand mode (see [`crate::demand`]) and compiled through the
+/// cache, keyed by the *untransformed* program plus the mode — so on a warm
+/// cache both the transformation and the join planning are skipped.
+pub fn generate_program_with_options(
+    decomposition: &B2bDecomposition,
+    query: &Word,
+    cache: &PlanCache,
+    demand: Demand,
 ) -> Option<CqaProgram> {
     let uv = decomposition.uv();
     let wv = decomposition.wv();
@@ -295,16 +319,19 @@ pub fn generate_program_with_cache(
         program.add_rule(Rule::new(DlAtom::new(o, vec![var("S", 0)]), body));
     }
 
-    let compiled = cache
-        .get_or_compile(&program)
+    let mode = demand.resolve();
+    let planned = cache
+        .get_or_plan(&program, o, mode)
         .expect("generated programs are safe and stratified by construction");
     Some(CqaProgram {
-        program,
+        program: Arc::clone(&planned.program),
         o,
         p,
         uvpath,
         decomposition: decomposition.clone(),
-        compiled,
+        mode,
+        demand: planned.report,
+        compiled: Arc::clone(&planned.compiled),
     })
 }
 
@@ -338,13 +365,43 @@ mod tests {
         db.adom().iter().any(|c| !o_holds.contains(c.symbol()))
     }
 
+    fn program_for_mode(word: &str, demand: Demand) -> CqaProgram {
+        let q = PathQuery::parse(word).unwrap();
+        let dec = b2b_strict_decomposition(q.word()).expect("decomposition exists");
+        generate_program_with_options(&dec, q.word(), PlanCache::global(), demand)
+            .expect("program generated")
+    }
+
     #[test]
     fn generated_program_is_stratified_linear_and_safe() {
+        // Linearity (the NL upper bound of Lemma 14) is a property of the
+        // *untransformed* program: the magic rewrite trades it away for
+        // goal-directedness, which the engine is free to do since it never
+        // requires linearity.
         for word in ["RRX", "UVUVWV", "RXRX", "RR"] {
-            let cqa = program_for(word);
+            let cqa = program_for_mode(word, Demand::Off);
             assert!(cqa.program.is_safe(), "{word}: unsafe");
             assert!(stratify(&cqa.program).is_ok(), "{word}: not stratified");
             assert!(is_linear(&cqa.program), "{word}: not linear");
+        }
+    }
+
+    #[test]
+    fn demand_transformed_programs_stay_safe_and_stratified() {
+        for word in ["RRX", "UVUVWV", "RXRX", "RR"] {
+            for demand in [Demand::Prune, Demand::Magic] {
+                let cqa = program_for_mode(word, demand);
+                assert!(cqa.program.is_safe(), "{word}: unsafe");
+                assert!(stratify(&cqa.program).is_ok(), "{word}: not stratified");
+            }
+            // The magic rewrite genuinely restricts the recursion: uvpath is
+            // seeded from the spine's endpoints instead of derived in full.
+            let cqa = program_for_mode(word, Demand::Magic);
+            assert!(
+                cqa.demand.restricted_predicates >= 1,
+                "{word}: nothing restricted"
+            );
+            assert!(cqa.program.to_string().contains("magic$uvpath"), "{word}");
         }
     }
 

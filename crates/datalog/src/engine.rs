@@ -334,6 +334,10 @@ impl<'a> Evaluator<'a> {
         let threads = self.options.threads.resolve();
         let mut indexes = IndexSpace::new(self.compiled.num_index_slots);
         let mut stats = EvalStats::new(threads);
+        // Generation counts successful inserts only (flat stores and
+        // overlays alike), so the watermark delta is exactly the tuples this
+        // run derived, independent of how the EDB was loaded.
+        let start_generation = store.generation();
         if threads <= 1 {
             let mut executor = Executor::default();
             for stratum in &self.compiled.strata {
@@ -361,6 +365,7 @@ impl<'a> Evaluator<'a> {
         }
         stats.index_extensions = indexes.extensions();
         stats.base_index_builds = indexes.base_builds();
+        stats.tuples_derived = store.generation() - start_generation;
         (store, stats)
     }
 }

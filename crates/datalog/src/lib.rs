@@ -5,14 +5,44 @@
 //! constraints, and the generator of the **linear** Datalog program of
 //! Lemma 14 that solves `CERTAINTY(q)` for path queries satisfying C2.
 //!
+//! # The demand pipeline
+//!
+//! The certainty check only inspects the `o/1` goal predicate, so generated
+//! programs pass through [`demand::transform`] before plan compilation
+//! (knob: [`demand::Demand`] in [`parallel::EvalOptions`], environment
+//! override `PATH_CQA_DEMAND=off|prune|magic`):
+//!
+//! 1. **Prune** — rules whose head cannot reach the goal in the dependency
+//!    graph are dropped; applies to any stratified program.
+//! 2. **Magic** — eligible predicates are guarded behind `magic$…` demand
+//!    predicates seeded from the goal's bound arguments (sideways
+//!    information passing), so whole cones of irrelevant tuples are never
+//!    derived. Predicates under negation — and everything they transitively
+//!    depend on — are exempt: shrinking a negated extension would flip
+//!    answers, so only negation-free regions of the dependency graph are
+//!    restricted (see [`demand`] for the full argument).
+//!
+//! Both stages preserve the goal extension exactly; the transformed program
+//! is generally *not* linear, which the engine never requires. The
+//! [`plan_cache::PlanCache`] caches the transformed program and its
+//! compiled plan as a unit, keyed by the *untransformed* program plus the
+//! demand mode, so warm program generation skips the rewrite and the join
+//! planner entirely.
+//!
 //! ```
 //! use cqa_core::prelude::*;
 //! use cqa_datalog::prelude::*;
 //!
 //! let q = PathQuery::parse("RRX").unwrap();
 //! let dec = b2b_strict_decomposition(q.word()).unwrap();
+//! // The untransformed Lemma 14 program is linear (the NL upper bound)…
+//! let plain = generate_program_with_options(&dec, q.word(), PlanCache::global(), Demand::Off)
+//!     .unwrap();
+//! assert!(is_linear(&plain.program));
+//! // …and the demand-transformed default trades linearity for
+//! // goal-directedness.
 //! let cqa = generate_program(&dec, q.word()).unwrap();
-//! assert!(is_linear(&cqa.program));
+//! assert!(stratify(&cqa.program).is_ok());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -20,6 +50,7 @@
 
 pub mod ast;
 pub mod cqa_program;
+pub mod demand;
 pub mod engine;
 mod fxhash;
 pub mod parallel;
@@ -35,7 +66,10 @@ pub mod prelude {
     pub use crate::ast::{
         BodyLiteral, Builtin, DlAtom, DlTerm, Predicate, Program, Rule, RuleVars,
     };
-    pub use crate::cqa_program::{generate_program, generate_program_with_cache, CqaProgram};
+    pub use crate::cqa_program::{
+        generate_program, generate_program_with_cache, generate_program_with_options, CqaProgram,
+    };
+    pub use crate::demand::{transform as demand_transform, Demand, DemandMode, DemandReport};
     pub use crate::engine::{evaluate, CompiledProgram, Evaluator};
     pub use crate::parallel::{EvalOptions, EvalStats, Threads};
     pub use crate::plan_cache::PlanCache;

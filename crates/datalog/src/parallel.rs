@@ -107,6 +107,12 @@ pub struct EvalOptions {
     /// Worker-thread budget for stratum rounds (and, at the solver layer,
     /// for fanning out batched certainty requests).
     pub threads: Threads,
+    /// Demand transformation applied at program-generation time (see
+    /// [`crate::demand`]): goal-reachability pruning and/or the magic-sets
+    /// rewrite. The engine itself never consults this — by the time a plan
+    /// is compiled the transformation already happened — but it rides in the
+    /// options so solvers and sessions pick it up from one place.
+    pub demand: crate::demand::Demand,
 }
 
 impl EvalOptions {
@@ -114,6 +120,7 @@ impl EvalOptions {
     pub fn sequential() -> EvalOptions {
         EvalOptions {
             threads: Threads::Fixed(1),
+            ..EvalOptions::default()
         }
     }
 
@@ -121,7 +128,13 @@ impl EvalOptions {
     pub fn with_threads(n: usize) -> EvalOptions {
         EvalOptions {
             threads: Threads::Fixed(n),
+            ..EvalOptions::default()
         }
+    }
+
+    /// These options with an explicit demand setting.
+    pub fn with_demand(self, demand: crate::demand::Demand) -> EvalOptions {
+        EvalOptions { demand, ..self }
     }
 }
 
@@ -149,6 +162,21 @@ pub struct EvalStats {
     /// reports nonzero — pinned by a regression test, since re-building per
     /// run would silently forfeit the copy-on-write win.
     pub base_index_builds: u64,
+    /// Tuples this run actually inserted (EDB-load inserts excluded: the run
+    /// measures the store's [`crate::store::RelationStore::generation`]
+    /// watermark from entry to exit, and the EDB is loaded before entry).
+    /// This is the number demand-driven derivation exists to shrink; the
+    /// demand differential suite asserts it strictly drops on goal-sparse
+    /// programs.
+    pub tuples_derived: u64,
+    /// Rules the demand transformation removed from the program this plan
+    /// was compiled from. Zero unless the caller stamped it from a
+    /// [`crate::demand::DemandReport`] (the engine itself only sees the
+    /// already-transformed program).
+    pub rules_pruned: u64,
+    /// IDB predicates the demand transformation eliminated entirely; same
+    /// stamping convention as `rules_pruned`.
+    pub predicates_pruned: u64,
 }
 
 impl EvalStats {

@@ -59,6 +59,9 @@ struct Resident {
     data: Arc<TenantData>,
     last_used: u64,
     served: u64,
+    /// Tuples the Datalog engine derived answering this residency's
+    /// requests (reported back by the serving loop per batch).
+    tuples_derived: u64,
 }
 
 /// Registry-wide counters, as reported by `STATS`.
@@ -98,6 +101,10 @@ pub struct TenantStats {
     pub base_index_builds: u64,
     /// Commands served against this residency (lookups that hit it).
     pub served: u64,
+    /// Tuples the Datalog engine derived answering this residency's
+    /// requests — the per-tenant view of demand-driven derivation (lower
+    /// under pruning/magic than with demand off, for the same traffic).
+    pub tuples_derived: u64,
 }
 
 /// Outcome of a `LOAD`: what became resident and what was pushed out.
@@ -201,6 +208,7 @@ impl TenantRegistry {
             data,
             last_used: inner.clock,
             served: 0,
+            tuples_derived: 0,
         };
         if let Some(previous) = inner.residents.insert(name.to_owned(), resident) {
             inner.retire(previous);
@@ -233,6 +241,17 @@ impl TenantRegistry {
                 inner.misses += 1;
                 None
             }
+        }
+    }
+
+    /// Credits `tuples` derived tuples to a tenant's residency counters,
+    /// without touching its LRU position (attribution is bookkeeping, not
+    /// traffic). A no-op if the tenant was evicted mid-flight — the work
+    /// still shows in the session-wide counters.
+    pub fn record_derived(&self, name: &str, tuples: u64) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(resident) = inner.residents.get_mut(name) {
+            resident.tuples_derived += tuples;
         }
     }
 
@@ -279,6 +298,7 @@ impl TenantRegistry {
             facts: resident.data.facts,
             base_index_builds: resident.data.base.index_builds(),
             served: resident.served,
+            tuples_derived: resident.tuples_derived,
         })
     }
 }

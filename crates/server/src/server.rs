@@ -358,6 +358,12 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                 pair("route_nl_datalog", session.routes.nl_datalog.to_string()),
                 pair("route_ptime", session.routes.ptime_fixpoint.to_string()),
                 pair("route_conp", session.routes.conp_sat.to_string()),
+                pair("rules_pruned", session.demand.rules_pruned.to_string()),
+                pair(
+                    "predicates_pruned",
+                    session.demand.predicates_pruned.to_string(),
+                ),
+                pair("tuples_derived", session.demand.tuples_derived.to_string()),
             ])
         }
         Command::Stats {
@@ -372,6 +378,7 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                     pair("facts", stats.facts.to_string()),
                     pair("base_index_builds", stats.base_index_builds.to_string()),
                     pair("served", stats.served.to_string()),
+                    pair("tuples_derived", stats.tuples_derived.to_string()),
                 ])
             }
             None => Reply::Err(WireError::new(
@@ -439,10 +446,13 @@ fn answer(shared: &Shared, tenant: &str, word: &str, subset: Option<Vec<usize>>)
         }
         None => (0..data.family.len()).collect(),
     };
-    let answers =
-        shared
-            .session
-            .certain_batch_family_resident(&query, &data.family, &data.base, &requests);
+    let (answers, derived) = shared.session.certain_batch_family_resident_counted(
+        &query,
+        &data.family,
+        &data.base,
+        &requests,
+    );
+    shared.registry.record_derived(tenant, derived);
     let mut bits = Vec::with_capacity(answers.len());
     for (slot, result) in answers.into_iter().enumerate() {
         match result {

@@ -87,6 +87,32 @@ fn mixed_tenant_stream_matches_direct_answers() {
         );
     }
 
+    // The stream included Datalog-route queries (RRX, RXRY), so derivation
+    // work must be visible server-wide and attributed to the tenants that
+    // caused it — along with the demand transformation's pruning counters
+    // (zero here is fine for those: the generated programs may have nothing
+    // unreachable — the keys must exist either way).
+    let global = client.stats().expect("stats");
+    assert!(
+        stat(&global, "tuples_derived") > 0,
+        "Datalog-route traffic derived nothing"
+    );
+    let _ = stat(&global, "rules_pruned");
+    let _ = stat(&global, "predicates_pruned");
+    let per_tenant: u64 = (0..tenants)
+        .map(|t| {
+            stat(
+                &client.tenant_stats(&format!("t{t}")).expect("stats"),
+                "tuples_derived",
+            )
+        })
+        .sum();
+    assert!(per_tenant > 0, "no tenant was credited any derivation work");
+    assert!(
+        per_tenant <= stat(&global, "tuples_derived"),
+        "tenants credited more derivations than the session performed"
+    );
+
     // BATCH subsets agree with the corresponding QUERY slice, including
     // duplicates and permutations.
     let q = PathQuery::parse("RRX").unwrap();

@@ -62,7 +62,7 @@ pub mod prelude {
     pub use crate::fo_solver::FoSolver;
     pub use crate::generalized::GeneralizedSolver;
     pub use crate::naive::{BacktrackSolver, NaiveSolver};
-    pub use crate::nl_solver::{NlBackend, NlPlan, NlSolver};
+    pub use crate::nl_solver::{DemandCounts, NlBackend, NlPlan, NlSolver};
     pub use crate::session::{CertaintySession, QueryPlan, RouteCounts, SessionStats};
     pub use crate::traits::CertaintySolver;
     pub use cqa_datalog::parallel::{EvalOptions, EvalStats, Threads};

@@ -32,9 +32,10 @@ use cqa_core::classify::{classify, ComplexityClass};
 use cqa_core::query::PathQuery;
 use cqa_core::regex_forms::{b2b_strict_decomposition, B2bDecomposition};
 use cqa_core::word::Word;
-use cqa_datalog::cqa_program::{generate_program, CqaProgram};
-use cqa_datalog::parallel::EvalOptions;
-use cqa_datalog::store::{edb_overlay_on, BaseStore};
+use cqa_datalog::cqa_program::{generate_program_with_options, CqaProgram};
+use cqa_datalog::parallel::{EvalOptions, EvalStats};
+use cqa_datalog::plan_cache::PlanCache;
+use cqa_datalog::store::{edb_from_instance, edb_overlay_on, BaseStore};
 use cqa_db::fact::Constant;
 use cqa_db::instance::DatabaseInstance;
 use cqa_db::path::{consistent_path_endpoints, reachable_by_trace};
@@ -73,6 +74,31 @@ impl FallbackStats {
     }
 }
 
+/// Cumulative demand/derivation counters over every Datalog-engine run a
+/// solver performed (the direct and fixpoint routes never touch the engine,
+/// so they contribute nothing). `rules_pruned`/`predicates_pruned` sum the
+/// per-request [`cqa_datalog::demand::DemandReport`] of the plan that served
+/// each request — a rate, not a program property — so "work avoided" stays
+/// proportional to traffic, like every other counter in the stats surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DemandCounts {
+    /// Rules the demand transformation had removed from served plans.
+    pub rules_pruned: u64,
+    /// IDB predicates eliminated from served plans.
+    pub predicates_pruned: u64,
+    /// Tuples the engine actually derived (semi-naive inserts, EDB loads
+    /// excluded).
+    pub tuples_derived: u64,
+}
+
+/// Interior-mutable accumulator behind [`DemandCounts`].
+#[derive(Debug, Default)]
+struct DemandCounters {
+    rules_pruned: AtomicU64,
+    predicates_pruned: AtomicU64,
+    tuples_derived: AtomicU64,
+}
+
 /// A query's prepared NL evaluation artifacts, shareable across instances
 /// (and across threads: every payload is behind an `Arc`).
 #[derive(Debug, Clone)]
@@ -93,6 +119,7 @@ pub struct NlSolver {
     backend: NlBackend,
     strict: bool,
     stats: FallbackStats,
+    demand: DemandCounters,
     plans: Mutex<HashMap<Word, NlPlan>>,
     options: EvalOptions,
 }
@@ -109,6 +136,7 @@ impl NlSolver {
             backend,
             strict,
             stats: FallbackStats::default(),
+            demand: DemandCounters::default(),
             plans: Mutex::new(HashMap::new()),
             options: EvalOptions::default(),
         }
@@ -144,6 +172,28 @@ impl NlSolver {
         &self.stats
     }
 
+    /// A snapshot of the cumulative demand/derivation counters.
+    pub fn demand_counts(&self) -> DemandCounts {
+        DemandCounts {
+            rules_pruned: self.demand.rules_pruned.load(Ordering::Relaxed),
+            predicates_pruned: self.demand.predicates_pruned.load(Ordering::Relaxed),
+            tuples_derived: self.demand.tuples_derived.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds one engine run into the cumulative counters.
+    fn record_engine(&self, cqa: &CqaProgram, stats: &EvalStats) {
+        self.demand
+            .rules_pruned
+            .fetch_add(cqa.demand.rules_pruned, Ordering::Relaxed);
+        self.demand
+            .predicates_pruned
+            .fetch_add(cqa.demand.predicates_pruned, Ordering::Relaxed);
+        self.demand
+            .tuples_derived
+            .fetch_add(stats.tuples_derived, Ordering::Relaxed);
+    }
+
     /// Prepares (or fetches the cached) per-query plan: the strict B2b
     /// decomposition and, depending on the back-end, the generated + compiled
     /// Datalog program, or the fallback automaton. Class checks are *not*
@@ -155,7 +205,12 @@ impl NlSolver {
         let plan = match b2b_strict_decomposition(query.word()) {
             Some(dec) if !dec.uv().is_empty() => match self.backend {
                 NlBackend::Direct => NlPlan::Direct(Arc::new(dec)),
-                NlBackend::Datalog => match generate_program(&dec, query.word()) {
+                NlBackend::Datalog => match generate_program_with_options(
+                    &dec,
+                    query.word(),
+                    PlanCache::global(),
+                    self.options.demand,
+                ) {
                     Some(cqa) => NlPlan::Datalog(Arc::new(cqa)),
                     None => NlPlan::Fixpoint(Arc::new(QueryNfa::new(query))),
                 },
@@ -201,7 +256,9 @@ impl NlSolver {
                 self.stats
                     .decompositions_used
                     .fetch_add(1, Ordering::Relaxed);
-                certain_datalog(cqa, db, options)
+                let (answer, stats) = certain_datalog(cqa, db, options)?;
+                self.record_engine(cqa, &stats);
+                Ok(answer)
             }
             NlPlan::Fixpoint(nfa) => {
                 self.stats
@@ -229,10 +286,29 @@ impl NlSolver {
         delta: &DatabaseInstance,
         options: &EvalOptions,
     ) -> Result<bool, SolverError> {
+        self.certain_overlay_counted(cqa, base, prefix, delta, options)
+            .map(|(answer, _)| answer)
+    }
+
+    /// Like [`NlSolver::certain_overlay_with`], additionally handing back the
+    /// engine run's [`EvalStats`] so callers (the session's counted family
+    /// batches, and through them the server's per-tenant `STATS`) can
+    /// attribute derived-tuple counts without racing on the solver-wide
+    /// cumulative counters.
+    pub fn certain_overlay_counted(
+        &self,
+        cqa: &CqaProgram,
+        base: &Arc<BaseStore>,
+        prefix: &DatabaseInstance,
+        delta: &DatabaseInstance,
+        options: &EvalOptions,
+    ) -> Result<(bool, EvalStats), SolverError> {
         self.stats
             .decompositions_used
             .fetch_add(1, Ordering::Relaxed);
-        certain_datalog_overlay(cqa, base, prefix, delta, options)
+        let (answer, stats) = certain_datalog_overlay(cqa, base, prefix, delta, options)?;
+        self.record_engine(cqa, &stats);
+        Ok((answer, stats))
     }
 }
 
@@ -318,15 +394,20 @@ pub(crate) fn certain_direct(dec: &B2bDecomposition, db: &DatabaseInstance) -> b
     db.adom().iter().any(|&c| !o(c))
 }
 
-/// Evaluates the generated (pre-compiled) linear Datalog program and applies
-/// Claim 4.
+/// Evaluates the generated (pre-compiled) Datalog program and applies
+/// Claim 4, reporting the engine run's statistics alongside the answer.
 pub(crate) fn certain_datalog(
     cqa: &CqaProgram,
     db: &DatabaseInstance,
     options: &EvalOptions,
-) -> Result<bool, SolverError> {
-    let store = cqa.compiled.run_with(db, options);
-    o_fails_somewhere(cqa, &store, db.adom().iter().copied())
+) -> Result<(bool, EvalStats), SolverError> {
+    let (store, stats) = cqa
+        .compiled
+        .run_on_store_with_stats(edb_from_instance(db), options);
+    Ok((
+        o_fails_somewhere(cqa, &store, db.adom().iter().copied())?,
+        stats,
+    ))
 }
 
 /// Decides one shared-prefix family request through the copy-on-write store
@@ -342,14 +423,14 @@ pub(crate) fn certain_datalog_overlay(
     prefix: &DatabaseInstance,
     delta: &DatabaseInstance,
     options: &EvalOptions,
-) -> Result<bool, SolverError> {
-    let store = cqa
+) -> Result<(bool, EvalStats), SolverError> {
+    let (store, stats) = cqa
         .compiled
-        .run_on_store_with(edb_overlay_on(base, delta), options);
+        .run_on_store_with_stats(edb_overlay_on(base, delta), options);
     // adom(prefix ∪ delta) = adom(prefix) ∪ adom(delta); the overlap is
     // checked twice, which is harmless for an `any`.
     let adom = prefix.adom().iter().chain(delta.adom().iter()).copied();
-    o_fails_somewhere(cqa, &store, adom)
+    Ok((o_fails_somewhere(cqa, &store, adom)?, stats))
 }
 
 /// Claim 4 over an evaluated store: the instance is certain iff `o(c)` fails

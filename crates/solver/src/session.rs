@@ -35,7 +35,7 @@ use crate::dispatch::Route;
 use crate::error::SolverError;
 use crate::fixpoint::compute_fixpoint_with_nfa;
 use crate::fo_solver::FoSolver;
-use crate::nl_solver::{NlBackend, NlPlan, NlSolver};
+use crate::nl_solver::{DemandCounts, NlBackend, NlPlan, NlSolver};
 use crate::traits::CertaintySolver;
 
 /// A query's cached routing decision plus the per-query artifacts its route
@@ -118,6 +118,10 @@ pub struct SessionStats {
     pub queries_prepared: usize,
     /// Requests decided, by route.
     pub routes: RouteCounts,
+    /// Cumulative demand-transformation effect over the session's Datalog
+    /// engine runs: rules/predicates pruned per request and tuples actually
+    /// derived (see [`crate::nl_solver::DemandCounts`]).
+    pub demand: DemandCounts,
 }
 
 /// A reusable certain-answer session: classify once per query, share the
@@ -370,7 +374,7 @@ impl CertaintySession {
             _ => None,
         };
         let requests: Vec<usize> = (0..family.len()).collect();
-        self.family_requests(&plan, base.as_ref(), family, &requests)
+        self.family_requests(&plan, base.as_ref(), family, &requests, None)
     }
 
     /// Like [`CertaintySession::certain_batch_family`], but against a
@@ -397,6 +401,24 @@ impl CertaintySession {
         base: &Arc<BaseStore>,
         requests: &[usize],
     ) -> Vec<Result<bool, SolverError>> {
+        self.certain_batch_family_resident_counted(query, family, base, requests)
+            .0
+    }
+
+    /// Like [`CertaintySession::certain_batch_family_resident`], additionally
+    /// returning the number of tuples the Datalog engine derived for *this*
+    /// batch. The session-wide [`SessionStats::demand`] counters aggregate
+    /// across all tenants and queries; this per-batch figure is what lets
+    /// `cqa-server` attribute derivation work to individual tenants. Routes
+    /// that never run the Datalog engine (FO, direct NL, fixpoint, SAT)
+    /// derive nothing and report zero.
+    pub fn certain_batch_family_resident_counted(
+        &self,
+        query: &PathQuery,
+        family: &InstanceFamily,
+        base: &Arc<BaseStore>,
+        requests: &[usize],
+    ) -> (Vec<Result<bool, SolverError>>, u64) {
         let plan = self.prepare(query);
         // Only the Datalog NL route evaluates on relation stores; every
         // other route materializes, exactly like `certain_batch_family`.
@@ -404,7 +426,9 @@ impl CertaintySession {
             Some(NlPlan::Datalog(_)) => Some(base),
             _ => None,
         };
-        self.family_requests(&plan, base, family, requests)
+        let derived = AtomicU64::new(0);
+        let answers = self.family_requests(&plan, base, family, requests, Some(&derived));
+        (answers, derived.into_inner())
     }
 
     /// Decides the selected family requests with an optional shared base,
@@ -417,6 +441,7 @@ impl CertaintySession {
         base: Option<&Arc<BaseStore>>,
         family: &InstanceFamily,
         requests: &[usize],
+        derived: Option<&AtomicU64>,
     ) -> Vec<Result<bool, SolverError>> {
         let deltas = family.deltas();
         let threads = self.options.threads.resolve().min(requests.len());
@@ -424,7 +449,14 @@ impl CertaintySession {
             return requests
                 .iter()
                 .map(|&i| {
-                    self.certain_family_request(plan, base, family, &deltas[i], &self.options)
+                    self.certain_family_request(
+                        plan,
+                        base,
+                        family,
+                        &deltas[i],
+                        &self.options,
+                        derived,
+                    )
                 })
                 .collect();
         }
@@ -433,12 +465,23 @@ impl CertaintySession {
         // sequential — one level of parallelism at a time).
         let per_request = EvalOptions::sequential();
         fan_out(requests.len(), threads, |slot| {
-            self.certain_family_request(plan, base, family, &deltas[requests[slot]], &per_request)
+            self.certain_family_request(
+                plan,
+                base,
+                family,
+                &deltas[requests[slot]],
+                &per_request,
+                derived,
+            )
         })
     }
 
     /// Decides one family request: the overlay fast path when a shared base
-    /// exists for the plan, the materialized full instance otherwise.
+    /// exists for the plan, the materialized full instance otherwise. When a
+    /// `derived` accumulator is supplied, the overlay arm adds the engine
+    /// run's derived-tuple count to it (the only arm that runs the Datalog
+    /// engine on this path — non-Datalog routes don't take the overlay arm
+    /// and derive nothing).
     fn certain_family_request(
         &self,
         plan: &QueryPlan,
@@ -446,12 +489,18 @@ impl CertaintySession {
         family: &InstanceFamily,
         delta: &DatabaseInstance,
         options: &EvalOptions,
+        derived: Option<&AtomicU64>,
     ) -> Result<bool, SolverError> {
         match (base, &plan.nl) {
             (Some(base), Some(NlPlan::Datalog(cqa))) => {
                 self.route_slot(plan.route).fetch_add(1, Ordering::Relaxed);
-                self.nl
-                    .certain_overlay_with(cqa, base, family.prefix(), delta, options)
+                let (answer, stats) =
+                    self.nl
+                        .certain_overlay_counted(cqa, base, family.prefix(), delta, options)?;
+                if let Some(counter) = derived {
+                    counter.fetch_add(stats.tuples_derived, Ordering::Relaxed);
+                }
+                Ok(answer)
             }
             _ => {
                 let full = family.prefix().union(delta);
@@ -488,6 +537,7 @@ impl CertaintySession {
                 ptime_fixpoint: load(3),
                 conp_sat: load(4),
             },
+            demand: self.nl.demand_counts(),
         }
     }
 }

@@ -6,9 +6,14 @@
 # cold per-call dispatch, including a 4-thread batch fan-out),
 # `datalog_parallel` (stratum evaluation at 1/2/4/8 worker threads),
 # `session_cow` (copy-on-write shared-prefix families vs fresh-load,
-# store-build amortization isolated) and `server_throughput` (live loopback
+# store-build amortization isolated), `server_throughput` (live loopback
 # cqa-server vs direct in-process session calls on the same multi-tenant
-# stream — the wire/dispatch overhead) suites.
+# stream — the wire/dispatch overhead) and `demand_transform` (demand-driven
+# derivation off vs prune vs magic on goal-sparse, route-level and family
+# workloads) suites.
+# Before overwriting BENCH_datalog.json, fresh medians are diffed against the
+# checked-in baseline with per-entry ratios, so regressions are visible in
+# the run's own output instead of only in the git diff.
 # Future PRs re-run this script to extend the perf trajectory; thread-scaling
 # entries are only comparable against same-host baselines.
 #
@@ -33,7 +38,30 @@ CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
     --bench session_batch \
     --bench session_cow \
     --bench parallel_scaling \
-    --bench server_throughput
+    --bench server_throughput \
+    --bench demand_transform
+
+# Per-entry ratio diff against the checked-in baseline (fresh/baseline: < 1
+# is faster, > 1 slower). New entries print "(new)"; nothing fails here —
+# the numbers are for the operator re-anchoring the baseline.
+if [ -f BENCH_datalog.json ]; then
+    echo "--- vs checked-in BENCH_datalog.json (fresh/baseline) ---"
+    python3 - "$jsonl" <<'EOF'
+import json, sys
+fresh = [json.loads(line) for line in open(sys.argv[1])]
+baseline = {
+    (b["group"], b["id"]): b["median_ns"]
+    for b in json.load(open("BENCH_datalog.json"))["benches"]
+}
+for b in fresh:
+    key = (b["group"], b["id"])
+    name = f'{b["group"]}/{b["id"]}'
+    if key in baseline and baseline[key] > 0:
+        print(f'  {name}: {b["median_ns"] / baseline[key]:.2f}x')
+    else:
+        print(f'  {name}: (new)')
+EOF
+fi
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 {
