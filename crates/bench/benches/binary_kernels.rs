@@ -1,0 +1,139 @@
+//! E20: shape-specialized binary-relation kernels — off vs on.
+//!
+//! Three workloads, each evaluated with the kernel knob in both positions so
+//! `BENCH_datalog.json` records what the specialized execution core buys:
+//!
+//! * `tc_chains` — transitive closure over disjoint chains, the binary-heavy
+//!   engine shape: every rule is in the unary/binary fragment, so the linear
+//!   rule's CSR/merge join replaces the generic hash probe wholesale, and the
+//!   chain-parallel deltas are wide enough to cross the merge threshold.
+//! * `cqa_rrx` — a warm session answering single `RRX` requests through the
+//!   Datalog NL route on a layered instance: the generated Lemma 14 programs
+//!   are entirely unary/binary, measuring the win on the serving-path
+//!   programs the kernels were built for.
+//! * `family` — the serving shape: 16-request shared-prefix family batches
+//!   at ~10^3 and ~10^4 prefix facts through
+//!   `CertaintySession::certain_batch_family`, per kernel setting.
+//!
+//! Answers are pinned knob-independent by `tests/kernel_agreement.rs`; these
+//! entries only decide which setting `Kernels::Auto` should default to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqa_core::query::PathQuery;
+use cqa_datalog::prelude::*;
+use cqa_db::instance::DatabaseInstance;
+use cqa_solver::prelude::*;
+use cqa_workloads::random::{shared_prefix_families, LayeredConfig};
+
+const MODES: [(&str, Kernels); 2] = [("off", Kernels::Off), ("on", Kernels::On)];
+
+/// Largest prefix instance; `CQA_BENCH_MAX_FACTS` caps it so the CI smoke
+/// run stays at ~10^3 facts.
+fn max_facts() -> usize {
+    std::env::var("CQA_BENCH_MAX_FACTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// Unseeded transitive closure: the full closure keeps the join kernels
+/// saturated instead of measuring demand pruning.
+fn tc_program() -> Program {
+    let atom = |name: &str, vars: &[&str]| {
+        DlAtom::new(
+            Predicate::new(name, vars.len()),
+            vars.iter().map(|v| DlTerm::var(v)).collect(),
+        )
+    };
+    let pos = |name: &str, vars: &[&str]| BodyLiteral::Positive(atom(name, vars));
+    let mut p = Program::new();
+    p.declare_edb(Predicate::new("E", 2));
+    p.add_rule(Rule::new(
+        atom("path", &["X", "Y"]),
+        vec![pos("E", &["X", "Y"])],
+    ));
+    p.add_rule(Rule::new(
+        atom("path", &["X", "Z"]),
+        vec![pos("path", &["X", "Y"]), pos("E", &["Y", "Z"])],
+    ));
+    p
+}
+
+/// `k` disjoint chains of `len` edges each. Closure size is `k · len²/2`
+/// over `len` seminaive rounds, so per-round deltas are `k`-wide: the join
+/// kernels stay saturated (wide deltas cross the sort-merge threshold)
+/// instead of the measurement drowning in per-round fixed costs the way a
+/// single degree-1 chain of the same closure size would (`len` rounds of
+/// `O(k·len)` work each vs. `k·len` rounds of `O(len)`).
+fn chains_db(k: usize, len: usize) -> DatabaseInstance {
+    let mut db = DatabaseInstance::new();
+    for c in 0..k {
+        for i in 0..len {
+            db.insert_parsed("E", &format!("c{c}n{i}"), &format!("c{c}n{}", i + 1));
+        }
+    }
+    db
+}
+
+fn bench_binary_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_kernels");
+    group.sample_size(10);
+
+    // Engine-level: the full closure of 100 disjoint 60-edge chains (~183k
+    // derived tuples), compiled once, evaluated per iteration under each
+    // knob position. The CI cap shrinks the chain count, not the length.
+    let tc = tc_program();
+    let compiled = CompiledProgram::compile(&tc).expect("tc compiles");
+    let tc_db = chains_db(100.min(max_facts() / 60).max(1), 60);
+    for (name, kernels) in MODES {
+        let options = EvalOptions::sequential().with_kernels(kernels);
+        group.bench_with_input(BenchmarkId::new("tc_chains", name), &tc_db, |b, db| {
+            b.iter(|| {
+                let store = compiled.run_with(db, &options);
+                black_box(store.generation())
+            })
+        });
+    }
+
+    // Route-level: warm single-request RRX certainty on a layered instance.
+    let query = PathQuery::parse("RRX").unwrap();
+    let rrx_db =
+        LayeredConfig::for_word(query.word(), 270.min(max_facts() / 4 + 1), 0xDE3A).generate();
+    for (name, kernels) in MODES {
+        let session = CertaintySession::with_options(
+            NlBackend::Datalog,
+            EvalOptions::sequential().with_kernels(kernels),
+        );
+        session.certain(&query, &rrx_db).unwrap(); // warm the plan
+        group.bench_with_input(BenchmarkId::new("cqa_rrx", name), &rrx_db, |b, db| {
+            b.iter(|| black_box(session.certain(&query, db).unwrap()))
+        });
+    }
+
+    // Serving-level: shared-prefix family batches at ~10^3 and ~10^4 facts.
+    for width in [270usize, 2700] {
+        let family = shared_prefix_families(query.word(), width, 16, 0.1, 0xC0_FFA);
+        if family.prefix().len() > max_facts() {
+            continue;
+        }
+        for (name, kernels) in MODES {
+            let session = CertaintySession::with_options(
+                NlBackend::Datalog,
+                EvalOptions::sequential().with_kernels(kernels),
+            );
+            let id = format!("{}f_{}", family.prefix().len(), name);
+            group.bench_with_input(BenchmarkId::new("family", &id), &family, |b, family| {
+                b.iter(|| {
+                    let answers = session.certain_batch_family(&query, family);
+                    black_box(answers.iter().filter(|a| *a.as_ref().unwrap()).count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binary_kernels);
+criterion_main!(benches);

@@ -76,6 +76,16 @@ impl Symbol {
     pub fn id(&self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a symbol from a raw interner id previously obtained from
+    /// [`Symbol::id`] in this process. Columnar execution kernels store bare
+    /// ids and reconstitute symbols on output without touching the interner.
+    ///
+    /// Passing an id that never came from `id()` yields a symbol whose
+    /// `as_str` panics; no such value can be constructed from stored data.
+    pub fn from_id(id: u32) -> Symbol {
+        Symbol(id)
+    }
 }
 
 impl fmt::Debug for Symbol {

@@ -24,21 +24,47 @@
 //!    predicates keep their names and extensions shrink to the demanded
 //!    cone).
 //!
-//! # Negation exemption
+//! # Negation and the per-stratum hazard analysis
 //!
-//! Stage 2 never restricts a predicate that occurs under negation, nor any
-//! predicate in the (positive or negative) dependency cone of one. A guarded
-//! rule derives a *subset* of its original head extension; if a negated
-//! predicate (or anything it transitively depends on) shrank, `not q(..)`
-//! would start accepting tuples the original program rejected, silently
-//! flipping answers. Exempting the whole cone keeps every negated extension
-//! bit-identical, and has a pleasant corollary: negative edges only ever
-//! point from restricted predicates *into* the exempt cone (which cannot
-//! reach back — its rules are unchanged and closed over exempt predicates),
-//! while all new edges (guards, magic-rule bodies) are positive, so the
-//! transformed program is stratified whenever the input is. A defensive
-//! [`stratify`] check still runs and falls back to the pruned program if it
-//! ever fails.
+//! A guarded rule derives a *subset* of its original head extension; if a
+//! negated predicate `q` shrank on a tuple the evaluation actually consults,
+//! `not q(..)` would start accepting tuples the original program rejected,
+//! silently flipping answers. Restricting a negated predicate is
+//! nevertheless sound *if every consultation is itself demanded*: for a
+//! negative occurrence of `q` in rule `r`, the outcome of `not q(t)` can
+//! only influence `r`'s head on bindings that satisfy **all** positive
+//! literals of `r` (any other binding dies at a positive literal no matter
+//! what the negation says). So stage 2 emits, per negative occurrence, a
+//! demand rule
+//!
+//! ```text
+//! magic$q(bound positions) :- guard?, <all positive literals of r>.
+//! ```
+//!
+//! and on every binding it covers, standard magic-sets correctness makes the
+//! restricted `q` agree with the original — while uncovered bindings cannot
+//! affect any head. (Rule safety bounds every variable of a negative literal
+//! by some positive literal, so these demand rules are always safe, and
+//! negative occurrences never shrink the adornment masks.)
+//!
+//! What can go wrong is *stratification*, not soundness: the demand rule
+//! makes `q` depend positively on the positive literals of `r`, and if such
+//! a literal `p` sits **strictly above** `q` in the original stratification,
+//! `p` may transitively depend on `q` through a negative edge — closing a
+//! cycle through `magic$q` that contains a negation. The per-stratum hazard
+//! analysis therefore exempts exactly the negated predicates with such an
+//! occurrence (strictly-higher positive co-literal), together with their
+//! (positive and negative) dependency cone — their rules stay unchanged, so
+//! everything they read must keep its full extension. Negated predicates
+//! whose co-literals all sit at or below their own stratum are restrictable:
+//! any dependency path from a co-literal back to `q` is then positive-only,
+//! so every new cycle is positive and the program stays stratified. In
+//! particular, negation-free strata *below* a negated predicate — the common
+//! CQA shape, where terminal rules negate a key predicate derived straight
+//! from the EDB — are no longer exempt wholesale. A defensive [`stratify`]
+//! check still runs, retrying with the historical full-cone exemption (no
+//! negated predicate restricted) and finally falling back to the pruned
+//! program if it ever fails.
 //!
 //! Builtins and negative literals never appear in magic-rule bodies (their
 //! variables may be bound only by *later* positive literals, so copying them
@@ -194,11 +220,9 @@ fn prune(program: &Program, goal: Predicate) -> (Program, u64, u64) {
     (pruned, rules_pruned, predicates_pruned)
 }
 
-/// The predicates stage 2 must leave unrestricted: every predicate occurring
-/// under negation, closed under (positive and negative) dependencies — see
-/// the module docs' negation exemption.
-fn negation_cone(program: &Program) -> BTreeSet<Predicate> {
-    let mut cone: BTreeSet<Predicate> = program
+/// Every predicate occurring under negation anywhere in the program.
+fn all_negated(program: &Program) -> BTreeSet<Predicate> {
+    program
         .rules
         .iter()
         .flat_map(|r| &r.body)
@@ -206,7 +230,44 @@ fn negation_cone(program: &Program) -> BTreeSet<Predicate> {
             BodyLiteral::Negative(a) => Some(a.pred),
             _ => None,
         })
-        .collect();
+        .collect()
+}
+
+/// The negated predicates whose restriction could break stratification: those
+/// with some negative occurrence next to a positive co-literal *strictly
+/// above* them in the original stratification (see the module docs' hazard
+/// analysis). Unstratifiable input — defensive, callers only run stage 2 on
+/// stratified programs — marks every negated predicate hazardous, degrading
+/// to the historical full-cone exemption.
+fn hazardous_negated(program: &Program) -> BTreeSet<Predicate> {
+    let Ok(strat) = stratify(program) else {
+        return all_negated(program);
+    };
+    // EDB predicates sit below every IDB stratum.
+    let level = |p: Predicate| strat.stratum_of.get(&p).map_or(0, |s| s + 1);
+    let mut hazardous = BTreeSet::new();
+    for rule in &program.rules {
+        for literal in &rule.body {
+            let BodyLiteral::Negative(q) = literal else {
+                continue;
+            };
+            let above = rule
+                .body
+                .iter()
+                .any(|l| matches!(l, BodyLiteral::Positive(p) if level(p.pred) > level(q.pred)));
+            if above {
+                hazardous.insert(q.pred);
+            }
+        }
+    }
+    hazardous
+}
+
+/// Closes `seeds` under positive and negative body dependencies. Exempt
+/// predicates keep their original rules, so everything those rules
+/// (transitively) read must keep its full extension too.
+fn dependency_cone(program: &Program, seeds: BTreeSet<Predicate>) -> BTreeSet<Predicate> {
+    let mut cone = seeds;
     loop {
         let mut changed = false;
         for rule in &program.rules {
@@ -292,12 +353,31 @@ fn adornments(
     }
 }
 
-/// Stage 2: the guard-style magic rewrite over a pruned program. Returns
-/// `None` when nothing is restrictable or the defensive stratification check
-/// fails (the caller falls back to the pruned program).
+/// Stage 2: the guard-style magic rewrite over a pruned program. Tries the
+/// per-stratum hazard exemption first; if its output fails the defensive
+/// safety/stratification check, retries with the historical full negation
+/// cone (which never restricts a negated predicate). Returns `None` when
+/// nothing is restrictable or both attempts fail (the caller falls back to
+/// the pruned program).
 fn magic(pruned: &Program, goal: Predicate) -> Option<(Program, u64, u64)> {
-    let exempt = negation_cone(pruned);
-    let adorn = adornments(pruned, goal, &exempt);
+    let refined = dependency_cone(pruned, hazardous_negated(pruned));
+    if let Some(result) = magic_with_exempt(pruned, goal, &refined) {
+        return Some(result);
+    }
+    let full = dependency_cone(pruned, all_negated(pruned));
+    if full == refined {
+        return None;
+    }
+    magic_with_exempt(pruned, goal, &full)
+}
+
+/// One magic-rewrite attempt under a fixed exemption set.
+fn magic_with_exempt(
+    pruned: &Program,
+    goal: Predicate,
+    exempt: &BTreeSet<Predicate>,
+) -> Option<(Program, u64, u64)> {
+    let adorn = adornments(pruned, goal, exempt);
     if adorn.is_empty() {
         return None;
     }
@@ -337,14 +417,43 @@ fn magic(pruned: &Program, goal: Predicate) -> Option<(Program, u64, u64)> {
             }
             seen.push(literal.clone());
         }
+        // Demand for negative occurrences: `not q(..)` only matters on
+        // bindings satisfying every positive literal of the rule, so those
+        // literals (all of them — rule safety bounds the negation's
+        // variables somewhere in the body, not necessarily before it) are
+        // the demand (see the module docs' hazard analysis).
+        for literal in &rule.body {
+            let BodyLiteral::Negative(a) = literal else {
+                continue;
+            };
+            if let Some(mask) = adorn.get(&a.pred) {
+                let head = magic_atom(a, mask);
+                let mut body: Vec<BodyLiteral> = guard
+                    .iter()
+                    .map(|g| BodyLiteral::Positive(g.clone()))
+                    .collect();
+                body.extend(
+                    rule.body
+                        .iter()
+                        .filter(|l| matches!(l, BodyLiteral::Positive(_)))
+                        .cloned(),
+                );
+                let rule = Rule::new(head, body);
+                if emitted.insert(rule.clone()) {
+                    out.add_rule(rule);
+                    magic_rules += 1;
+                }
+            }
+        }
         let mut body: Vec<BodyLiteral> = guard.into_iter().map(BodyLiteral::Positive).collect();
         body.extend(rule.body.iter().cloned());
         out.add_rule(Rule::new(rule.head.clone(), body));
     }
 
-    // Defensive: the negation exemption makes both properties hold by
+    // Defensive: the hazard analysis argues both properties hold by
     // construction (see module docs), but a demand rewrite that silently
-    // produced an uncompilable program would take the whole route down.
+    // produced an uncompilable program would take the whole route down —
+    // `magic` retries with the full-cone exemption when this trips.
     if !out.is_safe() || stratify(&out).is_err() {
         return None;
     }
@@ -531,10 +640,11 @@ mod tests {
     }
 
     #[test]
-    fn negation_cone_is_exempt() {
-        // blocked is negated in the goal rule and depends on mark; neither
-        // may be restricted, or `not blocked(Y)` would see a shrunken
-        // extension. Only path is restrictable here.
+    fn negation_free_strata_below_a_negation_are_restricted() {
+        // blocked is negated in the goal rule, but its cone (blocked, mark)
+        // is negation-free and sits below everything the goal rule joins
+        // with it: the hazard analysis restricts all three IDB predicates,
+        // demanding blocked from the goal rule's positive literals.
         let mut p = Program::new();
         p.declare_edb(Predicate::new("E", 2));
         p.declare_edb(Predicate::new("seed", 2));
@@ -565,11 +675,11 @@ mod tests {
         ));
         let goal = Predicate::new("goal", 1);
         let (t, report) = transform(&p, goal, DemandMode::Magic);
-        assert_eq!(report.restricted_predicates, 1);
+        assert_eq!(report.restricted_predicates, 3, "{t}");
         let text = t.to_string();
         assert!(text.contains("magic$path"));
-        assert!(!text.contains("magic$blocked"));
-        assert!(!text.contains("magic$mark"));
+        assert!(text.contains("magic$blocked"));
+        assert!(text.contains("magic$mark"));
         assert!(stratify(&t).is_ok());
 
         let mut db = DatabaseInstance::new();
@@ -578,6 +688,54 @@ mod tests {
         }
         db.insert_parsed("seed", "n2", "n2");
         db.insert_parsed("M", "n5", "n5");
+        assert_eq!(goal_set(&t, &db), goal_set(&p, &db));
+    }
+
+    #[test]
+    fn hazardous_negation_keeps_its_cone_exempt() {
+        // `not mark(Z)` occurs next to the recursive path literal, which
+        // sits strictly above mark in the original stratification:
+        // restricting mark would make it depend on path, closing a cycle
+        // through the negation. The hazard analysis leaves mark (and its
+        // cone) unrestricted while path stays restrictable.
+        let mut p = Program::new();
+        p.declare_edb(Predicate::new("E", 2));
+        p.declare_edb(Predicate::new("M", 2));
+        p.declare_edb(Predicate::new("seed", 2));
+        p.add_rule(Rule::new(
+            atom("mark", &["X"]),
+            vec![pos("M", &["X", "X2"])],
+        ));
+        p.add_rule(Rule::new(
+            atom("path", &["X", "Y"]),
+            vec![pos("E", &["X", "Y"])],
+        ));
+        p.add_rule(Rule::new(
+            atom("path", &["X", "Z"]),
+            vec![
+                pos("path", &["X", "Y"]),
+                pos("E", &["Y", "Z"]),
+                neg("mark", &["Z"]),
+            ],
+        ));
+        p.add_rule(Rule::new(
+            atom("goal", &["Y"]),
+            vec![pos("seed", &["X", "X2"]), pos("path", &["X", "Y"])],
+        ));
+        let goal = Predicate::new("goal", 1);
+        let (t, report) = transform(&p, goal, DemandMode::Magic);
+        let text = t.to_string();
+        assert!(text.contains("magic$path"), "{t}");
+        assert!(!text.contains("magic$mark"), "{t}");
+        assert_eq!(report.restricted_predicates, 1, "{t}");
+        assert!(stratify(&t).is_ok());
+
+        let mut db = DatabaseInstance::new();
+        for i in 0..8 {
+            db.insert_parsed("E", &format!("n{i}"), &format!("n{}", i + 1));
+        }
+        db.insert_parsed("seed", "n0", "n0");
+        db.insert_parsed("M", "n4", "n4");
         assert_eq!(goal_set(&t, &db), goal_set(&p, &db));
     }
 

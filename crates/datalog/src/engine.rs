@@ -56,6 +56,19 @@
 //!   ([`crate::tuple::Tuple`]), and probe results are copied into per-depth
 //!   scratch buffers that are reused across candidates.
 //!
+//! * **Shape-specialized kernels** ([`crate::kernel`]). Rules in the
+//!   unary/binary fragment — which covers the entire generated CQA program
+//!   family — are *additionally* compiled to a register machine over raw
+//!   `u32` symbol ids: columnar scans, CSR-adjacency probes, bitset
+//!   membership and a sort-merge fast path replace tuple matching and hash
+//!   probing. Selection is per rule at compile time and recorded in the
+//!   [`CompiledProgram`] (so `plan_cache` caches it like everything else);
+//!   whether the kernels *execute* is a per-run knob
+//!   ([`crate::parallel::Kernels`], environment override
+//!   `PATH_CQA_KERNELS=off|on`). Ineligible rules — wide atoms, or probes
+//!   into the stratum currently being grown — keep the generic path, rule by
+//!   rule; [`crate::parallel::EvalStats`] reports the split.
+//!
 //! * **Parallel rounds** ([`crate::parallel`]). With
 //!   [`crate::parallel::EvalOptions`] resolving to more than one thread,
 //!   each semi-naive round fans its rules (and chunks of their depth-0 scan
@@ -77,6 +90,9 @@ use cqa_core::symbol::Symbol;
 use cqa_db::instance::DatabaseInstance;
 
 use crate::ast::{Predicate, Program, Rule, RuleVars};
+use crate::kernel::{
+    compile_kernel, CsrSlotSpec, CsrSlots, KernelExecutor, KernelRule, KernelSpace,
+};
 use crate::parallel::{evaluate_stratum_parallel, EvalOptions, EvalStats, WorkerPool};
 use crate::plan::{compile_rule, CompiledRule, IndexSlots, IndexSpace, Op, ProbeSlot};
 use crate::stratify::{stratify, StratifyError};
@@ -140,8 +156,22 @@ pub(crate) struct CompiledStratum {
     pub(crate) delta_plans: Vec<(usize, CompiledRule)>,
     /// Every `(slot, pred, mask)` index this stratum's probes use, deduped.
     /// The parallel driver extends exactly these slots once per round and
-    /// then shares the index space read-only across its workers.
+    /// then shares the index space read-only across its workers — all of
+    /// them when kernels are off, only `generic_probe_slots` when on.
     pub(crate) probe_slots: Vec<ProbeSlot>,
+    /// Kernel translations of `full_plans`, aligned by index; `None` marks a
+    /// rule that keeps the generic path (see [`crate::kernel`]).
+    pub(crate) full_kernels: Vec<Option<KernelRule>>,
+    /// Kernel translations of `delta_plans`, aligned by index.
+    pub(crate) delta_kernels: Vec<Option<KernelRule>>,
+    /// Every CSR adjacency this stratum's kernels probe, deduped; the
+    /// parallel driver prepares exactly these once per round.
+    pub(crate) csr_slots: Vec<CsrSlotSpec>,
+    /// The subset of `probe_slots` some kernel-less plan probes. When
+    /// kernels execute, only these hash indexes need extending per round —
+    /// extending the rest would rebuild exactly the structures the kernels
+    /// bypass.
+    pub(crate) generic_probe_slots: Vec<ProbeSlot>,
 }
 
 /// A program compiled once and evaluated many times: stratified join plans,
@@ -156,6 +186,14 @@ pub struct CompiledProgram {
     preds: PredTable,
     pub(crate) strata: Vec<CompiledStratum>,
     pub(crate) num_index_slots: usize,
+    /// Distinct CSR adjacencies the program's kernels probe (see
+    /// [`crate::kernel::CsrSlots`]).
+    pub(crate) num_csr_slots: usize,
+    /// Compiled plans (full + delta, across strata) with a kernel
+    /// translation; stamped into [`EvalStats`] when kernels execute.
+    pub(crate) kernel_rules: u64,
+    /// Compiled plans without one.
+    pub(crate) generic_rules: u64,
 }
 
 impl CompiledProgram {
@@ -177,6 +215,7 @@ impl CompiledProgram {
             preds.intern(p);
         }
         let mut islots = IndexSlots::default();
+        let mut kslots = CsrSlots::default();
         let mut strata = Vec::with_capacity(strat.strata.len());
         for stratum_preds in &strat.strata {
             let stratum: BTreeSet<Predicate> = stratum_preds.iter().copied().collect();
@@ -211,9 +250,34 @@ impl CompiledProgram {
                     }
                 }
             }
+            // Kernel selection: translate each plan to the specialized
+            // register machine where the fragment allows (per-rule fallback
+            // otherwise — see `crate::kernel`). The stratum's own predicates
+            // are passed so probes into the growing stratum are declined.
+            let full_kernels: Vec<Option<KernelRule>> = full_plans
+                .iter()
+                .map(|plan| compile_kernel(plan, &pred_ids, &mut kslots))
+                .collect();
+            let delta_kernels: Vec<Option<KernelRule>> = delta_plans
+                .iter()
+                .map(|(_, plan)| compile_kernel(plan, &pred_ids, &mut kslots))
+                .collect();
+            let mut csr_slots: Vec<CsrSlotSpec> = Vec::new();
+            for kernel in full_kernels.iter().chain(&delta_kernels).flatten() {
+                for &spec in &kernel.csr_slots {
+                    if !csr_slots.contains(&spec) {
+                        csr_slots.push(spec);
+                    }
+                }
+            }
+            csr_slots.sort_by_key(|spec| spec.slot);
             let mut probe_slots: Vec<ProbeSlot> = Vec::new();
-            let all_plans = full_plans.iter().chain(delta_plans.iter().map(|(_, p)| p));
-            for plan in all_plans {
+            let mut generic_probe_slots: Vec<ProbeSlot> = Vec::new();
+            let plans_and_kernels = full_plans
+                .iter()
+                .zip(&full_kernels)
+                .chain(delta_plans.iter().map(|(_, p)| p).zip(&delta_kernels));
+            for (plan, kernel) in plans_and_kernels {
                 for op in &plan.ops {
                     if let Op::Probe(ap) = op {
                         let ps = ProbeSlot {
@@ -224,21 +288,41 @@ impl CompiledProgram {
                         if !probe_slots.contains(&ps) {
                             probe_slots.push(ps);
                         }
+                        if kernel.is_none() && !generic_probe_slots.contains(&ps) {
+                            generic_probe_slots.push(ps);
+                        }
                     }
                 }
             }
             probe_slots.sort_by_key(|ps| ps.slot);
+            generic_probe_slots.sort_by_key(|ps| ps.slot);
             strata.push(CompiledStratum {
                 preds: pred_ids,
                 full_plans,
                 delta_plans,
                 probe_slots,
+                full_kernels,
+                delta_kernels,
+                csr_slots,
+                generic_probe_slots,
             });
         }
+        let kernel_rules: u64 = strata
+            .iter()
+            .flat_map(|s| s.full_kernels.iter().chain(&s.delta_kernels))
+            .filter(|k| k.is_some())
+            .count() as u64;
+        let total_rules: u64 = strata
+            .iter()
+            .map(|s| (s.full_plans.len() + s.delta_plans.len()) as u64)
+            .sum();
         Ok(CompiledProgram {
             preds,
             strata,
             num_index_slots: islots.len(),
+            num_csr_slots: kslots.len(),
+            kernel_rules,
+            generic_rules: total_rules - kernel_rules,
         })
     }
 
@@ -332,21 +416,33 @@ impl<'a> Evaluator<'a> {
             .map(|(_, pred)| store.intern(pred))
             .collect();
         let threads = self.options.threads.resolve();
+        let use_kernels = self.options.kernels.resolve();
         let mut indexes = IndexSpace::new(self.compiled.num_index_slots);
+        let mut kspace = KernelSpace::new(self.compiled.num_csr_slots);
         let mut stats = EvalStats::new(threads);
+        if use_kernels {
+            stats.kernel_rules = self.compiled.kernel_rules;
+            stats.generic_rules = self.compiled.generic_rules;
+        } else {
+            stats.generic_rules = self.compiled.kernel_rules + self.compiled.generic_rules;
+        }
         // Generation counts successful inserts only (flat stores and
         // overlays alike), so the watermark delta is exactly the tuples this
         // run derived, independent of how the EDB was loaded.
         let start_generation = store.generation();
         if threads <= 1 {
             let mut executor = Executor::default();
+            let mut kexec = KernelExecutor::default();
             for stratum in &self.compiled.strata {
                 evaluate_stratum(
                     stratum,
                     &pred_map,
                     &mut store,
                     &mut indexes,
+                    &mut kspace,
+                    use_kernels,
                     &mut executor,
+                    &mut kexec,
                     &mut stats,
                 );
             }
@@ -358,25 +454,36 @@ impl<'a> Evaluator<'a> {
                     &pred_map,
                     &mut store,
                     &mut indexes,
+                    &mut kspace,
+                    use_kernels,
                     &mut pool,
                     &mut stats,
                 );
             }
         }
         stats.index_extensions = indexes.extensions();
-        stats.base_index_builds = indexes.base_builds();
+        stats.base_index_builds = indexes.base_builds() + kspace.base_builds();
         stats.tuples_derived = store.generation() - start_generation;
         (store, stats)
     }
 }
 
-/// Semi-naive evaluation of one stratum with compiled plans.
+/// Semi-naive evaluation of one stratum with compiled plans. Each rule runs
+/// through its kernel when one was compiled and kernels are enabled for the
+/// run, the generic executor otherwise; the kernel's CSR adjacencies are
+/// brought up to date just before each kernel execution (a no-op unless the
+/// probed relation grew, which — kernels only probe outside the stratum —
+/// happens at most once per stratum).
+#[allow(clippy::too_many_arguments)]
 fn evaluate_stratum(
     stratum: &CompiledStratum,
     pred_map: &[PredId],
     store: &mut RelationStore,
     indexes: &mut IndexSpace,
+    kspace: &mut KernelSpace,
+    use_kernels: bool,
     executor: &mut Executor,
+    kexec: &mut KernelExecutor,
     stats: &mut EvalStats,
 ) {
     // The predicates whose growth drives the iteration.
@@ -393,16 +500,25 @@ fn evaluate_stratum(
 
     // Initial round: every rule against the full store.
     stats.rounds += 1;
-    for plan in &stratum.full_plans {
+    for (plan, kernel) in stratum.full_plans.iter().zip(&stratum.full_kernels) {
         derived.clear();
-        executor.derive(
-            plan,
-            pred_map,
-            store,
-            &mut Probing::Lazy(indexes),
-            None,
-            &mut derived,
-        );
+        match kernel {
+            Some(k) if use_kernels => {
+                for &spec in &k.csr_slots {
+                    kspace.prepare(spec, pred_map, store);
+                }
+                stats.kernel_invocations += 1;
+                kexec.derive(k, pred_map, store, kspace, None, &mut derived);
+            }
+            _ => executor.derive(
+                plan,
+                pred_map,
+                store,
+                &mut Probing::Lazy(indexes),
+                None,
+                &mut derived,
+            ),
+        }
         let head = pred_map[plan.head_pred.index()];
         for tuple in derived.drain(..) {
             store.insert_by_id(head, tuple);
@@ -424,20 +540,29 @@ fn evaluate_stratum(
             break;
         }
         stats.rounds += 1;
-        for &(delta_idx, ref plan) in &stratum.delta_plans {
-            let (lo, hi) = (low[delta_idx], high[delta_idx]);
+        for ((delta_idx, plan), kernel) in stratum.delta_plans.iter().zip(&stratum.delta_kernels) {
+            let (lo, hi) = (low[*delta_idx], high[*delta_idx]);
             if lo == hi {
                 continue;
             }
             derived.clear();
-            executor.derive(
-                plan,
-                pred_map,
-                store,
-                &mut Probing::Lazy(indexes),
-                Some((lo, hi)),
-                &mut derived,
-            );
+            match kernel {
+                Some(k) if use_kernels => {
+                    for &spec in &k.csr_slots {
+                        kspace.prepare(spec, pred_map, store);
+                    }
+                    stats.kernel_invocations += 1;
+                    kexec.derive(k, pred_map, store, kspace, Some((lo, hi)), &mut derived);
+                }
+                _ => executor.derive(
+                    plan,
+                    pred_map,
+                    store,
+                    &mut Probing::Lazy(indexes),
+                    Some((lo, hi)),
+                    &mut derived,
+                ),
+            }
             let head = pred_map[plan.head_pred.index()];
             for tuple in derived.drain(..) {
                 store.insert_by_id(head, tuple);

@@ -17,10 +17,11 @@
 //! 2. **Magic** — eligible predicates are guarded behind `magic$…` demand
 //!    predicates seeded from the goal's bound arguments (sideways
 //!    information passing), so whole cones of irrelevant tuples are never
-//!    derived. Predicates under negation — and everything they transitively
-//!    depend on — are exempt: shrinking a negated extension would flip
-//!    answers, so only negation-free regions of the dependency graph are
-//!    restricted (see [`demand`] for the full argument).
+//!    derived. Negated predicates are restricted too when a per-stratum
+//!    hazard analysis proves it safe — their negative occurrences then emit
+//!    demand from the enclosing rule's positive literals; only negations
+//!    whose restriction could break stratification keep their dependency
+//!    cone exempt (see [`demand`] for the full argument).
 //!
 //! Both stages preserve the goal extension exactly; the transformed program
 //! is generally *not* linear, which the engine never requires. The
@@ -28,6 +29,19 @@
 //! compiled plan as a unit, keyed by the *untransformed* program plus the
 //! demand mode, so warm program generation skips the rewrite and the join
 //! planner entirely.
+//!
+//! # Kernel selection
+//!
+//! Orthogonally to demand, plan compilation runs a per-rule *kernel
+//! selection* pass: rules in the unary/binary fragment (all of the generated
+//! CQA programs) are additionally translated to shape-specialized kernels —
+//! columnar `(u32, u32)` scans, CSR-adjacency and sort-merge joins, bitset
+//! membership — while ineligible rules keep the generic hash-join plan. The
+//! selection is recorded in the compiled program (and therefore cached by
+//! [`plan_cache::PlanCache`] as usual); whether kernels *execute* is decided
+//! per run by [`parallel::Kernels`] in [`parallel::EvalOptions`]
+//! (environment override `PATH_CQA_KERNELS=off|on`), and
+//! [`parallel::EvalStats`] reports the kernel/generic split per run.
 //!
 //! ```
 //! use cqa_core::prelude::*;
@@ -53,6 +67,7 @@ pub mod cqa_program;
 pub mod demand;
 pub mod engine;
 mod fxhash;
+mod kernel;
 pub mod parallel;
 mod plan;
 pub mod plan_cache;
@@ -71,7 +86,7 @@ pub mod prelude {
     };
     pub use crate::demand::{transform as demand_transform, Demand, DemandMode, DemandReport};
     pub use crate::engine::{evaluate, CompiledProgram, Evaluator};
-    pub use crate::parallel::{EvalOptions, EvalStats, Threads};
+    pub use crate::parallel::{EvalOptions, EvalStats, Kernels, Threads};
     pub use crate::plan_cache::PlanCache;
     pub use crate::reference::evaluate_scan;
     pub use crate::store::{

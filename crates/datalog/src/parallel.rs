@@ -58,6 +58,7 @@
 use std::collections::VecDeque;
 
 use crate::engine::{CompiledStratum, Executor, PredId, Probing, RelationStore, Tuple};
+use crate::kernel::{KernelExecutor, KernelRule, KernelSpace};
 use crate::plan::{CompiledRule, IndexSpace, Op};
 
 /// How many worker threads an evaluation may use.
@@ -101,6 +102,46 @@ impl Threads {
     }
 }
 
+/// Whether eligible rules execute through the shape-specialized kernels of
+/// [`crate::kernel`] (columnar scans, CSR probes, bitset membership) instead
+/// of the generic tuple executor.
+///
+/// Kernels are always *compiled* — selection is recorded per rule in the
+/// [`crate::engine::CompiledProgram`], so plan caches are oblivious to this
+/// knob — and the choice of execution path is made per run, which is what
+/// makes runtime bisection of a suspected kernel bug possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernels {
+    /// Defer to the `PATH_CQA_KERNELS` environment variable (`off` or `0`
+    /// disables; anything else — including unset — enables). Resolved once
+    /// per process, like `PATH_CQA_THREADS`.
+    #[default]
+    Auto,
+    /// Force the generic executor for every rule.
+    Off,
+    /// Use kernels for every eligible rule.
+    On,
+}
+
+impl Kernels {
+    /// True iff eligible rules should take the kernel path.
+    pub fn resolve(self) -> bool {
+        match self {
+            Kernels::On => true,
+            Kernels::Off => false,
+            Kernels::Auto => {
+                static AUTO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+                *AUTO.get_or_init(|| {
+                    !matches!(
+                        std::env::var("PATH_CQA_KERNELS").as_deref(),
+                        Ok("off") | Ok("0")
+                    )
+                })
+            }
+        }
+    }
+}
+
 /// Evaluation options, threaded from the solvers down to the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EvalOptions {
@@ -113,6 +154,9 @@ pub struct EvalOptions {
     /// is compiled the transformation already happened — but it rides in the
     /// options so solvers and sessions pick it up from one place.
     pub demand: crate::demand::Demand,
+    /// Whether eligible rules execute through the specialized kernels of
+    /// [`crate::kernel`]; consulted at execution time only (see [`Kernels`]).
+    pub kernels: Kernels,
 }
 
 impl EvalOptions {
@@ -135,6 +179,11 @@ impl EvalOptions {
     /// These options with an explicit demand setting.
     pub fn with_demand(self, demand: crate::demand::Demand) -> EvalOptions {
         EvalOptions { demand, ..self }
+    }
+
+    /// These options with an explicit kernel setting.
+    pub fn with_kernels(self, kernels: Kernels) -> EvalOptions {
+        EvalOptions { kernels, ..self }
     }
 }
 
@@ -177,6 +226,18 @@ pub struct EvalStats {
     /// IDB predicates the demand transformation eliminated entirely; same
     /// stamping convention as `rules_pruned`.
     pub predicates_pruned: u64,
+    /// Compiled plans (full and delta) this run executed through the
+    /// specialized kernels of [`crate::kernel`]. Zero when kernels are
+    /// disabled for the run; the kernel differential suite asserts it is
+    /// nonzero on the generated (binary-heavy) CQA programs.
+    pub kernel_rules: u64,
+    /// Compiled plans this run executed through the generic tuple executor
+    /// (ineligible rules, or every rule when kernels are disabled).
+    pub generic_rules: u64,
+    /// Kernel derive calls this run issued (work items on the parallel
+    /// driver, rule executions on the sequential one) — the per-run "kernel
+    /// hit" count surfaced through session and server stats.
+    pub kernel_invocations: u64,
 }
 
 impl EvalStats {
@@ -189,9 +250,11 @@ impl EvalStats {
 }
 
 /// One unit of round work: a plan plus an optional depth-0 scan range
-/// (a chunk of the delta range, or of a leading full scan).
+/// (a chunk of the delta range, or of a leading full scan), and the rule's
+/// kernel when this round executes it through the specialized path.
 struct Item<'a> {
     plan: &'a CompiledRule,
+    kernel: Option<&'a KernelRule>,
     range: Option<(usize, usize)>,
 }
 
@@ -203,10 +266,38 @@ pub(crate) struct WorkerPool {
 
 struct Worker {
     executor: Executor,
+    kexec: KernelExecutor,
     /// `(item index, derived tuples)` pairs produced during the round.
     results: Vec<(usize, Vec<Tuple>)>,
     /// Recycled tuple buffers, refilled from `results` after every merge.
     spare: VecDeque<Vec<Tuple>>,
+}
+
+impl Worker {
+    /// Derives one item into `out` through the item's chosen path.
+    fn derive_item(
+        &mut self,
+        item: &Item<'_>,
+        pred_map: &[PredId],
+        store: &RelationStore,
+        indexes: &IndexSpace,
+        kernels: &KernelSpace,
+        out: &mut Vec<Tuple>,
+    ) {
+        match item.kernel {
+            Some(kernel) => self
+                .kexec
+                .derive(kernel, pred_map, store, kernels, item.range, out),
+            None => self.executor.derive(
+                item.plan,
+                pred_map,
+                store,
+                &mut Probing::Ready(indexes),
+                item.range,
+                out,
+            ),
+        }
+    }
 }
 
 impl WorkerPool {
@@ -214,6 +305,7 @@ impl WorkerPool {
         let mut workers = Vec::with_capacity(threads);
         workers.resize_with(threads, || Worker {
             executor: Executor::default(),
+            kexec: KernelExecutor::default(),
             results: Vec::new(),
             spare: VecDeque::new(),
         });
@@ -231,6 +323,7 @@ const MIN_CHUNK: usize = 256;
 fn push_chunked<'a>(
     items: &mut Vec<Item<'a>>,
     plan: &'a CompiledRule,
+    kernel: Option<&'a KernelRule>,
     lo: usize,
     hi: usize,
     workers: usize,
@@ -246,6 +339,7 @@ fn push_chunked<'a>(
         let end = (start + chunk).min(hi);
         items.push(Item {
             plan,
+            kernel,
             range: Some((start, end)),
         });
         start = end;
@@ -257,6 +351,7 @@ fn push_chunked<'a>(
 fn push_plan_items<'a>(
     items: &mut Vec<Item<'a>>,
     plan: &'a CompiledRule,
+    kernel: Option<&'a KernelRule>,
     delta: Option<(usize, usize)>,
     pred_map: &[PredId],
     store: &RelationStore,
@@ -266,12 +361,16 @@ fn push_plan_items<'a>(
         Some(Op::Scan(ap)) => {
             let (lo, hi) =
                 delta.unwrap_or_else(|| (0, store.tuples_by_id(pred_map[ap.pred.index()]).len()));
-            push_chunked(items, plan, lo, hi, workers);
+            push_chunked(items, plan, kernel, lo, hi, workers);
         }
         // No leading scan (constant-bound probe/exists, or an empty body):
         // the plan is one indivisible item. A delta range never lands here —
         // delta literals always compile to a leading scan.
-        _ => items.push(Item { plan, range: delta }),
+        _ => items.push(Item {
+            plan,
+            kernel,
+            range: delta,
+        }),
     }
 }
 
@@ -286,9 +385,11 @@ fn run_round(
     pred_map: &[PredId],
     store: &mut RelationStore,
     indexes: &IndexSpace,
+    kernels: &KernelSpace,
     pool: &mut WorkerPool,
     stats: &mut EvalStats,
 ) {
+    stats.kernel_invocations += items.iter().filter(|item| item.kernel.is_some()).count() as u64;
     // Estimated round size: scan-range lengths, with unchunkable items
     // charged a full chunk. Small rounds — the long tail of a fixpoint,
     // where deltas shrink to a handful of tuples — run on the coordinator:
@@ -311,14 +412,7 @@ fn run_round(
         for (i, item) in items.iter().enumerate() {
             let mut out = worker.spare.pop_front().unwrap_or_default();
             out.clear();
-            worker.executor.derive(
-                item.plan,
-                pred_map,
-                store,
-                &mut Probing::Ready(indexes),
-                item.range,
-                &mut out,
-            );
+            worker.derive_item(item, pred_map, store, indexes, kernels, &mut out);
             if out.is_empty() {
                 worker.spare.push_back(out);
             } else {
@@ -330,29 +424,24 @@ fn run_round(
         let shared_store: &RelationStore = store;
         std::thread::scope(|scope| {
             for (w, worker) in pool.workers.iter_mut().enumerate().take(active) {
-                let Worker {
-                    executor,
-                    results,
-                    spare,
-                } = worker;
-                results.clear();
+                worker.results.clear();
                 scope.spawn(move || {
                     // Round-robin assignment: worker `w` takes items w, w+n, ...
                     for (i, item) in items.iter().enumerate().filter(|(i, _)| i % active == w) {
-                        let mut out = spare.pop_front().unwrap_or_default();
+                        let mut out = worker.spare.pop_front().unwrap_or_default();
                         out.clear();
-                        executor.derive(
-                            item.plan,
+                        worker.derive_item(
+                            item,
                             pred_map,
                             shared_store,
-                            &mut Probing::Ready(indexes),
-                            item.range,
+                            indexes,
+                            kernels,
                             &mut out,
                         );
                         if out.is_empty() {
-                            spare.push_back(out);
+                            worker.spare.push_back(out);
                         } else {
-                            results.push((i, out));
+                            worker.results.push((i, out));
                         }
                     }
                 });
@@ -379,14 +468,26 @@ fn run_round(
     }
 }
 
+/// Picks a rule's kernel iff this run executes kernels at all.
+fn kernel_of(use_kernels: bool, slot: &Option<KernelRule>) -> Option<&KernelRule> {
+    if use_kernels {
+        slot.as_ref()
+    } else {
+        None
+    }
+}
+
 /// Parallel semi-naive evaluation of one stratum: snapshot rounds across the
 /// worker pool, with the per-round index-extension and deterministic-merge
 /// protocol described in the module docs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_stratum_parallel(
     stratum: &CompiledStratum,
     pred_map: &[PredId],
     store: &mut RelationStore,
     indexes: &mut IndexSpace,
+    kspace: &mut KernelSpace,
+    use_kernels: bool,
     pool: &mut WorkerPool,
     stats: &mut EvalStats,
 ) {
@@ -398,16 +499,31 @@ pub(crate) fn evaluate_stratum_parallel(
             .map(|&p| store.len_of(pred_map[p.index()]))
             .collect()
     };
-    // Brings the stratum's probe indexes up to date with the store, skipped
-    // entirely when the generation watermark proves nothing has grown since
-    // the previous pass. This is the once-per-round `IndexSpace` update; the
-    // rest of the round treats the indexes as read-only.
+    // Brings the probe structures the round will actually read up to date
+    // with the store — the hash indexes of slots some *generic* plan probes
+    // (all slots when kernels are off), plus the CSR adjacencies of the
+    // stratum's kernels — skipped entirely when the generation watermark
+    // proves nothing has grown since the previous pass. This is the
+    // once-per-round update; the rest of the round treats both structures as
+    // read-only. Extending only the generically probed hash slots matters:
+    // re-extending indexes that exist purely for kernel-executed rules would
+    // pay the hash-build cost the kernels are there to avoid.
     let mut extended_at: Option<u64> = None;
     macro_rules! extend_indexes {
         () => {
             if extended_at != Some(store.generation()) {
-                for ps in &stratum.probe_slots {
+                let hash_slots = if use_kernels {
+                    &stratum.generic_probe_slots
+                } else {
+                    &stratum.probe_slots
+                };
+                for ps in hash_slots {
                     indexes.extend_slot(ps.slot, store, pred_map[ps.pred.index()], ps.mask);
+                }
+                if use_kernels {
+                    for &spec in &stratum.csr_slots {
+                        kspace.prepare(spec, pred_map, store);
+                    }
                 }
                 extended_at = Some(store.generation());
             }
@@ -421,10 +537,18 @@ pub(crate) fn evaluate_stratum_parallel(
     // chunked.
     stats.rounds += 1;
     extend_indexes!();
-    for plan in &stratum.full_plans {
-        push_plan_items(&mut items, plan, None, pred_map, store, workers);
+    for (plan, kernel) in stratum.full_plans.iter().zip(&stratum.full_kernels) {
+        push_plan_items(
+            &mut items,
+            plan,
+            kernel_of(use_kernels, kernel),
+            None,
+            pred_map,
+            store,
+            workers,
+        );
     }
-    run_round(&items, pred_map, store, indexes, pool, stats);
+    run_round(&items, pred_map, store, indexes, kspace, pool, stats);
 
     if stratum.delta_plans.is_empty() {
         return;
@@ -441,14 +565,21 @@ pub(crate) fn evaluate_stratum_parallel(
         stats.rounds += 1;
         extend_indexes!();
         items.clear();
-        for &(delta_idx, ref plan) in &stratum.delta_plans {
-            let (lo, hi) = (low[delta_idx], high[delta_idx]);
+        for ((delta_idx, plan), kernel) in stratum.delta_plans.iter().zip(&stratum.delta_kernels) {
+            let (lo, hi) = (low[*delta_idx], high[*delta_idx]);
             if lo == hi {
                 continue;
             }
-            push_chunked(&mut items, plan, lo, hi, workers);
+            push_chunked(
+                &mut items,
+                plan,
+                kernel_of(use_kernels, kernel),
+                lo,
+                hi,
+                workers,
+            );
         }
-        run_round(&items, pred_map, store, indexes, pool, stats);
+        run_round(&items, pred_map, store, indexes, kspace, pool, stats);
         low = high;
     }
 }
@@ -571,13 +702,13 @@ mod tests {
 
         // Tiny range: one item, never split below MIN_CHUNK.
         let mut items = Vec::new();
-        push_chunked(&mut items, &plan, 0, 100, 8);
+        push_chunked(&mut items, &plan, None, 0, 100, 8);
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].range, Some((0, 100)));
 
         // Large range: capped at workers * 4 chunks, covering exactly.
         let mut items = Vec::new();
-        push_chunked(&mut items, &plan, 0, 1_000_000, 4);
+        push_chunked(&mut items, &plan, None, 0, 1_000_000, 4);
         assert_eq!(items.len(), 16);
         assert_eq!(items[0].range.unwrap().0, 0);
         assert_eq!(items.last().unwrap().range.unwrap().1, 1_000_000);
@@ -587,7 +718,7 @@ mod tests {
 
         // Empty range: no items at all.
         let mut items = Vec::new();
-        push_chunked(&mut items, &plan, 7, 7, 4);
+        push_chunked(&mut items, &plan, None, 7, 7, 4);
         assert!(items.is_empty());
     }
 }

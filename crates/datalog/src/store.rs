@@ -27,6 +27,18 @@
 //! [`RelationStore::len_of`] is its cardinality. The generation watermark of
 //! an overlay starts at the base's, keeping the "has anything grown?"
 //! comparisons of the evaluation drivers monotone across the seam.
+//!
+//! # Columnar mirrors
+//!
+//! Unary and binary relations — the entire Lemma 14 fragment — additionally
+//! maintain flat `u32` column mirrors of their tuple vectors (raw
+//! [`Symbol::id`]s, appended on every insert) plus a bitset over symbol ids
+//! for unary membership. The specialized kernels of [`crate::kernel`] scan
+//! and probe these mirrors instead of boxed tuples; the generic engine paths
+//! never look at them. Base layers freeze their columns with the rest of the
+//! relation, and [`BaseStore`] caches committed CSR adjacency
+//! ([`CsrIndex`]) per `(predicate, key column)` exactly like its committed
+//! hash indexes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,24 +118,117 @@ impl PredTable {
     }
 }
 
+/// A growable bitset over raw [`Symbol::id`]s, giving unary relations O(1)
+/// membership without hashing. Word storage grows to the highest id seen, so
+/// memory is bounded by the interner size (a few KiB for CQA workloads).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Sets the bit; returns true iff it was previously clear (test-and-set,
+    /// so unary relations get membership and dedup from the same word probe).
+    fn insert(&mut self, id: u32) -> bool {
+        let word = (id / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (id % 64);
+        let novel = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        novel
+    }
+
+    /// True iff the id is in the set.
+    #[inline]
+    pub(crate) fn contains(&self, id: u32) -> bool {
+        self.words
+            .get((id / 64) as usize)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+}
+
+/// Flat `u32` mirrors of a relation's tuple vector, maintained eagerly on
+/// insert for arities 1 and 2 (other arities leave the mirrors empty and are
+/// never kernel-eligible). Column `i` of tuple id `t` is `c<i>[t]`; unary
+/// relations additionally mirror membership into a [`BitSet`].
+#[derive(Debug, Clone, Default)]
+struct ColumnMirror {
+    c0: Vec<u32>,
+    c1: Vec<u32>,
+    bits: BitSet,
+}
+
+impl ColumnMirror {
+    /// Appends the tuple's columns (membership is the caller's problem: the
+    /// unary bitset doubles as the membership structure, so [`Relation`]
+    /// probes it *before* deciding to push).
+    #[inline]
+    fn push(&mut self, tuple: &Tuple) {
+        match tuple.as_slice() {
+            [a] => self.c0.push(a.id()),
+            [a, b] => {
+                self.c0.push(a.id());
+                self.c1.push(b.id());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Packs a binary tuple into one machine word, so binary relations (the bulk
+/// of every CQA workload) dedup through a `FxHashSet<u64>` — one multiply
+/// and a word compare per probe — instead of hashing a 32-byte [`Tuple`].
+#[inline]
+fn pack_pair(a: u32, b: u32) -> u64 {
+    (u64::from(a) << 32) | u64::from(b)
+}
+
 /// One predicate's tuples: a dense append-only vector (indexes and deltas
-/// address tuples by position in it) plus a hash set for O(1) membership.
+/// address tuples by position in it), shape-routed membership, and the
+/// columnar mirror the specialized kernels read.
+///
+/// Membership is columnar for the kernel fragment: arity 1 tests the mirror's
+/// [`BitSet`], arity 2 a packed-`u64` set ([`pack_pair`]); only arity ≥ 3
+/// falls back to hashing whole [`Tuple`]s. Insert-side dedup is the dominant
+/// shared cost of a fixpoint round, so this routing speeds both execution
+/// cores — it is what makes the (u32, u32) store "columnar" end to end
+/// rather than only on the scan side.
 #[derive(Debug, Clone, Default)]
 struct Relation {
     tuples: Vec<Tuple>,
+    /// Membership for arity ≥ 3 only; empty otherwise.
     set: FxHashSet<Tuple>,
+    /// Membership for arity 2 only ([`pack_pair`] keys); empty otherwise.
+    pairs: FxHashSet<u64>,
+    cols: ColumnMirror,
 }
 
 impl Relation {
-    fn insert(&mut self, tuple: Tuple) -> bool {
-        // Single hash lookup; the clone is an inline copy for the arity ≤ 4
-        // tuples this workload uses.
-        if self.set.insert(tuple.clone()) {
-            self.tuples.push(tuple);
-            true
-        } else {
-            false
+    /// True iff the tuple is present, probing the shape-matched structure.
+    #[inline]
+    fn contains(&self, tuple: &[Symbol]) -> bool {
+        match tuple {
+            [a] => self.cols.bits.contains(a.id()),
+            [a, b] => self.pairs.contains(&pack_pair(a.id(), b.id())),
+            _ => self.set.contains(tuple),
         }
+    }
+
+    fn insert(&mut self, tuple: Tuple) -> bool {
+        // Single membership probe per insert; only the arity ≥ 3 fallback
+        // hashes (and clones) the tuple itself.
+        let novel = match tuple.as_slice() {
+            [a] => self.cols.bits.insert(a.id()),
+            [a, b] => self.pairs.insert(pack_pair(a.id(), b.id())),
+            _ => self.set.insert(tuple.clone()),
+        };
+        if novel {
+            self.cols.push(&tuple);
+            self.tuples.push(tuple);
+        }
+        novel
     }
 }
 
@@ -166,6 +271,95 @@ impl BaseIndex {
     }
 }
 
+/// CSR adjacency over one column segment of a binary relation: key value →
+/// the other column's values, in ascending tuple-id order (so a layered
+/// probe that walks the base bucket then the overlay bucket enumerates
+/// candidates exactly like the generic hash index does).
+///
+/// Keys within `4·n + 1024` of each other are stored dense — a counting
+/// sort into an offsets/values pair, O(1) bucket lookup with no hashing —
+/// and wider key ranges fall back to a hash map so a single outlier id
+/// cannot blow up memory.
+#[derive(Debug)]
+pub(crate) enum CsrIndex {
+    /// Offsets are indexed by `key - min_key`; `offsets[i]..offsets[i + 1]`
+    /// delimits the bucket in `vals`.
+    Dense {
+        min_key: u32,
+        offsets: Vec<u32>,
+        vals: Vec<u32>,
+    },
+    /// Sparse fallback for pathologically wide key ranges.
+    Sparse(FxHashMap<u32, Vec<u32>>),
+}
+
+impl CsrIndex {
+    /// Builds the adjacency from parallel key/value columns (equal length).
+    pub(crate) fn build(keys: &[u32], vals: &[u32]) -> CsrIndex {
+        debug_assert_eq!(keys.len(), vals.len());
+        let n = keys.len();
+        if n == 0 {
+            return CsrIndex::Dense {
+                min_key: 0,
+                offsets: vec![0],
+                vals: Vec::new(),
+            };
+        }
+        let min_key = keys.iter().copied().min().expect("nonempty");
+        let max_key = keys.iter().copied().max().expect("nonempty");
+        let range = (max_key - min_key) as usize + 1;
+        if range <= 4 * n + 1024 {
+            let mut offsets = vec![0u32; range + 1];
+            for &k in keys {
+                offsets[(k - min_key) as usize + 1] += 1;
+            }
+            for i in 1..offsets.len() {
+                offsets[i] += offsets[i - 1];
+            }
+            let mut cursor = offsets.clone();
+            let mut out = vec![0u32; n];
+            // Ascending id order per bucket falls out of the stable pass.
+            for (&k, &v) in keys.iter().zip(vals) {
+                let slot = &mut cursor[(k - min_key) as usize];
+                out[*slot as usize] = v;
+                *slot += 1;
+            }
+            CsrIndex::Dense {
+                min_key,
+                offsets,
+                vals: out,
+            }
+        } else {
+            let mut map: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+            for (&k, &v) in keys.iter().zip(vals) {
+                map.entry(k).or_default().push(v);
+            }
+            CsrIndex::Sparse(map)
+        }
+    }
+
+    /// The other-column values paired with `key` (ascending tuple-id order).
+    #[inline]
+    pub(crate) fn bucket(&self, key: u32) -> &[u32] {
+        match self {
+            CsrIndex::Dense {
+                min_key,
+                offsets,
+                vals,
+            } => {
+                let Some(i) = key.checked_sub(*min_key).map(|d| d as usize) else {
+                    return &[];
+                };
+                if i + 1 >= offsets.len() {
+                    return &[];
+                }
+                &vals[offsets[i] as usize..offsets[i + 1] as usize]
+            }
+            CsrIndex::Sparse(map) => map.get(&key).map_or(&[], Vec::as_slice),
+        }
+    }
+}
+
 /// A frozen relation store, shared via `Arc` as the common bottom layer of
 /// many overlay [`RelationStore`]s.
 ///
@@ -192,7 +386,11 @@ pub struct BaseStore {
     /// so concurrent first probes of one `(pred, mask)` still build exactly
     /// once (the loser of the race finds the entry).
     indexes: Mutex<HashMap<(u32, u32), Arc<BaseIndex>>>,
-    /// Number of committed indexes actually built (cache misses).
+    /// Committed CSR adjacencies for the kernel path, keyed by `(pred id,
+    /// key column)`; same build-once contract as `indexes`.
+    csr: Mutex<HashMap<(u32, u8), Arc<CsrIndex>>>,
+    /// Number of committed indexes actually built (cache misses), counting
+    /// both hash indexes and CSR adjacencies.
     index_builds: AtomicU64,
 }
 
@@ -214,6 +412,7 @@ impl BaseStore {
             relations: store.relations,
             generation: store.generation,
             indexes: Mutex::new(HashMap::new()),
+            csr: Mutex::new(HashMap::new()),
             index_builds: AtomicU64::new(0),
         })
     }
@@ -238,6 +437,26 @@ impl BaseStore {
             std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
             std::collections::hash_map::Entry::Vacant(e) => {
                 let built = Arc::new(BaseIndex::build(&self.relations[id.index()].tuples, mask));
+                self.index_builds.fetch_add(1, Ordering::Relaxed);
+                (Arc::clone(e.insert(built)), true)
+            }
+        }
+    }
+
+    /// The committed CSR adjacency for `(id, key_col)` over a binary base
+    /// relation, building it on first request; the flag reports whether this
+    /// call built it. Built once per base, shared by every overlay run.
+    pub(crate) fn committed_csr(&self, id: PredId, key_col: u8) -> (Arc<CsrIndex>, bool) {
+        let mut cache = self.csr.lock().expect("base csr cache poisoned");
+        match cache.entry((id.0, key_col)) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let cols = &self.relations[id.index()].cols;
+                let (keys, vals) = match key_col {
+                    0 => (&cols.c0, &cols.c1),
+                    _ => (&cols.c1, &cols.c0),
+                };
+                let built = Arc::new(CsrIndex::build(keys, vals));
                 self.index_builds.fetch_add(1, Ordering::Relaxed);
                 (Arc::clone(e.insert(built)), true)
             }
@@ -316,6 +535,63 @@ impl<'a> Tuples<'a> {
     }
 }
 
+/// One layer's `(c0, c1)` column-slice pair.
+pub(crate) type ColPair<'a> = (&'a [u32], &'a [u32]);
+
+/// Two-segment view of a binary relation's `u32` column mirrors (base layer
+/// then overlay), the kernel analogue of [`Tuples`]: column `c` of tuple id
+/// `t` is the concatenation's `c<c>[t]`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Cols2<'a> {
+    pub(crate) base0: &'a [u32],
+    pub(crate) base1: &'a [u32],
+    pub(crate) delta0: &'a [u32],
+    pub(crate) delta1: &'a [u32],
+}
+
+impl<'a> Cols2<'a> {
+    /// The column pairs covering ids `lo..hi`, split at the base/overlay
+    /// seam: `((base c0, base c1), (overlay c0, overlay c1))`.
+    #[inline]
+    pub(crate) fn segments(self, lo: usize, hi: usize) -> (ColPair<'a>, ColPair<'a>) {
+        let b = self.base0.len();
+        let (blo, bhi) = (lo.min(b), hi.min(b));
+        let (dlo, dhi) = (lo.saturating_sub(b), hi.saturating_sub(b));
+        (
+            (&self.base0[blo..bhi], &self.base1[blo..bhi]),
+            (&self.delta0[dlo..dhi], &self.delta1[dlo..dhi]),
+        )
+    }
+}
+
+/// Two-segment view of a unary relation's column mirror plus the layered
+/// membership bitsets.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Cols1<'a> {
+    pub(crate) base: &'a [u32],
+    pub(crate) delta: &'a [u32],
+    base_bits: Option<&'a BitSet>,
+    delta_bits: &'a BitSet,
+}
+
+impl<'a> Cols1<'a> {
+    /// True iff the symbol id is in the relation (either layer).
+    #[inline]
+    pub(crate) fn contains(&self, id: u32) -> bool {
+        self.delta_bits.contains(id) || self.base_bits.is_some_and(|b| b.contains(id))
+    }
+
+    /// The column slices covering ids `lo..hi`, split at the seam.
+    #[inline]
+    pub(crate) fn segments(self, lo: usize, hi: usize) -> (&'a [u32], &'a [u32]) {
+        let b = self.base.len();
+        (
+            &self.base[lo.min(b)..hi.min(b)],
+            &self.delta[lo.saturating_sub(b)..hi.saturating_sub(b)],
+        )
+    }
+}
+
 /// A borrowed view of a unary relation: O(1) membership through the layered
 /// hash sets and allocation-free iteration, replacing the `BTreeSet`
 /// the old `RelationStore::unary` rebuilt on every call (a measurable cost
@@ -327,12 +603,12 @@ pub struct UnaryView<'a> {
 }
 
 impl UnaryView<'_> {
-    /// True iff the symbol is in the relation (either layer).
+    /// True iff the symbol is in the relation (either layer): two bitset
+    /// word probes, no hashing.
     #[inline]
     pub fn contains(&self, sym: Symbol) -> bool {
-        let key = [sym];
-        self.base.is_some_and(|r| r.set.contains(&key[..]))
-            || self.delta.is_some_and(|r| r.set.contains(&key[..]))
+        self.base.is_some_and(|r| r.cols.bits.contains(sym.id()))
+            || self.delta.is_some_and(|r| r.cols.bits.contains(sym.id()))
     }
 
     /// Number of distinct symbols (layers never duplicate each other).
@@ -460,6 +736,45 @@ impl RelationStore {
         }
     }
 
+    /// The committed base-layer CSR adjacency for `(id, key_col)`, if this
+    /// store is an overlay and the base holds tuples of the predicate; same
+    /// contract as [`RelationStore::base_index`].
+    pub(crate) fn base_csr(&self, id: PredId, key_col: u8) -> Option<(Arc<CsrIndex>, bool)> {
+        let base = self.base.as_ref()?;
+        match base.relations.get(id.index()) {
+            Some(r) if !r.tuples.is_empty() => Some(base.committed_csr(id, key_col)),
+            _ => None,
+        }
+    }
+
+    /// The binary column mirrors of an interned predicate as a two-segment
+    /// view; ids match [`RelationStore::tuples_by_id`].
+    #[inline]
+    pub(crate) fn cols2_by_id(&self, id: PredId) -> Cols2<'_> {
+        let base = self.base_relation(id).map(|r| &r.cols);
+        let delta = &self.relations[id.index()].cols;
+        Cols2 {
+            base0: base.map_or(&[][..], |c| &c.c0),
+            base1: base.map_or(&[][..], |c| &c.c1),
+            delta0: &delta.c0,
+            delta1: &delta.c1,
+        }
+    }
+
+    /// The unary column mirror and membership bitsets of an interned
+    /// predicate as a two-segment view.
+    #[inline]
+    pub(crate) fn cols1_by_id(&self, id: PredId) -> Cols1<'_> {
+        let base = self.base_relation(id).map(|r| &r.cols);
+        let delta = &self.relations[id.index()].cols;
+        Cols1 {
+            base: base.map_or(&[][..], |c| &c.c0),
+            delta: &delta.c0,
+            base_bits: base.map(|c| &c.bits),
+            delta_bits: &delta.bits,
+        }
+    }
+
     /// True iff the tuple is present (either layer).
     pub fn contains(&self, pred: Predicate, tuple: &[Symbol]) -> bool {
         self.preds
@@ -470,10 +785,8 @@ impl RelationStore {
     /// True iff the tuple is present, by interned id.
     #[inline]
     pub(crate) fn contains_by_id(&self, id: PredId, tuple: &[Symbol]) -> bool {
-        self.relations[id.index()].set.contains(tuple)
-            || self
-                .base_relation(id)
-                .is_some_and(|r| r.set.contains(tuple))
+        self.relations[id.index()].contains(tuple)
+            || self.base_relation(id).is_some_and(|r| r.contains(tuple))
     }
 
     /// Inserts a tuple; returns true if it was new.
@@ -491,7 +804,7 @@ impl RelationStore {
     pub(crate) fn insert_by_id(&mut self, id: PredId, tuple: Tuple) -> bool {
         if self
             .base_relation(id)
-            .is_some_and(|r| r.set.contains(tuple.as_slice()))
+            .is_some_and(|r| r.contains(tuple.as_slice()))
         {
             return false;
         }
@@ -551,10 +864,10 @@ impl RelationStore {
 
     /// Bulk-loads tuples into a predicate of a **flat** store, reserving
     /// capacity up front. The caller asserts the tuples are pairwise
-    /// distinct and not yet present (each is still hashed once for the
-    /// membership set, but never re-checked or re-inserted); overlays must
-    /// go through [`RelationStore::insert`], which deduplicates against the
-    /// base.
+    /// distinct and not yet present (each still lands in the shape-routed
+    /// membership structure once, but is never re-checked or re-inserted);
+    /// overlays must go through [`RelationStore::insert`], which deduplicates
+    /// against the base.
     pub(crate) fn bulk_load<I: ExactSizeIterator<Item = Tuple>>(
         &mut self,
         pred: Predicate,
@@ -564,11 +877,26 @@ impl RelationStore {
         let id = self.intern(pred);
         let relation = &mut self.relations[id.index()];
         relation.tuples.reserve(tuples.len());
-        relation.set.reserve(tuples.len());
+        match pred.arity {
+            1 => {}
+            2 => relation.pairs.reserve(tuples.len()),
+            _ => relation.set.reserve(tuples.len()),
+        }
         for tuple in tuples {
             debug_assert_eq!(pred.arity, tuple.len());
-            debug_assert!(!relation.set.contains(tuple.as_slice()));
-            relation.set.insert(tuple.clone());
+            debug_assert!(!relation.contains(tuple.as_slice()));
+            match tuple.as_slice() {
+                [a] => {
+                    relation.cols.bits.insert(a.id());
+                }
+                [a, b] => {
+                    relation.pairs.insert(pack_pair(a.id(), b.id()));
+                }
+                _ => {
+                    relation.set.insert(tuple.clone());
+                }
+            }
+            relation.cols.push(&tuple);
             relation.tuples.push(tuple);
             self.generation += 1;
         }
@@ -789,6 +1117,85 @@ mod tests {
         // Arity misuse is still rejected; absent predicates are empty.
         assert!(overlay.unary(pred("R", 2)).is_err());
         assert!(overlay.unary(pred("absent", 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn column_mirrors_track_tuples_across_layers() {
+        let base = edb_base_from_instance(&small_db());
+        let mut store = RelationStore::overlay_on(&base);
+        let r = pred("R", 2);
+        store.insert(r, [sym("c"), sym("d")]);
+        let id = store.pred_id(r).unwrap();
+        let cols = store.cols2_by_id(id);
+        let tuples = store.tuples_by_id(id);
+        assert_eq!(cols.base0.len() + cols.delta0.len(), tuples.len());
+        for (i, t) in tuples.iter().enumerate() {
+            let ((b0, b1), (d0, d1)) = cols.segments(i, i + 1);
+            let (c0, c1) = if b0.is_empty() {
+                (d0[0], d1[0])
+            } else {
+                (b0[0], b1[0])
+            };
+            assert_eq!((c0, c1), (t[0].id(), t[1].id()));
+        }
+        // Unary mirror + bitset membership across layers.
+        let adom = store.intern(pred("adom", 1));
+        store.insert_by_id(adom, Tuple::from([sym("zz")]));
+        let ones = store.cols1_by_id(adom);
+        assert!(ones.contains(sym("a").id())); // base layer
+        assert!(ones.contains(sym("zz").id())); // overlay
+        assert!(!ones.contains(sym("unseen-symbol").id()));
+        assert_eq!(ones.base.len() + ones.delta.len(), store.len_of(adom));
+    }
+
+    #[test]
+    fn csr_buckets_match_the_hash_index_and_stay_in_id_order() {
+        let mut flat = RelationStore::new();
+        let r = pred("R", 2);
+        for (k, v) in [("a", "x"), ("b", "y"), ("a", "z"), ("a", "w")] {
+            flat.insert(r, [sym(k), sym(v)]);
+        }
+        let id = flat.pred_id(r).unwrap();
+        let cols = flat.cols2_by_id(id);
+        let csr = CsrIndex::build(cols.delta0, cols.delta1);
+        // Bucket values come back in ascending tuple-id (insertion) order.
+        assert_eq!(
+            csr.bucket(sym("a").id()),
+            &[sym("x").id(), sym("z").id(), sym("w").id()]
+        );
+        assert_eq!(csr.bucket(sym("b").id()), &[sym("y").id()]);
+        assert!(csr.bucket(sym("x").id()).is_empty() || sym("x").id() == sym("a").id());
+
+        // The committed base CSR agrees and builds exactly once.
+        let base = BaseStore::freeze(flat);
+        let builds_before = base.index_builds();
+        let (first, built) = base.committed_csr(id, 0);
+        assert!(built);
+        let (second, built_again) = base.committed_csr(id, 0);
+        assert!(!built_again);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(base.index_builds(), builds_before + 1);
+        assert_eq!(first.bucket(sym("a").id()).len(), 3);
+        // Keyed by the other column.
+        let (by_val, _) = base.committed_csr(id, 1);
+        assert_eq!(by_val.bucket(sym("z").id()), &[sym("a").id()]);
+    }
+
+    #[test]
+    fn csr_sparse_fallback_agrees_with_dense() {
+        // Force the sparse representation with two far-apart synthetic keys.
+        let keys = [0u32, u32::MAX - 1, 0, u32::MAX - 1];
+        let vals = [1u32, 2, 3, 4];
+        let csr = CsrIndex::build(&keys, &vals);
+        assert!(matches!(csr, CsrIndex::Sparse(_)));
+        assert_eq!(csr.bucket(0), &[1, 3]);
+        assert_eq!(csr.bucket(u32::MAX - 1), &[2, 4]);
+        assert!(csr.bucket(7).is_empty());
+        let dense = CsrIndex::build(&[5, 7, 5], &[1, 2, 3]);
+        assert!(matches!(dense, CsrIndex::Dense { .. }));
+        assert_eq!(dense.bucket(5), &[1, 3]);
+        assert!(dense.bucket(4).is_empty());
+        assert!(dense.bucket(8).is_empty());
     }
 
     #[test]

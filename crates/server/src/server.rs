@@ -364,6 +364,12 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                     session.demand.predicates_pruned.to_string(),
                 ),
                 pair("tuples_derived", session.demand.tuples_derived.to_string()),
+                pair("kernel_rules", session.demand.kernel_rules.to_string()),
+                pair("generic_rules", session.demand.generic_rules.to_string()),
+                pair(
+                    "kernel_invocations",
+                    session.demand.kernel_invocations.to_string(),
+                ),
             ])
         }
         Command::Stats {

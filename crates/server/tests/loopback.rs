@@ -99,6 +99,31 @@ fn mixed_tenant_stream_matches_direct_answers() {
     );
     let _ = stat(&global, "rules_pruned");
     let _ = stat(&global, "predicates_pruned");
+    // The generated CQA programs live in the unary/binary fragment, so with
+    // kernels at their default (on) the runs must be attributed to the
+    // specialized path. The CI kernels-off pass flips the default through
+    // the env knob; there the counters must exist but stay zero.
+    if matches!(
+        std::env::var("PATH_CQA_KERNELS").as_deref(),
+        Ok("off") | Ok("0")
+    ) {
+        assert_eq!(stat(&global, "kernel_rules"), 0, "kernels off but selected");
+        assert_eq!(
+            stat(&global, "kernel_invocations"),
+            0,
+            "kernels off but run"
+        );
+    } else {
+        assert!(
+            stat(&global, "kernel_rules") > 0,
+            "no rule was served through a specialized kernel"
+        );
+        assert!(
+            stat(&global, "kernel_invocations") > 0,
+            "kernel rules were selected but never executed"
+        );
+    }
+    let _ = stat(&global, "generic_rules");
     let per_tenant: u64 = (0..tenants)
         .map(|t| {
             stat(

@@ -89,6 +89,12 @@ pub struct DemandCounts {
     /// Tuples the engine actually derived (semi-naive inserts, EDB loads
     /// excluded).
     pub tuples_derived: u64,
+    /// Rules served through a shape-specialized kernel, summed per run.
+    pub kernel_rules: u64,
+    /// Rules served through the generic hash-join plan, summed per run.
+    pub generic_rules: u64,
+    /// Individual kernel executions (per rule, per semi-naive round).
+    pub kernel_invocations: u64,
 }
 
 /// Interior-mutable accumulator behind [`DemandCounts`].
@@ -97,6 +103,9 @@ struct DemandCounters {
     rules_pruned: AtomicU64,
     predicates_pruned: AtomicU64,
     tuples_derived: AtomicU64,
+    kernel_rules: AtomicU64,
+    generic_rules: AtomicU64,
+    kernel_invocations: AtomicU64,
 }
 
 /// A query's prepared NL evaluation artifacts, shareable across instances
@@ -178,6 +187,9 @@ impl NlSolver {
             rules_pruned: self.demand.rules_pruned.load(Ordering::Relaxed),
             predicates_pruned: self.demand.predicates_pruned.load(Ordering::Relaxed),
             tuples_derived: self.demand.tuples_derived.load(Ordering::Relaxed),
+            kernel_rules: self.demand.kernel_rules.load(Ordering::Relaxed),
+            generic_rules: self.demand.generic_rules.load(Ordering::Relaxed),
+            kernel_invocations: self.demand.kernel_invocations.load(Ordering::Relaxed),
         }
     }
 
@@ -192,6 +204,15 @@ impl NlSolver {
         self.demand
             .tuples_derived
             .fetch_add(stats.tuples_derived, Ordering::Relaxed);
+        self.demand
+            .kernel_rules
+            .fetch_add(stats.kernel_rules, Ordering::Relaxed);
+        self.demand
+            .generic_rules
+            .fetch_add(stats.generic_rules, Ordering::Relaxed);
+        self.demand
+            .kernel_invocations
+            .fetch_add(stats.kernel_invocations, Ordering::Relaxed);
     }
 
     /// Prepares (or fetches the cached) per-query plan: the strict B2b

@@ -8,9 +8,10 @@
 # `session_cow` (copy-on-write shared-prefix families vs fresh-load,
 # store-build amortization isolated), `server_throughput` (live loopback
 # cqa-server vs direct in-process session calls on the same multi-tenant
-# stream — the wire/dispatch overhead) and `demand_transform` (demand-driven
+# stream — the wire/dispatch overhead), `demand_transform` (demand-driven
 # derivation off vs prune vs magic on goal-sparse, route-level and family
-# workloads) suites.
+# workloads) and `binary_kernels` (shape-specialized kernels off vs on over
+# tc chains, the warm RRX route and shared-prefix family batches) suites.
 # Before overwriting BENCH_datalog.json, fresh medians are diffed against the
 # checked-in baseline with per-entry ratios, so regressions are visible in
 # the run's own output instead of only in the git diff.
@@ -39,7 +40,8 @@ CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
     --bench session_cow \
     --bench parallel_scaling \
     --bench server_throughput \
-    --bench demand_transform
+    --bench demand_transform \
+    --bench binary_kernels
 
 # Per-entry ratio diff against the checked-in baseline (fresh/baseline: < 1
 # is faster, > 1 slower). New entries print "(new)"; nothing fails here —
