@@ -27,7 +27,6 @@ use cqa_datalog::prelude::edb_base_from_instance;
 use cqa_datalog::store::BaseStore;
 use cqa_db::family::InstanceFamily;
 use cqa_server::client::Client;
-use cqa_server::registry::ResidencyLimits;
 use cqa_server::server::{start, ServerConfig};
 use cqa_solver::prelude::*;
 use cqa_workloads::random::{shared_prefix_families, tenant_request_stream, TenantRequest};
@@ -101,7 +100,7 @@ fn bench_server_throughput(c: &mut Criterion) {
                 let server = start(ServerConfig {
                     addr: "127.0.0.1:0".to_owned(),
                     workers: 2,
-                    limits: ResidencyLimits::default(),
+                    ..ServerConfig::default()
                 })
                 .expect("bind loopback");
                 let mut client = Client::connect(server.addr()).expect("connect");

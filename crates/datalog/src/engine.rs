@@ -172,6 +172,25 @@ pub(crate) struct CompiledStratum {
     /// extending the rest would rebuild exactly the structures the kernels
     /// bypass.
     pub(crate) generic_probe_slots: Vec<ProbeSlot>,
+    /// Whether this stratum can be *checkpointed*: every rule is negation-free
+    /// and every positive body literal is EDB, same-stratum, or from an
+    /// earlier checkpointable stratum — so its fixpoint over a base EDB is a
+    /// valid semi-naive intermediate state for any EDB extension, and
+    /// per-request evaluation can resume from it instead of re-deriving.
+    pub(crate) checkpointable: bool,
+    /// Resume plans of a checkpointable stratum: for every positive body
+    /// literal position on a *non*-same-stratum predicate, the rule compiled
+    /// with a forced leading scan at that position, keyed by the scanned
+    /// predicate's program-scoped id. A resumed run fires each of these over
+    /// the predicate's overlay segment only (the EDB delta, or tuples an
+    /// earlier checkpointable stratum derived in the same run), replacing the
+    /// initial full-plan round; the ordinary delta loop then closes
+    /// same-stratum recursion. Empty for non-checkpointable strata.
+    pub(crate) resume_plans: Vec<(PredId, CompiledRule)>,
+    /// Index slots the resume plans probe; the parallel driver extends these
+    /// once at resume-round entry (they may be disjoint from
+    /// `generic_probe_slots`, which only covers full/delta plans).
+    pub(crate) resume_probe_slots: Vec<ProbeSlot>,
 }
 
 /// A program compiled once and evaluated many times: stratified join plans,
@@ -217,6 +236,11 @@ impl CompiledProgram {
         let mut islots = IndexSlots::default();
         let mut kslots = CsrSlots::default();
         let mut strata = Vec::with_capacity(strat.strata.len());
+        // Grows stratum by stratum: the predicates whose fixpoint a base
+        // checkpoint may hold (EDB, then every checkpointable stratum in
+        // order). A stratum depending on anything outside this set cannot be
+        // pre-evaluated — those tuples don't exist at checkpoint-build time.
+        let mut checkpointable_preds: BTreeSet<Predicate> = program.edb.iter().copied().collect();
         for stratum_preds in &strat.strata {
             let stratum: BTreeSet<Predicate> = stratum_preds.iter().copied().collect();
             let rules: Vec<(usize, &Rule)> = program
@@ -250,6 +274,56 @@ impl CompiledProgram {
                     }
                 }
             }
+            // Checkpoint eligibility and resume plans. Negation disqualifies
+            // (the stratum's output can shrink under EDB growth); builtins
+            // are pure filters and keep monotonicity.
+            let checkpointable = rules.iter().all(|&(_, rule)| {
+                rule.body.iter().all(|literal| match literal {
+                    crate::ast::BodyLiteral::Positive(atom) => {
+                        stratum.contains(&atom.pred) || checkpointable_preds.contains(&atom.pred)
+                    }
+                    crate::ast::BodyLiteral::Negative(_) => false,
+                    crate::ast::BodyLiteral::Builtin(_) => true,
+                })
+            });
+            let mut resume_plans: Vec<(PredId, CompiledRule)> = Vec::new();
+            if checkpointable {
+                checkpointable_preds.extend(stratum_preds.iter().copied());
+                for &(i, rule) in &rules {
+                    for (pos, literal) in rule.body.iter().enumerate() {
+                        if let crate::ast::BodyLiteral::Positive(atom) = literal {
+                            if !stratum.contains(&atom.pred) {
+                                resume_plans.push((
+                                    preds.intern(atom.pred),
+                                    compile_rule(
+                                        rule,
+                                        &numberings[i],
+                                        Some(pos),
+                                        &mut preds,
+                                        &mut islots,
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            let mut resume_probe_slots: Vec<ProbeSlot> = Vec::new();
+            for (_, plan) in &resume_plans {
+                for op in &plan.ops {
+                    if let Op::Probe(ap) = op {
+                        let ps = ProbeSlot {
+                            slot: ap.index_slot,
+                            pred: ap.pred,
+                            mask: ap.mask,
+                        };
+                        if !resume_probe_slots.contains(&ps) {
+                            resume_probe_slots.push(ps);
+                        }
+                    }
+                }
+            }
+            resume_probe_slots.sort_by_key(|ps| ps.slot);
             // Kernel selection: translate each plan to the specialized
             // register machine where the fragment allows (per-rule fallback
             // otherwise — see `crate::kernel`). The stratum's own predicates
@@ -305,6 +379,9 @@ impl CompiledProgram {
                 delta_kernels,
                 csr_slots,
                 generic_probe_slots,
+                checkpointable,
+                resume_plans,
+                resume_probe_slots,
             });
         }
         let kernel_rules: u64 = strata
@@ -362,6 +439,51 @@ impl CompiledProgram {
     ) -> (RelationStore, EvalStats) {
         Evaluator::with_options(self, *options).run_on_store_with_stats(store)
     }
+
+    /// True iff at least one stratum with rules is checkpointable — i.e.
+    /// [`CompiledProgram::checkpoint_base`] would pre-derive something and a
+    /// resumed run would skip work. When false, resuming degenerates to a
+    /// plain run and callers should not bother building a checkpoint.
+    pub fn has_checkpointable_strata(&self) -> bool {
+        self.strata
+            .iter()
+            .any(|s| s.checkpointable && !s.full_plans.is_empty())
+    }
+
+    /// Builds this program's **checkpointed variant** of a frozen base: a new
+    /// [`BaseStore`] holding the base's relations plus the fixpoint of every
+    /// checkpointable stratum (evaluated sequentially, once). Evaluating an
+    /// overlay on the returned base with
+    /// [`CompiledProgram::resume_on_store_with_stats`] derives exactly what a
+    /// from-scratch run on the raw base derives — the checkpoint only moves
+    /// the prefix-determined part of that work out of the request path.
+    ///
+    /// Callers should cache the result per (base, program); see
+    /// [`BaseStore::checkpoint`].
+    pub fn checkpoint_base(&self, base: &BaseStore) -> std::sync::Arc<BaseStore> {
+        let (store, _) = Evaluator::with_options(self, EvalOptions::sequential()).run_inner(
+            base.thaw(),
+            false,
+            true,
+        );
+        BaseStore::freeze(store)
+    }
+
+    /// Runs the program on an overlay over a **checkpointed** base (built by
+    /// [`CompiledProgram::checkpoint_base`] from the same program), resuming
+    /// checkpointable strata semi-naive from the checkpoint: their initial
+    /// full-plan round is replaced by delta-restricted resume plans over the
+    /// overlay segments, and non-checkpointable strata re-run from scratch as
+    /// usual. The resulting fact set is identical to
+    /// [`CompiledProgram::run_on_store_with_stats`] on the raw base;
+    /// [`EvalStats::checkpoint_hits`] counts the resumed strata.
+    pub fn resume_on_store_with_stats(
+        &self,
+        store: RelationStore,
+        options: &EvalOptions,
+    ) -> (RelationStore, EvalStats) {
+        Evaluator::with_options(self, *options).run_inner(store, true, false)
+    }
 }
 
 /// Evaluates a [`CompiledProgram`] over a database instance; all per-run
@@ -406,7 +528,22 @@ impl<'a> Evaluator<'a> {
     /// loop (the stats bookkeeping never changes what is derived, or in which
     /// order); with more it switches to the parallel per-round driver of
     /// [`crate::parallel`].
-    pub fn run_on_store_with_stats(&self, mut store: RelationStore) -> (RelationStore, EvalStats) {
+    pub fn run_on_store_with_stats(&self, store: RelationStore) -> (RelationStore, EvalStats) {
+        self.run_inner(store, false, false)
+    }
+
+    /// The shared driver behind every `run*` entry point. `resume` makes
+    /// checkpointable strata start from their base checkpoint (resume plans
+    /// over overlay segments instead of the full-plan round);
+    /// `only_checkpointable` restricts the run to checkpointable strata (the
+    /// checkpoint *construction* pass — see
+    /// [`CompiledProgram::checkpoint_base`]).
+    fn run_inner(
+        &self,
+        mut store: RelationStore,
+        resume: bool,
+        only_checkpointable: bool,
+    ) -> (RelationStore, EvalStats) {
         // Translate program-scoped ids to store-scoped ids once per run; the
         // inner loop then only does vector indexing.
         let pred_map: Vec<PredId> = self
@@ -434,6 +571,9 @@ impl<'a> Evaluator<'a> {
             let mut executor = Executor::default();
             let mut kexec = KernelExecutor::default();
             for stratum in &self.compiled.strata {
+                if only_checkpointable && !stratum.checkpointable {
+                    continue;
+                }
                 evaluate_stratum(
                     stratum,
                     &pred_map,
@@ -441,6 +581,7 @@ impl<'a> Evaluator<'a> {
                     &mut indexes,
                     &mut kspace,
                     use_kernels,
+                    resume,
                     &mut executor,
                     &mut kexec,
                     &mut stats,
@@ -449,6 +590,9 @@ impl<'a> Evaluator<'a> {
         } else {
             let mut pool = WorkerPool::new(threads);
             for stratum in &self.compiled.strata {
+                if only_checkpointable && !stratum.checkpointable {
+                    continue;
+                }
                 evaluate_stratum_parallel(
                     stratum,
                     &pred_map,
@@ -456,6 +600,7 @@ impl<'a> Evaluator<'a> {
                     &mut indexes,
                     &mut kspace,
                     use_kernels,
+                    resume,
                     &mut pool,
                     &mut stats,
                 );
@@ -482,6 +627,7 @@ fn evaluate_stratum(
     indexes: &mut IndexSpace,
     kspace: &mut KernelSpace,
     use_kernels: bool,
+    resume: bool,
     executor: &mut Executor,
     kexec: &mut KernelExecutor,
     stats: &mut EvalStats,
@@ -498,30 +644,60 @@ fn evaluate_stratum(
     let mut low = watermark(store);
     let mut derived: Vec<Tuple> = Vec::new();
 
-    // Initial round: every rule against the full store.
     stats.rounds += 1;
-    for (plan, kernel) in stratum.full_plans.iter().zip(&stratum.full_kernels) {
-        derived.clear();
-        match kernel {
-            Some(k) if use_kernels => {
-                for &spec in &k.csr_slots {
-                    kspace.prepare(spec, pred_map, store);
-                }
-                stats.kernel_invocations += 1;
-                kexec.derive(k, pred_map, store, kspace, None, &mut derived);
+    if resume && stratum.checkpointable {
+        // Resume round: the base already holds this stratum's checkpoint
+        // fixpoint, so each resume plan fires only over the overlay segment
+        // of its non-same-stratum scan predicate (the EDB delta, or tuples an
+        // earlier checkpointable stratum derived in this run); `low` was
+        // taken above, so the delta loop below closes same-stratum recursion
+        // over everything inserted here.
+        stats.checkpoint_hits += 1;
+        for (pred, plan) in &stratum.resume_plans {
+            let tuples = store.tuples_by_id(pred_map[pred.index()]);
+            let (lo, hi) = (tuples.base_len(), tuples.len());
+            if lo == hi {
+                continue;
             }
-            _ => executor.derive(
+            derived.clear();
+            executor.derive(
                 plan,
                 pred_map,
                 store,
                 &mut Probing::Lazy(indexes),
-                None,
+                Some((lo, hi)),
                 &mut derived,
-            ),
+            );
+            let head = pred_map[plan.head_pred.index()];
+            for tuple in derived.drain(..) {
+                store.insert_by_id(head, tuple);
+            }
         }
-        let head = pred_map[plan.head_pred.index()];
-        for tuple in derived.drain(..) {
-            store.insert_by_id(head, tuple);
+    } else {
+        // Initial round: every rule against the full store.
+        for (plan, kernel) in stratum.full_plans.iter().zip(&stratum.full_kernels) {
+            derived.clear();
+            match kernel {
+                Some(k) if use_kernels => {
+                    for &spec in &k.csr_slots {
+                        kspace.prepare(spec, pred_map, store);
+                    }
+                    stats.kernel_invocations += 1;
+                    kexec.derive(k, pred_map, store, kspace, None, &mut derived);
+                }
+                _ => executor.derive(
+                    plan,
+                    pred_map,
+                    store,
+                    &mut Probing::Lazy(indexes),
+                    None,
+                    &mut derived,
+                ),
+            }
+            let head = pred_map[plan.head_pred.index()];
+            for tuple in derived.drain(..) {
+                store.insert_by_id(head, tuple);
+            }
         }
     }
 
@@ -842,6 +1018,120 @@ mod tests {
         assert!(!store.contains(unreach, &[sym("n0"), sym("n2")]));
         // Every node "unreaches" itself (no self-loops in a chain).
         assert!(store.contains(unreach, &[sym("n1"), sym("n1")]));
+    }
+
+    #[test]
+    fn checkpointability_follows_negation_and_edb_dependence() {
+        // Pure monotone EDB-closure: every stratum is checkpointable.
+        let monotone = CompiledProgram::compile(&reachability_program()).unwrap();
+        assert!(monotone.strata.iter().all(|s| s.checkpointable));
+        assert!(monotone.has_checkpointable_strata());
+        assert!(
+            monotone.strata.iter().any(|s| !s.resume_plans.is_empty()),
+            "monotone strata need resume plans"
+        );
+
+        // Adding a negation-dependent stratum: `path` stays checkpointable,
+        // `unreach` (negating it) does not.
+        let mut program = reachability_program();
+        program.declare_edb(pred("adom", 1));
+        program.add_rule(Rule::new(
+            atom("unreach", &["X", "Y"]),
+            vec![
+                BodyLiteral::Positive(atom("adom", &["X"])),
+                BodyLiteral::Positive(atom("adom", &["Y"])),
+                BodyLiteral::Negative(atom("path", &["X", "Y"])),
+            ],
+        ));
+        let mixed = CompiledProgram::compile(&program).unwrap();
+        let flags: Vec<bool> = mixed.strata.iter().map(|s| s.checkpointable).collect();
+        assert!(
+            flags.contains(&true) && flags.contains(&false),
+            "expected a mix of checkpointable and not, got {flags:?}"
+        );
+        // A stratum depending (positively) on a non-checkpointable one is
+        // itself not checkpointable: derived-from-unreach can't resume.
+        let mut tainted = program;
+        tainted.add_rule(Rule::new(
+            atom("tainted", &["X"]),
+            vec![BodyLiteral::Positive(atom("unreach", &["X", "X"]))],
+        ));
+        let compiled = CompiledProgram::compile(&tainted).unwrap();
+        let tainted_stratum = compiled
+            .strata
+            .iter()
+            .find(|s| {
+                s.full_plans
+                    .iter()
+                    .any(|p| compiled.preds.predicate(p.head_pred).name.as_str() == "tainted")
+            })
+            .expect("tainted stratum");
+        assert!(!tainted_stratum.checkpointable);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_matches_scratch() {
+        // Freeze a chain prefix, checkpoint it, then overlay edges that both
+        // extend the chain and merge into it; the resumed store must equal a
+        // from-scratch run on the raw base, for a monotone program and for
+        // one with a negation-dependent stratum on top.
+        let mut program = reachability_program();
+        program.declare_edb(pred("adom", 1));
+        program.add_rule(Rule::new(
+            atom("unreach", &["X", "Y"]),
+            vec![
+                BodyLiteral::Positive(atom("adom", &["X"])),
+                BodyLiteral::Positive(atom("adom", &["Y"])),
+                BodyLiteral::Negative(atom("path", &["X", "Y"])),
+            ],
+        ));
+        let compiled = CompiledProgram::compile(&program).unwrap();
+
+        let base = crate::store::edb_base_from_instance(&chain_db(6));
+        let checkpointed = compiled.checkpoint_base(&base);
+        let mut delta = DatabaseInstance::new();
+        delta.insert_parsed("E", "n6", "n7"); // extends the chain
+        delta.insert_parsed("E", "m0", "n0"); // new source merging in
+        let options = EvalOptions::sequential();
+        let (scratch, scratch_stats) =
+            compiled.run_on_store_with_stats(crate::store::edb_overlay_on(&base, &delta), &options);
+        let (resumed, resumed_stats) = compiled.resume_on_store_with_stats(
+            crate::store::edb_overlay_on(&checkpointed, &delta),
+            &options,
+        );
+        let path = pred("path", 2);
+        let unreach = pred("unreach", 2);
+        for p in [path, unreach] {
+            assert_eq!(resumed.len(p), scratch.len(p), "{p:?} cardinality drifted");
+        }
+        assert!(resumed.contains(path, &[sym("m0"), sym("n7")]));
+        assert!(resumed_stats.checkpoint_hits > 0, "{resumed_stats:?}");
+        assert_eq!(scratch_stats.checkpoint_hits, 0);
+        assert!(
+            resumed_stats.tuples_derived < scratch_stats.tuples_derived,
+            "resume must skip the prefix-internal closure ({} vs {})",
+            resumed_stats.tuples_derived,
+            scratch_stats.tuples_derived
+        );
+
+        // An empty overlay resumes to exactly the checkpointed fixpoint.
+        let empty = DatabaseInstance::new();
+        let (idle, idle_stats) = compiled.resume_on_store_with_stats(
+            crate::store::edb_overlay_on(&checkpointed, &empty),
+            &options,
+        );
+        let (full, _) =
+            compiled.run_on_store_with_stats(crate::store::edb_overlay_on(&base, &empty), &options);
+        assert_eq!(idle.len(path), full.len(path));
+        assert_eq!(idle.len(unreach), full.len(unreach));
+        // Checkpointable strata derive nothing on an empty overlay; only the
+        // negation-dependent stratum re-runs, so the resumed derivation
+        // count is exactly the re-derived `unreach` tuples.
+        assert_eq!(
+            idle_stats.tuples_derived,
+            idle.len(unreach) as u64,
+            "an empty overlay must re-derive only the non-checkpointable strata"
+        );
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub mod prelude {
     };
     pub use crate::demand::{transform as demand_transform, Demand, DemandMode, DemandReport};
     pub use crate::engine::{evaluate, CompiledProgram, Evaluator};
-    pub use crate::parallel::{EvalOptions, EvalStats, Kernels, Threads};
+    pub use crate::parallel::{Checkpoint, EvalOptions, EvalStats, Kernels, Threads};
     pub use crate::plan_cache::PlanCache;
     pub use crate::reference::evaluate_scan;
     pub use crate::store::{

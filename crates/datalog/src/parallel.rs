@@ -142,6 +142,49 @@ impl Kernels {
     }
 }
 
+/// Whether family evaluation may resume from a checkpointed base — a frozen
+/// [`crate::store::BaseStore`] variant whose relations already hold the
+/// fixpoint of the program's *checkpointable* strata (monotone, dependent
+/// only on the EDB and earlier checkpointable strata), computed once per
+/// (base, compiled program) pair.
+///
+/// Like [`Kernels`], this knob never changes *what* is derived — resumed
+/// evaluation reaches the identical fixpoint (pinned by the checkpoint
+/// differential suite) — only how much per-request work it takes to get
+/// there, which is what makes runtime bisection possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Checkpoint {
+    /// Defer to the `PATH_CQA_CHECKPOINT` environment variable (`off` or `0`
+    /// disables; anything else — including unset — enables). Resolved once
+    /// per process, like `PATH_CQA_THREADS`.
+    #[default]
+    Auto,
+    /// Always evaluate from scratch on the raw base.
+    Off,
+    /// Resume from the checkpointed base whenever the program has
+    /// checkpointable strata.
+    On,
+}
+
+impl Checkpoint {
+    /// True iff evaluation should resume from checkpointed bases.
+    pub fn resolve(self) -> bool {
+        match self {
+            Checkpoint::On => true,
+            Checkpoint::Off => false,
+            Checkpoint::Auto => {
+                static AUTO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+                *AUTO.get_or_init(|| {
+                    !matches!(
+                        std::env::var("PATH_CQA_CHECKPOINT").as_deref(),
+                        Ok("off") | Ok("0")
+                    )
+                })
+            }
+        }
+    }
+}
+
 /// Evaluation options, threaded from the solvers down to the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EvalOptions {
@@ -157,6 +200,10 @@ pub struct EvalOptions {
     /// Whether eligible rules execute through the specialized kernels of
     /// [`crate::kernel`]; consulted at execution time only (see [`Kernels`]).
     pub kernels: Kernels,
+    /// Whether family evaluation resumes from checkpointed bases; consulted
+    /// by the solver layer when it holds an `Arc`-shared base (see
+    /// [`Checkpoint`]).
+    pub checkpoint: Checkpoint,
 }
 
 impl EvalOptions {
@@ -184,6 +231,11 @@ impl EvalOptions {
     /// These options with an explicit kernel setting.
     pub fn with_kernels(self, kernels: Kernels) -> EvalOptions {
         EvalOptions { kernels, ..self }
+    }
+
+    /// These options with an explicit checkpoint setting.
+    pub fn with_checkpoint(self, checkpoint: Checkpoint) -> EvalOptions {
+        EvalOptions { checkpoint, ..self }
     }
 }
 
@@ -238,6 +290,13 @@ pub struct EvalStats {
     /// driver, rule executions on the sequential one) — the per-run "kernel
     /// hit" count surfaced through session and server stats.
     pub kernel_invocations: u64,
+    /// Strata this run resumed from a base checkpoint instead of evaluating
+    /// from scratch (their initial full-plan round was replaced by
+    /// delta-restricted resume plans over the overlay EDB). Zero when the
+    /// run evaluated on a raw base or the checkpoint knob is off; the
+    /// checkpoint differential suite asserts resumed and from-scratch runs
+    /// agree bit-for-bit regardless.
+    pub checkpoint_hits: u64,
 }
 
 impl EvalStats {
@@ -488,6 +547,7 @@ pub(crate) fn evaluate_stratum_parallel(
     indexes: &mut IndexSpace,
     kspace: &mut KernelSpace,
     use_kernels: bool,
+    resume: bool,
     pool: &mut WorkerPool,
     stats: &mut EvalStats,
 ) {
@@ -533,20 +593,46 @@ pub(crate) fn evaluate_stratum_parallel(
     let mut low = watermark(store);
     let mut items: Vec<Item<'_>> = Vec::new();
 
-    // Initial round: every full plan against the snapshot, leading scans
-    // chunked.
     stats.rounds += 1;
     extend_indexes!();
-    for (plan, kernel) in stratum.full_plans.iter().zip(&stratum.full_kernels) {
-        push_plan_items(
-            &mut items,
-            plan,
-            kernel_of(use_kernels, kernel),
-            None,
-            pred_map,
-            store,
-            workers,
-        );
+    if resume && stratum.checkpointable {
+        // Resume round: the base already holds this stratum's checkpoint
+        // fixpoint, so instead of the full-plan round each resume plan fires
+        // only over the overlay segment of its chosen non-same-stratum body
+        // literal (the EDB delta, or tuples a lower checkpointable stratum
+        // derived earlier in this resumed run). Same-stratum consequences are
+        // then closed by the ordinary delta loop below — `low` was taken
+        // before this round, so everything the resume round inserts lands in
+        // the first delta range.
+        stats.checkpoint_hits += 1;
+        // Resume plans probe read-only (`Probing::Ready`), and their slots
+        // may be absent from the per-round extension lists above (those only
+        // cover full/delta plans) — bring them up to date here, once.
+        for ps in &stratum.resume_probe_slots {
+            indexes.extend_slot(ps.slot, store, pred_map[ps.pred.index()], ps.mask);
+        }
+        for (pred, plan) in &stratum.resume_plans {
+            let tuples = store.tuples_by_id(pred_map[pred.index()]);
+            let (lo, hi) = (tuples.base_len(), tuples.len());
+            if lo == hi {
+                continue;
+            }
+            push_chunked(&mut items, plan, None, lo, hi, workers);
+        }
+    } else {
+        // Initial round: every full plan against the snapshot, leading scans
+        // chunked.
+        for (plan, kernel) in stratum.full_plans.iter().zip(&stratum.full_kernels) {
+            push_plan_items(
+                &mut items,
+                plan,
+                kernel_of(use_kernels, kernel),
+                None,
+                pred_map,
+                store,
+                workers,
+            );
+        }
     }
     run_round(&items, pred_map, store, indexes, kspace, pool, stats);
 

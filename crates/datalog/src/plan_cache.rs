@@ -37,6 +37,15 @@
 //! are cached too — committed once per [`crate::store::BaseStore`] and
 //! attached by every sibling run — so a warm family session re-plans
 //! nothing and re-indexes only per-request deltas.
+//!
+//! The cache also anchors **checkpoint identity**: a base store's cached
+//! checkpoint variants ([`crate::store::BaseStore::checkpoint`]) are keyed
+//! by the compiled program's `Arc` pointer. That key is sound precisely
+//! because this cache deduplicates — structurally equal programs resolve to
+//! the *same* `Arc<CompiledProgram>` for the life of the cache (the global
+//! instance never evicts), so a pointer uniquely names a plan, never a
+//! freed-and-reused allocation, and re-generating a query's program on a
+//! later request finds the same checkpoint instead of building a twin.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

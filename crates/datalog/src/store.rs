@@ -392,6 +392,13 @@ pub struct BaseStore {
     /// Number of committed indexes actually built (cache misses), counting
     /// both hash indexes and CSR adjacencies.
     index_builds: AtomicU64,
+    /// Checkpointed variants of this base: per compiled program (keyed by the
+    /// caller — see [`BaseStore::checkpoint`]), a frozen copy of this base
+    /// whose relations additionally hold the fixpoint of the program's
+    /// checkpointable strata. Built at most once per key; same
+    /// interior-mutability memo discipline as the index caches. Always empty
+    /// on the variants themselves (they are keyed off the original base).
+    checkpoints: Mutex<HashMap<usize, Arc<BaseStore>>>,
 }
 
 impl BaseStore {
@@ -414,7 +421,40 @@ impl BaseStore {
             indexes: Mutex::new(HashMap::new()),
             csr: Mutex::new(HashMap::new()),
             index_builds: AtomicU64::new(0),
+            checkpoints: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// A mutable flat copy of this base — same predicates, same tuples, same
+    /// generation watermark. This is how a checkpointed variant is
+    /// constructed: thaw, pre-derive the checkpointable strata into the copy,
+    /// re-freeze ([`crate::engine::CompiledProgram::checkpoint_base`]).
+    pub fn thaw(&self) -> RelationStore {
+        RelationStore {
+            preds: self.preds.clone(),
+            base: None,
+            relations: self.relations.clone(),
+            generation: self.generation,
+        }
+    }
+
+    /// The checkpointed variant of this base for `key` (one key per compiled
+    /// program — callers use the program's cache-stable address), building it
+    /// with `build` on first request. Concurrent first requests may both
+    /// build; the first insertion wins and the loser's copy is dropped, so
+    /// every later caller shares one variant (the build runs outside the
+    /// lock — it evaluates a whole program and must not block index probes).
+    pub fn checkpoint(
+        &self,
+        key: usize,
+        build: impl FnOnce(&BaseStore) -> Arc<BaseStore>,
+    ) -> Arc<BaseStore> {
+        if let Some(cp) = self.checkpoints.lock().expect("checkpoint cache").get(&key) {
+            return Arc::clone(cp);
+        }
+        let built = build(self);
+        let mut cache = self.checkpoints.lock().expect("checkpoint cache");
+        Arc::clone(cache.entry(key).or_insert(built))
     }
 
     /// The base's insertion watermark (the overlay forks start from it).
@@ -422,11 +462,23 @@ impl BaseStore {
         self.generation
     }
 
-    /// Number of committed `(pred, mask)` indexes built so far. For a family
-    /// of runs over one base this stops growing after the first run — the
-    /// whole point of sharing the base.
+    /// Number of committed `(pred, mask)` indexes built so far, including
+    /// those of this base's checkpointed variants (checkpoint-resumed runs
+    /// probe the variant's committed structures, so without the fold the
+    /// original base would under-report — and the build-once regression pins
+    /// would stop covering the resumed path). For a family of runs over one
+    /// base this stops growing after the first run — the whole point of
+    /// sharing the base.
     pub fn index_builds(&self) -> u64 {
-        self.index_builds.load(Ordering::Relaxed)
+        let own = self.index_builds.load(Ordering::Relaxed);
+        let variants: u64 = self
+            .checkpoints
+            .lock()
+            .expect("checkpoint cache")
+            .values()
+            .map(|cp| cp.index_builds())
+            .sum();
+        own + variants
     }
 
     /// The committed index for `(id, mask)`, building it on first request;

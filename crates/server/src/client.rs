@@ -8,6 +8,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use cqa_db::family::InstanceFamily;
+use cqa_db::instance::DatabaseInstance;
 
 use crate::proto::{parse_reply, WireError};
 
@@ -120,6 +121,57 @@ impl Client {
             prefix_facts: field("prefix_facts")?,
             evicted: field("evicted")?,
         })
+    }
+
+    /// Parses an `APPENDED`/`RETRACTED` payload into the request's
+    /// post-mutation delta fact count.
+    fn parse_mutated(expect: &str, payload: &str) -> Result<usize, ClientError> {
+        let body = payload
+            .strip_prefix(expect)
+            .ok_or_else(|| ClientError::Protocol(format!("expected {expect}, got {payload:?}")))?;
+        parse_kv(body.trim_start())
+            .get("facts")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("{expect} reply missing facts")))
+    }
+
+    /// Adds the instance's facts (shipped in the plain text codec) to one
+    /// request's delta; returns the facts now in that delta.
+    pub fn append(
+        &mut self,
+        tenant: &str,
+        request: usize,
+        facts: &DatabaseInstance,
+    ) -> Result<usize, ClientError> {
+        let text = cqa_db::codec::to_text(facts);
+        let payload = self.roundtrip(
+            &format!("APPEND {tenant} {request} {}", text.len()),
+            Some(&text),
+        )?;
+        Client::parse_mutated("APPENDED", &payload)
+    }
+
+    /// Removes the instance's facts from one request's delta (facts not in
+    /// the delta are ignored); returns the facts now in that delta.
+    pub fn retract(
+        &mut self,
+        tenant: &str,
+        request: usize,
+        facts: &DatabaseInstance,
+    ) -> Result<usize, ClientError> {
+        let text = cqa_db::codec::to_text(facts);
+        let payload = self.roundtrip(
+            &format!("RETRACT {tenant} {request} {}", text.len()),
+            Some(&text),
+        )?;
+        Client::parse_mutated("RETRACTED", &payload)
+    }
+
+    /// Sends one raw command line (no payload) and returns the `OK` reply's
+    /// payload — an escape hatch for tests exercising protocol edges (for
+    /// example `CRASH` under fault injection).
+    pub fn raw(&mut self, line: &str) -> Result<String, ClientError> {
+        self.roundtrip(line, None)
     }
 
     fn parse_answers(payload: &str) -> Result<Vec<bool>, ClientError> {

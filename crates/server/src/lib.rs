@@ -9,9 +9,10 @@
 //! Layers, bottom-up:
 //!
 //! * [`proto`] — the wire protocol: `LOAD` (length-framed family text in
-//!   the [`cqa_db::codec`] sectioned format), `QUERY`, `BATCH`, `STATS`,
-//!   `EVICT`, `QUIT`; single-line `OK`/`ERR` replies with typed error
-//!   codes.
+//!   the [`cqa_db::codec`] sectioned format), `APPEND`/`RETRACT`
+//!   (length-framed plain-codec facts mutating one resident request's
+//!   delta in place), `QUERY`, `BATCH`, `STATS`, `EVICT`, `QUIT`;
+//!   single-line `OK`/`ERR` replies with typed error codes.
 //! * [`registry`] — the residency cache: tenant → family + base store,
 //!   LRU-by-generation eviction under tenant-count and fact caps, and the
 //!   counters `STATS` reports (including cumulative base index builds, the
@@ -41,6 +42,8 @@ pub mod server;
 pub mod prelude {
     pub use crate::client::{Client, ClientError, LoadSummary};
     pub use crate::proto::{Command, ErrorCode, Reply, WireError};
-    pub use crate::registry::{RegistryStats, ResidencyLimits, TenantRegistry, TenantStats};
+    pub use crate::registry::{
+        MutateError, RegistryStats, ResidencyLimits, TenantRegistry, TenantStats,
+    };
     pub use crate::server::{start, ServerConfig, ServerHandle};
 }

@@ -3,15 +3,22 @@
 //!
 //! Commands (one per line, fields separated by single spaces):
 //!
-//! | command                            | meaning                                              |
-//! |------------------------------------|------------------------------------------------------|
-//! | `LOAD <tenant> <nbytes>` + payload | load the tenant's instance family (sectioned codec)  |
-//! | `QUERY <tenant> <word>`            | decide `word` against every request of the family    |
-//! | `BATCH <tenant> <ids> <word>`      | decide `word` against the comma-separated request ids|
-//! | `STATS`                            | server-wide registry + session counters              |
-//! | `STATS <tenant>`                   | one resident tenant's counters                       |
-//! | `EVICT <tenant>`                   | drop the tenant's resident base                      |
-//! | `QUIT`                             | close the connection                                 |
+//! | command                               | meaning                                              |
+//! |---------------------------------------|------------------------------------------------------|
+//! | `LOAD <tenant> <nbytes>` + payload    | load the tenant's instance family (sectioned codec)  |
+//! | `APPEND <tenant> <id> <nbytes>` + payload | add facts (plain codec) to request `id`'s delta  |
+//! | `RETRACT <tenant> <id> <nbytes>` + payload | remove facts (plain codec) from request `id`'s delta |
+//! | `QUERY <tenant> <word>`               | decide `word` against every request of the family    |
+//! | `BATCH <tenant> <ids> <word>`         | decide `word` against the comma-separated request ids|
+//! | `STATS`                               | server-wide registry + session counters              |
+//! | `STATS <tenant>`                      | one resident tenant's counters                       |
+//! | `EVICT <tenant>`                      | drop the tenant's resident base                      |
+//! | `QUIT`                                | close the connection                                 |
+//! | `CRASH`                               | panic the handling worker (fault injection; only honored when the server was started with fault injection enabled, otherwise a bad command) |
+//!
+//! `APPEND`/`RETRACT` mutate only the addressed request's *delta* — the
+//! tenant's shared prefix, its committed base indexes and any derivation
+//! checkpoints survive the mutation untouched.
 //!
 //! Replies are a single line: `OK <payload>` on success or
 //! `ERR <code> <message>` with a machine-readable [`ErrorCode`]. Answer
@@ -43,6 +50,26 @@ pub enum Command {
         /// Length of the family-text payload that follows the command line.
         bytes: usize,
     },
+    /// `APPEND <tenant> <id> <nbytes>`: add the payload's facts (plain
+    /// codec text) to request `id`'s delta.
+    Append {
+        /// Target tenant.
+        tenant: String,
+        /// Request index into the tenant's family.
+        request: usize,
+        /// Length of the plain-codec payload that follows the command line.
+        bytes: usize,
+    },
+    /// `RETRACT <tenant> <id> <nbytes>`: remove the payload's facts (plain
+    /// codec text) from request `id`'s delta.
+    Retract {
+        /// Target tenant.
+        tenant: String,
+        /// Request index into the tenant's family.
+        request: usize,
+        /// Length of the plain-codec payload that follows the command line.
+        bytes: usize,
+    },
     /// `QUERY <tenant> <word>`: decide the query against every request.
     Query {
         /// Target tenant.
@@ -72,6 +99,10 @@ pub enum Command {
     },
     /// `QUIT`: close the connection.
     Quit,
+    /// `CRASH`: panic the handling worker. Parsed unconditionally but only
+    /// honored when the server runs with fault injection enabled (loopback
+    /// robustness tests); otherwise it is answered as a bad command.
+    Crash,
 }
 
 /// Machine-readable error classes carried by `ERR` replies.
@@ -91,6 +122,9 @@ pub enum ErrorCode {
     BadRequestId,
     /// The solver failed on an otherwise well-formed request.
     Solver,
+    /// A worker panicked while executing the command. The server recovers
+    /// and keeps serving; the failed command's effects are undefined.
+    Internal,
 }
 
 impl ErrorCode {
@@ -103,6 +137,7 @@ impl ErrorCode {
             ErrorCode::NotLoaded => "not-loaded",
             ErrorCode::BadRequestId => "bad-request-id",
             ErrorCode::Solver => "solver",
+            ErrorCode::Internal => "internal",
         }
     }
 
@@ -115,6 +150,7 @@ impl ErrorCode {
             "not-loaded" => ErrorCode::NotLoaded,
             "bad-request-id" => ErrorCode::BadRequestId,
             "solver" => ErrorCode::Solver,
+            "internal" => ErrorCode::Internal,
             _ => return None,
         })
     }
@@ -169,6 +205,24 @@ pub enum Reply {
         /// Tenants the residency cap pushed out to make room.
         evicted: usize,
     },
+    /// `APPEND` succeeded.
+    Appended {
+        /// The mutated tenant.
+        tenant: String,
+        /// The mutated request index.
+        request: usize,
+        /// Facts now in that request's delta (after the append).
+        facts: usize,
+    },
+    /// `RETRACT` succeeded.
+    Retracted {
+        /// The mutated tenant.
+        tenant: String,
+        /// The mutated request index.
+        request: usize,
+        /// Facts now in that request's delta (after the retract).
+        facts: usize,
+    },
     /// `QUERY` / `BATCH` answers, in request order.
     Answers(Vec<bool>),
     /// `STATS` counters as `key=value` pairs, in the server's order.
@@ -196,6 +250,16 @@ impl Reply {
             } => format!(
                 "OK LOADED tenant={tenant} requests={requests} prefix_facts={prefix_facts} evicted={evicted}"
             ),
+            Reply::Appended {
+                tenant,
+                request,
+                facts,
+            } => format!("OK APPENDED tenant={tenant} request={request} facts={facts}"),
+            Reply::Retracted {
+                tenant,
+                request,
+                facts,
+            } => format!("OK RETRACTED tenant={tenant} request={request} facts={facts}"),
             Reply::Answers(bits) => {
                 if bits.is_empty() {
                     "OK ANSWERS -".to_owned()
@@ -276,6 +340,43 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
                 bytes,
             })
         }
+        "APPEND" | "RETRACT" => {
+            let [tenant, request, bytes] = rest[..] else {
+                return Err(bad_arity(verb, "<tenant> <request-id> <nbytes>"));
+            };
+            let request: usize = request.parse().map_err(|_| {
+                WireError::new(
+                    ErrorCode::BadCommand,
+                    format!("bad {verb} request id {request:?}"),
+                )
+            })?;
+            let bytes: usize = bytes.parse().map_err(|_| {
+                WireError::new(
+                    ErrorCode::BadCommand,
+                    format!("bad {verb} length {bytes:?}"),
+                )
+            })?;
+            if bytes > MAX_LOAD_BYTES {
+                return Err(WireError::new(
+                    ErrorCode::BadCommand,
+                    format!("{verb} length {bytes} exceeds the {MAX_LOAD_BYTES}-byte cap"),
+                ));
+            }
+            let tenant = checked_tenant(tenant)?;
+            Ok(if verb == "APPEND" {
+                Command::Append {
+                    tenant,
+                    request,
+                    bytes,
+                }
+            } else {
+                Command::Retract {
+                    tenant,
+                    request,
+                    bytes,
+                }
+            })
+        }
         "QUERY" => {
             let [tenant, word] = rest[..] else {
                 return Err(bad_arity("QUERY", "<tenant> <query-word>"));
@@ -325,6 +426,13 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
                 Ok(Command::Quit)
             } else {
                 Err(bad_arity("QUIT", "no arguments"))
+            }
+        }
+        "CRASH" => {
+            if rest.is_empty() {
+                Ok(Command::Crash)
+            } else {
+                Err(bad_arity("CRASH", "no arguments"))
             }
         }
         other => Err(WireError::new(
@@ -383,6 +491,23 @@ mod tests {
             Command::Stats { tenant: None }
         );
         assert_eq!(parse_command("QUIT").unwrap(), Command::Quit);
+        assert_eq!(
+            parse_command("APPEND t1 3 17").unwrap(),
+            Command::Append {
+                tenant: "t1".into(),
+                request: 3,
+                bytes: 17
+            }
+        );
+        assert_eq!(
+            parse_command("RETRACT t1 0 0").unwrap(),
+            Command::Retract {
+                tenant: "t1".into(),
+                request: 0,
+                bytes: 0
+            }
+        );
+        assert_eq!(parse_command("CRASH").unwrap(), Command::Crash);
         for bad in [
             "",
             "NOPE",
@@ -393,6 +518,11 @@ mod tests {
             "BATCH t1 1,x RRX",
             "QUIT now",
             "LOAD t1 99999999999",
+            "APPEND t1 3",
+            "APPEND t1 x 17",
+            "APPEND t1 3 x",
+            "RETRACT t1 3 99999999999",
+            "CRASH now",
         ] {
             let err = parse_command(bad).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadCommand, "{bad:?} → {err}");
@@ -430,9 +560,28 @@ mod tests {
             ErrorCode::NotLoaded,
             ErrorCode::BadRequestId,
             ErrorCode::Solver,
+            ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
+        assert_eq!(
+            Reply::Appended {
+                tenant: "t1".into(),
+                request: 2,
+                facts: 7
+            }
+            .render(),
+            "OK APPENDED tenant=t1 request=2 facts=7"
+        );
+        assert_eq!(
+            Reply::Retracted {
+                tenant: "t1".into(),
+                request: 2,
+                facts: 5
+            }
+            .render(),
+            "OK RETRACTED tenant=t1 request=2 facts=5"
+        );
     }
 
     #[test]

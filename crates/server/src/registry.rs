@@ -14,10 +14,11 @@
 //! observable.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use cqa_datalog::store::{edb_base_from_instance, BaseStore};
 use cqa_db::family::InstanceFamily;
+use cqa_db::instance::DatabaseInstance;
 
 /// Residency caps. A `LOAD` that would exceed either cap evicts
 /// least-recently-used tenants first (never the tenant being loaded, so one
@@ -107,6 +108,19 @@ pub struct TenantStats {
     pub tuples_derived: u64,
 }
 
+/// Why an `APPEND`/`RETRACT` could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutateError {
+    /// The tenant is not resident.
+    NotResident,
+    /// The request index is outside the tenant's family; carries the
+    /// family's request count for the error message.
+    BadRequest {
+        /// Number of requests in the resident family.
+        requests: usize,
+    },
+}
+
 /// Outcome of a `LOAD`: what became resident and what was pushed out.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadOutcome {
@@ -184,6 +198,15 @@ impl TenantRegistry {
         self.limits
     }
 
+    /// Locks the registry, recovering from poisoning: every method restores
+    /// the map's invariants before releasing the lock, so a worker that
+    /// panicked while holding it leaves consistent state behind — wedging
+    /// every later command on the poison flag would turn one bad request
+    /// into a full outage.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Makes a tenant resident: freezes the family's prefix into a base
     /// store (the one O(prefix) cost of the residency), replaces any
     /// previous residency of the same name, and evicts LRU tenants past the
@@ -201,7 +224,7 @@ impl TenantRegistry {
             base,
             facts,
         });
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = self.lock_inner();
         inner.clock += 1;
         inner.loads += 1;
         let resident = Resident {
@@ -225,15 +248,20 @@ impl TenantRegistry {
     /// Looks a tenant up, bumping its LRU generation and served count. The
     /// returned `Arc` stays valid even if the tenant is evicted while the
     /// caller is still serving it.
+    ///
+    /// The LRU clock advances only when a residency is actually touched: a
+    /// miss must not age every resident tenant, or a storm of lookups for
+    /// absent tenants would scramble the eviction order among tenants that
+    /// saw no traffic at all.
     pub fn get(&self, name: &str) -> Option<Arc<TenantData>> {
-        let mut inner = self.inner.lock().expect("registry lock");
-        inner.clock += 1;
-        let clock = inner.clock;
+        let mut inner = self.lock_inner();
+        let touched = inner.clock + 1;
         match inner.residents.get_mut(name) {
             Some(resident) => {
-                resident.last_used = clock;
+                resident.last_used = touched;
                 resident.served += 1;
                 let data = Arc::clone(&resident.data);
+                inner.clock = touched;
                 inner.hits += 1;
                 Some(data)
             }
@@ -244,12 +272,72 @@ impl TenantRegistry {
         }
     }
 
+    /// Applies `mutate` to one request's delta, swapping the tenant's
+    /// resident [`TenantData`] for one with the rebuilt family. The shared
+    /// prefix and its frozen base store are reused by `Arc` — committed
+    /// probe indexes and derivation checkpoints survive the mutation, which
+    /// is the whole point of mutating the delta instead of re-`LOAD`ing.
+    /// Workers serving the tenant concurrently keep their old snapshot
+    /// (their `Arc<TenantData>`) until they finish, exactly as with
+    /// eviction.
+    ///
+    /// Counts as traffic: bumps the LRU generation and the served count,
+    /// and re-enforces the fact cap afterwards (an `APPEND` can grow the
+    /// registry past it; the mutated tenant itself is never the victim).
+    ///
+    /// Returns the number of facts in the request's delta after the
+    /// mutation.
+    pub fn mutate_delta(
+        &self,
+        name: &str,
+        request: usize,
+        mutate: impl FnOnce(&DatabaseInstance) -> DatabaseInstance,
+    ) -> Result<usize, MutateError> {
+        let mut inner = self.lock_inner();
+        let touched = inner.clock + 1;
+        let Some(resident) = inner.residents.get_mut(name) else {
+            inner.misses += 1;
+            return Err(MutateError::NotResident);
+        };
+        let requests = resident.data.family.len();
+        if request >= requests {
+            // Same contract as a bad `BATCH` id: the tenant was looked up,
+            // so the touch counts, but nothing is mutated.
+            resident.last_used = touched;
+            inner.clock = touched;
+            inner.hits += 1;
+            return Err(MutateError::BadRequest { requests });
+        }
+        let family = &resident.data.family;
+        // Deltas are O(request) small by the family contract, so rebuilding
+        // under the lock is fine — the expensive parts (base indexes,
+        // checkpoints) are exactly what this path does *not* rebuild.
+        let mut deltas = family.deltas().to_vec();
+        deltas[request] = mutate(&deltas[request]);
+        let delta_facts = deltas[request].len();
+        let prefix = family.prefix().clone();
+        let facts = prefix.len() + deltas.iter().map(|d| d.len()).sum::<usize>();
+        resident.data = Arc::new(TenantData {
+            name: resident.data.name.clone(),
+            family: InstanceFamily::with_deltas(prefix, deltas),
+            base: Arc::clone(&resident.data.base),
+            facts,
+        });
+        resident.last_used = touched;
+        resident.served += 1;
+        inner.clock = touched;
+        inner.hits += 1;
+        let mut evicted = Vec::new();
+        inner.enforce(&self.limits, name, &mut evicted);
+        Ok(delta_facts)
+    }
+
     /// Credits `tuples` derived tuples to a tenant's residency counters,
     /// without touching its LRU position (attribution is bookkeeping, not
     /// traffic). A no-op if the tenant was evicted mid-flight — the work
     /// still shows in the session-wide counters.
     pub fn record_derived(&self, name: &str, tuples: u64) {
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = self.lock_inner();
         if let Some(resident) = inner.residents.get_mut(name) {
             resident.tuples_derived += tuples;
         }
@@ -258,7 +346,7 @@ impl TenantRegistry {
     /// Explicitly drops a tenant's residency. Returns `false` if it was not
     /// resident.
     pub fn evict(&self, name: &str) -> bool {
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = self.lock_inner();
         match inner.residents.remove(name) {
             Some(resident) => {
                 inner.retire(resident);
@@ -270,7 +358,7 @@ impl TenantRegistry {
 
     /// A snapshot of the registry-wide counters.
     pub fn stats(&self) -> RegistryStats {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = self.lock_inner();
         let live_builds: u64 = inner
             .residents
             .values()
@@ -290,7 +378,7 @@ impl TenantRegistry {
     /// A snapshot of one resident tenant's counters, without touching its
     /// LRU position (observability must not keep a tenant warm).
     pub fn tenant_stats(&self, name: &str) -> Option<TenantStats> {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = self.lock_inner();
         inner.residents.get(name).map(|resident| TenantStats {
             tenant: name.to_owned(),
             requests: resident.data.family.len(),
@@ -365,6 +453,85 @@ mod tests {
         assert_eq!(outcome.evicted, vec!["small".to_owned()]);
         assert!(registry.get("big").is_some());
         assert_eq!(registry.stats().residents, 1);
+    }
+
+    #[test]
+    fn lru_clock_ignores_misses() {
+        let registry = TenantRegistry::new(ResidencyLimits {
+            max_tenants: 2,
+            max_facts: usize::MAX,
+        });
+        registry.load("a", family(2, "a"));
+        registry.load("b", family(2, "b"));
+        // A storm of misses between the touches must not affect recency:
+        // only actual residency touches order the LRU queue.
+        for _ in 0..100 {
+            assert!(registry.get("absent").is_none());
+        }
+        registry.get("a"); // b is now least recently used…
+        for _ in 0..100 {
+            assert!(registry.get("ghost").is_none());
+        }
+        registry.get("b"); // …and now a is.
+        for _ in 0..100 {
+            assert!(registry.get("phantom").is_none());
+        }
+        let outcome = registry.load("c", family(2, "c"));
+        assert_eq!(outcome.evicted, vec!["a".to_owned()]);
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 300);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn mutate_delta_swaps_the_family_but_keeps_the_base() {
+        let registry = TenantRegistry::new(ResidencyLimits::default());
+        registry.load("a", family(3, "a"));
+        let before = registry.get("a").expect("resident");
+        let grown = registry
+            .mutate_delta("a", 0, |delta| {
+                let mut next = delta.clone();
+                next.insert_parsed("R", "new", "fact");
+                next
+            })
+            .expect("append");
+        assert_eq!(grown, 2); // the seeded delta fact plus the new one
+        let after = registry.get("a").expect("resident");
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "mutation must swap the tenant data"
+        );
+        assert!(
+            Arc::ptr_eq(&before.base, &after.base),
+            "mutation must keep the frozen base (indexes + checkpoints)"
+        );
+        assert_eq!(after.facts, before.facts + 1);
+        assert!(after.family.deltas()[0].contains(&cqa_db::fact::Fact::parse("R", "new", "fact")));
+
+        let shrunk = registry
+            .mutate_delta("a", 0, |delta| {
+                DatabaseInstance::from_facts(
+                    delta
+                        .facts()
+                        .iter()
+                        .copied()
+                        .filter(|f| *f != cqa_db::fact::Fact::parse("R", "new", "fact")),
+                )
+            })
+            .expect("retract");
+        assert_eq!(shrunk, 1);
+        assert_eq!(registry.get("a").unwrap().facts, before.facts);
+
+        assert_eq!(
+            registry.mutate_delta("nope", 0, |d| d.clone()),
+            Err(MutateError::NotResident)
+        );
+        assert_eq!(
+            registry.mutate_delta("a", 9, |d| d.clone()),
+            Err(MutateError::BadRequest { requests: 1 })
+        );
+        // Mutation retires nothing: the same residency and base persist.
+        assert_eq!(registry.stats().evictions, 0);
     }
 
     #[test]

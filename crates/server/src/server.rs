@@ -16,17 +16,19 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use cqa_core::query::PathQuery;
 use cqa_datalog::parallel::EvalOptions;
+use cqa_db::instance::DatabaseInstance;
 use cqa_solver::nl_solver::NlBackend;
 use cqa_solver::session::CertaintySession;
 
 use crate::proto::{parse_command, Command, ErrorCode, Reply, WireError, MAX_COMMAND_LINE};
-use crate::registry::{ResidencyLimits, TenantRegistry};
+use crate::registry::{MutateError, ResidencyLimits, TenantRegistry};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +39,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Residency caps for the tenant registry.
     pub limits: ResidencyLimits,
+    /// Honor the `CRASH` command by panicking the handling worker. Off by
+    /// default; the loopback robustness tests turn it on to prove a worker
+    /// panic cannot wedge the server.
+    pub fault_injection: bool,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +51,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             limits: ResidencyLimits::default(),
+            fault_injection: false,
         }
     }
 }
@@ -64,6 +71,17 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     stop: AtomicBool,
+    fault_injection: bool,
+}
+
+impl Shared {
+    /// Locks the work queue, recovering from poisoning. The queue's only
+    /// invariant is "a deque of jobs" — there is no partial state a panic
+    /// could leave behind — so a poisoned lock must not wedge every
+    /// connection and worker for good.
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A running server: join handles plus the shared state, with explicit
@@ -119,7 +137,7 @@ impl ServerHandle {
         // refuse to enqueue after it — but clear stragglers anyway (dropping
         // a job's reply sender unblocks its reader with the typed shutdown
         // error) so no connection can hang on a logic change above.
-        self.shared.queue.lock().expect("queue lock").clear();
+        self.shared.lock_queue().clear();
     }
 }
 
@@ -144,6 +162,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         stop: AtomicBool::new(false),
+        fault_injection: config.fault_injection,
     });
     let workers = (0..config.workers.max(1))
         .map(|_| {
@@ -218,20 +237,29 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
             Ok(command) => command,
             Err(err) => {
                 send(&mut writer, Reply::Err(err))?;
-                // A malformed LOAD line may be followed by a payload whose
-                // length we never learned — framing cannot be trusted, so
-                // close. Any other malformed line leaves the connection
-                // usable.
-                if line.trim_start().starts_with("LOAD") {
+                // A malformed payload-carrying line (LOAD/APPEND/RETRACT)
+                // may be followed by a payload whose length we never
+                // learned — framing cannot be trusted, so close. Any other
+                // malformed line leaves the connection usable.
+                let verb = line.trim_start();
+                if ["LOAD", "APPEND", "RETRACT"]
+                    .iter()
+                    .any(|v| verb.starts_with(v))
+                {
                     return Ok(());
                 }
                 continue;
             }
         };
         let payload = match &command {
-            Command::Load { bytes, .. } => {
-                // Read in chunks so memory grows only as payload data
-                // actually arrives (a 20-byte header must not pin 64 MiB).
+            Command::Load { bytes, .. }
+            | Command::Append { bytes, .. }
+            | Command::Retract { bytes, .. } => {
+                // Read exactly `bytes` of payload *before* any further
+                // validation, so a rejected command never leaves payload
+                // bytes in the stream to be parsed as commands. Read in
+                // chunks so memory grows only as payload data actually
+                // arrives (a 20-byte header must not pin 64 MiB).
                 let mut buf = Vec::with_capacity((*bytes).min(64 << 10));
                 let mut remaining = *bytes;
                 while remaining > 0 {
@@ -244,8 +272,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                 match String::from_utf8(buf) {
                     Ok(text) => Some(text),
                     Err(_) => {
-                        let err =
-                            WireError::new(ErrorCode::BadPayload, "LOAD payload is not UTF-8");
+                        let err = WireError::new(ErrorCode::BadPayload, "payload is not UTF-8");
                         send(&mut writer, Reply::Err(err))?;
                         continue;
                     }
@@ -259,7 +286,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
         }
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = shared.lock_queue();
             if shared.stop.load(Ordering::SeqCst) {
                 // The worker pool is (or is about to be) gone; nothing will
                 // ever pop this job.
@@ -295,7 +322,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = shared.lock_queue();
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -303,10 +330,31 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.available.wait(queue).expect("queue lock");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let reply = execute(shared, job.command, job.payload);
+        // A panic below this line must not kill the worker (the pool never
+        // respawns) or poison shared state: catch it at the dispatch
+        // boundary, report it as a typed error, and keep draining the
+        // queue. The registry and queue locks both recover from poisoning,
+        // so a panic mid-command degrades to one failed request.
+        let reply = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute(shared, job.command, job.payload)
+        }))
+        .unwrap_or_else(|panic| {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            Reply::Err(WireError::new(
+                ErrorCode::Internal,
+                format!("worker panicked: {detail}"),
+            ))
+        });
         // A send failure just means the connection went away mid-command.
         let _ = job.reply.send(reply);
     }
@@ -326,6 +374,57 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                         requests: outcome.requests,
                         prefix_facts: outcome.prefix_facts,
                         evicted: outcome.evicted.len(),
+                    }
+                }
+                Err(e) => Reply::Err(WireError::new(ErrorCode::BadPayload, e.to_string())),
+            }
+        }
+        Command::Append {
+            tenant, request, ..
+        } => {
+            let text = payload.unwrap_or_default();
+            match cqa_db::codec::from_text(&text) {
+                Ok(additions) => {
+                    let mutated = shared
+                        .registry
+                        .mutate_delta(&tenant, request, |delta| delta.union(&additions));
+                    match mutated {
+                        Ok(facts) => Reply::Appended {
+                            tenant,
+                            request,
+                            facts,
+                        },
+                        Err(e) => mutate_error(&tenant, request, e),
+                    }
+                }
+                Err(e) => Reply::Err(WireError::new(ErrorCode::BadPayload, e.to_string())),
+            }
+        }
+        Command::Retract {
+            tenant, request, ..
+        } => {
+            let text = payload.unwrap_or_default();
+            match cqa_db::codec::from_text(&text) {
+                Ok(removals) => {
+                    let mutated = shared.registry.mutate_delta(&tenant, request, |delta| {
+                        // The instance API is append-only (fact ids are
+                        // stable), so retraction rebuilds the delta without
+                        // the removed facts. Deltas are O(request) small.
+                        DatabaseInstance::from_facts(
+                            delta
+                                .facts()
+                                .iter()
+                                .copied()
+                                .filter(|fact| !removals.contains(fact)),
+                        )
+                    });
+                    match mutated {
+                        Ok(facts) => Reply::Retracted {
+                            tenant,
+                            request,
+                            facts,
+                        },
+                        Err(e) => mutate_error(&tenant, request, e),
                     }
                 }
                 Err(e) => Reply::Err(WireError::new(ErrorCode::BadPayload, e.to_string())),
@@ -370,6 +469,10 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                     "kernel_invocations",
                     session.demand.kernel_invocations.to_string(),
                 ),
+                pair(
+                    "checkpoint_hits",
+                    session.demand.checkpoint_hits.to_string(),
+                ),
             ])
         }
         Command::Stats {
@@ -405,6 +508,34 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
         // QUIT is handled on the connection; a queued one is a logic error
         // upstream, not a client-visible state.
         Command::Quit => Reply::Bye,
+        Command::Crash => {
+            if shared.fault_injection {
+                // Deliberate: the loopback robustness tests use this to
+                // prove the dispatch boundary contains worker panics.
+                panic!("CRASH requested by client (fault injection enabled)");
+            }
+            Reply::Err(WireError::new(
+                ErrorCode::BadCommand,
+                "CRASH requires fault injection to be enabled server-side",
+            ))
+        }
+    }
+}
+
+/// Renders a registry mutation failure as the matching wire error (the same
+/// codes `QUERY`/`BATCH` use for the same conditions).
+fn mutate_error(tenant: &str, request: usize, e: MutateError) -> Reply {
+    match e {
+        MutateError::NotResident => Reply::Err(WireError::new(
+            ErrorCode::NotLoaded,
+            format!("tenant {tenant:?} is not resident"),
+        )),
+        MutateError::BadRequest { requests } => Reply::Err(WireError::new(
+            ErrorCode::BadRequestId,
+            format!(
+                "request id {request} out of range for tenant {tenant:?} ({requests} requests)"
+            ),
+        )),
     }
 }
 

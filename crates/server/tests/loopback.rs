@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use cqa_core::query::PathQuery;
 use cqa_db::family::InstanceFamily;
+use cqa_db::instance::DatabaseInstance;
 use cqa_server::client::Client;
 use cqa_server::proto::ErrorCode;
 use cqa_server::registry::ResidencyLimits;
@@ -22,7 +23,7 @@ fn test_server(workers: usize) -> ServerHandle {
     start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers,
-        limits: ResidencyLimits::default(),
+        ..ServerConfig::default()
     })
     .expect("bind loopback")
 }
@@ -328,6 +329,7 @@ fn lru_pressure_evicts_cold_tenants_and_reload_serves_again() {
             max_tenants: 2,
             max_facts: usize::MAX,
         },
+        ..ServerConfig::default()
     })
     .expect("bind");
     let families: Vec<InstanceFamily> = (0..3).map(tenant_family).collect();
@@ -358,6 +360,259 @@ fn lru_pressure_evicts_cold_tenants_and_reload_serves_again() {
         direct_answers(&q, &families[1])
     );
     client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn append_and_retract_track_a_fresh_load_of_the_mutated_family() {
+    let server = test_server(2);
+    let family = tenant_family(3);
+    assert!(
+        !family.deltas()[0].is_empty(),
+        "the generated family must give request 0 a nonempty delta"
+    );
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.load_family("t", &family).expect("load");
+    // Warm every word so the resident base has built all its indexes (and
+    // checkpoints); mutations below must not invalidate any of them.
+    for word in WORDS {
+        let q = PathQuery::parse(word).unwrap();
+        assert_eq!(
+            client.query("t", word).expect("query"),
+            direct_answers(&q, &family)
+        );
+    }
+    let builds_warm = stat(
+        &client.tenant_stats("t").expect("stats"),
+        "base_index_builds",
+    );
+    let facts_loaded = stat(&client.tenant_stats("t").expect("stats"), "facts");
+
+    // Interleave: append fresh R-facts to request 0, retract the first
+    // original fact of request 1's delta, append to request 1 too — then
+    // check every word against a *fresh* materialization of the mutated
+    // family. The shadow family applies the same mutations in-process.
+    let mut additions0 = DatabaseInstance::new();
+    additions0.insert_parsed("R", "live1", "live2");
+    additions0.insert_parsed("R", "live2", "live3");
+    let removal1 = DatabaseInstance::from_facts([family.deltas()[1].facts()[0]]);
+    let mut additions1 = DatabaseInstance::new();
+    additions1.insert_parsed("R", "live3", "live4");
+
+    let mut deltas = family.deltas().to_vec();
+    deltas[0] = deltas[0].union(&additions0);
+    let after0 = client.append("t", 0, &additions0).expect("append");
+    assert_eq!(after0, deltas[0].len());
+    deltas[1] = DatabaseInstance::from_facts(
+        deltas[1]
+            .facts()
+            .iter()
+            .copied()
+            .filter(|f| !removal1.contains(f)),
+    );
+    let after1 = client.retract("t", 1, &removal1).expect("retract");
+    assert_eq!(after1, deltas[1].len());
+    deltas[1] = deltas[1].union(&additions1);
+    client.append("t", 1, &additions1).expect("append");
+    let mutated = InstanceFamily::with_deltas(family.prefix().clone(), deltas);
+
+    for word in WORDS {
+        let q = PathQuery::parse(word).unwrap();
+        assert_eq!(
+            client.query("t", word).expect("query"),
+            direct_answers(&q, &mutated),
+            "word {word} drifted from a fresh load of the mutated family"
+        );
+    }
+    // The mutations touched only deltas: the residency was never retired
+    // (a re-LOAD would count as an eviction and rebuild the base from
+    // scratch). Committed indexes are built lazily per probe slot, so new
+    // delta constants may legitimately warm a slot the old traffic never
+    // probed — but once warm, repeating the mix builds nothing.
+    assert_eq!(
+        stat(&client.stats().expect("stats"), "evictions"),
+        0,
+        "delta mutation must not retire the residency"
+    );
+    let builds_mutated = stat(
+        &client.tenant_stats("t").expect("stats"),
+        "base_index_builds",
+    );
+    assert!(builds_mutated >= builds_warm);
+    for word in WORDS {
+        client.query("t", word).expect("requery");
+    }
+    assert_eq!(
+        stat(
+            &client.tenant_stats("t").expect("stats"),
+            "base_index_builds"
+        ),
+        builds_mutated,
+        "repeating the mix after mutation must not rebuild base indexes"
+    );
+    // Net fact change: +2 (req 0), -1 +1 (req 1).
+    assert_eq!(
+        stat(&client.tenant_stats("t").expect("stats"), "facts"),
+        facts_loaded + 2,
+    );
+
+    // Retracting facts that were never in the delta is a no-op, not an
+    // error.
+    let mut absent = DatabaseInstance::new();
+    absent.insert_parsed("R", "never", "present");
+    assert_eq!(
+        client.retract("t", 0, &absent).expect("retract absent"),
+        mutated.deltas()[0].len()
+    );
+
+    // Typed errors: absent tenant, bad request id — and neither mutates.
+    match client.append("ghost", 0, &additions0).unwrap_err() {
+        cqa_server::client::ClientError::Server(e) => assert_eq!(e.code, ErrorCode::NotLoaded),
+        other => panic!("expected typed not-loaded, got {other}"),
+    }
+    match client.append("t", 999, &additions0).unwrap_err() {
+        cqa_server::client::ClientError::Server(e) => assert_eq!(e.code, ErrorCode::BadRequestId),
+        other => panic!("expected typed bad-request-id, got {other}"),
+    }
+    let q = PathQuery::parse("RRX").unwrap();
+    assert_eq!(
+        client.query("t", "RRX").expect("query"),
+        direct_answers(&q, &mutated)
+    );
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn worker_panics_are_contained_and_the_server_keeps_serving() {
+    let server = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        fault_injection: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let family = tenant_family(0);
+    let q = PathQuery::parse("RRX").unwrap();
+    let want = direct_answers(&q, &family);
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.load_family("t", &family).expect("load");
+    assert_eq!(client.query("t", "RRX").expect("query"), want);
+
+    // More panics than workers: with one worker, a single uncontained panic
+    // would wedge the whole queue forever. Each CRASH must come back as a
+    // typed internal error on the same connection.
+    for round in 0..3 {
+        match client.raw("CRASH").unwrap_err() {
+            cqa_server::client::ClientError::Server(e) => {
+                assert_eq!(e.code, ErrorCode::Internal, "round {round}: {e}");
+                assert!(e.message.contains("panic"), "round {round}: {e}");
+            }
+            other => panic!("round {round}: expected typed internal error, got {other}"),
+        }
+        // The very next command on the same connection is served normally.
+        assert_eq!(
+            client.query("t", "RRX").expect("query after panic"),
+            want,
+            "round {round}"
+        );
+    }
+    // New connections work too, and the registry is intact.
+    let mut fresh = Client::connect(server.addr()).expect("connect");
+    assert_eq!(fresh.query("t", "RRX").expect("query"), want);
+    assert_eq!(stat(&fresh.stats().expect("stats"), "residents"), 1);
+    fresh.quit().expect("quit");
+    client.quit().expect("quit");
+    server.shutdown();
+
+    // Without fault injection (the default), CRASH is just a bad command.
+    let server = test_server(1);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client.raw("CRASH").unwrap_err() {
+        cqa_server::client::ClientError::Server(e) => assert_eq!(e.code, ErrorCode::BadCommand),
+        other => panic!("expected bad-command, got {other}"),
+    }
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn rejected_payloads_consume_exactly_their_bytes() {
+    use std::io::{BufRead, BufReader, Write};
+    let server = test_server(1);
+
+    // Make a tenant resident so the good follow-up commands have a target.
+    let family = tenant_family(0);
+    let q = PathQuery::parse("RRX").unwrap();
+    let want: String = direct_answers(&q, &family)
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    let mut loader = Client::connect(server.addr()).expect("connect");
+    loader.load_family("t", &family).expect("load");
+    loader.quit().expect("quit");
+
+    // A well-formed LOAD line whose payload is garbage: the server must
+    // consume exactly the declared bytes before replying ERR, leaving the
+    // stream aligned for the next command. The payload is deliberately made
+    // of command-shaped lines — if framing desynced, the server would
+    // execute them (QUIT would close the connection and the final QUERY
+    // would never answer).
+    let payload = b"QUIT\nQUIT\n!!";
+    let stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    writer
+        .write_all(format!("LOAD t2 {}\n", payload.len()).as_bytes())
+        .expect("write");
+    writer.write_all(payload).expect("write payload");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("ERR bad-payload"), "got {line:?}");
+    line.clear();
+
+    // Same contract for a rejected APPEND payload…
+    writer
+        .write_all(format!("APPEND t 0 {}\n", payload.len()).as_bytes())
+        .expect("write");
+    writer.write_all(payload).expect("write payload");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("ERR bad-payload"), "got {line:?}");
+    line.clear();
+
+    // …and for payload-carrying commands rejected for non-framing reasons
+    // (absent tenant, well-formed payload): bytes still consumed.
+    let good_payload = b"R a b\n";
+    writer
+        .write_all(format!("APPEND ghost 0 {}\n", good_payload.len()).as_bytes())
+        .expect("write");
+    writer.write_all(good_payload).expect("write payload");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("ERR not-loaded"), "got {line:?}");
+    line.clear();
+
+    // The connection is still perfectly usable: the QUERY answers.
+    writer.write_all(b"QUERY t RRX\n").expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(line.trim_end(), format!("OK ANSWERS {want}"));
+    line.clear();
+
+    // A malformed APPEND *command line* loses framing (the length was never
+    // parsed) and must close, exactly like malformed LOAD lines.
+    writer
+        .write_all(b"APPEND t zero 12\nR a b\n")
+        .expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("ERR bad-command"), "got {line:?}");
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("read eof"),
+        0,
+        "connection must close after a malformed APPEND line, got {line:?}"
+    );
     server.shutdown();
 }
 

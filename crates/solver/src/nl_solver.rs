@@ -95,6 +95,10 @@ pub struct DemandCounts {
     pub generic_rules: u64,
     /// Individual kernel executions (per rule, per semi-naive round).
     pub kernel_invocations: u64,
+    /// Strata resumed from a checkpointed base instead of re-derived from
+    /// scratch, summed per run (see
+    /// [`cqa_datalog::parallel::EvalStats::checkpoint_hits`]).
+    pub checkpoint_hits: u64,
 }
 
 /// Interior-mutable accumulator behind [`DemandCounts`].
@@ -106,6 +110,7 @@ struct DemandCounters {
     kernel_rules: AtomicU64,
     generic_rules: AtomicU64,
     kernel_invocations: AtomicU64,
+    checkpoint_hits: AtomicU64,
 }
 
 /// A query's prepared NL evaluation artifacts, shareable across instances
@@ -190,6 +195,7 @@ impl NlSolver {
             kernel_rules: self.demand.kernel_rules.load(Ordering::Relaxed),
             generic_rules: self.demand.generic_rules.load(Ordering::Relaxed),
             kernel_invocations: self.demand.kernel_invocations.load(Ordering::Relaxed),
+            checkpoint_hits: self.demand.checkpoint_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -213,6 +219,9 @@ impl NlSolver {
         self.demand
             .kernel_invocations
             .fetch_add(stats.kernel_invocations, Ordering::Relaxed);
+        self.demand
+            .checkpoint_hits
+            .fetch_add(stats.checkpoint_hits, Ordering::Relaxed);
     }
 
     /// Prepares (or fetches the cached) per-query plan: the strict B2b
@@ -445,9 +454,24 @@ pub(crate) fn certain_datalog_overlay(
     delta: &DatabaseInstance,
     options: &EvalOptions,
 ) -> Result<(bool, EvalStats), SolverError> {
-    let (store, stats) = cqa
-        .compiled
-        .run_on_store_with_stats(edb_overlay_on(base, delta), options);
+    // Checkpointed resumption: when enabled and the program has
+    // checkpointable strata, evaluate on (an overlay over) the base's
+    // checkpointed variant — the prefix-determined part of those strata was
+    // pre-derived into it once per (base, program) — and resume semi-naive
+    // with the delta as the initial overlay. Keying by the compiled plan's
+    // address is sound because plans are shared through the process-wide
+    // `PlanCache` (same program + demand mode ⇒ same `Arc`, for the life of
+    // the process).
+    let (store, stats) = if options.checkpoint.resolve() && cqa.compiled.has_checkpointable_strata()
+    {
+        let key = Arc::as_ptr(&cqa.compiled) as usize;
+        let checkpointed = base.checkpoint(key, |raw| cqa.compiled.checkpoint_base(raw));
+        cqa.compiled
+            .resume_on_store_with_stats(edb_overlay_on(&checkpointed, delta), options)
+    } else {
+        cqa.compiled
+            .run_on_store_with_stats(edb_overlay_on(base, delta), options)
+    };
     // adom(prefix ∪ delta) = adom(prefix) ∪ adom(delta); the overlap is
     // checked twice, which is harmless for an `any`.
     let adom = prefix.adom().iter().chain(delta.adom().iter()).copied();

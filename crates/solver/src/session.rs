@@ -25,7 +25,7 @@ use cqa_automata::query_nfa::QueryNfa;
 use cqa_core::classify::{classify, Classification, ComplexityClass};
 use cqa_core::query::PathQuery;
 use cqa_core::word::Word;
-use cqa_datalog::parallel::EvalOptions;
+use cqa_datalog::parallel::{EvalOptions, Threads};
 use cqa_datalog::store::{edb_base_from_instance, BaseStore};
 use cqa_db::family::InstanceFamily;
 use cqa_db::instance::DatabaseInstance;
@@ -333,8 +333,10 @@ impl CertaintySession {
 
         // Workers run each request's engine sequentially: batch-level
         // parallelism already saturates the budget, and nested scopes would
-        // oversubscribe.
-        let per_request = EvalOptions::sequential();
+        // oversubscribe. Every other option (demand, kernels, checkpoint)
+        // rides along unchanged — pinning the thread count must not reset
+        // the session's engine configuration.
+        let per_request = self.per_request_options();
         fan_out(requests.len(), threads, |i| {
             self.certain_planned_with(&plans[i], &requests[i].1, &per_request)
         })
@@ -463,7 +465,7 @@ impl CertaintySession {
         // Scoped fan-out with preassigned slots, exactly like
         // `certain_batch_parallel` (workers pin their engine runs
         // sequential — one level of parallelism at a time).
-        let per_request = EvalOptions::sequential();
+        let per_request = self.per_request_options();
         fan_out(requests.len(), threads, |slot| {
             self.certain_family_request(
                 plan,
@@ -506,6 +508,16 @@ impl CertaintySession {
                 let full = family.prefix().union(delta);
                 self.certain_planned_with(plan, &full, options)
             }
+        }
+    }
+
+    /// The session's options with the engine pinned sequential — what each
+    /// fan-out worker evaluates with (batch-level parallelism already
+    /// saturates the thread budget; demand/kernels/checkpoint are preserved).
+    fn per_request_options(&self) -> EvalOptions {
+        EvalOptions {
+            threads: Threads::Fixed(1),
+            ..self.options
         }
     }
 

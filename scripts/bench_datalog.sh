@@ -10,8 +10,10 @@
 # cqa-server vs direct in-process session calls on the same multi-tenant
 # stream — the wire/dispatch overhead), `demand_transform` (demand-driven
 # derivation off vs prune vs magic on goal-sparse, route-level and family
-# workloads) and `binary_kernels` (shape-specialized kernels off vs on over
-# tc chains, the warm RRX route and shared-prefix family batches) suites.
+# workloads), `binary_kernels` (shape-specialized kernels off vs on over
+# tc chains, the warm RRX route and shared-prefix family batches) and
+# `incremental` (checkpointed base derivation vs from-scratch on warm
+# resident-family batches and live mutate-requery loops) suites.
 # Before overwriting BENCH_datalog.json, fresh medians are diffed against the
 # checked-in baseline with per-entry ratios, so regressions are visible in
 # the run's own output instead of only in the git diff.
@@ -41,7 +43,8 @@ CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
     --bench parallel_scaling \
     --bench server_throughput \
     --bench demand_transform \
-    --bench binary_kernels
+    --bench binary_kernels \
+    --bench incremental
 
 # Per-entry ratio diff against the checked-in baseline (fresh/baseline: < 1
 # is faster, > 1 slower). New entries print "(new)"; nothing fails here —
