@@ -10,24 +10,32 @@
 //! only the negation-dependent strata. With `Checkpoint::Off`, every request
 //! derives the full program from scratch over the shared base.
 //!
-//! Both sides produce byte-identical answer bitmaps (pinned by
-//! `crates/path-cqa/tests/checkpoint_agreement.rs` across demand, kernel and
-//! thread knobs). Two pairs go into `BENCH_datalog.json`:
+//! All sides produce byte-identical answer bitmaps (pinned by
+//! `crates/path-cqa/tests/checkpoint_agreement.rs` across maintain, demand,
+//! kernel and thread knobs). Three arms per pair go into
+//! `BENCH_datalog.json` — `off` (from scratch, PR 8's baseline), `on`
+//! (checkpointed, PR 8's win) and `dm` (checkpointed *and* differentially
+//! maintained, this PR's win):
 //!
-//! * `warm_batch_off` vs `warm_batch_on` — a warm session answering the full
-//!   family batch against a resident base (checkpoint already built, outside
-//!   the timed loop). This is the acceptance comparison: the win is the
-//!   checkpointable strata's derivation work, saved once per *request*.
-//! * `mutate_requery_off` vs `mutate_requery_on` — the live-mutation loop:
-//!   alternate between two family generations differing in one request's
-//!   delta (an `APPEND`-sized edit) and re-answer the batch. The base and
-//!   its checkpoint survive the mutation (only the O(delta) overlay
-//!   changes), so the checkpointed side keeps its head start.
+//! * `warm_batch_*` — a warm session answering the full family batch against
+//!   a resident base (checkpoint already built, outside the timed loop). The
+//!   maintained side answers every unchanged request straight from its
+//!   maintained IDB — a pure hit, no derivation at all.
+//! * `mutate_requery_*` — the live-mutation loop: alternate between two
+//!   family generations differing in one request's delta (an `APPEND`-sized
+//!   edit) and re-answer the batch. The base and its checkpoint survive the
+//!   mutation; the maintained side additionally keeps its materialized IDB
+//!   and repairs it by the O(changed-tuples) support-count / DRed passes.
+//! * `mutate_retract_*` — the same loop with a retract-heavy edit (two
+//!   retractions plus one insertion), the shape that exercises DRed
+//!   overdelete/rederive rather than the insert-only delta path.
 //!
-//! **Honest caveat:** the saved fraction is whatever share of derivation the
-//! checkpointable (negation-free, EDB-fed) strata represent for the demand-
-//! transformed Lemma 14 programs — measured, not assumed; see the recorded
-//! deltas in ROADMAP.md against the ≥1.5x target at 10^4-fact prefixes.
+//! **Honest caveat:** the checkpointed win is whatever share of derivation
+//! the checkpointable (negation-free, EDB-fed) strata represent, and the
+//! maintained win depends on the change ratio (maintenance falls back to
+//! from-scratch when the EDB diff is a large fraction of the materialized
+//! store) — measured, not assumed; see the recorded deltas in ROADMAP.md
+//! against the ≥1.5x target at 10^4-fact prefixes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -37,6 +45,7 @@ use cqa_core::query::PathQuery;
 use cqa_datalog::prelude::edb_base_from_instance;
 use cqa_datalog::store::BaseStore;
 use cqa_db::family::InstanceFamily;
+use cqa_db::instance::DatabaseInstance;
 use cqa_solver::prelude::*;
 use cqa_workloads::random::shared_prefix_families;
 
@@ -56,6 +65,23 @@ fn mutated(family: &InstanceFamily) -> InstanceFamily {
     let mut deltas = family.deltas().to_vec();
     deltas[0].insert_parsed("R", "mut_a", "mut_b");
     deltas[0].insert_parsed("R", "mut_b", "mut_c");
+    InstanceFamily::with_deltas(family.prefix().clone(), deltas)
+}
+
+/// A retract-heavy generation: request 0's delta loses its first two facts
+/// and gains one fresh one — the `RETRACT`-dominated shape that drives the
+/// DRed overdelete/rederive passes instead of the insert-only delta path.
+fn retracted(family: &InstanceFamily) -> InstanceFamily {
+    let mut deltas = family.deltas().to_vec();
+    let victims: Vec<_> = deltas[0].facts().iter().copied().take(2).collect();
+    deltas[0] = DatabaseInstance::from_facts(
+        deltas[0]
+            .facts()
+            .iter()
+            .copied()
+            .filter(|f| !victims.contains(f)),
+    );
+    deltas[0].insert_parsed("R", "ret_a", "ret_b");
     InstanceFamily::with_deltas(family.prefix().clone(), deltas)
 }
 
@@ -98,20 +124,28 @@ fn bench_incremental(c: &mut Criterion) {
             shared_pct
         );
         let alt = mutated(&family);
+        let shrunk = retracted(&family);
 
-        for (label, checkpoint) in [("off", Checkpoint::Off), ("on", Checkpoint::On)] {
+        for (label, checkpoint, maintain) in [
+            ("off", Checkpoint::Off, Maintain::Off),
+            ("on", Checkpoint::On, Maintain::Off),
+            ("dm", Checkpoint::On, Maintain::On),
+        ] {
             let session = CertaintySession::with_options(
                 NlBackend::Datalog,
-                EvalOptions::sequential().with_checkpoint(checkpoint),
+                EvalOptions::sequential()
+                    .with_checkpoint(checkpoint)
+                    .with_maintain(maintain),
             );
-            // One resident base per side, shared across both pairs — plan
-            // compilation, committed probe indexes and (on the `on` side)
-            // the cached checkpoint variant are all built here, outside the
-            // timed loops, exactly as a resident cqa-server tenant would
-            // hold them.
+            // One resident base per side, shared across all pairs — plan
+            // compilation, committed probe indexes, the cached checkpoint
+            // variant and (on the `dm` side) the bootstrapped maintained
+            // IDB are all built here, outside the timed loops, exactly as a
+            // resident cqa-server tenant would hold them.
             let base = edb_base_from_instance(family.prefix());
             batch(&session, &query, &family, &base);
             batch(&session, &query, &alt, &base);
+            batch(&session, &query, &shrunk, &base);
 
             group.bench_with_input(
                 BenchmarkId::new(format!("warm_batch_{label}"), &id),
@@ -126,6 +160,18 @@ fn bench_incremental(c: &mut Criterion) {
                     b.iter(|| {
                         let first = batch(&session, &query, family, &base);
                         let second = batch(&session, &query, alt, &base);
+                        black_box(first + second)
+                    })
+                },
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("mutate_retract_{label}"), &id),
+                &(&family, &shrunk),
+                |b, (family, shrunk)| {
+                    b.iter(|| {
+                        let first = batch(&session, &query, family, &base);
+                        let second = batch(&session, &query, shrunk, &base);
                         black_box(first + second)
                     })
                 },

@@ -213,6 +213,8 @@ pub struct CompiledProgram {
     pub(crate) kernel_rules: u64,
     /// Compiled plans without one.
     pub(crate) generic_rules: u64,
+    /// Per-stratum differential maintenance plans (see [`crate::maintain`]).
+    pub(crate) maintain: crate::maintain::MaintainProgram,
 }
 
 impl CompiledProgram {
@@ -393,6 +395,12 @@ impl CompiledProgram {
             .iter()
             .map(|s| (s.full_plans.len() + s.delta_plans.len()) as u64)
             .sum();
+        let maintain = crate::maintain::MaintainProgram::build(
+            program,
+            &strat.strata,
+            &numberings,
+            &mut preds,
+        );
         Ok(CompiledProgram {
             preds,
             strata,
@@ -400,6 +408,7 @@ impl CompiledProgram {
             num_csr_slots: kslots.len(),
             kernel_rules,
             generic_rules: total_rules - kernel_rules,
+            maintain,
         })
     }
 

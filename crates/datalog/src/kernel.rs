@@ -41,6 +41,19 @@
 //! pick the path at *execution* time (kernels are always compiled), so plan
 //! caches are oblivious to the knob and a suspected kernel bug can be
 //! bisected at runtime.
+//!
+//! # Kernels and differential maintenance
+//!
+//! Kernels are *insert-only*: every op appends candidate head tuples to a
+//! growing store, and the CSR/columnar structures they probe are
+//! build-on-growth. The delete passes of differential maintenance
+//! ([`crate::maintain`]) — DRed overdeletion and support-count decrements —
+//! physically *remove* tuples and must re-read mixed old/new states per
+//! literal, which no kernel shape supports. Maintenance therefore always
+//! runs through its own generic two-state matcher, regardless of the
+//! `Kernels` knob; kernels still serve full (re)materializations — the
+//! bootstrap and unprofitable-fallback paths — where evaluation is
+//! insert-only again.
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -68,6 +68,7 @@ pub mod demand;
 pub mod engine;
 mod fxhash;
 mod kernel;
+pub mod maintain;
 pub mod parallel;
 mod plan;
 pub mod plan_cache;
@@ -86,7 +87,8 @@ pub mod prelude {
     };
     pub use crate::demand::{transform as demand_transform, Demand, DemandMode, DemandReport};
     pub use crate::engine::{evaluate, CompiledProgram, Evaluator};
-    pub use crate::parallel::{Checkpoint, EvalOptions, EvalStats, Kernels, Threads};
+    pub use crate::maintain::{MaintainVerdict, MaintainedIdb};
+    pub use crate::parallel::{Checkpoint, EvalOptions, EvalStats, Kernels, Maintain, Threads};
     pub use crate::plan_cache::PlanCache;
     pub use crate::reference::evaluate_scan;
     pub use crate::store::{

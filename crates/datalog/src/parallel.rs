@@ -185,6 +185,61 @@ impl Checkpoint {
     }
 }
 
+/// Whether resident family evaluation may answer from a *maintained*
+/// materialized IDB — a flat [`RelationStore`] kept at the program's fixpoint
+/// across `APPEND`/`RETRACT` mutations by differential maintenance
+/// (counting-based for non-recursive strata, classic DRed
+/// overdelete → rederive → re-insert for the rest; see [`crate::maintain`])
+/// instead of re-deriving from the base on every request.
+///
+/// Like [`Checkpoint`], this knob never changes *what* is derived — the
+/// maintained store is byte-identical to a from-scratch run (pinned by the
+/// checkpoint differential suite across maintain × checkpoint × demand ×
+/// kernels × threads) — only how much per-mutation work it takes to stay
+/// there. `Auto` additionally falls back to from-scratch re-derivation when
+/// the change ratio makes maintenance unprofitable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Maintain {
+    /// Defer to the `PATH_CQA_MAINTAIN` environment variable (`off` or `0`
+    /// disables; anything else — including unset — enables). Resolved once
+    /// per process, like `PATH_CQA_THREADS`.
+    #[default]
+    Auto,
+    /// Never maintain: every request re-derives from the base store.
+    Off,
+    /// Maintain whenever the solver holds a resident base, even when the
+    /// change ratio makes from-scratch re-derivation cheaper.
+    On,
+}
+
+impl Maintain {
+    /// True iff resident evaluation should keep and maintain materialized
+    /// IDB state.
+    pub fn resolve(self) -> bool {
+        match self {
+            Maintain::On => true,
+            Maintain::Off => false,
+            Maintain::Auto => {
+                static AUTO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+                *AUTO.get_or_init(|| {
+                    !matches!(
+                        std::env::var("PATH_CQA_MAINTAIN").as_deref(),
+                        Ok("off") | Ok("0")
+                    )
+                })
+            }
+        }
+    }
+
+    /// True iff the unprofitable-change fallback applies (only `Auto` falls
+    /// back; `On` forces maintenance regardless of the change ratio, which is
+    /// what the differential suite uses to keep the maintenance passes
+    /// themselves under test).
+    pub fn fallback_allowed(self) -> bool {
+        !matches!(self, Maintain::On)
+    }
+}
+
 /// Evaluation options, threaded from the solvers down to the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EvalOptions {
@@ -204,6 +259,11 @@ pub struct EvalOptions {
     /// by the solver layer when it holds an `Arc`-shared base (see
     /// [`Checkpoint`]).
     pub checkpoint: Checkpoint,
+    /// Whether resident family evaluation answers from a differentially
+    /// maintained materialized IDB; consulted by the solver layer when it
+    /// holds an `Arc`-shared base and a stable per-request slot (see
+    /// [`Maintain`]).
+    pub maintain: Maintain,
 }
 
 impl EvalOptions {
@@ -236,6 +296,11 @@ impl EvalOptions {
     /// These options with an explicit checkpoint setting.
     pub fn with_checkpoint(self, checkpoint: Checkpoint) -> EvalOptions {
         EvalOptions { checkpoint, ..self }
+    }
+
+    /// These options with an explicit maintenance setting.
+    pub fn with_maintain(self, maintain: Maintain) -> EvalOptions {
+        EvalOptions { maintain, ..self }
     }
 }
 
@@ -297,6 +362,20 @@ pub struct EvalStats {
     /// checkpoint differential suite asserts resumed and from-scratch runs
     /// agree bit-for-bit regardless.
     pub checkpoint_hits: u64,
+    /// Requests answered from a differentially maintained materialized IDB
+    /// instead of a from-scratch derivation — both pure hits (the mutation
+    /// delta was unchanged since the store was last maintained) and
+    /// O(change) maintenance passes count; bootstraps and unprofitable-change
+    /// rebuilds do not. Zero when maintenance is off or the solver has no
+    /// stable per-request slot.
+    pub maintained_hits: u64,
+    /// Tuples the maintenance passes physically removed from the maintained
+    /// store: DRed overdeletion marks that reached the removal sweep, plus
+    /// counting-stratum tuples whose derivation count dropped to zero.
+    pub tuples_overdeleted: u64,
+    /// Tuples the DRed rederivation phase re-inserted after overdeletion
+    /// (alternative derivations survived the deleted support).
+    pub tuples_rederived: u64,
 }
 
 impl EvalStats {

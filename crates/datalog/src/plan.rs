@@ -52,7 +52,7 @@ pub(crate) enum Slot {
 }
 
 impl Slot {
-    fn of(term: &DlTerm, vars: &RuleVars) -> Slot {
+    pub(crate) fn of(term: &DlTerm, vars: &RuleVars) -> Slot {
         match term {
             DlTerm::Const(c) => Slot::Const(*c),
             DlTerm::Var(v) => Slot::Var(vars.id(*v).expect("variable occurs in rule")),
@@ -109,7 +109,7 @@ pub(crate) enum CompiledBuiltin {
 }
 
 impl CompiledBuiltin {
-    fn of(builtin: &Builtin, vars: &RuleVars) -> CompiledBuiltin {
+    pub(crate) fn of(builtin: &Builtin, vars: &RuleVars) -> CompiledBuiltin {
         let s = |t: &DlTerm| Slot::of(t, vars);
         match builtin {
             Builtin::Neq(a, b) => CompiledBuiltin::Neq(s(a), s(b)),

@@ -147,6 +147,19 @@ impl BitSet {
             .get((id / 64) as usize)
             .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
     }
+
+    /// Clears the bit; returns true iff it was previously set. The removal
+    /// mirror of [`BitSet::insert`], used only by the differential
+    /// maintenance passes on flat maintained stores.
+    fn remove(&mut self, id: u32) -> bool {
+        let Some(word) = self.words.get_mut((id / 64) as usize) else {
+            return false;
+        };
+        let bit = 1u64 << (id % 64);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        present
+    }
 }
 
 /// Flat `u32` mirrors of a relation's tuple vector, maintained eagerly on
@@ -229,6 +242,40 @@ impl Relation {
             self.tuples.push(tuple);
         }
         novel
+    }
+
+    /// Removes a tuple, keeping the membership structure and the columnar
+    /// mirrors consistent with the tuple vector; returns true iff it was
+    /// present. The vacated position is back-filled with the last tuple
+    /// (`swap_remove`), so tuple ids are **not** stable across removals —
+    /// only the flat maintained stores of [`crate::maintain`] ever remove,
+    /// and they never feed the id-addressed engine paths (semi-naive delta
+    /// ranges, [`crate::plan::IndexSpace`], kernels).
+    fn remove(&mut self, tuple: &[Symbol]) -> bool {
+        let present = match tuple {
+            [a] => self.cols.bits.remove(a.id()),
+            [a, b] => self.pairs.remove(&pack_pair(a.id(), b.id())),
+            _ => self.set.remove(tuple),
+        };
+        if present {
+            let pos = self
+                .tuples
+                .iter()
+                .position(|t| t.as_slice() == tuple)
+                .expect("membership and tuple vector agree");
+            self.tuples.swap_remove(pos);
+            match tuple.len() {
+                1 => {
+                    self.cols.c0.swap_remove(pos);
+                }
+                2 => {
+                    self.cols.c0.swap_remove(pos);
+                    self.cols.c1.swap_remove(pos);
+                }
+                _ => {}
+            }
+        }
+        present
     }
 }
 
@@ -399,6 +446,30 @@ pub struct BaseStore {
     /// interior-mutability memo discipline as the index caches. Always empty
     /// on the variants themselves (they are keyed off the original base).
     checkpoints: Mutex<HashMap<usize, Arc<BaseStore>>>,
+    /// Differentially maintained materialized-IDB slots living on this base,
+    /// keyed by `(compiled-program address, request slot)` — see
+    /// [`crate::maintain`] and [`BaseStore::maintained_slot`]. The map only
+    /// hands out `Arc<MaintainedEntry>`s; the per-slot state mutex is taken
+    /// *after* the map lock is released, so a long maintenance pass never
+    /// blocks unrelated slots. Dropped with the base, so LRU eviction of a
+    /// resident reclaims its maintained state along with everything else
+    /// (the maintained stores are flat — they hold no `Arc` back to this
+    /// base, so there is no cycle to leak through).
+    maintained: Mutex<HashMap<(usize, usize), Arc<MaintainedEntry>>>,
+}
+
+/// One maintained-IDB slot on a [`BaseStore`]: the state under its own lock,
+/// plus a relaxed tuple-count mirror so registry accounting
+/// ([`BaseStore::maintained_tuples`]) never has to wait behind an in-flight
+/// maintenance or bootstrap pass.
+#[derive(Debug, Default)]
+pub struct MaintainedEntry {
+    /// The maintained state; `None` until the slot's first bootstrap. The
+    /// holder of this lock updates `tuples` before releasing it.
+    pub state: Mutex<Option<crate::maintain::MaintainedIdb>>,
+    /// Total tuples currently held by this slot's maintained store, mirrored
+    /// from `state` with relaxed ordering (accounting-only precision).
+    pub tuples: AtomicU64,
 }
 
 impl BaseStore {
@@ -422,7 +493,32 @@ impl BaseStore {
             csr: Mutex::new(HashMap::new()),
             index_builds: AtomicU64::new(0),
             checkpoints: Mutex::new(HashMap::new()),
+            maintained: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The maintained-IDB slot for `key` (one per `(compiled program,
+    /// request slot)` pair — callers use the program's cache-stable address,
+    /// like [`BaseStore::checkpoint`]), creating an empty entry on first
+    /// request. Only the entry `Arc` is handed out under the map lock; the
+    /// caller locks the entry's own state mutex afterwards, so two requests
+    /// maintaining different slots never serialize on each other.
+    pub fn maintained_slot(&self, key: (usize, usize)) -> Arc<MaintainedEntry> {
+        let mut map = self.maintained.lock().expect("maintained map");
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// Total tuples currently held across this base's maintained-IDB slots —
+    /// the memory-pressure contribution of differential maintenance, read by
+    /// the server registry's LRU accounting. Sums the relaxed per-slot
+    /// mirrors, so it never blocks behind an in-flight maintenance pass.
+    pub fn maintained_tuples(&self) -> u64 {
+        self.maintained
+            .lock()
+            .expect("maintained map")
+            .values()
+            .map(|entry| entry.tuples.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// A mutable flat copy of this base — same predicates, same tuples, same
@@ -863,6 +959,42 @@ impl RelationStore {
         let inserted = self.relations[id.index()].insert(tuple);
         self.generation += inserted as u64;
         inserted
+    }
+
+    /// Removes a tuple from a **flat** store; returns true iff it was
+    /// present. Overlays cannot remove (their base layer is frozen and
+    /// shared); the only callers are the differential maintenance passes of
+    /// [`crate::maintain`], which operate on flat maintained stores. The
+    /// generation watermark is deliberately *not* decremented — it is a
+    /// monotone "has anything grown?" signal, and maintenance tracks its own
+    /// change counts.
+    pub fn remove(&mut self, pred: Predicate, tuple: &[Symbol]) -> bool {
+        debug_assert!(self.base.is_none(), "remove is only valid on flat stores");
+        self.preds
+            .lookup(pred)
+            .is_some_and(|id| self.relations[id.index()].remove(tuple))
+    }
+
+    /// A flat deep copy of this store: same predicates (in interning order),
+    /// same fact sets, base and overlay merged into a single mutable layer.
+    /// This is how a maintained store is born — evaluation runs on a cheap
+    /// overlay, and the fixpoint is flattened once so maintenance can remove
+    /// tuples (the overlay's base layer is frozen and shared).
+    pub fn flatten(&self) -> RelationStore {
+        let mut flat = RelationStore::new();
+        for (id, pred) in self.preds.iter() {
+            let fid = flat.intern(pred);
+            for tuple in self.tuples_by_id(id).iter() {
+                flat.insert_by_id(fid, tuple.clone());
+            }
+        }
+        flat
+    }
+
+    /// Total number of tuples across every predicate (both layers) — the
+    /// memory-footprint measure maintained-IDB accounting reports.
+    pub fn total_tuples(&self) -> usize {
+        self.preds.iter().map(|(id, _)| self.len_of(id)).sum()
     }
 
     /// The store's insertion watermark: the total number of tuples ever

@@ -195,38 +195,42 @@ fn certain_family_bitmaps_are_identical_across_checkpoint_modes() {
         DatabaseInstance::from_facts(deltas[1].facts().iter().copied().filter(|f| *f != removed));
     let mutated = InstanceFamily::with_deltas(family.prefix().clone(), deltas);
 
-    let bitmap =
-        |checkpoint: Checkpoint, demand: Demand, kernels: Kernels, threads: usize| -> Vec<u8> {
-            let session = CertaintySession::with_options(
-                NlBackend::Datalog,
-                EvalOptions::with_threads(threads)
-                    .with_demand(demand)
-                    .with_kernels(kernels)
-                    .with_checkpoint(checkpoint),
-            );
-            // One resident base serves both generations, as on the server.
-            let base = edb_base_from_instance(family.prefix());
-            let all: Vec<usize> = (0..family.len()).collect();
-            let mut bits = Vec::new();
-            for generation in [&family, &mutated] {
-                for w in words {
-                    let q = PathQuery::parse(w).unwrap();
-                    for answer in session.certain_batch_family_resident(&q, generation, &base, &all)
-                    {
-                        bits.push(answer.unwrap_or_else(|e| {
-                            panic!("{w} failed under {checkpoint:?}/{demand:?}/{kernels:?}: {e}")
-                        }));
-                    }
+    let bitmap = |maintain: Maintain,
+                  checkpoint: Checkpoint,
+                  demand: Demand,
+                  kernels: Kernels,
+                  threads: usize|
+     -> Vec<u8> {
+        let session = CertaintySession::with_options(
+            NlBackend::Datalog,
+            EvalOptions::with_threads(threads)
+                .with_demand(demand)
+                .with_kernels(kernels)
+                .with_checkpoint(checkpoint)
+                .with_maintain(maintain),
+        );
+        // One resident base serves both generations, as on the server.
+        let base = edb_base_from_instance(family.prefix());
+        let all: Vec<usize> = (0..family.len()).collect();
+        let mut bits = Vec::new();
+        for generation in [&family, &mutated] {
+            for w in words {
+                let q = PathQuery::parse(w).unwrap();
+                for answer in session.certain_batch_family_resident(&q, generation, &base, &all) {
+                    bits.push(answer.unwrap_or_else(|e| {
+                        panic!("{w} failed under {checkpoint:?}/{demand:?}/{kernels:?}: {e}")
+                    }));
                 }
             }
-            let mut bytes = vec![0u8; bits.len().div_ceil(8)];
-            for (i, &b) in bits.iter().enumerate() {
-                bytes[i / 8] |= (b as u8) << (i % 8);
-            }
-            bytes
-        };
+        }
+        let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+        for (i, &b) in bits.iter().enumerate() {
+            bytes[i / 8] |= (b as u8) << (i % 8);
+        }
+        bytes
+    };
 
-    let reference = bitmap(Checkpoint::Off, Demand::Off, Kernels::Off, 1);
+    let reference = bitmap(Maintain::Off, Checkpoint::Off, Demand::Off, Kernels::Off, 1);
     assert!(reference.iter().any(|&b| b != 0), "degenerate workload");
     // The fresh-solver oracle on materialized instances, for both
     // generations: the resident/checkpointed path must match it bit for bit.
@@ -248,20 +252,117 @@ fn certain_family_bitmaps_are_identical_across_checkpoint_modes() {
         "reference drifted from a fresh solver"
     );
 
-    for checkpoint in [Checkpoint::Off, Checkpoint::On] {
-        for demand in [Demand::Off, Demand::Magic] {
-            for kernels in [Kernels::Off, Kernels::On] {
-                for threads in [1usize, 2, 8] {
-                    assert_eq!(
-                        bitmap(checkpoint, demand, kernels, threads),
-                        reference,
-                        "bitmap under {checkpoint:?}/{demand:?}/{kernels:?} at {threads} \
-                         threads differs from checkpoint-off sequential"
-                    );
+    for maintain in [Maintain::Off, Maintain::On] {
+        for checkpoint in [Checkpoint::Off, Checkpoint::On] {
+            for demand in [Demand::Off, Demand::Magic] {
+                for kernels in [Kernels::Off, Kernels::On] {
+                    for threads in [1usize, 2, 8] {
+                        assert_eq!(
+                            bitmap(maintain, checkpoint, demand, kernels, threads),
+                            reference,
+                            "bitmap under {maintain:?}/{checkpoint:?}/{demand:?}/{kernels:?} at \
+                             {threads} threads differs from maintain-off checkpoint-off sequential"
+                        );
+                    }
                 }
             }
         }
     }
+}
+
+#[test]
+fn long_retract_heavy_generation_sequences_agree_with_fresh_oracle() {
+    // The differential harness for *maintained* residents: a long,
+    // retract-heavy interleaved APPEND/RETRACT generation sequence over one
+    // resident base, served by maintain-on and maintain-off sessions that
+    // live across all generations (so the maintained IDB state is mutated
+    // generation over generation, exactly like the server's registry), with
+    // a fresh-load solver as the oracle at every step. The sequence
+    // includes retract-then-re-append of the very same fact, the classic
+    // DRed round-trip hazard.
+    let word = cqa_core::word::Word::from_letters("RXRYRY");
+    let words = ["RRX", "RXRYRY"];
+    let family = shared_prefix_families(&word, 30, 5, 0.2, 0xD0D0);
+    let prefix = family.prefix().clone();
+    let mut deltas = family.deltas().to_vec();
+    let base = edb_base_from_instance(&prefix);
+    let all: Vec<usize> = (0..deltas.len()).collect();
+
+    let session_on = CertaintySession::with_options(
+        NlBackend::Datalog,
+        EvalOptions::sequential().with_maintain(Maintain::On),
+    );
+    let session_off = CertaintySession::with_options(
+        NlBackend::Datalog,
+        EvalOptions::sequential().with_maintain(Maintain::Off),
+    );
+
+    let mut s = 0xD00Du64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    // Facts retracted in a previous generation, re-appended later.
+    let mut retracted: Vec<(usize, cqa_db::fact::Fact)> = Vec::new();
+    for generation in 0..10 {
+        // Retract-heavy mutation: two retracts, then one append which every
+        // other generation re-appends a previously retracted fact verbatim.
+        for _ in 0..2 {
+            let i = (next() % deltas.len() as u64) as usize;
+            if deltas[i].facts().is_empty() {
+                continue;
+            }
+            let victim = deltas[i].facts()[(next() % deltas[i].facts().len() as u64) as usize];
+            deltas[i] = DatabaseInstance::from_facts(
+                deltas[i].facts().iter().copied().filter(|f| *f != victim),
+            );
+            retracted.push((i, victim));
+        }
+        if generation % 2 == 0 && !retracted.is_empty() {
+            let (i, fact) = retracted.remove(0);
+            deltas[i] = deltas[i].union(&DatabaseInstance::from_facts(std::iter::once(fact)));
+        } else {
+            let i = (next() % deltas.len() as u64) as usize;
+            let mut fresh = DatabaseInstance::new();
+            fresh.insert_parsed("R", &format!("g{generation}a"), &format!("g{generation}b"));
+            deltas[i] = deltas[i].union(&fresh);
+        }
+
+        let generation_family = InstanceFamily::with_deltas(prefix.clone(), deltas.clone());
+        for w in words {
+            let q = PathQuery::parse(w).unwrap();
+            let on = session_on.certain_batch_family_resident(&q, &generation_family, &base, &all);
+            let off =
+                session_off.certain_batch_family_resident(&q, &generation_family, &base, &all);
+            let oracle =
+                DispatchSolver::with_datalog_nl().certain_batch_family(&q, &generation_family);
+            for (request, ((a, b), c)) in on.into_iter().zip(off).zip(oracle).enumerate() {
+                let expected = c.expect("oracle");
+                assert_eq!(
+                    a.expect("maintained answer"),
+                    expected,
+                    "maintained answer diverged ({w}, generation {generation}, request {request})"
+                );
+                assert_eq!(
+                    b.expect("unmaintained answer"),
+                    expected,
+                    "unmaintained answer diverged ({w}, generation {generation}, \
+                     request {request})"
+                );
+            }
+        }
+    }
+    assert!(
+        session_on.stats().demand.maintained_hits > 0,
+        "the maintain-on session never served from the maintained IDB"
+    );
+    assert_eq!(
+        session_off.stats().demand.maintained_hits,
+        0,
+        "the maintain-off session must never maintain"
+    );
 }
 
 #[test]

@@ -70,7 +70,8 @@ struct Resident {
 pub struct RegistryStats {
     /// Tenants currently resident.
     pub residents: usize,
-    /// Total facts across resident tenants.
+    /// Total facts across resident tenants, including each residency's
+    /// maintained-IDB tuples (the same size the fact cap is enforced on).
     pub resident_facts: usize,
     /// `LOAD`s performed (including replacements of a resident tenant).
     pub loads: u64,
@@ -106,6 +107,11 @@ pub struct TenantStats {
     /// requests — the per-tenant view of demand-driven derivation (lower
     /// under pruning/magic than with demand off, for the same traffic).
     pub tuples_derived: u64,
+    /// Tuples currently held in maintained IDB states on this residency's
+    /// base (differential maintenance across `APPEND`/`RETRACT`). Counts
+    /// against the registry fact cap; drops to zero with the base on
+    /// `EVICT`/re-`LOAD`.
+    pub maintained_tuples: u64,
 }
 
 /// Why an `APPEND`/`RETRACT` could not be applied.
@@ -150,8 +156,17 @@ impl Inner {
         self.evictions += 1;
     }
 
+    /// Resident size for cap purposes: loaded facts (prefix + deltas,
+    /// recomputed on every `mutate_delta`) *plus* the maintained IDB tuples
+    /// materialized on the residency's base. A tenant whose differential
+    /// maintenance state has grown large exerts real memory pressure and
+    /// must count against `max_facts`, or maintenance would be a cap bypass.
+    fn size(resident: &Resident) -> usize {
+        resident.data.facts + resident.data.base.maintained_tuples() as usize
+    }
+
     fn total_facts(&self) -> usize {
-        self.residents.values().map(|r| r.data.facts).sum()
+        self.residents.values().map(Inner::size).sum()
     }
 
     /// Evicts least-recently-used tenants (never `keep`) until both caps
@@ -387,6 +402,7 @@ impl TenantRegistry {
             base_index_builds: resident.data.base.index_builds(),
             served: resident.served,
             tuples_derived: resident.tuples_derived,
+            maintained_tuples: resident.data.base.maintained_tuples(),
         })
     }
 }
@@ -532,6 +548,56 @@ mod tests {
         );
         // Mutation retires nothing: the same residency and base persist.
         assert_eq!(registry.stats().evictions, 0);
+    }
+
+    #[test]
+    fn fact_cap_pressure_tracks_mutated_deltas_and_the_maintained_idb() {
+        let registry = TenantRegistry::new(ResidencyLimits {
+            max_tenants: 8,
+            max_facts: 40,
+        });
+        registry.load("a", family(4, "a")); // 5 facts
+        registry.load("b", family(4, "b")); // 5 facts
+
+        // An APPEND re-prices the tenant at its mutated size, not its
+        // LOAD-time size.
+        registry
+            .mutate_delta("a", 0, |delta| {
+                let mut next = delta.clone();
+                next.insert_parsed("R", "aX", "aY");
+                next
+            })
+            .expect("append");
+        assert_eq!(registry.tenant_stats("a").unwrap().facts, 6);
+        assert_eq!(registry.stats().resident_facts, 11);
+
+        // A maintained IDB materialized on a base counts against the fact
+        // cap exactly like loaded facts — maintenance must not be a way to
+        // hold memory the LRU cannot see. (The serving path fills the slot
+        // via bootstrap; here we set the accounting mirror directly.)
+        let b = registry.get("b").expect("resident");
+        b.base
+            .maintained_slot((0, 0))
+            .tuples
+            .store(100, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(registry.stats().resident_facts, 111);
+        assert_eq!(registry.tenant_stats("b").unwrap().maintained_tuples, 100);
+        assert_eq!(registry.tenant_stats("a").unwrap().maintained_tuples, 0);
+
+        // The next traffic-bearing mutation re-enforces the cap: "b" now
+        // weighs 106, so it is the victim even though it was touched more
+        // recently than "a"'s mutation — eviction is LRU, and the `get`
+        // above made "a" the survivor only if it is newer. Touch "a" to pin
+        // the order, then mutate it and watch "b" go.
+        registry.get("a");
+        registry
+            .mutate_delta("a", 0, |delta| delta.clone())
+            .expect("touch");
+        assert!(
+            registry.get("b").is_none(),
+            "oversized maintained tenant must be evicted"
+        );
+        assert_eq!(registry.stats().resident_facts, 6);
     }
 
     #[test]

@@ -473,6 +473,18 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                     "checkpoint_hits",
                     session.demand.checkpoint_hits.to_string(),
                 ),
+                pair(
+                    "maintained_hits",
+                    session.demand.maintained_hits.to_string(),
+                ),
+                pair(
+                    "tuples_overdeleted",
+                    session.demand.tuples_overdeleted.to_string(),
+                ),
+                pair(
+                    "tuples_rederived",
+                    session.demand.tuples_rederived.to_string(),
+                ),
             ])
         }
         Command::Stats {
@@ -488,6 +500,7 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                     pair("base_index_builds", stats.base_index_builds.to_string()),
                     pair("served", stats.served.to_string()),
                     pair("tuples_derived", stats.tuples_derived.to_string()),
+                    pair("maintained_tuples", stats.maintained_tuples.to_string()),
                 ])
             }
             None => Reply::Err(WireError::new(

@@ -485,6 +485,83 @@ fn append_and_retract_track_a_fresh_load_of_the_mutated_family() {
 }
 
 #[test]
+fn evict_and_reload_drop_the_maintained_idb_with_the_base() {
+    let server = test_server(2);
+    let family = tenant_family(5);
+    let q = PathQuery::parse("RRX").unwrap();
+    let want = direct_answers(&q, &family);
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.load_family("t", &family).expect("load");
+    assert_eq!(client.query("t", "RRX").expect("query"), want);
+
+    // Mutate a delta and requery: the maintained path now holds a
+    // materialized IDB on the resident base and maintains it differentially.
+    let mut additions = DatabaseInstance::new();
+    additions.insert_parsed("R", "m1", "m2");
+    client.append("t", 0, &additions).expect("append");
+    let mut deltas = family.deltas().to_vec();
+    deltas[0] = deltas[0].union(&additions);
+    let mutated = InstanceFamily::with_deltas(family.prefix().clone(), deltas);
+    assert_eq!(
+        client.query("t", "RRX").expect("requery"),
+        direct_answers(&q, &mutated)
+    );
+
+    let tenant = client.tenant_stats("t").expect("stats");
+    let maintained = stat(&tenant, "maintained_tuples");
+    let global = client.stats().expect("stats");
+    // The CI maintain-off pass flips the default through the env knob;
+    // there the counters must exist but stay zero.
+    if matches!(
+        std::env::var("PATH_CQA_MAINTAIN").as_deref(),
+        Ok("off") | Ok("0")
+    ) {
+        assert_eq!(maintained, 0, "maintenance off but state materialized");
+        assert_eq!(stat(&global, "maintained_hits"), 0);
+    } else {
+        assert!(
+            maintained > 0,
+            "the datalog route must materialize a maintained IDB on the base"
+        );
+        assert!(
+            stat(&global, "maintained_hits") > 0,
+            "the requery must have been served from the maintained IDB"
+        );
+    }
+    // Registry accounting sees the maintained state as part of the
+    // residency's size.
+    assert_eq!(
+        stat(&global, "resident_facts"),
+        stat(&tenant, "facts") + maintained
+    );
+
+    // EVICT drops the base `Arc`, and the maintained state lives *on* the
+    // base (no back-reference cycle) — so it is reclaimed with it and the
+    // accounting returns to zero.
+    client.evict("t").expect("evict");
+    assert_eq!(stat(&client.stats().expect("stats"), "resident_facts"), 0);
+
+    // Re-LOAD builds a fresh base: no maintained state survives the
+    // eviction, and answers are identical to a fresh materialization.
+    client.load_family("t", &mutated).expect("reload");
+    assert_eq!(
+        stat(
+            &client.tenant_stats("t").expect("stats"),
+            "maintained_tuples"
+        ),
+        0,
+        "a re-LOADed base must start with no maintained state"
+    );
+    assert_eq!(
+        client.query("t", "RRX").expect("query"),
+        direct_answers(&q, &mutated)
+    );
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
 fn worker_panics_are_contained_and_the_server_keeps_serving() {
     let server = start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),

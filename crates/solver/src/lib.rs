@@ -65,5 +65,5 @@ pub mod prelude {
     pub use crate::nl_solver::{DemandCounts, NlBackend, NlPlan, NlSolver};
     pub use crate::session::{CertaintySession, QueryPlan, RouteCounts, SessionStats};
     pub use crate::traits::CertaintySolver;
-    pub use cqa_datalog::parallel::{Checkpoint, EvalOptions, EvalStats, Threads};
+    pub use cqa_datalog::parallel::{Checkpoint, EvalOptions, EvalStats, Maintain, Threads};
 }

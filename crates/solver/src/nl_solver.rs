@@ -33,6 +33,7 @@ use cqa_core::query::PathQuery;
 use cqa_core::regex_forms::{b2b_strict_decomposition, B2bDecomposition};
 use cqa_core::word::Word;
 use cqa_datalog::cqa_program::{generate_program_with_options, CqaProgram};
+use cqa_datalog::maintain::MaintainVerdict;
 use cqa_datalog::parallel::{EvalOptions, EvalStats};
 use cqa_datalog::plan_cache::PlanCache;
 use cqa_datalog::store::{edb_from_instance, edb_overlay_on, BaseStore};
@@ -99,6 +100,15 @@ pub struct DemandCounts {
     /// scratch, summed per run (see
     /// [`cqa_datalog::parallel::EvalStats::checkpoint_hits`]).
     pub checkpoint_hits: u64,
+    /// Requests answered from a differentially maintained materialized IDB
+    /// (pure hits and O(change) maintenance passes; see
+    /// [`cqa_datalog::parallel::EvalStats::maintained_hits`]).
+    pub maintained_hits: u64,
+    /// Tuples maintenance passes physically removed (DRed overdeletion +
+    /// counting-stratum count-to-zero deletions).
+    pub tuples_overdeleted: u64,
+    /// Tuples the DRed rederivation phase restored after overdeletion.
+    pub tuples_rederived: u64,
 }
 
 /// Interior-mutable accumulator behind [`DemandCounts`].
@@ -111,6 +121,9 @@ struct DemandCounters {
     generic_rules: AtomicU64,
     kernel_invocations: AtomicU64,
     checkpoint_hits: AtomicU64,
+    maintained_hits: AtomicU64,
+    tuples_overdeleted: AtomicU64,
+    tuples_rederived: AtomicU64,
 }
 
 /// A query's prepared NL evaluation artifacts, shareable across instances
@@ -196,6 +209,9 @@ impl NlSolver {
             generic_rules: self.demand.generic_rules.load(Ordering::Relaxed),
             kernel_invocations: self.demand.kernel_invocations.load(Ordering::Relaxed),
             checkpoint_hits: self.demand.checkpoint_hits.load(Ordering::Relaxed),
+            maintained_hits: self.demand.maintained_hits.load(Ordering::Relaxed),
+            tuples_overdeleted: self.demand.tuples_overdeleted.load(Ordering::Relaxed),
+            tuples_rederived: self.demand.tuples_rederived.load(Ordering::Relaxed),
         }
     }
 
@@ -222,6 +238,15 @@ impl NlSolver {
         self.demand
             .checkpoint_hits
             .fetch_add(stats.checkpoint_hits, Ordering::Relaxed);
+        self.demand
+            .maintained_hits
+            .fetch_add(stats.maintained_hits, Ordering::Relaxed);
+        self.demand
+            .tuples_overdeleted
+            .fetch_add(stats.tuples_overdeleted, Ordering::Relaxed);
+        self.demand
+            .tuples_rederived
+            .fetch_add(stats.tuples_rederived, Ordering::Relaxed);
     }
 
     /// Prepares (or fetches the cached) per-query plan: the strict B2b
@@ -340,6 +365,76 @@ impl NlSolver {
         self.record_engine(cqa, &stats);
         Ok((answer, stats))
     }
+
+    /// Like [`NlSolver::certain_overlay_counted`], with a stable per-request
+    /// `slot` identifying this request's position within its family, so the
+    /// answer can come from a differentially maintained materialized IDB
+    /// resident on `base` (see [`cqa_datalog::maintain`]).
+    ///
+    /// When the maintenance knob resolves off, this is exactly the counted
+    /// overlay path. Otherwise the `(compiled plan, slot)` maintained store
+    /// on the base is updated in O(change) via counting/DRed passes and the
+    /// certainty answer is read straight from it; the first visit (and any
+    /// mutation whose change ratio makes maintenance unprofitable, unless
+    /// the knob forces it) derives from scratch through the checkpoint-aware
+    /// path and installs the fixpoint as the slot's new maintained state.
+    pub fn certain_overlay_maintained(
+        &self,
+        cqa: &CqaProgram,
+        base: &Arc<BaseStore>,
+        prefix: &DatabaseInstance,
+        delta: &DatabaseInstance,
+        slot: usize,
+        options: &EvalOptions,
+    ) -> Result<(bool, EvalStats), SolverError> {
+        if !options.maintain.resolve() {
+            return self.certain_overlay_counted(cqa, base, prefix, delta, options);
+        }
+        self.stats
+            .decompositions_used
+            .fetch_add(1, Ordering::Relaxed);
+        let key = Arc::as_ptr(&cqa.compiled) as usize;
+        let entry = base.maintained_slot((key, slot));
+        let mut guard = entry.state.lock().expect("maintained slot lock");
+        let force = !options.maintain.fallback_allowed();
+        if let Some(state) = guard.as_mut() {
+            let mut stats = EvalStats {
+                threads: 1,
+                ..EvalStats::default()
+            };
+            match cqa_datalog::maintain::maintain(
+                &cqa.compiled,
+                state,
+                prefix,
+                delta,
+                force,
+                &mut stats,
+            ) {
+                MaintainVerdict::PureHit | MaintainVerdict::Maintained => {
+                    entry
+                        .tuples
+                        .store(state.total_tuples() as u64, Ordering::Relaxed);
+                    let adom = prefix.adom().iter().chain(delta.adom().iter()).copied();
+                    let answer = o_fails_somewhere(cqa, state.store(), adom)?;
+                    self.record_engine(cqa, &stats);
+                    return Ok((answer, stats));
+                }
+                MaintainVerdict::Unprofitable => {}
+            }
+        }
+        // First visit, or unprofitable change ratio: derive from scratch
+        // (checkpoint-aware) and install the fixpoint as the slot's state.
+        let (store, stats) = overlay_fixpoint(cqa, base, delta, options);
+        let adom = prefix.adom().iter().chain(delta.adom().iter()).copied();
+        let answer = o_fails_somewhere(cqa, &store, adom)?;
+        let state = cqa_datalog::maintain::bootstrap(&cqa.compiled, &store, delta);
+        entry
+            .tuples
+            .store(state.total_tuples() as u64, Ordering::Relaxed);
+        *guard = Some(state);
+        self.record_engine(cqa, &stats);
+        Ok((answer, stats))
+    }
 }
 
 /// Evaluates the predicate `O` directly and applies Claim 4:
@@ -454,16 +549,29 @@ pub(crate) fn certain_datalog_overlay(
     delta: &DatabaseInstance,
     options: &EvalOptions,
 ) -> Result<(bool, EvalStats), SolverError> {
-    // Checkpointed resumption: when enabled and the program has
-    // checkpointable strata, evaluate on (an overlay over) the base's
-    // checkpointed variant — the prefix-determined part of those strata was
-    // pre-derived into it once per (base, program) — and resume semi-naive
-    // with the delta as the initial overlay. Keying by the compiled plan's
-    // address is sound because plans are shared through the process-wide
-    // `PlanCache` (same program + demand mode ⇒ same `Arc`, for the life of
-    // the process).
-    let (store, stats) = if options.checkpoint.resolve() && cqa.compiled.has_checkpointable_strata()
-    {
+    let (store, stats) = overlay_fixpoint(cqa, base, delta, options);
+    // adom(prefix ∪ delta) = adom(prefix) ∪ adom(delta); the overlap is
+    // checked twice, which is harmless for an `any`.
+    let adom = prefix.adom().iter().chain(delta.adom().iter()).copied();
+    Ok((o_fails_somewhere(cqa, &store, adom)?, stats))
+}
+
+/// Derives the full fixpoint store for one overlay request.
+///
+/// Checkpointed resumption: when enabled and the program has checkpointable
+/// strata, evaluate on (an overlay over) the base's checkpointed variant —
+/// the prefix-determined part of those strata was pre-derived into it once
+/// per (base, program) — and resume semi-naive with the delta as the initial
+/// overlay. Keying by the compiled plan's address is sound because plans are
+/// shared through the process-wide `PlanCache` (same program + demand mode ⇒
+/// same `Arc`, for the life of the process).
+fn overlay_fixpoint(
+    cqa: &CqaProgram,
+    base: &Arc<BaseStore>,
+    delta: &DatabaseInstance,
+    options: &EvalOptions,
+) -> (cqa_datalog::engine::RelationStore, EvalStats) {
+    if options.checkpoint.resolve() && cqa.compiled.has_checkpointable_strata() {
         let key = Arc::as_ptr(&cqa.compiled) as usize;
         let checkpointed = base.checkpoint(key, |raw| cqa.compiled.checkpoint_base(raw));
         cqa.compiled
@@ -471,11 +579,7 @@ pub(crate) fn certain_datalog_overlay(
     } else {
         cqa.compiled
             .run_on_store_with_stats(edb_overlay_on(base, delta), options)
-    };
-    // adom(prefix ∪ delta) = adom(prefix) ∪ adom(delta); the overlap is
-    // checked twice, which is harmless for an `any`.
-    let adom = prefix.adom().iter().chain(delta.adom().iter()).copied();
-    Ok((o_fails_somewhere(cqa, &store, adom)?, stats))
+    }
 }
 
 /// Claim 4 over an evaluated store: the instance is certain iff `o(c)` fails

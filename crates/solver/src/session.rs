@@ -456,6 +456,7 @@ impl CertaintySession {
                         base,
                         family,
                         &deltas[i],
+                        i,
                         &self.options,
                         derived,
                     )
@@ -472,6 +473,7 @@ impl CertaintySession {
                 base,
                 family,
                 &deltas[requests[slot]],
+                requests[slot],
                 &per_request,
                 derived,
             )
@@ -483,22 +485,31 @@ impl CertaintySession {
     /// `derived` accumulator is supplied, the overlay arm adds the engine
     /// run's derived-tuple count to it (the only arm that runs the Datalog
     /// engine on this path — non-Datalog routes don't take the overlay arm
-    /// and derive nothing).
+    /// and derive nothing). `slot` is the request's stable index within the
+    /// family (its delta position), which keys the base's differentially
+    /// maintained materialized IDB when the maintenance knob is on.
+    #[allow(clippy::too_many_arguments)]
     fn certain_family_request(
         &self,
         plan: &QueryPlan,
         base: Option<&Arc<BaseStore>>,
         family: &InstanceFamily,
         delta: &DatabaseInstance,
+        slot: usize,
         options: &EvalOptions,
         derived: Option<&AtomicU64>,
     ) -> Result<bool, SolverError> {
         match (base, &plan.nl) {
             (Some(base), Some(NlPlan::Datalog(cqa))) => {
                 self.route_slot(plan.route).fetch_add(1, Ordering::Relaxed);
-                let (answer, stats) =
-                    self.nl
-                        .certain_overlay_counted(cqa, base, family.prefix(), delta, options)?;
+                let (answer, stats) = self.nl.certain_overlay_maintained(
+                    cqa,
+                    base,
+                    family.prefix(),
+                    delta,
+                    slot,
+                    options,
+                )?;
                 if let Some(counter) = derived {
                     counter.fetch_add(stats.tuples_derived, Ordering::Relaxed);
                 }
