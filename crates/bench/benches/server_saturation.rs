@@ -1,0 +1,208 @@
+//! E20: the serving layer under concurrent load — N client threads
+//! hammering a live loopback `cqa-server` with a mixed `QUERY`/`APPEND`
+//! stream, reported against the `METRICS` queue-wait vs service-time
+//! split.
+//!
+//! Unlike `server_throughput` (one connection, concurrency 1, pure
+//! protocol overhead), this group saturates the bounded work queue: four
+//! connections race `workers` threads, so commands genuinely wait in the
+//! queue and the scrape at the end shows where wall-clock went —
+//! `cqa_server_queue_wait_ns` (backpressure) vs `cqa_server_service_ns`
+//! (real work). Full-queue rejections surface as `ERR busy` and are
+//! retried by the driver; the retry count and the split are printed per
+//! arm.
+//!
+//! Doubles as the METRICS smoke check: after the measured runs the scrape
+//! is asserted to contain every required family, so the CI bench-smoke
+//! job fails if the exposition loses a family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::thread;
+
+use cqa_db::family::InstanceFamily;
+use cqa_db::instance::DatabaseInstance;
+use cqa_server::client::Client;
+use cqa_server::server::{start, ServerConfig};
+use cqa_workloads::random::{shared_prefix_families, tenant_request_stream, TenantRequest};
+
+const TENANTS: usize = 2;
+const CLIENTS: usize = 4;
+const COMMANDS_PER_CLIENT: usize = 24;
+/// Every 4th command is an APPEND, so the stream mixes mutations (which
+/// invalidate maintained state and force repair/re-derivation) into the
+/// read path.
+const APPEND_EVERY: usize = 4;
+const WORDS: [&str; 3] = ["RRX", "RXRY", "RXRX"];
+
+fn max_facts() -> usize {
+    std::env::var("CQA_BENCH_MAX_FACTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// Sums every series of `family` (e.g. all `command="..."` label values)
+/// in a Prometheus text exposition.
+fn family_sum(text: &str, family: &str) -> u64 {
+    text.lines()
+        .filter(|line| {
+            line.strip_prefix(family)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .filter_map(|line| line.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}
+
+fn bench_server_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_saturation");
+    group.sample_size(10);
+    cqa_obs::set_trace(cqa_obs::Trace::Off);
+
+    let word = cqa_core::word::Word::from_letters("RXRYRY");
+    for width in [270usize] {
+        let families: Vec<InstanceFamily> = (0..TENANTS)
+            // Seed matches `server_throughput`: at width 270 the prefix is
+            // 1999 facts, *under* the CI smoke cap (CQA_BENCH_MAX_FACTS=2000)
+            // — the smoke job must run this group, it carries the METRICS
+            // family assertions.
+            .map(|t| shared_prefix_families(&word, width, 8, 0.1, 0xF00D + t as u64))
+            .collect();
+        if families[0].prefix().len() > max_facts() {
+            continue;
+        }
+        let id = format!(
+            "{}f_x{}cli_{}cmd",
+            families[0].prefix().len(),
+            CLIENTS,
+            CLIENTS * COMMANDS_PER_CLIENT
+        );
+
+        group.bench_with_input(BenchmarkId::new("mixed_query_append", &id), &(), |b, ()| {
+            let server = start(ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                workers: 2,
+                max_queue: 16,
+                ..ServerConfig::default()
+            })
+            .expect("bind loopback");
+            let addr = server.addr();
+            let mut setup = Client::connect(addr).expect("connect");
+            for (t, family) in families.iter().enumerate() {
+                setup.load_family(&format!("t{t}"), family).expect("load");
+            }
+            // Warm every (tenant, word) so the measured runs compare
+            // steady-state serving.
+            for t in 0..TENANTS {
+                for w in WORDS {
+                    setup.query(&format!("t{t}"), w).expect("warm");
+                }
+            }
+
+            // One pre-rendered command stream per client thread. Each
+            // APPEND re-adds the same per-client fact — idempotent on the
+            // delta, but it still invalidates maintained answers, so the
+            // mutation path is exercised on every round.
+            let streams: Vec<Vec<(String, usize, Option<DatabaseInstance>)>> = (0..CLIENTS)
+                .map(|client_id| {
+                    let stream = tenant_request_stream(
+                        TENANTS,
+                        &WORDS,
+                        COMMANDS_PER_CLIENT,
+                        1.0,
+                        0x5A7 + client_id as u64,
+                    );
+                    stream
+                        .iter()
+                        .enumerate()
+                        .map(|(i, TenantRequest { tenant, query })| {
+                            let facts = (i % APPEND_EVERY == APPEND_EVERY - 1).then(|| {
+                                let mut delta = DatabaseInstance::new();
+                                let c = 9_000 + client_id;
+                                delta.insert_parsed("R", &c.to_string(), &(c + 1).to_string());
+                                delta
+                            });
+                            (query.word().to_string(), *tenant, facts)
+                        })
+                        .collect()
+                })
+                .collect();
+
+            let mut busy_retries = 0u64;
+            b.iter(|| {
+                let answered: usize = thread::scope(|scope| {
+                    let handles: Vec<_> = streams
+                        .iter()
+                        .map(|stream| {
+                            scope.spawn(move || {
+                                let mut client = Client::connect(addr).expect("connect");
+                                let mut answered = 0usize;
+                                let mut retries = 0u64;
+                                for (word, tenant, facts) in stream {
+                                    let tenant = format!("t{tenant}");
+                                    loop {
+                                        let outcome = match facts {
+                                            Some(delta) => {
+                                                client.append(&tenant, 0, delta).map(|_| 1)
+                                            }
+                                            None => client.query(&tenant, word).map(|a| a.len()),
+                                        };
+                                        match outcome {
+                                            Ok(n) => {
+                                                answered += n;
+                                                break;
+                                            }
+                                            Err(e) if e.is_busy() => retries += 1,
+                                            Err(e) => panic!("command failed: {e}"),
+                                        }
+                                    }
+                                }
+                                (answered, retries)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            let (answered, retries) = h.join().expect("client thread");
+                            busy_retries += retries;
+                            answered
+                        })
+                        .sum()
+                });
+                black_box(answered)
+            });
+
+            // Where did the wall-clock go? The scrape's histogram sums
+            // split queued time from worked time across the whole run.
+            let text = setup.metrics().expect("scrape");
+            for family in [
+                "# TYPE cqa_server_commands_total counter",
+                "# TYPE cqa_server_busy_total counter",
+                "# TYPE cqa_server_queue_depth gauge",
+                "# TYPE cqa_server_command_ns histogram",
+                "# TYPE cqa_server_queue_wait_ns histogram",
+                "# TYPE cqa_server_service_ns histogram",
+                "# TYPE cqa_route_service_ns histogram",
+            ] {
+                assert!(text.contains(family), "METRICS lost {family:?}");
+            }
+            let queue_ns = family_sum(&text, "cqa_server_queue_wait_ns_sum");
+            let service_ns = family_sum(&text, "cqa_server_service_ns_sum");
+            let total = (queue_ns + service_ns).max(1);
+            eprintln!(
+                "server_saturation/{id}: queue-wait {:.1}% vs service {:.1}% \
+                 (queue {queue_ns} ns, service {service_ns} ns, busy retries {busy_retries})",
+                100.0 * queue_ns as f64 / total as f64,
+                100.0 * service_ns as f64 / total as f64,
+            );
+            setup.quit().expect("quit");
+            server.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_saturation);
+criterion_main!(benches);

@@ -11,7 +11,13 @@
 //! * `loopback_server` — a real server on 127.0.0.1 with its worker pool,
 //!   one client connection replaying the stream as `QUERY` commands. The
 //!   measured gap over `direct_session` *is* the wire + framing + queue +
-//!   reply-channel cost per command.
+//!   reply-channel cost per command. Runs with `PATH_CQA_TRACE` forced
+//!   *off*, so the entry stays comparable with pre-observability baselines:
+//!   only the always-on recorder (counters + histograms) is in the path.
+//! * `loopback_trace_on` — identical, with fine-grained trace spans forced
+//!   *on*. The ratio over `loopback_server` is the trace-knob overhead;
+//!   the ratio of `loopback_server` over its checked-in baseline is the
+//!   always-on instrumentation overhead (budget: <2%).
 //!
 //! Requests/sec: each iteration answers the whole stream, so
 //! `commands_per_iter / (median_ns · 1e-9)` is the command throughput (and
@@ -45,6 +51,9 @@ fn max_facts() -> usize {
 fn bench_server_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("server_throughput");
     group.sample_size(10);
+    // Baseline arms measure the always-on recorder only; the trace-on arm
+    // flips the knob itself.
+    cqa_obs::set_trace(cqa_obs::Trace::Off);
 
     let word = cqa_core::word::Word::from_letters("RXRYRY");
     // Widths as in `session_cow`: prefixes near 10^3 and 10^4 facts.
@@ -92,11 +101,15 @@ fn bench_server_throughput(c: &mut Criterion) {
             },
         );
 
-        // The same stream over a live loopback socket.
-        group.bench_with_input(
-            BenchmarkId::new("loopback_server", &id),
-            &stream,
-            |b, stream| {
+        // The same stream over a live loopback socket, once per trace-knob
+        // position (`set_trace` flips the knob in-process, so both arms run
+        // in one bench invocation and land in the same BENCH json).
+        for (arm, trace) in [
+            ("loopback_server", cqa_obs::Trace::Off),
+            ("loopback_trace_on", cqa_obs::Trace::On),
+        ] {
+            group.bench_with_input(BenchmarkId::new(arm, &id), &stream, |b, stream| {
+                cqa_obs::set_trace(trace);
                 let server = start(ServerConfig {
                     addr: "127.0.0.1:0".to_owned(),
                     workers: 2,
@@ -128,8 +141,9 @@ fn bench_server_throughput(c: &mut Criterion) {
                 });
                 client.quit().expect("quit");
                 server.shutdown();
-            },
-        );
+                cqa_obs::set_trace(cqa_obs::Trace::Off);
+            });
+        }
     }
     group.finish();
 }

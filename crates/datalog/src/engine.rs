@@ -583,6 +583,7 @@ impl<'a> Evaluator<'a> {
                 if only_checkpointable && !stratum.checkpointable {
                     continue;
                 }
+                let timer = cqa_obs::Stopwatch::start();
                 evaluate_stratum(
                     stratum,
                     &pred_map,
@@ -595,6 +596,9 @@ impl<'a> Evaluator<'a> {
                     &mut kexec,
                     &mut stats,
                 );
+                let ns = timer.elapsed_ns();
+                stats.eval_ns += ns;
+                cqa_obs::record_span(cqa_obs::Span::StratumEval, ns);
             }
         } else {
             let mut pool = WorkerPool::new(threads);
@@ -602,6 +606,7 @@ impl<'a> Evaluator<'a> {
                 if only_checkpointable && !stratum.checkpointable {
                     continue;
                 }
+                let timer = cqa_obs::Stopwatch::start();
                 evaluate_stratum_parallel(
                     stratum,
                     &pred_map,
@@ -613,10 +618,17 @@ impl<'a> Evaluator<'a> {
                     &mut pool,
                     &mut stats,
                 );
+                let ns = timer.elapsed_ns();
+                stats.eval_ns += ns;
+                cqa_obs::record_span(cqa_obs::Span::StratumEval, ns);
             }
         }
         stats.index_extensions = indexes.extensions();
         stats.base_index_builds = indexes.base_builds() + kspace.base_builds();
+        stats.index_build_ns = indexes.build_ns() + kspace.build_ns();
+        if stats.index_build_ns > 0 {
+            cqa_obs::record_span(cqa_obs::Span::IndexBuild, stats.index_build_ns);
+        }
         stats.tuples_derived = store.generation() - start_generation;
         (store, stats)
     }

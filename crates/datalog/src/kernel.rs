@@ -411,6 +411,7 @@ fn merge_plan(ops: &[KOp], head: &[KSlot]) -> Option<MergePlan> {
 pub(crate) struct KernelSpace {
     slots: Vec<KernelSlot>,
     base_builds: u64,
+    build_ns: u64,
 }
 
 #[derive(Debug, Default)]
@@ -427,6 +428,7 @@ impl KernelSpace {
         KernelSpace {
             slots,
             base_builds: 0,
+            build_ns: 0,
         }
     }
 
@@ -446,6 +448,7 @@ impl KernelSpace {
         if slot.upto == len && slot.over.is_some() {
             return;
         }
+        let timer = cqa_obs::Stopwatch::start();
         let cols = store.cols2_by_id(pred);
         if slot.base.is_none() && !cols.base0.is_empty() {
             if let Some((csr, built)) = store.base_csr(pred, spec.key_col) {
@@ -459,6 +462,7 @@ impl KernelSpace {
         };
         slot.over = Some(CsrIndex::build(keys, vals));
         slot.upto = len;
+        self.build_ns += timer.elapsed_ns();
     }
 
     /// The base and overlay buckets for `key` — base ids precede overlay
@@ -477,6 +481,13 @@ impl KernelSpace {
     /// [`crate::parallel::EvalStats::base_index_builds`].
     pub(crate) fn base_builds(&self) -> u64 {
         self.base_builds
+    }
+
+    /// Wall-clock nanoseconds spent attaching/building CSRs (base and
+    /// overlay sides); folded into
+    /// [`crate::parallel::EvalStats::index_build_ns`].
+    pub(crate) fn build_ns(&self) -> u64 {
+        self.build_ns
     }
 }
 

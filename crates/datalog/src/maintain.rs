@@ -272,6 +272,7 @@ pub fn maintain(
     if !force && diff.change * PROFITABILITY_FACTOR > state.store.total_tuples() {
         return MaintainVerdict::Unprofitable;
     }
+    let timer = cqa_obs::Stopwatch::start();
 
     let pred_map = intern_map(compiled, &mut state.store);
     let npreds = compiled.preds().len();
@@ -334,6 +335,11 @@ pub fn maintain(
     state.delta = delta.clone();
     stats.maintained_hits += 1;
     stats.tuples_derived += state.store.generation().saturating_sub(g0);
+    // For maintained answers the repair pass *is* the evaluation; surface
+    // its duration through the same field a fixpoint run would use.
+    let ns = timer.elapsed_ns();
+    stats.eval_ns += ns;
+    cqa_obs::record_span(cqa_obs::Span::MaintainRepair, ns);
     MaintainVerdict::Maintained
 }
 

@@ -376,6 +376,16 @@ pub struct EvalStats {
     /// Tuples the DRed rederivation phase re-inserted after overdeletion
     /// (alternative derivations survived the deleted support).
     pub tuples_rederived: u64,
+    /// Wall-clock nanoseconds spent evaluating strata (semi-naive rounds,
+    /// both drivers), summed over the run. For maintained answers this is
+    /// the repair pass duration instead. Always-on: the timer wraps whole
+    /// strata, not rounds, so its cost is noise next to one fixpoint.
+    pub eval_ns: u64,
+    /// Wall-clock nanoseconds spent building or extending per-run index
+    /// structures (committed base index/CSR attach + builds, overlay
+    /// absorption). A subset of `eval_ns` — timed only in the slow branches
+    /// of the index space, never on the per-probe fast path.
+    pub index_build_ns: u64,
 }
 
 impl EvalStats {

@@ -393,6 +393,7 @@ pub(crate) struct IndexSpace {
     slots: Vec<PredIndex>,
     extensions: u64,
     base_builds: u64,
+    build_ns: u64,
 }
 
 #[derive(Debug, Default)]
@@ -413,6 +414,7 @@ impl IndexSpace {
             slots,
             extensions: 0,
             base_builds: 0,
+            build_ns: 0,
         }
     }
 
@@ -431,17 +433,22 @@ impl IndexSpace {
     ) -> bool {
         let view = store.tuples_by_id(pred);
         let base_len = view.base_len();
+        // Both slow branches below are timed into `build_ns`; the per-probe
+        // fast path (slot already up to date) must stay clock-free.
         if self.slots[slot as usize].upto < base_len {
+            let timer = cqa_obs::Stopwatch::start();
             if let Some((base, built)) = store.base_index(pred, mask) {
                 self.base_builds += built as u64;
                 self.slots[slot as usize].base = Some(base);
             }
             self.slots[slot as usize].upto = base_len;
+            self.build_ns += timer.elapsed_ns();
         }
-        let index = &mut self.slots[slot as usize];
-        if index.upto >= view.len() {
+        if self.slots[slot as usize].upto >= view.len() {
             return false;
         }
+        let timer = cqa_obs::Stopwatch::start();
+        let index = &mut self.slots[slot as usize];
         let mut proj = Tuple::new();
         let skip = index.upto - base_len;
         for (off, tuple) in view.delta_slice().iter().enumerate().skip(skip) {
@@ -454,6 +461,7 @@ impl IndexSpace {
         }
         index.upto = view.len();
         self.extensions += 1;
+        self.build_ns += timer.elapsed_ns();
         true
     }
 
@@ -500,6 +508,13 @@ impl IndexSpace {
     /// test.
     pub(crate) fn base_builds(&self) -> u64 {
         self.base_builds
+    }
+
+    /// Wall-clock nanoseconds spent in the two slow branches above (base
+    /// index attach/build, overlay absorption), surfaced through
+    /// [`crate::parallel::EvalStats::index_build_ns`].
+    pub(crate) fn build_ns(&self) -> u64 {
+        self.build_ns
     }
 }
 

@@ -129,7 +129,9 @@ impl PlanCache {
         }
         // Compile outside the lock; a racing thread may compile the same
         // program, in which case the first insertion wins.
+        let timer = cqa_obs::Stopwatch::start();
         let compiled = Arc::new(CompiledProgram::compile(program)?);
+        cqa_obs::record_span(cqa_obs::Span::PlanCompile, timer.elapsed_ns());
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut plans = self.plans.lock().expect("plan cache poisoned");
         Ok(Arc::clone(
@@ -173,8 +175,10 @@ impl PlanCache {
         }
         // Transform and compile outside the lock; a racing thread may do the
         // same work, in which case the first insertion wins.
+        let timer = cqa_obs::Stopwatch::start();
         let (transformed, report) = demand::transform(program, goal, mode);
         let compiled = Arc::new(CompiledProgram::compile(&transformed)?);
+        cqa_obs::record_span(cqa_obs::Span::PlanCompile, timer.elapsed_ns());
         let planned = Arc::new(PlannedProgram {
             program: Arc::new(transformed),
             goal,

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cqa-serverd [--addr HOST:PORT] [--workers N] [--max-tenants N] [--max-facts N]
+//!             [--max-queue N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7464`), prints the resolved
@@ -12,7 +13,8 @@ use cqa_server::server::{start, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cqa-serverd [--addr HOST:PORT] [--workers N] [--max-tenants N] [--max-facts N]"
+        "usage: cqa-serverd [--addr HOST:PORT] [--workers N] [--max-tenants N] [--max-facts N] \
+       [--max-queue N]"
     );
     std::process::exit(2);
 }
@@ -39,11 +41,16 @@ fn main() {
                 Ok(n) if n > 0 => config.limits.max_facts = n,
                 _ => usage(),
             },
+            "--max-queue" => match value.parse() {
+                Ok(n) if n > 0 => config.max_queue = n,
+                _ => usage(),
+            },
             _ => usage(),
         }
     }
     let limits = config.limits;
     let workers = config.workers;
+    let max_queue = config.max_queue;
     let handle = match start(config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -52,11 +59,12 @@ fn main() {
         }
     };
     println!(
-        "cqa-serverd listening on {} ({} workers, caps: {} tenants / {} facts)",
+        "cqa-serverd listening on {} ({} workers, caps: {} tenants / {} facts, queue {})",
         handle.addr(),
         workers,
         limits.max_tenants,
-        limits.max_facts
+        limits.max_facts,
+        max_queue
     );
     handle.wait();
 }

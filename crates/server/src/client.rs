@@ -4,13 +4,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use cqa_db::family::InstanceFamily;
 use cqa_db::instance::DatabaseInstance;
 
-use crate::proto::{parse_reply, WireError};
+use crate::proto::{parse_reply, ErrorCode, WireError};
 
 /// Client-side failures: transport errors, typed server errors, or replies
 /// the client could not interpret.
@@ -31,6 +31,20 @@ impl fmt::Display for ClientError {
             ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
+    }
+}
+
+impl ClientError {
+    /// True when the command was rejected by backpressure (`ERR busy`): the
+    /// command had no effect and can be retried on the same connection.
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server(WireError {
+                code: ErrorCode::Busy,
+                ..
+            })
+        )
     }
 }
 
@@ -230,6 +244,21 @@ impl Client {
     /// One resident tenant's counters, as a key → value map.
     pub fn tenant_stats(&mut self, tenant: &str) -> Result<BTreeMap<String, String>, ClientError> {
         self.stats_payload(&format!("STATS {tenant}"))
+    }
+
+    /// Scrapes the server's metrics as Prometheus-style text. The reply is
+    /// length-framed (`OK METRICS <nbytes>` then exactly that many bytes),
+    /// so the exposition may span many lines.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let payload = self.roundtrip("METRICS", None)?;
+        let nbytes: usize = payload
+            .strip_prefix("METRICS ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("expected METRICS, got {payload:?}")))?;
+        let mut body = vec![0u8; nbytes];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("METRICS body is not UTF-8".into()))
     }
 
     /// Drops a tenant's residency.

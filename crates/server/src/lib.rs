@@ -11,14 +11,20 @@
 //! * [`proto`] — the wire protocol: `LOAD` (length-framed family text in
 //!   the [`cqa_db::codec`] sectioned format), `APPEND`/`RETRACT`
 //!   (length-framed plain-codec facts mutating one resident request's
-//!   delta in place), `QUERY`, `BATCH`, `STATS`, `EVICT`, `QUIT`;
-//!   single-line `OK`/`ERR` replies with typed error codes.
+//!   delta in place), `QUERY`, `BATCH`, `STATS`, `METRICS`, `EVICT`,
+//!   `QUIT`; single-line `OK`/`ERR` replies with typed error codes.
+//! * [`metrics`] — the per-instance observability surface scraped by
+//!   `METRICS`: Prometheus-style counters, gauges, and log2-ns latency
+//!   histograms (queue wait vs service time per command, per-route solver
+//!   latency) built on `cqa-obs`.
 //! * [`registry`] — the residency cache: tenant → family + base store,
 //!   LRU-by-generation eviction under tenant-count and fact caps, and the
 //!   counters `STATS` reports (including cumulative base index builds, the
 //!   "built exactly once per residency" pin).
 //! * [`server`] — the dispatch loop: per-connection reader threads feed a
-//!   shared condvar queue drained by parked workers, which answer through
+//!   *bounded* condvar queue (`ServerConfig::max_queue`; overflow is
+//!   rejected with retryable `ERR busy`) drained by parked workers, which
+//!   answer through
 //!   one warm [`cqa_solver::session::CertaintySession`] via
 //!   `certain_batch_family_resident` on the resident base. Answers are
 //!   byte-identical to a fresh in-process
@@ -34,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod server;
@@ -41,7 +48,8 @@ pub mod server;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::client::{Client, ClientError, LoadSummary};
-    pub use crate::proto::{Command, ErrorCode, Reply, WireError};
+    pub use crate::metrics::ServerMetrics;
+    pub use crate::proto::{Command, CommandKind, ErrorCode, Reply, WireError};
     pub use crate::registry::{
         MutateError, RegistryStats, ResidencyLimits, TenantRegistry, TenantStats,
     };

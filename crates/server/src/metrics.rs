@@ -1,0 +1,238 @@
+//! The server's metric surface: one [`cqa_obs::Registry`] per server
+//! instance, scraped by the `METRICS` wire command as Prometheus text.
+//!
+//! Per-instance on purpose — counters genuinely reset when a server is
+//! restarted (the loopback tests pin this), unlike process-global state.
+//! The solver session's own histograms (per-route service time, plan-build
+//! time) are adopted into the same registry at startup, so one scrape
+//! renders the whole stack; the only process-global series are the
+//! `PATH_CQA_TRACE` spans, appended by [`cqa_obs::render_spans`].
+//!
+//! Families, all durations in nanoseconds (log2 buckets, see `cqa-obs`):
+//!
+//! | family                          | type      | labels      |
+//! |---------------------------------|-----------|-------------|
+//! | `cqa_server_commands_total`     | counter   | `command`   |
+//! | `cqa_server_busy_total`         | counter   | —           |
+//! | `cqa_server_slow_requests_total`| counter   | —           |
+//! | `cqa_server_queue_depth`        | gauge     | —           |
+//! | `cqa_server_queue_capacity`     | gauge     | —           |
+//! | `cqa_server_residents`          | gauge     | —           |
+//! | `cqa_server_resident_facts`     | gauge     | —           |
+//! | `cqa_server_command_ns`         | histogram | `command`   |
+//! | `cqa_server_queue_wait_ns`      | histogram | `command`   |
+//! | `cqa_server_service_ns`         | histogram | `command`   |
+//! | `cqa_route_service_ns`          | histogram | `route`     |
+//! | `cqa_session_plan_build_ns`     | histogram | —           |
+//! | `cqa_trace_span_ns`             | histogram | `span`      |
+
+use std::sync::Arc;
+
+use cqa_obs::{Counter, Gauge, Histogram, Registry};
+use cqa_solver::session::CertaintySession;
+
+use crate::proto::CommandKind;
+
+/// Per-command label values in [`CommandKind`] discriminant order, the
+/// index order of the `per-command` metric tables below.
+fn command_labels() -> [&'static str; CommandKind::ALL.len()] {
+    let mut labels = [""; CommandKind::ALL.len()];
+    for (i, kind) in CommandKind::ALL.iter().enumerate() {
+        labels[i] = kind.as_str();
+    }
+    labels
+}
+
+/// Always-on instrumentation owned by one server instance. Recording is
+/// lock-free (relaxed atomics); only registration (startup) and rendering
+/// (`METRICS` scrapes) take the registry's own lock — never the work-queue
+/// lock.
+pub struct ServerMetrics {
+    registry: Registry,
+    /// Commands accepted off connections, by kind (counted at parse, before
+    /// any queueing — `busy` rejections are counted here *and* in
+    /// `busy_total`).
+    commands_total: Vec<Arc<Counter>>,
+    /// Commands rejected with `ERR busy` because the bounded queue was full.
+    pub busy_total: Arc<Counter>,
+    /// Requests whose queue-wait + service time crossed `PATH_CQA_SLOW_MS`.
+    pub slow_total: Arc<Counter>,
+    /// Jobs currently queued (updated under the queue lock at push/pop, so
+    /// the gauge and the queue can never drift).
+    pub queue_depth: Arc<Gauge>,
+    /// The configured `max_queue` bound, for dashboards to pair with depth.
+    pub queue_capacity: Arc<Gauge>,
+    /// Resident tenants at the last scrape.
+    pub residents: Arc<Gauge>,
+    /// Resident facts at the last scrape.
+    pub resident_facts: Arc<Gauge>,
+    /// Whole wire turnaround per command: parse to reply written (includes
+    /// queue wait and service).
+    command_ns: Vec<Arc<Histogram>>,
+    /// Enqueue to worker pop, per command.
+    queue_wait_ns: Vec<Arc<Histogram>>,
+    /// Worker execution time, per command.
+    service_ns: Vec<Arc<Histogram>>,
+}
+
+impl ServerMetrics {
+    /// Builds the instance registry and adopts the session's histograms so
+    /// `METRICS` renders solver latency alongside server queueing.
+    pub fn new(max_queue: usize, session: &CertaintySession) -> ServerMetrics {
+        let registry = Registry::new();
+        let labels = command_labels();
+        let commands_total = registry.counter_vec(
+            "cqa_server_commands_total",
+            "Commands accepted off connections, by kind.",
+            "command",
+            &labels,
+        );
+        let command_ns = registry.histogram_vec(
+            "cqa_server_command_ns",
+            "Wire turnaround per command: parse to reply written.",
+            "command",
+            &labels,
+        );
+        let queue_wait_ns = registry.histogram_vec(
+            "cqa_server_queue_wait_ns",
+            "Time a job waited in the bounded work queue before a worker popped it.",
+            "command",
+            &labels,
+        );
+        let service_ns = registry.histogram_vec(
+            "cqa_server_service_ns",
+            "Worker execution time per command.",
+            "command",
+            &labels,
+        );
+        let busy_total = registry.counter(
+            "cqa_server_busy_total",
+            "Commands rejected with ERR busy because the work queue was full.",
+            &[],
+        );
+        let slow_total = registry.counter(
+            "cqa_server_slow_requests_total",
+            "Requests slower than the PATH_CQA_SLOW_MS threshold.",
+            &[],
+        );
+        let queue_depth = registry.gauge(
+            "cqa_server_queue_depth",
+            "Jobs currently in the work queue.",
+            &[],
+        );
+        let queue_capacity = registry.gauge(
+            "cqa_server_queue_capacity",
+            "Configured work-queue bound (ServerConfig::max_queue).",
+            &[],
+        );
+        queue_capacity.set(max_queue as i64);
+        let residents = registry.gauge(
+            "cqa_server_residents",
+            "Resident tenants (sampled at scrape).",
+            &[],
+        );
+        let resident_facts = registry.gauge(
+            "cqa_server_resident_facts",
+            "Facts across resident tenants (sampled at scrape).",
+            &[],
+        );
+        for (route, histogram) in session.metrics().route_histograms() {
+            registry.register_histogram(
+                "cqa_route_service_ns",
+                "Session service time per decided request, by route.",
+                &[("route", route)],
+                histogram,
+            );
+        }
+        registry.register_histogram(
+            "cqa_session_plan_build_ns",
+            "Plan build time on a session plan-cache miss (classify + prepare).",
+            &[],
+            session.metrics().plan_build_histogram(),
+        );
+        ServerMetrics {
+            registry,
+            commands_total,
+            busy_total,
+            slow_total,
+            queue_depth,
+            queue_capacity,
+            residents,
+            resident_facts,
+            command_ns,
+            queue_wait_ns,
+            service_ns,
+        }
+    }
+
+    /// Count one accepted command.
+    pub fn count_command(&self, kind: CommandKind) {
+        self.commands_total[kind as usize].inc();
+    }
+
+    /// Record one whole wire turnaround.
+    pub fn record_command(&self, kind: CommandKind, ns: u64) {
+        self.command_ns[kind as usize].record(ns);
+    }
+
+    /// Record one queue wait.
+    pub fn record_queue_wait(&self, kind: CommandKind, ns: u64) {
+        self.queue_wait_ns[kind as usize].record(ns);
+    }
+
+    /// Record one worker service time.
+    pub fn record_service(&self, kind: CommandKind, ns: u64) {
+        self.service_ns[kind as usize].record(ns);
+    }
+
+    /// Render the full exposition: this instance's families plus the
+    /// process-global trace spans. Newline-terminated (the `METRICS` framing
+    /// requires it).
+    pub fn render(&self) -> String {
+        let mut text = self.registry.render();
+        cqa_obs::render_spans(&mut text);
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_covers_every_family() {
+        let session = CertaintySession::with_datalog_nl();
+        let metrics = ServerMetrics::new(128, &session);
+        metrics.count_command(CommandKind::Query);
+        metrics.record_command(CommandKind::Query, 1_000);
+        metrics.record_queue_wait(CommandKind::Query, 100);
+        metrics.record_service(CommandKind::Query, 900);
+        let text = metrics.render();
+        for family in [
+            "cqa_server_commands_total",
+            "cqa_server_busy_total",
+            "cqa_server_slow_requests_total",
+            "cqa_server_queue_depth",
+            "cqa_server_queue_capacity",
+            "cqa_server_residents",
+            "cqa_server_resident_facts",
+            "cqa_server_command_ns",
+            "cqa_server_queue_wait_ns",
+            "cqa_server_service_ns",
+            "cqa_route_service_ns",
+            "cqa_session_plan_build_ns",
+            "cqa_trace_span_ns",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing family {family} in:\n{text}"
+            );
+        }
+        assert!(text.contains("cqa_server_commands_total{command=\"query\"} 1\n"));
+        assert!(text.contains("cqa_server_queue_capacity 128\n"));
+        assert!(text.ends_with('\n'));
+    }
+}

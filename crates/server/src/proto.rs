@@ -12,9 +12,11 @@
 //! | `BATCH <tenant> <ids> <word>`         | decide `word` against the comma-separated request ids|
 //! | `STATS`                               | server-wide registry + session counters              |
 //! | `STATS <tenant>`                      | one resident tenant's counters                       |
+//! | `METRICS`                             | Prometheus-text metrics (length-framed reply payload)|
 //! | `EVICT <tenant>`                      | drop the tenant's resident base                      |
 //! | `QUIT`                                | close the connection                                 |
 //! | `CRASH`                               | panic the handling worker (fault injection; only honored when the server was started with fault injection enabled, otherwise a bad command) |
+//! | `SLOW <millis>`                       | occupy the handling worker for `millis` ms (fault injection, like `CRASH`; saturation tests use it to fill the bounded queue deterministically) |
 //!
 //! `APPEND`/`RETRACT` mutate only the addressed request's *delta* — the
 //! tenant's shared prefix, its committed base indexes and any derivation
@@ -23,7 +25,10 @@
 //! Replies are a single line: `OK <payload>` on success or
 //! `ERR <code> <message>` with a machine-readable [`ErrorCode`]. Answer
 //! bitmaps are rendered as a `0`/`1` string in request order (`-` for an
-//! empty bitmap, so the reply always has a payload field).
+//! empty bitmap, so the reply always has a payload field). The one
+//! exception is `METRICS`: its reply line `OK METRICS <nbytes>` is followed
+//! by exactly `nbytes` of Prometheus text exposition (newline-terminated),
+//! mirroring how command payloads travel client→server.
 
 use std::fmt;
 
@@ -37,6 +42,10 @@ pub const MAX_COMMAND_LINE: usize = 8 << 10;
 
 /// Maximum accepted tenant-name length.
 pub const MAX_TENANT_LEN: usize = 64;
+
+/// Maximum accepted `SLOW` duration — fault injection must not be able to
+/// park a worker indefinitely.
+pub const MAX_SLOW_MILLIS: u64 = 10_000;
 
 /// A parsed client command. `LOAD`'s family text travels out of band (the
 /// connection reads `bytes` of payload after the command line), so the
@@ -92,6 +101,8 @@ pub enum Command {
         /// `Some` restricts the report to one resident tenant.
         tenant: Option<String>,
     },
+    /// `METRICS`: Prometheus-text metrics with a length-framed payload.
+    Metrics,
     /// `EVICT <tenant>`: drop the tenant's resident base.
     Evict {
         /// Target tenant.
@@ -103,6 +114,111 @@ pub enum Command {
     /// honored when the server runs with fault injection enabled (loopback
     /// robustness tests); otherwise it is answered as a bad command.
     Crash,
+    /// `SLOW <millis>`: sleep the handling worker. Fault injection like
+    /// `CRASH` — the backpressure tests use it to hold a worker busy and
+    /// saturate a tiny bounded queue deterministically.
+    Slow {
+        /// How long the worker sleeps, capped at [`MAX_SLOW_MILLIS`].
+        millis: u64,
+    },
+}
+
+/// The dense label set `METRICS` partitions per-command series by — one
+/// value per [`Command`] variant. `QUIT` is included even though it never
+/// reaches a worker: the reader thread still counts and times it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// `LOAD`.
+    Load,
+    /// `APPEND`.
+    Append,
+    /// `RETRACT`.
+    Retract,
+    /// `QUERY`.
+    Query,
+    /// `BATCH`.
+    Batch,
+    /// `STATS` (with or without a tenant).
+    Stats,
+    /// `METRICS`.
+    Metrics,
+    /// `EVICT`.
+    Evict,
+    /// `CRASH`.
+    Crash,
+    /// `SLOW`.
+    Slow,
+    /// `QUIT`.
+    Quit,
+}
+
+impl CommandKind {
+    /// Every kind, in [`CommandKind`] discriminant order — the order of the
+    /// per-command metric tables.
+    pub const ALL: [CommandKind; 11] = [
+        CommandKind::Load,
+        CommandKind::Append,
+        CommandKind::Retract,
+        CommandKind::Query,
+        CommandKind::Batch,
+        CommandKind::Stats,
+        CommandKind::Metrics,
+        CommandKind::Evict,
+        CommandKind::Crash,
+        CommandKind::Slow,
+        CommandKind::Quit,
+    ];
+
+    /// The stable label value of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommandKind::Load => "load",
+            CommandKind::Append => "append",
+            CommandKind::Retract => "retract",
+            CommandKind::Query => "query",
+            CommandKind::Batch => "batch",
+            CommandKind::Stats => "stats",
+            CommandKind::Metrics => "metrics",
+            CommandKind::Evict => "evict",
+            CommandKind::Crash => "crash",
+            CommandKind::Slow => "slow",
+            CommandKind::Quit => "quit",
+        }
+    }
+}
+
+impl Command {
+    /// The metric label kind of this command.
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            Command::Load { .. } => CommandKind::Load,
+            Command::Append { .. } => CommandKind::Append,
+            Command::Retract { .. } => CommandKind::Retract,
+            Command::Query { .. } => CommandKind::Query,
+            Command::Batch { .. } => CommandKind::Batch,
+            Command::Stats { .. } => CommandKind::Stats,
+            Command::Metrics => CommandKind::Metrics,
+            Command::Evict { .. } => CommandKind::Evict,
+            Command::Crash => CommandKind::Crash,
+            Command::Slow { .. } => CommandKind::Slow,
+            Command::Quit => CommandKind::Quit,
+        }
+    }
+
+    /// The tenant this command addresses, if any — what the slow-request
+    /// log attributes an offending request to.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Command::Load { tenant, .. }
+            | Command::Append { tenant, .. }
+            | Command::Retract { tenant, .. }
+            | Command::Query { tenant, .. }
+            | Command::Batch { tenant, .. }
+            | Command::Evict { tenant } => Some(tenant),
+            Command::Stats { tenant } => tenant.as_deref(),
+            Command::Metrics | Command::Crash | Command::Slow { .. } | Command::Quit => None,
+        }
+    }
 }
 
 /// Machine-readable error classes carried by `ERR` replies.
@@ -120,6 +236,9 @@ pub enum ErrorCode {
     NotLoaded,
     /// A `BATCH` request index is outside the tenant's family.
     BadRequestId,
+    /// The bounded work queue is full; the command was rejected *before*
+    /// enqueueing, so it had no effect and is safe to retry.
+    Busy,
     /// The solver failed on an otherwise well-formed request.
     Solver,
     /// A worker panicked while executing the command. The server recovers
@@ -136,6 +255,7 @@ impl ErrorCode {
             ErrorCode::BadQuery => "bad-query",
             ErrorCode::NotLoaded => "not-loaded",
             ErrorCode::BadRequestId => "bad-request-id",
+            ErrorCode::Busy => "busy",
             ErrorCode::Solver => "solver",
             ErrorCode::Internal => "internal",
         }
@@ -149,6 +269,7 @@ impl ErrorCode {
             "bad-query" => ErrorCode::BadQuery,
             "not-loaded" => ErrorCode::NotLoaded,
             "bad-request-id" => ErrorCode::BadRequestId,
+            "busy" => ErrorCode::Busy,
             "solver" => ErrorCode::Solver,
             "internal" => ErrorCode::Internal,
             _ => return None,
@@ -227,6 +348,15 @@ pub enum Reply {
     Answers(Vec<bool>),
     /// `STATS` counters as `key=value` pairs, in the server's order.
     Stats(Vec<(String, String)>),
+    /// `METRICS` text exposition. Rendered as a length header line; the
+    /// connection writes the (newline-terminated) text itself right after,
+    /// exactly `nbytes` of it.
+    Metrics(String),
+    /// `SLOW` acknowledged after the injected sleep.
+    Slept {
+        /// The effective (capped) sleep in milliseconds.
+        millis: u64,
+    },
     /// `EVICT` succeeded.
     Evicted {
         /// The evicted tenant.
@@ -239,7 +369,10 @@ pub enum Reply {
 }
 
 impl Reply {
-    /// Renders the reply as its wire line (no trailing newline).
+    /// Renders the reply as its wire line (no trailing newline). For
+    /// [`Reply::Metrics`] this is only the `OK METRICS <nbytes>` header —
+    /// the connection writes the text itself after the line, in the same
+    /// single `write` so the frame can't interleave with anything.
     pub fn render(&self) -> String {
         match self {
             Reply::Loaded {
@@ -280,6 +413,8 @@ impl Reply {
                 line
             }
             Reply::Evicted { tenant } => format!("OK EVICTED tenant={tenant}"),
+            Reply::Metrics(text) => format!("OK METRICS {}", text.len()),
+            Reply::Slept { millis } => format!("OK SLEPT millis={millis}"),
             Reply::Bye => "OK BYE".to_owned(),
             Reply::Err(e) => format!("ERR {} {}", e.code, e.message),
         }
@@ -406,6 +541,27 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
                 word: word.to_owned(),
             })
         }
+        "METRICS" => {
+            if rest.is_empty() {
+                Ok(Command::Metrics)
+            } else {
+                Err(bad_arity("METRICS", "no arguments"))
+            }
+        }
+        "SLOW" => {
+            let [millis] = rest[..] else {
+                return Err(bad_arity("SLOW", "<millis>"));
+            };
+            let millis: u64 = millis.parse().map_err(|_| {
+                WireError::new(
+                    ErrorCode::BadCommand,
+                    format!("bad SLOW duration {millis:?}"),
+                )
+            })?;
+            Ok(Command::Slow {
+                millis: millis.min(MAX_SLOW_MILLIS),
+            })
+        }
         "STATS" => match rest[..] {
             [] => Ok(Command::Stats { tenant: None }),
             [tenant] => Ok(Command::Stats {
@@ -508,6 +664,19 @@ mod tests {
             }
         );
         assert_eq!(parse_command("CRASH").unwrap(), Command::Crash);
+        assert_eq!(parse_command("METRICS").unwrap(), Command::Metrics);
+        assert_eq!(
+            parse_command("SLOW 250").unwrap(),
+            Command::Slow { millis: 250 }
+        );
+        // SLOW durations are capped, not rejected — fault injection must
+        // never be able to park a worker indefinitely.
+        assert_eq!(
+            parse_command("SLOW 99999999").unwrap(),
+            Command::Slow {
+                millis: MAX_SLOW_MILLIS
+            }
+        );
         for bad in [
             "",
             "NOPE",
@@ -523,6 +692,9 @@ mod tests {
             "APPEND t1 3 x",
             "RETRACT t1 3 99999999999",
             "CRASH now",
+            "METRICS now",
+            "SLOW",
+            "SLOW x",
         ] {
             let err = parse_command(bad).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadCommand, "{bad:?} → {err}");
@@ -559,11 +731,19 @@ mod tests {
             ErrorCode::BadQuery,
             ErrorCode::NotLoaded,
             ErrorCode::BadRequestId,
+            ErrorCode::Busy,
             ErrorCode::Solver,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
+        // The METRICS header carries the byte length of the text that
+        // follows the reply line.
+        assert_eq!(
+            Reply::Metrics("a 1\nb 2\n".to_owned()).render(),
+            "OK METRICS 8"
+        );
+        assert_eq!(Reply::Slept { millis: 50 }.render(), "OK SLEPT millis=50");
         assert_eq!(
             Reply::Appended {
                 tenant: "t1".into(),

@@ -63,6 +63,11 @@ struct Resident {
     /// Tuples the Datalog engine derived answering this residency's
     /// requests (reported back by the serving loop per batch).
     tuples_derived: u64,
+    /// Wall-clock nanoseconds the serving loop spent deciding this
+    /// residency's QUERY/BATCH commands (same per-batch attribution as
+    /// `tuples_derived`) — the per-tenant derive-time view `METRICS` can't
+    /// give without a label-cardinality blowup.
+    derive_ns: u64,
 }
 
 /// Registry-wide counters, as reported by `STATS`.
@@ -107,6 +112,9 @@ pub struct TenantStats {
     /// requests — the per-tenant view of demand-driven derivation (lower
     /// under pruning/magic than with demand off, for the same traffic).
     pub tuples_derived: u64,
+    /// Wall-clock nanoseconds spent deciding this residency's QUERY/BATCH
+    /// commands (prepare + derive + answer, per-batch attribution).
+    pub derive_ns: u64,
     /// Tuples currently held in maintained IDB states on this residency's
     /// base (differential maintenance across `APPEND`/`RETRACT`). Counts
     /// against the registry fact cap; drops to zero with the base on
@@ -247,6 +255,7 @@ impl TenantRegistry {
             last_used: inner.clock,
             served: 0,
             tuples_derived: 0,
+            derive_ns: 0,
         };
         if let Some(previous) = inner.residents.insert(name.to_owned(), resident) {
             inner.retire(previous);
@@ -347,14 +356,16 @@ impl TenantRegistry {
         Ok(delta_facts)
     }
 
-    /// Credits `tuples` derived tuples to a tenant's residency counters,
-    /// without touching its LRU position (attribution is bookkeeping, not
-    /// traffic). A no-op if the tenant was evicted mid-flight — the work
-    /// still shows in the session-wide counters.
-    pub fn record_derived(&self, name: &str, tuples: u64) {
+    /// Credits `tuples` derived tuples and `ns` of deciding time to a
+    /// tenant's residency counters, without touching its LRU position
+    /// (attribution is bookkeeping, not traffic). A no-op if the tenant was
+    /// evicted mid-flight — the work still shows in the session-wide
+    /// counters.
+    pub fn record_derived(&self, name: &str, tuples: u64, ns: u64) {
         let mut inner = self.lock_inner();
         if let Some(resident) = inner.residents.get_mut(name) {
             resident.tuples_derived += tuples;
+            resident.derive_ns += ns;
         }
     }
 
@@ -402,6 +413,7 @@ impl TenantRegistry {
             base_index_builds: resident.data.base.index_builds(),
             served: resident.served,
             tuples_derived: resident.tuples_derived,
+            derive_ns: resident.derive_ns,
             maintained_tuples: resident.data.base.maintained_tuples(),
         })
     }

@@ -12,6 +12,17 @@
 //! several workers, not from nesting thread scopes. Replies travel back on a
 //! per-command channel, which keeps each connection's request/reply order
 //! trivially correct.
+//!
+//! Backpressure and observability: the work queue is bounded
+//! ([`ServerConfig::max_queue`]) — readers *reject* with a typed `ERR busy`
+//! instead of enqueueing past the cap, so overload degrades to fast,
+//! retryable refusals rather than unbounded memory and latency. `STATS` and
+//! `METRICS` are answered inline on the reader thread from atomic snapshots
+//! (never queued behind derivations, never formatting under the work-queue
+//! lock), so the observability plane stays responsive exactly when the
+//! serving plane is saturated. Every command is timed (queue wait, worker
+//! service, whole wire turnaround — see [`crate::metrics`]), and requests
+//! slower than `PATH_CQA_SLOW_MS` get a one-line phase breakdown on stderr.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -20,6 +31,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use cqa_core::query::PathQuery;
 use cqa_datalog::parallel::EvalOptions;
@@ -27,7 +39,10 @@ use cqa_db::instance::DatabaseInstance;
 use cqa_solver::nl_solver::NlBackend;
 use cqa_solver::session::CertaintySession;
 
-use crate::proto::{parse_command, Command, ErrorCode, Reply, WireError, MAX_COMMAND_LINE};
+use crate::metrics::ServerMetrics;
+use crate::proto::{
+    parse_command, Command, CommandKind, ErrorCode, Reply, WireError, MAX_COMMAND_LINE,
+};
 use crate::registry::{MutateError, ResidencyLimits, TenantRegistry};
 
 /// Server configuration.
@@ -39,9 +54,15 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Residency caps for the tenant registry.
     pub limits: ResidencyLimits,
-    /// Honor the `CRASH` command by panicking the handling worker. Off by
-    /// default; the loopback robustness tests turn it on to prove a worker
-    /// panic cannot wedge the server.
+    /// Bound on the shared work queue. Readers reject commands with a typed
+    /// `ERR busy` instead of enqueueing past this — the client can retry,
+    /// and a burst can no longer grow server memory and queue latency
+    /// without limit. The default is generous: it exists to cap pathology,
+    /// not to shape normal traffic.
+    pub max_queue: usize,
+    /// Honor the `CRASH` and `SLOW` commands (panic / stall the handling
+    /// worker). Off by default; the loopback robustness and backpressure
+    /// tests turn it on.
     pub fault_injection: bool,
 }
 
@@ -51,6 +72,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             limits: ResidencyLimits::default(),
+            max_queue: 1024,
             fault_injection: false,
         }
     }
@@ -61,6 +83,10 @@ struct Job {
     command: Command,
     /// `LOAD`'s length-framed family text, already read off the socket.
     payload: Option<String>,
+    /// The command's metric label (computed before `command` is consumed).
+    kind: CommandKind,
+    /// When the reader pushed the job — queue wait is measured from here.
+    enqueued: Instant,
     reply: mpsc::Sender<Reply>,
 }
 
@@ -68,7 +94,9 @@ struct Job {
 struct Shared {
     registry: TenantRegistry,
     session: CertaintySession,
+    metrics: ServerMetrics,
     queue: Mutex<VecDeque<Job>>,
+    max_queue: usize,
     available: Condvar,
     stop: AtomicBool,
     fault_injection: bool,
@@ -152,14 +180,19 @@ impl Drop for ServerHandle {
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    // One warm session serves every tenant: per-query artifacts
+    // (classification, compiled CQA programs, automata) are shared
+    // across tenants by construction — they depend only on the query.
+    // Engine runs stay sequential; parallelism is across commands.
+    let session = CertaintySession::with_options(NlBackend::Datalog, EvalOptions::sequential());
+    let max_queue = config.max_queue.max(1);
+    let metrics = ServerMetrics::new(max_queue, &session);
     let shared = Arc::new(Shared {
         registry: TenantRegistry::new(config.limits),
-        // One warm session serves every tenant: per-query artifacts
-        // (classification, compiled CQA programs, automata) are shared
-        // across tenants by construction — they depend only on the query.
-        // Engine runs stay sequential; parallelism is across commands.
-        session: CertaintySession::with_options(NlBackend::Datalog, EvalOptions::sequential()),
+        session,
+        metrics,
         queue: Mutex::new(VecDeque::new()),
+        max_queue,
         available: Condvar::new(),
         stop: AtomicBool::new(false),
         fault_injection: config.fault_injection,
@@ -209,9 +242,16 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    let send = |writer: &mut TcpStream, reply: Reply| -> std::io::Result<()> {
+    let send = |writer: &mut TcpStream, reply: &Reply| -> std::io::Result<()> {
         let mut frame = reply.render();
         frame.push('\n');
+        // `METRICS` is the one multi-line reply: the header line carries the
+        // byte length and the text follows in the same single write, so the
+        // frame cannot interleave and the client's next `read_line` starts
+        // exactly past it.
+        if let Reply::Metrics(text) = reply {
+            frame.push_str(text);
+        }
         writer.write_all(frame.as_bytes())
     };
     loop {
@@ -231,12 +271,12 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                 ErrorCode::BadCommand,
                 format!("command line exceeds {MAX_COMMAND_LINE} bytes"),
             );
-            return send(&mut writer, Reply::Err(err));
+            return send(&mut writer, &Reply::Err(err));
         }
         let command = match parse_command(line.trim_end_matches(['\r', '\n'])) {
             Ok(command) => command,
             Err(err) => {
-                send(&mut writer, Reply::Err(err))?;
+                send(&mut writer, &Reply::Err(err))?;
                 // A malformed payload-carrying line (LOAD/APPEND/RETRACT)
                 // may be followed by a payload whose length we never
                 // learned — framing cannot be trusted, so close. Any other
@@ -251,6 +291,12 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                 continue;
             }
         };
+        // Wire turnaround is measured from a successfully parsed command
+        // line to its reply hitting the socket — payload read, queue wait
+        // and service included.
+        let kind = command.kind();
+        let turnaround = cqa_obs::Stopwatch::start();
+        shared.metrics.count_command(kind);
         let payload = match &command {
             Command::Load { bytes, .. }
             | Command::Append { bytes, .. }
@@ -273,7 +319,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                     Ok(text) => Some(text),
                     Err(_) => {
                         let err = WireError::new(ErrorCode::BadPayload, "payload is not UTF-8");
-                        send(&mut writer, Reply::Err(err))?;
+                        send(&mut writer, &Reply::Err(err))?;
                         continue;
                     }
                 }
@@ -281,8 +327,20 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
             _ => None,
         };
         if matches!(command, Command::Quit) {
-            send(&mut writer, Reply::Bye)?;
+            send(&mut writer, &Reply::Bye)?;
+            shared.metrics.record_command(kind, turnaround.elapsed_ns());
             return Ok(());
+        }
+        // The observability plane never queues behind the serving plane:
+        // STATS and METRICS are answered right here on the reader thread
+        // from atomic snapshots (per-connection ordering still holds — the
+        // reader is serial). A wedged or saturated worker pool therefore
+        // cannot block the commands that diagnose it.
+        if matches!(command, Command::Stats { .. } | Command::Metrics) {
+            let reply = execute_readonly(shared, command);
+            send(&mut writer, &reply)?;
+            shared.metrics.record_command(kind, turnaround.elapsed_ns());
+            continue;
         }
         let (tx, rx) = mpsc::channel();
         {
@@ -292,13 +350,30 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                 // ever pop this job.
                 drop(queue);
                 let err = WireError::new(ErrorCode::Solver, "server shutting down");
-                return send(&mut writer, Reply::Err(err));
+                return send(&mut writer, &Reply::Err(err));
+            }
+            if queue.len() >= shared.max_queue {
+                // Bounded queue: reject *before* enqueueing. The command had
+                // no effect, so the client can safely retry — and the
+                // connection stays fully usable.
+                drop(queue);
+                shared.metrics.busy_total.inc();
+                let err = WireError::new(
+                    ErrorCode::Busy,
+                    format!("work queue full ({} jobs queued)", shared.max_queue),
+                );
+                send(&mut writer, &Reply::Err(err))?;
+                shared.metrics.record_command(kind, turnaround.elapsed_ns());
+                continue;
             }
             queue.push_back(Job {
                 command,
                 payload,
+                kind,
+                enqueued: Instant::now(),
                 reply: tx,
             });
+            shared.metrics.queue_depth.set(queue.len() as i64);
         }
         shared.available.notify_one();
         // Wait for the worker's reply, but never past a shutdown: workers
@@ -311,11 +386,12 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                 Err(mpsc::RecvTimeoutError::Timeout) if !shared.stop.load(Ordering::SeqCst) => {}
                 Err(_) => {
                     let err = WireError::new(ErrorCode::Solver, "server shut down");
-                    return send(&mut writer, Reply::Err(err));
+                    return send(&mut writer, &Reply::Err(err));
                 }
             }
         };
-        send(&mut writer, reply)?;
+        send(&mut writer, &reply)?;
+        shared.metrics.record_command(kind, turnaround.elapsed_ns());
     }
 }
 
@@ -325,6 +401,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mut queue = shared.lock_queue();
             loop {
                 if let Some(job) = queue.pop_front() {
+                    shared.metrics.queue_depth.set(queue.len() as i64);
                     break job;
                 }
                 if shared.stop.load(Ordering::SeqCst) {
@@ -336,6 +413,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        let kind = job.kind;
+        let queue_wait_ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.metrics.record_queue_wait(kind, queue_wait_ns);
+        // The slow log attributes the request; grab the label before the
+        // command is consumed by execution.
+        let tenant = job.command.tenant().map(str::to_owned);
+        let service = cqa_obs::Stopwatch::start();
         // A panic below this line must not kill the worker (the pool never
         // respawns) or poison shared state: catch it at the dispatch
         // boundary, report it as a typed error, and keep draining the
@@ -355,8 +439,44 @@ fn worker_loop(shared: &Arc<Shared>) {
                 format!("worker panicked: {detail}"),
             ))
         });
+        let service_ns = service.elapsed_ns();
+        shared.metrics.record_service(kind, service_ns);
+        if let Some(threshold_ms) = cqa_obs::slow_millis() {
+            let total_ns = queue_wait_ns.saturating_add(service_ns);
+            if total_ns >= threshold_ms.saturating_mul(1_000_000) {
+                shared.metrics.slow_total.inc();
+                eprintln!(
+                    "slow-request command={} tenant={} queue_ms={:.1} service_ms={:.1} total_ms={:.1} threshold_ms={}",
+                    kind.as_str(),
+                    tenant.as_deref().unwrap_or("-"),
+                    queue_wait_ns as f64 / 1e6,
+                    service_ns as f64 / 1e6,
+                    total_ns as f64 / 1e6,
+                    threshold_ms,
+                );
+            }
+        }
         // A send failure just means the connection went away mid-command.
         let _ = job.reply.send(reply);
+    }
+}
+
+/// Executes the inline (reader-thread) commands: `STATS` and `METRICS`.
+/// Everything here reads atomic counters or takes short, private locks (the
+/// registry's map lock, the metrics registry's render lock) — never the
+/// work-queue lock, and never a derivation.
+fn execute_readonly(shared: &Shared, command: Command) -> Reply {
+    match command {
+        Command::Metrics => {
+            let registry = shared.registry.stats();
+            shared.metrics.residents.set(registry.residents as i64);
+            shared
+                .metrics
+                .resident_facts
+                .set(registry.resident_facts as i64);
+            Reply::Metrics(shared.metrics.render())
+        }
+        other => execute(shared, other, None),
     }
 }
 
@@ -500,6 +620,7 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                     pair("base_index_builds", stats.base_index_builds.to_string()),
                     pair("served", stats.served.to_string()),
                     pair("tuples_derived", stats.tuples_derived.to_string()),
+                    pair("derive_ns", stats.derive_ns.to_string()),
                     pair("maintained_tuples", stats.maintained_tuples.to_string()),
                 ])
             }
@@ -518,9 +639,10 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                 ))
             }
         }
-        // QUIT is handled on the connection; a queued one is a logic error
-        // upstream, not a client-visible state.
+        // QUIT and METRICS are handled on the connection; a queued one is a
+        // logic error upstream, not a client-visible state.
         Command::Quit => Reply::Bye,
+        Command::Metrics => execute_readonly(shared, Command::Metrics),
         Command::Crash => {
             if shared.fault_injection {
                 // Deliberate: the loopback robustness tests use this to
@@ -531,6 +653,19 @@ fn execute(shared: &Shared, command: Command, payload: Option<String>) -> Reply 
                 ErrorCode::BadCommand,
                 "CRASH requires fault injection to be enabled server-side",
             ))
+        }
+        Command::Slow { millis } => {
+            if shared.fault_injection {
+                // Deliberate: the backpressure tests park this worker to
+                // saturate a tiny bounded queue deterministically.
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                Reply::Slept { millis }
+            } else {
+                Reply::Err(WireError::new(
+                    ErrorCode::BadCommand,
+                    "SLOW requires fault injection to be enabled server-side",
+                ))
+            }
         }
     }
 }
@@ -596,13 +731,16 @@ fn answer(shared: &Shared, tenant: &str, word: &str, subset: Option<Vec<usize>>)
         }
         None => (0..data.family.len()).collect(),
     };
+    let derive = cqa_obs::Stopwatch::start();
     let (answers, derived) = shared.session.certain_batch_family_resident_counted(
         &query,
         &data.family,
         &data.base,
         &requests,
     );
-    shared.registry.record_derived(tenant, derived);
+    shared
+        .registry
+        .record_derived(tenant, derived, derive.elapsed_ns());
     let mut bits = Vec::with_capacity(answers.len());
     for (slot, result) in answers.into_iter().enumerate() {
         match result {

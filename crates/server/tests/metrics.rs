@@ -1,0 +1,262 @@
+//! Loopback tests for the observability surface: `METRICS` scrapes,
+//! queue backpressure (`ERR busy`), and the inline `STATS`/`METRICS` read
+//! path that must never block behind parked workers.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cqa_db::family::InstanceFamily;
+use cqa_server::client::Client;
+use cqa_server::server::{start, ServerConfig, ServerHandle};
+use cqa_workloads::random::shared_prefix_families;
+
+fn observed_server(workers: usize, max_queue: usize, fault_injection: bool) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        max_queue,
+        fault_injection,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn tiny_family(seed: u64) -> InstanceFamily {
+    let word = cqa_core::word::Word::from_letters("RXRYRY");
+    shared_prefix_families(&word, 10, 4, 0.25, seed)
+}
+
+/// Extracts the value of an exactly-named series (`name{labels}` or bare
+/// `name`) from a Prometheus text exposition.
+fn series(text: &str, series: &str) -> Option<u64> {
+    text.lines()
+        .find(|line| {
+            line.strip_prefix(series)
+                .is_some_and(|r| r.starts_with(' '))
+        })
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+fn series_or_panic(text: &str, name: &str) -> u64 {
+    series(text, name).unwrap_or_else(|| panic!("metrics missing series {name} in:\n{text}"))
+}
+
+#[test]
+fn metrics_exposition_has_required_families_and_is_monotone() {
+    let server = observed_server(2, 64, false);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .load_family("t0", &tiny_family(0xF00D))
+        .expect("load");
+
+    for _ in 0..3 {
+        let answers = client.query("t0", "RRX").expect("query");
+        assert!(!answers.is_empty());
+    }
+    let text = client.metrics().expect("scrape");
+
+    // The acceptance bar: counters, gauges, and at least three latency
+    // histogram families (per-route service, queue wait, per-command wire
+    // latency) must all be present in one scrape.
+    for family in [
+        "# TYPE cqa_server_commands_total counter",
+        "# TYPE cqa_server_busy_total counter",
+        "# TYPE cqa_server_queue_depth gauge",
+        "# TYPE cqa_server_queue_capacity gauge",
+        "# TYPE cqa_server_residents gauge",
+        "# TYPE cqa_server_resident_facts gauge",
+        "# TYPE cqa_server_command_ns histogram",
+        "# TYPE cqa_server_queue_wait_ns histogram",
+        "# TYPE cqa_server_service_ns histogram",
+        "# TYPE cqa_route_service_ns histogram",
+        "# TYPE cqa_session_plan_build_ns histogram",
+        "# TYPE cqa_trace_span_ns histogram",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+
+    assert_eq!(
+        series_or_panic(&text, "cqa_server_commands_total{command=\"query\"}"),
+        3
+    );
+    assert_eq!(
+        series_or_panic(&text, "cqa_server_commands_total{command=\"load\"}"),
+        1
+    );
+    assert_eq!(series_or_panic(&text, "cqa_server_queue_capacity"), 64);
+    assert_eq!(series_or_panic(&text, "cqa_server_residents"), 1);
+    assert!(series_or_panic(&text, "cqa_server_resident_facts") > 0);
+    // Every queued query left a full latency trail: wire turnaround,
+    // queue wait, and worker service time.
+    for histogram in [
+        "cqa_server_command_ns_count{command=\"query\"}",
+        "cqa_server_queue_wait_ns_count{command=\"query\"}",
+        "cqa_server_service_ns_count{command=\"query\"}",
+    ] {
+        assert_eq!(series_or_panic(&text, histogram), 3);
+    }
+    // RRX routes through the NL-Datalog overlay, so per-route session
+    // latency must be attributed (3 requests per query word × 3 scrapes
+    // of the same word — count is per decided request, so just >= 3).
+    assert!(series_or_panic(&text, "cqa_route_service_ns_count{route=\"nl_datalog\"}") >= 3);
+    assert!(series_or_panic(&text, "cqa_session_plan_build_ns_count") >= 1);
+
+    // Monotone: more traffic can only grow the counters within one server
+    // lifetime.
+    for _ in 0..2 {
+        client.query("t0", "RRX").expect("query");
+    }
+    let text2 = client.metrics().expect("scrape 2");
+    assert_eq!(
+        series_or_panic(&text2, "cqa_server_commands_total{command=\"query\"}"),
+        5
+    );
+    assert!(
+        series_or_panic(&text2, "cqa_server_command_ns_count{command=\"query\"}")
+            > series_or_panic(&text, "cqa_server_command_ns_count{command=\"query\"}")
+    );
+    // The first scrape itself was counted by the second one.
+    assert!(series_or_panic(&text2, "cqa_server_commands_total{command=\"metrics\"}") >= 2);
+
+    client.quit().expect("quit");
+    server.shutdown();
+
+    // Counters are per server instance: a restarted server starts from
+    // zero (only the process-global trace spans survive).
+    let server = observed_server(2, 64, false);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let fresh = client.metrics().expect("fresh scrape");
+    assert_eq!(
+        series_or_panic(&fresh, "cqa_server_commands_total{command=\"query\"}"),
+        0
+    );
+    assert_eq!(
+        series_or_panic(&fresh, "cqa_server_commands_total{command=\"load\"}"),
+        0
+    );
+    assert_eq!(series_or_panic(&fresh, "cqa_server_residents"), 0);
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_busy_and_connection_stays_usable() {
+    // One worker, one queue slot, fault injection on: SLOW parks the
+    // worker deterministically, one queued job fills the queue, and the
+    // next command must bounce with ERR busy.
+    let server = observed_server(1, 1, true);
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .load_family("t0", &tiny_family(0xBEEF))
+        .expect("load");
+
+    // Park the worker: SLOW occupies it for 600ms on another connection.
+    let parked = thread::spawn(move || {
+        let mut parker = Client::connect(addr).expect("connect parker");
+        parker.raw("SLOW 600").expect("slow")
+    });
+    // Fill the single queue slot behind the sleeping worker.
+    let filler = thread::spawn(move || {
+        let mut filler = Client::connect(addr).expect("connect filler");
+        thread::sleep(Duration::from_millis(150));
+        filler.query("t0", "RRX").expect("queued query")
+    });
+    thread::sleep(Duration::from_millis(300));
+
+    // Worker parked + queue full: this query must be rejected, not queued.
+    let err = client.query("t0", "RRX").expect_err("queue must be full");
+    assert!(err.is_busy(), "expected ERR busy, got: {err}");
+
+    // The rejection had no effect on the connection: once the queue
+    // drains, the same connection serves the same query cleanly.
+    let queued_answers = filler.join().expect("filler thread");
+    assert_eq!(parked.join().expect("parker thread"), "SLEPT millis=600");
+    let answers = client.query("t0", "RRX").expect("query after busy");
+    assert_eq!(answers, queued_answers);
+
+    // The rejection is visible in METRICS, and the queue has drained.
+    let text = client.metrics().expect("scrape");
+    assert!(series_or_panic(&text, "cqa_server_busy_total") >= 1);
+    assert_eq!(series_or_panic(&text, "cqa_server_queue_depth"), 0);
+    assert_eq!(series_or_panic(&text, "cqa_server_queue_capacity"), 1);
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_metrics_answer_inline_while_workers_are_parked() {
+    // Both workers parked in SLOW: STATS and METRICS must still answer
+    // fast, because the read path runs on the reader thread and never
+    // enters the work queue.
+    let server = observed_server(2, 8, true);
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .load_family("t0", &tiny_family(0xCAFE))
+        .expect("load");
+
+    let parked: Vec<_> = (0..2)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut parker = Client::connect(addr).expect("connect parker");
+                parker.raw("SLOW 800").expect("slow")
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(200));
+
+    let clock = Instant::now();
+    let stats = client.stats().expect("stats under load");
+    let text = client.metrics().expect("metrics under load");
+    let elapsed = clock.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(400),
+        "read path blocked behind parked workers: {elapsed:?}"
+    );
+    assert!(stats.contains_key("residents"));
+    // Both SLOW jobs were accepted and are still in flight.
+    assert_eq!(
+        series_or_panic(&text, "cqa_server_commands_total{command=\"slow\"}"),
+        2
+    );
+
+    for parker in parked {
+        assert_eq!(parker.join().expect("parker thread"), "SLEPT millis=800");
+    }
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn slow_requires_fault_injection_and_tenant_derive_time_is_attributed() {
+    let server = observed_server(1, 8, false);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let err = client
+        .raw("SLOW 50")
+        .expect_err("SLOW without fault injection");
+    assert!(!err.is_busy());
+    assert!(
+        matches!(err, cqa_server::client::ClientError::Server(_)),
+        "expected a typed server error, got: {err}"
+    );
+
+    // Datalog-route traffic must surface per-tenant derive time in STATS.
+    client
+        .load_family("t0", &tiny_family(0xD00D))
+        .expect("load");
+    client.query("t0", "RRX").expect("query");
+    let stats = client.tenant_stats("t0").expect("tenant stats");
+    let derive_ns: u64 = stats
+        .get("derive_ns")
+        .expect("tenant stats missing derive_ns")
+        .parse()
+        .expect("numeric derive_ns");
+    assert!(derive_ns > 0, "Datalog derivation took no measurable time");
+
+    client.quit().expect("quit");
+    server.shutdown();
+}

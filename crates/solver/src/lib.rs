@@ -63,7 +63,9 @@ pub mod prelude {
     pub use crate::generalized::GeneralizedSolver;
     pub use crate::naive::{BacktrackSolver, NaiveSolver};
     pub use crate::nl_solver::{DemandCounts, NlBackend, NlPlan, NlSolver};
-    pub use crate::session::{CertaintySession, QueryPlan, RouteCounts, SessionStats};
+    pub use crate::session::{
+        CertaintySession, QueryPlan, RouteCounts, SessionMetrics, SessionStats,
+    };
     pub use crate::traits::CertaintySolver;
     pub use cqa_datalog::parallel::{Checkpoint, EvalOptions, EvalStats, Maintain, Threads};
 }

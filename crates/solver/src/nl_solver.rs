@@ -571,7 +571,9 @@ fn overlay_fixpoint(
     delta: &DatabaseInstance,
     options: &EvalOptions,
 ) -> (cqa_datalog::engine::RelationStore, EvalStats) {
-    if options.checkpoint.resolve() && cqa.compiled.has_checkpointable_strata() {
+    let timer = cqa_obs::Stopwatch::start();
+    let (store, stats) = if options.checkpoint.resolve() && cqa.compiled.has_checkpointable_strata()
+    {
         let key = Arc::as_ptr(&cqa.compiled) as usize;
         let checkpointed = base.checkpoint(key, |raw| cqa.compiled.checkpoint_base(raw));
         cqa.compiled
@@ -579,7 +581,16 @@ fn overlay_fixpoint(
     } else {
         cqa.compiled
             .run_on_store_with_stats(edb_overlay_on(base, delta), options)
-    }
+    };
+    // The resumed path still derives from scratch for non-checkpointable
+    // strata; classify the whole request by whether any stratum resumed.
+    let span = if stats.checkpoint_hits > 0 {
+        cqa_obs::Span::CheckpointResume
+    } else {
+        cqa_obs::Span::ScratchDerive
+    };
+    cqa_obs::record_span(span, timer.elapsed_ns());
+    (store, stats)
 }
 
 /// Claim 4 over an evaluated store: the instance is certain iff `o(c)` fails
@@ -591,10 +602,15 @@ fn o_fails_somewhere(
     store: &cqa_datalog::engine::RelationStore,
     mut adom: impl Iterator<Item = Constant>,
 ) -> Result<bool, SolverError> {
+    let timer = cqa_obs::trace_enabled().then(cqa_obs::Stopwatch::start);
     let o_holds = store
         .unary(cqa.o)
         .map_err(|e| SolverError::ResourceLimit(format!("datalog engine error: {e}")))?;
-    Ok(adom.any(|c| !o_holds.contains(c.symbol())))
+    let answer = adom.any(|c| !o_holds.contains(c.symbol()));
+    if let Some(timer) = timer {
+        cqa_obs::record_span(cqa_obs::Span::AnswerScan, timer.elapsed_ns());
+    }
+    Ok(answer)
 }
 
 /// Reflexivity is *not* included: `reaches(edges, a, b)` is true iff there is

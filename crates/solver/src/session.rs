@@ -124,6 +124,51 @@ pub struct SessionStats {
     pub demand: DemandCounts,
 }
 
+/// Route label values for [`SessionMetrics::route_histograms`], in
+/// [`RouteCounts`] field order (the same order as
+/// `CertaintySession::route_slot`).
+pub const ROUTE_LABELS: [&str; 5] = [
+    "fo_rewriting",
+    "nl_direct",
+    "nl_datalog",
+    "ptime_fixpoint",
+    "conp_sat",
+];
+
+/// Always-on latency instrumentation owned by a session, so its numbers
+/// live and die with the session (a server restart genuinely resets them).
+/// The handles are `Arc`s on purpose: `cqa-server` registers them into its
+/// metrics registry ([`cqa_obs::Registry::register_histogram`]) and renders
+/// them through `METRICS` without a second copy.
+#[derive(Debug)]
+pub struct SessionMetrics {
+    /// Service time of each decided request, by route (one record per
+    /// request, in [`ROUTE_LABELS`] order).
+    route_ns: [Arc<cqa_obs::Histogram>; 5],
+    /// Plan build time on a session plan-cache miss (classification plus
+    /// route-artifact preparation).
+    plan_build_ns: Arc<cqa_obs::Histogram>,
+}
+
+impl SessionMetrics {
+    fn new() -> SessionMetrics {
+        SessionMetrics {
+            route_ns: std::array::from_fn(|_| Arc::new(cqa_obs::Histogram::new())),
+            plan_build_ns: Arc::new(cqa_obs::Histogram::new()),
+        }
+    }
+
+    /// The per-route service-time histograms, labelled for exposition.
+    pub fn route_histograms(&self) -> [(&'static str, Arc<cqa_obs::Histogram>); 5] {
+        std::array::from_fn(|i| (ROUTE_LABELS[i], Arc::clone(&self.route_ns[i])))
+    }
+
+    /// The plan-build (classify + prepare) histogram.
+    pub fn plan_build_histogram(&self) -> Arc<cqa_obs::Histogram> {
+        Arc::clone(&self.plan_build_ns)
+    }
+}
+
 /// A reusable certain-answer session: classify once per query, share the
 /// compiled artifacts, answer many `(query, instance)` requests.
 #[derive(Debug)]
@@ -138,6 +183,7 @@ pub struct CertaintySession {
     /// Decided requests per route, in the order of [`RouteCounts`]'s fields
     /// (see [`CertaintySession::route_slot`]).
     route_counts: [AtomicU64; 5],
+    metrics: SessionMetrics,
     options: EvalOptions,
 }
 
@@ -169,8 +215,15 @@ impl CertaintySession {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             route_counts: Default::default(),
+            metrics: SessionMetrics::new(),
             options,
         }
+    }
+
+    /// The session's always-on latency histograms (per-route service time,
+    /// plan-build time).
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
     }
 
     /// Creates a session serving the NL class with the direct back-end.
@@ -196,6 +249,7 @@ impl CertaintySession {
             return Arc::clone(plan);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let timer = cqa_obs::Stopwatch::start();
         let classification = classify(query);
         let (route, nl, nfa) = match classification.class {
             ComplexityClass::FO => (Route::FoRewriting, None, None),
@@ -218,6 +272,9 @@ impl CertaintySession {
             nl,
             nfa,
         });
+        let ns = timer.elapsed_ns();
+        self.metrics.plan_build_ns.record(ns);
+        cqa_obs::record_span(cqa_obs::Span::Classify, ns);
         Arc::clone(
             self.plans
                 .lock()
@@ -258,7 +315,8 @@ impl CertaintySession {
         options: &EvalOptions,
     ) -> Result<bool, SolverError> {
         self.route_slot(plan.route).fetch_add(1, Ordering::Relaxed);
-        match plan.route {
+        let timer = cqa_obs::Stopwatch::start();
+        let answer = match plan.route {
             Route::FoRewriting => Ok(self.fo.evaluate_rewriting(&plan.query, db)),
             Route::Nl(_) => {
                 let nl = plan.nl.as_ref().expect("NL route carries an NL plan");
@@ -271,7 +329,9 @@ impl CertaintySession {
                     .is_empty())
             }
             Route::ConpSat => self.conp.certain(&plan.query, db),
-        }
+        };
+        self.route_histogram(plan.route).record(timer.elapsed_ns());
+        answer
     }
 
     /// Decides a whole batch of `(query, instance)` requests, grouping by
@@ -502,6 +562,7 @@ impl CertaintySession {
         match (base, &plan.nl) {
             (Some(base), Some(NlPlan::Datalog(cqa))) => {
                 self.route_slot(plan.route).fetch_add(1, Ordering::Relaxed);
+                let timer = cqa_obs::Stopwatch::start();
                 let (answer, stats) = self.nl.certain_overlay_maintained(
                     cqa,
                     base,
@@ -513,6 +574,7 @@ impl CertaintySession {
                 if let Some(counter) = derived {
                     counter.fetch_add(stats.tuples_derived, Ordering::Relaxed);
                 }
+                self.route_histogram(plan.route).record(timer.elapsed_ns());
                 Ok(answer)
             }
             _ => {
@@ -542,6 +604,19 @@ impl CertaintySession {
             Route::ConpSat => 4,
         };
         &self.route_counts[i]
+    }
+
+    /// The service-time histogram for a route, in the same slot order as
+    /// [`CertaintySession::route_slot`].
+    fn route_histogram(&self, route: Route) -> &cqa_obs::Histogram {
+        let i = match route {
+            Route::FoRewriting => 0,
+            Route::Nl(NlBackend::Direct) => 1,
+            Route::Nl(NlBackend::Datalog) => 2,
+            Route::PtimeFixpoint => 3,
+            Route::ConpSat => 4,
+        };
+        &self.metrics.route_ns[i]
     }
 
     /// A point-in-time snapshot of the session's counters: plan-cache

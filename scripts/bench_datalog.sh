@@ -11,9 +11,17 @@
 # stream — the wire/dispatch overhead), `demand_transform` (demand-driven
 # derivation off vs prune vs magic on goal-sparse, route-level and family
 # workloads), `binary_kernels` (shape-specialized kernels off vs on over
-# tc chains, the warm RRX route and shared-prefix family batches) and
+# tc chains, the warm RRX route and shared-prefix family batches),
 # `incremental` (checkpointed base derivation vs from-scratch on warm
-# resident-family batches and live mutate-requery loops) suites.
+# resident-family batches and live mutate-requery loops) and
+# `server_saturation` (4 client threads racing the bounded work queue with
+# a mixed QUERY/APPEND stream; prints the METRICS queue-wait vs
+# service-time split and asserts the exposition's required families)
+# suites. `server_throughput` carries the trace-knob overhead pair:
+# `loopback_server` runs with PATH_CQA_TRACE off (always-on recorder only
+# — its ratio against the checked-in baseline is the instrumentation
+# overhead, budget <2%) and `loopback_trace_on` with spans on (the ratio
+# between the two arms is the trace-knob cost).
 # Before overwriting BENCH_datalog.json, fresh medians are diffed against the
 # checked-in baseline with per-entry ratios, so regressions are visible in
 # the run's own output instead of only in the git diff.
@@ -44,7 +52,8 @@ CQA_BENCH_JSON="$jsonl" cargo bench -p cqa-bench \
     --bench server_throughput \
     --bench demand_transform \
     --bench binary_kernels \
-    --bench incremental
+    --bench incremental \
+    --bench server_saturation
 
 # Per-entry ratio diff against the checked-in baseline (fresh/baseline: < 1
 # is faster, > 1 slower). New entries print "(new)"; nothing fails here —
